@@ -1,0 +1,310 @@
+// One testing.B benchmark per figure and table of the paper's evaluation
+// (see DESIGN.md section 4 for the experiment index). Each benchmark
+// sub-runs every variant curve of its figure; the reported custom metric
+// Mops/s is the figure's y-axis. cmd/alebench produces the full
+// thread-sweep tables; these benches pin one representative thread count
+// so `go test -bench=.` regenerates every experiment in bounded time.
+package repro_test
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/kyoto"
+	"repro/internal/locks"
+	"repro/internal/platform"
+	"repro/internal/tm"
+)
+
+// benchThreads is the pinned thread count for figure benchmarks. It stays
+// at 4 even on smaller hosts: the workloads are goroutine-based and the
+// elision-vs-convoying contrast survives time-slicing.
+func benchThreads() int { return 4 }
+
+func benchHashMapFigure(b *testing.B, plat platform.Platform, mutatePct int) {
+	for _, v := range bench.HashMapVariants() {
+		b.Run(v.Name, func(b *testing.B) {
+			threads := benchThreads()
+			per := b.N/threads + 1
+			res, _, err := bench.RunHashMap(bench.HashMapParams{
+				Platform:     plat,
+				Variant:      v,
+				Threads:      threads,
+				OpsPerThread: per,
+				KeyRange:     4096,
+				MutatePct:    mutatePct,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MopsPerS, "Mops/s")
+		})
+	}
+}
+
+// Figure 2: HashMap on the Haswell profile (best-effort HTM, roomy).
+func BenchmarkFig2HaswellMut0(b *testing.B)  { benchHashMapFigure(b, platform.Haswell(), 0) }
+func BenchmarkFig2HaswellMut20(b *testing.B) { benchHashMapFigure(b, platform.Haswell(), 20) }
+func BenchmarkFig2HaswellMut50(b *testing.B) { benchHashMapFigure(b, platform.Haswell(), 50) }
+
+// Figure 3: HashMap on the Rock profile (tight, flaky HTM).
+func BenchmarkFig3RockMut0(b *testing.B)  { benchHashMapFigure(b, platform.Rock(), 0) }
+func BenchmarkFig3RockMut20(b *testing.B) { benchHashMapFigure(b, platform.Rock(), 20) }
+func BenchmarkFig3RockMut50(b *testing.B) { benchHashMapFigure(b, platform.Rock(), 50) }
+
+// Figure 4: HashMap on the T2 profile (no HTM; SWOpt is the only elision).
+func BenchmarkFig4T2Mut0(b *testing.B)  { benchHashMapFigure(b, platform.T2(), 0) }
+func BenchmarkFig4T2Mut20(b *testing.B) { benchHashMapFigure(b, platform.T2(), 20) }
+func BenchmarkFig4T2Mut50(b *testing.B) { benchHashMapFigure(b, platform.T2(), 50) }
+
+// Figure 5: the Kyoto Cabinet wicked benchmark (RW method lock + nesting).
+func BenchmarkFig5KyotoWicked(b *testing.B) {
+	w := kyoto.DefaultWicked()
+	w.KeyRange = 4096
+	for _, v := range bench.KyotoVariants() {
+		b.Run(v.Name, func(b *testing.B) {
+			threads := benchThreads()
+			res, _, err := bench.RunKyoto(bench.KyotoParams{
+				Platform:     platform.Haswell(),
+				Variant:      v,
+				Threads:      threads,
+				OpsPerThread: b.N/threads + 1,
+				Workload:     w,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MopsPerS, "Mops/s")
+		})
+	}
+}
+
+// Figure 5 companion: the nomutate variant on T2 (the paper's 42%-miss
+// statistic regime).
+func BenchmarkFig5NoMutateT2(b *testing.B) {
+	w := kyoto.NoMutateWicked()
+	w.KeyRange = 4096
+	for _, v := range bench.KyotoVariants() {
+		b.Run(v.Name, func(b *testing.B) {
+			threads := benchThreads()
+			res, _, err := bench.RunKyoto(bench.KyotoParams{
+				Platform:     platform.T2(),
+				Variant:      v,
+				Threads:      threads,
+				OpsPerThread: b.N/threads + 1,
+				Workload:     w,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MopsPerS, "Mops/s")
+			b.ReportMetric(res.HitRate*100, "hit%")
+		})
+	}
+}
+
+// Table A: the section 3.4 statistics report — measures both the
+// instrumented run and the report rendering.
+func BenchmarkTableAStatisticsReport(b *testing.B) {
+	v := bench.HashMapVariants()[8] // Adaptive-All
+	_, rt, err := bench.RunHashMap(bench.HashMapParams{
+		Platform:     platform.Haswell(),
+		Variant:      v,
+		Threads:      benchThreads(),
+		OpsPerThread: 20000,
+		KeyRange:     4096,
+		MutatePct:    20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := rt.ReportString()
+		if !strings.Contains(s, "tbl") {
+			b.Fatal("report missing lock")
+		}
+	}
+}
+
+// Mechanism ablations (DESIGN.md section 5).
+func benchAblation(b *testing.B, name string) {
+	var abl bench.Ablation
+	found := false
+	for _, a := range bench.Ablations() {
+		if a.Name == name {
+			abl, found = a, true
+		}
+	}
+	if !found {
+		b.Fatalf("no ablation %q", name)
+	}
+	for _, enabled := range []bool{true, false} {
+		sub := "on"
+		if !enabled {
+			sub = "off"
+		}
+		b.Run(sub, func(b *testing.B) {
+			threads := benchThreads()
+			opts := core.DefaultOptions()
+			abl.Set(&opts, enabled)
+			res, _, err := bench.RunHashMap(bench.HashMapParams{
+				Platform:     abl.Platform,
+				Variant:      abl.Variant,
+				Threads:      threads,
+				OpsPerThread: b.N/threads + 1,
+				KeyRange:     4096,
+				MutatePct:    abl.MutatePct,
+				Opts:         &opts,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MopsPerS, "Mops/s")
+		})
+	}
+}
+
+func BenchmarkAblationGrouping(b *testing.B)         { benchAblation(b, "grouping") }
+func BenchmarkAblationLockHeldDiscount(b *testing.B) { benchAblation(b, "lockheld-discount") }
+func BenchmarkAblationMarkerElision(b *testing.B)    { benchAblation(b, "marker-elision") }
+func BenchmarkAblationSampling(b *testing.B)         { benchAblation(b, "sampling") }
+
+// Extension: conflict-marker striping (the paper's suggested per-bucket
+// refinement).
+func BenchmarkExtensionMarkerStriping(b *testing.B) {
+	v := bench.Variant{
+		Name:       "Static-SL-10",
+		Policy:     func() core.Policy { return core.NewStatic(0, 10) },
+		AllowSWOpt: true,
+	}
+	for _, stripes := range []int{1, 16, 256} {
+		b.Run(map[int]string{1: "stripes1", 16: "stripes16", 256: "stripes256"}[stripes],
+			func(b *testing.B) {
+				threads := benchThreads()
+				res, _, err := bench.RunHashMap(bench.HashMapParams{
+					Platform:     platform.T2(),
+					Variant:      v,
+					Threads:      threads,
+					OpsPerThread: b.N/threads + 1,
+					KeyRange:     4096,
+					MutatePct:    20,
+					Stripes:      stripes,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.MopsPerS, "Mops/s")
+			})
+	}
+}
+
+// Extension: the intset capacity crossover — Contains cost per platform
+// and set size, showing where HTM stops fitting (Rock at ~32 elements,
+// Haswell at ~250) and SWOpt takes over.
+func BenchmarkExtensionIntsetCrossover(b *testing.B) {
+	for _, plat := range []platform.Platform{platform.Haswell(), platform.Rock()} {
+		for _, size := range []int{16, 200} {
+			b.Run(plat.Profile.Name+"/size"+map[int]string{16: "16", 200: "200"}[size],
+				func(b *testing.B) {
+					rt := core.NewRuntime(tm.NewDomain(plat.Profile))
+					s := intset.New(rt, "set", size*4+1024, core.NewStatic(4, 10))
+					h := s.NewHandle()
+					for k := 1; k <= size; k++ {
+						if _, err := h.Insert(uint64(k) * 2); err != nil {
+							b.Fatal(err)
+						}
+					}
+					tail := uint64(size) * 2
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := h.Contains(tail); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+		}
+	}
+}
+
+// Substrate microbenchmark: raw simulated-HTM transaction cost, for
+// calibrating how much of a figure's headroom the simulator itself eats.
+func BenchmarkSubstrateHTMTxn(b *testing.B) {
+	d := tm.NewDomain(platform.Haswell().Profile)
+	vars := d.NewVars(8)
+	tx := d.NewTxn(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Run(func(tx *tm.Txn) {
+			for j := range vars {
+				tx.Store(&vars[j], tx.Load(&vars[j])+1)
+			}
+		})
+	}
+}
+
+// Extension: drift-triggered relearning. Phase 2 of the phasedworkload
+// scenario — a SWOpt path that stopped succeeding — measured per op for
+// the stuck learner vs the drift-aware one. The drift policy's number
+// includes its relearning transient.
+func BenchmarkExtensionDriftRecovery(b *testing.B) {
+	acfg := core.AdaptiveConfig{PhaseExecs: 300, InitialX: 10, XSlack: 2, BigY: 50}
+	for _, tc := range []struct {
+		name string
+		pol  func() core.Policy
+	}{
+		{"stuck-adaptive", func() core.Policy { return core.NewAdaptiveCfg(acfg) }},
+		{"adaptive+drift", func() core.Policy {
+			return core.NewDriftCfg(core.DriftConfig{
+				Adaptive: acfg, Window: 1000, Factor: 2.5,
+				MinSamples: 100, MinDelta: time.Microsecond, Cooldown: 500,
+			})
+		}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.SampleAllTimings = true
+			rt := core.NewRuntimeOpts(tm.NewDomain(platform.T2().Profile), opts)
+			d := rt.Domain()
+			lock := rt.NewLock("L", locks.NewTATAS(d), tc.pol())
+			marker := lock.NewMarker()
+			v := d.NewVar(0)
+			var interference atomic.Bool
+			cs := &core.CS{
+				Scope:    core.NewScope("read"),
+				HasSWOpt: true,
+				Body: func(ec *core.ExecCtx) error {
+					if ec.InSWOpt() {
+						ver := marker.ReadStable()
+						_ = ec.Load(v)
+						if interference.Load() || !marker.Validate(ver) {
+							return ec.SWOptFail()
+						}
+						return nil
+					}
+					_ = ec.Load(v)
+					return nil
+				},
+			}
+			thr := rt.NewThread()
+			// Phase 1 (not measured): learn with optimism working.
+			for i := 0; i < 3000; i++ {
+				if err := lock.Execute(thr, cs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			interference.Store(true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := lock.Execute(thr, cs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,217 @@
+// Command alebench regenerates the paper's evaluation (section 5) on the
+// simulated platforms: every figure's series as an aligned text table,
+// the statistics report (Table A), and the mechanism ablations DESIGN.md
+// calls out.
+//
+// Usage:
+//
+//	alebench [flags] fig2|fig3|fig4|fig5|report|ablation|striping|all
+//
+// Figures (see DESIGN.md section 4 for the reconstruction mapping):
+//
+//	fig2  HashMap throughput vs threads, Haswell profile, 3 mutation mixes
+//	fig3  HashMap throughput vs threads, Rock profile, 3 mutation mixes
+//	fig4  HashMap throughput vs threads, T2 (no HTM), 3 mixes + nomutate stats
+//	fig5  Kyoto Cabinet wicked benchmark vs threads (+ nomutate variant)
+//
+// Absolute numbers depend on the host; the claims under reproduction are
+// the relative shapes (EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/bench"
+	"repro/internal/kyoto"
+	"repro/internal/platform"
+)
+
+var (
+	ops      = flag.Int("ops", 30000, "operations per thread per point")
+	keyRange = flag.Uint64("keyrange", 4096, "HashMap key universe")
+	// The sweep keeps points above the host's core count by default:
+	// goroutine time-slicing still exposes the convoying-vs-elision
+	// contrast the figures are about (EXPERIMENTS.md discusses reading
+	// oversubscribed points).
+	maxThreads = flag.Int("maxthreads", 16, "trim sweep points above this thread count (0 = keep all)")
+	verbose    = flag.Bool("verbose", false, "print the ALE statistics report after each figure")
+)
+
+func main() {
+	flag.Parse()
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	if err := run(cmd); err != nil {
+		fmt.Fprintln(os.Stderr, "alebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string) error {
+	switch cmd {
+	case "fig2":
+		return hashmapFigure(2)
+	case "fig3":
+		return hashmapFigure(3)
+	case "fig4":
+		return hashmapFigure(4)
+	case "fig5":
+		return kyotoFigure()
+	case "report":
+		return report()
+	case "ablation":
+		return ablations()
+	case "striping":
+		return striping()
+	case "all":
+		for _, c := range []string{"fig2", "fig3", "fig4", "fig5", "report", "ablation", "striping"} {
+			if err := run(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (want fig2|fig3|fig4|fig5|report|ablation|striping|all)", cmd)
+}
+
+func hashmapFigure(figNum int) error {
+	plat, err := bench.PlatformByFigure(figNum)
+	if err != nil {
+		return err
+	}
+	threads := bench.ClampThreads(plat.Threads, *maxThreads)
+	for _, mutate := range []int{0, 20, 50} {
+		title := fmt.Sprintf("Figure %d (%s): HashMap, %d%% mutation", figNum, plat.Profile.Name, mutate)
+		fig, err := bench.HashMapFigure(title, plat, threads, *ops, *keyRange, mutate)
+		if err != nil {
+			return err
+		}
+		fig.Print(os.Stdout)
+		efig, err := bench.HashMapElisionFigure(title+" — elision rate", plat, threads,
+			*ops, *keyRange, mutate)
+		if err != nil {
+			return err
+		}
+		efig.Print(os.Stdout)
+	}
+	if *verbose {
+		return verboseHashMapStats(plat)
+	}
+	return nil
+}
+
+// verboseHashMapStats reruns one mixed-workload point under the adaptive
+// policy and prints the full per-granule report (the paper's section 3.4
+// reports, and the Table B counters of DESIGN.md).
+func verboseHashMapStats(plat platform.Platform) error {
+	v := bench.HashMapVariants()[8] // Adaptive-All
+	_, rt, err := bench.RunHashMap(bench.HashMapParams{
+		Platform:     plat,
+		Variant:      v,
+		Threads:      min(4, runtime.GOMAXPROCS(0)),
+		OpsPerThread: *ops,
+		KeyRange:     *keyRange,
+		MutatePct:    20,
+	})
+	if err != nil {
+		return err
+	}
+	return rt.WriteReport(os.Stdout)
+}
+
+func kyotoFigure() error {
+	plat, _ := bench.PlatformByFigure(5)
+	threads := bench.ClampThreads(plat.Threads, *maxThreads)
+	w := kyoto.DefaultWicked()
+	fig, err := bench.KyotoFigure("Figure 5 (Haswell): Kyoto Cabinet wicked benchmark",
+		plat, threads, *ops, w)
+	if err != nil {
+		return err
+	}
+	fig.Print(os.Stdout)
+	efig, err := bench.KyotoElisionFigure("Figure 5 — elision rate", plat, threads, *ops, w)
+	if err != nil {
+		return err
+	}
+	efig.Print(os.Stdout)
+
+	// The nomutate variant on the no-HTM platform — the configuration
+	// whose statistics (42% SWOpt-succeeding misses) the paper discusses.
+	t2 := platform.T2()
+	nm := kyoto.NoMutateWicked()
+	fig, err = bench.KyotoFigure("Figure 5 companion (T2-2): wicked nomutate variant",
+		t2, bench.ClampThreads(t2.Threads, *maxThreads), *ops, nm)
+	if err != nil {
+		return err
+	}
+	fig.Print(os.Stdout)
+
+	res, rt, err := bench.RunKyoto(bench.KyotoParams{
+		Platform:     t2,
+		Variant:      bench.KyotoVariants()[3], // Static-SL-10
+		Threads:      min(4, runtime.GOMAXPROCS(0)),
+		OpsPerThread: *ops,
+		Workload:     nm,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nnomutate/T2 statistics: lookup hit rate %.0f%% (miss rate %.0f%% — "+
+		"the paper reports 42%% of executions missing and hence succeeding via SWOpt)\n",
+		res.HitRate*100, (1-res.HitRate)*100)
+	if *verbose {
+		return rt.WriteReport(os.Stdout)
+	}
+	return nil
+}
+
+// report demonstrates the statistics/profiling reports of section 3.4
+// (Table A): a short mixed run on each platform under the adaptive policy.
+func report() error {
+	fmt.Println("\n== Table A: ALE statistics report (section 3.4) ==")
+	for _, plat := range platform.All() {
+		v := bench.HashMapVariants()[8] // Adaptive-All
+		_, rt, err := bench.RunHashMap(bench.HashMapParams{
+			Platform:     plat,
+			Variant:      v,
+			Threads:      min(4, runtime.GOMAXPROCS(0)),
+			OpsPerThread: *ops / 2,
+			KeyRange:     *keyRange,
+			MutatePct:    20,
+		})
+		if err != nil {
+			return err
+		}
+		if err := rt.WriteReport(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ablations() error {
+	threads := bench.ClampThreads([]int{1, 2, 4, 8}, *maxThreads)
+	for _, a := range bench.Ablations() {
+		fig, err := bench.RunAblation(a, threads, *ops, *keyRange)
+		if err != nil {
+			return err
+		}
+		fig.Print(os.Stdout)
+	}
+	return nil
+}
+
+func striping() error {
+	threads := bench.ClampThreads([]int{1, 2, 4, 8}, *maxThreads)
+	fig, err := bench.MarkerStripingFigure(threads, *ops, *keyRange)
+	if err != nil {
+		return err
+	}
+	fig.Print(os.Stdout)
+	return nil
+}

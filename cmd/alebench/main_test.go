@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRunCommandsSmoke drives each subcommand with a tiny workload; this
+// catches wiring regressions (flag plumbing, figure construction) without
+// paying for a real sweep.
+func TestRunCommandsSmoke(t *testing.T) {
+	*ops = 300
+	*keyRange = 256
+	*maxThreads = 2
+	// The commands print figure tables to stdout; silence them so test
+	// logs stay readable.
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	for _, cmd := range []string{"fig2", "fig4", "fig5", "report", "striping"} {
+		t.Run(cmd, func(t *testing.T) {
+			if err := run(cmd); err != nil {
+				t.Fatalf("run(%s): %v", cmd, err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run("fig9"); err == nil {
+		t.Error("unknown command accepted")
+	}
+}

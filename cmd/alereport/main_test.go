@@ -1,0 +1,22 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	if err := run(2, 2000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

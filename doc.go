@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Adaptive Integration
+// of Hardware and Software Lock Elision Techniques" (Dice, Kogan, Lev,
+// Merrifield, Moir — SPAA 2014): the ALE library, every substrate it
+// depends on (a simulated best-effort HTM, SNZI, statistical counters,
+// seqlocks, lock implementations), the paper's HashMap and Kyoto Cabinet
+// workloads, and a benchmark harness that regenerates each figure and
+// table of the evaluation.
+//
+// Start with README.md; DESIGN.md maps the paper onto the modules and
+// EXPERIMENTS.md records reproduced-vs-paper results. The root-level
+// bench_test.go holds one testing.B benchmark per figure/table.
+package repro

@@ -1,0 +1,127 @@
+// phasedworkload demonstrates the repository's implementation of the
+// paper's future-work direction "adapt to workloads that change over
+// time".
+//
+// The scenario targets the one persistent pathology the execution engine
+// cannot fix on its own. For HTM, the engine already self-limits inside a
+// single execution (capacity aborts disable further attempts), so a stale
+// HTM choice costs little. But a *SWOpt path that stops succeeding* —
+// because the environment changed: a new writer process appeared, a
+// dependency started churning the conflict markers — burns its whole
+// retry budget Y on every execution until the policy itself changes its
+// mind. The plain adaptive policy never does (it learned once); the
+// drift-aware policy notices the execution-time explosion, relearns, and
+// stops choosing the dead optimistic path. When the interference goes
+// away it notices again and optimism returns.
+//
+// The environment change is injected with a flag flip (single-box runs
+// cannot produce sustained cross-thread interference on demand); what is
+// measured — detection, relearning, and the cost of being stuck — is the
+// real mechanism.
+//
+//	go run ./examples/phasedworkload
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/platform"
+	"repro/internal/tm"
+)
+
+const opsPerPhase = 30000
+
+func main() {
+	fmt.Println("A SWOpt path stops succeeding mid-run (phase 2), then recovers (phase 3).")
+	fmt.Println()
+	for _, tc := range []struct {
+		name string
+		pol  func() core.Policy
+	}{
+		{"Static-SL-50 (hand-tuned for phase 1)", func() core.Policy {
+			return core.NewStatic(0, 50)
+		}},
+		{"Adaptive (learns once)", func() core.Policy {
+			return core.NewAdaptiveCfg(adaptiveCfg())
+		}},
+		{"Adaptive+Drift (relearns)", func() core.Policy {
+			return core.NewDriftCfg(core.DriftConfig{
+				Adaptive:   adaptiveCfg(),
+				Window:     1000,
+				Factor:     2.5,
+				MinSamples: 100,
+				MinDelta:   time.Microsecond,
+				Cooldown:   500,
+			})
+		}},
+	} {
+		runScenario(tc.name, tc.pol())
+	}
+}
+
+func adaptiveCfg() core.AdaptiveConfig {
+	return core.AdaptiveConfig{PhaseExecs: 300, InitialX: 10, XSlack: 2, BigY: 50}
+}
+
+func runScenario(name string, pol core.Policy) {
+	opts := core.DefaultOptions()
+	opts.SampleAllTimings = true // full timing signal for learner + detector
+	rt := core.NewRuntimeOpts(tm.NewDomain(platform.T2().Profile), opts)
+	d := rt.Domain()
+	lock := rt.NewLock("L", locks.NewTATAS(d), pol)
+	marker := lock.NewMarker()
+	v := d.NewVar(0)
+
+	// interference simulates external marker churn: while set, every
+	// optimistic validation fails, exactly as if a writer process were
+	// bumping the marker continuously.
+	var interference atomic.Bool
+
+	cs := &core.CS{
+		Scope:    core.NewScope("read"),
+		HasSWOpt: true,
+		Body: func(ec *core.ExecCtx) error {
+			if ec.InSWOpt() {
+				ver := marker.ReadStable()
+				_ = ec.Load(v)
+				if interference.Load() || !marker.Validate(ver) {
+					return ec.SWOptFail()
+				}
+				return nil
+			}
+			_ = ec.Load(v)
+			return nil
+		},
+	}
+
+	thr := rt.NewThread()
+	phase := func() time.Duration {
+		start := time.Now()
+		for i := 0; i < opsPerPhase; i++ {
+			if err := lock.Execute(thr, cs); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	d1 := phase() // optimism works
+	interference.Store(true)
+	d2 := phase() // optimism dead
+	interference.Store(false)
+	d3 := phase() // optimism back
+
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  phase 1, optimism works:   %8.1f ms\n", d1.Seconds()*1e3)
+	fmt.Printf("  phase 2, optimism dead:    %8.1f ms\n", d2.Seconds()*1e3)
+	fmt.Printf("  phase 3, optimism back:    %8.1f ms\n", d3.Seconds()*1e3)
+	if dp, ok := pol.(*core.DriftPolicy); ok {
+		fmt.Printf("  drift relearns:            %d\n", dp.Relearns())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Ablation identifies one library mechanism whose contribution DESIGN.md
+// calls out for quantification.
+type Ablation struct {
+	Name  string
+	Descr string
+	// Set flips the mechanism in an option set.
+	Set func(o *core.Options, enabled bool)
+	// Platform / workload under which the mechanism matters.
+	Platform  platform.Platform
+	MutatePct int
+	Stripes   int
+	Variant   Variant
+}
+
+// Ablations returns the mechanism ablation suite.
+func Ablations() []Ablation {
+	all := func() Variant {
+		return Variant{
+			Name:       "Static-All-10:10",
+			Policy:     func() core.Policy { return core.NewStatic(10, 10) },
+			AllowHTM:   true,
+			AllowSWOpt: true,
+		}
+	}
+	swOnly := Variant{
+		Name:       "Static-SL-10",
+		Policy:     func() core.Policy { return core.NewStatic(0, 10) },
+		AllowSWOpt: true,
+	}
+	return []Ablation{
+		{
+			Name: "grouping",
+			Descr: "SNZI grouping (section 4.2): conflicting executions defer " +
+				"while SWOpt retries are in flight. Matters most when SWOpt is " +
+				"the only elision (no HTM) and writers are frequent.",
+			Set:       func(o *core.Options, e bool) { o.Grouping = e },
+			Platform:  platform.T2(),
+			MutatePct: 20,
+			Variant:   swOnly,
+		},
+		{
+			Name: "lockheld-discount",
+			Descr: "Lighter accounting of lock-acquisition-induced HTM aborts " +
+				"(section 4). Matters when Lock-mode executions interleave with " +
+				"HTM attempts.",
+			Set:       func(o *core.Options, e bool) { o.LockHeldDiscount = e },
+			Platform:  platform.Haswell(),
+			MutatePct: 50,
+			Variant:   all(),
+		},
+		{
+			Name: "marker-elision",
+			Descr: "COULD_SWOPT_BE_RUNNING marker-bump elision (section 3.3): " +
+				"HTM executions skip conflict-marker bumps when no SWOpt runs, " +
+				"removing marker conflicts between concurrent transactions.",
+			Set:       func(o *core.Options, e bool) { o.MarkerElision = e },
+			Platform:  platform.Haswell(),
+			MutatePct: 50,
+			Variant: Variant{ // HTM-only: every marker bump is pure overhead
+				Name:     "Static-HL-10",
+				Policy:   func() core.Policy { return core.NewStatic(10, 0) },
+				AllowHTM: true,
+			},
+		},
+		{
+			Name: "sampling",
+			Descr: "~3% timing sampling (section 4.3) versus timing every " +
+				"execution. Quantifies the instrumentation cost the sampling " +
+				"design avoids.",
+			Set:       func(o *core.Options, e bool) { o.SampleAllTimings = !e },
+			Platform:  platform.Haswell(),
+			MutatePct: 20,
+			Variant:   all(),
+		},
+	}
+}
+
+// RunAblation produces a two-series figure (mechanism on vs off) over the
+// thread sweep.
+func RunAblation(a Ablation, threads []int, opsPerThread int, keyRange uint64) (Figure, error) {
+	fig := Figure{
+		Title:   "Ablation: " + a.Name,
+		Descr:   a.Descr,
+		Threads: threads,
+	}
+	for _, enabled := range []bool{true, false} {
+		label := a.Name + "=on"
+		if !enabled {
+			label = a.Name + "=off"
+		}
+		s := Series{Label: label, Points: map[int]float64{}}
+		for _, th := range threads {
+			opts := core.DefaultOptions()
+			a.Set(&opts, enabled)
+			res, _, err := RunHashMap(HashMapParams{
+				Platform:     a.Platform,
+				Variant:      a.Variant,
+				Threads:      th,
+				OpsPerThread: opsPerThread,
+				KeyRange:     keyRange,
+				MutatePct:    a.MutatePct,
+				Stripes:      a.Stripes,
+				Opts:         &opts,
+			})
+			if err != nil {
+				return Figure{}, fmt.Errorf("ablation %s/%s/%d: %w", a.Name, label, th, err)
+			}
+			s.Points[th] = res.MopsPerS
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// MarkerStripingFigure ablates the extension the paper leaves as future
+// work (per-bucket version numbers): single tblVer versus striped markers
+// under a mutation-heavy SWOpt workload.
+func MarkerStripingFigure(threads []int, opsPerThread int, keyRange uint64) (Figure, error) {
+	fig := Figure{
+		Title: "Extension: conflict-marker striping",
+		Descr: "Single tblVer (the paper) vs striped markers (the paper's " +
+			"suggested per-bucket refinement), SWOpt-only on T2, 20% mutation.",
+		Threads: threads,
+	}
+	v := Variant{
+		Name:       "Static-SL-10",
+		Policy:     func() core.Policy { return core.NewStatic(0, 10) },
+		AllowSWOpt: true,
+	}
+	for _, stripes := range []int{1, 16, 256} {
+		s := Series{Label: fmt.Sprintf("stripes=%d", stripes), Points: map[int]float64{}}
+		for _, th := range threads {
+			res, _, err := RunHashMap(HashMapParams{
+				Platform:     platform.T2(),
+				Variant:      v,
+				Threads:      th,
+				OpsPerThread: opsPerThread,
+				KeyRange:     keyRange,
+				MutatePct:    20,
+				Stripes:      stripes,
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			s.Points[th] = res.MopsPerS
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,187 @@
+// Package bench is the experiment harness: it reconstructs every figure
+// and table of the paper's evaluation (section 5) as parameter sweeps over
+// simulated platforms, policy variants, thread counts, and workload mixes,
+// and renders the same series the paper plots.
+//
+// EXPERIMENTS.md records, per figure, the paper's qualitative claims and
+// what this harness measures; DESIGN.md maps each experiment to the
+// modules that implement it.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kyoto"
+	"repro/internal/platform"
+)
+
+// Variant is one curve in a figure: a policy configuration (or a non-ALE
+// baseline) applied to every ALE lock in the benchmark.
+type Variant struct {
+	// Name follows the paper's legend convention (section 5):
+	// Uninstrumented, Instrumented, Static-HL-k, Static-SL-k,
+	// Static-All-X:Y, Adaptive-HL, Adaptive-SL, Adaptive-All,
+	// trylockspin.
+	Name string
+
+	// Policy builds a fresh policy instance per lock. nil marks a non-ALE
+	// baseline (Uninstrumented for the HashMap, trylockspin for Kyoto).
+	Policy func() core.Policy
+
+	// AllowHTM / AllowSWOpt are the per-lock mode master switches (the
+	// HL / SL / All suffix).
+	AllowHTM   bool
+	AllowSWOpt bool
+}
+
+// NeedsALE reports whether the variant runs through the ALE engine.
+func (v Variant) NeedsALE() bool { return v.Policy != nil }
+
+// adaptiveCfg returns the adaptive configuration the sweeps use. Phase
+// lengths are sized so learning settles within the first fraction of a
+// sweep run yet exercises every stage.
+func adaptiveCfg() core.AdaptiveConfig {
+	return core.AdaptiveConfig{PhaseExecs: 500, InitialX: 20, XSlack: 2, BigY: 500}
+}
+
+// HashMapVariants returns the HashMap microbenchmark's curve set in the
+// paper's legend order.
+func HashMapVariants() []Variant {
+	return []Variant{
+		{Name: "Uninstrumented"},
+		{Name: "Instrumented", Policy: func() core.Policy { return core.NewLockOnly() }},
+		{Name: "Static-HL-1", Policy: func() core.Policy { return core.NewStatic(1, 0) }, AllowHTM: true},
+		{Name: "Static-HL-10", Policy: func() core.Policy { return core.NewStatic(10, 0) }, AllowHTM: true},
+		{Name: "Static-SL-10", Policy: func() core.Policy { return core.NewStatic(0, 10) }, AllowSWOpt: true},
+		{Name: "Static-All-10:10", Policy: func() core.Policy { return core.NewStatic(10, 10) }, AllowHTM: true, AllowSWOpt: true},
+		{Name: "Adaptive-HL", Policy: func() core.Policy { return core.NewAdaptiveCfg(adaptiveCfg()) }, AllowHTM: true},
+		{Name: "Adaptive-SL", Policy: func() core.Policy { return core.NewAdaptiveCfg(adaptiveCfg()) }, AllowSWOpt: true},
+		{Name: "Adaptive-All", Policy: func() core.Policy { return core.NewAdaptiveCfg(adaptiveCfg()) }, AllowHTM: true, AllowSWOpt: true},
+	}
+}
+
+// KyotoVariants returns the wicked benchmark's curve set (paper Figure 5's
+// legend, including the hand-tuned trylockspin comparator).
+func KyotoVariants() []Variant {
+	return []Variant{
+		{Name: "Instrumented", Policy: func() core.Policy { return core.NewLockOnly() }},
+		{Name: "trylockspin"},
+		{Name: "Static-HL-10", Policy: func() core.Policy { return core.NewStatic(10, 0) }, AllowHTM: true},
+		{Name: "Static-SL-10", Policy: func() core.Policy { return core.NewStatic(0, 10) }, AllowSWOpt: true},
+		{Name: "Static-All-10:10", Policy: func() core.Policy { return core.NewStatic(10, 10) }, AllowHTM: true, AllowSWOpt: true},
+		{Name: "Adaptive-SL", Policy: func() core.Policy { return core.NewAdaptiveCfg(adaptiveCfg()) }, AllowSWOpt: true},
+		{Name: "Adaptive-All", Policy: func() core.Policy { return core.NewAdaptiveCfg(adaptiveCfg()) }, AllowHTM: true, AllowSWOpt: true},
+	}
+}
+
+// kyotoFactory adapts a Variant to the Kyoto DB's per-lock policy factory,
+// applying the mode switches through the policy eligibility (the lock
+// switches themselves are set by the runner on the read lock; slot locks
+// have no SWOpt paths so only the HTM switch matters there).
+func kyotoFactory(v Variant) kyoto.PolicyFactory {
+	return func(string) core.Policy { return v.Policy() }
+}
+
+// Result is one measured point.
+type Result struct {
+	Ops      uint64
+	Elapsed  time.Duration
+	HitRate  float64 // fraction of lookups that hit (where tracked)
+	MopsPerS float64
+}
+
+func finish(ops uint64, hits, lookups uint64, elapsed time.Duration) Result {
+	r := Result{Ops: ops, Elapsed: elapsed}
+	if elapsed > 0 {
+		r.MopsPerS = float64(ops) / elapsed.Seconds() / 1e6
+	}
+	if lookups > 0 {
+		r.HitRate = float64(hits) / float64(lookups)
+	}
+	return r
+}
+
+// Series is one curve: throughput per thread count.
+type Series struct {
+	Label  string
+	Points map[int]float64 // threads -> Mops/s
+}
+
+// Figure is a rendered experiment: a set of series over shared x values.
+type Figure struct {
+	Title   string
+	Descr   string
+	Threads []int
+	Series  []Series
+}
+
+// Print renders the figure as an aligned table, one row per thread count,
+// one column per variant — the textual equivalent of the paper's plots.
+func (f Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", f.Title)
+	if f.Descr != "" {
+		fmt.Fprintf(w, "%s\n", f.Descr)
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+	header := []string{"threads"}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t")+"\t")
+	for _, th := range f.Threads {
+		row := []string{fmt.Sprintf("%d", th)}
+		for _, s := range f.Series {
+			if v, ok := s.Points[th]; ok {
+				row = append(row, fmt.Sprintf("%.3f", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t")+"\t")
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "(throughput, Mops/s; higher is better)")
+}
+
+// ClampThreads drops sweep points above the host's usable parallelism cap
+// when cap > 0. The simulated T2 sweeps to 64 threads; on small hosts the
+// extra points measure Go scheduler oversubscription rather than the
+// algorithms, so the harness trims by default and offers -allthreads.
+func ClampThreads(threads []int, cap int) []int {
+	if cap <= 0 {
+		return threads
+	}
+	out := threads[:0:0]
+	for _, t := range threads {
+		if t <= cap {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// PlatformByFigure maps the reconstructed figure numbers to platforms
+// (DESIGN.md section 4): Fig 2 = Haswell, Fig 3 = Rock, Fig 4 = T2 (no
+// HTM), Fig 5 = Kyoto wicked (run on Haswell and T2 in the paper; we use
+// Haswell as the primary and T2 via -platform).
+func PlatformByFigure(fig int) (platform.Platform, error) {
+	switch fig {
+	case 2:
+		return platform.Haswell(), nil
+	case 3:
+		return platform.Rock(), nil
+	case 4:
+		return platform.T2(), nil
+	case 5:
+		return platform.Haswell(), nil
+	}
+	return platform.Platform{}, fmt.Errorf("bench: no platform mapping for figure %d", fig)
+}

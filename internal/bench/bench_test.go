@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kyoto"
+	"repro/internal/platform"
+)
+
+func TestRunHashMapAllVariants(t *testing.T) {
+	for _, plat := range platform.All() {
+		for _, v := range HashMapVariants() {
+			res, rt, err := RunHashMap(HashMapParams{
+				Platform:     plat,
+				Variant:      v,
+				Threads:      2,
+				OpsPerThread: 2000,
+				KeyRange:     512,
+				MutatePct:    20,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", plat.Profile.Name, v.Name, err)
+			}
+			if res.Ops != 4000 || res.MopsPerS <= 0 {
+				t.Errorf("%s/%s: result = %+v", plat.Profile.Name, v.Name, res)
+			}
+			if v.NeedsALE() && rt == nil {
+				t.Errorf("%s/%s: ALE variant returned nil runtime", plat.Profile.Name, v.Name)
+			}
+			if !v.NeedsALE() && rt != nil {
+				t.Errorf("%s/%s: baseline returned a runtime", plat.Profile.Name, v.Name)
+			}
+		}
+	}
+}
+
+func TestRunHashMapHitRate(t *testing.T) {
+	res, _, err := RunHashMap(HashMapParams{
+		Platform:     platform.Haswell(),
+		Variant:      HashMapVariants()[1], // Instrumented
+		Threads:      1,
+		OpsPerThread: 20000,
+		KeyRange:     1024,
+		MutatePct:    0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the key range is prepopulated; read-only lookups hit ~50%.
+	if res.HitRate < 0.4 || res.HitRate > 0.6 {
+		t.Errorf("hit rate = %.2f, want ~0.5", res.HitRate)
+	}
+}
+
+func TestRunKyotoAllVariants(t *testing.T) {
+	w := kyoto.DefaultWicked()
+	w.KeyRange = 512
+	for _, v := range KyotoVariants() {
+		res, _, err := RunKyoto(KyotoParams{
+			Platform:     platform.Haswell(),
+			Variant:      v,
+			Threads:      2,
+			OpsPerThread: 1500,
+			Workload:     w,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		if res.Ops != 3000 || res.MopsPerS <= 0 {
+			t.Errorf("%s: result = %+v", v.Name, res)
+		}
+	}
+}
+
+func TestRunKyotoNoMutateOnT2(t *testing.T) {
+	w := kyoto.NoMutateWicked()
+	w.KeyRange = 1024
+	res, rt, err := RunKyoto(KyotoParams{
+		Platform:     platform.T2(),
+		Variant:      KyotoVariants()[3], // Static-SL-10
+		Threads:      2,
+		OpsPerThread: 4000,
+		Workload:     w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRate < 0.35 || res.HitRate > 0.65 {
+		t.Errorf("nomutate hit rate = %.2f, want ~0.5 (paper's 42%% miss regime)", res.HitRate)
+	}
+	if rt == nil {
+		t.Fatal("nil runtime")
+	}
+}
+
+func TestFigurePrint(t *testing.T) {
+	fig := Figure{
+		Title:   "demo",
+		Threads: []int{1, 2},
+		Series: []Series{
+			{Label: "A", Points: map[int]float64{1: 1.5, 2: 2.5}},
+			{Label: "B", Points: map[int]float64{1: 0.5}},
+		},
+	}
+	var b strings.Builder
+	fig.Print(&b)
+	out := b.String()
+	for _, want := range []string{"demo", "A", "B", "1.500", "2.500", "0.500", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClampThreads(t *testing.T) {
+	in := []int{1, 2, 4, 8, 16}
+	if got := ClampThreads(in, 4); len(got) != 3 || got[2] != 4 {
+		t.Errorf("ClampThreads(4) = %v", got)
+	}
+	if got := ClampThreads(in, 0); len(got) != 5 {
+		t.Errorf("ClampThreads(0) = %v", got)
+	}
+	if got := ClampThreads([]int{8, 16}, 2); len(got) != 1 || got[0] != 1 {
+		t.Errorf("ClampThreads all-above = %v", got)
+	}
+}
+
+func TestPlatformByFigure(t *testing.T) {
+	for fig, want := range map[int]string{2: "Haswell", 3: "Rock", 4: "T2-2", 5: "Haswell"} {
+		p, err := PlatformByFigure(fig)
+		if err != nil || p.Profile.Name != want {
+			t.Errorf("figure %d -> (%s, %v), want %s", fig, p.Profile.Name, err, want)
+		}
+	}
+	if _, err := PlatformByFigure(9); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep in -short mode")
+	}
+	for _, a := range Ablations() {
+		fig, err := RunAblation(a, []int{2}, 1500, 512)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if len(fig.Series) != 2 {
+			t.Errorf("%s: %d series, want 2", a.Name, len(fig.Series))
+		}
+	}
+}
+
+func TestMarkerStripingFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("striping sweep in -short mode")
+	}
+	fig, err := MarkerStripingFigure([]int{2}, 1500, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Errorf("series = %d, want 3", len(fig.Series))
+	}
+}

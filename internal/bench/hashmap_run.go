@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashmap"
+	"repro/internal/platform"
+	"repro/internal/tm"
+	"repro/internal/xrand"
+)
+
+// HashMapParams describes one HashMap microbenchmark run (one point of
+// Figures 2-4).
+type HashMapParams struct {
+	Platform     platform.Platform
+	Variant      Variant
+	Threads      int
+	OpsPerThread int
+	// KeyRange is the key universe; the map is prepopulated with half of
+	// it, so lookups hit ~50%.
+	KeyRange uint64
+	// MutatePct is the percentage of operations that mutate (split evenly
+	// between Insert and Remove); the rest are Gets. 0 is the paper's
+	// read-only/nomutate regime.
+	MutatePct int
+	// Stripes overrides the conflict-marker striping (0 = the paper's
+	// single tblVer).
+	Stripes int
+	// Opts overrides the runtime options (nil = DefaultOptions) for the
+	// mechanism ablations.
+	Opts *core.Options
+}
+
+// RunHashMap executes one configuration and returns its measured point.
+// The returned runtime (nil for the Uninstrumented baseline) lets callers
+// print the ALE statistics report afterwards.
+func RunHashMap(p HashMapParams) (Result, *core.Runtime, error) {
+	if p.Threads < 1 || p.OpsPerThread < 1 || p.KeyRange < 2 {
+		return Result{}, nil, fmt.Errorf("bench: bad params %+v", p)
+	}
+	opts := core.DefaultOptions()
+	if p.Opts != nil {
+		opts = *p.Opts
+	}
+	rt := core.NewRuntimeOpts(tm.NewDomain(p.Platform.Profile), opts)
+	stripes := p.Stripes
+	if stripes < 1 {
+		stripes = 1
+	}
+	capacity := int(p.KeyRange)*2 + 4096
+	var pol core.Policy
+	if p.Variant.NeedsALE() {
+		pol = p.Variant.Policy()
+	} else {
+		pol = core.NewLockOnly() // lock object reused as the raw lock below
+	}
+	m := hashmap.New(rt, "tbl", hashmap.Config{
+		Buckets:       int(p.KeyRange) / 4,
+		Capacity:      capacity,
+		MarkerStripes: stripes,
+	}, pol)
+	if p.Variant.NeedsALE() {
+		m.Lock().SetModes(p.Variant.AllowHTM, p.Variant.AllowSWOpt)
+	}
+
+	// Prepopulate even keys so ~50% of uniform lookups hit.
+	seed := m.NewHandle()
+	for k := uint64(2); k <= p.KeyRange; k += 2 {
+		if _, err := seed.Insert(k, k*1000); err != nil {
+			return Result{}, nil, err
+		}
+	}
+
+	var (
+		wg      sync.WaitGroup
+		hits    atomic.Uint64
+		lookups atomic.Uint64
+		fail    atomic.Pointer[error]
+	)
+	start := time.Now()
+	for t := 0; t < p.Threads; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := m.NewHandle()
+			rng := xrand.New(uint64(id)*7919 + 13)
+			var localHits, localLookups uint64
+			raw := m.Lock().Ops() // for the Uninstrumented baseline
+			for i := 0; i < p.OpsPerThread; i++ {
+				key := rng.Uint64n(p.KeyRange) + 1
+				r := rng.Intn(100)
+				var err error
+				switch {
+				case r < p.MutatePct/2: // Insert
+					if p.Variant.NeedsALE() {
+						_, err = h.Insert(key, key*1000)
+					} else {
+						raw.Acquire()
+						_, err = h.InsertDirect(key, key*1000)
+						raw.Release()
+					}
+				case r < p.MutatePct: // Remove
+					if p.Variant.NeedsALE() {
+						_, err = h.Remove(key)
+					} else {
+						raw.Acquire()
+						h.RemoveDirect(key)
+						raw.Release()
+					}
+				default: // Get
+					localLookups++
+					var ok bool
+					if p.Variant.NeedsALE() {
+						_, ok, err = h.Get(key)
+					} else {
+						raw.Acquire()
+						_, ok = h.GetDirect(key)
+						raw.Release()
+					}
+					if ok {
+						localHits++
+					}
+				}
+				if err != nil {
+					fail.Store(&err)
+					return
+				}
+			}
+			hits.Add(localHits)
+			lookups.Add(localLookups)
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if ep := fail.Load(); ep != nil {
+		return Result{}, nil, *ep
+	}
+	res := finish(uint64(p.Threads)*uint64(p.OpsPerThread), hits.Load(), lookups.Load(), elapsed)
+	if !p.Variant.NeedsALE() {
+		return res, nil, nil
+	}
+	return res, rt, nil
+}
+
+// HashMapFigure sweeps thread counts x variants on one platform for one
+// mutation mix — one of the paper's HashMap plots.
+func HashMapFigure(title string, plat platform.Platform, threads []int,
+	opsPerThread int, keyRange uint64, mutatePct int) (Figure, error) {
+	fig := Figure{
+		Title: title,
+		Descr: fmt.Sprintf("platform=%s  keyRange=%d  mutate=%d%%  ops/thread=%d",
+			plat.Profile.String(), keyRange, mutatePct, opsPerThread),
+		Threads: threads,
+	}
+	for _, v := range HashMapVariants() {
+		s := Series{Label: v.Name, Points: map[int]float64{}}
+		for _, th := range threads {
+			res, _, err := RunHashMap(HashMapParams{
+				Platform:     plat,
+				Variant:      v,
+				Threads:      th,
+				OpsPerThread: opsPerThread,
+				KeyRange:     keyRange,
+				MutatePct:    mutatePct,
+			})
+			if err != nil {
+				return Figure{}, fmt.Errorf("%s/%s/%d threads: %w", title, v.Name, th, err)
+			}
+			s.Points[th] = res.MopsPerS
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

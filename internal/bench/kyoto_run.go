@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kyoto"
+	"repro/internal/platform"
+	"repro/internal/tm"
+	"repro/internal/xrand"
+)
+
+// KyotoParams describes one wicked-benchmark run (one point of Figure 5).
+type KyotoParams struct {
+	Platform     platform.Platform
+	Variant      Variant
+	Threads      int
+	OpsPerThread int
+	Workload     kyoto.Wicked
+	// InternalHTMOnly reproduces the paper's final section 5
+	// configuration: both HTM and SWOpt for the external critical
+	// section, only HTM for the internal ones. (The internal sections
+	// have no SWOpt paths anyway; this switch exists to make the
+	// configuration explicit and to allow disabling internal HTM.)
+	InternalHTMOnly bool
+	Opts            *core.Options
+}
+
+// RunKyoto executes one wicked configuration.
+func RunKyoto(p KyotoParams) (Result, *core.Runtime, error) {
+	if p.Threads < 1 || p.OpsPerThread < 1 {
+		return Result{}, nil, fmt.Errorf("bench: bad params %+v", p)
+	}
+	opts := core.DefaultOptions()
+	if p.Opts != nil {
+		opts = *p.Opts
+	}
+	rt := core.NewRuntimeOpts(tm.NewDomain(p.Platform.Profile), opts)
+	var pf kyoto.PolicyFactory
+	if p.Variant.NeedsALE() {
+		pf = kyotoFactory(p.Variant)
+	} else {
+		pf = kyoto.LockOnlyFactory() // locks reused raw by trylockspin
+	}
+	db := kyoto.New(rt, "db", kyoto.Config{
+		Slots:        16,
+		SlotBuckets:  int(p.Workload.KeyRange)/32 + 16,
+		SlotCapacity: int(p.Workload.KeyRange) + 4096,
+	}, pf)
+	if p.Variant.NeedsALE() {
+		db.ReadLock().SetModes(p.Variant.AllowHTM, p.Variant.AllowSWOpt)
+	}
+
+	seed := db.NewHandle()
+	if err := p.Workload.Prepopulate(seed); err != nil {
+		return Result{}, nil, err
+	}
+
+	var (
+		wg      sync.WaitGroup
+		hits    atomic.Uint64
+		lookups atomic.Uint64
+		fail    atomic.Pointer[error]
+	)
+	start := time.Now()
+	for t := 0; t < p.Threads; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := db.NewHandle()
+			rng := xrand.New(uint64(id)*104729 + 17)
+			var localHits, localOps uint64
+			for i := 0; i < p.OpsPerThread; i++ {
+				if p.Variant.NeedsALE() {
+					hit, err := p.Workload.Step(h, rng)
+					if err != nil {
+						fail.Store(&err)
+						return
+					}
+					if hit {
+						localHits++
+					}
+				} else {
+					if p.Workload.StepTLS(h, rng) {
+						localHits++
+					}
+				}
+				localOps++
+			}
+			hits.Add(localHits)
+			lookups.Add(localOps)
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if ep := fail.Load(); ep != nil {
+		return Result{}, nil, *ep
+	}
+	res := finish(uint64(p.Threads)*uint64(p.OpsPerThread), hits.Load(), lookups.Load(), elapsed)
+	if !p.Variant.NeedsALE() {
+		return res, nil, nil
+	}
+	return res, rt, nil
+}
+
+// KyotoFigure sweeps thread counts x variants — the paper's Figure 5.
+func KyotoFigure(title string, plat platform.Platform, threads []int,
+	opsPerThread int, w kyoto.Wicked) (Figure, error) {
+	fig := Figure{
+		Title: title,
+		Descr: fmt.Sprintf("platform=%s  wicked keyRange=%d nomutate=%v  ops/thread=%d",
+			plat.Profile.String(), w.KeyRange, w.NoMutate, opsPerThread),
+		Threads: threads,
+	}
+	for _, v := range KyotoVariants() {
+		s := Series{Label: v.Name, Points: map[int]float64{}}
+		for _, th := range threads {
+			res, _, err := RunKyoto(KyotoParams{
+				Platform:     plat,
+				Variant:      v,
+				Threads:      th,
+				OpsPerThread: opsPerThread,
+				Workload:     w,
+			})
+			if err != nil {
+				return Figure{}, fmt.Errorf("%s/%s/%d threads: %w", title, v.Name, th, err)
+			}
+			s.Points[th] = res.MopsPerS
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

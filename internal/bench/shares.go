@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kyoto"
+	"repro/internal/platform"
+)
+
+// ModeShares aggregates, across every granule of every lock in rt, the
+// fraction of successful critical-section executions that completed in
+// each mode. The "elision rate" (HTM + SWOpt shares) is the
+// mechanism-level quantity behind the paper's throughput curves: a
+// critical section that completes without the lock is one that cannot
+// convoy other threads. Unlike wall-clock throughput it is robust to the
+// host's core count and to the simulated HTM's constant overhead, so the
+// reproduction reports it alongside raw throughput (EXPERIMENTS.md
+// explains how to read the two together).
+func ModeShares(rt *core.Runtime) (htm, swopt, lock float64) {
+	var h, s, l uint64
+	for _, lk := range rt.Locks() {
+		for _, g := range lk.Granules() {
+			h += g.Successes(core.ModeHTM)
+			s += g.Successes(core.ModeSWOpt)
+			l += g.Successes(core.ModeLock)
+		}
+	}
+	total := h + s + l
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return float64(h) / float64(total), float64(s) / float64(total), float64(l) / float64(total)
+}
+
+// ElisionRate is the fraction of executions that avoided the lock.
+func ElisionRate(rt *core.Runtime) float64 {
+	h, s, _ := ModeShares(rt)
+	return h + s
+}
+
+// HashMapElisionFigure sweeps the same grid as HashMapFigure but reports
+// the elision rate (%) instead of throughput. Baselines without ALE have
+// no elision by construction and are omitted.
+func HashMapElisionFigure(title string, plat platform.Platform, threads []int,
+	opsPerThread int, keyRange uint64, mutatePct int) (Figure, error) {
+	fig := Figure{
+		Title: title,
+		Descr: fmt.Sprintf("elision rate, %% of executions completing without the lock; "+
+			"platform=%s keyRange=%d mutate=%d%%", plat.Profile.String(), keyRange, mutatePct),
+		Threads: threads,
+	}
+	for _, v := range HashMapVariants() {
+		if !v.NeedsALE() || (!v.AllowHTM && !v.AllowSWOpt) {
+			continue
+		}
+		s := Series{Label: v.Name, Points: map[int]float64{}}
+		for _, th := range threads {
+			_, rt, err := RunHashMap(HashMapParams{
+				Platform:     plat,
+				Variant:      v,
+				Threads:      th,
+				OpsPerThread: opsPerThread,
+				KeyRange:     keyRange,
+				MutatePct:    mutatePct,
+			})
+			if err != nil {
+				return Figure{}, fmt.Errorf("%s/%s/%d threads: %w", title, v.Name, th, err)
+			}
+			s.Points[th] = ElisionRate(rt) * 100
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// KyotoElisionFigure is the Figure 5 analogue of HashMapElisionFigure.
+func KyotoElisionFigure(title string, plat platform.Platform, threads []int,
+	opsPerThread int, w kyoto.Wicked) (Figure, error) {
+	fig := Figure{
+		Title: title,
+		Descr: fmt.Sprintf("elision rate, %% of executions completing without a lock; "+
+			"platform=%s wicked keyRange=%d nomutate=%v", plat.Profile.String(), w.KeyRange, w.NoMutate),
+		Threads: threads,
+	}
+	for _, v := range KyotoVariants() {
+		if !v.NeedsALE() || (!v.AllowHTM && !v.AllowSWOpt) {
+			continue
+		}
+		s := Series{Label: v.Name, Points: map[int]float64{}}
+		for _, th := range threads {
+			_, rt, err := RunKyoto(KyotoParams{
+				Platform:     plat,
+				Variant:      v,
+				Threads:      th,
+				OpsPerThread: opsPerThread,
+				Workload:     w,
+			})
+			if err != nil {
+				return Figure{}, fmt.Errorf("%s/%s/%d threads: %w", title, v.Name, th, err)
+			}
+			s.Points[th] = ElisionRate(rt) * 100
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestModeSharesAndElisionRate(t *testing.T) {
+	// SWOpt-only on T2, read-only: elision rate should be near 1.
+	v := HashMapVariants()[4] // Static-SL-10
+	_, rt, err := RunHashMap(HashMapParams{
+		Platform:     platform.T2(),
+		Variant:      v,
+		Threads:      2,
+		OpsPerThread: 5000,
+		KeyRange:     512,
+		MutatePct:    0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, s, l := ModeShares(rt)
+	if h != 0 {
+		t.Errorf("HTM share = %.3f on a no-HTM platform", h)
+	}
+	if s < 0.9 {
+		t.Errorf("SWOpt share = %.3f for read-only SWOpt workload, want > 0.9", s)
+	}
+	if got := ElisionRate(rt); got != h+s {
+		t.Errorf("ElisionRate = %.3f, want %.3f", got, h+s)
+	}
+	if h+s+l < 0.999 || h+s+l > 1.001 {
+		t.Errorf("shares sum to %.3f", h+s+l)
+	}
+
+	// Instrumented: everything through the lock.
+	_, rt, err = RunHashMap(HashMapParams{
+		Platform:     platform.Haswell(),
+		Variant:      HashMapVariants()[1],
+		Threads:      1,
+		OpsPerThread: 2000,
+		KeyRange:     512,
+		MutatePct:    20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ElisionRate(rt); got != 0 {
+		t.Errorf("Instrumented elision rate = %.3f, want 0", got)
+	}
+}
+
+func TestElisionFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	fig, err := HashMapElisionFigure("e", platform.Haswell(), []int{2}, 1500, 512, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) == 0 {
+		t.Fatal("no series")
+	}
+	for _, s := range fig.Series {
+		if s.Label == "Uninstrumented" || s.Label == "Instrumented" {
+			t.Errorf("baseline %s in elision figure", s.Label)
+		}
+		for th, v := range s.Points {
+			if v < 0 || v > 100 {
+				t.Errorf("%s@%d: elision %% = %v", s.Label, th, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,579 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// progression is a mode progression the adaptive policy can learn about
+// (paper section 4.2: "Each lock goes through one learning phase for each
+// mode progression (Lock, SWOpt+Lock, HTM+Lock, HTM+SWOpt+Lock)").
+type progression uint8
+
+const (
+	progLock progression = iota
+	progSL               // SWOpt+Lock
+	progHL               // HTM+Lock
+	progAll              // HTM+SWOpt+Lock
+	numProgs
+)
+
+func (p progression) hasHTM() bool   { return p == progHL || p == progAll }
+func (p progression) hasSWOpt() bool { return p == progSL || p == progAll }
+
+func (p progression) String() string {
+	switch p {
+	case progLock:
+		return "Lock"
+	case progSL:
+		return "SWOpt+Lock"
+	case progHL:
+		return "HTM+Lock"
+	case progAll:
+		return "HTM+SWOpt+Lock"
+	}
+	return fmt.Sprintf("prog(%d)", uint8(p))
+}
+
+// Sub-phase kinds within a learning phase for progressions that include
+// HTM (paper: "phases for combinations that include HTM mode comprise
+// three sub-phases").
+type stageKind uint8
+
+const (
+	// stageDiscover starts X large and records the maximum number of
+	// attempts actually needed for HTM success (first sub-phase).
+	stageDiscover stageKind = iota
+	// stageHistogram runs with the discovered cap and builds the
+	// attempts-to-success histogram plus timing statistics (second
+	// sub-phase), from which the X minimizing estimated cost is chosen.
+	stageHistogram
+	// stageMeasure measures achieved performance with the chosen
+	// parameters (third sub-phase; the only phase for HTM-less
+	// progressions).
+	stageMeasure
+	// stageCustom runs every granule with its own best progression and
+	// checks the mixture against the best uniform progression.
+	stageCustom
+	// stageSettled applies the final choice forever after.
+	stageSettled
+)
+
+// stage is one entry in the policy's learning schedule.
+type stage struct {
+	prog progression
+	kind stageKind
+}
+
+func (s stage) String() string {
+	switch s.kind {
+	case stageDiscover:
+		return s.prog.String() + "/discover"
+	case stageHistogram:
+		return s.prog.String() + "/histogram"
+	case stageMeasure:
+		return s.prog.String() + "/measure"
+	case stageCustom:
+		return "custom"
+	default:
+		return "settled"
+	}
+}
+
+// AdaptiveConfig tunes the adaptive policy's learning mechanism.
+type AdaptiveConfig struct {
+	// PhaseExecs is the number of executions some granule of the lock
+	// must complete to end the current phase (paper: "Phase transitions
+	// for lock L occur when some context of L completes a certain number
+	// of executions" — not all contexts, as some may be infrequent).
+	PhaseExecs int
+	// InitialX is the large X used in the discovery sub-phase.
+	InitialX int
+	// XSlack is the small constant added to the observed maximum number
+	// of attempts when capping X after discovery.
+	XSlack int
+	// BigY is the SWOpt budget. The policy always sets Y large: grouping
+	// normally lets SWOpt succeed in far fewer attempts, and the large
+	// bound only exists so rare livelocks cannot persist (section 4.2).
+	BigY int
+}
+
+// DefaultAdaptiveConfig returns the configuration used by the paper-shaped
+// experiments.
+func DefaultAdaptiveConfig() AdaptiveConfig {
+	return AdaptiveConfig{
+		PhaseExecs: 1000,
+		InitialX:   40,
+		XSlack:     2,
+		BigY:       1000,
+	}
+}
+
+// AdaptivePolicy is the paper's adaptive policy (section 4.2): it walks
+// each lock through learning phases — one per available mode progression,
+// with three sub-phases for HTM-bearing progressions — learns per-granule
+// X parameters from an attempts-to-success histogram and a linear
+// interpolation cost model, then validates per-granule choices in a custom
+// phase before settling.
+//
+// One AdaptivePolicy instance serves one Lock.
+type AdaptivePolicy struct {
+	cfg AdaptiveConfig
+
+	buildOnce sync.Once
+	stages    []stage
+	// stage indexes for cross-referencing during transitions.
+	discoverIdx [numProgs]int
+	histIdx     [numProgs]int
+	measureIdx  [numProgs]int
+	customIdx   int
+
+	cur atomic.Int32 // current stage index
+
+	mu sync.Mutex // serializes stage transitions
+
+	// lockTime aggregates execution time per stage across all granules,
+	// for the lock-level custom-vs-uniform comparison.
+	lockTime []stats.TimeStat
+
+	// Final lock-level decision (valid once settled).
+	useCustom   atomic.Bool
+	uniformProg atomic.Int32
+}
+
+// NewAdaptive creates an adaptive policy with default configuration.
+func NewAdaptive() *AdaptivePolicy { return NewAdaptiveCfg(DefaultAdaptiveConfig()) }
+
+// NewAdaptiveCfg creates an adaptive policy with explicit configuration.
+func NewAdaptiveCfg(cfg AdaptiveConfig) *AdaptivePolicy {
+	if cfg.PhaseExecs < 1 {
+		cfg.PhaseExecs = 1
+	}
+	if cfg.InitialX < 1 {
+		cfg.InitialX = 1
+	}
+	if cfg.BigY < 1 {
+		cfg.BigY = 1
+	}
+	return &AdaptivePolicy{cfg: cfg}
+}
+
+// Name identifies the policy in reports.
+func (p *AdaptivePolicy) Name() string { return "Adaptive" }
+
+// StageName returns the current learning stage (diagnostics/reports).
+func (p *AdaptivePolicy) StageName() string {
+	if p.stages == nil {
+		return "unstarted"
+	}
+	return p.stages[p.cur.Load()].String()
+}
+
+// Settled reports whether learning has finished for this lock.
+func (p *AdaptivePolicy) Settled() bool {
+	return p.stages != nil && p.stages[p.cur.Load()].kind == stageSettled
+}
+
+// FinalChoice describes the settled decision (diagnostics/reports).
+func (p *AdaptivePolicy) FinalChoice() string {
+	if !p.Settled() {
+		return "learning:" + p.StageName()
+	}
+	if p.useCustom.Load() {
+		return "custom (per-granule progressions)"
+	}
+	return "uniform " + progression(p.uniformProg.Load()).String()
+}
+
+// build constructs the learning schedule once eligibility is known. HTM
+// progressions are scheduled only on HTM-capable platforms; the SWOpt
+// progressions are always scheduled (granules without SWOpt paths simply
+// fall through to Lock during them, which measures the right thing).
+func (p *AdaptivePolicy) build(g *Granule) {
+	htm := g.lock.rt.HTMAvailable()
+	add := func(pr progression) {
+		if pr.hasHTM() {
+			p.discoverIdx[pr] = len(p.stages)
+			p.stages = append(p.stages, stage{pr, stageDiscover})
+			p.histIdx[pr] = len(p.stages)
+			p.stages = append(p.stages, stage{pr, stageHistogram})
+		} else {
+			p.discoverIdx[pr], p.histIdx[pr] = -1, -1
+		}
+		p.measureIdx[pr] = len(p.stages)
+		p.stages = append(p.stages, stage{pr, stageMeasure})
+	}
+	add(progLock)
+	add(progSL)
+	if htm {
+		add(progHL)
+		add(progAll)
+	} else {
+		p.discoverIdx[progHL], p.histIdx[progHL], p.measureIdx[progHL] = -1, -1, -1
+		p.discoverIdx[progAll], p.histIdx[progAll], p.measureIdx[progAll] = -1, -1, -1
+	}
+	p.customIdx = len(p.stages)
+	p.stages = append(p.stages, stage{progLock, stageCustom})
+	p.stages = append(p.stages, stage{progLock, stageSettled})
+	p.lockTime = make([]stats.TimeStat, len(p.stages))
+}
+
+// granLearn is the per-granule learning state, hung off Granule.policyData.
+type granLearn struct {
+	stageExecs []atomic.Int64
+	// timeByStage aggregates sampled execution time per stage;
+	// modeTime splits it by final mode (needed by the cost model).
+	timeByStage []stats.TimeStat
+	modeTime    []modeTimes
+	// maxAtt records, per stage, the maximum HTM attempts a successful
+	// execution needed (discovery sub-phase).
+	maxAtt []atomic.Int64
+	// hist records attempts-to-success per histogram stage; bucket 0
+	// counts executions that never succeeded in HTM.
+	hist []*stats.Histogram
+
+	xByProg  [numProgs]atomic.Int32
+	bestProg atomic.Int32
+}
+
+type modeTimes [NumModes]stats.TimeStat
+
+func (p *AdaptivePolicy) granData(g *Granule) *granLearn {
+	g.policyOnce.Do(func() {
+		gl := &granLearn{
+			stageExecs:  make([]atomic.Int64, len(p.stages)),
+			timeByStage: make([]stats.TimeStat, len(p.stages)),
+			modeTime:    make([]modeTimes, len(p.stages)),
+			maxAtt:      make([]atomic.Int64, len(p.stages)),
+			hist:        make([]*stats.Histogram, len(p.stages)),
+		}
+		for pr := progression(0); pr < numProgs; pr++ {
+			gl.xByProg[pr].Store(int32(p.cfg.InitialX))
+			if hi := p.histIdx[pr]; hi >= 0 {
+				gl.hist[hi] = stats.NewHistogram(p.cfg.InitialX + p.cfg.XSlack + 2)
+			}
+		}
+		gl.bestProg.Store(int32(progLock))
+		g.policyData = gl
+	})
+	return g.policyData.(*granLearn)
+}
+
+// Relearn restarts the learning schedule from the first phase, clearing
+// the per-stage aggregates. The paper lists adapting to workloads that
+// change over time as future work; this is the minimal hook for it — a
+// program (or a supervising policy) that detects a phase change calls
+// Relearn and the lock walks the phases again under the new workload.
+// Per-granule stage statistics are cleared; the lock's lifetime counters
+// in each Granule are not (they are cumulative by design).
+func (p *AdaptivePolicy) Relearn(l *Lock) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stages == nil {
+		return // never ran; nothing to reset
+	}
+	for _, g := range l.Granules() {
+		if g.policyData == nil {
+			continue
+		}
+		gl := g.policyData.(*granLearn)
+		for i := range gl.stageExecs {
+			gl.stageExecs[i].Store(0)
+			gl.timeByStage[i].Reset()
+			for m := range gl.modeTime[i] {
+				gl.modeTime[i][m].Reset()
+			}
+			gl.maxAtt[i].Store(0)
+			if gl.hist[i] != nil {
+				gl.hist[i].Reset()
+			}
+		}
+		for pr := progression(0); pr < numProgs; pr++ {
+			gl.xByProg[pr].Store(int32(p.cfg.InitialX))
+		}
+		gl.bestProg.Store(int32(progLock))
+	}
+	for i := range p.lockTime {
+		p.lockTime[i].Reset()
+	}
+	p.useCustom.Store(false)
+	p.uniformProg.Store(int32(progLock))
+	p.cur.Store(0)
+}
+
+// Plan implements Policy.
+func (p *AdaptivePolicy) Plan(g *Granule, eligHTM, eligSWOpt bool) Plan {
+	p.buildOnce.Do(func() { p.build(g) })
+	gl := p.granData(g)
+	st := p.stages[p.cur.Load()]
+
+	var pr progression
+	switch st.kind {
+	case stageCustom, stageSettled:
+		if st.kind == stageSettled && !p.useCustom.Load() {
+			pr = progression(p.uniformProg.Load())
+		} else {
+			pr = progression(gl.bestProg.Load())
+		}
+	default:
+		pr = st.prog
+	}
+
+	plan := Plan{
+		UseHTM:   pr.hasHTM() && eligHTM,
+		UseSWOpt: pr.hasSWOpt() && eligSWOpt,
+		Y:        p.cfg.BigY,
+	}
+	if plan.UseHTM {
+		if st.kind == stageDiscover {
+			plan.X = p.cfg.InitialX
+		} else {
+			plan.X = int(gl.xByProg[pr].Load())
+		}
+		if plan.X <= 0 {
+			plan.UseHTM = false // learned: HTM cannot commit this granule
+		}
+	}
+	return plan
+}
+
+// Done implements Policy: record the execution into the current stage's
+// statistics and trigger a phase transition when the threshold is hit.
+func (p *AdaptivePolicy) Done(g *Granule, rec *ExecRecord) {
+	if p.stages == nil {
+		return // Plan not yet called (shouldn't happen via the engine)
+	}
+	si := int(p.cur.Load())
+	st := p.stages[si]
+	if st.kind == stageSettled {
+		return
+	}
+	gl := p.granData(g)
+	if rec.Duration > 0 {
+		gl.timeByStage[si].Add(rec.Duration)
+		gl.modeTime[si][rec.FinalMode].Add(rec.Duration)
+		p.lockTime[si].Add(rec.Duration)
+	}
+	switch st.kind {
+	case stageDiscover:
+		if rec.FinalMode == ModeHTM {
+			for {
+				old := gl.maxAtt[si].Load()
+				if int64(rec.HTMAttempts) <= old || gl.maxAtt[si].CompareAndSwap(old, int64(rec.HTMAttempts)) {
+					break
+				}
+			}
+		}
+	case stageHistogram:
+		if h := gl.hist[si]; h != nil {
+			if rec.FinalMode == ModeHTM {
+				h.Record(rec.HTMAttempts) // buckets 1..cap
+			} else {
+				h.Record(0) // never succeeded in HTM
+			}
+		}
+	}
+	if gl.stageExecs[si].Add(1) >= int64(p.cfg.PhaseExecs) {
+		p.advance(si, g)
+	}
+}
+
+// advance performs the transition out of stage si, computing whatever the
+// stage was run to learn.
+func (p *AdaptivePolicy) advance(si int, g *Granule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(p.cur.Load()) != si {
+		return // someone else advanced already
+	}
+	st := p.stages[si]
+	grans := g.lock.Granules()
+	switch st.kind {
+	case stageDiscover:
+		// Cap X at the maximum attempts needed so far plus a small
+		// constant (paper, first sub-phase).
+		for _, og := range grans {
+			gl := p.granData(og)
+			maxA := int(gl.maxAtt[si].Load())
+			if maxA == 0 {
+				// No HTM success observed at all. Keep the big X for the
+				// histogram phase only if the granule barely ran;
+				// otherwise mark HTM hopeless here.
+				if gl.stageExecs[si].Load() >= int64(p.cfg.PhaseExecs)/4 {
+					gl.xByProg[st.prog].Store(0)
+					continue
+				}
+				maxA = p.cfg.InitialX - p.cfg.XSlack
+			}
+			gl.xByProg[st.prog].Store(int32(maxA + p.cfg.XSlack))
+		}
+	case stageHistogram:
+		for _, og := range grans {
+			gl := p.granData(og)
+			p.chooseX(og, gl, si, st.prog)
+		}
+	case stageMeasure:
+		if p.stages[si+1].kind == stageCustom {
+			// Leaving the last measurement phase: pick each granule's
+			// best progression by measured mean execution time.
+			for _, og := range grans {
+				gl := p.granData(og)
+				gl.bestProg.Store(int32(p.bestProgFor(gl)))
+			}
+		}
+	case stageCustom:
+		// Use the per-granule choices only if the custom mixture beat
+		// every uniform progression; otherwise pick the best uniform one
+		// for all granules (paper, end of section 4.2).
+		bestProg, bestTime := p.bestUniform()
+		customTime := p.lockTime[si].Mean()
+		p.uniformProg.Store(int32(bestProg))
+		p.useCustom.Store(customTime > 0 && (bestTime == 0 || customTime < bestTime))
+	}
+	p.cur.Store(int32(si + 1))
+}
+
+// bestProgFor returns the progression with the lowest measured mean time
+// for this granule; progressions without timing samples lose to ones with.
+func (p *AdaptivePolicy) bestProgFor(gl *granLearn) progression {
+	best := progLock
+	var bestT time.Duration
+	for pr := progression(0); pr < numProgs; pr++ {
+		mi := p.measureIdx[pr]
+		if mi < 0 {
+			continue
+		}
+		if pr.hasHTM() && gl.xByProg[pr].Load() <= 0 {
+			continue // HTM learned hopeless for this granule
+		}
+		t := gl.timeByStage[mi].Mean()
+		if t == 0 {
+			continue
+		}
+		if bestT == 0 || t < bestT {
+			best, bestT = pr, t
+		}
+	}
+	return best
+}
+
+// bestUniform returns the uniform progression with the lowest lock-level
+// measured mean time.
+func (p *AdaptivePolicy) bestUniform() (progression, time.Duration) {
+	best := progLock
+	var bestT time.Duration
+	for pr := progression(0); pr < numProgs; pr++ {
+		mi := p.measureIdx[pr]
+		if mi < 0 {
+			continue
+		}
+		t := p.lockTime[mi].Mean()
+		if t == 0 {
+			continue
+		}
+		if bestT == 0 || t < bestT {
+			best, bestT = pr, t
+		}
+	}
+	return best, bestT
+}
+
+// chooseX implements the paper's cost model: using the attempts-to-success
+// histogram and timing statistics from the histogram sub-phase, estimate
+// the expected execution time for each possible X and keep the minimum.
+// The time of an execution whose X attempts all fail is interpolated
+// linearly between a lower bound (time measured after failing the maximum
+// number of attempts) and an upper bound (time measured when HTM was not
+// attempted, i.e. in the Lock or SWOpt+Lock phase).
+func (p *AdaptivePolicy) chooseX(g *Granule, gl *granLearn, si int, pr progression) {
+	h := gl.hist[si]
+	if h == nil {
+		return
+	}
+	total := h.Total()
+	if total == 0 {
+		return // nothing learned; keep the discovery cap
+	}
+	xcap := int(gl.xByProg[pr].Load())
+	if xcap <= 0 {
+		return // already learned hopeless
+	}
+	if xcap >= h.Len() {
+		xcap = h.Len() - 1
+	}
+
+	tSucc := gl.modeTime[si][ModeHTM].Mean()
+	lower := p.fallbackMean(gl, si, pr)
+	upper := p.noHTMMean(gl, pr)
+	if tSucc == 0 {
+		tSucc = lower / 2 // no timing sample; any monotone guess works
+	}
+	if upper == 0 {
+		upper = lower
+	}
+	if lower == 0 {
+		lower = upper
+	}
+	if lower == 0 && upper == 0 {
+		return // no timing at all; keep the cap
+	}
+
+	// perAttempt approximates the cost of one failed HTM attempt so that
+	// larger X values are charged for their burned retries.
+	perAttempt := tSucc / 2
+	if perAttempt == 0 {
+		perAttempt = time.Microsecond
+	}
+
+	bestX, bestCost := xcap, time.Duration(0)
+	for x := 1; x <= xcap; x++ {
+		var succ uint64
+		for a := 1; a <= x; a++ {
+			succ += h.Bucket(a)
+		}
+		pSucc := float64(succ) / float64(total)
+		// Linear interpolation of the non-HTM completion time: x = xcap
+		// hits the measured lower bound, x = 0 would hit the upper bound.
+		fall := lower + time.Duration(float64(upper-lower)*float64(xcap-x)/float64(xcap))
+		cost := time.Duration(pSucc*float64(tSucc) +
+			(1-pSucc)*(float64(x)*float64(perAttempt)+float64(fall)))
+		if bestCost == 0 || cost < bestCost {
+			bestX, bestCost = x, cost
+		}
+	}
+	gl.xByProg[pr].Store(int32(bestX))
+}
+
+// fallbackMean is the measured mean time of executions in stage si that
+// fell through to a non-HTM mode (the cost model's lower bound).
+func (p *AdaptivePolicy) fallbackMean(gl *granLearn, si int, pr progression) time.Duration {
+	if pr.hasSWOpt() {
+		if t := gl.modeTime[si][ModeSWOpt].Mean(); t > 0 {
+			return t
+		}
+	}
+	return gl.modeTime[si][ModeLock].Mean()
+}
+
+// noHTMMean is the measured mean time of the corresponding progression
+// without HTM (the cost model's upper bound): SWOpt+Lock for
+// HTM+SWOpt+Lock, plain Lock for HTM+Lock.
+func (p *AdaptivePolicy) noHTMMean(gl *granLearn, pr progression) time.Duration {
+	var ref progression
+	if pr == progAll {
+		ref = progSL
+	} else {
+		ref = progLock
+	}
+	mi := p.measureIdx[ref]
+	if mi < 0 {
+		return 0
+	}
+	return gl.timeByStage[mi].Mean()
+}
+
+var _ Policy = (*AdaptivePolicy)(nil)

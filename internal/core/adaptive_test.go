@@ -1,0 +1,314 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/tm"
+)
+
+func fastAdaptive() *AdaptivePolicy {
+	return NewAdaptiveCfg(AdaptiveConfig{PhaseExecs: 100, InitialX: 10, XSlack: 2, BigY: 200})
+}
+
+// drive runs n executions of cs on a fresh thread.
+func drive(t *testing.T, rt *Runtime, l *Lock, cs *CS, n int) {
+	t.Helper()
+	thr := rt.NewThread()
+	for i := 0; i < n; i++ {
+		if err := l.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAdaptiveWalksAllStagesAndSettles(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	pol := fastAdaptive()
+	f := newPairFixture(rt, pol)
+	// Enough executions to cross every stage: Lock(1) + SL(1) + HL(3) +
+	// All(3) + custom(1) = 9 stages x 100 executions.
+	drive(t, rt, f.lock, f.writeCS, 1200)
+	if !pol.Settled() {
+		t.Fatalf("policy not settled after 1200 executions; stage = %s", pol.StageName())
+	}
+	if got := pol.FinalChoice(); got == "" {
+		t.Error("empty final choice")
+	}
+}
+
+func TestAdaptiveSchedulesNoHTMStagesOnNoHTMPlatform(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(noHTMProfile()))
+	pol := fastAdaptive()
+	f := newPairFixture(rt, pol)
+	// Stages: Lock(1) + SL(1) + custom(1) = 3 x 100.
+	drive(t, rt, f.lock, f.readCS, 400)
+	if !pol.Settled() {
+		t.Fatalf("policy not settled; stage = %s", pol.StageName())
+	}
+	g := granByLabel(t, f.lock, "pair.Read")
+	if g.Successes(ModeHTM) != 0 {
+		t.Error("HTM used on a no-HTM platform")
+	}
+}
+
+func TestAdaptiveLearnsXCap(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	pol := fastAdaptive()
+	f := newPairFixture(rt, pol)
+	drive(t, rt, f.lock, f.writeCS, 1200)
+	g := granByLabel(t, f.lock, "pair.Write")
+	gl := pol.granData(g)
+	x := gl.xByProg[progHL].Load()
+	// Single-threaded, no contention: HTM succeeds first try, so the
+	// learned X should be far below InitialX (max observed 1 + slack 2,
+	// then cost-model-minimized within that cap).
+	if x < 1 || x > 5 {
+		t.Errorf("learned X = %d, want small (1..5) for uncontended HTM", x)
+	}
+}
+
+func TestAdaptiveGivesUpHTMWhenHopeless(t *testing.T) {
+	p := htmProfile()
+	p.SpuriousProb = 1.0
+	rt := NewRuntime(tm.NewDomain(p))
+	pol := fastAdaptive()
+	f := newPairFixture(rt, pol)
+	drive(t, rt, f.lock, f.writeCS, 1200)
+	if !pol.Settled() {
+		t.Fatalf("policy not settled; stage = %s", pol.StageName())
+	}
+	g := granByLabel(t, f.lock, "pair.Write")
+	gl := pol.granData(g)
+	if x := gl.xByProg[progHL].Load(); x != 0 {
+		t.Errorf("learned X = %d for hopeless HTM, want 0", x)
+	}
+	// Once settled, the chosen progression must not include HTM.
+	plan := pol.Plan(g, true, false)
+	if plan.UseHTM {
+		t.Error("settled plan still tries HTM despite 100% abort rate")
+	}
+}
+
+func TestAdaptiveConcurrentSettlesAndStaysCorrect(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	pol := fastAdaptive()
+	f := newPairFixture(rt, pol)
+	const writers, readers, per = 4, 4, 2500
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := rt.NewThread()
+			for i := 0; i < per; i++ {
+				if err := f.lock.Execute(thr, f.writeCS); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := rt.NewThread()
+			for i := 0; i < per; i++ {
+				if err := f.lock.Execute(thr, f.readCS); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if a, b := f.a.LoadDirect(), f.b.LoadDirect(); a != uint64(writers*per) || b != a {
+		t.Errorf("a=%d b=%d, want both %d", a, b, writers*per)
+	}
+	if !pol.Settled() {
+		t.Errorf("policy did not settle during a long concurrent run; stage = %s",
+			pol.StageName())
+	}
+}
+
+func TestAdaptiveReportShowsState(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	pol := fastAdaptive()
+	f := newPairFixture(rt, pol)
+	drive(t, rt, f.lock, f.writeCS, 50)
+	rep := rt.ReportString()
+	if !strings.Contains(rep, "Adaptive") {
+		t.Errorf("report missing policy name:\n%s", rep)
+	}
+	if !strings.Contains(rep, "state=") {
+		t.Errorf("report missing adaptive state:\n%s", rep)
+	}
+}
+
+func TestAdaptiveConfigClamping(t *testing.T) {
+	pol := NewAdaptiveCfg(AdaptiveConfig{})
+	if pol.cfg.PhaseExecs < 1 || pol.cfg.InitialX < 1 || pol.cfg.BigY < 1 {
+		t.Errorf("degenerate config not clamped: %+v", pol.cfg)
+	}
+}
+
+// TestGroupingDrainsRetries checks the grouping mechanism end to end: with
+// frequent conflicting writers, SWOpt readers still complete without
+// falling back to the lock very often, because writers defer while the
+// readers' group retries.
+func TestGroupingDrainsRetries(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(noHTMProfile())) // SWOpt-vs-Lock pressure
+	pol := NewStatic(0, 50)
+	f := newPairFixture(rt, pol)
+	const writers, readers, per = 2, 4, 3000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := rt.NewThread()
+			for i := 0; i < per; i++ {
+				f.lock.Execute(thr, f.writeCS)
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := rt.NewThread()
+			for i := 0; i < per; i++ {
+				f.lock.Execute(thr, f.readCS)
+			}
+		}()
+	}
+	wg.Wait()
+	g := granByLabel(t, f.lock, "pair.Read")
+	sw, lk := g.Successes(ModeSWOpt), g.Successes(ModeLock)
+	if sw == 0 {
+		t.Fatal("SWOpt never succeeded")
+	}
+	// With grouping, the overwhelming majority of reads complete
+	// optimistically even under constant writer pressure.
+	if float64(lk) > 0.2*float64(sw+lk) {
+		t.Errorf("reads fell back to the lock %d of %d times despite grouping", lk, sw+lk)
+	}
+	if f.lock.swoptRetry.Query() {
+		t.Error("SWOpt-retry SNZI still nonzero after quiescence")
+	}
+}
+
+// TestMarkerElisionStress hammers HTM writers against SWOpt readers with
+// marker elision enabled; the pair invariant must hold in every validated
+// read (the transactional indicator subscription makes elision safe).
+func TestMarkerElisionStress(t *testing.T) {
+	for _, elide := range []bool{true, false} {
+		name := "elide=off"
+		if elide {
+			name = "elide=on"
+		}
+		t.Run(name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.MarkerElision = elide
+			rt := NewRuntimeOpts(tm.NewDomain(htmProfile()), opts)
+			f := newPairFixture(rt, NewStatic(20, 20))
+			const writers, readers, per = 3, 3, 3000
+			var wg sync.WaitGroup
+			errCh := make(chan error, writers+readers)
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					thr := rt.NewThread()
+					for i := 0; i < per; i++ {
+						if err := f.lock.Execute(thr, f.writeCS); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}()
+			}
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					thr := rt.NewThread()
+					for i := 0; i < per; i++ {
+						if err := f.lock.Execute(thr, f.readCS); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err) // a torn validated read would land here
+			}
+			if a, b := f.a.LoadDirect(), f.b.LoadDirect(); a != uint64(writers*per) || b != a {
+				t.Errorf("a=%d b=%d, want both %d", a, b, writers*per)
+			}
+		})
+	}
+}
+
+// TestLockHeldDiscount verifies the lighter accounting: with the discount
+// enabled, executions under heavy Lock-mode interference keep retrying HTM
+// rather than instantly draining their budget on lock-held aborts.
+func TestLockHeldDiscount(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(4, 0))
+	v := d.NewVar(0)
+	cs := &CS{
+		Scope: NewScope("cs"),
+		Body: func(ec *ExecCtx) error {
+			ec.Store(v, ec.Load(v)+1)
+			return nil
+		},
+	}
+	// A competing goroutine holds the lock in short bursts.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.ops.Acquire()
+			v.StoreDirect(v.LoadDirect() + 1)
+			l.ops.Release()
+		}
+	}()
+	thr := rt.NewThread()
+	for i := 0; i < 3000; i++ {
+		if err := l.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	g := granByLabel(t, l, "cs")
+	if g.LockHeldAborts() == 0 {
+		t.Skip("no lock-held aborts observed on this run; nothing to check")
+	}
+	// With the discount, most executions should still succeed in HTM.
+	htm, lk := g.Successes(ModeHTM), g.Successes(ModeLock)
+	if htm == 0 {
+		t.Error("HTM never succeeded despite the lock-held discount")
+	}
+	t.Logf("HTM=%d Lock=%d lock-held aborts=%d", htm, lk, g.LockHeldAborts())
+}

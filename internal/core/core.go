@@ -1,0 +1,69 @@
+// Package core is the ALE library itself — the primary contribution of
+// "Adaptive Integration of Hardware and Software Lock Elision Techniques"
+// (Dice, Kogan, Lev, Merrifield, Moir — SPAA 2014).
+//
+// ALE executes a critical section protected by an ordinary lock in one of
+// three modes:
+//
+//   - ModeHTM: transactional lock elision — the body runs inside a
+//     (simulated) hardware transaction that subscribes to the lock word,
+//     so a concurrent lock acquisition aborts it;
+//   - ModeSWOpt: software optimistic execution — the body's hand-written
+//     optimistic path runs without the lock and detects interference
+//     through ConflictMarker validation, retrying on failure;
+//   - ModeLock: the always-correct fallback — acquire the lock.
+//
+// A pluggable Policy chooses the mode for every execution attempt, using
+// statistics the library collects per granule, where a granule is a
+// (lock, calling context) pair: the same source-level critical section
+// reached through different scopes gets separate statistics and can be
+// adapted separately (paper section 3.4).
+//
+// The package mirrors the paper's C/C++ macro API with explicit Go values:
+//
+//	C macros                         this package
+//	-------------------------------  ------------------------------------
+//	lock label + metadata decl       Runtime.NewLock / Runtime.NewRWLock
+//	BEGIN_CS / END_CS                Lock.Execute(thread, &CS{...})
+//	BEGIN_CS_NAMED                   CS.Scope with a descriptive label
+//	GET_EXEC_MODE                    ExecCtx.Mode
+//	BEGIN_SCOPE / END_SCOPE          Thread.BeginScope / Thread.EndScope
+//	BeginConflictingAction etc.      ConflictMarker methods
+//	COULD_SWOPT_BE_RUNNING           automatic marker-bump elision
+//
+// Each worker goroutine must create its own Thread handle and pass it to
+// every call; the library keeps all per-thread state (nesting frames, PRNG,
+// transaction descriptor) there instead of in goroutine-local storage.
+package core
+
+import "fmt"
+
+// Mode identifies how a critical-section execution attempt runs.
+type Mode uint8
+
+const (
+	// ModeLock acquires the lock (the fallback that always succeeds).
+	ModeLock Mode = iota
+	// ModeHTM elides the lock with a hardware transaction.
+	ModeHTM
+	// ModeSWOpt elides the lock with the programmer-supplied software
+	// optimistic path.
+	ModeSWOpt
+
+	// NumModes sizes per-mode statistic arrays.
+	NumModes = 3
+)
+
+var modeNames = [...]string{
+	ModeLock:  "Lock",
+	ModeHTM:   "HTM",
+	ModeSWOpt: "SWOpt",
+}
+
+// String returns the paper's name for the mode.
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tm"
+)
+
+// White-box tests for the adaptive policy's X-selection cost model
+// (section 4.2): feed synthetic histograms and timing statistics into
+// chooseX and check the chosen retry budget.
+
+// newCostFixture builds a policy + granule whose learning state can be
+// populated by hand, positioned at the histogram stage for progHL.
+func newCostFixture(t *testing.T) (*AdaptivePolicy, *Granule, *granLearn, int) {
+	t.Helper()
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	pol := NewAdaptiveCfg(AdaptiveConfig{PhaseExecs: 1000, InitialX: 16, XSlack: 2, BigY: 100})
+	f := newPairFixture(rt, pol)
+	thr := rt.NewThread()
+	// One execution forces schedule construction and granule creation.
+	if err := f.lock.Execute(thr, f.writeCS); err != nil {
+		t.Fatal(err)
+	}
+	g := granByLabel(t, f.lock, "pair.Write")
+	gl := pol.granData(g)
+	hi := pol.histIdx[progHL]
+	if hi < 0 {
+		t.Fatal("no histogram stage for HTM+Lock")
+	}
+	return pol, g, gl, hi
+}
+
+func TestChooseXPrefersSmallXWhenFirstAttemptAlwaysWins(t *testing.T) {
+	pol, g, gl, hi := newCostFixture(t)
+	gl.xByProg[progHL].Store(10)
+	for i := 0; i < 1000; i++ {
+		gl.hist[hi].Record(1) // every execution succeeded on attempt 1
+	}
+	gl.modeTime[hi][ModeHTM].Add(1 * time.Microsecond)
+	gl.modeTime[hi][ModeLock].Add(10 * time.Microsecond)
+	pol.chooseX(g, gl, hi, progHL)
+	if x := gl.xByProg[progHL].Load(); x != 1 {
+		t.Errorf("chosen X = %d, want 1 (success always immediate)", x)
+	}
+}
+
+func TestChooseXPaysForRetriesThatSucceedLate(t *testing.T) {
+	pol, g, gl, hi := newCostFixture(t)
+	gl.xByProg[progHL].Store(10)
+	// Success takes until attempt 5, reliably; fallback is expensive.
+	for i := 0; i < 1000; i++ {
+		gl.hist[hi].Record(5)
+	}
+	gl.modeTime[hi][ModeHTM].Add(1 * time.Microsecond)
+	gl.modeTime[hi][ModeLock].Add(50 * time.Microsecond)
+	pol.chooseX(g, gl, hi, progHL)
+	if x := gl.xByProg[progHL].Load(); x < 5 {
+		t.Errorf("chosen X = %d, want >= 5 (success needs 5 attempts)", x)
+	}
+}
+
+func TestChooseXGivesUpQuicklyWhenHTMNeverSucceeds(t *testing.T) {
+	pol, g, gl, hi := newCostFixture(t)
+	gl.xByProg[progHL].Store(10)
+	for i := 0; i < 1000; i++ {
+		gl.hist[hi].Record(0) // bucket 0 = never succeeded in HTM
+	}
+	gl.modeTime[hi][ModeLock].Add(5 * time.Microsecond)
+	// The no-HTM upper bound: fast — retries only waste time.
+	mi := pol.measureIdx[progLock]
+	gl.timeByStage[mi].Add(5 * time.Microsecond)
+	pol.chooseX(g, gl, hi, progHL)
+	if x := gl.xByProg[progHL].Load(); x != 1 {
+		t.Errorf("chosen X = %d, want 1 (HTM hopeless: minimum budget)", x)
+	}
+}
+
+func TestChooseXBalancesMixedHistogram(t *testing.T) {
+	pol, g, gl, hi := newCostFixture(t)
+	gl.xByProg[progHL].Store(12)
+	// 70% succeed on attempt 1, 20% on attempt 2, 10% never.
+	for i := 0; i < 700; i++ {
+		gl.hist[hi].Record(1)
+	}
+	for i := 0; i < 200; i++ {
+		gl.hist[hi].Record(2)
+	}
+	for i := 0; i < 100; i++ {
+		gl.hist[hi].Record(0)
+	}
+	gl.modeTime[hi][ModeHTM].Add(1 * time.Microsecond)
+	gl.modeTime[hi][ModeLock].Add(8 * time.Microsecond)
+	pol.chooseX(g, gl, hi, progHL)
+	x := gl.xByProg[progHL].Load()
+	if x < 2 || x > 12 {
+		t.Errorf("chosen X = %d, want within [2, 12] for a mixed histogram", x)
+	}
+}
+
+func TestChooseXNoDataKeepsCap(t *testing.T) {
+	pol, g, gl, hi := newCostFixture(t)
+	gl.xByProg[progHL].Store(7)
+	pol.chooseX(g, gl, hi, progHL) // empty histogram: nothing learned
+	if x := gl.xByProg[progHL].Load(); x != 7 {
+		t.Errorf("chosen X = %d, want the untouched cap 7", x)
+	}
+}
+
+func TestChooseXRespectsHopelessMark(t *testing.T) {
+	pol, g, gl, hi := newCostFixture(t)
+	gl.xByProg[progHL].Store(0) // discovery already marked hopeless
+	gl.hist[hi].Record(1)
+	pol.chooseX(g, gl, hi, progHL)
+	if x := gl.xByProg[progHL].Load(); x != 0 {
+		t.Errorf("chosen X = %d, want 0 preserved", x)
+	}
+}
+
+// TestNamedCSIdiom reproduces the paper's BEGIN_CS_NAMED example: the same
+// body executed under condition-specific scopes gets per-condition
+// granules, so the policy can adapt each case separately.
+func TestNamedCSIdiom(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	f := newPairFixture(rt, NewLockOnly())
+	thr := rt.NewThread()
+	body := f.writeCS.Body
+	csTrue := &CS{Scope: NewScope("condition is true"), Body: body, Conflicting: true}
+	csFalse := &CS{Scope: NewScope("condition is false"), Body: body, Conflicting: true}
+	for i := 0; i < 30; i++ {
+		cs := csFalse
+		if i%3 == 0 {
+			cs = csTrue
+		}
+		if err := f.lock.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	byLabel := map[string]uint64{}
+	for _, g := range f.lock.Granules() {
+		byLabel[g.Label()] = g.Execs()
+	}
+	if byLabel["condition is true"] != 10 || byLabel["condition is false"] != 20 {
+		t.Errorf("granule split = %v, want 10/20", byLabel)
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import "repro/internal/tm"
+
+// ExecCtx is the execution context handed to a critical-section body. It
+// tells the body which mode it is running in (the paper's GET_EXEC_MODE)
+// and routes its data accesses appropriately:
+//
+//   - ModeHTM: accesses go through the hardware transaction, so conflicts
+//     abort and retry transparently (the body just stops executing at the
+//     conflicting access and the engine retries);
+//   - ModeLock: plain accesses — the lock provides exclusion. Loads still
+//     wait out in-flight transaction commits so that a critical section
+//     entered just as an elided one commits observes it fully;
+//   - ModeSWOpt: plain optimistic accesses — the body is responsible for
+//     validating with its ConflictMarkers and returning ErrSWOptRetry on
+//     interference.
+//
+// An ExecCtx is only valid during the body invocation it was passed to.
+type ExecCtx struct {
+	thr  *Thread
+	lock *Lock
+	txn  *tm.Txn // non-nil iff mode == ModeHTM
+	mode Mode
+}
+
+// Mode reports how this attempt is executing (GET_EXEC_MODE).
+func (ec *ExecCtx) Mode() Mode { return ec.mode }
+
+// Thread returns the executing thread's handle.
+func (ec *ExecCtx) Thread() *Thread { return ec.thr }
+
+// InSWOpt is a convenience for bodies structured like the paper's GetImp
+// template: true iff running the software-optimistic path.
+func (ec *ExecCtx) InSWOpt() bool { return ec.mode == ModeSWOpt }
+
+// Load reads a transactional cell in the current mode.
+func (ec *ExecCtx) Load(v *tm.Var) uint64 {
+	if ec.mode == ModeHTM {
+		return ec.txn.Load(v)
+	}
+	return v.LoadConsistent()
+}
+
+// Store writes a transactional cell in the current mode. SWOpt bodies must
+// not perform conflicting writes — mutations belong in a nested
+// non-SWOpt critical section (paper section 3.3) — but harmless writes
+// (e.g. to thread-private cells) are permitted and go straight through.
+func (ec *ExecCtx) Store(v *tm.Var, x uint64) {
+	if ec.mode == ModeHTM {
+		ec.txn.Store(v, x)
+		return
+	}
+	v.StoreDirect(x)
+}
+
+// Add increments a transactional cell in the current mode, returning the
+// new value.
+func (ec *ExecCtx) Add(v *tm.Var, delta uint64) uint64 {
+	if ec.mode == ModeHTM {
+		return ec.txn.Add(v, delta)
+	}
+	return v.AddDirect(delta)
+}
+
+// SWOptFail is what a SWOpt body returns when marker validation failed:
+// a synonym for ErrSWOptRetry that reads naturally at return sites.
+func (ec *ExecCtx) SWOptFail() error { return ErrSWOptRetry }
+
+// SelfAbort is what a SWOpt body returns when it reached an action it
+// cannot perform optimistically (paper's self-abort idiom): the engine
+// retries the execution with SWOpt disabled.
+func (ec *ExecCtx) SelfAbort() error { return ErrSWOptSelfAbort }

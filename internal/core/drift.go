@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DriftConfig tunes the DriftPolicy's change detector.
+type DriftConfig struct {
+	// Adaptive configures the wrapped learner.
+	Adaptive AdaptiveConfig
+	// Window is how many settled executions form one observation window.
+	Window int
+	// Factor is the sensitivity: relearning triggers when a window's mean
+	// execution time leaves [baseline/Factor, baseline*Factor], where the
+	// baseline is the first settled window.
+	Factor float64
+	// MinSamples is the minimum number of *timed* executions a window
+	// needs before it is compared (sampled timing means most executions
+	// carry no measurement).
+	MinSamples int
+	// MinDelta is an absolute floor: a window only counts as drifted if
+	// its mean also differs from the baseline by at least this much.
+	// Guards nanosecond-scale baselines against scheduler noise tripping
+	// the multiplicative test.
+	MinDelta time.Duration
+	// Cooldown is how many executions to ignore after a relearn before
+	// watching again (lets the new learning phases run undisturbed).
+	Cooldown int
+}
+
+// DefaultDriftConfig returns a moderately conservative detector.
+func DefaultDriftConfig() DriftConfig {
+	return DriftConfig{
+		Adaptive:   DefaultAdaptiveConfig(),
+		Window:     2000,
+		Factor:     3.0,
+		MinSamples: 20,
+		MinDelta:   2 * time.Microsecond,
+		Cooldown:   2000,
+	}
+}
+
+// DriftPolicy implements the paper's future-work direction "adapt to
+// workloads that change over time": it wraps an AdaptivePolicy and, once
+// the learner has settled, keeps watching the execution-time distribution
+// in fixed windows. When a window's mean departs from the settled
+// baseline by more than a configurable factor — the signature of a
+// workload phase change that invalidates the learned choice — it calls
+// Relearn and the lock walks the learning phases again under the new
+// workload.
+//
+// One DriftPolicy instance serves one Lock.
+type DriftPolicy struct {
+	cfg   DriftConfig
+	inner *AdaptivePolicy
+
+	mu        sync.Mutex
+	lock      *Lock // captured on first Done for Relearn
+	winExecs  int
+	winSum    time.Duration
+	winCount  int
+	baseline  time.Duration
+	cooldown  int
+	relearned atomic.Uint64
+}
+
+// NewDrift creates a drift-aware adaptive policy with default settings.
+func NewDrift() *DriftPolicy { return NewDriftCfg(DefaultDriftConfig()) }
+
+// NewDriftCfg creates a drift-aware adaptive policy with explicit settings.
+func NewDriftCfg(cfg DriftConfig) *DriftPolicy {
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
+	if cfg.Factor < 1 {
+		cfg.Factor = 1
+	}
+	if cfg.MinSamples < 1 {
+		cfg.MinSamples = 1
+	}
+	return &DriftPolicy{cfg: cfg, inner: NewAdaptiveCfg(cfg.Adaptive)}
+}
+
+// Name identifies the policy in reports.
+func (p *DriftPolicy) Name() string { return "Adaptive+Drift" }
+
+// Relearns reports how many drift-triggered relearns have happened.
+func (p *DriftPolicy) Relearns() uint64 { return p.relearned.Load() }
+
+// Inner exposes the wrapped adaptive policy (diagnostics).
+func (p *DriftPolicy) Inner() *AdaptivePolicy { return p.inner }
+
+// Plan delegates to the wrapped learner.
+func (p *DriftPolicy) Plan(g *Granule, eligHTM, eligSWOpt bool) Plan {
+	return p.inner.Plan(g, eligHTM, eligSWOpt)
+}
+
+// Done delegates to the learner and feeds the drift detector while the
+// learner is settled.
+func (p *DriftPolicy) Done(g *Granule, rec *ExecRecord) {
+	p.inner.Done(g, rec)
+	if !p.inner.Settled() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lock == nil {
+		p.lock = g.lock
+	}
+	if p.cooldown > 0 {
+		p.cooldown--
+		return
+	}
+	p.winExecs++
+	if rec.Duration > 0 {
+		p.winSum += rec.Duration
+		p.winCount++
+	}
+	if p.winExecs < p.cfg.Window {
+		return
+	}
+	mean := time.Duration(0)
+	if p.winCount > 0 {
+		mean = p.winSum / time.Duration(p.winCount)
+	}
+	samples := p.winCount
+	p.winExecs, p.winSum, p.winCount = 0, 0, 0
+	if samples < p.cfg.MinSamples || mean == 0 {
+		return // not enough signal in this window
+	}
+	if p.baseline == 0 {
+		p.baseline = mean // first settled window defines normal
+		return
+	}
+	hi := time.Duration(float64(p.baseline) * p.cfg.Factor)
+	lo := time.Duration(float64(p.baseline) / p.cfg.Factor)
+	delta := mean - p.baseline
+	if delta < 0 {
+		delta = -delta
+	}
+	if (mean > hi || mean < lo) && delta >= p.cfg.MinDelta {
+		p.relearned.Add(1)
+		p.baseline = 0
+		p.cooldown = p.cfg.Cooldown
+		p.inner.Relearn(p.lock)
+	}
+}
+
+// String summarizes detector state (diagnostics).
+func (p *DriftPolicy) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("Adaptive+Drift{settled=%v baseline=%v relearns=%d}",
+		p.inner.Settled(), p.baseline, p.relearned.Load())
+}
+
+var _ Policy = (*DriftPolicy)(nil)

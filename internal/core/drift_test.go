@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/tm"
+)
+
+func driftCfg() DriftConfig {
+	return DriftConfig{
+		Adaptive:   AdaptiveConfig{PhaseExecs: 100, InitialX: 10, XSlack: 2, BigY: 200},
+		Window:     300,
+		Factor:     3.0,
+		MinSamples: 50,
+		MinDelta:   2 * time.Microsecond,
+		Cooldown:   100,
+	}
+}
+
+// driftFixture builds a CS whose cost profile can be flipped at runtime:
+// in phase 0 the exclusive path is slow (SWOpt should win); in phase 1 the
+// SWOpt path always fails (Lock should win). Timing is fully sampled so
+// the learner and the detector both see the change quickly.
+type driftFixture struct {
+	rt    *Runtime
+	lock  *Lock
+	pol   *DriftPolicy
+	phase atomic.Int32
+	cs    *CS
+}
+
+func newDriftFixture(t *testing.T) *driftFixture {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.SampleAllTimings = true
+	rt := NewRuntimeOpts(tm.NewDomain(noHTMProfile()), opts)
+	d := rt.Domain()
+	f := &driftFixture{rt: rt, pol: NewDriftCfg(driftCfg())}
+	f.lock = rt.NewLock("L", locks.NewTATAS(d), f.pol)
+	v := d.NewVar(0)
+	slow := func() {
+		x := uint64(1)
+		for i := 0; i < 6000; i++ {
+			x = x*2654435761 + 1
+		}
+		if x == 42 {
+			t.Log("never")
+		}
+	}
+	f.cs = &CS{
+		Scope:    NewScope("cs"),
+		HasSWOpt: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.InSWOpt() {
+				if f.phase.Load() == 1 {
+					return ec.SWOptFail() // SWOpt stopped working
+				}
+				_ = ec.Load(v)
+				return nil
+			}
+			slow()
+			_ = ec.Load(v)
+			return nil
+		},
+	}
+	return f
+}
+
+func TestDriftPolicyRelearnsOnWorkloadChange(t *testing.T) {
+	f := newDriftFixture(t)
+	thr := f.rt.NewThread()
+	run := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := f.lock.Execute(thr, f.cs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Phase 0: learn (3 stages x 100) + settle + establish a baseline
+	// window. SWOpt is fast, exclusive is slow: the learner picks SWOpt.
+	run(1500)
+	if !f.pol.Inner().Settled() {
+		t.Fatalf("not settled; stage = %s", f.pol.Inner().StageName())
+	}
+	if got := f.pol.Relearns(); got != 0 {
+		t.Fatalf("relearned %d times during a stable phase", got)
+	}
+	g := granByLabel(t, f.lock, "cs")
+	if g.Successes(ModeSWOpt) == 0 {
+		t.Fatal("phase 0 never used SWOpt")
+	}
+
+	// Phase 1: SWOpt paths now always fail, so every execution burns Y
+	// retries before the slow exclusive path — mean time explodes, the
+	// detector must fire, and the relearned policy must stop choosing
+	// SWOpt.
+	f.phase.Store(1)
+	run(4000)
+	if got := f.pol.Relearns(); got == 0 {
+		t.Fatal("drift detector never fired after the workload change")
+	}
+	if !f.pol.Inner().Settled() {
+		// Still mid-relearn is acceptable if the run was short; push on.
+		run(2000)
+	}
+	if !f.pol.Inner().Settled() {
+		t.Fatalf("did not re-settle; stage = %s", f.pol.Inner().StageName())
+	}
+	preSW := g.Successes(ModeSWOpt)
+	run(500)
+	if gain := g.Successes(ModeSWOpt) - preSW; gain > 50 {
+		t.Errorf("re-settled policy still attempted SWOpt %d times", gain)
+	}
+}
+
+func TestDriftPolicyStableWorkloadNoRelearn(t *testing.T) {
+	f := newDriftFixture(t)
+	thr := f.rt.NewThread()
+	for i := 0; i < 5000; i++ {
+		if err := f.lock.Execute(thr, f.cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.pol.Relearns(); got != 0 {
+		t.Errorf("relearned %d times under a stable workload", got)
+	}
+}
+
+func TestDriftPolicyName(t *testing.T) {
+	p := NewDrift()
+	if p.Name() != "Adaptive+Drift" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/stats"
+	"repro/internal/tm"
+	"repro/internal/trace"
+)
+
+// CS describes one critical section to execute under an ALE-enabled lock —
+// the information the BEGIN_CS macro family conveys in the paper. Build a
+// CS once (its Scope is its static identity) and reuse it across calls.
+type CS struct {
+	// Scope is the critical section's static scope (mandatory): every
+	// BEGIN_CS expansion defines a scope in the paper, and the granule a
+	// particular execution charges to is determined by this scope plus
+	// the enclosing scopes on the thread's context stack.
+	Scope *Scope
+
+	// Body is the critical section. It runs in the mode ExecCtx reports
+	// and must route shared-data accesses through the ExecCtx. In SWOpt
+	// mode it may return ErrSWOptRetry / ErrSWOptSelfAbort; any other
+	// error is treated as an application result and returned from
+	// Execute after the section completes.
+	Body func(ec *ExecCtx) error
+
+	// HasSWOpt declares that Body contains a software-optimistic path
+	// (the BEGIN_CS variant "that specifies that a SWOpt path exists").
+	HasSWOpt bool
+
+	// NoHTM forbids HTM mode for this critical section. A hardware
+	// transaction that reaches a nested NoHTM critical section aborts
+	// (paper section 4.1).
+	NoHTM bool
+
+	// Conflicting declares that Body may enter a conflicting region
+	// (bump a ConflictMarker). The grouping mechanism makes such
+	// executions defer while SWOpt retries are in flight.
+	Conflicting bool
+}
+
+// Engine tuning constants.
+const (
+	// lockHeldChargeEvery and maxLockHeldRefunds implement the "much
+	// lighter" accounting of lock-acquisition-induced aborts: only every
+	// lockHeldChargeEvery-th such abort consumes HTM retry budget, up to
+	// maxLockHeldRefunds refunds per execution (bounding the loop).
+	lockHeldChargeEvery = 4
+	maxLockHeldRefunds  = 64
+
+	// groupWaitBound bounds the grouping mechanism's deferral spin. The
+	// bound only matters in pathological schedules; the policy's large Y
+	// guarantees progress regardless (paper section 4.2).
+	groupWaitBound = 1 << 14
+
+	// capacityGiveUp is how many capacity aborts an execution tolerates
+	// before concluding HTM cannot commit this critical section at all
+	// (capacity aborts are near-deterministic).
+	capacityGiveUp = 2
+)
+
+// Execute runs one critical section protected by l, choosing the execution
+// mode per attempt according to the lock's policy and the nesting rules of
+// paper section 4.1. It returns whatever the body's final (successful)
+// invocation returned.
+func (l *Lock) Execute(thr *Thread, cs *CS) error {
+	if cs.Body == nil {
+		panic("ale: CS without a Body")
+	}
+	if cs.Scope == nil {
+		panic("ale: CS without a Scope (every critical section needs a static scope)")
+	}
+
+	// Rule 1 (section 4.1): a critical section nested inside a hardware
+	// transaction executes in the same transaction, subscribing to its
+	// own lock; no frame is pushed (keeping transactions short). If it
+	// does not allow HTM, the enclosing transaction must abort.
+	if thr.inHTM {
+		if cs.NoHTM || !l.allowHTM {
+			thr.txn.Abort(tm.AbortNesting)
+		}
+		if !thr.holds(l) && l.ops.HeldValue(thr.txn.Load(l.ops.Word())) {
+			thr.txn.Abort(tm.AbortLockHeld)
+		}
+		ec := ExecCtx{thr: thr, lock: l, txn: thr.txn, mode: ModeHTM}
+		return cs.Body(&ec)
+	}
+
+	// Rule 2 (section 4.1): the thread already holds this lock — run the
+	// body directly under the existing acquisition. SWOpt would have no
+	// benefit and is not used.
+	if thr.holds(l) {
+		ec := ExecCtx{thr: thr, lock: l, mode: ModeLock}
+		return cs.Body(&ec)
+	}
+
+	thr.pushScope(cs.Scope)
+	ctxHash, label := thr.contextTop()
+	g := l.granule(ctxHash, label)
+
+	eligHTM := !cs.NoHTM && l.allowHTM && l.rt.HTMAvailable()
+	// Rule 3 (section 4.1): SWOpt is not eligible while already executing
+	// in SWOpt mode for a different lock.
+	eligSWOpt := cs.HasSWOpt && l.allowSWOpt &&
+		(thr.swoptLock == nil || thr.swoptLock == l)
+
+	plan := l.policy.Plan(g, eligHTM, eligSWOpt)
+	if !eligHTM {
+		plan.UseHTM = false
+	}
+	if !eligSWOpt {
+		plan.UseSWOpt = false
+	}
+
+	timed := l.rt.opts.SampleAllTimings || stats.ShouldSample(thr.rng)
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+
+	thr.frames = append(thr.frames, frame{lock: l, gran: g})
+	fi := len(thr.frames) - 1
+	var rec ExecRecord
+	err := l.runAttempts(thr, cs, g, plan, &rec, fi)
+	thr.frames = thr.frames[:fi]
+
+	if timed {
+		rec.Duration = time.Since(start)
+		g.timeBy[rec.FinalMode].Add(rec.Duration)
+	}
+	g.execs.Inc()
+	l.policy.Done(g, &rec)
+	thr.popScope()
+	return err
+}
+
+// runAttempts is the retry loop implementing the HTM -> SWOpt -> Lock mode
+// progression with the plan's budgets.
+func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *ExecRecord, fi int) error {
+	swoptDisabled := false
+	arrived := false // this execution has arrived in the SWOpt-retry SNZI
+	defer func() {
+		if arrived {
+			l.swoptRetry.Depart(thr.id)
+			thr.snziArrivals--
+		}
+	}()
+	refunds := 0
+	capacityAborts := 0
+
+	for {
+		switch {
+		case plan.UseHTM && rec.HTMAttempts < plan.X:
+			rec.HTMAttempts++
+			g.attempts[ModeHTM].Inc(thr.rng)
+			thr.emit(l, trace.KindAttempt, ModeHTM, 0)
+			ok, reason, err := l.htmAttempt(thr, cs, fi)
+			if ok {
+				g.successes[ModeHTM].Inc(thr.rng)
+				thr.emit(l, trace.KindCommit, ModeHTM, 0)
+				rec.FinalMode = ModeHTM
+				return err
+			}
+			// Estimate whether the abort was caused by a concurrent lock
+			// acquisition (the library "estimates whether a hardware
+			// transaction has been aborted due to a concurrent lock
+			// acquisition by another thread", section 4).
+			if reason == tm.AbortConflict && l.ops.IsLocked() {
+				reason = tm.AbortLockHeld
+			}
+			g.aborts[reason].Inc(thr.rng)
+			thr.emit(l, trace.KindAbort, ModeHTM, uint8(reason))
+			switch reason {
+			case tm.AbortLockHeld:
+				rec.LockHeldAborts++
+				g.lockHeld.Inc(thr.rng)
+				// Lighter accounting: these aborts say nothing about
+				// HTM's suitability, so most of them do not consume
+				// retry budget (bounded to avoid livelock).
+				if l.rt.opts.LockHeldDiscount && refunds < maxLockHeldRefunds {
+					refunds++
+					if refunds%lockHeldChargeEvery != 0 {
+						rec.HTMAttempts--
+					}
+				}
+			case tm.AbortCapacity:
+				capacityAborts++
+				if capacityAborts >= capacityGiveUp {
+					plan.UseHTM = false // this section cannot fit in HTM
+					thr.emit(l, trace.KindFallback, ModeHTM, 0)
+				}
+			case tm.AbortNesting, tm.AbortDisabled:
+				plan.UseHTM = false
+				thr.emit(l, trace.KindFallback, ModeHTM, 0)
+			}
+
+		case plan.UseSWOpt && !swoptDisabled && rec.SWOptAttempts < plan.Y:
+			rec.SWOptAttempts++
+			g.attempts[ModeSWOpt].Inc(thr.rng)
+			thr.emit(l, trace.KindAttempt, ModeSWOpt, 0)
+			err := l.swoptAttempt(thr, cs, fi)
+			switch err {
+			case ErrSWOptRetry:
+				thr.emit(l, trace.KindSWOptFail, ModeSWOpt, 0)
+				// Enter the retrying group: conflicting executions will
+				// defer until this SWOpt execution gets through.
+				if !arrived && l.rt.opts.Grouping {
+					l.swoptRetry.Arrive(thr.id)
+					thr.snziArrivals++
+					arrived = true
+				}
+			case ErrSWOptSelfAbort:
+				// The optimistic path reached a conflicting action: retry
+				// this execution non-optimistically (section 3.3).
+				thr.emit(l, trace.KindSWOptFail, ModeSWOpt, 1)
+				swoptDisabled = true
+			default:
+				g.successes[ModeSWOpt].Inc(thr.rng)
+				thr.emit(l, trace.KindCommit, ModeSWOpt, 0)
+				rec.FinalMode = ModeSWOpt
+				return err
+			}
+
+		default:
+			g.attempts[ModeLock].Inc(thr.rng)
+			thr.emit(l, trace.KindAttempt, ModeLock, 0)
+			err := l.lockAttempt(thr, cs, fi)
+			g.successes[ModeLock].Inc(thr.rng)
+			thr.emit(l, trace.KindCommit, ModeLock, 0)
+			rec.FinalMode = ModeLock
+			return err
+		}
+	}
+}
+
+// htmAttempt runs one hardware-transaction attempt: wait for the lock to be
+// free, begin, subscribe to the lock word, run the body, commit.
+func (l *Lock) htmAttempt(thr *Thread, cs *CS, fi int) (ok bool, reason tm.AbortReason, userErr error) {
+	waitFree(l.ops)
+	l.groupWait(thr, cs)
+	fr := &thr.frames[fi]
+	fr.mode = ModeHTM
+	committed, abortReason := thr.txn.Run(func(tx *tm.Txn) {
+		// Subscribe: load the lock word inside the transaction and abort
+		// if held. Any later acquisition bumps the word and dooms us.
+		if l.ops.HeldValue(tx.Load(l.ops.Word())) {
+			tx.Abort(tm.AbortLockHeld)
+		}
+		thr.inHTM = true
+		thr.htmFrame = fi
+		defer func() { thr.inHTM = false }()
+		fr.ec = ExecCtx{thr: thr, lock: l, txn: tx, mode: ModeHTM}
+		userErr = cs.Body(&fr.ec)
+	})
+	thr.inHTM = false
+	if !committed {
+		return false, abortReason, nil
+	}
+	// Note: the SWOpt sentinels are only interpreted by the engine when
+	// the body ran in SWOpt mode. Returned from an HTM- or Lock-mode body
+	// they propagate to Execute's caller as ordinary application errors —
+	// which is exactly what the section 3.3 nested-mutation pattern needs
+	// (the nested critical section reports "your optimistic read is stale,
+	// retry the whole operation" to the enclosing SWOpt body).
+	return true, tm.AbortNone, userErr
+}
+
+// swoptAttempt runs one software-optimistic attempt: mark SWOpt activity
+// (for COULD_SWOPT_BE_RUNNING) and run the body without the lock.
+func (l *Lock) swoptAttempt(thr *Thread, cs *CS, fi int) error {
+	fr := &thr.frames[fi]
+	fr.mode = ModeSWOpt
+	prevLock := thr.swoptLock
+	thr.swoptLock = l
+	thr.swoptDepth++
+	// The activity indicator must rise before the body's first marker
+	// read: a conflicting HTM execution that subscribed to the indicator
+	// while it was zero is aborted by this bump, which is what makes its
+	// marker-bump elision safe.
+	l.swoptActive.AddDirect(1)
+	defer func() {
+		l.swoptActive.AddDirect(^uint64(0)) // -1
+		thr.swoptDepth--
+		if thr.swoptDepth == 0 {
+			thr.swoptLock = nil
+		} else {
+			thr.swoptLock = prevLock
+		}
+	}()
+	fr.ec = ExecCtx{thr: thr, lock: l, mode: ModeSWOpt}
+	return cs.Body(&fr.ec)
+}
+
+// lockAttempt acquires the lock and runs the body — the fallback that
+// always succeeds.
+func (l *Lock) lockAttempt(thr *Thread, cs *CS, fi int) error {
+	l.groupWait(thr, cs)
+	fr := &thr.frames[fi]
+	fr.mode = ModeLock
+	l.ops.Acquire()
+	defer l.ops.Release()
+	fr.ec = ExecCtx{thr: thr, lock: l, mode: ModeLock}
+	return cs.Body(&fr.ec)
+}
+
+// groupWait implements the grouping mechanism (section 4.2): an execution
+// that may run a conflicting region defers while SWOpt executions for this
+// lock are retrying, so the whole optimistic group can complete in
+// parallel without interference. A thread that is itself part of a
+// retrying group never defers (it would wait for itself).
+func (l *Lock) groupWait(thr *Thread, cs *CS) {
+	if !cs.Conflicting || !l.rt.opts.Grouping || thr.snziArrivals > 0 {
+		return
+	}
+	waited := false
+	for i := 0; l.swoptRetry.Query(); i++ {
+		if !waited {
+			waited = true
+			thr.emit(l, trace.KindGroupWait, ModeLock, 0)
+		}
+		if i >= groupWaitBound {
+			return // bounded politeness; Y-large fallback ensures progress
+		}
+		if i&15 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// waitFree spins until the lock appears free (the engine waits before
+// starting a transaction so it does not burn an attempt on a held lock).
+func waitFree(ops locks.Ops) {
+	for i := 0; ops.IsLocked(); i++ {
+		if i&15 == 15 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,722 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/tm"
+)
+
+func htmProfile() tm.Profile {
+	return tm.Profile{Name: "test-htm", Enabled: true, ReadCap: 1 << 16, WriteCap: 1 << 16}
+}
+
+func noHTMProfile() tm.Profile {
+	return tm.Profile{Name: "test-nohtm", Enabled: false}
+}
+
+// pairFixture is the canonical SWOpt-capable data structure for these
+// tests: two cells kept equal by writers. Readers have a validated SWOpt
+// path; writers bump the conflict marker around the mutation.
+type pairFixture struct {
+	rt     *Runtime
+	lock   *Lock
+	marker *ConflictMarker
+	a, b   *tm.Var
+
+	readScope, writeScope *Scope
+	readCS, writeCS       *CS
+}
+
+func newPairFixture(rt *Runtime, policy Policy) *pairFixture {
+	d := rt.Domain()
+	f := &pairFixture{
+		rt:         rt,
+		a:          d.NewVar(0),
+		b:          d.NewVar(0),
+		readScope:  NewScope("pair.Read"),
+		writeScope: NewScope("pair.Write"),
+	}
+	f.lock = rt.NewLock("pairLock", locks.NewTATAS(d), policy)
+	f.marker = f.lock.NewMarker()
+	f.readCS = &CS{
+		Scope:    f.readScope,
+		HasSWOpt: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.InSWOpt() {
+				v := f.marker.ReadStable()
+				x := ec.Load(f.a)
+				if !f.marker.Validate(v) {
+					return ec.SWOptFail()
+				}
+				y := ec.Load(f.b)
+				if !f.marker.Validate(v) {
+					return ec.SWOptFail()
+				}
+				if x != y {
+					return errors.New("torn read in validated SWOpt path")
+				}
+				return nil
+			}
+			x := ec.Load(f.a)
+			y := ec.Load(f.b)
+			if x != y {
+				return errors.New("torn read in exclusive mode")
+			}
+			return nil
+		},
+	}
+	f.writeCS = &CS{
+		Scope:       f.writeScope,
+		Conflicting: true,
+		Body: func(ec *ExecCtx) error {
+			n := ec.Load(f.a) + 1
+			f.marker.BeginConflicting(ec)
+			ec.Store(f.a, n)
+			ec.Store(f.b, n)
+			f.marker.EndConflicting(ec)
+			return nil
+		},
+	}
+	return f
+}
+
+func TestExecuteLockOnly(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	f := newPairFixture(rt, NewLockOnly())
+	thr := rt.NewThread()
+	for i := 0; i < 100; i++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.a.LoadDirect(); got != 100 {
+		t.Errorf("a = %d, want 100", got)
+	}
+	gs := f.lock.Granules()
+	var writeG *Granule
+	for _, g := range gs {
+		if strings.Contains(g.Label(), "pair.Write") {
+			writeG = g
+		}
+	}
+	if writeG == nil {
+		t.Fatal("no granule for pair.Write")
+	}
+	if got := writeG.Execs(); got != 100 {
+		t.Errorf("execs = %d, want 100", got)
+	}
+	if got := writeG.Successes(ModeHTM); got != 0 {
+		t.Errorf("Instrumented baseline used HTM %d times", got)
+	}
+}
+
+func TestExecuteHTMSingleThread(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	f := newPairFixture(rt, NewStatic(10, 0))
+	thr := rt.NewThread()
+	for i := 0; i < 100; i++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.a.LoadDirect(); got != 100 {
+		t.Errorf("a = %d, want 100", got)
+	}
+	g := granByLabel(t, f.lock, "pair.Write")
+	if succ := g.Successes(ModeHTM); succ == 0 {
+		t.Error("uncontended HTM never succeeded")
+	}
+	if lk := g.Successes(ModeLock); lk != 0 {
+		t.Errorf("uncontended HTM fell back to the lock %d times", lk)
+	}
+}
+
+func granByLabel(t *testing.T, l *Lock, substr string) *Granule {
+	t.Helper()
+	for _, g := range l.Granules() {
+		if strings.Contains(g.Label(), substr) {
+			return g
+		}
+	}
+	t.Fatalf("no granule matching %q", substr)
+	return nil
+}
+
+func TestExecuteConcurrentAtomicity(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		prof   tm.Profile
+		policy func() Policy
+	}{
+		{"htm-static", htmProfile(), func() Policy { return NewStatic(10, 0) }},
+		{"swopt-static", htmProfile(), func() Policy { return NewStatic(0, 10) }},
+		{"all-static", htmProfile(), func() Policy { return NewStatic(10, 10) }},
+		{"lockonly", htmProfile(), func() Policy { return NewLockOnly() }},
+		{"nohtm-all", noHTMProfile(), func() Policy { return NewStatic(10, 10) }},
+		{"adaptive", htmProfile(), func() Policy {
+			return NewAdaptiveCfg(AdaptiveConfig{PhaseExecs: 50, InitialX: 10, XSlack: 2, BigY: 100})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := NewRuntime(tm.NewDomain(tc.prof))
+			f := newPairFixture(rt, tc.policy())
+			const writers, readers, per = 4, 4, 2000
+			var wg sync.WaitGroup
+			errCh := make(chan error, writers+readers)
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					thr := rt.NewThread()
+					for i := 0; i < per; i++ {
+						if err := f.lock.Execute(thr, f.writeCS); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}()
+			}
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					thr := rt.NewThread()
+					for i := 0; i < per; i++ {
+						if err := f.lock.Execute(thr, f.readCS); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+			if a, b := f.a.LoadDirect(), f.b.LoadDirect(); a != uint64(writers*per) || b != a {
+				t.Errorf("a=%d b=%d, want both %d", a, b, writers*per)
+			}
+		})
+	}
+}
+
+func TestSWOptUsedOnNoHTMPlatform(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(noHTMProfile()))
+	f := newPairFixture(rt, NewStatic(10, 10))
+	thr := rt.NewThread()
+	for i := 0; i < 200; i++ {
+		if err := f.lock.Execute(thr, f.readCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := granByLabel(t, f.lock, "pair.Read")
+	if got := g.Successes(ModeHTM); got != 0 {
+		t.Errorf("HTM succeeded %d times on a no-HTM platform", got)
+	}
+	if got := g.Successes(ModeSWOpt); got == 0 {
+		t.Error("SWOpt never used on a no-HTM platform")
+	}
+}
+
+func TestSelfAbortDisablesSWOptForExecution(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(noHTMProfile())) // force SWOpt-vs-Lock
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(0, 10))
+	v := d.NewVar(0)
+	swoptTries := 0
+	cs := &CS{
+		Scope:    NewScope("selfabort"),
+		HasSWOpt: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.InSWOpt() {
+				swoptTries++
+				return ec.SelfAbort()
+			}
+			ec.Store(v, ec.Load(v)+1)
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	if err := l.Execute(thr, cs); err != nil {
+		t.Fatal(err)
+	}
+	if swoptTries != 1 {
+		t.Errorf("SWOpt tried %d times after self-abort, want exactly 1", swoptTries)
+	}
+	if got := v.LoadDirect(); got != 1 {
+		t.Errorf("v = %d, want 1 (Lock-mode completion)", got)
+	}
+}
+
+func TestSWOptRetryBudgetExhaustsToLock(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(noHTMProfile()))
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(0, 3))
+	tries := 0
+	cs := &CS{
+		Scope:    NewScope("alwaysfail"),
+		HasSWOpt: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.InSWOpt() {
+				tries++
+				return ec.SWOptFail()
+			}
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	if err := l.Execute(thr, cs); err != nil {
+		t.Fatal(err)
+	}
+	if tries != 3 {
+		t.Errorf("SWOpt attempts = %d, want 3 (budget Y)", tries)
+	}
+	g := granByLabel(t, l, "alwaysfail")
+	if got := g.Successes(ModeLock); got == 0 {
+		t.Error("execution did not fall through to Lock mode")
+	}
+}
+
+func TestUserErrorPropagates(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(5, 0))
+	sentinel := errors.New("application error")
+	cs := &CS{
+		Scope: NewScope("err"),
+		Body:  func(ec *ExecCtx) error { return sentinel },
+	}
+	thr := rt.NewThread()
+	if err := l.Execute(thr, cs); !errors.Is(err, sentinel) {
+		t.Errorf("Execute error = %v, want sentinel", err)
+	}
+}
+
+func TestNestedCSInsideHTMJoinsTransaction(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	d := rt.Domain()
+	outer := rt.NewLock("outer", locks.NewTATAS(d), NewStatic(10, 0))
+	inner := rt.NewLock("inner", locks.NewTATAS(d), NewStatic(10, 0))
+	v := d.NewVar(0)
+	innerCS := &CS{
+		Scope: NewScope("inner.cs"),
+		Body: func(ec *ExecCtx) error {
+			if ec.Mode() != ModeHTM {
+				t.Errorf("nested CS mode = %v inside HTM, want HTM", ec.Mode())
+			}
+			ec.Store(v, ec.Load(v)+1)
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	outerCS := &CS{
+		Scope: NewScope("outer.cs"),
+		Body: func(ec *ExecCtx) error {
+			if ec.Mode() == ModeHTM && thr.Depth() != 1 {
+				t.Errorf("Depth = %d inside outer HTM CS, want 1 (no frame for nested)", thr.Depth())
+			}
+			return inner.Execute(thr, innerCS)
+		},
+	}
+	for i := 0; i < 50; i++ {
+		if err := outer.Execute(thr, outerCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v.LoadDirect(); got != 50 {
+		t.Errorf("v = %d, want 50", got)
+	}
+	og := granByLabel(t, outer, "outer.cs")
+	if og.Successes(ModeHTM) == 0 {
+		t.Error("outer CS never committed in HTM")
+	}
+	// The nested CS must not have spawned its own granule executions in
+	// HTM mode (no frame, no stats — it joined the outer transaction).
+	for _, g := range inner.Granules() {
+		if g.Execs() != 0 {
+			t.Errorf("nested-in-HTM CS recorded %d executions", g.Execs())
+		}
+	}
+}
+
+func TestNestedNoHTMCSAbortsEnclosingTransaction(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	d := rt.Domain()
+	outer := rt.NewLock("outer", locks.NewTATAS(d), NewStatic(3, 0))
+	inner := rt.NewLock("inner", locks.NewTATAS(d), NewStatic(3, 0))
+	v := d.NewVar(0)
+	innerCS := &CS{
+		Scope: NewScope("inner.nohtm"),
+		NoHTM: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.Mode() == ModeHTM {
+				t.Error("NoHTM CS ran in HTM mode")
+			}
+			ec.Store(v, ec.Load(v)+1)
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	outerCS := &CS{
+		Scope: NewScope("outer.cs"),
+		Body:  func(ec *ExecCtx) error { return inner.Execute(thr, innerCS) },
+	}
+	for i := 0; i < 20; i++ {
+		if err := outer.Execute(thr, outerCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v.LoadDirect(); got != 20 {
+		t.Errorf("v = %d, want 20", got)
+	}
+	og := granByLabel(t, outer, "outer.cs")
+	if og.Successes(ModeHTM) != 0 {
+		t.Error("outer CS committed in HTM despite NoHTM nested section")
+	}
+	if og.Aborts(tm.AbortNesting) == 0 {
+		t.Error("no nesting aborts recorded")
+	}
+}
+
+func TestReentrantLockHeldRunsDirect(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(noHTMProfile())) // Lock mode outer
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewLockOnly())
+	v := d.NewVar(0)
+	thr := rt.NewThread()
+	innerCS := &CS{
+		Scope: NewScope("inner.same"),
+		Body: func(ec *ExecCtx) error {
+			ec.Store(v, ec.Load(v)+1)
+			return nil
+		},
+	}
+	outerCS := &CS{
+		Scope: NewScope("outer.same"),
+		Body: func(ec *ExecCtx) error {
+			// Same lock, nested: must run directly, not deadlock.
+			return l.Execute(thr, innerCS)
+		},
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.Execute(thr, outerCS) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-testTimeout():
+		t.Fatal("nested same-lock execution deadlocked")
+	}
+	if got := v.LoadDirect(); got != 1 {
+		t.Errorf("v = %d, want 1", got)
+	}
+}
+
+func TestNestedConflictingActionFromSWOpt(t *testing.T) {
+	// The section 3.3 pattern: the outer CS searches in SWOpt mode and
+	// performs the conflicting mutation in a nested non-SWOpt critical
+	// section on the same lock.
+	rt := NewRuntime(tm.NewDomain(noHTMProfile()))
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(0, 100))
+	marker := l.NewMarker()
+	a := d.NewVar(0)
+	b := d.NewVar(0)
+	innerScope := NewScope("mutate")
+	outerScope := NewScope("search+mutate")
+	var mkInner func(thr *Thread, expect uint64) *CS
+	mkInner = func(thr *Thread, expect uint64) *CS {
+		return &CS{
+			Scope:       innerScope,
+			Conflicting: true,
+			Body: func(ec *ExecCtx) error {
+				// Re-check: the optimistic read may have been invalidated
+				// before we got the lock.
+				if ec.Load(a) != expect {
+					return ErrSWOptRetry // handled by outer body below
+				}
+				marker.BeginConflicting(ec)
+				ec.Store(a, expect+1)
+				ec.Store(b, expect+1)
+				marker.EndConflicting(ec)
+				return nil
+			},
+		}
+	}
+	const workers, per = 4, 500
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := rt.NewThread()
+			outerCS := &CS{
+				Scope:    outerScope,
+				HasSWOpt: true,
+				Body: func(ec *ExecCtx) error {
+					if ec.InSWOpt() {
+						ver := marker.ReadStable()
+						x := ec.Load(a)
+						if !marker.Validate(ver) {
+							return ec.SWOptFail()
+						}
+						// Perform the mutation under a nested CS.
+						if err := l.Execute(thr, mkInner(thr, x)); err != nil {
+							if errors.Is(err, ErrSWOptRetry) {
+								return ec.SWOptFail()
+							}
+							return err
+						}
+						return nil
+					}
+					// Exclusive path: read-modify-write directly.
+					x := ec.Load(a)
+					marker.BeginConflicting(ec)
+					ec.Store(a, x+1)
+					ec.Store(b, x+1)
+					marker.EndConflicting(ec)
+					return nil
+				},
+			}
+			for i := 0; i < per; i++ {
+				if err := l.Execute(thr, outerCS); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got, gb := a.LoadDirect(), b.LoadDirect(); got != workers*per || gb != got {
+		t.Errorf("a=%d b=%d, want both %d", got, gb, workers*per)
+	}
+}
+
+func TestExplicitScopesSplitGranules(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewLockOnly())
+	v := d.NewVar(0)
+	cs := &CS{
+		Scope: NewScope("sharedCS"),
+		Body: func(ec *ExecCtx) error {
+			ec.Store(v, ec.Load(v)+1)
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	siteA := NewScope("caller.A")
+	siteB := NewScope("caller.B")
+	for i := 0; i < 10; i++ {
+		thr.BeginScope(siteA)
+		if err := l.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+		thr.EndScope()
+	}
+	for i := 0; i < 20; i++ {
+		thr.BeginScope(siteB)
+		if err := l.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+		thr.EndScope()
+	}
+	gs := l.Granules()
+	if len(gs) != 2 {
+		t.Fatalf("granules = %d, want 2 (one per calling scope)", len(gs))
+	}
+	byLabel := map[string]uint64{}
+	for _, g := range gs {
+		byLabel[g.Label()] = g.Execs()
+	}
+	if byLabel["caller.A/sharedCS"] != 10 || byLabel["caller.B/sharedCS"] != 20 {
+		t.Errorf("granule execs = %v", byLabel)
+	}
+}
+
+func TestEndScopeUnmatchedPanics(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	thr := rt.NewThread()
+	defer func() {
+		if recover() == nil {
+			t.Error("unmatched EndScope did not panic")
+		}
+	}()
+	thr.EndScope()
+}
+
+func TestCSWithoutScopePanics(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewLockOnly())
+	thr := rt.NewThread()
+	defer func() {
+		if recover() == nil {
+			t.Error("CS without Scope did not panic")
+		}
+	}()
+	l.Execute(thr, &CS{Body: func(*ExecCtx) error { return nil }})
+}
+
+func TestCSWithoutBodyPanics(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewLockOnly())
+	thr := rt.NewThread()
+	defer func() {
+		if recover() == nil {
+			t.Error("CS without Body did not panic")
+		}
+	}()
+	l.Execute(thr, &CS{Scope: NewScope("x")})
+}
+
+func TestMarkerBumpInSWOptPanics(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(noHTMProfile()))
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(0, 5))
+	marker := l.NewMarker()
+	cs := &CS{
+		Scope:    NewScope("bad"),
+		HasSWOpt: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.InSWOpt() {
+				marker.BeginConflicting(ec) // programming error
+			}
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting region in SWOpt mode did not panic")
+		}
+	}()
+	l.Execute(thr, cs)
+}
+
+func TestSpuriousStormFallsBackToLock(t *testing.T) {
+	p := htmProfile()
+	p.SpuriousProb = 1.0 // every transactional access dies
+	rt := NewRuntime(tm.NewDomain(p))
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(3, 0))
+	v := d.NewVar(0)
+	cs := &CS{
+		Scope: NewScope("storm"),
+		Body: func(ec *ExecCtx) error {
+			ec.Store(v, ec.Load(v)+1)
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	for i := 0; i < 50; i++ {
+		if err := l.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v.LoadDirect(); got != 50 {
+		t.Errorf("v = %d, want 50", got)
+	}
+	g := granByLabel(t, l, "storm")
+	if g.Successes(ModeHTM) != 0 {
+		t.Error("HTM succeeded despite 100% spurious aborts")
+	}
+	if g.Successes(ModeLock) == 0 {
+		t.Error("Lock mode never recorded")
+	}
+	if g.Aborts(tm.AbortSpurious) == 0 {
+		t.Error("no spurious aborts recorded")
+	}
+}
+
+func TestCapacityGiveUp(t *testing.T) {
+	p := htmProfile()
+	p.WriteCap = 2
+	rt := NewRuntime(tm.NewDomain(p))
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(10, 0))
+	vars := d.NewVars(8)
+	attempts := 0
+	cs := &CS{
+		Scope: NewScope("big"),
+		Body: func(ec *ExecCtx) error {
+			if ec.Mode() == ModeHTM {
+				attempts++
+			}
+			for i := range vars {
+				ec.Store(&vars[i], 1)
+			}
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	if err := l.Execute(thr, cs); err != nil {
+		t.Fatal(err)
+	}
+	if attempts > capacityGiveUp {
+		t.Errorf("HTM attempted %d times on a CS that can never fit, want <= %d",
+			attempts, capacityGiveUp)
+	}
+}
+
+func TestReportMentionsLocksAndContexts(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	f := newPairFixture(rt, NewStatic(5, 5))
+	thr := rt.NewThread()
+	for i := 0; i < 100; i++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.lock.Execute(thr, f.readCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := rt.ReportString()
+	for _, want := range []string{"pairLock", "pair.Read", "pair.Write", "Static-All-5:5"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestSWOptCouldBeRunningIndicator(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(noHTMProfile()))
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(0, 5))
+	if l.SWOptCouldBeRunning() {
+		t.Error("indicator true with no SWOpt execution")
+	}
+	observed := false
+	cs := &CS{
+		Scope:    NewScope("probe"),
+		HasSWOpt: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.InSWOpt() {
+				observed = l.SWOptCouldBeRunning()
+			}
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	if err := l.Execute(thr, cs); err != nil {
+		t.Fatal(err)
+	}
+	if !observed {
+		t.Error("indicator false during a SWOpt execution")
+	}
+	if l.SWOptCouldBeRunning() {
+		t.Error("indicator true after the SWOpt execution completed")
+	}
+}

@@ -1,0 +1,26 @@
+package core
+
+import "errors"
+
+// Sentinel results a critical-section body returns to steer the engine.
+// They are consumed by Lock.Execute and never escape to its caller.
+var (
+	// ErrSWOptRetry is returned by a body running in SWOpt mode when its
+	// optimistic path detected interference (a ConflictMarker validation
+	// failed). The engine records the failed attempt and retries according
+	// to the policy.
+	ErrSWOptRetry = errors.New("ale: SWOpt attempt interfered with, retry")
+
+	// ErrSWOptSelfAbort is returned by a body running in SWOpt mode when
+	// it reached an action it cannot perform optimistically (the paper's
+	// "self abort" idiom, section 3.3). The engine retries the execution
+	// with SWOpt mode disabled for the remainder of this execution.
+	ErrSWOptSelfAbort = errors.New("ale: SWOpt self-abort, retry non-optimistically")
+)
+
+// Configuration and misuse errors.
+var (
+	// ErrNotInSWOpt is returned by SWOpt-only helpers when called outside
+	// SWOpt mode.
+	ErrNotInSWOpt = errors.New("ale: operation only valid in SWOpt mode")
+)

@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/tm"
+)
+
+// ExampleLock_Execute shows the minimal ALE integration: one lock, one
+// critical section, three possible execution modes.
+func ExampleLock_Execute() {
+	dom := tm.NewDomain(tm.Profile{Name: "demo", Enabled: true, ReadCap: 512, WriteCap: 128})
+	rt := core.NewRuntime(dom)
+	lock := rt.NewLock("counterLock", locks.NewTATAS(dom), core.NewStatic(10, 0))
+	counter := dom.NewVar(0)
+
+	cs := &core.CS{
+		Scope: core.NewScope("counter.inc"),
+		Body: func(ec *core.ExecCtx) error {
+			ec.Store(counter, ec.Load(counter)+1)
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	for i := 0; i < 1000; i++ {
+		if err := lock.Execute(thr, cs); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	fmt.Println("counter =", counter.LoadDirect())
+	// Output: counter = 1000
+}
+
+// ExampleConflictMarker shows the SWOpt pattern: a writer brackets its
+// conflicting region, a reader validates around its optimistic reads.
+func ExampleConflictMarker() {
+	dom := tm.NewDomain(tm.Profile{Name: "demo", Enabled: false})
+	rt := core.NewRuntime(dom)
+	lock := rt.NewLock("pairLock", locks.NewTATAS(dom), core.NewStatic(0, 10))
+	marker := lock.NewMarker()
+	a, b := dom.NewVar(0), dom.NewVar(0)
+
+	write := &core.CS{
+		Scope:       core.NewScope("pair.write"),
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			n := ec.Load(a) + 1
+			marker.BeginConflicting(ec)
+			ec.Store(a, n)
+			ec.Store(b, n)
+			marker.EndConflicting(ec)
+			return nil
+		},
+	}
+	read := &core.CS{
+		Scope:    core.NewScope("pair.read"),
+		HasSWOpt: true,
+		Body: func(ec *core.ExecCtx) error {
+			if ec.InSWOpt() {
+				v := marker.ReadStable()
+				x, y := ec.Load(a), ec.Load(b)
+				if !marker.Validate(v) {
+					return ec.SWOptFail()
+				}
+				fmt.Printf("optimistic read: a=%d b=%d\n", x, y)
+				return nil
+			}
+			fmt.Printf("exclusive read: a=%d b=%d\n", ec.Load(a), ec.Load(b))
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	if err := lock.Execute(thr, write); err != nil {
+		fmt.Println("error:", err)
+	}
+	if err := lock.Execute(thr, read); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output: optimistic read: a=1 b=1
+}
+
+// ExampleThread_BeginScope shows context splitting: the same critical
+// section reached through two call sites gets separate statistics.
+func ExampleThread_BeginScope() {
+	dom := tm.NewDomain(tm.Profile{Name: "demo", Enabled: false})
+	rt := core.NewRuntime(dom)
+	lock := rt.NewLock("L", locks.NewTATAS(dom), core.NewLockOnly())
+	v := dom.NewVar(0)
+	shared := &core.CS{
+		Scope: core.NewScope("sharedCS"),
+		Body: func(ec *core.ExecCtx) error {
+			ec.Store(v, ec.Load(v)+1)
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	siteA, siteB := core.NewScope("siteA"), core.NewScope("siteB")
+	for i := 0; i < 3; i++ {
+		thr.BeginScope(siteA)
+		lock.Execute(thr, shared)
+		thr.EndScope()
+	}
+	thr.BeginScope(siteB)
+	lock.Execute(thr, shared)
+	thr.EndScope()
+
+	for _, g := range lock.Granules() {
+		fmt.Printf("%s: %d executions\n", g.Label(), g.Execs())
+	}
+	// Output:
+	// siteA/sharedCS: 3 executions
+	// siteB/sharedCS: 1 executions
+}

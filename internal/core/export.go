@@ -1,0 +1,54 @@
+package core
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/tm"
+)
+
+// WriteCSV exports the per-granule statistics as machine-readable CSV, one
+// row per (lock, context): the same data WriteReport renders for humans,
+// for spreadsheets and plotting scripts. Columns are stable; see the
+// header row.
+func (rt *Runtime) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"lock", "policy", "context", "execs",
+		"htm_attempts", "htm_successes",
+		"swopt_attempts", "swopt_successes",
+		"lock_successes",
+		"mean_htm_ns", "mean_swopt_ns", "mean_lock_ns",
+		"lockheld_aborts",
+	}
+	for r := 1; r < tm.NumAbortReasons; r++ {
+		header = append(header, "aborts_"+tm.AbortReason(r).String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	u := func(x uint64) string { return strconv.FormatUint(x, 10) }
+	ns := func(d time.Duration) string { return strconv.FormatInt(d.Nanoseconds(), 10) }
+	for _, l := range rt.Locks() {
+		for _, g := range l.Granules() {
+			row := []string{
+				l.Name(), l.Policy().Name(), g.Label(), u(g.Execs()),
+				u(g.Attempts(ModeHTM)), u(g.Successes(ModeHTM)),
+				u(g.Attempts(ModeSWOpt)), u(g.Successes(ModeSWOpt)),
+				u(g.Successes(ModeLock)),
+				ns(g.MeanTime(ModeHTM)), ns(g.MeanTime(ModeSWOpt)), ns(g.MeanTime(ModeLock)),
+				u(g.LockHeldAborts()),
+			}
+			for r := 1; r < tm.NumAbortReasons; r++ {
+				row = append(row, u(g.Aborts(tm.AbortReason(r))))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/tm"
+)
+
+func TestWriteCSV(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	f := newPairFixture(rt, NewStatic(5, 5))
+	thr := rt.NewThread()
+	for i := 0; i < 100; i++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.lock.Execute(thr, f.readCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	if err := rt.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("export is not valid CSV: %v", err)
+	}
+	if len(rows) != 3 { // header + 2 granules
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	header := rows[0]
+	col := map[string]int{}
+	for i, name := range header {
+		col[name] = i
+	}
+	for _, name := range []string{"lock", "context", "execs", "htm_successes", "aborts_conflict"} {
+		if _, ok := col[name]; !ok {
+			t.Fatalf("missing column %q in %v", name, header)
+		}
+	}
+	foundWrite := false
+	for _, row := range rows[1:] {
+		if len(row) != len(header) {
+			t.Fatalf("ragged row: %v", row)
+		}
+		if strings.Contains(row[col["context"]], "pair.Write") {
+			foundWrite = true
+			execs, err := strconv.Atoi(row[col["execs"]])
+			if err != nil || execs != 100 {
+				t.Errorf("pair.Write execs = %q, want 100", row[col["execs"]])
+			}
+		}
+	}
+	if !foundWrite {
+		t.Error("no row for pair.Write")
+	}
+}

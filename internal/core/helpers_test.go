@@ -1,0 +1,7 @@
+package core
+
+import "time"
+
+// testTimeout returns a generous deadline channel for deadlock-detection
+// tests.
+func testTimeout() <-chan time.Time { return time.After(10 * time.Second) }

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/snzi"
+	"repro/internal/stats"
+	"repro/internal/tm"
+)
+
+// Lock is an ALE-enabled lock: the program's lock (any locks.Ops) plus the
+// metadata the library keeps for it — the granule table, the SWOpt-retry
+// SNZI driving the grouping mechanism, the transactional SWOpt-activity
+// indicator driving marker-bump elision, and the policy instance that picks
+// execution modes.
+//
+// Create with Runtime.NewLock. All methods are safe for concurrent use;
+// Execute additionally needs the calling goroutine's Thread.
+type Lock struct {
+	rt     *Runtime
+	id     uint32 // creation sequence number, used as the trace lock id
+	name   string
+	ops    locks.Ops
+	policy Policy
+
+	allowHTM   bool
+	allowSWOpt bool
+
+	granules sync.Map // uint64 (context hash) -> *Granule
+	granMu   sync.Mutex
+	granList []*Granule
+
+	// swoptRetry tracks threads whose SWOpt attempt for this lock failed
+	// and are retrying (grouping, paper section 4.2). Slot = thread id.
+	swoptRetry *snzi.SNZI
+
+	// swoptActive counts threads currently executing a SWOpt path for
+	// this lock. It lives in a tm.Var so an HTM execution can subscribe
+	// to it transactionally: eliding a marker bump is safe exactly
+	// because a SWOpt arrival after the subscription aborts the
+	// transaction (COULD_SWOPT_BE_RUNNING, paper section 3.3).
+	swoptActive *tm.Var
+}
+
+// NewLock wraps ops as an ALE-enabled lock. name appears in reports.
+// policy decides execution modes; use NewStatic, NewAdaptive, or
+// NewLockOnly (the "Instrumented" baseline).
+func (rt *Runtime) NewLock(name string, ops locks.Ops, policy Policy) *Lock {
+	l := &Lock{
+		rt:          rt,
+		name:        name,
+		ops:         ops,
+		policy:      policy,
+		allowHTM:    true,
+		allowSWOpt:  true,
+		swoptRetry:  snzi.New(16),
+		swoptActive: rt.dom.NewVar(0),
+	}
+	rt.register(l)
+	return l
+}
+
+// Name returns the lock's report name.
+func (l *Lock) Name() string { return l.name }
+
+// Ops returns the underlying lock.
+func (l *Lock) Ops() locks.Ops { return l.ops }
+
+// Policy returns the lock's policy instance.
+func (l *Lock) Policy() Policy { return l.policy }
+
+// SetModes sets the program-level master switches for the elision modes
+// (the paper's per-lock enablement: "unless the programmer explicitly
+// prohibits one or both"). Both default to enabled.
+func (l *Lock) SetModes(allowHTM, allowSWOpt bool) {
+	l.allowHTM = allowHTM
+	l.allowSWOpt = allowSWOpt
+}
+
+// ShareElisionState makes l share other's SWOpt-retry SNZI and SWOpt
+// activity indicator. The two Ops views of one physical readers-writer
+// lock are registered as two ALE locks (their conflict semantics differ),
+// but they are one lock as far as the paper's grouping and
+// COULD_SWOPT_BE_RUNNING mechanisms are concerned: a whole-DB operation on
+// the write side must defer to SWOpt retries on the read side and must see
+// read-side SWOpt activity. Call once, before any Execute on either lock.
+func (l *Lock) ShareElisionState(other *Lock) {
+	l.swoptRetry = other.swoptRetry
+	l.swoptActive = other.swoptActive
+}
+
+// SWOptCouldBeRunning reports whether some thread may currently be
+// executing a SWOpt path for this lock (possibly conservatively) — the
+// paper's COULD_SWOPT_BE_RUNNING.
+func (l *Lock) SWOptCouldBeRunning() bool {
+	return l.swoptActive.LoadDirect() > 0
+}
+
+// Granules returns a snapshot of the lock's granules in creation order.
+func (l *Lock) Granules() []*Granule {
+	l.granMu.Lock()
+	defer l.granMu.Unlock()
+	out := make([]*Granule, len(l.granList))
+	copy(out, l.granList)
+	return out
+}
+
+// granule returns (creating if needed) the granule for a context hash.
+func (l *Lock) granule(ctxHash uint64, label string) *Granule {
+	if g, ok := l.granules.Load(ctxHash); ok {
+		return g.(*Granule)
+	}
+	g := &Granule{lock: l, ctxHash: ctxHash, label: label}
+	if actual, loaded := l.granules.LoadOrStore(ctxHash, g); loaded {
+		return actual.(*Granule)
+	}
+	l.granMu.Lock()
+	l.granList = append(l.granList, g)
+	sort.Slice(l.granList, func(i, j int) bool { return l.granList[i].label < l.granList[j].label })
+	l.granMu.Unlock()
+	return g
+}
+
+// Granule holds the statistics and profiling information the library
+// collects for one (lock, context) pair (paper section 3.4), plus room for
+// policy-private learning state.
+type Granule struct {
+	lock    *Lock
+	ctxHash uint64
+	label   string
+
+	execs     stats.ExactCounter // completed executions
+	attempts  [NumModes]stats.Counter
+	successes [NumModes]stats.Counter
+	aborts    [tm.NumAbortReasons]stats.Counter
+	timeBy    [NumModes]stats.TimeStat
+	lockHeld  stats.Counter // HTM aborts attributed to lock acquisition
+
+	// policyData is private learning state; only the lock's policy
+	// touches it (no locking needed beyond what the policy does itself).
+	policyData any
+	policyOnce sync.Once
+}
+
+// Label returns the granule's context label (joined scope labels).
+func (g *Granule) Label() string { return g.label }
+
+// LockName returns the owning lock's name.
+func (g *Granule) LockName() string { return g.lock.name }
+
+// Execs returns the number of completed critical-section executions.
+func (g *Granule) Execs() uint64 { return g.execs.Read() }
+
+// Attempts returns the (statistical) number of attempts in mode m.
+func (g *Granule) Attempts(m Mode) uint64 { return g.attempts[m].Read() }
+
+// Successes returns the (statistical) number of successes in mode m.
+func (g *Granule) Successes(m Mode) uint64 { return g.successes[m].Read() }
+
+// Aborts returns the (statistical) number of HTM aborts with reason r.
+func (g *Granule) Aborts(r tm.AbortReason) uint64 { return g.aborts[r].Read() }
+
+// LockHeldAborts returns aborts attributed to concurrent lock acquisition.
+func (g *Granule) LockHeldAborts() uint64 { return g.lockHeld.Read() }
+
+// MeanTime returns the mean sampled execution time for executions that
+// completed in mode m (0 if never sampled).
+func (g *Granule) MeanTime(m Mode) time.Duration { return g.timeBy[m].Mean() }
+
+// TimeSamples returns how many executions completing in mode m were timed.
+func (g *Granule) TimeSamples(m Mode) uint64 { return g.timeBy[m].Count() }
+
+// ExecRecord summarizes one completed critical-section execution for the
+// policy's Done hook.
+type ExecRecord struct {
+	// FinalMode is the mode the execution finally succeeded in.
+	FinalMode Mode
+	// HTMAttempts and SWOptAttempts count failed+successful attempts in
+	// each elision mode during this execution.
+	HTMAttempts   int
+	SWOptAttempts int
+	// LockHeldAborts counts HTM aborts attributed to lock acquisitions.
+	LockHeldAborts int
+	// Duration is the measured wall time of the whole execution, or 0 if
+	// this execution was not sampled for timing.
+	Duration time.Duration
+}
+
+// Plan is a policy's decision for one execution: whether and how many times
+// to attempt each elision mode before falling through to the next (the
+// paper's X and Y parameters). The engine runs up to X HTM attempts, then
+// up to Y SWOpt attempts, then acquires the lock.
+type Plan struct {
+	UseHTM   bool
+	X        int
+	UseSWOpt bool
+	Y        int
+}
+
+// Policy decides execution modes (paper section 4.2). Implementations must
+// be safe for concurrent use; one instance serves one Lock.
+type Policy interface {
+	// Name identifies the policy in reports ("Static-10:10", "Adaptive").
+	Name() string
+	// Plan returns the attempt budget for one execution on granule g.
+	// eligHTM/eligSWOpt report which elision modes are possible right now
+	// (platform support, CS capabilities, nesting rules); the engine
+	// ignores a mode the plan requests but eligibility forbids.
+	Plan(g *Granule, eligHTM, eligSWOpt bool) Plan
+	// Done is invoked after every completed execution.
+	Done(g *Granule, rec *ExecRecord)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/tm"
+)
+
+// ConflictMarker is the paper's refinement of the seqlock sequence number
+// (the HashMap example's tblVer): a version cell that critical sections
+// bump around explicitly identified *conflicting regions* — the (usually
+// small) parts of a critical section that can interfere with concurrent
+// SWOpt executions — instead of around the whole critical section.
+//
+// SWOpt paths read the marker with ReadStable before their optimistic
+// reads and re-check it with Validate before trusting anything read since
+// (the interleaved checks of the paper's Figure 1).
+//
+// Writers bracket conflicting code with BeginConflicting/EndConflicting.
+// Each bumps the version once: the version is odd while a Lock-mode
+// writer is inside the region (SWOpt readers wait for even), and a
+// HTM-mode writer's two bumps commit atomically, so readers see the
+// version jump by two.
+//
+// In HTM mode the bump is elided entirely when no SWOpt execution can be
+// running (COULD_SWOPT_BE_RUNNING, paper section 3.3), which removes
+// marker-induced conflicts between concurrent hardware transactions. The
+// elision is safe because the activity check is performed *inside the
+// transaction*: the indicator joins the transaction's read set, so a SWOpt
+// arrival after the check aborts the writer before its (unmarked) mutation
+// can be observed torn.
+type ConflictMarker struct {
+	lock *Lock
+	ver  *tm.Var
+}
+
+// NewMarker creates a conflict marker associated with the lock. A data
+// structure typically keeps one per lock (the HashMap's tblVer), or
+// several for finer conflict granularity (e.g. one per bucket).
+func (l *Lock) NewMarker() *ConflictMarker {
+	return &ConflictMarker{lock: l, ver: l.rt.dom.NewVar(0)}
+}
+
+// BeginConflicting enters a conflicting region. Must not be called in
+// SWOpt mode: an optimistic path that reaches a conflicting action must
+// instead return ec.SelfAbort() or perform the action in a nested
+// non-SWOpt critical section (paper section 3.3).
+func (m *ConflictMarker) BeginConflicting(ec *ExecCtx) {
+	m.bump(ec)
+}
+
+// EndConflicting leaves a conflicting region.
+func (m *ConflictMarker) EndConflicting(ec *ExecCtx) {
+	m.bump(ec)
+}
+
+func (m *ConflictMarker) bump(ec *ExecCtx) {
+	switch ec.mode {
+	case ModeSWOpt:
+		panic("ale: conflicting region entered in SWOpt mode")
+	case ModeHTM:
+		if ec.lock.rt.opts.MarkerElision {
+			ind := m.lock.swoptActive
+			// Cheap direct peek first so the indicator joins our read
+			// set only when elision looks possible: when SWOpt threads
+			// are active, subscribing to the (busy) indicator would
+			// replace marker conflicts with indicator conflicts.
+			if ind.LoadDirect() == 0 && ec.txn.Load(ind) == 0 {
+				return // elide: no SWOpt can observe this region
+			}
+		}
+		ec.txn.Add(m.ver, 1)
+	case ModeLock:
+		// Lock-mode writers always bump. (Eliding here would race with a
+		// SWOpt reader arriving between the activity check and the
+		// mutation; HTM mode closes that race by subscribing to the
+		// indicator, Lock mode has no such mechanism.)
+		m.ver.AddDirect(1)
+	}
+}
+
+// ReadStable returns the marker version for a SWOpt path about to start
+// reading, waiting until it is even (no Lock-mode writer inside a
+// conflicting region) — the paper's GetVer(true).
+func (m *ConflictMarker) ReadStable() uint64 {
+	for spins := 0; ; spins++ {
+		v := m.ver.LoadConsistent()
+		if v&1 == 0 {
+			return v
+		}
+		if spins > 16 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Validate reports whether the marker still has version v — i.e. no
+// conflicting region has executed since ReadStable returned v (the
+// paper's GetVer(false) comparison). A SWOpt path validates before using
+// any value read since its last validation.
+func (m *ConflictMarker) Validate(v uint64) bool {
+	return m.ver.LoadConsistent() == v
+}
+
+// ValidateIn re-checks the marker from inside a critical section, in the
+// section's execution mode: in HTM mode the marker joins the transaction's
+// read set, so a later bump aborts the transaction; in Lock mode it is a
+// consistent direct read. The section 3.3 nested-mutation pattern uses
+// this as its "first check if a conflict has occurred" step after the
+// nested critical section is entered.
+func (m *ConflictMarker) ValidateIn(ec *ExecCtx, v uint64) bool {
+	return ec.Load(m.ver) == v
+}
+
+// Version returns the raw marker version (diagnostics).
+func (m *ConflictMarker) Version() uint64 { return m.ver.LoadConsistent() }

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/tm"
+)
+
+// TestDeepNestingChain exercises a 4-deep chain of distinct locks in every
+// starting mode the engine can pick, checking frame discipline and data
+// correctness.
+func TestDeepNestingChain(t *testing.T) {
+	for _, prof := range []tm.Profile{htmProfile(), noHTMProfile()} {
+		t.Run(prof.Name, func(t *testing.T) {
+			rt := NewRuntime(tm.NewDomain(prof))
+			d := rt.Domain()
+			const depth = 4
+			lks := make([]*Lock, depth)
+			vars := make([]*tm.Var, depth)
+			css := make([]*CS, depth)
+			for i := 0; i < depth; i++ {
+				lks[i] = rt.NewLock(fmt.Sprintf("L%d", i), locks.NewTATAS(d), NewStatic(5, 0))
+				vars[i] = d.NewVar(0)
+			}
+			thr := rt.NewThread()
+			for i := depth - 1; i >= 0; i-- {
+				i := i
+				css[i] = &CS{
+					Scope: NewScope(fmt.Sprintf("cs%d", i)),
+					Body: func(ec *ExecCtx) error {
+						ec.Store(vars[i], ec.Load(vars[i])+1)
+						if i+1 < depth {
+							return lks[i+1].Execute(thr, css[i+1])
+						}
+						return nil
+					},
+				}
+			}
+			for n := 0; n < 200; n++ {
+				if err := lks[0].Execute(thr, css[0]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if thr.Depth() != 0 {
+				t.Errorf("frame stack depth = %d after completion, want 0", thr.Depth())
+			}
+			for i := 0; i < depth; i++ {
+				if got := vars[i].LoadDirect(); got != 200 {
+					t.Errorf("vars[%d] = %d, want 200", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDeepNestingConcurrent stresses the chain with several threads; the
+// per-level counters must all agree at the end (each execution increments
+// every level exactly once).
+func TestDeepNestingConcurrent(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	d := rt.Domain()
+	const depth, workers, per = 3, 4, 1500
+	lks := make([]*Lock, depth)
+	vars := make([]*tm.Var, depth)
+	for i := 0; i < depth; i++ {
+		lks[i] = rt.NewLock(fmt.Sprintf("L%d", i), locks.NewTATAS(d), NewStatic(5, 0))
+		vars[i] = d.NewVar(0)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := rt.NewThread()
+			css := make([]*CS, depth)
+			for i := depth - 1; i >= 0; i-- {
+				i := i
+				css[i] = &CS{
+					Scope: NewScope(fmt.Sprintf("w.cs%d", i)),
+					Body: func(ec *ExecCtx) error {
+						ec.Store(vars[i], ec.Load(vars[i])+1)
+						if i+1 < depth {
+							return lks[i+1].Execute(thr, css[i+1])
+						}
+						return nil
+					},
+				}
+			}
+			for n := 0; n < per; n++ {
+				if err := lks[0].Execute(thr, css[0]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	want := uint64(workers * per)
+	for i := 0; i < depth; i++ {
+		if got := vars[i].LoadDirect(); got != want {
+			t.Errorf("vars[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestAdaptiveLearnsFromTiming is the paper's headline adaptive claim in
+// miniature: the learner must pick the progression whose *measured* mean
+// execution time is lowest. The critical section is built so the signal is
+// unambiguous — its exclusive path burns time that its SWOpt path does not
+// (in a real workload that difference comes from lock contention; here it
+// is synthesized so the test is deterministic) — and the policy must
+// settle on SWOpt+Lock and route subsequent executions through SWOpt.
+func TestAdaptiveLearnsFromTiming(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SampleAllTimings = true // full timing so the learner sees the gap
+	rt := NewRuntimeOpts(tm.NewDomain(noHTMProfile()), opts)
+	d := rt.Domain()
+	pol := NewAdaptiveCfg(AdaptiveConfig{PhaseExecs: 150, InitialX: 10, XSlack: 2, BigY: 200})
+	l := rt.NewLock("L", locks.NewTATAS(d), pol)
+	v := d.NewVar(0)
+	slow := func() { // ~ a few microseconds of work
+		x := uint64(1)
+		for i := 0; i < 4000; i++ {
+			x = x*2654435761 + 1
+		}
+		if x == 42 {
+			t.Log("never")
+		}
+	}
+	cs := &CS{
+		Scope:    NewScope("read"),
+		HasSWOpt: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.InSWOpt() {
+				_ = ec.Load(v)
+				return nil
+			}
+			slow()
+			_ = ec.Load(v)
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	for i := 0; i < 1000; i++ {
+		if err := l.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !pol.Settled() {
+		t.Fatalf("not settled; stage = %s", pol.StageName())
+	}
+	g := granByLabel(t, l, "read")
+	preSW := g.Successes(ModeSWOpt)
+	preLK := g.Successes(ModeLock)
+	for i := 0; i < 1000; i++ {
+		if err := l.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gainSW := g.Successes(ModeSWOpt) - preSW
+	gainLK := g.Successes(ModeLock) - preLK
+	if gainSW == 0 {
+		t.Error("settled policy never used SWOpt despite it being measurably faster")
+	}
+	if gainLK > gainSW/5 {
+		t.Errorf("settled executions: SWOpt %d vs Lock %d — expected SWOpt-dominated", gainSW, gainLK)
+	}
+}
+
+// TestTimingSampledSparsely checks the ~3% sampling: only a small fraction
+// of executions should carry timing samples under default options.
+func TestTimingSampledSparsely(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	f := newPairFixture(rt, NewStatic(5, 0))
+	thr := rt.NewThread()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := granByLabel(t, f.lock, "pair.Write")
+	samples := g.TimeSamples(ModeHTM) + g.TimeSamples(ModeLock)
+	rate := float64(samples) / n
+	if rate < 0.01 || rate > 0.06 {
+		t.Errorf("timing sample rate = %.4f, want ~0.03", rate)
+	}
+}
+
+// TestSampleAllTimingsOption checks the ablation switch: with
+// SampleAllTimings every execution is timed.
+func TestSampleAllTimingsOption(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SampleAllTimings = true
+	rt := NewRuntimeOpts(tm.NewDomain(htmProfile()), opts)
+	f := newPairFixture(rt, NewStatic(5, 0))
+	thr := rt.NewThread()
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := granByLabel(t, f.lock, "pair.Write")
+	samples := g.TimeSamples(ModeHTM) + g.TimeSamples(ModeLock)
+	if samples != n {
+		t.Errorf("samples = %d, want %d", samples, n)
+	}
+	if g.MeanTime(ModeHTM) <= 0 && g.MeanTime(ModeLock) <= 0 {
+		t.Error("no mean time recorded despite full sampling")
+	}
+}
+
+// TestGroupWaitBounded: a thread stuck in SWOpt retry (always failing)
+// must not block conflicting executions forever — the group wait is
+// bounded and the retrier's Y budget runs out.
+func TestGroupWaitBounded(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(noHTMProfile()))
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(0, 50))
+	v := d.NewVar(0)
+	alwaysFail := &CS{
+		Scope:    NewScope("failer"),
+		HasSWOpt: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.InSWOpt() {
+				return ec.SWOptFail()
+			}
+			return nil
+		},
+	}
+	conflicting := &CS{
+		Scope:       NewScope("writer"),
+		Conflicting: true,
+		Body: func(ec *ExecCtx) error {
+			ec.Store(v, ec.Load(v)+1)
+			return nil
+		},
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		thr := rt.NewThread()
+		for i := 0; i < 50; i++ {
+			l.Execute(thr, alwaysFail)
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		thr := rt.NewThread()
+		for i := 0; i < 50; i++ {
+			l.Execute(thr, conflicting)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("conflicting executions starved by a hopeless SWOpt retrier")
+	}
+	wg.Wait()
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tm"
+)
+
+// TestRelearnRestartsSchedule: after settling, Relearn must send the lock
+// back through the phases — and the policy must settle again under the
+// (possibly changed) workload, with correctness intact throughout.
+func TestRelearnRestartsSchedule(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	pol := fastAdaptive()
+	f := newPairFixture(rt, pol)
+	drive(t, rt, f.lock, f.writeCS, 1200)
+	if !pol.Settled() {
+		t.Fatalf("not settled before Relearn; stage = %s", pol.StageName())
+	}
+	pol.Relearn(f.lock)
+	if pol.Settled() {
+		t.Fatal("still settled immediately after Relearn")
+	}
+	if got := pol.StageName(); got == "settled" {
+		t.Errorf("stage after Relearn = %s", got)
+	}
+	// Drive again; must settle again and data must stay correct.
+	drive(t, rt, f.lock, f.writeCS, 1200)
+	if !pol.Settled() {
+		t.Fatalf("did not re-settle; stage = %s", pol.StageName())
+	}
+	if got := f.a.LoadDirect(); got != 2400 {
+		t.Errorf("a = %d, want 2400", got)
+	}
+}
+
+// TestRelearnBeforeFirstUseIsNoop: calling Relearn on a policy that never
+// planned must not panic.
+func TestRelearnBeforeFirstUseIsNoop(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	pol := fastAdaptive()
+	f := newPairFixture(rt, pol)
+	pol.Relearn(f.lock) // no stages yet
+	drive(t, rt, f.lock, f.writeCS, 10)
+}

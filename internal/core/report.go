@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/tm"
+)
+
+// WriteReport renders the library's statistics and profiling information —
+// the reports the paper describes in section 3.4, "useful in their own
+// right": per-(lock, context) execution counts, attempts and successes per
+// mode, mean execution times, and the HTM abort breakdown. Even a program
+// that never enables HTM or SWOpt modes gets guidance from this about
+// which critical sections are worth optimizing.
+func (rt *Runtime) WriteReport(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ALE statistics report — platform %s\n", rt.dom.Profile())
+	for _, l := range rt.Locks() {
+		fmt.Fprintf(&b, "\nlock %q  policy=%s", l.name, l.policy.Name())
+		if ap, ok := l.policy.(*AdaptivePolicy); ok {
+			fmt.Fprintf(&b, "  state=%s", ap.FinalChoice())
+		}
+		fmt.Fprintln(&b)
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  context\texecs\tHTM att/succ\tSWOpt att/succ\tLock\tmean HTM\tmean SWOpt\tmean Lock\tlock-held aborts")
+		for _, g := range l.Granules() {
+			label := g.label
+			if label == "" {
+				label = "(root)"
+			}
+			fmt.Fprintf(tw, "  %s\t%d\t%d/%d\t%d/%d\t%d\t%v\t%v\t%v\t%d\n",
+				label, g.Execs(),
+				g.Attempts(ModeHTM), g.Successes(ModeHTM),
+				g.Attempts(ModeSWOpt), g.Successes(ModeSWOpt),
+				g.Successes(ModeLock),
+				g.MeanTime(ModeHTM), g.MeanTime(ModeSWOpt), g.MeanTime(ModeLock),
+				g.LockHeldAborts())
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		// Abort breakdown across granules.
+		var byReason [tm.NumAbortReasons]uint64
+		any := false
+		for _, g := range l.Granules() {
+			for r := 0; r < tm.NumAbortReasons; r++ {
+				n := g.Aborts(tm.AbortReason(r))
+				byReason[r] += n
+				if n > 0 && tm.AbortReason(r) != tm.AbortNone {
+					any = true
+				}
+			}
+		}
+		if any {
+			fmt.Fprint(&b, "  HTM aborts:")
+			for r := 1; r < tm.NumAbortReasons; r++ {
+				if byReason[r] > 0 {
+					fmt.Fprintf(&b, " %s=%d", tm.AbortReason(r), byReason[r])
+				}
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReportString is WriteReport into a string (convenience for tests and
+// examples).
+func (rt *Runtime) ReportString() string {
+	var b strings.Builder
+	_ = rt.WriteReport(&b)
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tm"
+)
+
+// Options tune library-wide mechanisms. The defaults (from DefaultOptions)
+// match the paper's configuration; the ablation benchmarks flip individual
+// fields to quantify each mechanism's contribution.
+type Options struct {
+	// Grouping enables the SNZI-based grouping mechanism (paper section
+	// 4.2): executions that may run a conflicting region defer while SWOpt
+	// attempts for the same lock are retrying, so the whole group of
+	// optimistic executions can drain without interference.
+	Grouping bool
+
+	// LockHeldDiscount enables the lighter accounting of transaction
+	// aborts attributed to a concurrent lock acquisition (paper section
+	// 4): such aborts say nothing about whether HTM suits the critical
+	// section, so they consume only a fraction of the retry budget,
+	// avoiding premature fallback cascades.
+	LockHeldDiscount bool
+
+	// MarkerElision enables the COULD_SWOPT_BE_RUNNING optimization
+	// (paper section 3.3): an HTM-mode execution skips bumping conflict
+	// markers when no SWOpt execution can be running, eliminating marker
+	// conflicts between concurrent hardware transactions.
+	MarkerElision bool
+
+	// SampleAllTimings disables the ~3% timing sampling and measures every
+	// execution. Only the sampling ablation benchmark sets this.
+	SampleAllTimings bool
+
+	// TraceCapacity, when positive, gives every Thread an event ring of
+	// that capacity recording attempts, commits, aborts, SWOpt failures,
+	// grouping deferrals and mode fallbacks (see internal/trace). Zero
+	// disables tracing entirely (the default; the hot path then pays one
+	// nil check per event site).
+	TraceCapacity int
+}
+
+// DefaultOptions returns the paper-faithful configuration: every mechanism
+// on, timings sampled.
+func DefaultOptions() Options {
+	return Options{
+		Grouping:         true,
+		LockHeldDiscount: true,
+		MarkerElision:    true,
+	}
+}
+
+// Runtime is one instance of the ALE library: a transactional domain (the
+// simulated platform), global options, and the registry of ALE-enabled
+// locks for reporting. A program normally creates one Runtime.
+type Runtime struct {
+	dom  *tm.Domain
+	opts Options
+
+	mu        sync.Mutex
+	locks     []*Lock
+	threadSeq atomic.Uint64
+}
+
+// NewRuntime creates a Runtime over the given transactional domain with
+// default options.
+func NewRuntime(dom *tm.Domain) *Runtime {
+	return NewRuntimeOpts(dom, DefaultOptions())
+}
+
+// NewRuntimeOpts creates a Runtime with explicit options.
+func NewRuntimeOpts(dom *tm.Domain, opts Options) *Runtime {
+	return &Runtime{dom: dom, opts: opts}
+}
+
+// Domain returns the runtime's transactional domain.
+func (rt *Runtime) Domain() *tm.Domain { return rt.dom }
+
+// Options returns the runtime's option set.
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// HTMAvailable reports whether the simulated platform has HTM.
+func (rt *Runtime) HTMAvailable() bool { return rt.dom.HTMAvailable() }
+
+// Locks returns the ALE-enabled locks registered so far (report order =
+// creation order).
+func (rt *Runtime) Locks() []*Lock {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*Lock, len(rt.locks))
+	copy(out, rt.locks)
+	return out
+}
+
+func (rt *Runtime) register(l *Lock) {
+	rt.mu.Lock()
+	l.id = uint32(len(rt.locks))
+	rt.locks = append(rt.locks, l)
+	rt.mu.Unlock()
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/tm"
+)
+
+// TestReadSideElisionIgnoresReaders: an HTM execution eliding the read
+// side of an RW lock subscribes with reader-compatible conflict semantics,
+// so a concurrently *held read lock* must not doom it — only writers
+// conflict. This is the property that makes the Kyoto external critical
+// section elidable at all.
+func TestReadSideElisionIgnoresReaders(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	d := rt.Domain()
+	rw := locks.NewRWLock(d)
+	readLock := rt.NewLock("m(read)", rw.ReadSide(), NewStatic(10, 0))
+	v := d.NewVar(0)
+	cs := &CS{
+		Scope: NewScope("reader"),
+		Body: func(ec *ExecCtx) error {
+			_ = ec.Load(v)
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+
+	// A reader parks on the lock for the whole test.
+	rw.AcquireRead()
+	defer rw.ReleaseRead()
+
+	for i := 0; i < 200; i++ {
+		if err := readLock.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := granByLabel(t, readLock, "reader")
+	if g.Successes(ModeHTM) == 0 {
+		t.Error("read-side elision never committed in HTM while a reader held the lock")
+	}
+	if g.LockHeldAborts() > 20 {
+		t.Errorf("%d lock-held aborts against a mere reader", g.LockHeldAborts())
+	}
+}
+
+// TestReadSideElisionAbortsOnWriter: the same subscription must doom the
+// transaction when a writer acquires mid-flight. The acquisition is
+// simulated inline from the transaction body, which makes the interleaving
+// deterministic regardless of host core count.
+func TestReadSideElisionAbortsOnWriter(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	d := rt.Domain()
+	rw := locks.NewRWLock(d)
+	readLock := rt.NewLock("m(read)", rw.ReadSide(), NewStatic(3, 0))
+	v := d.NewVar(0)
+	doomed := false
+	cs := &CS{
+		Scope: NewScope("reader"),
+		Body: func(ec *ExecCtx) error {
+			// Write so the transaction cannot take TL2's read-only
+			// commit path: the writer acquisition below must abort it.
+			ec.Store(v, ec.Load(v)+1)
+			if !doomed && ec.Mode() == ModeHTM {
+				doomed = true
+				rw.AcquireWrite()
+				rw.ReleaseWrite()
+			}
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	if err := readLock.Execute(thr, cs); err != nil {
+		t.Fatal(err)
+	}
+	if !doomed {
+		t.Skip("first attempt did not run in HTM; nothing to check")
+	}
+	g := granByLabel(t, readLock, "reader")
+	var aborts uint64
+	for r := 1; r < tm.NumAbortReasons; r++ {
+		aborts += g.Aborts(tm.AbortReason(r))
+	}
+	if aborts == 0 {
+		t.Error("writer acquisition inside the transaction did not abort it")
+	}
+	if got := v.LoadDirect(); got != 1 {
+		t.Errorf("v = %d, want exactly 1 (aborted attempt must not double-apply)", got)
+	}
+}
+
+// TestShareElisionState: after sharing, SWOpt activity registered through
+// one lock is visible through the other — the property the Kyoto method
+// lock's two sides rely on.
+func TestShareElisionState(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(noHTMProfile()))
+	d := rt.Domain()
+	rw := locks.NewRWLock(d)
+	readLock := rt.NewLock("m(read)", rw.ReadSide(), NewStatic(0, 10))
+	writeLock := rt.NewLock("m(write)", rw.WriteSide(), NewLockOnly())
+	writeLock.ShareElisionState(readLock)
+
+	observed := false
+	cs := &CS{
+		Scope:    NewScope("probe"),
+		HasSWOpt: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.InSWOpt() {
+				observed = writeLock.SWOptCouldBeRunning()
+			}
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	if err := readLock.Execute(thr, cs); err != nil {
+		t.Fatal(err)
+	}
+	if !observed {
+		t.Error("write-side view did not observe read-side SWOpt activity after sharing")
+	}
+}

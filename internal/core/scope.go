@@ -1,0 +1,36 @@
+package core
+
+import "sync/atomic"
+
+// Scope is a static label for a region of code, the unit from which calling
+// contexts are built. Every critical section carries one (the CS's own
+// scope, mirroring how each BEGIN_CS macro expansion defines a scope in the
+// paper), and programs may open additional scopes around call sites with
+// Thread.BeginScope to split statistics for a shared critical section — the
+// paper's BEGIN_SCOPE("foo.CS1") idiom for C++ scoped locking.
+//
+// Scopes are cheap, immutable, and safe to share across threads. Create
+// them once (package or struct initialization), not per call.
+type Scope struct {
+	id    uint64
+	label string
+}
+
+var scopeSeq atomic.Uint64
+
+// NewScope creates a scope with a human-readable label used in reports.
+func NewScope(label string) *Scope {
+	return &Scope{id: scopeSeq.Add(1), label: label}
+}
+
+// Label returns the scope's report label.
+func (s *Scope) Label() string { return s.label }
+
+// contextHash folds a scope into a context hash (FNV-style mixing). The
+// thread keeps a stack of these rolling hashes so popping a scope is O(1).
+func contextHash(parent uint64, s *Scope) uint64 {
+	h := parent ^ (s.id + 0x9e3779b97f4a7c15)
+	h *= 0x100000001b3
+	h ^= h >> 29
+	return h
+}

@@ -1,0 +1,72 @@
+package core
+
+import "fmt"
+
+// StaticPolicy is the paper's static policy (section 4.2): fixed X and Y
+// for every critical section execution — up to X attempts using HTM (if
+// available), then up to Y attempts using the SWOpt path (if available),
+// then acquire the lock.
+type StaticPolicy struct {
+	x, y int
+	name string
+}
+
+// NewStatic creates a static policy with the given retry budgets. X = 0
+// disables HTM, Y = 0 disables SWOpt; the benchmark variant names follow
+// the paper: NewStatic(10, 0) is Static-HTMLock-10 ("Static-HL-10"),
+// NewStatic(0, 10) is Static-SWOPTLock-10 ("Static-SL-10"),
+// NewStatic(10, 10) is Static-All-10:10.
+func NewStatic(x, y int) *StaticPolicy {
+	var name string
+	switch {
+	case x > 0 && y > 0:
+		name = fmt.Sprintf("Static-All-%d:%d", x, y)
+	case x > 0:
+		name = fmt.Sprintf("Static-HL-%d", x)
+	case y > 0:
+		name = fmt.Sprintf("Static-SL-%d", y)
+	default:
+		name = "Static-Lock"
+	}
+	return &StaticPolicy{x: x, y: y, name: name}
+}
+
+// Name identifies the policy in reports.
+func (p *StaticPolicy) Name() string { return p.name }
+
+// Plan returns the fixed budgets, filtered by eligibility.
+func (p *StaticPolicy) Plan(g *Granule, eligHTM, eligSWOpt bool) Plan {
+	return Plan{
+		UseHTM:   eligHTM && p.x > 0,
+		X:        p.x,
+		UseSWOpt: eligSWOpt && p.y > 0,
+		Y:        p.y,
+	}
+}
+
+// Done is a no-op: the static policy does not learn.
+func (p *StaticPolicy) Done(g *Granule, rec *ExecRecord) {}
+
+var _ Policy = (*StaticPolicy)(nil)
+
+// LockOnlyPolicy always acquires the lock — the paper's "Instrumented"
+// baseline: the critical sections are integrated with ALE (so statistics
+// and profiling information are collected and instrumentation overhead is
+// paid) but only the lock is ever used.
+type LockOnlyPolicy struct{}
+
+// NewLockOnly creates the Instrumented baseline policy.
+func NewLockOnly() *LockOnlyPolicy { return &LockOnlyPolicy{} }
+
+// Name identifies the policy in reports.
+func (p *LockOnlyPolicy) Name() string { return "Instrumented" }
+
+// Plan disables both elision modes.
+func (p *LockOnlyPolicy) Plan(g *Granule, eligHTM, eligSWOpt bool) Plan {
+	return Plan{}
+}
+
+// Done is a no-op.
+func (p *LockOnlyPolicy) Done(g *Granule, rec *ExecRecord) {}
+
+var _ Policy = (*LockOnlyPolicy)(nil)

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"repro/internal/tm"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Thread is a worker goroutine's handle into the ALE library. It carries
+// everything the library would keep in thread-local storage in the paper's
+// C implementation: the per-thread stack of frames recording the critical
+// sections executed at each nesting level (paper section 4.1), the calling
+// context, the transaction descriptor, and a private PRNG.
+//
+// Create one Thread per worker goroutine with Runtime.NewThread and pass it
+// to every library call. A Thread must not be shared between goroutines.
+type Thread struct {
+	rt  *Runtime
+	id  int
+	rng *xrand.State
+	txn *tm.Txn
+
+	// Calling context: a stack of rolling hashes (ctx[len-1] is current)
+	// and the matching scope labels for report rendering.
+	ctxHashes []uint64
+	ctxLabels []string
+
+	// frames records one entry per in-flight critical section execution,
+	// innermost last. No frame is pushed for critical sections nested
+	// inside an HTM-mode execution (they join the enclosing transaction).
+	frames []frame
+
+	// inHTM is true while executing inside a hardware transaction (the
+	// outermost HTM frame's body, plus anything nested in it).
+	inHTM bool
+	// htmFrame points at the frames index of the outermost HTM frame
+	// while inHTM, for diagnostics.
+	htmFrame int
+
+	// swoptLock is the lock whose critical section this thread is
+	// currently executing in SWOpt mode, or nil. The engine refuses to
+	// choose SWOpt for a nested critical section under a different lock
+	// (paper section 4.1).
+	swoptLock *Lock
+	// swoptDepth counts nested SWOpt executions under swoptLock.
+	swoptDepth int
+
+	// snziArrivals counts grouping-SNZI arrivals this thread currently
+	// holds (its SWOpt attempts are retrying). While nonzero the thread
+	// never defers to the grouping mechanism — it would wait for itself.
+	snziArrivals int
+
+	// ring records engine events when Options.TraceCapacity > 0.
+	ring *trace.Ring
+}
+
+// frame records one nesting level (paper section 4.1: per-thread stacks of
+// frames record the lock, granule, and mode of each level).
+type frame struct {
+	lock *Lock
+	gran *Granule
+	mode Mode
+	ec   ExecCtx
+}
+
+// NewThread creates a worker handle. Each worker goroutine needs its own.
+func (rt *Runtime) NewThread() *Thread {
+	id := rt.threadSeq.Add(1)
+	t := &Thread{
+		rt:        rt,
+		id:        int(id),
+		rng:       xrand.New(id*0x9e3779b9 + 1),
+		txn:       rt.dom.NewTxn(id + 0x1000),
+		ctxHashes: []uint64{0},
+		ctxLabels: []string{""},
+	}
+	if rt.opts.TraceCapacity > 0 {
+		t.ring = trace.NewRing(rt.opts.TraceCapacity, int32(id))
+	}
+	return t
+}
+
+// Trace returns the thread's event ring, or nil when tracing is disabled.
+// Snapshot it after the thread quiesces (see internal/trace).
+func (t *Thread) Trace() *trace.Ring { return t.ring }
+
+// emit records an engine event if tracing is enabled.
+func (t *Thread) emit(l *Lock, kind trace.Kind, mode Mode, detail uint8) {
+	if t.ring != nil {
+		t.ring.Record(l.id, kind, uint8(mode), detail)
+	}
+}
+
+// ID returns the thread's small dense id (used as its SNZI slot).
+func (t *Thread) ID() int { return t.id }
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// RNG exposes the thread's private PRNG (workload generators reuse it).
+func (t *Thread) RNG() *xrand.State { return t.rng }
+
+// BeginScope opens an explicit scope: subsequent critical sections execute
+// in a context extended by s, so the library keeps separate statistics for
+// them (the paper's BEGIN_SCOPE). Pair with EndScope.
+func (t *Thread) BeginScope(s *Scope) {
+	t.pushScope(s)
+}
+
+// EndScope closes the innermost explicit scope opened with BeginScope.
+func (t *Thread) EndScope() {
+	t.popScope()
+}
+
+func (t *Thread) pushScope(s *Scope) {
+	top := t.ctxHashes[len(t.ctxHashes)-1]
+	t.ctxHashes = append(t.ctxHashes, contextHash(top, s))
+	label := s.label
+	if prev := t.ctxLabels[len(t.ctxLabels)-1]; prev != "" {
+		label = prev + "/" + s.label
+	}
+	t.ctxLabels = append(t.ctxLabels, label)
+}
+
+func (t *Thread) popScope() {
+	if len(t.ctxHashes) <= 1 {
+		panic("ale: EndScope without matching BeginScope")
+	}
+	t.ctxHashes = t.ctxHashes[:len(t.ctxHashes)-1]
+	t.ctxLabels = t.ctxLabels[:len(t.ctxLabels)-1]
+}
+
+// contextTop returns the current context hash and label.
+func (t *Thread) contextTop() (uint64, string) {
+	i := len(t.ctxHashes) - 1
+	return t.ctxHashes[i], t.ctxLabels[i]
+}
+
+// holds reports whether the thread currently holds l's underlying lock
+// (i.e. some enclosing frame ran — or is running — in Lock mode on l).
+func (t *Thread) holds(l *Lock) bool {
+	for i := range t.frames {
+		if t.frames[i].lock == l && t.frames[i].mode == ModeLock {
+			return true
+		}
+	}
+	return false
+}
+
+// Depth returns the current critical-section nesting depth (diagnostics).
+func (t *Thread) Depth() int { return len(t.frames) }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/tm"
+	"repro/internal/trace"
+)
+
+func tracedRuntime(prof tm.Profile) *Runtime {
+	opts := DefaultOptions()
+	opts.TraceCapacity = 1 << 12
+	return NewRuntimeOpts(tm.NewDomain(prof), opts)
+}
+
+func TestTraceRecordsAttemptsAndCommits(t *testing.T) {
+	rt := tracedRuntime(htmProfile())
+	f := newPairFixture(rt, NewStatic(5, 0))
+	thr := rt.NewThread()
+	if thr.Trace() == nil {
+		t.Fatal("tracing enabled but no ring")
+	}
+	for i := 0; i < 20; i++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := thr.Trace().Snapshot()
+	c := trace.Counts(events)
+	if c[trace.KindAttempt] < 20 {
+		t.Errorf("attempts traced = %d, want >= 20", c[trace.KindAttempt])
+	}
+	if c[trace.KindCommit] != 20 {
+		t.Errorf("commits traced = %d, want 20", c[trace.KindCommit])
+	}
+}
+
+func TestTraceRecordsAbortReasons(t *testing.T) {
+	p := htmProfile()
+	p.SpuriousProb = 1.0
+	rt := tracedRuntime(p)
+	f := newPairFixture(rt, NewStatic(2, 0))
+	thr := rt.NewThread()
+	if err := f.lock.Execute(thr, f.writeCS); err != nil {
+		t.Fatal(err)
+	}
+	events := thr.Trace().Snapshot()
+	sawSpurious := false
+	for _, e := range events {
+		if e.Kind == trace.KindAbort && tm.AbortReason(e.Detail) == tm.AbortSpurious {
+			sawSpurious = true
+		}
+	}
+	if !sawSpurious {
+		t.Error("no spurious abort event traced")
+	}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, thr); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"HTM", "abort", "spurious", "Lock", "commit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRecordsSWOptFailures(t *testing.T) {
+	rt := tracedRuntime(noHTMProfile())
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(0, 3))
+	tries := 0
+	cs := &CS{
+		Scope:    NewScope("f"),
+		HasSWOpt: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.InSWOpt() {
+				tries++
+				if tries < 3 {
+					return ec.SWOptFail()
+				}
+				return ec.SelfAbort()
+			}
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	if err := l.Execute(thr, cs); err != nil {
+		t.Fatal(err)
+	}
+	c := trace.Counts(thr.Trace().Snapshot())
+	if c[trace.KindSWOptFail] != 3 { // 2 plain fails + 1 self-abort
+		t.Errorf("SWOpt failures traced = %d, want 3", c[trace.KindSWOptFail])
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	thr := rt.NewThread()
+	if thr.Trace() != nil {
+		t.Error("tracing on without TraceCapacity")
+	}
+	// WriteTrace over untraced threads renders the empty timeline.
+	var sb strings.Builder
+	if err := WriteTrace(&sb, thr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no events") {
+		t.Errorf("untraced render = %q", sb.String())
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/tm"
+	"repro/internal/trace"
+)
+
+// TraceModeName renders a raw trace mode byte with core's Mode names; pass
+// it to trace.Write.
+func TraceModeName(mode uint8) string { return Mode(mode).String() }
+
+// TraceDetailName renders kind-specific detail bytes: abort reasons for
+// aborts, the self-abort flag for SWOpt failures.
+func TraceDetailName(kind trace.Kind, detail uint8) string {
+	switch kind {
+	case trace.KindAbort:
+		return tm.AbortReason(detail).String()
+	case trace.KindSWOptFail:
+		if detail == 1 {
+			return "self-abort"
+		}
+		return ""
+	}
+	return ""
+}
+
+// WriteTrace renders a merged timeline of the given threads' event rings
+// with core's namers. Call after the threads quiesce.
+func WriteTrace(w io.Writer, threads ...*Thread) error {
+	snaps := make([][]trace.Event, 0, len(threads))
+	for _, t := range threads {
+		if t.ring != nil {
+			snaps = append(snaps, t.ring.Snapshot())
+		}
+	}
+	return trace.Write(w, trace.Merge(snaps...), TraceModeName, TraceDetailName)
+}

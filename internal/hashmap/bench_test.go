@@ -1,0 +1,90 @@
+package hashmap
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tm"
+)
+
+// Per-operation microbenchmarks across policies: the raw cost of one Get /
+// Insert / Remove through the full ALE engine, uncontended. These calibrate
+// how much of the figure-level numbers is engine overhead versus workload.
+
+func benchMap(b *testing.B, pol core.Policy) (*Map, *Handle) {
+	b.Helper()
+	rt := core.NewRuntime(tm.NewDomain(htmProfile()))
+	m := New(rt, "tbl", Config{Buckets: 1024, Capacity: 1 << 16, MarkerStripes: 1}, pol)
+	h := m.NewHandle()
+	for k := uint64(1); k <= 4096; k += 2 {
+		if _, err := h.Insert(k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m, h
+}
+
+func benchPolicies() map[string]func() core.Policy {
+	return map[string]func() core.Policy{
+		"lockonly": func() core.Policy { return core.NewLockOnly() },
+		"htm":      func() core.Policy { return core.NewStatic(10, 0) },
+		"swopt":    func() core.Policy { return core.NewStatic(0, 10) },
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	for name, mk := range benchPolicies() {
+		b.Run(name, func(b *testing.B) {
+			_, h := benchMap(b, mk())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := h.Get(uint64(i%4096) + 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInsertOverwrite(b *testing.B) {
+	for name, mk := range benchPolicies() {
+		b.Run(name, func(b *testing.B) {
+			_, h := benchMap(b, mk())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Insert(uint64(i%2048)*2+1, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInsertRemoveCycle(b *testing.B) {
+	for name, mk := range benchPolicies() {
+		b.Run(name, func(b *testing.B) {
+			_, h := benchMap(b, mk())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := uint64(i%1024)*2 + 2 // even keys: initially absent
+				if _, err := h.Insert(key, key); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := h.Remove(key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGetDirectBaseline(b *testing.B) {
+	_, h := benchMap(b, core.NewLockOnly())
+	raw := h.MapOf().Lock().Ops()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw.Acquire()
+		h.GetDirect(uint64(i%4096) + 1)
+		raw.Release()
+	}
+}

@@ -1,0 +1,431 @@
+package hashmap
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+// ErrFull reports node-arena exhaustion.
+var ErrFull = errors.New("hashmap: node arena exhausted")
+
+// buildCS constructs the handle's prebuilt critical sections. Bodies read
+// their arguments from and write their results to the handle's scratch
+// fields; every body resets its outputs first, because an aborted HTM
+// attempt's side effects on the handle survive (only transactional state
+// rolls back) and must never leak into the caller's view.
+func (h *Handle) buildCS() {
+	m := h.m
+
+	// Get — the paper's Figure 1. The SWOpt branch validates after every
+	// dependent load; the exclusive branch is the plain search.
+	h.csGet = core.CS{
+		Scope:    m.scopeGet,
+		HasSWOpt: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retVal, h.retOK = 0, false
+			key := h.argKey
+			b := m.bucket(key)
+			if ec.InSWOpt() {
+				mk := m.marker(b)
+				v := mk.ReadStable()
+				p := ec.Load(&m.buckets[b])
+				if !mk.Validate(v) {
+					return ec.SWOptFail()
+				}
+				for p != 0 {
+					if p > uint64(len(m.nodes)) {
+						return ec.SWOptFail() // corrupt read; retry
+					}
+					nd := &m.nodes[p-1]
+					k := ec.Load(&nd.key)
+					if !mk.Validate(v) {
+						return ec.SWOptFail()
+					}
+					if k == key {
+						h.retVal = ec.Load(&nd.val)
+						if !mk.Validate(v) {
+							return ec.SWOptFail()
+						}
+						h.retOK = true
+						return nil
+					}
+					p = ec.Load(&nd.next)
+					if !mk.Validate(v) {
+						return ec.SWOptFail()
+					}
+				}
+				return nil // validated miss
+			}
+			for p := ec.Load(&m.buckets[b]); p != 0; {
+				nd := &m.nodes[p-1]
+				if ec.Load(&nd.key) == key {
+					h.retVal = ec.Load(&nd.val)
+					h.retOK = true
+					return nil
+				}
+				p = ec.Load(&nd.next)
+			}
+			return nil
+		},
+	}
+
+	// Insert (basic variant): search + mutate in one critical section,
+	// no SWOpt path, conflict marker bumped only around the structural
+	// link. Overwrites of an existing key's value are single-word atomic
+	// and need no marker (a validated Get returns the old or new value,
+	// both linearizable).
+	h.csIns = core.CS{
+		Scope:       m.scopeIns,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retOK = false
+			key, val := h.argKey, h.argVal
+			b := m.bucket(key)
+			for p := ec.Load(&m.buckets[b]); p != 0; {
+				nd := &m.nodes[p-1]
+				if ec.Load(&nd.key) == key {
+					ec.Store(&nd.val, val)
+					return nil // overwrote; retOK=false means "not newly linked"
+				}
+				p = ec.Load(&nd.next)
+			}
+			idx := h.alloc()
+			if idx == 0 {
+				return ErrFull
+			}
+			nd := &m.nodes[idx-1]
+			ec.Store(&nd.key, key)
+			ec.Store(&nd.val, val)
+			ec.Store(&nd.next, ec.Load(&m.buckets[b]))
+			mk := m.marker(b)
+			mk.BeginConflicting(ec)
+			ec.Store(&m.buckets[b], idx)
+			mk.EndConflicting(ec)
+			h.retOK = true
+			return nil
+		},
+	}
+
+	// Remove (basic variant) — the paper's Remove listing: search, then
+	// bracket only the unlink in the conflicting region.
+	h.csRem = core.CS{
+		Scope:       m.scopeRem,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retOK, h.toFree = false, 0
+			key := h.argKey
+			b := m.bucket(key)
+			prev := uint64(0)
+			for p := ec.Load(&m.buckets[b]); p != 0; {
+				nd := &m.nodes[p-1]
+				if ec.Load(&nd.key) == key {
+					next := ec.Load(&nd.next)
+					mk := m.marker(b)
+					mk.BeginConflicting(ec)
+					if prev == 0 {
+						ec.Store(&m.buckets[b], next)
+					} else {
+						ec.Store(&m.nodes[prev-1].next, next)
+					}
+					mk.EndConflicting(ec)
+					h.toFree = p
+					h.retOK = true
+					return nil
+				}
+				prev = p
+				p = ec.Load(&nd.next)
+			}
+			return nil
+		},
+	}
+
+	// Nested mutation sections for the optimistic-search variants
+	// (section 3.3). Each first re-checks the marker version recorded by
+	// the enclosing SWOpt search; on invalidation it ends without
+	// performing the conflicting action and the whole operation retries.
+	h.csMutIns = core.CS{
+		Scope:       m.scopeInsOpt, // nested under the search's scope
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			b := m.bucket(h.argKey)
+			mk := m.marker(b)
+			if !mk.ValidateIn(ec, h.optVer) {
+				return errStale
+			}
+			if h.optNode != 0 {
+				// Key found by the search and still present: overwrite.
+				ec.Store(&m.nodes[h.optNode-1].val, h.argVal)
+				return nil
+			}
+			// Key absent and, by marker stability, still absent: link.
+			idx := h.alloc()
+			if idx == 0 {
+				return ErrFull
+			}
+			nd := &m.nodes[idx-1]
+			ec.Store(&nd.key, h.argKey)
+			ec.Store(&nd.val, h.argVal)
+			ec.Store(&nd.next, ec.Load(&m.buckets[b]))
+			mk.BeginConflicting(ec)
+			ec.Store(&m.buckets[b], idx)
+			mk.EndConflicting(ec)
+			h.retOK = true
+			return nil
+		},
+	}
+	h.csMutRem = core.CS{
+		Scope:       m.scopeRemOpt,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			b := m.bucket(h.argKey)
+			mk := m.marker(b)
+			if !mk.ValidateIn(ec, h.optVer) {
+				return errStale
+			}
+			// Marker stability means the search's prev/node adjacency
+			// still holds; unlink using it.
+			mk.BeginConflicting(ec)
+			if h.optPrev == 0 {
+				ec.Store(&m.buckets[b], h.optNext)
+			} else {
+				ec.Store(&m.nodes[h.optPrev-1].next, h.optNext)
+			}
+			mk.EndConflicting(ec)
+			h.toFree = h.optNode
+			h.retOK = true
+			return nil
+		},
+	}
+
+	// InsertOpt: optimistic search in SWOpt mode, conflicting mutation in
+	// the nested critical section above.
+	h.csInsOpt = core.CS{
+		Scope:       m.scopeInsOpt,
+		HasSWOpt:    true,
+		Conflicting: true, // the exclusive branch mutates directly
+		Body: func(ec *core.ExecCtx) error {
+			h.retOK = false
+			key := h.argKey
+			b := m.bucket(key)
+			if ec.InSWOpt() {
+				mk := m.marker(b)
+				v := mk.ReadStable()
+				found := uint64(0)
+				p := ec.Load(&m.buckets[b])
+				if !mk.Validate(v) {
+					return ec.SWOptFail()
+				}
+				for p != 0 {
+					if p > uint64(len(m.nodes)) {
+						return ec.SWOptFail()
+					}
+					nd := &m.nodes[p-1]
+					k := ec.Load(&nd.key)
+					if !mk.Validate(v) {
+						return ec.SWOptFail()
+					}
+					if k == key {
+						found = p
+						break
+					}
+					p = ec.Load(&nd.next)
+					if !mk.Validate(v) {
+						return ec.SWOptFail()
+					}
+				}
+				h.optVer, h.optNode = v, found
+				err := m.lock.Execute(h.thr, &h.csMutIns)
+				if errors.Is(err, errStale) {
+					return ec.SWOptFail()
+				}
+				return err
+			}
+			// Exclusive branch: same as the basic Insert.
+			for p := ec.Load(&m.buckets[b]); p != 0; {
+				nd := &m.nodes[p-1]
+				if ec.Load(&nd.key) == key {
+					ec.Store(&nd.val, h.argVal)
+					return nil
+				}
+				p = ec.Load(&nd.next)
+			}
+			idx := h.alloc()
+			if idx == 0 {
+				return ErrFull
+			}
+			nd := &m.nodes[idx-1]
+			ec.Store(&nd.key, key)
+			ec.Store(&nd.val, h.argVal)
+			ec.Store(&nd.next, ec.Load(&m.buckets[b]))
+			mk := m.marker(b)
+			mk.BeginConflicting(ec)
+			ec.Store(&m.buckets[b], idx)
+			mk.EndConflicting(ec)
+			h.retOK = true
+			return nil
+		},
+	}
+
+	// RemoveOpt: optimistic search recording (prev, node, next), nested
+	// unlink.
+	h.csRemOpt = core.CS{
+		Scope:       m.scopeRemOpt,
+		HasSWOpt:    true,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retOK, h.toFree = false, 0
+			key := h.argKey
+			b := m.bucket(key)
+			if ec.InSWOpt() {
+				mk := m.marker(b)
+				v := mk.ReadStable()
+				prev := uint64(0)
+				p := ec.Load(&m.buckets[b])
+				if !mk.Validate(v) {
+					return ec.SWOptFail()
+				}
+				for p != 0 {
+					if p > uint64(len(m.nodes)) {
+						return ec.SWOptFail()
+					}
+					nd := &m.nodes[p-1]
+					k := ec.Load(&nd.key)
+					if !mk.Validate(v) {
+						return ec.SWOptFail()
+					}
+					if k == key {
+						next := ec.Load(&nd.next)
+						if !mk.Validate(v) {
+							return ec.SWOptFail()
+						}
+						h.optVer, h.optPrev, h.optNode, h.optNext = v, prev, p, next
+						err := m.lock.Execute(h.thr, &h.csMutRem)
+						if errors.Is(err, errStale) {
+							return ec.SWOptFail()
+						}
+						return err
+					}
+					prev = p
+					p = ec.Load(&nd.next)
+					if !mk.Validate(v) {
+						return ec.SWOptFail()
+					}
+				}
+				return nil // validated miss: nothing to remove
+			}
+			// Exclusive branch: same as the basic Remove.
+			prev := uint64(0)
+			for p := ec.Load(&m.buckets[b]); p != 0; {
+				nd := &m.nodes[p-1]
+				if ec.Load(&nd.key) == key {
+					next := ec.Load(&nd.next)
+					mk := m.marker(b)
+					mk.BeginConflicting(ec)
+					if prev == 0 {
+						ec.Store(&m.buckets[b], next)
+					} else {
+						ec.Store(&m.nodes[prev-1].next, next)
+					}
+					mk.EndConflicting(ec)
+					h.toFree = p
+					h.retOK = true
+					return nil
+				}
+				prev = p
+				p = ec.Load(&nd.next)
+			}
+			return nil
+		},
+	}
+
+	// Clear: bulk removal. Lock mode only (whole-table sweep cannot fit
+	// in HTM and must not run optimistically); side effects on the
+	// handle's free list are safe because Lock-mode bodies run exactly
+	// once. Every marker is bumped around the sweep.
+	h.csClear = core.CS{
+		Scope:       m.scopeClear,
+		NoHTM:       true,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retN = 0
+			for _, mk := range m.markers {
+				mk.BeginConflicting(ec)
+			}
+			for b := range m.buckets {
+				for p := ec.Load(&m.buckets[b]); p != 0; {
+					next := ec.Load(&m.nodes[p-1].next)
+					h.free = append(h.free, p)
+					p = next
+					h.retN++
+				}
+				ec.Store(&m.buckets[b], 0)
+			}
+			for _, mk := range m.markers {
+				mk.EndConflicting(ec)
+			}
+			return nil
+		},
+	}
+
+	// RemoveSelfAbort: the self-abort idiom. The SWOpt path completes
+	// misses entirely optimistically; on a hit it self-aborts so the
+	// execution retries with SWOpt disabled.
+	h.csRemSA = core.CS{
+		Scope:       m.scopeRemSA,
+		HasSWOpt:    true,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retOK, h.toFree = false, 0
+			key := h.argKey
+			b := m.bucket(key)
+			if ec.InSWOpt() {
+				mk := m.marker(b)
+				v := mk.ReadStable()
+				p := ec.Load(&m.buckets[b])
+				if !mk.Validate(v) {
+					return ec.SWOptFail()
+				}
+				for p != 0 {
+					if p > uint64(len(m.nodes)) {
+						return ec.SWOptFail()
+					}
+					nd := &m.nodes[p-1]
+					k := ec.Load(&nd.key)
+					if !mk.Validate(v) {
+						return ec.SWOptFail()
+					}
+					if k == key {
+						return ec.SelfAbort() // conflicting action ahead
+					}
+					p = ec.Load(&nd.next)
+					if !mk.Validate(v) {
+						return ec.SWOptFail()
+					}
+				}
+				return nil // validated miss
+			}
+			prev := uint64(0)
+			for p := ec.Load(&m.buckets[b]); p != 0; {
+				nd := &m.nodes[p-1]
+				if ec.Load(&nd.key) == key {
+					next := ec.Load(&nd.next)
+					mk := m.marker(b)
+					mk.BeginConflicting(ec)
+					if prev == 0 {
+						ec.Store(&m.buckets[b], next)
+					} else {
+						ec.Store(&m.nodes[prev-1].next, next)
+					}
+					mk.EndConflicting(ec)
+					h.toFree = p
+					h.retOK = true
+					return nil
+				}
+				prev = p
+				p = ec.Load(&nd.next)
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,109 @@
+package hashmap
+
+// Direct accessors bypass the ALE library entirely: no critical-section
+// engine, no statistics, no elision. The caller must provide exclusion
+// (hold some external lock). They exist for the paper's baselines:
+//
+//   - "Uninstrumented": the original single-lock HashMap with no ALE
+//     integration at all (external TATAS lock + these methods);
+//   - Kyoto Cabinet's hand-tuned "trylockspin" variant, which manages the
+//     method and slot locks itself.
+//
+// Loads use LoadConsistent so a baseline running in the same process as
+// elided variants (tests do this) still serializes against transaction
+// commits; under a plain global lock this degenerates to an atomic load.
+
+// GetDirect looks key up. Caller must hold exclusion.
+func (h *Handle) GetDirect(key uint64) (uint64, bool) {
+	m := h.m
+	b := m.bucket(key)
+	for p := m.buckets[b].LoadConsistent(); p != 0; {
+		nd := &m.nodes[p-1]
+		if nd.key.LoadConsistent() == key {
+			return nd.val.LoadConsistent(), true
+		}
+		p = nd.next.LoadConsistent()
+	}
+	return 0, false
+}
+
+// InsertDirect adds or overwrites key -> val, reporting whether a new node
+// was linked. Caller must hold exclusion.
+func (h *Handle) InsertDirect(key, val uint64) (bool, error) {
+	m := h.m
+	b := m.bucket(key)
+	for p := m.buckets[b].LoadConsistent(); p != 0; {
+		nd := &m.nodes[p-1]
+		if nd.key.LoadConsistent() == key {
+			nd.val.StoreDirect(val)
+			return false, nil
+		}
+		p = nd.next.LoadConsistent()
+	}
+	idx := h.alloc()
+	if idx == 0 {
+		return false, ErrFull
+	}
+	h.pendingNode = 0
+	nd := &m.nodes[idx-1]
+	nd.key.StoreDirect(key)
+	nd.val.StoreDirect(val)
+	nd.next.StoreDirect(m.buckets[b].LoadConsistent())
+	m.buckets[b].StoreDirect(idx)
+	return true, nil
+}
+
+// RemoveDirect deletes key if present. Caller must hold exclusion.
+func (h *Handle) RemoveDirect(key uint64) bool {
+	m := h.m
+	b := m.bucket(key)
+	prev := uint64(0)
+	for p := m.buckets[b].LoadConsistent(); p != 0; {
+		nd := &m.nodes[p-1]
+		if nd.key.LoadConsistent() == key {
+			next := nd.next.LoadConsistent()
+			if prev == 0 {
+				m.buckets[b].StoreDirect(next)
+			} else {
+				m.nodes[prev-1].next.StoreDirect(next)
+			}
+			h.free = append(h.free, p)
+			return true
+		}
+		prev = p
+		p = nd.next.LoadConsistent()
+	}
+	return false
+}
+
+// LenDirect counts entries. Caller must hold exclusion.
+func (h *Handle) LenDirect() int {
+	m := h.m
+	n := 0
+	for b := range m.buckets {
+		for p := m.buckets[b].LoadConsistent(); p != 0; {
+			n++
+			p = m.nodes[p-1].next.LoadConsistent()
+		}
+	}
+	return n
+}
+
+// ClearDirect unlinks every entry, recycling the nodes into this handle's
+// free list. Caller must hold exclusion. ALE-integrated users must instead
+// clear through a critical section that bumps the markers; this is the
+// baseline/bulk primitive (the Kyoto substrate wraps it appropriately).
+func (h *Handle) ClearDirect() int {
+	m := h.m
+	n := 0
+	for b := range m.buckets {
+		for p := m.buckets[b].LoadConsistent(); p != 0; {
+			next := m.nodes[p-1].next.LoadConsistent()
+			h.free = append(h.free, p)
+			p = next
+			n++
+		}
+		m.buckets[b].StoreDirect(0)
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+package hashmap_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hashmap"
+	"repro/internal/platform"
+	"repro/internal/tm"
+)
+
+// Example shows the paper's HashMap in its intended shape: one ALE lock,
+// SWOpt-capable Get, conflict-marked mutations, per-goroutine handles.
+func Example() {
+	rt := core.NewRuntime(tm.NewDomain(platform.Haswell().Profile))
+	m := hashmap.New(rt, "tbl",
+		hashmap.Config{Buckets: 64, Capacity: 1024, MarkerStripes: 1},
+		core.NewStatic(10, 10))
+	h := m.NewHandle()
+
+	if _, err := h.Insert(42, 4200); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	v, ok, _ := h.Get(42)
+	fmt.Println(v, ok)
+
+	removed, _ := h.Remove(42)
+	fmt.Println(removed)
+
+	_, ok, _ = h.Get(42)
+	fmt.Println(ok)
+	// Output:
+	// 4200 true
+	// true
+	// false
+}
+
+// Example_optimisticVariants demonstrates the section 3.3 refinements:
+// optimistic-search mutations and the self-abort Remove.
+func Example_optimisticVariants() {
+	rt := core.NewRuntime(tm.NewDomain(platform.T2().Profile)) // no HTM
+	m := hashmap.New(rt, "tbl",
+		hashmap.Config{Buckets: 64, Capacity: 1024, MarkerStripes: 1},
+		core.NewStatic(0, 10))
+	h := m.NewHandle()
+
+	fresh, _ := h.InsertOpt(7, 700) // searches in SWOpt, links in a nested CS
+	fmt.Println("fresh:", fresh)
+
+	missed, _ := h.RemoveSelfAbort(8) // miss: completes entirely in SWOpt
+	fmt.Println("removed absent key:", missed)
+
+	hit, _ := h.RemoveOpt(7) // searches in SWOpt, unlinks in a nested CS
+	fmt.Println("removed present key:", hit)
+	// Output:
+	// fresh: true
+	// removed absent key: false
+	// removed present key: true
+}

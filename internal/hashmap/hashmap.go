@@ -1,0 +1,353 @@
+// Package hashmap is the paper's running example (section 3): a chained
+// hash map protected by a single lock (tblLock), integrated with the ALE
+// library so that every operation's critical section can execute in HTM,
+// SWOpt, or Lock mode.
+//
+// The SWOpt machinery follows the paper exactly:
+//
+//   - a version number (tblVer, here a core.ConflictMarker, optionally
+//     striped per bucket group) is bumped around explicitly identified
+//     conflicting regions — the unlink in Remove, the link in Insert —
+//     rather than around whole critical sections;
+//   - Get's optimistic path is the paper's Figure 1 GetImp: it reads the
+//     version first (waiting for it to be even), then validates after
+//     every dependent load, bailing out with a retry on any change;
+//   - the section 3.3 refinements are provided too: self-abort variants
+//     (RemoveSelfAbort) and optimistic-search variants (InsertOpt /
+//     RemoveOpt) that search in SWOpt mode and perform the conflicting
+//     mutation in a nested critical section with no SWOpt path,
+//     re-checking for invalidation after acquiring the lock.
+//
+// Nodes live in a fixed arena and are addressed by index, so a stale
+// optimistic reader can never touch unmapped memory (the paper's
+// "application does not deallocate memory during its lifetime" assumption,
+// made structural). Freed nodes go to per-handle free lists and may be
+// recycled immediately: every unlink bumps the conflict marker, so a
+// validated reader can never follow a recycled node undetected.
+//
+// Keys are non-zero uint64s; values are uint64s.
+package hashmap
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/tm"
+)
+
+// node is one chain entry. All three fields are transactional cells: key
+// and val so HTM executions track them, next because it is the structural
+// link concurrent modes race on. A node's key is immutable while linked.
+type node struct {
+	key  tm.Var
+	val  tm.Var
+	next tm.Var // index+1 of the next node; 0 terminates the chain
+}
+
+// Config sizes a Map.
+type Config struct {
+	// Buckets is the number of hash buckets (rounded up to a power of 2).
+	Buckets int
+	// Capacity is the node-arena size: the maximum number of live entries.
+	Capacity int
+	// MarkerStripes is the number of conflict markers the buckets are
+	// striped over (rounded up to a power of 2). 1 reproduces the paper's
+	// single tblVer; larger values implement the finer granularity the
+	// paper suggests ("say one for each HashMap bucket. We have not yet
+	// experimented with this option") and are ablated in the benchmarks.
+	MarkerStripes int
+}
+
+// DefaultConfig returns the microbenchmark sizing.
+func DefaultConfig() Config {
+	return Config{Buckets: 1024, Capacity: 1 << 16, MarkerStripes: 1}
+}
+
+// Map is the ALE-integrated hash map. Construct with New; operate through
+// per-goroutine Handles.
+type Map struct {
+	rt      *core.Runtime
+	lock    *core.Lock
+	markers []*core.ConflictMarker
+	buckets []tm.Var
+	nodes   []node
+	mask    uint64
+	mmask   uint64
+
+	// chunk hands out arena segments to handles.
+	chunk tm.Var
+
+	scopeGet, scopeIns, scopeRem         *core.Scope
+	scopeInsOpt, scopeRemOpt, scopeRemSA *core.Scope
+	scopeClear, scopeLen                 *core.Scope
+}
+
+// errStale is the nested mutation CS's report that the enclosing SWOpt
+// search was invalidated before the lock was acquired (section 3.3): the
+// whole operation must retry.
+var errStale = errors.New("hashmap: optimistic search invalidated")
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New builds a Map on runtime rt whose critical sections are governed by
+// policy (one fresh policy instance; do not share policies across locks).
+func New(rt *core.Runtime, name string, cfg Config, policy core.Policy) *Map {
+	if cfg.Buckets < 1 || cfg.Capacity < 1 {
+		panic("hashmap: non-positive sizing")
+	}
+	cfg.Buckets = ceilPow2(cfg.Buckets)
+	if cfg.MarkerStripes < 1 {
+		cfg.MarkerStripes = 1
+	}
+	cfg.MarkerStripes = ceilPow2(cfg.MarkerStripes)
+	d := rt.Domain()
+	m := &Map{
+		rt:      rt,
+		lock:    rt.NewLock(name, locks.NewTATAS(d), policy),
+		buckets: d.NewVars(cfg.Buckets),
+		nodes:   make([]node, cfg.Capacity),
+		mask:    uint64(cfg.Buckets - 1),
+		mmask:   uint64(cfg.MarkerStripes - 1),
+
+		scopeGet:    core.NewScope(name + ".Get"),
+		scopeIns:    core.NewScope(name + ".Insert"),
+		scopeRem:    core.NewScope(name + ".Remove"),
+		scopeInsOpt: core.NewScope(name + ".InsertOpt"),
+		scopeRemOpt: core.NewScope(name + ".RemoveOpt"),
+		scopeRemSA:  core.NewScope(name + ".RemoveSelfAbort"),
+		scopeClear:  core.NewScope(name + ".Clear"),
+		scopeLen:    core.NewScope(name + ".Len"),
+	}
+	d.InitVar(&m.chunk, 0)
+	for i := range m.nodes {
+		d.InitVar(&m.nodes[i].key, 0)
+		d.InitVar(&m.nodes[i].val, 0)
+		d.InitVar(&m.nodes[i].next, 0)
+	}
+	m.markers = make([]*core.ConflictMarker, cfg.MarkerStripes)
+	for i := range m.markers {
+		m.markers[i] = m.lock.NewMarker()
+	}
+	return m
+}
+
+// Lock exposes the ALE lock (reports, tests).
+func (m *Map) Lock() *core.Lock { return m.lock }
+
+// Capacity returns the arena size.
+func (m *Map) Capacity() int { return len(m.nodes) }
+
+// hash mixes a key into a bucket index (splitmix64 finalizer).
+func hash(key uint64) uint64 {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (m *Map) bucket(key uint64) uint64             { return hash(key) & m.mask }
+func (m *Map) marker(b uint64) *core.ConflictMarker { return m.markers[b&m.mmask] }
+
+// chunkSize is how many arena nodes a handle grabs at once.
+const chunkSize = 64
+
+// Handle is a per-goroutine accessor for the Map. It owns a core.Thread,
+// a private node free list, and the scratch cells the prebuilt critical
+// sections read their arguments from.
+type Handle struct {
+	m   *Map
+	thr *core.Thread
+
+	free      []uint64 // recycled node indices (as index+1)
+	chunkBase uint64   // next unallocated index+1 in the current chunk
+	chunkEnd  uint64
+
+	// pendingNode survives across aborted attempts so an execution that
+	// retries does not leak one arena node per abort.
+	pendingNode uint64
+
+	// Per-call arguments and results for the prebuilt CS bodies.
+	argKey uint64
+	argVal uint64
+	retVal uint64
+	retOK  bool
+	toFree uint64
+
+	csGet, csIns, csRem       core.CS
+	csInsOpt, csRemOpt        core.CS
+	csRemSA, csClear          core.CS
+	csMutIns, csMutRem        core.CS
+	optVer                    uint64
+	optPrev, optNode, optNext uint64
+	retN                      int
+}
+
+// NewHandle creates a per-goroutine handle with its own ALE thread.
+func (m *Map) NewHandle() *Handle {
+	return m.NewHandleWithThread(m.rt.NewThread())
+}
+
+// NewHandleWithThread creates a handle executing on an existing ALE
+// thread. Composite structures (the Kyoto Cabinet substrate) use this so
+// one worker goroutine's nested critical sections across several locks
+// share the single per-thread frame stack the nesting rules require.
+func (m *Map) NewHandleWithThread(thr *core.Thread) *Handle {
+	h := &Handle{m: m, thr: thr}
+	h.buildCS()
+	return h
+}
+
+// Thread exposes the handle's ALE thread (for explicit scopes).
+func (h *Handle) Thread() *core.Thread { return h.thr }
+
+// alloc returns a free node index+1, or 0 if the arena is exhausted.
+func (h *Handle) alloc() uint64 {
+	if h.pendingNode != 0 {
+		return h.pendingNode
+	}
+	var idx uint64
+	if n := len(h.free); n > 0 {
+		idx = h.free[n-1]
+		h.free = h.free[:n-1]
+	} else {
+		if h.chunkBase >= h.chunkEnd {
+			base := h.m.chunk.AddDirect(chunkSize)
+			if base > uint64(len(h.m.nodes)) {
+				return 0 // arena exhausted
+			}
+			h.chunkBase, h.chunkEnd = base-chunkSize+1, base+1
+		}
+		idx = h.chunkBase
+		h.chunkBase++
+	}
+	h.pendingNode = idx
+	return idx
+}
+
+// Get looks key up, returning its value. The critical section has a SWOpt
+// path (the paper's Figure 1).
+func (h *Handle) Get(key uint64) (uint64, bool, error) {
+	if key == 0 {
+		return 0, false, fmt.Errorf("hashmap: zero key")
+	}
+	h.argKey = key
+	err := h.m.lock.Execute(h.thr, &h.csGet)
+	return h.retVal, h.retOK, err
+}
+
+// Insert adds or overwrites key -> val (basic variant: the whole operation
+// in one critical section, conflicting region around the link).
+func (h *Handle) Insert(key, val uint64) (bool, error) {
+	if key == 0 {
+		return false, fmt.Errorf("hashmap: zero key")
+	}
+	h.argKey, h.argVal = key, val
+	err := h.m.lock.Execute(h.thr, &h.csIns)
+	if err == nil && h.retOK {
+		h.pendingNode = 0 // consumed by the committed link
+	}
+	return h.retOK, err
+}
+
+// Remove deletes key if present (basic variant; conflicting region around
+// the unlink, exactly the paper's Remove listing).
+func (h *Handle) Remove(key uint64) (bool, error) {
+	if key == 0 {
+		return false, fmt.Errorf("hashmap: zero key")
+	}
+	h.argKey = key
+	h.toFree = 0
+	err := h.m.lock.Execute(h.thr, &h.csRem)
+	if err == nil && h.toFree != 0 {
+		h.free = append(h.free, h.toFree)
+		h.toFree = 0
+	}
+	return h.retOK, err
+}
+
+// InsertOpt is the section 3.3 optimistic-search Insert: the search runs in
+// SWOpt mode and the conflicting mutation happens in a nested critical
+// section with no SWOpt path.
+func (h *Handle) InsertOpt(key, val uint64) (bool, error) {
+	if key == 0 {
+		return false, fmt.Errorf("hashmap: zero key")
+	}
+	h.argKey, h.argVal = key, val
+	err := h.m.lock.Execute(h.thr, &h.csInsOpt)
+	if err == nil && h.retOK {
+		h.pendingNode = 0
+	}
+	return h.retOK, err
+}
+
+// RemoveOpt is the section 3.3 optimistic-search Remove.
+func (h *Handle) RemoveOpt(key uint64) (bool, error) {
+	if key == 0 {
+		return false, fmt.Errorf("hashmap: zero key")
+	}
+	h.argKey = key
+	h.toFree = 0
+	err := h.m.lock.Execute(h.thr, &h.csRemOpt)
+	if err == nil && h.toFree != 0 {
+		h.free = append(h.free, h.toFree)
+		h.toFree = 0
+	}
+	return h.retOK, err
+}
+
+// RemoveSelfAbort is the section 3.3 self-abort Remove: the SWOpt path
+// searches, and on finding a node to unlink self-aborts so the execution
+// retries non-optimistically. Misses complete entirely in SWOpt mode.
+func (h *Handle) RemoveSelfAbort(key uint64) (bool, error) {
+	if key == 0 {
+		return false, fmt.Errorf("hashmap: zero key")
+	}
+	h.argKey = key
+	h.toFree = 0
+	err := h.m.lock.Execute(h.thr, &h.csRemSA)
+	if err == nil && h.toFree != 0 {
+		h.free = append(h.free, h.toFree)
+		h.toFree = 0
+	}
+	return h.retOK, err
+}
+
+// Clear removes every entry through an ALE critical section, recycling the
+// nodes into this handle's free list. It runs in Lock mode (it touches
+// every bucket, hopeless in HTM) and bumps every conflict marker around
+// the sweep so concurrent SWOpt searches retry. Returns how many entries
+// were removed.
+func (h *Handle) Clear() (int, error) {
+	err := h.m.lock.Execute(h.thr, &h.csClear)
+	return h.retN, err
+}
+
+// Len counts entries by walking every chain under the lock (test/diagnostic
+// helper, not part of the paper's API).
+func (h *Handle) Len() (int, error) {
+	n := 0
+	err := h.m.lock.Execute(h.thr, &core.CS{
+		Scope: h.m.scopeLen,
+		Body: func(ec *core.ExecCtx) error {
+			n = 0
+			for b := range h.m.buckets {
+				for p := ec.Load(&h.m.buckets[b]); p != 0; {
+					nd := &h.m.nodes[p-1]
+					n++
+					p = ec.Load(&nd.next)
+				}
+			}
+			return nil
+		},
+		NoHTM: true, // touches every bucket: hopeless in HTM, don't try
+	})
+	return n, err
+}

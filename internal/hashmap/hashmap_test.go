@@ -1,0 +1,486 @@
+package hashmap
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/tm"
+	"repro/internal/xrand"
+)
+
+func htmProfile() tm.Profile {
+	return tm.Profile{Name: "test-htm", Enabled: true, ReadCap: 1 << 16, WriteCap: 1 << 16}
+}
+
+func noHTMProfile() tm.Profile {
+	return tm.Profile{Name: "test-nohtm", Enabled: false}
+}
+
+func newMap(prof tm.Profile, pol core.Policy) *Map {
+	rt := core.NewRuntime(tm.NewDomain(prof))
+	return New(rt, "tbl", Config{Buckets: 64, Capacity: 4096, MarkerStripes: 1}, pol)
+}
+
+func TestSequentialBasics(t *testing.T) {
+	m := newMap(htmProfile(), core.NewStatic(10, 10))
+	h := m.NewHandle()
+
+	if _, ok, _ := h.Get(1); ok {
+		t.Fatal("Get on empty map found a key")
+	}
+	if fresh, err := h.Insert(1, 100); err != nil || !fresh {
+		t.Fatalf("Insert(1) = (%v, %v)", fresh, err)
+	}
+	if v, ok, _ := h.Get(1); !ok || v != 100 {
+		t.Fatalf("Get(1) = (%d, %v), want (100, true)", v, ok)
+	}
+	if fresh, err := h.Insert(1, 200); err != nil || fresh {
+		t.Fatalf("overwrite Insert(1) = (%v, %v), want (false, nil)", fresh, err)
+	}
+	if v, _, _ := h.Get(1); v != 200 {
+		t.Fatalf("Get(1) after overwrite = %d, want 200", v)
+	}
+	if ok, _ := h.Remove(1); !ok {
+		t.Fatal("Remove(1) missed")
+	}
+	if _, ok, _ := h.Get(1); ok {
+		t.Fatal("Get(1) found a removed key")
+	}
+	if ok, _ := h.Remove(1); ok {
+		t.Fatal("Remove(1) hit twice")
+	}
+	if n, _ := h.Len(); n != 0 {
+		t.Fatalf("Len = %d, want 0", n)
+	}
+}
+
+func TestZeroKeyRejected(t *testing.T) {
+	m := newMap(htmProfile(), core.NewLockOnly())
+	h := m.NewHandle()
+	if _, err := h.Insert(0, 1); err == nil {
+		t.Error("Insert(0) accepted")
+	}
+	if _, _, err := h.Get(0); err == nil {
+		t.Error("Get(0) accepted")
+	}
+	if _, err := h.Remove(0); err == nil {
+		t.Error("Remove(0) accepted")
+	}
+}
+
+func TestNodeRecycling(t *testing.T) {
+	m := newMap(htmProfile(), core.NewStatic(5, 0))
+	h := m.NewHandle()
+	// Insert/remove far more times than the arena holds: recycling must
+	// keep this going.
+	for i := 0; i < 3*m.Capacity(); i++ {
+		key := uint64(i%100 + 1)
+		if _, err := h.Insert(key, uint64(i)); err != nil {
+			t.Fatalf("Insert #%d: %v", i, err)
+		}
+		if ok, err := h.Remove(key); err != nil || !ok {
+			t.Fatalf("Remove #%d = (%v, %v)", i, ok, err)
+		}
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	rt := core.NewRuntime(tm.NewDomain(htmProfile()))
+	m := New(rt, "tiny", Config{Buckets: 8, Capacity: 70, MarkerStripes: 1}, core.NewLockOnly())
+	h := m.NewHandle()
+	var err error
+	for i := 1; err == nil && i <= 1000; i++ {
+		_, err = h.Insert(uint64(i), 0)
+	}
+	if err != ErrFull {
+		t.Fatalf("error after overfilling = %v, want ErrFull", err)
+	}
+}
+
+// opSeq drives one variant family against a model map.
+type quickOp struct {
+	Kind uint8 // get / insert / remove
+	Key  uint8
+	Val  uint16
+}
+
+func runVariantVsModel(t *testing.T, name string, prof tm.Profile,
+	ins func(h *Handle, k, v uint64) error,
+	rem func(h *Handle, k uint64) (bool, error)) {
+	t.Helper()
+	f := func(ops []quickOp) bool {
+		m := newMap(prof, core.NewStatic(5, 5))
+		h := m.NewHandle()
+		model := map[uint64]uint64{}
+		for _, op := range ops {
+			key := uint64(op.Key%32) + 1
+			switch op.Kind % 3 {
+			case 0:
+				v, ok, err := h.Get(key)
+				if err != nil {
+					return false
+				}
+				want, wok := model[key]
+				if ok != wok || (ok && v != want) {
+					return false
+				}
+			case 1:
+				if err := ins(h, key, uint64(op.Val)); err != nil {
+					return false
+				}
+				model[key] = uint64(op.Val)
+			case 2:
+				ok, err := rem(h, key)
+				if err != nil {
+					return false
+				}
+				_, wok := model[key]
+				if ok != wok {
+					return false
+				}
+				delete(model, key)
+			}
+		}
+		n, err := h.Len()
+		return err == nil && n == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+// TestQuickVariantsMatchModel checks every operation family (basic,
+// optimistic-search, self-abort) against a model map on both platform
+// kinds.
+func TestQuickVariantsMatchModel(t *testing.T) {
+	basicIns := func(h *Handle, k, v uint64) error { _, err := h.Insert(k, v); return err }
+	basicRem := func(h *Handle, k uint64) (bool, error) { return h.Remove(k) }
+	optIns := func(h *Handle, k, v uint64) error { _, err := h.InsertOpt(k, v); return err }
+	optRem := func(h *Handle, k uint64) (bool, error) { return h.RemoveOpt(k) }
+	saRem := func(h *Handle, k uint64) (bool, error) { return h.RemoveSelfAbort(k) }
+
+	runVariantVsModel(t, "basic/htm", htmProfile(), basicIns, basicRem)
+	runVariantVsModel(t, "basic/nohtm", noHTMProfile(), basicIns, basicRem)
+	runVariantVsModel(t, "opt/htm", htmProfile(), optIns, optRem)
+	runVariantVsModel(t, "opt/nohtm", noHTMProfile(), optIns, optRem)
+	runVariantVsModel(t, "selfabort/htm", htmProfile(), basicIns, saRem)
+	runVariantVsModel(t, "selfabort/nohtm", noHTMProfile(), basicIns, saRem)
+}
+
+// TestConcurrentDisjointKeys: threads own disjoint key ranges; the final
+// contents must be exactly the union of each thread's final writes.
+func TestConcurrentDisjointKeys(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prof tm.Profile
+		pol  func() core.Policy
+	}{
+		{"htm", htmProfile(), func() core.Policy { return core.NewStatic(10, 0) }},
+		{"all", htmProfile(), func() core.Policy { return core.NewStatic(10, 10) }},
+		{"swopt", noHTMProfile(), func() core.Policy { return core.NewStatic(0, 10) }},
+		{"adaptive", htmProfile(), func() core.Policy {
+			return core.NewAdaptiveCfg(core.AdaptiveConfig{PhaseExecs: 100, InitialX: 10, XSlack: 2, BigY: 100})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := core.NewRuntime(tm.NewDomain(tc.prof))
+			m := New(rt, "tbl", Config{Buckets: 128, Capacity: 1 << 14, MarkerStripes: 1}, tc.pol())
+			const workers, keysPer, rounds = 6, 40, 300
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					h := m.NewHandle()
+					base := uint64(id*keysPer) + 1
+					for r := 0; r < rounds; r++ {
+						for k := uint64(0); k < keysPer; k++ {
+							key := base + k
+							if _, err := h.Insert(key, key*1000+uint64(r)); err != nil {
+								errCh <- err
+								return
+							}
+						}
+						for k := uint64(0); k < keysPer; k += 2 {
+							if _, err := h.Remove(base + k); err != nil {
+								errCh <- err
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+			h := m.NewHandle()
+			for w := 0; w < workers; w++ {
+				base := uint64(w*keysPer) + 1
+				for k := uint64(0); k < keysPer; k++ {
+					key := base + k
+					v, ok, err := h.Get(key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if k%2 == 0 {
+						if ok {
+							t.Errorf("key %d present after final remove", key)
+						}
+					} else {
+						if !ok || v != key*1000+rounds-1 {
+							t.Errorf("key %d = (%d, %v), want (%d, true)",
+								key, v, ok, key*1000+rounds-1)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentMixedTorture: all threads hammer a shared key range with
+// mixed ops; every successful Get must return a value tagged with its key
+// (values are key*1e6 + anything), catching cross-key corruption from
+// recycled nodes or torn optimistic reads.
+func TestConcurrentMixedTorture(t *testing.T) {
+	for _, variant := range []string{"basic", "opt", "selfabort"} {
+		t.Run(variant, func(t *testing.T) {
+			rt := core.NewRuntime(tm.NewDomain(htmProfile()))
+			m := New(rt, "tbl", Config{Buckets: 32, Capacity: 1 << 14, MarkerStripes: 1},
+				core.NewStatic(8, 8))
+			const workers, per, keyRange = 8, 4000, 64
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			bad := make(chan string, 1)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					h := m.NewHandle()
+					rng := xrand.New(uint64(id) + 1)
+					for i := 0; i < per; i++ {
+						key := rng.Uint64n(keyRange) + 1
+						switch rng.Intn(10) {
+						case 0, 1, 2: // 30% insert
+							var err error
+							if variant == "opt" {
+								_, err = h.InsertOpt(key, key*1000000+rng.Uint64n(1000))
+							} else {
+								_, err = h.Insert(key, key*1000000+rng.Uint64n(1000))
+							}
+							if err != nil {
+								errCh <- err
+								return
+							}
+						case 3, 4: // 20% remove
+							var err error
+							switch variant {
+							case "opt":
+								_, err = h.RemoveOpt(key)
+							case "selfabort":
+								_, err = h.RemoveSelfAbort(key)
+							default:
+								_, err = h.Remove(key)
+							}
+							if err != nil {
+								errCh <- err
+								return
+							}
+						default: // 50% get
+							v, ok, err := h.Get(key)
+							if err != nil {
+								errCh <- err
+								return
+							}
+							if ok && v/1000000 != key {
+								select {
+								case bad <- "Get returned a value tagged for another key":
+								default:
+								}
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+			select {
+			case msg := <-bad:
+				t.Fatal(msg)
+			default:
+			}
+		})
+	}
+}
+
+func TestClearWithConcurrentReaders(t *testing.T) {
+	rt := core.NewRuntime(tm.NewDomain(htmProfile()))
+	m := New(rt, "tbl", Config{Buckets: 64, Capacity: 8192, MarkerStripes: 4},
+		core.NewStatic(8, 8))
+	seed := m.NewHandle()
+	for k := uint64(1); k <= 500; k++ {
+		if _, err := seed.Insert(k, k*1000000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := m.NewHandle()
+			rng := xrand.New(uint64(id) + 7)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := rng.Uint64n(500) + 1
+				v, ok, err := h.Get(key)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if ok && v/1000000 != key {
+					errCh <- ErrFull // sentinel misuse is fine for a test signal
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := seed.Clear(); err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(1); k <= 500; k++ {
+			if _, err := seed.Insert(k, k*1000000); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("reader failed: %v", err)
+	}
+	if n, _ := seed.Len(); n != 500 {
+		t.Errorf("Len = %d, want 500", n)
+	}
+}
+
+func TestMarkerStriping(t *testing.T) {
+	rt := core.NewRuntime(tm.NewDomain(noHTMProfile()))
+	m := New(rt, "tbl", Config{Buckets: 64, Capacity: 4096, MarkerStripes: 16},
+		core.NewStatic(0, 20))
+	const workers, per = 6, 3000
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := m.NewHandle()
+			rng := xrand.New(uint64(id) + 1)
+			for i := 0; i < per; i++ {
+				key := rng.Uint64n(128) + 1
+				switch rng.Intn(4) {
+				case 0:
+					if _, err := h.Insert(key, key*1000000); err != nil {
+						errCh <- err
+						return
+					}
+				case 1:
+					if _, err := h.Remove(key); err != nil {
+						errCh <- err
+						return
+					}
+				default:
+					v, ok, err := h.Get(key)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if ok && v != key*1000000 {
+						errCh <- ErrFull
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyWorkloadUsesSWOptOnNoHTM(t *testing.T) {
+	m := newMap(noHTMProfile(), core.NewStatic(0, 10))
+	h := m.NewHandle()
+	for k := uint64(1); k <= 100; k++ {
+		if _, err := h.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if _, _, err := h.Get(uint64(i%100) + 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sw, lk uint64
+	for _, g := range m.Lock().Granules() {
+		if g.Label() == "tbl.Get" {
+			sw, lk = g.Successes(core.ModeSWOpt), g.Successes(core.ModeLock)
+		}
+	}
+	if sw == 0 {
+		t.Error("read-only Gets never used SWOpt")
+	}
+	if lk > sw/10 {
+		t.Errorf("read-only Gets fell back to the lock %d times (SWOpt %d)", lk, sw)
+	}
+}
+
+func TestDirectAccessors(t *testing.T) {
+	m := newMap(htmProfile(), core.NewLockOnly())
+	h := m.NewHandle()
+	if fresh, err := h.InsertDirect(5, 50); err != nil || !fresh {
+		t.Fatalf("InsertDirect = (%v, %v)", fresh, err)
+	}
+	if v, ok := h.GetDirect(5); !ok || v != 50 {
+		t.Fatalf("GetDirect = (%d, %v)", v, ok)
+	}
+	if fresh, _ := h.InsertDirect(5, 60); fresh {
+		t.Error("InsertDirect overwrite reported fresh")
+	}
+	if n := h.LenDirect(); n != 1 {
+		t.Errorf("LenDirect = %d, want 1", n)
+	}
+	if !h.RemoveDirect(5) {
+		t.Error("RemoveDirect missed")
+	}
+	if h.RemoveDirect(5) {
+		t.Error("RemoveDirect hit twice")
+	}
+	h.InsertDirect(1, 1)
+	h.InsertDirect(2, 2)
+	if n := h.ClearDirect(); n != 2 {
+		t.Errorf("ClearDirect = %d, want 2", n)
+	}
+	if n := h.LenDirect(); n != 0 {
+		t.Errorf("LenDirect after clear = %d, want 0", n)
+	}
+}

@@ -1,0 +1,179 @@
+package hashmap
+
+import "repro/internal/core"
+
+// In-critical-section operation helpers. These run the exclusive (non-
+// SWOpt) form of each operation *inside an existing critical section on
+// this map's lock*, routing every access through the section's ExecCtx so
+// they are correct in both HTM and Lock modes. The map's own critical
+// sections are built from them, and composite structures (the Kyoto
+// Cabinet substrate) call them from their own nested critical sections.
+//
+// Deferred resource management: a node linked by InsertIn is the handle's
+// pendingNode until the caller confirms the enclosing execution committed
+// (ConsumePending); a node unlinked by RemoveIn is returned to the caller,
+// who recycles it (Recycle) only after commit. This is what makes the
+// helpers abort-safe: an aborted hardware transaction rolls back the
+// structure but not the handle's free list, so the free list must only
+// change on confirmed outcomes.
+
+// GetIn looks key up inside the current critical section.
+func (h *Handle) GetIn(ec *core.ExecCtx, key uint64) (uint64, bool) {
+	m := h.m
+	b := m.bucket(key)
+	for p := ec.Load(&m.buckets[b]); p != 0; {
+		nd := &m.nodes[p-1]
+		if ec.Load(&nd.key) == key {
+			return ec.Load(&nd.val), true
+		}
+		p = ec.Load(&nd.next)
+	}
+	return 0, false
+}
+
+// InsertIn adds or overwrites key -> val inside the current critical
+// section, reporting whether a new node was linked. On a fresh link the
+// node stays pending; call ConsumePending once the enclosing execution has
+// definitely committed.
+func (h *Handle) InsertIn(ec *core.ExecCtx, key, val uint64) (fresh bool, err error) {
+	m := h.m
+	b := m.bucket(key)
+	for p := ec.Load(&m.buckets[b]); p != 0; {
+		nd := &m.nodes[p-1]
+		if ec.Load(&nd.key) == key {
+			ec.Store(&nd.val, val)
+			return false, nil
+		}
+		p = ec.Load(&nd.next)
+	}
+	idx := h.alloc()
+	if idx == 0 {
+		return false, ErrFull
+	}
+	nd := &m.nodes[idx-1]
+	ec.Store(&nd.key, key)
+	ec.Store(&nd.val, val)
+	ec.Store(&nd.next, ec.Load(&m.buckets[b]))
+	mk := m.marker(b)
+	mk.BeginConflicting(ec)
+	ec.Store(&m.buckets[b], idx)
+	mk.EndConflicting(ec)
+	return true, nil
+}
+
+// AddIn increments key's value by delta inside the current critical
+// section, inserting it (starting from zero) if absent. Returns the new
+// value and whether a new node was linked (same pending discipline as
+// InsertIn).
+func (h *Handle) AddIn(ec *core.ExecCtx, key, delta uint64) (newVal uint64, fresh bool, err error) {
+	m := h.m
+	b := m.bucket(key)
+	for p := ec.Load(&m.buckets[b]); p != 0; {
+		nd := &m.nodes[p-1]
+		if ec.Load(&nd.key) == key {
+			v := ec.Load(&nd.val) + delta
+			ec.Store(&nd.val, v)
+			return v, false, nil
+		}
+		p = ec.Load(&nd.next)
+	}
+	fresh, err = h.InsertIn(ec, key, delta)
+	return delta, fresh, err
+}
+
+// RemoveIn unlinks key inside the current critical section. It returns the
+// unlinked node's index (0 if the key was absent); the caller must Recycle
+// it only after the enclosing execution commits.
+func (h *Handle) RemoveIn(ec *core.ExecCtx, key uint64) (freed uint64) {
+	m := h.m
+	b := m.bucket(key)
+	prev := uint64(0)
+	for p := ec.Load(&m.buckets[b]); p != 0; {
+		nd := &m.nodes[p-1]
+		if ec.Load(&nd.key) == key {
+			next := ec.Load(&nd.next)
+			mk := m.marker(b)
+			mk.BeginConflicting(ec)
+			if prev == 0 {
+				ec.Store(&m.buckets[b], next)
+			} else {
+				ec.Store(&m.nodes[prev-1].next, next)
+			}
+			mk.EndConflicting(ec)
+			return p
+		}
+		prev = p
+		p = ec.Load(&nd.next)
+	}
+	return 0
+}
+
+// LenIn counts entries inside the current critical section. Only sensible
+// in Lock mode (it touches every bucket).
+func (h *Handle) LenIn(ec *core.ExecCtx) int {
+	m := h.m
+	n := 0
+	for b := range m.buckets {
+		for p := ec.Load(&m.buckets[b]); p != 0; {
+			n++
+			p = ec.Load(&m.nodes[p-1].next)
+		}
+	}
+	return n
+}
+
+// ClearIn unlinks every entry inside the current critical section, bumping
+// all markers around the sweep, and returns the removed count. The freed
+// nodes are appended to recycleInto, which the caller feeds to Recycle
+// after commit. Only sensible in Lock mode.
+func (h *Handle) ClearIn(ec *core.ExecCtx, recycleInto *[]uint64) int {
+	m := h.m
+	n := 0
+	for _, mk := range m.markers {
+		mk.BeginConflicting(ec)
+	}
+	for b := range m.buckets {
+		for p := ec.Load(&m.buckets[b]); p != 0; {
+			next := ec.Load(&m.nodes[p-1].next)
+			*recycleInto = append(*recycleInto, p)
+			p = next
+			n++
+		}
+		ec.Store(&m.buckets[b], 0)
+	}
+	for _, mk := range m.markers {
+		mk.EndConflicting(ec)
+	}
+	return n
+}
+
+// RangeIn visits every key/value pair inside the current critical section
+// (bucket order, chain order); visit returns false to stop. Only sensible
+// in Lock mode (it touches every bucket).
+func (h *Handle) RangeIn(ec *core.ExecCtx, visit func(key, val uint64) bool) {
+	m := h.m
+	for b := range m.buckets {
+		for p := ec.Load(&m.buckets[b]); p != 0; {
+			nd := &m.nodes[p-1]
+			if !visit(ec.Load(&nd.key), ec.Load(&nd.val)) {
+				return
+			}
+			p = ec.Load(&nd.next)
+		}
+	}
+}
+
+// ConsumePending confirms that the node linked by the last InsertIn/AddIn
+// committed: it will not be handed out again by alloc.
+func (h *Handle) ConsumePending() { h.pendingNode = 0 }
+
+// Recycle returns an unlinked node to the handle's free list. idx 0 is a
+// no-op. Call only after the unlinking execution has committed.
+func (h *Handle) Recycle(idx uint64) {
+	if idx != 0 {
+		h.free = append(h.free, idx)
+	}
+}
+
+// MapOf returns the underlying map (composite-structure plumbing).
+func (h *Handle) MapOf() *Map { return h.m }

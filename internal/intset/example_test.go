@@ -1,0 +1,35 @@
+package intset_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/platform"
+	"repro/internal/tm"
+)
+
+// Example shows the sorted-set API; Contains has a validated SWOpt path,
+// so on a no-HTM platform lookups elide the lock optimistically.
+func Example() {
+	rt := core.NewRuntime(tm.NewDomain(platform.T2().Profile))
+	s := intset.New(rt, "set", 1024, core.NewStatic(0, 10))
+	h := s.NewHandle()
+
+	for _, k := range []uint64{30, 10, 20} {
+		if _, err := h.Insert(k); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	ok, _ := h.Contains(20)
+	fmt.Println("contains 20:", ok)
+	n, _ := h.Len()
+	fmt.Println("size:", n)
+	removed, _ := h.Remove(10)
+	fmt.Println("removed 10:", removed)
+	// Output:
+	// contains 20: true
+	// size: 3
+	// removed 10: true
+}

@@ -1,0 +1,329 @@
+// Package intset applies the ALE methodology to a second data structure —
+// a single-lock sorted linked-list integer set — the direction the paper's
+// concluding remarks describe ("applying these techniques to a wider range
+// of benchmarks and applications").
+//
+// The set stresses a dimension the HashMap does not: *long traversals*.
+// A Contains over an n-element list reads O(n) cells, so on a platform
+// with tight HTM capacity (the Rock profile: 64-cell read sets) hardware
+// transactions stop committing as the set grows, while the SWOpt path —
+// validation-based, no capacity limit — keeps working. The adaptive policy
+// must discover this per platform: HTM on Haswell, SWOpt on Rock for large
+// sets, the lock on neither unless forced. The intset tests and the
+// capacity-crossover benchmark pin that behaviour down.
+//
+// Structure and idioms mirror internal/hashmap: arena nodes addressed by
+// index+1, per-handle free lists with commit-deferred recycling, a
+// conflict marker bumped around structural changes, Figure-1-style
+// validation in the optimistic path.
+package intset
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/tm"
+)
+
+// ErrFull reports node-arena exhaustion.
+var ErrFull = errors.New("intset: node arena exhausted")
+
+type node struct {
+	key  tm.Var
+	next tm.Var // index+1; 0 terminates
+}
+
+// Set is the ALE-integrated sorted set. Keys are uint64 in (0, MaxUint64):
+// 0 is reserved (nil marker) and MaxUint64 is the tail sentinel.
+type Set struct {
+	rt     *core.Runtime
+	lock   *core.Lock
+	marker *core.ConflictMarker
+	head   tm.Var // index+1 of the first real node
+	nodes  []node
+	chunk  tm.Var
+
+	scopeContains, scopeInsert, scopeRemove, scopeLen *core.Scope
+}
+
+// New builds a set with the given arena capacity, governed by policy.
+func New(rt *core.Runtime, name string, capacity int, policy core.Policy) *Set {
+	if capacity < 1 {
+		panic("intset: non-positive capacity")
+	}
+	d := rt.Domain()
+	s := &Set{
+		rt:    rt,
+		lock:  rt.NewLock(name, locks.NewTATAS(d), policy),
+		nodes: make([]node, capacity),
+
+		scopeContains: core.NewScope(name + ".Contains"),
+		scopeInsert:   core.NewScope(name + ".Insert"),
+		scopeRemove:   core.NewScope(name + ".Remove"),
+		scopeLen:      core.NewScope(name + ".Len"),
+	}
+	s.marker = s.lock.NewMarker()
+	d.InitVar(&s.head, 0)
+	d.InitVar(&s.chunk, 0)
+	for i := range s.nodes {
+		d.InitVar(&s.nodes[i].key, 0)
+		d.InitVar(&s.nodes[i].next, 0)
+	}
+	return s
+}
+
+// Lock exposes the ALE lock (reports, tests).
+func (s *Set) Lock() *core.Lock { return s.lock }
+
+// Capacity returns the arena size.
+func (s *Set) Capacity() int { return len(s.nodes) }
+
+const chunkSize = 64
+
+// Handle is a per-goroutine accessor.
+type Handle struct {
+	s   *Set
+	thr *core.Thread
+
+	free        []uint64
+	chunkBase   uint64
+	chunkEnd    uint64
+	pendingNode uint64
+
+	argKey uint64
+	retOK  bool
+	retN   int
+	toFree uint64
+
+	csContains, csInsert, csRemove, csLen core.CS
+}
+
+// NewHandle creates a per-goroutine handle with its own ALE thread.
+func (s *Set) NewHandle() *Handle { return s.NewHandleWithThread(s.rt.NewThread()) }
+
+// NewHandleWithThread creates a handle on an existing thread.
+func (s *Set) NewHandleWithThread(thr *core.Thread) *Handle {
+	h := &Handle{s: s, thr: thr}
+	h.buildCS()
+	return h
+}
+
+// Thread exposes the handle's ALE thread.
+func (h *Handle) Thread() *core.Thread { return h.thr }
+
+func (h *Handle) alloc() uint64 {
+	if h.pendingNode != 0 {
+		return h.pendingNode
+	}
+	var idx uint64
+	if n := len(h.free); n > 0 {
+		idx = h.free[n-1]
+		h.free = h.free[:n-1]
+	} else {
+		if h.chunkBase >= h.chunkEnd {
+			base := h.s.chunk.AddDirect(chunkSize)
+			if base > uint64(len(h.s.nodes)) {
+				return 0
+			}
+			h.chunkBase, h.chunkEnd = base-chunkSize+1, base+1
+		}
+		idx = h.chunkBase
+		h.chunkBase++
+	}
+	h.pendingNode = idx
+	return idx
+}
+
+func checkKey(key uint64) error {
+	if key == 0 || key == ^uint64(0) {
+		return fmt.Errorf("intset: reserved key %d", key)
+	}
+	return nil
+}
+
+// Contains reports whether key is in the set. The critical section has a
+// validated SWOpt path.
+func (h *Handle) Contains(key uint64) (bool, error) {
+	if err := checkKey(key); err != nil {
+		return false, err
+	}
+	h.argKey = key
+	err := h.s.lock.Execute(h.thr, &h.csContains)
+	return h.retOK, err
+}
+
+// Insert adds key, reporting whether it was newly added.
+func (h *Handle) Insert(key uint64) (bool, error) {
+	if err := checkKey(key); err != nil {
+		return false, err
+	}
+	h.argKey = key
+	err := h.s.lock.Execute(h.thr, &h.csInsert)
+	if err == nil && h.retOK {
+		h.pendingNode = 0
+	}
+	return h.retOK, err
+}
+
+// Remove deletes key, reporting whether it was present.
+func (h *Handle) Remove(key uint64) (bool, error) {
+	if err := checkKey(key); err != nil {
+		return false, err
+	}
+	h.argKey = key
+	h.toFree = 0
+	err := h.s.lock.Execute(h.thr, &h.csRemove)
+	if err == nil && h.toFree != 0 {
+		h.free = append(h.free, h.toFree)
+		h.toFree = 0
+	}
+	return h.retOK, err
+}
+
+// Len counts elements under the lock (diagnostic; NoHTM).
+func (h *Handle) Len() (int, error) {
+	err := h.s.lock.Execute(h.thr, &h.csLen)
+	return h.retN, err
+}
+
+func (h *Handle) buildCS() {
+	s := h.s
+
+	// Contains: the optimistic path walks the sorted list validating
+	// after every dependent load (Figure 1's discipline applied to a
+	// list); the exclusive path is the plain walk.
+	h.csContains = core.CS{
+		Scope:    s.scopeContains,
+		HasSWOpt: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retOK = false
+			key := h.argKey
+			if ec.InSWOpt() {
+				v := s.marker.ReadStable()
+				p := ec.Load(&s.head)
+				if !s.marker.Validate(v) {
+					return ec.SWOptFail()
+				}
+				for p != 0 {
+					if p > uint64(len(s.nodes)) {
+						return ec.SWOptFail()
+					}
+					nd := &s.nodes[p-1]
+					k := ec.Load(&nd.key)
+					if !s.marker.Validate(v) {
+						return ec.SWOptFail()
+					}
+					if k >= key {
+						h.retOK = k == key
+						return nil
+					}
+					p = ec.Load(&nd.next)
+					if !s.marker.Validate(v) {
+						return ec.SWOptFail()
+					}
+				}
+				return nil
+			}
+			for p := ec.Load(&s.head); p != 0; {
+				nd := &s.nodes[p-1]
+				k := ec.Load(&nd.key)
+				if k >= key {
+					h.retOK = k == key
+					return nil
+				}
+				p = ec.Load(&nd.next)
+			}
+			return nil
+		},
+	}
+
+	// Insert: exclusive search for the insertion point, link inside the
+	// conflicting region.
+	h.csInsert = core.CS{
+		Scope:       s.scopeInsert,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retOK = false
+			key := h.argKey
+			prev := uint64(0)
+			p := ec.Load(&s.head)
+			for p != 0 {
+				nd := &s.nodes[p-1]
+				k := ec.Load(&nd.key)
+				if k == key {
+					return nil // already present
+				}
+				if k > key {
+					break
+				}
+				prev = p
+				p = ec.Load(&nd.next)
+			}
+			idx := h.alloc()
+			if idx == 0 {
+				return ErrFull
+			}
+			nd := &s.nodes[idx-1]
+			ec.Store(&nd.key, key)
+			ec.Store(&nd.next, p)
+			s.marker.BeginConflicting(ec)
+			if prev == 0 {
+				ec.Store(&s.head, idx)
+			} else {
+				ec.Store(&s.nodes[prev-1].next, idx)
+			}
+			s.marker.EndConflicting(ec)
+			h.retOK = true
+			return nil
+		},
+	}
+
+	// Remove: exclusive search, unlink inside the conflicting region.
+	h.csRemove = core.CS{
+		Scope:       s.scopeRemove,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retOK, h.toFree = false, 0
+			key := h.argKey
+			prev := uint64(0)
+			for p := ec.Load(&s.head); p != 0; {
+				nd := &s.nodes[p-1]
+				k := ec.Load(&nd.key)
+				if k > key {
+					return nil
+				}
+				if k == key {
+					next := ec.Load(&nd.next)
+					s.marker.BeginConflicting(ec)
+					if prev == 0 {
+						ec.Store(&s.head, next)
+					} else {
+						ec.Store(&s.nodes[prev-1].next, next)
+					}
+					s.marker.EndConflicting(ec)
+					h.toFree = p
+					h.retOK = true
+					return nil
+				}
+				prev = p
+				p = ec.Load(&nd.next)
+			}
+			return nil
+		},
+	}
+
+	h.csLen = core.CS{
+		Scope: s.scopeLen,
+		NoHTM: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retN = 0
+			for p := ec.Load(&s.head); p != 0; {
+				h.retN++
+				p = ec.Load(&s.nodes[p-1].next)
+			}
+			return nil
+		},
+	}
+}

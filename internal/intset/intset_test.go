@@ -1,0 +1,269 @@
+package intset
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/tm"
+	"repro/internal/xrand"
+)
+
+func htmProfile() tm.Profile {
+	return tm.Profile{Name: "test-htm", Enabled: true, ReadCap: 1 << 16, WriteCap: 1 << 16}
+}
+
+func noHTMProfile() tm.Profile {
+	return tm.Profile{Name: "test-nohtm", Enabled: false}
+}
+
+func newSet(prof tm.Profile, pol core.Policy) *Set {
+	rt := core.NewRuntime(tm.NewDomain(prof))
+	return New(rt, "set", 8192, pol)
+}
+
+func TestSequentialBasics(t *testing.T) {
+	s := newSet(htmProfile(), core.NewStatic(10, 10))
+	h := s.NewHandle()
+	if ok, _ := h.Contains(5); ok {
+		t.Fatal("empty set contains 5")
+	}
+	if fresh, err := h.Insert(5); err != nil || !fresh {
+		t.Fatalf("Insert(5) = (%v, %v)", fresh, err)
+	}
+	if fresh, _ := h.Insert(5); fresh {
+		t.Fatal("duplicate Insert reported fresh")
+	}
+	for _, k := range []uint64{3, 9, 1, 7} {
+		if _, err := h.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []uint64{1, 3, 5, 7, 9} {
+		if ok, _ := h.Contains(k); !ok {
+			t.Errorf("Contains(%d) = false", k)
+		}
+	}
+	for _, k := range []uint64{2, 4, 6, 8} {
+		if ok, _ := h.Contains(k); ok {
+			t.Errorf("Contains(%d) = true", k)
+		}
+	}
+	if n, _ := h.Len(); n != 5 {
+		t.Errorf("Len = %d, want 5", n)
+	}
+	if ok, _ := h.Remove(5); !ok {
+		t.Fatal("Remove(5) missed")
+	}
+	if ok, _ := h.Remove(5); ok {
+		t.Fatal("Remove(5) hit twice")
+	}
+	if n, _ := h.Len(); n != 4 {
+		t.Errorf("Len after remove = %d, want 4", n)
+	}
+}
+
+func TestReservedKeysRejected(t *testing.T) {
+	s := newSet(htmProfile(), core.NewLockOnly())
+	h := s.NewHandle()
+	for _, k := range []uint64{0, ^uint64(0)} {
+		if _, err := h.Insert(k); err == nil {
+			t.Errorf("Insert(%d) accepted", k)
+		}
+		if _, err := h.Contains(k); err == nil {
+			t.Errorf("Contains(%d) accepted", k)
+		}
+		if _, err := h.Remove(k); err == nil {
+			t.Errorf("Remove(%d) accepted", k)
+		}
+	}
+}
+
+func TestSortedOrderMaintained(t *testing.T) {
+	s := newSet(htmProfile(), core.NewStatic(10, 0))
+	h := s.NewHandle()
+	rng := xrand.New(3)
+	model := map[uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64n(500) + 1
+		if rng.Intn(3) == 0 {
+			h.Remove(k)
+			delete(model, k)
+		} else {
+			h.Insert(k)
+			model[k] = true
+		}
+	}
+	// Walk the list directly and check strict ascending order.
+	prev := uint64(0)
+	count := 0
+	for p := s.head.LoadConsistent(); p != 0; {
+		nd := &s.nodes[p-1]
+		k := nd.key.LoadConsistent()
+		if k <= prev {
+			t.Fatalf("order violated: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+		p = nd.next.LoadConsistent()
+	}
+	if count != len(model) {
+		t.Errorf("list has %d elements, model has %d", count, len(model))
+	}
+}
+
+func TestQuickMatchesModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+	}
+	for _, tc := range []struct {
+		name string
+		prof tm.Profile
+	}{{"htm", htmProfile()}, {"nohtm", noHTMProfile()}} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := func(ops []op) bool {
+				s := newSet(tc.prof, core.NewStatic(5, 5))
+				h := s.NewHandle()
+				model := map[uint64]bool{}
+				for _, o := range ops {
+					k := uint64(o.Key%50) + 1
+					switch o.Kind % 3 {
+					case 0:
+						fresh, err := h.Insert(k)
+						if err != nil || fresh == model[k] {
+							return false
+						}
+						model[k] = true
+					case 1:
+						ok, err := h.Remove(k)
+						if err != nil || ok != model[k] {
+							return false
+						}
+						delete(model, k)
+					case 2:
+						ok, err := h.Contains(k)
+						if err != nil || ok != model[k] {
+							return false
+						}
+					}
+				}
+				n, err := h.Len()
+				return err == nil && n == len(model)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestConcurrentTorture(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prof tm.Profile
+		pol  func() core.Policy
+	}{
+		{"htm", htmProfile(), func() core.Policy { return core.NewStatic(8, 8) }},
+		{"nohtm", noHTMProfile(), func() core.Policy { return core.NewStatic(0, 10) }},
+		{"rock-capacity", platform.Rock().Profile, func() core.Policy { return core.NewStatic(8, 8) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := core.NewRuntime(tm.NewDomain(tc.prof))
+			s := New(rt, "set", 1<<14, tc.pol())
+			const workers, per, keyRange = 6, 3000, 128
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					h := s.NewHandle()
+					rng := xrand.New(uint64(id) + 1)
+					for i := 0; i < per; i++ {
+						k := rng.Uint64n(keyRange) + 1
+						var err error
+						switch rng.Intn(10) {
+						case 0, 1, 2:
+							_, err = h.Insert(k)
+						case 3, 4:
+							_, err = h.Remove(k)
+						default:
+							_, err = h.Contains(k)
+						}
+						if err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+			// Order invariant after the storm.
+			prev := uint64(0)
+			for p := s.head.LoadConsistent(); p != 0; {
+				nd := &s.nodes[p-1]
+				k := nd.key.LoadConsistent()
+				if k <= prev {
+					t.Fatalf("order violated after torture: %d after %d", k, prev)
+				}
+				prev = k
+				p = nd.next.LoadConsistent()
+			}
+		})
+	}
+}
+
+// TestCapacityCrossover pins the platform-adaptation story the package doc
+// promises: on the Rock profile (64-cell read sets), Contains over a large
+// set cannot commit in HTM — the engine must give up on HTM and the SWOpt
+// path must carry the load; on the Haswell profile the same operations fit.
+func TestCapacityCrossover(t *testing.T) {
+	// A tail probe reads ~2 cells per node (key + next) plus the head:
+	// 200 elements ≈ 401 cells — far past Rock's 64-cell read capacity,
+	// comfortably inside Haswell's 512.
+	const elements = 200
+	run := func(plat platform.Platform) *Set {
+		rt := core.NewRuntime(tm.NewDomain(plat.Profile))
+		s := New(rt, "set", 4096, core.NewStatic(4, 10))
+		h := s.NewHandle()
+		for k := uint64(1); k <= elements; k++ {
+			if _, err := h.Insert(k * 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Probe keys near the tail: traversal reads ~all elements.
+		for i := 0; i < 500; i++ {
+			if _, err := h.Contains(uint64(elements)*2 - uint64(i%10)*2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	sum := func(s *Set, m core.Mode) uint64 {
+		var n uint64
+		for _, g := range s.Lock().Granules() {
+			if g.Label() == "set.Contains" {
+				n += g.Successes(m)
+			}
+		}
+		return n
+	}
+	rock := run(platform.Rock())
+	if htm := sum(rock, core.ModeHTM); htm != 0 {
+		t.Errorf("Rock: %d tail-probes committed in HTM despite capacity 64", htm)
+	}
+	if sw := sum(rock, core.ModeSWOpt); sw == 0 {
+		t.Error("Rock: SWOpt never carried the tail probes")
+	}
+	hw := run(platform.Haswell())
+	if htm := sum(hw, core.ModeHTM); htm == 0 {
+		t.Error("Haswell: tail probes never committed in HTM despite capacity 512")
+	}
+}

@@ -1,0 +1,57 @@
+package kyoto_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kyoto"
+	"repro/internal/platform"
+	"repro/internal/tm"
+)
+
+// Example shows the Kyoto-Cabinet-style DB: record operations nest a slot
+// critical section inside the method lock's read side; whole-DB operations
+// take the write side.
+func Example() {
+	rt := core.NewRuntime(tm.NewDomain(platform.Haswell().Profile))
+	db := kyoto.New(rt, "db",
+		kyoto.Config{Slots: 4, SlotBuckets: 32, SlotCapacity: 1024},
+		kyoto.StaticFactory(10, 10))
+	h := db.NewHandle()
+
+	if err := h.Set(1, 100); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	v, _ := h.Add(1, 5)
+	fmt.Println("value after add:", v)
+
+	n, _ := h.Count()
+	fmt.Println("records:", n)
+
+	cleared, _ := h.Clear()
+	fmt.Println("cleared:", cleared)
+	// Output:
+	// value after add: 105
+	// records: 1
+	// cleared: 1
+}
+
+// Example_trylockspin runs the same operations through the paper's
+// hand-tuned baseline, which bypasses ALE entirely.
+func Example_trylockspin() {
+	rt := core.NewRuntime(tm.NewDomain(platform.Haswell().Profile))
+	db := kyoto.New(rt, "db",
+		kyoto.Config{Slots: 4, SlotBuckets: 32, SlotCapacity: 1024},
+		kyoto.LockOnlyFactory())
+	h := db.NewHandle()
+
+	_ = h.SetTLS(9, 900)
+	v, ok := h.GetTLS(9)
+	fmt.Println(v, ok)
+	_, miss := h.GetTLS(10) // the no-method-lock fast path
+	fmt.Println(miss)
+	// Output:
+	// 900 true
+	// false
+}

@@ -1,0 +1,312 @@
+package kyoto
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/hashmap"
+)
+
+// opKind dispatches the nested slot critical section's action.
+type opKind uint8
+
+const (
+	opGet opKind = iota
+	opSet
+	opRemove
+	opAdd
+)
+
+// Handle is a worker goroutine's accessor for the DB. It owns one ALE
+// thread shared by the outer (method lock) and inner (slot lock) critical
+// sections, plus a hashmap handle per slot.
+type Handle struct {
+	db   *DB
+	thr  *core.Thread
+	slot []*hashmap.Handle
+
+	// Per-call scratch: the prebuilt bodies read arguments and write
+	// results here. Every body resets its outputs first (aborted HTM
+	// attempts' handle side effects survive).
+	argKey, argVal uint64
+	curSlot        int
+	kind           opKind
+	optVer         uint64
+	retVal         uint64
+	retOK          bool
+	freshLink      bool
+	freedIdx       uint64
+	retN           int
+	recycleBuf     []uint64
+
+	csGet, csSet, csRemove, csAdd core.CS
+	csSlot, csSlotChecked         core.CS
+	csSlotClear, csSlotCount      core.CS
+	csClear, csCount              core.CS
+	csIter, csSlotIter            core.CS
+	iterVisit                     func(key, val uint64) bool
+	iterStopped                   bool
+}
+
+// NewHandle creates a per-goroutine handle.
+func (db *DB) NewHandle() *Handle {
+	thr := db.rt.NewThread()
+	h := &Handle{db: db, thr: thr, slot: make([]*hashmap.Handle, len(db.slots))}
+	for i, m := range db.slots {
+		h.slot[i] = m.NewHandleWithThread(thr)
+	}
+	h.buildCS()
+	return h
+}
+
+// Thread exposes the handle's ALE thread.
+func (h *Handle) Thread() *core.Thread { return h.thr }
+
+func (h *Handle) buildCS() {
+	db := h.db
+
+	// slotBody performs the current record operation inside a critical
+	// section on the key's slot lock.
+	slotBody := func(ec *core.ExecCtx) error {
+		sh := h.slot[h.curSlot]
+		switch h.kind {
+		case opGet:
+			h.retVal, h.retOK = sh.GetIn(ec, h.argKey)
+		case opSet:
+			fresh, err := sh.InsertIn(ec, h.argKey, h.argVal)
+			if err != nil {
+				return err
+			}
+			h.freshLink, h.retOK = fresh, true
+		case opRemove:
+			h.freedIdx = sh.RemoveIn(ec, h.argKey)
+			h.retOK = h.freedIdx != 0
+		case opAdd:
+			v, fresh, err := sh.AddIn(ec, h.argKey, h.argVal)
+			if err != nil {
+				return err
+			}
+			h.retVal, h.freshLink, h.retOK = v, fresh, true
+		}
+		return nil
+	}
+	reset := func() {
+		h.retVal, h.retOK = 0, false
+		h.freshLink, h.freedIdx = false, 0
+	}
+
+	// csSlot: the inner critical section when the method lock is actually
+	// held (or elided by HTM) — no extra check needed.
+	h.csSlot = core.CS{
+		Scope:       db.scopeSlot,
+		Conflicting: true, // Set/Remove bump the slot's markers
+		Body: func(ec *core.ExecCtx) error {
+			reset()
+			return slotBody(ec)
+		},
+	}
+	// csSlotChecked: the inner critical section under an external SWOpt
+	// execution. Per section 3.3 it first checks whether the optimistic
+	// premise still holds — no whole-DB operation ran since the method
+	// marker was read — and otherwise ends without acting.
+	h.csSlotChecked = core.CS{
+		Scope:       db.scopeSlotChecked,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			reset()
+			if !db.methodMarker.ValidateIn(ec, h.optVer) {
+				return errStale
+			}
+			return slotBody(ec)
+		},
+	}
+
+	// outerBody: the external critical section on the method lock's read
+	// side. Its SWOpt path skips the read-lock acquisition entirely,
+	// validating against the method marker.
+	outerBody := func(ec *core.ExecCtx) error {
+		if ec.InSWOpt() {
+			h.optVer = db.methodMarker.ReadStable()
+			err := db.slots[h.curSlot].Lock().Execute(h.thr, &h.csSlotChecked)
+			if errors.Is(err, errStale) {
+				return ec.SWOptFail()
+			}
+			return err
+		}
+		return db.slots[h.curSlot].Lock().Execute(h.thr, &h.csSlot)
+	}
+	h.csGet = core.CS{Scope: db.scopeGet, HasSWOpt: true, Body: outerBody}
+	h.csSet = core.CS{Scope: db.scopeSet, HasSWOpt: true, Body: outerBody}
+	h.csRemove = core.CS{Scope: db.scopeRemove, HasSWOpt: true, Body: outerBody}
+	h.csAdd = core.CS{Scope: db.scopeAdd, HasSWOpt: true, Body: outerBody}
+
+	// Whole-DB operations: write lock outside, per-slot critical sections
+	// inside, method marker bumped around the whole sweep so external
+	// SWOpt executions notice. Everything runs in Lock mode (the write
+	// lock is lock-only and the slot sweeps are NoHTM), so handle side
+	// effects (free-list recycling) are safe immediately.
+	h.csSlotClear = core.CS{
+		Scope:       db.scopeClear,
+		NoHTM:       true,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retN += h.slot[h.curSlot].ClearIn(ec, &h.recycleBuf)
+			return nil
+		},
+	}
+	h.csClear = core.CS{
+		Scope:       db.scopeClear,
+		NoHTM:       true,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retN = 0
+			db.methodMarker.BeginConflicting(ec)
+			for i := range db.slots {
+				h.curSlot = i
+				if err := db.slots[i].Lock().Execute(h.thr, &h.csSlotClear); err != nil {
+					db.methodMarker.EndConflicting(ec)
+					return err
+				}
+				for _, idx := range h.recycleBuf {
+					h.slot[i].Recycle(idx)
+				}
+				h.recycleBuf = h.recycleBuf[:0]
+			}
+			db.methodMarker.EndConflicting(ec)
+			return nil
+		},
+	}
+	h.csSlotCount = core.CS{
+		Scope: db.scopeCount,
+		NoHTM: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retN += h.slot[h.curSlot].LenIn(ec)
+			return nil
+		},
+	}
+	h.csCount = core.CS{
+		Scope: db.scopeCount,
+		NoHTM: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retN = 0
+			for i := range db.slots {
+				h.curSlot = i
+				if err := db.slots[i].Lock().Execute(h.thr, &h.csSlotCount); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	h.csSlotIter = core.CS{
+		Scope: db.scopeCount, // shares the whole-DB-read context
+		NoHTM: true,
+		Body: func(ec *core.ExecCtx) error {
+			sh := h.slot[h.curSlot]
+			sh.RangeIn(ec, func(key, val uint64) bool {
+				if !h.iterVisit(key, val) {
+					h.iterStopped = true
+					return false
+				}
+				h.retN++
+				return true
+			})
+			return nil
+		},
+	}
+	h.csIter = core.CS{
+		Scope: db.scopeCount,
+		NoHTM: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retN = 0
+			h.iterStopped = false
+			for i := range db.slots {
+				h.curSlot = i
+				if err := db.slots[i].Lock().Execute(h.thr, &h.csSlotIter); err != nil {
+					return err
+				}
+				if h.iterStopped {
+					return nil
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Iterate visits every record under the method write lock — the whole-DB
+// operation that motivates the method lock in Kyoto Cabinet (its iterator
+// must see a stable snapshot while record operations pause). visit returns
+// false to stop early. Returns how many records were visited.
+func (h *Handle) Iterate(visit func(key, val uint64) bool) (int, error) {
+	h.iterVisit = visit
+	err := h.db.writeLock.Execute(h.thr, &h.csIter)
+	h.iterVisit = nil
+	return h.retN, err
+}
+
+// Get returns key's value.
+func (h *Handle) Get(key uint64) (uint64, bool, error) {
+	if key == 0 {
+		return 0, false, errZeroKey
+	}
+	h.argKey, h.curSlot, h.kind = key, int(h.db.slotOf(key)), opGet
+	err := h.db.readLock.Execute(h.thr, &h.csGet)
+	return h.retVal, h.retOK, err
+}
+
+// Set stores key -> val.
+func (h *Handle) Set(key, val uint64) error {
+	if key == 0 {
+		return errZeroKey
+	}
+	h.argKey, h.argVal, h.curSlot, h.kind = key, val, int(h.db.slotOf(key)), opSet
+	err := h.db.readLock.Execute(h.thr, &h.csSet)
+	if err == nil && h.freshLink {
+		h.slot[h.curSlot].ConsumePending()
+	}
+	return err
+}
+
+// Remove deletes key, reporting whether it was present.
+func (h *Handle) Remove(key uint64) (bool, error) {
+	if key == 0 {
+		return false, errZeroKey
+	}
+	h.argKey, h.curSlot, h.kind = key, int(h.db.slotOf(key)), opRemove
+	err := h.db.readLock.Execute(h.thr, &h.csRemove)
+	if err == nil {
+		h.slot[h.curSlot].Recycle(h.freedIdx)
+	}
+	return h.retOK, err
+}
+
+// Add increments key's value by delta (inserting from zero if absent) and
+// returns the new value — Kyoto Cabinet's increment operation.
+func (h *Handle) Add(key, delta uint64) (uint64, error) {
+	if key == 0 {
+		return 0, errZeroKey
+	}
+	h.argKey, h.argVal, h.curSlot, h.kind = key, delta, int(h.db.slotOf(key)), opAdd
+	err := h.db.readLock.Execute(h.thr, &h.csAdd)
+	if err == nil && h.freshLink {
+		h.slot[h.curSlot].ConsumePending()
+	}
+	return h.retVal, err
+}
+
+// Clear removes every record (whole-DB operation, method write lock).
+// Returns the number of records removed.
+func (h *Handle) Clear() (int, error) {
+	err := h.db.writeLock.Execute(h.thr, &h.csClear)
+	return h.retN, err
+}
+
+// Count returns the number of records (whole-DB operation, method write
+// lock).
+func (h *Handle) Count() (int, error) {
+	err := h.db.writeLock.Execute(h.thr, &h.csCount)
+	return h.retN, err
+}
+
+var errZeroKey = errors.New("kyoto: zero key")

@@ -1,0 +1,167 @@
+// Package kyoto is the reproduction's stand-in for Kyoto Cabinet's
+// in-memory CacheDB, the "real example" of the paper's section 5. The
+// paper's Kyoto experiments exercise two things the HashMap microbenchmark
+// does not: a readers-writer lock elided on its read side, and nesting —
+// every record operation takes an outer critical section on the global
+// method lock and an inner one on a per-slot lock.
+//
+// Structure (mirroring CacheDB):
+//
+//   - one RW "method lock": record operations take its read side, whole-DB
+//     operations (Clear, Count) take its write side;
+//   - NSLOTS slots, each an independently locked hash table
+//     (hashmap.Map, so each slot lock is itself ALE-enabled);
+//   - record operations hash the key to a slot and run
+//     (method-read CS -> slot CS).
+//
+// The external critical section has a SWOpt path: run the record operation
+// without acquiring the method read lock, validating against a method-
+// level conflict marker that whole-DB operations bump. The inner slot
+// critical section performs the actual table access (in HTM or Lock mode;
+// SWOpt is ineligible there under the paper's nesting rules, and the inner
+// body re-checks the method marker after entering — the section 3.3
+// nested-mutation discipline).
+//
+// The package also implements the hand-tuned "trylockspin" baseline the
+// paper compares against: take the slot lock first, and acquire the method
+// read lock only when the operation turns out to need it, with a
+// release-and-restart path to keep lock ordering deadlock-free.
+package kyoto
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hashmap"
+	"repro/internal/locks"
+)
+
+// Config sizes a DB.
+type Config struct {
+	// Slots is the number of independently locked slots (rounded up to a
+	// power of two). Kyoto Cabinet's CacheDB uses 16.
+	Slots int
+	// SlotBuckets and SlotCapacity size each slot's hash table.
+	SlotBuckets  int
+	SlotCapacity int
+}
+
+// DefaultConfig matches the wicked-benchmark sizing.
+func DefaultConfig() Config {
+	return Config{Slots: 16, SlotBuckets: 256, SlotCapacity: 1 << 14}
+}
+
+// PolicyFactory builds one policy instance per ALE lock. The DB has
+// 2 + Slots locks (method read side, method write side, one per slot),
+// and policies carry per-lock learning state, so each needs its own.
+type PolicyFactory func(lockName string) core.Policy
+
+// StaticFactory returns a factory producing NewStatic(x, y) for every lock.
+func StaticFactory(x, y int) PolicyFactory {
+	return func(string) core.Policy { return core.NewStatic(x, y) }
+}
+
+// AdaptiveFactory returns a factory producing adaptive policies with cfg.
+func AdaptiveFactory(cfg core.AdaptiveConfig) PolicyFactory {
+	return func(string) core.Policy { return core.NewAdaptiveCfg(cfg) }
+}
+
+// LockOnlyFactory returns the Instrumented baseline for every lock.
+func LockOnlyFactory() PolicyFactory {
+	return func(string) core.Policy { return core.NewLockOnly() }
+}
+
+// DB is the CacheDB-like store.
+type DB struct {
+	rt     *core.Runtime
+	method *locks.RWLock
+
+	// readLock and writeLock are the ALE views of the method lock's two
+	// sides. They share the physical lock word; ALE metadata (granules,
+	// learning) is per side, which matches how differently the two sides
+	// behave.
+	readLock  *core.Lock
+	writeLock *core.Lock
+
+	// methodMarker is bumped by whole-DB operations; external SWOpt
+	// executions validate against it.
+	methodMarker *core.ConflictMarker
+
+	slots    []*hashmap.Map
+	slotMask uint64
+
+	scopeGet, scopeSet, scopeRemove, scopeAdd *core.Scope
+	scopeSlot, scopeSlotChecked               *core.Scope
+	scopeClear, scopeCount                    *core.Scope
+}
+
+// errStale reports that the external SWOpt execution was invalidated by a
+// whole-DB operation before or while the nested slot section ran.
+var errStale = errors.New("kyoto: method-level optimistic execution invalidated")
+
+// New builds a DB on rt; policies makes one policy per lock.
+func New(rt *core.Runtime, name string, cfg Config, policies PolicyFactory) *DB {
+	if cfg.Slots < 1 {
+		panic("kyoto: non-positive slot count")
+	}
+	n := 1
+	for n < cfg.Slots {
+		n <<= 1
+	}
+	cfg.Slots = n
+	db := &DB{
+		rt:       rt,
+		method:   locks.NewRWLock(rt.Domain()),
+		slotMask: uint64(cfg.Slots - 1),
+
+		scopeGet:         core.NewScope(name + ".Get"),
+		scopeSet:         core.NewScope(name + ".Set"),
+		scopeRemove:      core.NewScope(name + ".Remove"),
+		scopeAdd:         core.NewScope(name + ".Add"),
+		scopeSlot:        core.NewScope(name + ".slot"),
+		scopeSlotChecked: core.NewScope(name + ".slot+check"),
+		scopeClear:       core.NewScope(name + ".Clear"),
+		scopeCount:       core.NewScope(name + ".Count"),
+	}
+	db.readLock = rt.NewLock(name+".method(read)", db.method.ReadSide(),
+		policies(name+".method(read)"))
+	db.writeLock = rt.NewLock(name+".method(write)", db.method.WriteSide(),
+		policies(name+".method(write)"))
+	// Whole-DB operations hold the write lock and cannot also be elided
+	// usefully in this model; keep the write side lock-only eligible.
+	db.writeLock.SetModes(false, false)
+	// The two sides are one physical lock: grouping and SWOpt-activity
+	// state must be shared so write-side conflicting regions defer to
+	// read-side SWOpt retries.
+	db.writeLock.ShareElisionState(db.readLock)
+	db.methodMarker = db.readLock.NewMarker()
+
+	db.slots = make([]*hashmap.Map, cfg.Slots)
+	for i := range db.slots {
+		db.slots[i] = hashmap.New(rt, fmt.Sprintf("%s.slot%02d", name, i),
+			hashmap.Config{Buckets: cfg.SlotBuckets, Capacity: cfg.SlotCapacity, MarkerStripes: 1},
+			policies(fmt.Sprintf("%s.slot%02d", name, i)))
+	}
+	return db
+}
+
+// Runtime returns the owning ALE runtime (reports).
+func (db *DB) Runtime() *core.Runtime { return db.rt }
+
+// ReadLock exposes the method lock's read-side ALE lock (tests, tuning:
+// e.g. SetModes(true, false) reproduces the paper's HTM-only external
+// configuration).
+func (db *DB) ReadLock() *core.Lock { return db.readLock }
+
+// Slots returns the number of slots.
+func (db *DB) Slots() int { return len(db.slots) }
+
+// SlotMap exposes slot i's hash table (tests).
+func (db *DB) SlotMap(i int) *hashmap.Map { return db.slots[i] }
+
+// slotOf hashes a key to its slot index.
+func (db *DB) slotOf(key uint64) uint64 {
+	z := key * 0x9e3779b97f4a7c15
+	return (z >> 32) & db.slotMask
+}

@@ -1,0 +1,151 @@
+package kyoto
+
+// The "trylockspin" baseline: the hand-tuned variant the paper's section 5
+// compares ALE against. It bypasses the ALE engine entirely and manages
+// the two lock levels itself with an optimistic acquisition order:
+//
+//  1. take the key's slot lock and perform the lookup;
+//  2. if the operation turns out to need the method lock (the paper's
+//     statistics showed 42% of wicked lookups miss and can finish under
+//     the slot lock alone), *try* to take the method read lock without
+//     blocking;
+//  3. if the try fails, release the slot lock, block on the method read
+//     lock, re-take the slot lock and redo the operation — the restart
+//     keeps the lock order deadlock-free against whole-DB operations,
+//     which take the method write lock before the slot locks.
+//
+// Slot access goes through the hashmap's direct (non-ALE) accessors: the
+// slot lock provides exclusion. Do not mix trylockspin calls with ALE
+// calls on the same DB — the baseline performs no marker bumps, so ALE
+// SWOpt paths would not see its mutations.
+
+// GetTLS looks key up using the trylockspin protocol. A miss completes
+// under the slot lock alone; a hit confirms under the method read lock.
+func (h *Handle) GetTLS(key uint64) (uint64, bool) {
+	if key == 0 {
+		return 0, false
+	}
+	s := int(h.db.slotOf(key))
+	sl := h.db.slots[s].Lock().Ops()
+	sh := h.slot[s]
+
+	sl.Acquire()
+	v, ok := sh.GetDirect(key)
+	if !ok {
+		sl.Release()
+		return 0, false // the 42% case: no method-lock acquisition at all
+	}
+	if h.db.method.TryAcquireRead() {
+		v, ok = sh.GetDirect(key) // reconfirm under both locks
+		h.db.method.ReleaseRead()
+		sl.Release()
+		return v, ok
+	}
+	// Restart with the blocking order: method lock first, then slot.
+	sl.Release()
+	h.db.method.AcquireRead()
+	sl.Acquire()
+	v, ok = sh.GetDirect(key)
+	sl.Release()
+	h.db.method.ReleaseRead()
+	return v, ok
+}
+
+// mutateTLS runs op under (slot lock + method read lock) with the
+// trylockspin acquisition protocol.
+func (h *Handle) mutateTLS(key uint64, op func(sh *hashmapDirect)) {
+	s := int(h.db.slotOf(key))
+	sl := h.db.slots[s].Lock().Ops()
+	sh := h.slot[s]
+
+	sl.Acquire()
+	if h.db.method.TryAcquireRead() {
+		op(&hashmapDirect{sh})
+		h.db.method.ReleaseRead()
+		sl.Release()
+		return
+	}
+	sl.Release()
+	h.db.method.AcquireRead()
+	sl.Acquire()
+	op(&hashmapDirect{sh})
+	sl.Release()
+	h.db.method.ReleaseRead()
+}
+
+// hashmapDirect narrows the hashmap handle to its direct accessors for
+// the mutateTLS callback.
+type hashmapDirect struct {
+	h interface {
+		GetDirect(key uint64) (uint64, bool)
+		InsertDirect(key, val uint64) (bool, error)
+		RemoveDirect(key uint64) bool
+	}
+}
+
+// SetTLS stores key -> val using the trylockspin protocol.
+func (h *Handle) SetTLS(key, val uint64) error {
+	if key == 0 {
+		return errZeroKey
+	}
+	var err error
+	h.mutateTLS(key, func(d *hashmapDirect) {
+		_, err = d.h.InsertDirect(key, val)
+	})
+	return err
+}
+
+// RemoveTLS deletes key using the trylockspin protocol.
+func (h *Handle) RemoveTLS(key uint64) (bool, error) {
+	if key == 0 {
+		return false, errZeroKey
+	}
+	var ok bool
+	h.mutateTLS(key, func(d *hashmapDirect) {
+		ok = d.h.RemoveDirect(key)
+	})
+	return ok, nil
+}
+
+// AddTLS increments key's value by delta using the trylockspin protocol.
+func (h *Handle) AddTLS(key, delta uint64) (uint64, error) {
+	if key == 0 {
+		return 0, errZeroKey
+	}
+	var out uint64
+	var err error
+	h.mutateTLS(key, func(d *hashmapDirect) {
+		v, _ := d.h.GetDirect(key)
+		out = v + delta
+		_, err = d.h.InsertDirect(key, out)
+	})
+	return out, err
+}
+
+// ClearTLS removes every record under the method write lock.
+func (h *Handle) ClearTLS() int {
+	h.db.method.AcquireWrite()
+	n := 0
+	for i, m := range h.db.slots {
+		sl := m.Lock().Ops()
+		sl.Acquire()
+		n += h.slot[i].ClearDirect()
+		sl.Release()
+	}
+	h.db.method.ReleaseWrite()
+	return n
+}
+
+// CountTLS counts records under the method write lock.
+func (h *Handle) CountTLS() int {
+	h.db.method.AcquireWrite()
+	n := 0
+	for i, m := range h.db.slots {
+		sl := m.Lock().Ops()
+		sl.Acquire()
+		n += h.slot[i].LenDirect()
+		sl.Release()
+	}
+	h.db.method.ReleaseWrite()
+	return n
+}

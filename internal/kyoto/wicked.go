@@ -1,0 +1,118 @@
+package kyoto
+
+import "repro/internal/xrand"
+
+// Wicked is the workload generator modelled on Kyoto Cabinet's "wicked"
+// test (kcstashtest wicked, the benchmark the paper drives its section 5
+// experiments with): a random mix of record operations over a random key
+// range, seasoned with occasional whole-DB operations.
+//
+// The mix percentages below follow the wicked test's spirit — mutation-
+// heavy with a substantial read component — and the key range is sized so
+// that a large fraction of lookups miss, reproducing the statistic the
+// paper calls out (42% of executions did not find the object they were
+// seeking, and hence succeeded using SWOpt).
+type Wicked struct {
+	// KeyRange is the number of distinct keys (1..KeyRange).
+	KeyRange uint64
+	// Per-mille thresholds for each operation kind; an op is drawn
+	// uniformly in [0, 1000).
+	SetPct, GetPct, RemovePct, AddPct, ClearPct, CountPct int
+
+	// NoMutate turns the workload into the paper's "nomutate" variant:
+	// lookups only (over the same key range, so misses still occur).
+	NoMutate bool
+}
+
+// DefaultWicked returns the standard wicked mix.
+func DefaultWicked() Wicked {
+	return Wicked{
+		KeyRange:  8192,
+		SetPct:    300, // 30.0%
+		GetPct:    350, // 35.0%
+		RemovePct: 150, // 15.0%
+		AddPct:    180, // 18.0%
+		ClearPct:  5,   //  0.5%
+		CountPct:  15,  //  1.5%
+	}
+}
+
+// NoMutateWicked returns the paper's nomutate variant: pure lookups over a
+// key range roughly twice the expected population, so roughly half the
+// lookups miss.
+func NoMutateWicked() Wicked {
+	w := DefaultWicked()
+	w.NoMutate = true
+	return w
+}
+
+// Prepopulate loads about half the key range so lookups hit ~50% at the
+// start (the nomutate variant depends on a stable population).
+func (w Wicked) Prepopulate(h *Handle) error {
+	for k := uint64(1); k <= w.KeyRange; k += 2 {
+		if err := h.Set(k, k*1000); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step runs one workload operation through the ALE-integrated API and
+// reports whether a lookup (if any) hit.
+func (w Wicked) Step(h *Handle, rng *xrand.State) (hit bool, err error) {
+	key := rng.Uint64n(w.KeyRange) + 1
+	if w.NoMutate {
+		_, ok, err := h.Get(key)
+		return ok, err
+	}
+	r := int(rng.Uint64n(1000))
+	switch {
+	case r < w.SetPct:
+		return false, h.Set(key, key*1000+rng.Uint64n(1000))
+	case r < w.SetPct+w.GetPct:
+		_, ok, err := h.Get(key)
+		return ok, err
+	case r < w.SetPct+w.GetPct+w.RemovePct:
+		ok, err := h.Remove(key)
+		return ok, err
+	case r < w.SetPct+w.GetPct+w.RemovePct+w.AddPct:
+		_, err := h.Add(key, 1)
+		return true, err
+	case r < w.SetPct+w.GetPct+w.RemovePct+w.AddPct+w.ClearPct:
+		_, err := h.Clear()
+		return false, err
+	default:
+		_, err := h.Count()
+		return false, err
+	}
+}
+
+// StepTLS runs one workload operation through the trylockspin baseline.
+func (w Wicked) StepTLS(h *Handle, rng *xrand.State) (hit bool) {
+	key := rng.Uint64n(w.KeyRange) + 1
+	if w.NoMutate {
+		_, ok := h.GetTLS(key)
+		return ok
+	}
+	r := int(rng.Uint64n(1000))
+	switch {
+	case r < w.SetPct:
+		_ = h.SetTLS(key, key*1000+rng.Uint64n(1000))
+		return false
+	case r < w.SetPct+w.GetPct:
+		_, ok := h.GetTLS(key)
+		return ok
+	case r < w.SetPct+w.GetPct+w.RemovePct:
+		ok, _ := h.RemoveTLS(key)
+		return ok
+	case r < w.SetPct+w.GetPct+w.RemovePct+w.AddPct:
+		_, _ = h.AddTLS(key, 1)
+		return true
+	case r < w.SetPct+w.GetPct+w.RemovePct+w.AddPct+w.ClearPct:
+		h.ClearTLS()
+		return false
+	default:
+		h.CountTLS()
+		return false
+	}
+}

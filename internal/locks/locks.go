@@ -1,0 +1,70 @@
+// Package locks provides the lock implementations the ALE reproduction
+// elides: a test-and-test-and-set spinlock and a writer-preference
+// readers-writer lock, both built over tm.Var cells, plus a classic
+// sequence lock used as a reference primitive in tests.
+//
+// The paper's library is lock-type agnostic: the program hands ALE a
+// LockAPI structure with acquire/release/is_locked methods. Ops is the Go
+// rendering of that structure. Lock words live in tm.Var cells so that a
+// simulated hardware transaction can *subscribe* to the lock: the ALE
+// engine reads the word transactionally, and any acquisition — which goes
+// through Var.CASDirect and therefore bumps the cell's version — aborts
+// the transaction, exactly as a cache-line invalidation would on real HTM.
+package locks
+
+import (
+	"runtime"
+
+	"repro/internal/tm"
+)
+
+// Ops is the lock interface the ALE library drives (the paper's LockAPI).
+// Implementations must be safe for concurrent use.
+type Ops interface {
+	// Acquire blocks until the calling thread holds the lock.
+	Acquire()
+	// TryAcquire attempts to take the lock without blocking and reports
+	// whether it succeeded.
+	TryAcquire() bool
+	// Release releases the lock. The caller must hold it.
+	Release()
+	// IsLocked reports whether the lock is currently held in a way that
+	// conflicts with this Ops view. For a plain mutex that means "held at
+	// all"; for the read side of an RW lock it means "a writer holds or
+	// is waiting for it" (readers do not conflict with readers).
+	IsLocked() bool
+	// Word returns the tm.Var holding the lock state, for HTM
+	// subscription. The ALE engine loads it transactionally so that a
+	// conflicting acquisition aborts the transaction.
+	Word() *tm.Var
+	// HeldValue reports whether the given raw word value (as loaded
+	// transactionally from Word) represents a conflicting-held state for
+	// this Ops view. This lets the engine interpret the subscription read
+	// without a second, non-transactional IsLocked call.
+	HeldValue(w uint64) bool
+}
+
+// backoff spins with exponentially growing pauses, yielding the processor
+// once the pause budget is large. It keeps contended acquire paths from
+// hammering the lock word's cache line.
+type backoff struct {
+	limit int
+}
+
+func (b *backoff) pause() {
+	if b.limit < 1 {
+		b.limit = 1
+	}
+	for i := 0; i < b.limit; i++ {
+		// A bounded busy loop; Gosched on larger budgets so other
+		// goroutines (possibly the lock holder) can run.
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	if b.limit < 1<<10 {
+		b.limit <<= 1
+	} else {
+		runtime.Gosched()
+	}
+}

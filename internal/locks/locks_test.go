@@ -1,0 +1,276 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/tm"
+)
+
+func newDomain() *tm.Domain {
+	return tm.NewDomain(tm.Profile{Name: "test", Enabled: true, ReadCap: 1 << 20, WriteCap: 1 << 20})
+}
+
+func TestTATASMutualExclusion(t *testing.T) {
+	d := newDomain()
+	l := NewTATAS(d)
+	var counter int // deliberately unprotected except by l
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Acquire()
+				counter++
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*per {
+		t.Errorf("counter = %d, want %d", counter, workers*per)
+	}
+}
+
+func TestTATASTryAcquire(t *testing.T) {
+	d := newDomain()
+	l := NewTATAS(d)
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire on free lock failed")
+	}
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire on held lock succeeded")
+	}
+	if !l.IsLocked() {
+		t.Error("IsLocked false while held")
+	}
+	l.Release()
+	if l.IsLocked() {
+		t.Error("IsLocked true after release")
+	}
+}
+
+func TestTATASHeldValue(t *testing.T) {
+	d := newDomain()
+	l := NewTATAS(d)
+	if l.HeldValue(0) {
+		t.Error("HeldValue(0) = true")
+	}
+	if !l.HeldValue(1) {
+		t.Error("HeldValue(1) = false")
+	}
+}
+
+// TestTATASSubscription is the heart of lock elision: a transaction that
+// reads the lock word must abort when another thread acquires the lock.
+func TestTATASSubscription(t *testing.T) {
+	d := newDomain()
+	l := NewTATAS(d)
+	data := d.NewVar(0)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *tm.Txn) {
+		if l.HeldValue(tx.Load(l.Word())) {
+			tx.Abort(tm.AbortLockHeld)
+		}
+		_ = tx.Load(data)
+		// Simulated concurrent acquisition: must doom this transaction.
+		l.Acquire()
+		defer l.Release()
+		tx.Store(data, 1)
+	})
+	if ok || reason != tm.AbortConflict {
+		t.Fatalf("Run = (%v, %v), want conflict abort from lock acquisition", ok, reason)
+	}
+}
+
+func TestRWLockReadersShareWritersExclude(t *testing.T) {
+	d := newDomain()
+	l := NewRWLock(d)
+	l.AcquireRead()
+	if !l.TryAcquireRead() {
+		t.Fatal("second reader blocked")
+	}
+	if l.TryAcquireWrite() {
+		t.Fatal("writer entered with readers active")
+	}
+	l.ReleaseRead()
+	l.ReleaseRead()
+	if !l.TryAcquireWrite() {
+		t.Fatal("writer blocked on free lock")
+	}
+	if l.TryAcquireRead() {
+		t.Fatal("reader entered with writer active")
+	}
+	if l.TryAcquireWrite() {
+		t.Fatal("second writer entered")
+	}
+	l.ReleaseWrite()
+}
+
+func TestRWLockSideConflictSemantics(t *testing.T) {
+	d := newDomain()
+	l := NewRWLock(d)
+	rs, ws := l.ReadSide(), l.WriteSide()
+
+	l.AcquireRead()
+	if rs.IsLocked() {
+		t.Error("read side reports conflict with a reader")
+	}
+	if !ws.IsLocked() {
+		t.Error("write side reports no conflict with a reader")
+	}
+	l.ReleaseRead()
+
+	l.AcquireWrite()
+	if !rs.IsLocked() {
+		t.Error("read side reports no conflict with a writer")
+	}
+	if !ws.IsLocked() {
+		t.Error("write side reports no conflict with a writer")
+	}
+	l.ReleaseWrite()
+}
+
+func TestRWLockStress(t *testing.T) {
+	d := newDomain()
+	l := NewRWLock(d)
+	var shared, checksum int
+	const writers, readers, per = 4, 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.AcquireWrite()
+				shared++
+				checksum = shared * 2
+				l.ReleaseWrite()
+			}
+		}()
+	}
+	bad := make(chan int, 1)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.AcquireRead()
+				if checksum != shared*2 {
+					select {
+					case bad <- shared:
+					default:
+					}
+				}
+				l.ReleaseRead()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case v := <-bad:
+		t.Fatalf("reader observed torn state at shared=%d", v)
+	default:
+	}
+	if shared != writers*per {
+		t.Errorf("shared = %d, want %d", shared, writers*per)
+	}
+}
+
+func TestRWLockWriterPreference(t *testing.T) {
+	d := newDomain()
+	l := NewRWLock(d)
+	l.AcquireRead()
+	writerIn := make(chan struct{})
+	go func() {
+		l.AcquireWrite()
+		close(writerIn)
+		l.ReleaseWrite()
+	}()
+	// Wait until the writer has announced itself (pending bit set).
+	for l.Word().LoadDirect()&rwPending == 0 {
+	}
+	if l.TryAcquireRead() {
+		t.Fatal("new reader admitted while a writer is waiting")
+	}
+	l.ReleaseRead()
+	<-writerIn
+}
+
+func TestRWLockReleaseWithoutHoldPanics(t *testing.T) {
+	d := newDomain()
+	l := NewRWLock(d)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ReleaseRead", l.ReleaseRead)
+	mustPanic("ReleaseWrite", l.ReleaseWrite)
+}
+
+func TestSeqLockBasic(t *testing.T) {
+	var s SeqLock
+	v := s.ReadBegin()
+	if !s.ReadValidate(v) {
+		t.Fatal("validation failed with no writer")
+	}
+	s.WriteLock()
+	if s.ReadValidate(v) {
+		t.Fatal("validation passed with writer inside")
+	}
+	s.WriteUnlock()
+	if s.ReadValidate(v) {
+		t.Fatal("validation passed across a write episode")
+	}
+	if s.Sequence()%2 != 0 {
+		t.Error("sequence odd with no writer")
+	}
+}
+
+func TestSeqLockWriteUnlockWithoutLockPanics(t *testing.T) {
+	var s SeqLock
+	defer func() {
+		if recover() == nil {
+			t.Error("WriteUnlock did not panic")
+		}
+	}()
+	s.WriteUnlock()
+}
+
+func TestSeqLockReadersSeeConsistentPairs(t *testing.T) {
+	var s SeqLock
+	var a, b atomic.Uint64 // writer keeps a == b inside the lock
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.WriteLock()
+			a.Store(i)
+			b.Store(i)
+			s.WriteUnlock()
+		}
+	}()
+	for i := 0; i < 20000; i++ {
+		v := s.ReadBegin()
+		x, y := a.Load(), b.Load()
+		if s.ReadValidate(v) && x != y {
+			t.Fatalf("validated read saw a=%d b=%d", x, y)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

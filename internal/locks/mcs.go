@@ -1,0 +1,149 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tm"
+)
+
+// MCS is a queue lock in the Mellor-Crummey/Scott style: waiters enqueue
+// behind a tail word and each spins on its *own* node's flag, so handoff
+// touches one cache line instead of stampeding a shared word. It is the
+// third structurally distinct lock behind the LockAPI (after TATAS's flag
+// and Ticket's counter pair), exercising the paper's claim that ALE works
+// with any lock type: here the subscribable lock word is the queue tail
+// (zero iff free), while the acquire/release protocol is pointer-chasing
+// the engine never sees.
+//
+// Queue nodes come from an internal pool guarded by a small mutex; the
+// pool is bookkeeping, not the handoff path (waiters still spin locally),
+// and a mutex keeps index reuse ABA-free without dragging in tagged
+// pointers.
+type MCS struct {
+	tail *tm.Var // index+1 of the last waiter; 0 = free
+
+	// nodes is published copy-on-write: readers (node) take a lock-free
+	// snapshot, appends (rare: only when the pool runs dry) clone under
+	// the mutex and republish.
+	nodes  atomic.Pointer[[]*mcsNode]
+	mu     sync.Mutex
+	free   []uint64
+	holder uint64 // queue node of the current holder (holder-written)
+}
+
+type mcsNode struct {
+	next   tm.Var // index+1 of the successor; 0 = none
+	locked tm.Var // 1 while the owner must keep waiting
+	dom    *tm.Domain
+}
+
+// NewMCS allocates a free MCS lock in domain d.
+func NewMCS(d *tm.Domain) *MCS {
+	l := &MCS{tail: d.NewVar(0)}
+	empty := []*mcsNode{}
+	l.nodes.Store(&empty)
+	return l
+}
+
+// getNode pops a pool node (allocating on demand) and returns its index+1.
+func (l *MCS) getNode() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := len(l.free); n > 0 {
+		idx := l.free[n-1]
+		l.free = l.free[:n-1]
+		return idx
+	}
+	d := l.tail.Domain()
+	node := &mcsNode{dom: d}
+	d.InitVar(&node.next, 0)
+	d.InitVar(&node.locked, 0)
+	old := *l.nodes.Load()
+	grown := make([]*mcsNode, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = node
+	l.nodes.Store(&grown)
+	return uint64(len(grown))
+}
+
+func (l *MCS) putNode(idx uint64) {
+	l.mu.Lock()
+	l.free = append(l.free, idx)
+	l.mu.Unlock()
+}
+
+func (l *MCS) node(idx uint64) *mcsNode { return (*l.nodes.Load())[idx-1] }
+
+// Acquire blocks until the caller holds the lock.
+func (l *MCS) Acquire() {
+	idx := l.getNode()
+	n := l.node(idx)
+	n.next.StoreDirect(0)
+	n.locked.StoreDirect(1)
+	prev := l.tail.SwapDirect(idx)
+	if prev != 0 {
+		l.node(prev).next.StoreDirect(idx)
+		for spins := 0; n.locked.LoadDirect() == 1; spins++ {
+			if spins&31 == 31 {
+				runtime.Gosched()
+			}
+		}
+	}
+	l.holder = idx
+}
+
+// TryAcquire takes the lock iff the queue is empty.
+func (l *MCS) TryAcquire() bool {
+	if l.tail.LoadDirect() != 0 {
+		return false
+	}
+	idx := l.getNode()
+	n := l.node(idx)
+	n.next.StoreDirect(0)
+	n.locked.StoreDirect(1)
+	if l.tail.CASDirect(0, idx) {
+		l.holder = idx
+		return true
+	}
+	l.putNode(idx)
+	return false
+}
+
+// Release hands the lock to the next waiter (or frees it). The caller must
+// hold the lock.
+func (l *MCS) Release() {
+	idx := l.holder
+	if idx == 0 {
+		panic("locks: MCS.Release without holding")
+	}
+	l.holder = 0
+	n := l.node(idx)
+	if n.next.LoadDirect() == 0 {
+		if l.tail.CASDirect(idx, 0) {
+			l.putNode(idx)
+			return
+		}
+		// A successor is mid-enqueue: wait for its link.
+		for spins := 0; n.next.LoadDirect() == 0; spins++ {
+			if spins&31 == 31 {
+				runtime.Gosched()
+			}
+		}
+	}
+	succ := n.next.LoadDirect()
+	l.node(succ).locked.StoreDirect(0)
+	l.putNode(idx)
+}
+
+// IsLocked reports whether anyone holds or awaits the lock.
+func (l *MCS) IsLocked() bool { return l.tail.LoadDirect() != 0 }
+
+// Word returns the tail word for HTM subscription.
+func (l *MCS) Word() *tm.Var { return l.tail }
+
+// HeldValue interprets a raw tail value: nonzero means held/queued.
+func (l *MCS) HeldValue(w uint64) bool { return w != 0 }
+
+var _ Ops = (*MCS)(nil)

@@ -1,0 +1,130 @@
+package locks
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tm"
+)
+
+func TestMCSMutualExclusion(t *testing.T) {
+	d := newDomain()
+	l := NewMCS(d)
+	var counter int
+	const workers, per = 8, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Acquire()
+				counter++
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*per {
+		t.Errorf("counter = %d, want %d", counter, workers*per)
+	}
+}
+
+func TestMCSTryAcquire(t *testing.T) {
+	d := newDomain()
+	l := NewMCS(d)
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire on free lock failed")
+	}
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire on held lock succeeded")
+	}
+	if !l.IsLocked() {
+		t.Error("IsLocked false while held")
+	}
+	l.Release()
+	if l.IsLocked() {
+		t.Error("IsLocked true after release")
+	}
+	// Reusable after a full cycle.
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire after release failed")
+	}
+	l.Release()
+}
+
+func TestMCSReleaseWithoutHoldPanics(t *testing.T) {
+	d := newDomain()
+	l := NewMCS(d)
+	defer func() {
+		if recover() == nil {
+			t.Error("Release without hold did not panic")
+		}
+	}()
+	l.Release()
+}
+
+func TestMCSHeldValue(t *testing.T) {
+	d := newDomain()
+	l := NewMCS(d)
+	if l.HeldValue(0) {
+		t.Error("HeldValue(0) = true")
+	}
+	if !l.HeldValue(3) {
+		t.Error("HeldValue(3) = false")
+	}
+}
+
+func TestMCSSubscription(t *testing.T) {
+	d := newDomain()
+	l := NewMCS(d)
+	data := d.NewVar(0)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *tm.Txn) {
+		if l.HeldValue(tx.Load(l.Word())) {
+			tx.Abort(tm.AbortLockHeld)
+		}
+		tx.Store(data, 1) // writing txn: acquisition must doom it
+		l.Acquire()
+		defer l.Release()
+	})
+	if ok || reason != tm.AbortConflict {
+		t.Fatalf("Run = (%v, %v), want conflict abort from acquisition", ok, reason)
+	}
+}
+
+func TestMCSNodePoolRecycles(t *testing.T) {
+	d := newDomain()
+	l := NewMCS(d)
+	// Sequential cycles must not grow the node table past 1.
+	for i := 0; i < 100; i++ {
+		l.Acquire()
+		l.Release()
+	}
+	if n := len(*l.nodes.Load()); n != 1 {
+		t.Errorf("node table grew to %d for sequential use, want 1", n)
+	}
+}
+
+func BenchmarkMCSUncontended(b *testing.B) {
+	d := newDomain()
+	l := NewMCS(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Acquire()
+		l.Release()
+	}
+}
+
+func BenchmarkMCSContended(b *testing.B) {
+	d := newDomain()
+	l := NewMCS(d)
+	var shared uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Acquire()
+			shared++
+			l.Release()
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package locks
+
+import "repro/internal/tm"
+
+// RWLock is a writer-preference readers-writer lock in a single tm.Var
+// word, used by the Kyoto Cabinet substrate as its "method lock" (the
+// paper's section 5 experiments elide it on the read side).
+//
+// Word layout:
+//
+//	bit 0        writer active
+//	bit 1        writer waiting (blocks new readers: writer preference)
+//	bits 2..63   active reader count
+//
+// The two sides of the lock are exposed as separate Ops views
+// (ReadSide/WriteSide) because they have different conflict semantics:
+// a reader conflicts only with writers, a writer conflicts with everyone.
+// ALE wraps each side in its own elidable lock while both drive the same
+// physical word.
+type RWLock struct {
+	word *tm.Var
+}
+
+const (
+	rwWriter  = 1 << 0
+	rwPending = 1 << 1
+	rwReader  = 1 << 2 // increment per reader
+)
+
+// NewRWLock allocates a free readers-writer lock in domain d.
+func NewRWLock(d *tm.Domain) *RWLock {
+	return &RWLock{word: d.NewVar(0)}
+}
+
+// Word returns the shared lock word (both sides subscribe to it).
+func (l *RWLock) Word() *tm.Var { return l.word }
+
+// AcquireRead blocks until the caller holds a read (shared) lock.
+func (l *RWLock) AcquireRead() {
+	var b backoff
+	for {
+		w := l.word.LoadDirect()
+		if w&(rwWriter|rwPending) == 0 {
+			if l.word.CASDirect(w, w+rwReader) {
+				return
+			}
+			continue
+		}
+		b.pause()
+	}
+}
+
+// TryAcquireRead takes a read lock iff no writer is active or waiting.
+func (l *RWLock) TryAcquireRead() bool {
+	w := l.word.LoadDirect()
+	return w&(rwWriter|rwPending) == 0 && l.word.CASDirect(w, w+rwReader)
+}
+
+// ReleaseRead drops a read lock held by the caller.
+func (l *RWLock) ReleaseRead() {
+	for {
+		w := l.word.LoadDirect()
+		if w < rwReader {
+			panic("locks: ReleaseRead without read lock")
+		}
+		if l.word.CASDirect(w, w-rwReader) {
+			return
+		}
+	}
+}
+
+// AcquireWrite blocks until the caller holds the write (exclusive) lock.
+func (l *RWLock) AcquireWrite() {
+	var b backoff
+	// Announce intent so new readers stand back (writer preference).
+	for {
+		w := l.word.LoadDirect()
+		if w&(rwWriter|rwPending) == 0 {
+			if l.word.CASDirect(w, w|rwPending) {
+				break
+			}
+			continue
+		}
+		b.pause()
+	}
+	// Wait for active readers to drain, then flip pending -> active.
+	for {
+		w := l.word.LoadDirect()
+		if w == rwPending {
+			if l.word.CASDirect(rwPending, rwWriter) {
+				return
+			}
+			continue
+		}
+		b.pause()
+	}
+}
+
+// TryAcquireWrite takes the write lock iff the lock is entirely free.
+func (l *RWLock) TryAcquireWrite() bool {
+	return l.word.LoadDirect() == 0 && l.word.CASDirect(0, rwWriter)
+}
+
+// ReleaseWrite drops the write lock held by the caller.
+func (l *RWLock) ReleaseWrite() {
+	for {
+		w := l.word.LoadDirect()
+		if w&rwWriter == 0 {
+			panic("locks: ReleaseWrite without write lock")
+		}
+		if l.word.CASDirect(w, w&^rwWriter) {
+			return
+		}
+	}
+}
+
+// ReadSide returns the Ops view a reader critical section uses. Its
+// IsLocked/HeldValue report conflict only with writers (active or
+// pending): concurrent readers are compatible, so a transaction eliding a
+// read CS need not abort because other readers arrived.
+func (l *RWLock) ReadSide() Ops { return readSide{l} }
+
+// WriteSide returns the Ops view a writer critical section uses. Its
+// IsLocked/HeldValue report conflict with any holder.
+func (l *RWLock) WriteSide() Ops { return writeSide{l} }
+
+type readSide struct{ l *RWLock }
+
+func (s readSide) Acquire()                { s.l.AcquireRead() }
+func (s readSide) TryAcquire() bool        { return s.l.TryAcquireRead() }
+func (s readSide) Release()                { s.l.ReleaseRead() }
+func (s readSide) IsLocked() bool          { return s.HeldValue(s.l.word.LoadDirect()) }
+func (s readSide) Word() *tm.Var           { return s.l.word }
+func (s readSide) HeldValue(w uint64) bool { return w&(rwWriter|rwPending) != 0 }
+
+type writeSide struct{ l *RWLock }
+
+func (s writeSide) Acquire()                { s.l.AcquireWrite() }
+func (s writeSide) TryAcquire() bool        { return s.l.TryAcquireWrite() }
+func (s writeSide) Release()                { s.l.ReleaseWrite() }
+func (s writeSide) IsLocked() bool          { return s.HeldValue(s.l.word.LoadDirect()) }
+func (s writeSide) Word() *tm.Var           { return s.l.word }
+func (s writeSide) HeldValue(w uint64) bool { return w != 0 }
+
+var (
+	_ Ops = readSide{}
+	_ Ops = writeSide{}
+)

@@ -1,0 +1,65 @@
+package locks
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SeqLock is a classic sequence lock (Lameter 2005; the lwn seqlock the
+// paper cites): a lock with an associated sequence number, even when free,
+// odd while a writer is inside. Readers run lock-free and retry if the
+// sequence changed around their read.
+//
+// ALE's conflict markers (core.ConflictMarker) are the paper's refinement
+// of this primitive — bracketing only the *conflicting region* instead of
+// the whole critical section, and living in tm.Var cells so transactions
+// interact with them. SeqLock itself is kept as the reference primitive
+// and is used by tests and by non-transactional code.
+type SeqLock struct {
+	seq atomic.Uint64
+}
+
+// WriteLock enters the writer side: it spins until it can move the
+// sequence from even to odd, establishing exclusion among writers.
+func (s *SeqLock) WriteLock() {
+	var b backoff
+	for {
+		v := s.seq.Load()
+		if v&1 == 0 && s.seq.CompareAndSwap(v, v+1) {
+			return
+		}
+		b.pause()
+	}
+}
+
+// WriteUnlock leaves the writer side, moving the sequence back to even.
+func (s *SeqLock) WriteUnlock() {
+	v := s.seq.Load()
+	if v&1 == 0 {
+		panic("locks: WriteUnlock without WriteLock")
+	}
+	s.seq.Store(v + 1)
+}
+
+// ReadBegin waits for the sequence to be even and returns it; pass the
+// result to ReadValidate after the optimistic read section.
+func (s *SeqLock) ReadBegin() uint64 {
+	for spins := 0; ; spins++ {
+		v := s.seq.Load()
+		if v&1 == 0 {
+			return v
+		}
+		if spins > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// ReadValidate reports whether a read section that started at sequence v
+// ran without writer interference.
+func (s *SeqLock) ReadValidate(v uint64) bool {
+	return s.seq.Load() == v
+}
+
+// Sequence returns the raw sequence value (diagnostics).
+func (s *SeqLock) Sequence() uint64 { return s.seq.Load() }

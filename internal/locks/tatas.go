@@ -1,0 +1,53 @@
+package locks
+
+import "repro/internal/tm"
+
+// TATAS is a test-and-test-and-set spinlock with exponential backoff — the
+// plain mutex the paper's microbenchmarks protect their critical sections
+// with. The lock word is a tm.Var (0 = free, 1 = held) so hardware
+// transactions can subscribe to it.
+type TATAS struct {
+	word *tm.Var
+}
+
+// NewTATAS allocates a free lock in domain d.
+func NewTATAS(d *tm.Domain) *TATAS {
+	return &TATAS{word: d.NewVar(0)}
+}
+
+// Acquire blocks until the lock is held by the caller.
+func (l *TATAS) Acquire() {
+	var b backoff
+	for {
+		// Test: spin on a plain load first so waiters don't generate
+		// version traffic on the cell (the "test-and-test-and-set" part).
+		for l.word.LoadDirect() != 0 {
+			b.pause()
+		}
+		if l.word.CASDirect(0, 1) {
+			return
+		}
+		b.pause()
+	}
+}
+
+// TryAcquire takes the lock iff it is immediately free.
+func (l *TATAS) TryAcquire() bool {
+	return l.word.LoadDirect() == 0 && l.word.CASDirect(0, 1)
+}
+
+// Release frees the lock. The caller must hold it.
+func (l *TATAS) Release() {
+	l.word.StoreDirect(0)
+}
+
+// IsLocked reports whether any thread holds the lock.
+func (l *TATAS) IsLocked() bool { return l.word.LoadDirect() != 0 }
+
+// Word returns the lock word for HTM subscription.
+func (l *TATAS) Word() *tm.Var { return l.word }
+
+// HeldValue interprets a raw word value: nonzero means held.
+func (l *TATAS) HeldValue(w uint64) bool { return w != 0 }
+
+var _ Ops = (*TATAS)(nil)

@@ -1,0 +1,78 @@
+package locks
+
+import "repro/internal/tm"
+
+// Ticket is a FIFO ticket lock in one tm.Var word. It exists to exercise
+// the paper's claim that ALE works with *any* lock type through the
+// LockAPI: the ALE engine only needs acquire/release/is-locked plus a
+// subscribable word, and the ticket lock's held-test differs structurally
+// from TATAS's (two counters instead of a flag).
+//
+// Word layout: next ticket in the high 32 bits, current owner in the low
+// 32 bits; the lock is free iff the halves are equal.
+type Ticket struct {
+	word *tm.Var
+}
+
+const ticketShift = 32
+
+// NewTicket allocates a free ticket lock in domain d.
+func NewTicket(d *tm.Domain) *Ticket {
+	return &Ticket{word: d.NewVar(0)}
+}
+
+// Acquire draws a ticket and spins until it is served.
+func (l *Ticket) Acquire() {
+	var mine uint64
+	for {
+		w := l.word.LoadDirect()
+		if l.word.CASDirect(w, w+(1<<ticketShift)) {
+			mine = w >> ticketShift
+			break
+		}
+	}
+	var b backoff
+	for {
+		w := l.word.LoadDirect()
+		if w&(1<<ticketShift-1) == mine&(1<<ticketShift-1) {
+			return
+		}
+		b.pause()
+	}
+}
+
+// TryAcquire takes the lock iff no one holds or awaits it.
+func (l *Ticket) TryAcquire() bool {
+	w := l.word.LoadDirect()
+	if w>>ticketShift != w&(1<<ticketShift-1) {
+		return false
+	}
+	return l.word.CASDirect(w, w+(1<<ticketShift))
+}
+
+// Release serves the next ticket. The caller must hold the lock.
+func (l *Ticket) Release() {
+	for {
+		w := l.word.LoadDirect()
+		if w>>ticketShift == w&(1<<ticketShift-1) {
+			panic("locks: Ticket.Release without holding")
+		}
+		owner := (w + 1) & (1<<ticketShift - 1)
+		if l.word.CASDirect(w, w&^(1<<ticketShift-1)|owner) {
+			return
+		}
+	}
+}
+
+// IsLocked reports whether the lock is held (or queued for).
+func (l *Ticket) IsLocked() bool { return l.HeldValue(l.word.LoadDirect()) }
+
+// Word returns the lock word for HTM subscription.
+func (l *Ticket) Word() *tm.Var { return l.word }
+
+// HeldValue interprets a raw word: held iff next != owner.
+func (l *Ticket) HeldValue(w uint64) bool {
+	return w>>ticketShift != w&(1<<ticketShift-1)
+}
+
+var _ Ops = (*Ticket)(nil)

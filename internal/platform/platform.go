@@ -1,0 +1,86 @@
+// Package platform defines the simulated evaluation platforms of the ALE
+// paper. The paper runs on four machines and reports three: Rock (16-core
+// SPARC with restrictive best-effort HTM), Haswell (4-core/8-thread x86
+// with Intel TSX), and T2-2 (2-socket, 128-thread SPARC with no HTM).
+//
+// Each platform is expressed as a tm.Profile — the HTM capacity and
+// reliability envelope — plus the thread counts the paper sweeps on it.
+// DESIGN.md records why these parameters reproduce the policy-relevant
+// behaviour of the real machines.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/tm"
+)
+
+// Platform bundles a simulated machine: its HTM profile and the thread
+// counts the paper's figures sweep over on it.
+type Platform struct {
+	Profile tm.Profile
+	// Threads are the x-axis points used for this platform's figures.
+	Threads []int
+}
+
+// Rock models the Sun Rock processor: 16 cores, best-effort HTM that is
+// both small and fragile (transactions fail on TLB misses, certain
+// branches, function returns...). Tight capacity plus a high spurious
+// rate reproduces the "HTM helps, but only for short sections and with
+// generous retry budgets" behaviour the paper reports.
+func Rock() Platform {
+	return Platform{
+		Profile: tm.Profile{
+			Name:         "Rock",
+			Enabled:      true,
+			ReadCap:      64,
+			WriteCap:     16,
+			SpuriousProb: 0.004,
+		},
+		Threads: []int{1, 2, 4, 8, 16},
+	}
+}
+
+// Haswell models an Intel Haswell with TSX/RTM: 4 cores, 8 hardware
+// threads, L1-sized write sets, and mostly-reliable transactions.
+func Haswell() Platform {
+	return Platform{
+		Profile: tm.Profile{
+			Name:         "Haswell",
+			Enabled:      true,
+			ReadCap:      512,
+			WriteCap:     128,
+			SpuriousProb: 0.0002,
+		},
+		Threads: []int{1, 2, 4, 8},
+	}
+}
+
+// T2 models the SPARC T2+ (T2-2): lots of hardware threads, no HTM. On
+// this platform SWOpt is the only elision technique available, which is
+// exactly what Figure 4's curves demonstrate.
+func T2() Platform {
+	return Platform{
+		Profile: tm.Profile{
+			Name:    "T2-2",
+			Enabled: false,
+		},
+		Threads: []int{1, 2, 4, 8, 16, 32, 64},
+	}
+}
+
+// ByName looks a platform up by its case-sensitive name ("Rock",
+// "Haswell", "T2-2").
+func ByName(name string) (Platform, error) {
+	for _, p := range All() {
+		if p.Profile.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("platform: unknown platform %q", name)
+}
+
+// All returns the three reported platforms in paper order.
+func All() []Platform {
+	return []Platform{Rock(), Haswell(), T2()}
+}

@@ -1,0 +1,61 @@
+package platform
+
+import "testing"
+
+func TestAllPlatformsWellFormed(t *testing.T) {
+	ps := All()
+	if len(ps) != 3 {
+		t.Fatalf("All() = %d platforms, want 3", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if p.Profile.Name == "" {
+			t.Error("platform with empty name")
+		}
+		if names[p.Profile.Name] {
+			t.Errorf("duplicate platform name %s", p.Profile.Name)
+		}
+		names[p.Profile.Name] = true
+		if len(p.Threads) == 0 {
+			t.Errorf("%s: empty thread sweep", p.Profile.Name)
+		}
+		for i := 1; i < len(p.Threads); i++ {
+			if p.Threads[i] <= p.Threads[i-1] {
+				t.Errorf("%s: thread sweep not increasing: %v", p.Profile.Name, p.Threads)
+			}
+		}
+		if p.Profile.Enabled && (p.Profile.ReadCap <= 0 || p.Profile.WriteCap <= 0) {
+			t.Errorf("%s: HTM enabled with zero capacity", p.Profile.Name)
+		}
+	}
+}
+
+func TestHTMEnvelopeOrdering(t *testing.T) {
+	r, h, t2 := Rock(), Haswell(), T2()
+	// The defining contrasts (DESIGN.md): Rock tighter and flakier than
+	// Haswell; T2 without HTM entirely.
+	if !r.Profile.Enabled || !h.Profile.Enabled {
+		t.Fatal("Rock/Haswell must have HTM")
+	}
+	if t2.Profile.Enabled {
+		t.Fatal("T2 must not have HTM")
+	}
+	if r.Profile.ReadCap >= h.Profile.ReadCap || r.Profile.WriteCap >= h.Profile.WriteCap {
+		t.Error("Rock capacity should be tighter than Haswell")
+	}
+	if r.Profile.SpuriousProb <= h.Profile.SpuriousProb {
+		t.Error("Rock should abort spuriously more often than Haswell")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Rock", "Haswell", "T2-2"} {
+		p, err := ByName(name)
+		if err != nil || p.Profile.Name != name {
+			t.Errorf("ByName(%s) = (%s, %v)", name, p.Profile.Name, err)
+		}
+	}
+	if _, err := ByName("PDP-11"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}

@@ -1,0 +1,237 @@
+// Package queue applies the ALE methodology to a bounded FIFO queue — a
+// third data-structure shape after the hash map (point operations) and
+// the sorted set (long traversals): short critical sections with *inherent
+// serialization* (every enqueue writes the same tail cursor, every dequeue
+// the same head cursor).
+//
+// The interesting ALE behaviours here:
+//
+//   - Enqueue/Dequeue in HTM mode conflict with every concurrent
+//     enqueue/dequeue (cursor write-write conflicts), so TLE degrades
+//     toward the lock as producers multiply — a structurally different
+//     regime from the HashMap, where transactions rarely collide.
+//   - Read-only operations (Peek, Len) carry SWOpt paths that validate
+//     against a conflict marker bumped around cursor movement, so
+//     monitoring traffic never serializes with the producers/consumers.
+//
+// Layout mirrors the other structures: ring slots in tm.Vars, prebuilt
+// critical sections on per-goroutine handles, outputs reset at body start
+// (aborted attempts' handle side effects must not leak).
+package queue
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/tm"
+)
+
+// Errors returned by queue operations.
+var (
+	// ErrClosedCapacity reports a Put on a full queue.
+	ErrFull = errors.New("queue: full")
+	// ErrEmpty reports a Take on an empty queue.
+	ErrEmpty = errors.New("queue: empty")
+)
+
+// Queue is the ALE-integrated bounded FIFO. Construct with New; operate
+// through per-goroutine Handles.
+type Queue struct {
+	rt     *core.Runtime
+	lock   *core.Lock
+	marker *core.ConflictMarker
+
+	slots []tm.Var
+	head  tm.Var // absolute dequeue cursor
+	tail  tm.Var // absolute enqueue cursor
+	mask  uint64
+
+	scopePut, scopeTake, scopePeek, scopeLen *core.Scope
+}
+
+// New builds a queue with the given capacity (rounded up to a power of
+// two), governed by policy.
+func New(rt *core.Runtime, name string, capacity int, policy core.Policy) *Queue {
+	if capacity < 1 {
+		panic("queue: non-positive capacity")
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	d := rt.Domain()
+	q := &Queue{
+		rt:    rt,
+		lock:  rt.NewLock(name, locks.NewTATAS(d), policy),
+		slots: d.NewVars(n),
+		mask:  uint64(n - 1),
+
+		scopePut:  core.NewScope(name + ".Put"),
+		scopeTake: core.NewScope(name + ".Take"),
+		scopePeek: core.NewScope(name + ".Peek"),
+		scopeLen:  core.NewScope(name + ".Len"),
+	}
+	d.InitVar(&q.head, 0)
+	d.InitVar(&q.tail, 0)
+	q.marker = q.lock.NewMarker()
+	return q
+}
+
+// Lock exposes the ALE lock (reports, tests).
+func (q *Queue) Lock() *core.Lock { return q.lock }
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.slots) }
+
+// Handle is a per-goroutine accessor.
+type Handle struct {
+	q   *Queue
+	thr *core.Thread
+
+	argVal uint64
+	retVal uint64
+	retOK  bool
+	retN   int
+
+	csPut, csTake, csPeek, csLen core.CS
+}
+
+// NewHandle creates a per-goroutine handle with its own ALE thread.
+func (q *Queue) NewHandle() *Handle { return q.NewHandleWithThread(q.rt.NewThread()) }
+
+// NewHandleWithThread creates a handle on an existing ALE thread.
+func (q *Queue) NewHandleWithThread(thr *core.Thread) *Handle {
+	h := &Handle{q: q, thr: thr}
+	h.buildCS()
+	return h
+}
+
+// Thread exposes the handle's ALE thread.
+func (h *Handle) Thread() *core.Thread { return h.thr }
+
+// Put enqueues v; it reports ErrFull when the queue is at capacity.
+func (h *Handle) Put(v uint64) error {
+	h.argVal = v
+	if err := h.q.lock.Execute(h.thr, &h.csPut); err != nil {
+		return err
+	}
+	if !h.retOK {
+		return ErrFull
+	}
+	return nil
+}
+
+// Take dequeues the oldest value; it reports ErrEmpty when none exists.
+func (h *Handle) Take() (uint64, error) {
+	if err := h.q.lock.Execute(h.thr, &h.csTake); err != nil {
+		return 0, err
+	}
+	if !h.retOK {
+		return 0, ErrEmpty
+	}
+	return h.retVal, nil
+}
+
+// Peek returns the oldest value without removing it (SWOpt-capable).
+func (h *Handle) Peek() (uint64, bool, error) {
+	err := h.q.lock.Execute(h.thr, &h.csPeek)
+	return h.retVal, h.retOK, err
+}
+
+// Len returns the number of queued values (SWOpt-capable).
+func (h *Handle) Len() (int, error) {
+	err := h.q.lock.Execute(h.thr, &h.csLen)
+	return h.retN, err
+}
+
+func (h *Handle) buildCS() {
+	q := h.q
+
+	h.csPut = core.CS{
+		Scope:       q.scopePut,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retOK = false
+			head := ec.Load(&q.head)
+			tail := ec.Load(&q.tail)
+			if tail-head >= uint64(len(q.slots)) {
+				return nil // full
+			}
+			q.marker.BeginConflicting(ec)
+			ec.Store(&q.slots[tail&q.mask], h.argVal)
+			ec.Store(&q.tail, tail+1)
+			q.marker.EndConflicting(ec)
+			h.retOK = true
+			return nil
+		},
+	}
+	h.csTake = core.CS{
+		Scope:       q.scopeTake,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retOK, h.retVal = false, 0
+			head := ec.Load(&q.head)
+			tail := ec.Load(&q.tail)
+			if head == tail {
+				return nil // empty
+			}
+			q.marker.BeginConflicting(ec)
+			h.retVal = ec.Load(&q.slots[head&q.mask])
+			ec.Store(&q.head, head+1)
+			q.marker.EndConflicting(ec)
+			h.retOK = true
+			return nil
+		},
+	}
+	h.csPeek = core.CS{
+		Scope:    q.scopePeek,
+		HasSWOpt: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retOK, h.retVal = false, 0
+			if ec.InSWOpt() {
+				ver := q.marker.ReadStable()
+				head := ec.Load(&q.head)
+				tail := ec.Load(&q.tail)
+				if !q.marker.Validate(ver) {
+					return ec.SWOptFail()
+				}
+				if head == tail {
+					return nil
+				}
+				v := ec.Load(&q.slots[head&q.mask])
+				if !q.marker.Validate(ver) {
+					return ec.SWOptFail()
+				}
+				h.retVal, h.retOK = v, true
+				return nil
+			}
+			head := ec.Load(&q.head)
+			tail := ec.Load(&q.tail)
+			if head == tail {
+				return nil
+			}
+			h.retVal, h.retOK = ec.Load(&q.slots[head&q.mask]), true
+			return nil
+		},
+	}
+	h.csLen = core.CS{
+		Scope:    q.scopeLen,
+		HasSWOpt: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retN = 0
+			if ec.InSWOpt() {
+				ver := q.marker.ReadStable()
+				head := ec.Load(&q.head)
+				tail := ec.Load(&q.tail)
+				if !q.marker.Validate(ver) {
+					return ec.SWOptFail()
+				}
+				h.retN = int(tail - head)
+				return nil
+			}
+			h.retN = int(ec.Load(&q.tail) - ec.Load(&q.head))
+			return nil
+		},
+	}
+}

@@ -1,0 +1,364 @@
+package queue
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/tm"
+	"repro/internal/xrand"
+)
+
+func htmProfile() tm.Profile {
+	return tm.Profile{Name: "test-htm", Enabled: true, ReadCap: 1 << 16, WriteCap: 1 << 16}
+}
+
+func noHTMProfile() tm.Profile {
+	return tm.Profile{Name: "test-nohtm", Enabled: false}
+}
+
+func newQueue(prof tm.Profile, capacity int, pol core.Policy) *Queue {
+	rt := core.NewRuntime(tm.NewDomain(prof))
+	return New(rt, "q", capacity, pol)
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	q := newQueue(htmProfile(), 8, core.NewStatic(10, 10))
+	h := q.NewHandle()
+	if _, err := h.Take(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Take on empty = %v, want ErrEmpty", err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if err := h.Put(i * 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := h.Len(); n != 5 {
+		t.Fatalf("Len = %d, want 5", n)
+	}
+	if v, ok, _ := h.Peek(); !ok || v != 10 {
+		t.Fatalf("Peek = (%d, %v), want (10, true)", v, ok)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		v, err := h.Take()
+		if err != nil || v != i*10 {
+			t.Fatalf("Take #%d = (%d, %v)", i, v, err)
+		}
+	}
+	if _, ok, _ := h.Peek(); ok {
+		t.Fatal("Peek on drained queue hit")
+	}
+}
+
+func TestFullQueue(t *testing.T) {
+	q := newQueue(htmProfile(), 4, core.NewStatic(5, 0))
+	h := q.NewHandle()
+	for i := 0; i < q.Cap(); i++ {
+		if err := h.Put(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Put(99); !errors.Is(err, ErrFull) {
+		t.Fatalf("Put on full = %v, want ErrFull", err)
+	}
+	if _, err := h.Take(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Put(99); err != nil {
+		t.Fatalf("Put after Take = %v", err)
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	q := newQueue(htmProfile(), 5, core.NewLockOnly())
+	if q.Cap() != 8 {
+		t.Errorf("Cap = %d, want 8", q.Cap())
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	q := newQueue(htmProfile(), 4, core.NewStatic(5, 5))
+	h := q.NewHandle()
+	// Push the cursors far past the ring size.
+	for i := uint64(0); i < 100; i++ {
+		if err := h.Put(i); err != nil {
+			t.Fatal(err)
+		}
+		v, err := h.Take()
+		if err != nil || v != i {
+			t.Fatalf("cycle %d: Take = (%d, %v)", i, v, err)
+		}
+	}
+}
+
+func TestQuickMatchesModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Val  uint16
+	}
+	for _, tc := range []struct {
+		name string
+		prof tm.Profile
+	}{{"htm", htmProfile()}, {"nohtm", noHTMProfile()}} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := func(ops []op) bool {
+				q := newQueue(tc.prof, 16, core.NewStatic(5, 5))
+				h := q.NewHandle()
+				var model []uint64
+				for _, o := range ops {
+					switch o.Kind % 4 {
+					case 0, 1:
+						err := h.Put(uint64(o.Val))
+						if len(model) >= q.Cap() {
+							if !errors.Is(err, ErrFull) {
+								return false
+							}
+						} else {
+							if err != nil {
+								return false
+							}
+							model = append(model, uint64(o.Val))
+						}
+					case 2:
+						v, err := h.Take()
+						if len(model) == 0 {
+							if !errors.Is(err, ErrEmpty) {
+								return false
+							}
+						} else {
+							if err != nil || v != model[0] {
+								return false
+							}
+							model = model[1:]
+						}
+					case 3:
+						v, ok, err := h.Peek()
+						if err != nil {
+							return false
+						}
+						if ok != (len(model) > 0) {
+							return false
+						}
+						if ok && v != model[0] {
+							return false
+						}
+					}
+					n, err := h.Len()
+					if err != nil || n != len(model) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentProducersConsumers: values carry producer id + sequence;
+// each consumer checks per-producer sequences arrive in order (FIFO per
+// producer holds for a linearizable queue), and nothing is lost or
+// duplicated.
+func TestConcurrentProducersConsumers(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prof tm.Profile
+		pol  func() core.Policy
+	}{
+		{"htm", htmProfile(), func() core.Policy { return core.NewStatic(8, 8) }},
+		{"nohtm", noHTMProfile(), func() core.Policy { return core.NewStatic(0, 8) }},
+		{"rock", platform.Rock().Profile, func() core.Policy { return core.NewStatic(8, 8) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := core.NewRuntime(tm.NewDomain(tc.prof))
+			q := New(rt, "q", 64, tc.pol())
+			const producers, consumers, perProducer = 4, 4, 1200
+			var wg sync.WaitGroup
+			errCh := make(chan error, producers+consumers)
+			consumed := make([][]uint64, consumers)
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					h := q.NewHandle()
+					for i := 0; i < perProducer; i++ {
+						val := uint64(id)<<32 | uint64(i)
+						for {
+							err := h.Put(val)
+							if err == nil {
+								break
+							}
+							if !errors.Is(err, ErrFull) {
+								errCh <- err
+								return
+							}
+							runtime.Gosched() // let a consumer drain
+						}
+					}
+				}(p)
+			}
+			var taken sync.WaitGroup
+			total := producers * perProducer
+			var remaining = make(chan struct{}, total)
+			for i := 0; i < total; i++ {
+				remaining <- struct{}{}
+			}
+			for c := 0; c < consumers; c++ {
+				wg.Add(1)
+				taken.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					defer taken.Done()
+					h := q.NewHandle()
+					for {
+						select {
+						case <-remaining:
+						default:
+							return
+						}
+						for {
+							v, err := h.Take()
+							if err == nil {
+								consumed[id] = append(consumed[id], v)
+								break
+							}
+							if !errors.Is(err, ErrEmpty) {
+								errCh <- err
+								return
+							}
+							runtime.Gosched() // let a producer fill
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+			// Every value exactly once, and per-producer order respected
+			// within each consumer's local stream.
+			seen := map[uint64]bool{}
+			for c := range consumed {
+				lastPerProducer := map[uint64]int64{}
+				for _, v := range consumed[c] {
+					if seen[v] {
+						t.Fatalf("value %x consumed twice", v)
+					}
+					seen[v] = true
+					prod, seq := v>>32, int64(v&0xffffffff)
+					if last, ok := lastPerProducer[prod]; ok && seq <= last {
+						t.Fatalf("consumer %d saw producer %d out of order (%d after %d)",
+							c, prod, seq, last)
+					}
+					lastPerProducer[prod] = seq
+				}
+			}
+			if len(seen) != total {
+				t.Fatalf("consumed %d values, want %d", len(seen), total)
+			}
+		})
+	}
+}
+
+// TestPeekersDoNotBlockThroughput: heavy Peek/Len traffic runs in SWOpt
+// and must not fall back to the lock appreciably on a no-HTM platform.
+func TestPeekersDoNotBlockThroughput(t *testing.T) {
+	rt := core.NewRuntime(tm.NewDomain(noHTMProfile()))
+	q := New(rt, "q", 64, core.NewStatic(0, 20))
+	h := q.NewHandle()
+	for i := uint64(0); i < 32; i++ {
+		if err := h.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		if _, _, err := h.Peek(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Len(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sw, lk uint64
+	for _, g := range q.Lock().Granules() {
+		switch g.Label() {
+		case "q.Peek", "q.Len":
+			sw += g.Successes(core.ModeSWOpt)
+			lk += g.Successes(core.ModeLock)
+		}
+	}
+	if sw == 0 {
+		t.Fatal("read-only queue ops never used SWOpt")
+	}
+	if lk > sw/10 {
+		t.Errorf("read-only queue ops fell back to the lock %d times (SWOpt %d)", lk, sw)
+	}
+}
+
+// TestMixedWithMonitors is the intended usage shape: producers/consumers
+// churn while monitor goroutines watch Len/Peek optimistically; totals
+// must balance.
+func TestMixedWithMonitors(t *testing.T) {
+	rt := core.NewRuntime(tm.NewDomain(htmProfile()))
+	q := New(rt, "q", 128, core.NewStatic(8, 8))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for m := 0; m < 2; m++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := q.NewHandle()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if n, err := h.Len(); err != nil || n < 0 || n > q.Cap() {
+					errCh <- err
+					return
+				}
+				if _, _, err := h.Peek(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	var puts, takes int
+	h := q.NewHandle()
+	rng := xrand.New(4)
+	for i := 0; i < 20000; i++ {
+		if rng.Intn(2) == 0 {
+			if err := h.Put(uint64(i)); err == nil {
+				puts++
+			} else if !errors.Is(err, ErrFull) {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := h.Take(); err == nil {
+				takes++
+			} else if !errors.Is(err, ErrEmpty) {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	n, _ := h.Len()
+	if puts-takes != n {
+		t.Errorf("puts %d - takes %d = %d, but Len = %d", puts, takes, puts-takes, n)
+	}
+}

@@ -1,0 +1,54 @@
+package snzi
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The SNZI exists to beat a single shared counter under concurrent
+// arrive/depart traffic; these benches quantify both sides of that trade
+// (Query cost is one load either way).
+
+func BenchmarkArriveDepartSequential(b *testing.B) {
+	s := New(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Arrive(0)
+		s.Depart(0)
+	}
+}
+
+func BenchmarkArriveDepartParallel(b *testing.B) {
+	s := New(64)
+	var slot atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		my := int(slot.Add(1))
+		for pb.Next() {
+			s.Arrive(my)
+			s.Depart(my)
+		}
+	})
+}
+
+func BenchmarkCounterBaselineParallel(b *testing.B) {
+	// The naive alternative the SNZI replaces: one shared counter.
+	var c atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+			c.Add(-1)
+		}
+	})
+}
+
+func BenchmarkQuery(b *testing.B) {
+	s := New(8)
+	s.Arrive(3)
+	var sink bool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = s.Query()
+	}
+	_ = sink
+	s.Depart(3)
+}

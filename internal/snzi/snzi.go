@@ -1,0 +1,181 @@
+// Package snzi implements a Scalable NonZero Indicator (Ellen, Lev,
+// Luchangco, Moir — PODC 2007), the primitive behind ALE's grouping
+// mechanism (paper section 4.2).
+//
+// A SNZI tracks a surplus of Arrive over Depart operations and answers one
+// question — Query: "is the surplus nonzero?" — with a single load of the
+// root, while Arrive/Depart scale because most of them stay in the leaves:
+// a leaf only propagates to its parent on 0 -> nonzero and nonzero -> 0
+// transitions.
+//
+// ALE uses it per lock: a thread arrives when its SWOpt attempt for that
+// lock fails (it is now retrying), departs when it succeeds or gives up.
+// Executions that would conflict with SWOpt paths (conflicting regions in
+// HTM or Lock mode) consult Query and defer while it is true, letting the
+// whole group of optimistic retries drain — that is the grouping mechanism.
+//
+// The per-node algorithm is the hierarchical SNZI object from the paper:
+// node state is a (count, version) pair where count takes the intermediate
+// value 1/2 while an arrival's propagation to the parent is in flight, so
+// that a racing departure can never drive the parent to zero while a child
+// still has surplus. The root is a plain counter; the paper's fancier root
+// (indicator bit folded into the version word) exists only to optimize
+// write-sharing with transactions and is not needed here.
+package snzi
+
+import "sync/atomic"
+
+// Node state packs count*2 (so the intermediate 1/2 is representable as 1)
+// in the low 32 bits and a version in the high 32 bits. The version
+// disambiguates distinct 1/2 episodes.
+const (
+	countUnit = 2 // one whole arrival
+	countHalf = 1 // the in-flight intermediate value
+	countMask = (1 << 32) - 1
+	verShift  = 32
+)
+
+type node struct {
+	state  atomic.Uint64
+	parent *node
+	// pad to a cache line so leaves do not false-share under contention.
+	_ [40]byte
+}
+
+// SNZI is a fixed-shape tree of nodes. Construct with New; methods are safe
+// for concurrent use. Slots (leaves) are picked by the caller, typically
+// thread-id % Leaves().
+type SNZI struct {
+	root   node
+	leaves []node
+	inner  [][]node // intermediate levels (NewTree), bottom-up
+}
+
+// New builds a SNZI with the given number of leaves (rounded up to 1).
+// A single intermediate level suffices for the thread counts the paper
+// sweeps; leaves attach directly to the root.
+func New(leaves int) *SNZI {
+	return NewTree(leaves, 0)
+}
+
+// NewTree builds a SNZI whose leaves attach to the root through
+// intermediate levels of the given fanout (the full hierarchical shape of
+// the PODC paper, which keeps root traffic logarithmic for very large
+// thread counts). fanout < 2 collapses to the flat single-level shape.
+func NewTree(leaves, fanout int) *SNZI {
+	if leaves < 1 {
+		leaves = 1
+	}
+	s := &SNZI{leaves: make([]node, leaves)}
+	if fanout < 2 {
+		for i := range s.leaves {
+			s.leaves[i].parent = &s.root
+		}
+		return s
+	}
+	// Build levels bottom-up: each group of `fanout` nodes shares one
+	// parent on the next level, until a level fits under the root.
+	level := make([]*node, leaves)
+	for i := range s.leaves {
+		level[i] = &s.leaves[i]
+	}
+	for len(level) > fanout {
+		parents := make([]node, (len(level)+fanout-1)/fanout)
+		s.inner = append(s.inner, parents)
+		for i, n := range level {
+			n.parent = &parents[i/fanout]
+		}
+		next := make([]*node, len(parents))
+		for i := range parents {
+			next[i] = &parents[i]
+		}
+		level = next
+	}
+	for _, n := range level {
+		n.parent = &s.root
+	}
+	return s
+}
+
+// Leaves returns the number of leaf slots.
+func (s *SNZI) Leaves() int { return len(s.leaves) }
+
+// Arrive records one arrival at the given leaf slot.
+func (s *SNZI) Arrive(slot int) {
+	s.leaves[slot%len(s.leaves)].arrive()
+}
+
+// Depart records one departure at the given leaf slot. Departures must pair
+// with earlier arrivals on the same SNZI (any slot order is fine for
+// correctness of Query; using the same slot keeps traffic local).
+func (s *SNZI) Depart(slot int) {
+	s.leaves[slot%len(s.leaves)].depart()
+}
+
+// Query reports whether the surplus (arrivals minus departures) is nonzero.
+func (s *SNZI) Query() bool {
+	return s.root.state.Load()&countMask > 0
+}
+
+func pack(c, v uint64) uint64       { return v<<verShift | c }
+func unpack(x uint64) (c, v uint64) { return x & countMask, x >> verShift }
+
+func (n *node) arrive() {
+	if n.parent == nil { // root: plain counter
+		n.state.Add(countUnit)
+		return
+	}
+	succ := false
+	undo := 0
+	for !succ {
+		x := n.state.Load()
+		c, v := unpack(x)
+		if c >= countUnit {
+			if n.state.CompareAndSwap(x, pack(c+countUnit, v)) {
+				succ = true
+			}
+			continue
+		}
+		if c == 0 {
+			if n.state.CompareAndSwap(x, pack(countHalf, v+1)) {
+				succ = true
+				c, v = countHalf, v+1
+			} else {
+				continue
+			}
+		}
+		if c == countHalf {
+			// Propagate to the parent before making our surplus visible,
+			// then try to finalize 1/2 -> 1. If finalization fails someone
+			// else finalized or the episode moved on; our parent arrival
+			// is superfluous and must be undone.
+			n.parent.arrive()
+			if !n.state.CompareAndSwap(pack(countHalf, v), pack(countUnit, v)) {
+				undo++
+			}
+		}
+	}
+	for ; undo > 0; undo-- {
+		n.parent.depart()
+	}
+}
+
+func (n *node) depart() {
+	if n.parent == nil { // root: plain counter
+		n.state.Add(^uint64(countUnit - 1)) // subtract countUnit
+		return
+	}
+	for {
+		x := n.state.Load()
+		c, v := unpack(x)
+		if c < countUnit {
+			panic("snzi: Depart without matching Arrive")
+		}
+		if n.state.CompareAndSwap(x, pack(c-countUnit, v)) {
+			if c == countUnit {
+				n.parent.depart()
+			}
+			return
+		}
+	}
+}

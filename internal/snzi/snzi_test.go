@@ -1,0 +1,243 @@
+package snzi
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestSequentialBasics(t *testing.T) {
+	s := New(4)
+	if s.Query() {
+		t.Fatal("fresh SNZI reports nonzero")
+	}
+	s.Arrive(0)
+	if !s.Query() {
+		t.Fatal("Query false after Arrive")
+	}
+	s.Arrive(1)
+	s.Depart(0)
+	if !s.Query() {
+		t.Fatal("Query false with surplus 1")
+	}
+	s.Depart(1)
+	if s.Query() {
+		t.Fatal("Query true with surplus 0")
+	}
+}
+
+func TestManyArrivalsOneSlot(t *testing.T) {
+	s := New(2)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		s.Arrive(0)
+	}
+	for i := 0; i < n; i++ {
+		if !s.Query() {
+			t.Fatalf("Query false with surplus %d", n-i)
+		}
+		s.Depart(0)
+	}
+	if s.Query() {
+		t.Fatal("Query true after all departures")
+	}
+}
+
+func TestDepartWithoutArrivePanics(t *testing.T) {
+	s := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("unmatched Depart did not panic")
+		}
+	}()
+	s.Depart(0)
+}
+
+func TestLeavesClamped(t *testing.T) {
+	s := New(0)
+	if s.Leaves() != 1 {
+		t.Errorf("Leaves = %d, want 1", s.Leaves())
+	}
+	s.Arrive(42) // slot wraps
+	if !s.Query() {
+		t.Error("Query false after wrapped-slot Arrive")
+	}
+	s.Depart(42)
+}
+
+// TestConcurrentPairs: workers repeatedly arrive/depart; whenever a worker
+// is between its own arrive and depart, Query must be true from its point
+// of view (it has surplus, so the indicator cannot read zero).
+func TestConcurrentPairs(t *testing.T) {
+	s := New(8)
+	const workers, per = 8, 3000
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Arrive(id)
+				if !s.Query() {
+					bad.Add(1)
+				}
+				s.Depart(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Errorf("Query read zero %d times while caller held surplus", n)
+	}
+	if s.Query() {
+		t.Error("Query true after all workers finished")
+	}
+}
+
+// TestConcurrentSkewedSlots drives all workers through overlapping slots so
+// the 1/2-propagation races actually occur.
+func TestConcurrentSkewedSlots(t *testing.T) {
+	s := New(2)
+	const workers, per = 8, 3000
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(id) + 1)
+			for i := 0; i < per; i++ {
+				slot := rng.Intn(2)
+				s.Arrive(slot)
+				if !s.Query() {
+					bad.Add(1)
+				}
+				s.Depart(slot)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Errorf("Query read zero %d times while caller held surplus", n)
+	}
+	if s.Query() {
+		t.Error("Query true after all workers finished")
+	}
+}
+
+// TestQuickSurplusInvariantPerSlot: for random sequential schedules where
+// each departure pairs with an earlier arrival on the same leaf (the usage
+// contract), Query must equal (total surplus > 0) after every step.
+func TestQuickSurplusInvariantPerSlot(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const leaves = 4
+		s := New(leaves)
+		per := [leaves]int{}
+		total := 0
+		for _, op := range ops {
+			slot := int(op>>1) % leaves
+			if op&1 == 0 {
+				s.Arrive(slot)
+				per[slot]++
+				total++
+			} else if per[slot] > 0 {
+				s.Depart(slot)
+				per[slot]--
+				total--
+			}
+			if s.Query() != (total > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeShapeBasics(t *testing.T) {
+	s := NewTree(64, 4) // 64 leaves -> 16 -> 4 -> root
+	if s.Leaves() != 64 {
+		t.Fatalf("Leaves = %d", s.Leaves())
+	}
+	if s.Query() {
+		t.Fatal("fresh tree reports nonzero")
+	}
+	for i := 0; i < 64; i++ {
+		s.Arrive(i)
+		if !s.Query() {
+			t.Fatalf("Query false after arrival %d", i)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if !s.Query() {
+			t.Fatalf("Query false with surplus %d", 64-i)
+		}
+		s.Depart(i)
+	}
+	if s.Query() {
+		t.Fatal("Query true after all departures")
+	}
+}
+
+func TestTreeConcurrentPairs(t *testing.T) {
+	s := NewTree(32, 2) // deep tree: many propagation races
+	const workers, per = 8, 3000
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(id) + 3)
+			for i := 0; i < per; i++ {
+				slot := rng.Intn(32)
+				s.Arrive(slot)
+				if !s.Query() {
+					bad.Add(1)
+				}
+				s.Depart(slot)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Errorf("Query read zero %d times while caller held surplus", n)
+	}
+	if s.Query() {
+		t.Error("Query true after quiescence")
+	}
+}
+
+func TestQuickTreeSurplusInvariant(t *testing.T) {
+	f := func(ops []uint8, fanout uint8) bool {
+		const leaves = 9 // odd: exercises ragged groups
+		s := NewTree(leaves, int(fanout%4)+2)
+		per := [leaves]int{}
+		total := 0
+		for _, op := range ops {
+			slot := int(op>>1) % leaves
+			if op&1 == 0 {
+				s.Arrive(slot)
+				per[slot]++
+				total++
+			} else if per[slot] > 0 {
+				s.Depart(slot)
+				per[slot]--
+				total--
+			}
+			if s.Query() != (total > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// The BFP counter's reason to exist: shared-counter increments that cost
+// (almost) nothing once the count is large. Compare against the exact
+// atomic baseline under parallel increment pressure.
+
+func BenchmarkBFPCounterSequential(b *testing.B) {
+	var c Counter
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc(rng)
+	}
+}
+
+func BenchmarkBFPCounterParallel(b *testing.B) {
+	var c Counter
+	var seed atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		rng := xrand.New(seed.Add(1))
+		for pb.Next() {
+			c.Inc(rng)
+		}
+	})
+}
+
+func BenchmarkExactCounterParallel(b *testing.B) {
+	var c ExactCounter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkTimeStatSampledPath(b *testing.B) {
+	// The real usage pattern: draw the sampling decision, measure only
+	// on hits (~3%).
+	var ts TimeStat
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ShouldSample(rng) {
+			ts.Add(time.Microsecond)
+		}
+	}
+}
+
+func BenchmarkTimeStatAlwaysTimed(b *testing.B) {
+	var ts TimeStat
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Add(time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(i & 31)
+	}
+}

@@ -1,0 +1,123 @@
+// Package stats provides the low-overhead shared statistics primitives the
+// ALE library records its profiling information with (paper section 4.3):
+//
+//   - Counter: a scalable statistical counter after the BFP algorithm of
+//     Dice, Lev and Moir (SPAA 2013). Event counts are incremented with a
+//     probability that decays as the count grows, while each successful
+//     update adds the reciprocal of that probability, keeping the
+//     expectation exact and the variance bounded. This keeps hot shared
+//     counters off the coherence critical path: most increments touch no
+//     shared memory at all once the count is large.
+//
+//   - TimeStat: duration statistics sampled at ~3% of events and merged
+//     into shared summary words with CAS plus exponential backoff, exactly
+//     the approach the paper describes for timing information (which the
+//     BFP algorithm cannot record, as it only supports +1 increments).
+//
+//   - Histogram: a small fixed-bucket histogram used by the adaptive
+//     policy's learning mechanism to record attempts-to-success in HTM
+//     mode.
+package stats
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/xrand"
+)
+
+// SampleProb is the fraction of events whose timing is measured, following
+// the paper's "approximately 3% of events".
+const SampleProb = 0.03
+
+// sampleThresh is SampleProb as a uint64 threshold for raw PRNG draws.
+var sampleThresh = uint64(SampleProb * float64(1<<63) * 2)
+
+// ShouldSample draws whether this event's timing should be measured.
+func ShouldSample(rng *xrand.State) bool {
+	return rng.Uint64() < sampleThresh
+}
+
+// Counter is a BFP statistical counter. The shared state packs a 6-bit
+// exponent e and a 58-bit mantissa n; the represented value is n << e. An
+// increment updates the mantissa only with probability 2^-e, adding 1 in
+// expectation; when the mantissa reaches the migration threshold it is
+// halved and the exponent bumped, halving the future update rate.
+//
+// The zero Counter is ready to use. Increments need the calling thread's
+// PRNG; reads are a single load.
+type Counter struct {
+	state atomic.Uint64
+}
+
+const (
+	expBits = 6
+	expMask = 1<<expBits - 1
+	mantMax = 1 << (64 - expBits - 1)
+	// migrate is the mantissa value at which the exponent is bumped.
+	// Larger values give better accuracy and more shared updates; 256
+	// keeps the relative standard error under ~10%, plenty for
+	// retry-policy decisions while still thinning update traffic by
+	// orders of magnitude on hot counters.
+	migrate = 256
+)
+
+func packCtr(n uint64, e uint64) uint64 { return n<<expBits | e }
+func unpackCtr(x uint64) (n, e uint64)  { return x >> expBits, x & expMask }
+
+// Inc adds 1 to the counter in expectation.
+func (c *Counter) Inc(rng *xrand.State) {
+	for attempt := 0; ; attempt++ {
+		x := c.state.Load()
+		n, e := unpackCtr(x)
+		if e > 0 {
+			// Update with probability 2^-e: keep the low e bits of a draw.
+			if rng.Uint64()&(1<<e-1) != 0 {
+				return // skipped update still counts 1 in expectation
+			}
+		}
+		var nx uint64
+		if n+1 >= migrate && e < expMask && n+1 < mantMax {
+			nx = packCtr((n+1)/2, e+1)
+		} else {
+			nx = packCtr(n+1, e)
+		}
+		if c.state.CompareAndSwap(x, nx) {
+			return
+		}
+		// Contention: exponential backoff, as in the paper, then retry so
+		// the probabilistic accounting stays unbiased.
+		for i := 0; i < 1<<uint(min(attempt, 10)); i++ {
+			if i&63 == 63 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// Read returns the current estimate of the count.
+func (c *Counter) Read() uint64 {
+	n, e := unpackCtr(c.state.Load())
+	return n << e
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.state.Store(0) }
+
+// ExactCounter is a plain atomic counter for cold paths and tests where
+// exactness matters more than scalability.
+type ExactCounter struct {
+	n atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *ExactCounter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *ExactCounter) Add(delta uint64) { c.n.Add(delta) }
+
+// Read returns the count.
+func (c *ExactCounter) Read() uint64 { return c.n.Load() }
+
+// Reset zeroes the counter.
+func (c *ExactCounter) Reset() { c.n.Store(0) }

@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+func TestCounterSmallCountsExact(t *testing.T) {
+	var c Counter
+	rng := xrand.New(1)
+	// Below the migration threshold every increment is deterministic.
+	for i := 1; i < migrate; i++ {
+		c.Inc(rng)
+		if got := c.Read(); got != uint64(i) {
+			t.Fatalf("after %d incs Read = %d", i, got)
+		}
+	}
+}
+
+func TestCounterLargeCountsApproximate(t *testing.T) {
+	var c Counter
+	rng := xrand.New(7)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		c.Inc(rng)
+	}
+	got := float64(c.Read())
+	if math.Abs(got-n)/n > 0.15 {
+		t.Errorf("Read = %.0f, want within 15%% of %d", got, n)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 50000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(id) + 1)
+			for i := 0; i < per; i++ {
+				c.Inc(rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+	const n = workers * per
+	got := float64(c.Read())
+	if math.Abs(got-n)/n > 0.15 {
+		t.Errorf("Read = %.0f, want within 15%% of %d", got, n)
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	var c Counter
+	rng := xrand.New(1)
+	for i := 0; i < 100; i++ {
+		c.Inc(rng)
+	}
+	c.Reset()
+	if got := c.Read(); got != 0 {
+		t.Errorf("Read after Reset = %d", got)
+	}
+}
+
+// TestQuickCounterExpectation: across random seeds, the counter's estimate
+// of a fixed count stays within a loose statistical envelope. This is the
+// BFP accuracy contract the paper leans on ("high accuracy even after
+// relatively small numbers of events").
+func TestQuickCounterExpectation(t *testing.T) {
+	f := func(seed uint64) bool {
+		var c Counter
+		rng := xrand.New(seed)
+		const n = 20000
+		for i := 0; i < n; i++ {
+			c.Inc(rng)
+		}
+		got := float64(c.Read())
+		return math.Abs(got-n)/n < 0.30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactCounter(t *testing.T) {
+	var c ExactCounter
+	c.Inc()
+	c.Add(9)
+	if got := c.Read(); got != 10 {
+		t.Errorf("Read = %d, want 10", got)
+	}
+	c.Reset()
+	if got := c.Read(); got != 0 {
+		t.Errorf("Read after Reset = %d", got)
+	}
+}
+
+func TestTimeStatMean(t *testing.T) {
+	var ts TimeStat
+	ts.Add(10 * time.Microsecond)
+	ts.Add(30 * time.Microsecond)
+	if got := ts.Mean(); got != 20*time.Microsecond {
+		t.Errorf("Mean = %v, want 20µs", got)
+	}
+	if got := ts.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if got := ts.Sum(); got != 40*time.Microsecond {
+		t.Errorf("Sum = %v, want 40µs", got)
+	}
+	ts.Reset()
+	if ts.Mean() != 0 || ts.Count() != 0 {
+		t.Error("Reset did not zero the statistic")
+	}
+}
+
+func TestTimeStatEmptyMean(t *testing.T) {
+	var ts TimeStat
+	if got := ts.Mean(); got != 0 {
+		t.Errorf("Mean of empty stat = %v", got)
+	}
+}
+
+func TestTimeStatConcurrent(t *testing.T) {
+	var ts TimeStat
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ts.Add(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ts.Count(); got != workers*per {
+		t.Errorf("Count = %d, want %d", got, workers*per)
+	}
+	if got := ts.Mean(); got != time.Microsecond {
+		t.Errorf("Mean = %v, want 1µs", got)
+	}
+}
+
+func TestShouldSampleRate(t *testing.T) {
+	rng := xrand.New(3)
+	const trials = 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if ShouldSample(rng) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.02 || rate > 0.04 {
+		t.Errorf("sample rate = %.4f, want ~%.2f", rate, SampleProb)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(5)
+	h.Record(0)
+	h.Record(2)
+	h.Record(2)
+	h.Record(99) // clamps into last bucket
+	h.Record(-3) // clamps into first bucket
+	if got := h.Bucket(0); got != 2 {
+		t.Errorf("bucket 0 = %d, want 2", got)
+	}
+	if got := h.Bucket(2); got != 2 {
+		t.Errorf("bucket 2 = %d, want 2", got)
+	}
+	if got := h.Bucket(4); got != 1 {
+		t.Errorf("bucket 4 = %d, want 1", got)
+	}
+	if got := h.Bucket(17); got != 0 {
+		t.Errorf("out-of-range bucket = %d, want 0", got)
+	}
+	if got := h.Total(); got != 5 {
+		t.Errorf("Total = %d, want 5", got)
+	}
+	if got := h.Len(); got != 5 {
+		t.Errorf("Len = %d, want 5", got)
+	}
+	h.Reset()
+	if got := h.Total(); got != 0 {
+		t.Errorf("Total after Reset = %d", got)
+	}
+}
+
+func TestHistogramMinSize(t *testing.T) {
+	h := NewHistogram(0)
+	h.Record(7)
+	if got := h.Bucket(0); got != 1 {
+		t.Errorf("bucket 0 = %d, want 1", got)
+	}
+}

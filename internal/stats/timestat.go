@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// TimeStat accumulates sampled durations: a total-nanoseconds word and a
+// sample-count word, each merged with CAS + exponential backoff. Because
+// only ~3% of events are measured (callers gate on ShouldSample), CAS
+// contention is rare; backoff mops up the rest, as described in the
+// paper's section 4.3.
+//
+// The two words are not updated atomically together, so a concurrent Mean
+// can be off by one in-flight sample — fine for policy guidance, which is
+// the only consumer.
+type TimeStat struct {
+	sumNS atomic.Uint64
+	count atomic.Uint64
+}
+
+// Add merges one measured duration.
+func (t *TimeStat) Add(d time.Duration) {
+	addWithBackoff(&t.sumNS, uint64(d.Nanoseconds()))
+	addWithBackoff(&t.count, 1)
+}
+
+// Count returns how many samples have been merged.
+func (t *TimeStat) Count() uint64 { return t.count.Load() }
+
+// Mean returns the mean sampled duration, or 0 if nothing was sampled.
+func (t *TimeStat) Mean() time.Duration {
+	c := t.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(t.sumNS.Load() / c)
+}
+
+// Sum returns the total of merged durations.
+func (t *TimeStat) Sum() time.Duration { return time.Duration(t.sumNS.Load()) }
+
+// Reset zeroes the statistic.
+func (t *TimeStat) Reset() {
+	t.sumNS.Store(0)
+	t.count.Store(0)
+}
+
+// addWithBackoff is a CAS add with exponential backoff; under the sampled
+// update rates of this package a plain atomic add would also do, but the
+// paper specifically calls out CAS + backoff, and the backoff variant
+// behaves better if a caller samples at 100% (the ablation benchmark does).
+func addWithBackoff(w *atomic.Uint64, delta uint64) {
+	for attempt := 0; ; attempt++ {
+		x := w.Load()
+		if w.CompareAndSwap(x, x+delta) {
+			return
+		}
+		for i := 0; i < 1<<uint(min(attempt, 10)); i++ {
+			if i&63 == 63 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// Histogram is a fixed-bucket histogram of small non-negative integers —
+// the adaptive policy records "attempts needed for HTM success" in one.
+// Values beyond the last bucket are clamped into it.
+type Histogram struct {
+	buckets []atomic.Uint64
+}
+
+// NewHistogram creates a histogram with buckets for values 0..n-1 (values
+// >= n-1 land in the last bucket).
+func NewHistogram(n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	return &Histogram{buckets: make([]atomic.Uint64, n)}
+}
+
+// Record adds one observation of value v.
+func (h *Histogram) Record(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	h.buckets[v].Add(1)
+}
+
+// Bucket returns the count in bucket v.
+func (h *Histogram) Bucket(v int) uint64 {
+	if v < 0 || v >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[v].Load()
+}
+
+// Len returns the number of buckets.
+func (h *Histogram) Len() int { return len(h.buckets) }
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for i := range h.buckets {
+		t += h.buckets[i].Load()
+	}
+	return t
+}
+
+// Reset zeroes all buckets.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}

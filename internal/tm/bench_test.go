@@ -1,0 +1,111 @@
+package tm
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Substrate microbenchmarks: the raw cost of the simulated-HTM primitives.
+// The figure-level benchmarks at the repository root sit on top of these;
+// knowing the substrate's own overhead helps read those numbers.
+
+func benchDomain() *Domain {
+	return NewDomain(Profile{Name: "bench", Enabled: true, ReadCap: 1 << 16, WriteCap: 1 << 16})
+}
+
+func BenchmarkLoadDirect(b *testing.B) {
+	d := benchDomain()
+	v := d.NewVar(7)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += v.LoadDirect()
+	}
+	_ = sink
+}
+
+func BenchmarkLoadConsistent(b *testing.B) {
+	d := benchDomain()
+	v := d.NewVar(7)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += v.LoadConsistent()
+	}
+	_ = sink
+}
+
+func BenchmarkStoreDirect(b *testing.B) {
+	d := benchDomain()
+	v := d.NewVar(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.StoreDirect(uint64(i))
+	}
+}
+
+func BenchmarkTxnReadOnly(b *testing.B) {
+	for _, size := range []int{1, 8, 64} {
+		b.Run(map[int]string{1: "1var", 8: "8vars", 64: "64vars"}[size], func(b *testing.B) {
+			d := benchDomain()
+			vars := d.NewVars(size)
+			tx := d.NewTxn(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx.Run(func(tx *Txn) {
+					for j := range vars {
+						_ = tx.Load(&vars[j])
+					}
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkTxnReadWrite(b *testing.B) {
+	for _, size := range []int{1, 8, 64} {
+		b.Run(map[int]string{1: "1var", 8: "8vars", 64: "64vars"}[size], func(b *testing.B) {
+			d := benchDomain()
+			vars := d.NewVars(size)
+			tx := d.NewTxn(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx.Run(func(tx *Txn) {
+					for j := range vars {
+						tx.Store(&vars[j], tx.Load(&vars[j])+1)
+					}
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkTxnAborted(b *testing.B) {
+	d := benchDomain()
+	v := d.NewVar(0)
+	tx := d.NewTxn(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Run(func(tx *Txn) {
+			tx.Store(v, 1)
+			tx.Abort(AbortExplicit)
+		})
+	}
+}
+
+func BenchmarkTxnContended(b *testing.B) {
+	d := benchDomain()
+	v := d.NewVar(0)
+	var seed atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		tx := d.NewTxn(seed.Add(1))
+		for pb.Next() {
+			for {
+				ok, _ := tx.Run(func(tx *Txn) { tx.Add(v, 1) })
+				if ok {
+					break
+				}
+			}
+		}
+	})
+}

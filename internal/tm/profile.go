@@ -1,0 +1,59 @@
+package tm
+
+import "fmt"
+
+// Profile describes the best-effort HTM characteristics of a simulated
+// platform. The ALE paper's three evaluation platforms map onto profiles as
+// documented in DESIGN.md: what matters to the ALE policies is not absolute
+// speed but the failure pressure HTM puts on them — how big a transaction
+// can get, and how often it dies for incidental reasons.
+type Profile struct {
+	// Name identifies the platform in reports and benchmark output.
+	Name string
+
+	// Enabled reports whether the platform has HTM at all. When false,
+	// every transaction attempt aborts immediately with AbortDisabled
+	// (the T2 platform).
+	Enabled bool
+
+	// ReadCap and WriteCap bound the number of distinct transactional
+	// cells a transaction may read or write before aborting with
+	// AbortCapacity. Real HTM is bounded by cache geometry; we bound by
+	// distinct Vars, which tracks the same "big critical sections cannot
+	// use HTM" pressure.
+	ReadCap  int
+	WriteCap int
+
+	// SpuriousProb is the per-transactional-access probability of an
+	// AbortSpurious failure. Making it per-access (rather than per
+	// transaction) reproduces the real-HTM property that longer
+	// transactions fail more often for incidental reasons.
+	SpuriousProb float64
+
+	// spurThresh is SpuriousProb precomputed as a uint64 threshold so the
+	// hot path compares a raw PRNG draw instead of converting to float.
+	spurThresh uint64
+}
+
+// Finalize precomputes derived fields. Domain constructors call it; callers
+// building custom profiles by struct literal and passing them to NewDomain
+// do not need to call it themselves.
+func (p *Profile) Finalize() {
+	switch {
+	case p.SpuriousProb <= 0:
+		p.spurThresh = 0
+	case p.SpuriousProb >= 1:
+		p.spurThresh = ^uint64(0)
+	default:
+		p.spurThresh = uint64(p.SpuriousProb * float64(1<<63) * 2)
+	}
+}
+
+// String summarizes the profile for reports.
+func (p *Profile) String() string {
+	if !p.Enabled {
+		return fmt.Sprintf("%s (no HTM)", p.Name)
+	}
+	return fmt.Sprintf("%s (HTM rcap=%d wcap=%d spur=%.4f)",
+		p.Name, p.ReadCap, p.WriteCap, p.SpuriousProb)
+}

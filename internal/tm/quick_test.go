@@ -1,0 +1,180 @@
+package tm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// opcode for the property tests' little batch language.
+type batchOp struct {
+	Store bool
+	Cell  uint8
+	Val   uint64
+}
+
+// TestQuickSequentialEquivalence: applying random batches of loads/stores
+// through transactions must be indistinguishable from applying them to a
+// plain array, when there is no concurrency. This pins down the redo-log
+// (read-own-write) semantics.
+func TestQuickSequentialEquivalence(t *testing.T) {
+	f := func(batches [][]batchOp) bool {
+		const cells = 8
+		d := newTestDomain()
+		vars := d.NewVars(cells)
+		model := make([]uint64, cells)
+		tx := d.NewTxn(1)
+		for _, batch := range batches {
+			batch := batch
+			txReads := []uint64{}
+			ok, _ := tx.Run(func(tx *Txn) {
+				for _, op := range batch {
+					c := int(op.Cell) % cells
+					if op.Store {
+						tx.Store(&vars[c], op.Val)
+					} else {
+						txReads = append(txReads, tx.Load(&vars[c]))
+					}
+				}
+			})
+			if !ok {
+				return false // no concurrency: must always commit
+			}
+			// Replay on the model and compare reads.
+			i := 0
+			for _, op := range batch {
+				c := int(op.Cell) % cells
+				if op.Store {
+					model[c] = op.Val
+				} else {
+					if txReads[i] != model[c] {
+						return false
+					}
+					i++
+				}
+			}
+		}
+		for c := range model {
+			if vars[c].LoadDirect() != model[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAbortedBatchesInvisible: randomly abort some batches; aborted
+// batches must leave no trace.
+func TestQuickAbortedBatchesInvisible(t *testing.T) {
+	f := func(batches [][]batchOp, abortMask uint64) bool {
+		const cells = 8
+		d := newTestDomain()
+		vars := d.NewVars(cells)
+		model := make([]uint64, cells)
+		tx := d.NewTxn(1)
+		for bi, batch := range batches {
+			abort := abortMask&(1<<(uint(bi)%64)) != 0
+			ok, reason := tx.Run(func(tx *Txn) {
+				for _, op := range batch {
+					c := int(op.Cell) % cells
+					if op.Store {
+						tx.Store(&vars[c], op.Val)
+					} else {
+						_ = tx.Load(&vars[c])
+					}
+				}
+				if abort {
+					tx.Abort(AbortExplicit)
+				}
+			})
+			if abort && (ok || reason != AbortExplicit) {
+				return false
+			}
+			if !abort {
+				if !ok {
+					return false
+				}
+				for _, op := range batch {
+					if op.Store {
+						model[int(op.Cell)%cells] = op.Val
+					}
+				}
+			}
+		}
+		for c := range model {
+			if vars[c].LoadDirect() != model[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSnapshotConsistency: N cells are always updated together to the
+// same value by committing transactions; concurrent read-only transactions
+// must always see all cells equal (opacity / atomicity of commits), for
+// arbitrary numbers of updates.
+func TestQuickSnapshotConsistency(t *testing.T) {
+	f := func(seed uint64, rounds uint8) bool {
+		const cells = 4
+		d := newTestDomain()
+		vars := d.NewVars(cells)
+		stop := make(chan struct{})
+		bad := make(chan struct{}, 1)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // reader
+			defer wg.Done()
+			tx := d.NewTxn(seed + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx.Run(func(tx *Txn) {
+					first := tx.Load(&vars[0])
+					for i := 1; i < cells; i++ {
+						if tx.Load(&vars[i]) != first {
+							select {
+							case bad <- struct{}{}:
+							default:
+							}
+						}
+					}
+				})
+			}
+		}()
+		tx := d.NewTxn(seed + 2)
+		n := int(rounds)%50 + 10
+		for r := 1; r <= n; r++ {
+			for {
+				ok, _ := tx.Run(func(tx *Txn) {
+					for i := 0; i < cells; i++ {
+						tx.Store(&vars[i], uint64(r))
+					}
+				})
+				if ok {
+					break
+				}
+			}
+		}
+		close(stop)
+		wg.Wait()
+		select {
+		case <-bad:
+			return false
+		default:
+			return true
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

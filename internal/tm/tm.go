@@ -1,0 +1,102 @@
+// Package tm is a software simulation of best-effort hardware transactional
+// memory (HTM), the substrate that Transactional Lock Elision (TLE) runs on
+// in the ALE paper (Dice et al., SPAA 2014).
+//
+// The paper evaluates ALE on two machines with real best-effort HTM (Sun
+// Rock and Intel Haswell) and one without (SPARC T2+). Go programs have no
+// portable access to HTM, so this package reproduces the *observable
+// contract* that the ALE runtime depends on:
+//
+//   - A transaction either commits atomically or aborts with a reason code
+//     (conflict, capacity, spurious/implementation-induced, explicit).
+//   - Transactions are opaque: a running transaction never observes a state
+//     that is inconsistent with some serial order, even before it commits
+//     (the simulator validates every load against a begin-time snapshot, so
+//     user code never acts on torn data).
+//   - Non-transactional ("direct") writes to the same cells conflict with,
+//     and abort, concurrently running transactions. This is what makes lock
+//     *subscription* work: the ALE engine reads the lock word inside the
+//     transaction, so a lock acquisition by another thread aborts it.
+//   - Best-effort-ness: a platform Profile injects read/write capacity
+//     limits and a spurious abort probability, reproducing the
+//     characteristic failure pressure of Rock (tight, flaky) versus
+//     Haswell (roomy, mostly reliable) versus T2 (no HTM at all).
+//
+// Internally the simulator is a word-granularity TL2-style STM: every
+// transactional cell (Var) carries a versioned lock word; transactions keep
+// a redo log and validate their read set against a global version clock at
+// every load (opacity) and at commit. Direct writes advance the same clock,
+// so they serialize correctly against transactions.
+//
+// Aborts unwind through user code via an internal panic value that only
+// Txn.Run recovers, mirroring how real HTM rolls back to the checkpoint at
+// transaction begin; user code inside a transaction simply stops executing
+// at the aborting access.
+package tm
+
+import "fmt"
+
+// AbortReason classifies why a transaction aborted, mirroring the status
+// word of real best-effort HTM closely enough for the ALE policies to make
+// the same distinctions the paper's implementation makes.
+type AbortReason uint8
+
+const (
+	// AbortNone means the transaction did not abort.
+	AbortNone AbortReason = iota
+	// AbortConflict: a read or write conflicted with a concurrent
+	// transaction or a direct write.
+	AbortConflict
+	// AbortCapacity: the read or write set exceeded the platform profile's
+	// capacity (real HTM: cache-geometry overflow).
+	AbortCapacity
+	// AbortSpurious: an implementation-induced failure with no stable cause
+	// (real HTM: TLB misses, interrupts, branch mispredictions on Rock...).
+	AbortSpurious
+	// AbortExplicit: user code requested the abort (real HTM: xabort).
+	AbortExplicit
+	// AbortLockHeld: the ALE engine observed the subscribed lock held. The
+	// engine issues this reason both when the lock is held at begin and as
+	// its estimate for conflict aborts that coincide with a held lock; the
+	// adaptive policy discounts these (see paper section 4).
+	AbortLockHeld
+	// AbortDisabled: the platform has no HTM (T2 profile); every attempt
+	// fails immediately with this reason.
+	AbortDisabled
+	// AbortNesting: a critical section nested inside a hardware transaction
+	// does not allow HTM mode, so the enclosing transaction must abort
+	// (paper section 4.1).
+	AbortNesting
+
+	numAbortReasons = int(AbortNesting) + 1
+)
+
+// NumAbortReasons is the number of distinct abort reason codes, for sizing
+// per-reason counter arrays.
+const NumAbortReasons = numAbortReasons
+
+var abortReasonNames = [...]string{
+	AbortNone:     "none",
+	AbortConflict: "conflict",
+	AbortCapacity: "capacity",
+	AbortSpurious: "spurious",
+	AbortExplicit: "explicit",
+	AbortLockHeld: "lock-held",
+	AbortDisabled: "disabled",
+	AbortNesting:  "nesting",
+}
+
+// String returns a short lower-case name for the reason.
+func (r AbortReason) String() string {
+	if int(r) < len(abortReasonNames) {
+		return abortReasonNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// abortSignal is the private panic value used to unwind user code when a
+// transaction aborts. Only Txn.Run recovers it; any other panic passes
+// through untouched.
+type abortSignal struct {
+	reason AbortReason
+}

@@ -1,0 +1,323 @@
+package tm
+
+import (
+	"sort"
+	"unsafe"
+
+	"repro/internal/xrand"
+)
+
+// setSpill is the set size beyond which the read/write sets switch from
+// linear-scanned slices to map indexes. Almost every critical section in
+// the paper's workloads touches far fewer cells than this, so the common
+// case pays no hashing; big transactions (long traversals near the
+// capacity limits) degrade gracefully instead of quadratically.
+const setSpill = 32
+
+// Txn is a transaction descriptor. Each worker goroutine owns one reusable
+// Txn per domain (allocate with Domain.NewTxn); a Txn must never be shared
+// between goroutines.
+//
+// User code running inside Txn.Run uses Load and Store for every access to
+// transactional cells. An abort unwinds out of the user function via an
+// internal panic that Run recovers — exactly like real HTM discarding
+// speculative state and resuming at the begin checkpoint.
+type Txn struct {
+	dom *Domain
+	rng *xrand.State
+
+	active bool
+	rv     uint64 // begin-time snapshot of the domain clock
+
+	// Read set: insertion-ordered; rseen indexes it once it outgrows
+	// linear scanning.
+	reads []*Var
+	rseen map[*Var]struct{}
+
+	// Write set (redo log): parallel key/value slices; windex maps a Var
+	// to its slice position once the set outgrows linear scanning.
+	wkeys  []*Var
+	wvals  []uint64
+	windex map[*Var]int
+
+	// Statistics observable by the ALE engine.
+	lastReason AbortReason
+	starts     uint64
+	commits    uint64
+	aborts     [NumAbortReasons]uint64
+}
+
+// NewTxn creates a transaction descriptor for this domain. seed seeds the
+// descriptor's private PRNG (used for spurious-abort injection).
+func (d *Domain) NewTxn(seed uint64) *Txn {
+	return &Txn{dom: d, rng: xrand.New(seed)}
+}
+
+// Domain returns the domain this descriptor belongs to.
+func (t *Txn) Domain() *Domain { return t.dom }
+
+// Active reports whether a transaction is currently executing on this
+// descriptor (i.e. we are between begin and commit/abort inside Run).
+func (t *Txn) Active() bool { return t.active }
+
+// LastReason returns the abort reason of the most recent attempt, or
+// AbortNone if it committed.
+func (t *Txn) LastReason() AbortReason { return t.lastReason }
+
+// Stats returns cumulative (starts, commits) and a per-reason abort count
+// array for this descriptor.
+func (t *Txn) Stats() (starts, commits uint64, aborts [NumAbortReasons]uint64) {
+	return t.starts, t.commits, t.aborts
+}
+
+// ReadSetSize and WriteSetSize report the current set sizes (diagnostics).
+func (t *Txn) ReadSetSize() int  { return len(t.reads) }
+func (t *Txn) WriteSetSize() int { return len(t.wkeys) }
+
+// writeIdx returns the write-set position of v, or -1.
+func (t *Txn) writeIdx(v *Var) int {
+	if t.windex != nil {
+		if i, ok := t.windex[v]; ok {
+			return i
+		}
+		return -1
+	}
+	for i, w := range t.wkeys {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// readSeen reports whether v is already in the read set.
+func (t *Txn) readSeen(v *Var) bool {
+	if t.rseen != nil {
+		_, ok := t.rseen[v]
+		return ok
+	}
+	for _, r := range t.reads {
+		if r == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes body as one hardware-transaction attempt. It returns true
+// if the transaction committed, or false plus the abort reason if it
+// aborted. Panics other than the internal abort signal propagate to the
+// caller.
+//
+// Run neither retries nor falls back; retry policy belongs to the caller
+// (the ALE engine), as it does on real hardware.
+func (t *Txn) Run(body func(*Txn)) (committed bool, reason AbortReason) {
+	if t.active {
+		panic("tm: Run called on an already-active Txn")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			sig, ok := r.(abortSignal)
+			if !ok {
+				t.cleanup()
+				panic(r)
+			}
+			t.lastReason = sig.reason
+			t.aborts[sig.reason]++
+			t.cleanup()
+			committed, reason = false, sig.reason
+		}
+	}()
+	t.begin()
+	body(t)
+	t.commit()
+	t.lastReason = AbortNone
+	t.commits++
+	t.cleanup()
+	return true, AbortNone
+}
+
+func (t *Txn) begin() {
+	t.starts++
+	t.active = true
+	t.rv = t.dom.clock.Load()
+	if !t.dom.profile.Enabled {
+		panic(abortSignal{AbortDisabled})
+	}
+}
+
+func (t *Txn) cleanup() {
+	t.active = false
+	t.reads = t.reads[:0]
+	t.wkeys = t.wkeys[:0]
+	t.wvals = t.wvals[:0]
+	if t.rseen != nil {
+		clear(t.rseen)
+	}
+	if t.windex != nil {
+		clear(t.windex)
+	}
+}
+
+// Abort explicitly aborts the running transaction with the given reason
+// (AbortExplicit for user aborts; the ALE engine also uses AbortLockHeld
+// and AbortNesting). It does not return.
+func (t *Txn) Abort(reason AbortReason) {
+	if !t.active {
+		panic("tm: Abort outside a transaction")
+	}
+	panic(abortSignal{reason})
+}
+
+// maybeSpurious injects an implementation-induced abort with the profile's
+// per-access probability.
+func (t *Txn) maybeSpurious() {
+	thresh := t.dom.profile.spurThresh
+	if thresh != 0 && t.rng.Uint64() < thresh {
+		panic(abortSignal{AbortSpurious})
+	}
+}
+
+// Load transactionally reads v. The value returned is consistent with the
+// transaction's begin-time snapshot (opacity): if v changed since begin,
+// the transaction aborts instead of returning stale or torn data.
+func (t *Txn) Load(v *Var) uint64 {
+	if !t.active {
+		panic("tm: Load outside a transaction")
+	}
+	if v.dom != t.dom {
+		panic("tm: Load of Var from a different domain")
+	}
+	if i := t.writeIdx(v); i >= 0 {
+		return t.wvals[i] // read-own-write from the redo log
+	}
+	t.maybeSpurious()
+	v1 := v.vlock.Load()
+	if v1&lockBit != 0 {
+		panic(abortSignal{AbortConflict})
+	}
+	x := v.val.Load()
+	if v.vlock.Load() != v1 || v1>>1 > t.rv {
+		panic(abortSignal{AbortConflict})
+	}
+	if !t.readSeen(v) {
+		if len(t.reads) >= t.dom.profile.ReadCap {
+			panic(abortSignal{AbortCapacity})
+		}
+		t.reads = append(t.reads, v)
+		if t.rseen != nil {
+			t.rseen[v] = struct{}{}
+		} else if len(t.reads) > setSpill {
+			t.rseen = make(map[*Var]struct{}, 4*setSpill)
+			for _, r := range t.reads {
+				t.rseen[r] = struct{}{}
+			}
+		}
+	}
+	return x
+}
+
+// Store transactionally writes x to v. The write is buffered in the redo
+// log and becomes visible only if the transaction commits.
+func (t *Txn) Store(v *Var, x uint64) {
+	if !t.active {
+		panic("tm: Store outside a transaction")
+	}
+	if v.dom != t.dom {
+		panic("tm: Store of Var from a different domain")
+	}
+	t.maybeSpurious()
+	if i := t.writeIdx(v); i >= 0 {
+		t.wvals[i] = x
+		return
+	}
+	if len(t.wkeys) >= t.dom.profile.WriteCap {
+		panic(abortSignal{AbortCapacity})
+	}
+	t.wkeys = append(t.wkeys, v)
+	t.wvals = append(t.wvals, x)
+	if t.windex != nil {
+		t.windex[v] = len(t.wkeys) - 1
+	} else if len(t.wkeys) > setSpill {
+		t.windex = make(map[*Var]int, 4*setSpill)
+		for i, w := range t.wkeys {
+			t.windex[w] = i
+		}
+	}
+}
+
+// Add transactionally increments v by delta and returns the new value.
+func (t *Txn) Add(v *Var, delta uint64) uint64 {
+	n := t.Load(v) + delta
+	t.Store(v, n)
+	return n
+}
+
+// commit attempts the TL2 commit: lock the write set in a global order,
+// validate the read set against the begin-time snapshot, advance the
+// clock, publish the redo log, release. Any failure aborts via panic.
+func (t *Txn) commit() {
+	if len(t.wkeys) == 0 {
+		// Read-only transactions are already valid: every load was
+		// validated against rv at the time it executed.
+		return
+	}
+	// Lock write cells in address order so concurrent committers cannot
+	// deadlock. Sort key/value pairs in tandem.
+	order := wsetSorter{t.wkeys, t.wvals}
+	sort.Sort(order)
+	if t.windex != nil {
+		for i, w := range t.wkeys {
+			t.windex[w] = i
+		}
+	}
+	locked := 0
+	release := func() {
+		for _, v := range t.wkeys[:locked] {
+			v.vlock.Store(v.vlock.Load() &^ lockBit)
+		}
+	}
+	for _, v := range t.wkeys {
+		vl := v.vlock.Load()
+		// A write cell whose version moved past our snapshot means a
+		// conflicting committer beat us (write-write conflicts abort on
+		// real HTM). A held lock bit means one is mid-commit right now.
+		if vl&lockBit != 0 || vl>>1 > t.rv || !v.vlock.CompareAndSwap(vl, vl|lockBit) {
+			release()
+			panic(abortSignal{AbortConflict})
+		}
+		locked++
+	}
+	// Validate the read set: every cell we read must still be at a
+	// version within our snapshot and not locked by another committer.
+	for _, v := range t.reads {
+		if t.writeIdx(v) >= 0 {
+			continue // we hold its lock
+		}
+		vl := v.vlock.Load()
+		if vl&lockBit != 0 || vl>>1 > t.rv {
+			release()
+			panic(abortSignal{AbortConflict})
+		}
+	}
+	wv := t.dom.clock.Add(1)
+	for i, v := range t.wkeys {
+		v.val.Store(t.wvals[i])
+		v.vlock.Store(wv << 1)
+	}
+}
+
+// wsetSorter sorts the write-set key/value slices in tandem by address.
+type wsetSorter struct {
+	keys []*Var
+	vals []uint64
+}
+
+func (s wsetSorter) Len() int { return len(s.keys) }
+func (s wsetSorter) Less(i, j int) bool {
+	return uintptr(unsafe.Pointer(s.keys[i])) < uintptr(unsafe.Pointer(s.keys[j]))
+}
+func (s wsetSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}

@@ -1,0 +1,438 @@
+package tm
+
+import (
+	"sync"
+	"testing"
+)
+
+func testProfile() Profile {
+	return Profile{Name: "test", Enabled: true, ReadCap: 1 << 20, WriteCap: 1 << 20}
+}
+
+func newTestDomain() *Domain { return NewDomain(testProfile()) }
+
+func TestCommitPublishesWrites(t *testing.T) {
+	d := newTestDomain()
+	v := d.NewVar(1)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		if got := tx.Load(v); got != 1 {
+			t.Errorf("Load = %d, want 1", got)
+		}
+		tx.Store(v, 42)
+		if got := tx.Load(v); got != 42 {
+			t.Errorf("read-own-write = %d, want 42", got)
+		}
+	})
+	if !ok || reason != AbortNone {
+		t.Fatalf("Run = (%v, %v), want commit", ok, reason)
+	}
+	if got := v.LoadDirect(); got != 42 {
+		t.Errorf("after commit LoadDirect = %d, want 42", got)
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	d := newTestDomain()
+	v := d.NewVar(7)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		tx.Store(v, 99)
+		tx.Abort(AbortExplicit)
+	})
+	if ok || reason != AbortExplicit {
+		t.Fatalf("Run = (%v, %v), want explicit abort", ok, reason)
+	}
+	if got := v.LoadDirect(); got != 7 {
+		t.Errorf("after abort LoadDirect = %d, want 7", got)
+	}
+}
+
+func TestUserPanicPropagatesAndCleansUp(t *testing.T) {
+	d := newTestDomain()
+	v := d.NewVar(0)
+	tx := d.NewTxn(1)
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want \"boom\"", r)
+			}
+		}()
+		tx.Run(func(tx *Txn) {
+			tx.Store(v, 5)
+			panic("boom")
+		})
+	}()
+	if tx.Active() {
+		t.Error("Txn still active after user panic")
+	}
+	if got := v.LoadDirect(); got != 0 {
+		t.Errorf("write leaked through panic: %d", got)
+	}
+	// The descriptor must be reusable.
+	if ok, _ := tx.Run(func(tx *Txn) { tx.Store(v, 5) }); !ok {
+		t.Error("Txn not reusable after user panic")
+	}
+}
+
+func TestDirectStoreAbortsReader(t *testing.T) {
+	d := newTestDomain()
+	v := d.NewVar(0)
+	other := d.NewVar(0)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		_ = tx.Load(other)
+		// A concurrent thread (simulated inline) writes v and then other.
+		v.StoreDirect(1)
+		other.StoreDirect(1)
+		// Reading either cell now must abort: their versions are past our
+		// snapshot.
+		_ = tx.Load(v)
+		t.Error("Load returned after conflicting direct store")
+	})
+	if ok || reason != AbortConflict {
+		t.Fatalf("Run = (%v, %v), want conflict abort", ok, reason)
+	}
+}
+
+func TestCommitTimeReadValidation(t *testing.T) {
+	d := newTestDomain()
+	a := d.NewVar(0)
+	b := d.NewVar(0)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		_ = tx.Load(a)
+		tx.Store(b, 1)
+		// After we read a, a direct writer changes it. Our commit must
+		// fail read validation.
+		a.StoreDirect(9)
+	})
+	if ok || reason != AbortConflict {
+		t.Fatalf("Run = (%v, %v), want conflict abort at commit", ok, reason)
+	}
+	if got := b.LoadDirect(); got != 0 {
+		t.Errorf("aborted txn published b = %d", got)
+	}
+}
+
+func TestReadCapacity(t *testing.T) {
+	p := testProfile()
+	p.ReadCap = 4
+	d := NewDomain(p)
+	vs := d.NewVars(10)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		for i := range vs {
+			_ = tx.Load(&vs[i])
+		}
+	})
+	if ok || reason != AbortCapacity {
+		t.Fatalf("Run = (%v, %v), want capacity abort", ok, reason)
+	}
+}
+
+func TestWriteCapacity(t *testing.T) {
+	p := testProfile()
+	p.WriteCap = 4
+	d := NewDomain(p)
+	vs := d.NewVars(10)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		for i := range vs {
+			tx.Store(&vs[i], 1)
+		}
+	})
+	if ok || reason != AbortCapacity {
+		t.Fatalf("Run = (%v, %v), want capacity abort", ok, reason)
+	}
+}
+
+func TestDuplicateAccessesDoNotCountTwice(t *testing.T) {
+	p := testProfile()
+	p.ReadCap = 2
+	p.WriteCap = 2
+	d := NewDomain(p)
+	v := d.NewVar(0)
+	tx := d.NewTxn(1)
+	ok, _ := tx.Run(func(tx *Txn) {
+		for i := 0; i < 100; i++ {
+			_ = tx.Load(v)
+			tx.Store(v, uint64(i))
+		}
+	})
+	if !ok {
+		t.Fatal("repeated access to one cell hit capacity")
+	}
+}
+
+func TestDisabledProfile(t *testing.T) {
+	d := NewDomain(Profile{Name: "noHTM", Enabled: false})
+	tx := d.NewTxn(1)
+	ran := false
+	ok, reason := tx.Run(func(tx *Txn) { ran = true })
+	if ok || reason != AbortDisabled {
+		t.Fatalf("Run = (%v, %v), want disabled abort", ok, reason)
+	}
+	if ran {
+		t.Error("body ran on a disabled-HTM domain")
+	}
+}
+
+func TestSpuriousAlways(t *testing.T) {
+	p := testProfile()
+	p.SpuriousProb = 1.0
+	d := NewDomain(p)
+	v := d.NewVar(0)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) { _ = tx.Load(v) })
+	if ok || reason != AbortSpurious {
+		t.Fatalf("Run = (%v, %v), want spurious abort", ok, reason)
+	}
+}
+
+func TestSpuriousRoughRate(t *testing.T) {
+	p := testProfile()
+	p.SpuriousProb = 0.05
+	d := NewDomain(p)
+	v := d.NewVar(0)
+	tx := d.NewTxn(7)
+	const trials = 20000
+	spurious := 0
+	for i := 0; i < trials; i++ {
+		ok, reason := tx.Run(func(tx *Txn) { _ = tx.Load(v) })
+		if !ok && reason == AbortSpurious {
+			spurious++
+		}
+	}
+	rate := float64(spurious) / trials
+	if rate < 0.03 || rate > 0.08 {
+		t.Errorf("spurious rate = %.4f, want ~0.05", rate)
+	}
+}
+
+func TestCASDirect(t *testing.T) {
+	d := newTestDomain()
+	v := d.NewVar(3)
+	if !v.CASDirect(3, 4) {
+		t.Fatal("CASDirect(3,4) failed")
+	}
+	if v.CASDirect(3, 5) {
+		t.Fatal("CASDirect(3,5) succeeded on stale expected value")
+	}
+	if got := v.LoadDirect(); got != 4 {
+		t.Errorf("value = %d, want 4", got)
+	}
+}
+
+func TestAddDirect(t *testing.T) {
+	d := newTestDomain()
+	v := d.NewVar(10)
+	if got := v.AddDirect(5); got != 15 {
+		t.Errorf("AddDirect = %d, want 15", got)
+	}
+	if got := v.LoadDirect(); got != 15 {
+		t.Errorf("value = %d, want 15", got)
+	}
+}
+
+func TestTxnAdd(t *testing.T) {
+	d := newTestDomain()
+	v := d.NewVar(10)
+	tx := d.NewTxn(1)
+	ok, _ := tx.Run(func(tx *Txn) {
+		if got := tx.Add(v, 7); got != 17 {
+			t.Errorf("Add = %d, want 17", got)
+		}
+	})
+	if !ok || v.LoadDirect() != 17 {
+		t.Errorf("after commit value = %d, want 17", v.LoadDirect())
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d := newTestDomain()
+	v := d.NewVar(0)
+	tx := d.NewTxn(1)
+	tx.Run(func(tx *Txn) { tx.Store(v, 1) })
+	tx.Run(func(tx *Txn) { tx.Abort(AbortExplicit) })
+	starts, commits, aborts := tx.Stats()
+	if starts != 2 || commits != 1 || aborts[AbortExplicit] != 1 {
+		t.Errorf("stats = (%d, %d, %v)", starts, commits, aborts)
+	}
+	if tx.LastReason() != AbortExplicit {
+		t.Errorf("LastReason = %v", tx.LastReason())
+	}
+}
+
+// TestConcurrentCounter hammers one cell from many goroutines, each
+// retrying its transaction until commit; the final value must equal the
+// total number of commits (atomicity + no lost updates).
+func TestConcurrentCounter(t *testing.T) {
+	d := newTestDomain()
+	v := d.NewVar(0)
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tx := d.NewTxn(uint64(id) + 1)
+			for i := 0; i < perWorker; i++ {
+				for {
+					ok, _ := tx.Run(func(tx *Txn) { tx.Add(v, 1) })
+					if ok {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := v.LoadDirect(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestConcurrentTransfers runs the classic bank-transfer opacity stress:
+// concurrent transactions move value between accounts; the total must be
+// conserved, and no transaction may ever observe a broken invariant
+// mid-flight (the observation itself is done transactionally).
+func TestConcurrentTransfers(t *testing.T) {
+	d := newTestDomain()
+	const accounts = 16
+	const initial = 1000
+	vars := d.NewVars(accounts)
+	for i := range vars {
+		vars[i].StoreDirect(initial)
+	}
+	const workers, ops = 8, 3000
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tx := d.NewTxn(uint64(id) + 100)
+			rng := uint64(id*2654435761 + 1)
+			next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+			for i := 0; i < ops; i++ {
+				from := int(next() % accounts)
+				to := int(next() % accounts)
+				if from == to {
+					continue
+				}
+				for {
+					ok, _ := tx.Run(func(tx *Txn) {
+						a := tx.Load(&vars[from])
+						b := tx.Load(&vars[to])
+						if a == 0 {
+							return
+						}
+						tx.Store(&vars[from], a-1)
+						tx.Store(&vars[to], b+1)
+					})
+					if ok {
+						break
+					}
+				}
+				// Observe the invariant transactionally; must always hold.
+				for {
+					ok, _ := tx.Run(func(tx *Txn) {
+						var sum uint64
+						for j := range vars {
+							sum += tx.Load(&vars[j])
+						}
+						if sum != accounts*initial {
+							select {
+							case errs <- "invariant broken inside transaction":
+							default:
+							}
+						}
+					})
+					if ok {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	var sum uint64
+	for i := range vars {
+		sum += vars[i].LoadDirect()
+	}
+	if sum != accounts*initial {
+		t.Errorf("total = %d, want %d", sum, accounts*initial)
+	}
+}
+
+// TestMixedDirectAndTxn interleaves direct writers with transactions on a
+// pair of cells that must stay equal; transactions copy a->b, the direct
+// writer bumps a. Transactions must never commit a stale copy over a newer
+// a (serializability against direct writes).
+func TestMixedDirectAndTxn(t *testing.T) {
+	d := newTestDomain()
+	a := d.NewVar(0)
+	b := d.NewVar(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a.StoreDirect(i)
+		}
+	}()
+	tx := d.NewTxn(5)
+	for i := 0; i < 5000; i++ {
+		tx.Run(func(tx *Txn) {
+			x := tx.Load(a)
+			tx.Store(b, x)
+		})
+	}
+	close(stop)
+	wg.Wait()
+	// After quiescence, one last copy must make them exactly equal.
+	for {
+		ok, _ := tx.Run(func(tx *Txn) { tx.Store(b, tx.Load(a)) })
+		if ok {
+			break
+		}
+	}
+	if a.LoadDirect() != b.LoadDirect() {
+		t.Errorf("a=%d b=%d after final copy", a.LoadDirect(), b.LoadDirect())
+	}
+}
+
+func TestCrossDomainUsePanics(t *testing.T) {
+	d1 := newTestDomain()
+	d2 := newTestDomain()
+	v2 := d2.NewVar(0)
+	tx := d1.NewTxn(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-domain Load did not panic")
+		}
+	}()
+	tx.Run(func(tx *Txn) { _ = tx.Load(v2) })
+}
+
+func TestRunWhileActivePanics(t *testing.T) {
+	d := newTestDomain()
+	tx := d.NewTxn(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("nested Run did not panic")
+		}
+	}()
+	tx.Run(func(tx *Txn) { tx.Run(func(*Txn) {}) })
+}

@@ -1,0 +1,192 @@
+package tm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Var is a single 64-bit transactional memory cell. All data that simulated
+// hardware transactions may touch must live in Vars: the versioned lock
+// word carried by each Var is what lets the simulator detect conflicts
+// between transactions and between transactions and direct writers.
+//
+// A Var belongs to the Domain that created it and must only be used with
+// transactions of that Domain (the version clock is per-Domain).
+//
+// The zero Var is not valid; allocate through Domain.NewVar or
+// Domain.NewVars so the cell is stamped with its domain.
+type Var struct {
+	// vlock packs (version << 1) | lockBit. Versions come from the
+	// domain's global clock, so they are comparable with transaction
+	// begin-time snapshots (TL2).
+	vlock atomic.Uint64
+	// val is the current committed value. While vlock's lock bit is set a
+	// writer may be mid-update, so readers must revalidate vlock around
+	// loads of val.
+	val atomic.Uint64
+	dom *Domain
+}
+
+const lockBit = 1
+
+// Domain groups Vars and transactions that may interact. It owns the global
+// version clock and the platform profile. Independent data structures can
+// use independent domains; everything in one benchmark normally shares one.
+type Domain struct {
+	clock   atomic.Uint64
+	profile Profile
+}
+
+// NewDomain creates a transactional domain with the given platform profile.
+func NewDomain(p Profile) *Domain {
+	p.Finalize()
+	return &Domain{profile: p}
+}
+
+// Profile returns the domain's platform profile.
+func (d *Domain) Profile() *Profile { return &d.profile }
+
+// HTMAvailable reports whether transactions can ever commit on this domain.
+func (d *Domain) HTMAvailable() bool { return d.profile.Enabled }
+
+// Now returns the current value of the domain's version clock. Useful in
+// tests and diagnostics only.
+func (d *Domain) Now() uint64 { return d.clock.Load() }
+
+// NewVar allocates a Var in this domain holding init.
+func (d *Domain) NewVar(init uint64) *Var {
+	v := &Var{dom: d}
+	v.val.Store(init)
+	return v
+}
+
+// NewVars allocates n zero-valued Vars in one backing array, for
+// arena-style data structures (e.g. the HashMap node pool).
+func (d *Domain) NewVars(n int) []Var {
+	vs := make([]Var, n)
+	for i := range vs {
+		vs[i].dom = d
+	}
+	return vs
+}
+
+// InitVar prepares a zero Var embedded in a caller-allocated struct for use
+// in this domain with initial value x. Must be called before the Var is
+// shared with other goroutines.
+func (d *Domain) InitVar(v *Var, x uint64) {
+	v.dom = d
+	v.val.Store(x)
+	v.vlock.Store(0)
+}
+
+// Domain returns the domain the Var belongs to.
+func (v *Var) Domain() *Domain { return v.dom }
+
+// LoadDirect reads the Var outside any transaction. The load is atomic for
+// this single cell; consistency across multiple cells is the caller's
+// problem (SWOpt paths solve it with conflict-marker validation, Lock-mode
+// code solves it by holding the lock).
+func (v *Var) LoadDirect() uint64 { return v.val.Load() }
+
+// LoadConsistent reads the Var outside any transaction, waiting out any
+// in-flight writer (a committing transaction or a direct store holds the
+// cell's version lock while updating it). Non-transactional code that must
+// serialize against transaction commits — ALE's Lock-mode and SWOpt-mode
+// accesses — uses this: because a committing transaction holds every
+// write-set cell's lock until the whole write-back finishes, a
+// lock-respecting reader can never observe a half-published commit.
+func (v *Var) LoadConsistent() uint64 {
+	_, val := v.sampleUnlocked()
+	return val
+}
+
+// StoreDirect writes the Var outside any transaction, serializing correctly
+// against transactions: it locks the cell, advances the domain clock, and
+// publishes the new version, so every transaction that began earlier and
+// touches this cell will abort. This is exactly the effect a plain store by
+// a non-transactional thread has on real HTM (cache-line invalidation kills
+// the reader's transaction).
+func (v *Var) StoreDirect(x uint64) {
+	v.lockCell()
+	wv := v.dom.clock.Add(1)
+	v.val.Store(x)
+	v.vlock.Store(wv << 1)
+}
+
+// AddDirect atomically adds delta to the Var outside any transaction and
+// returns the new value, with the same conflict semantics as StoreDirect.
+func (v *Var) AddDirect(delta uint64) uint64 {
+	v.lockCell()
+	wv := v.dom.clock.Add(1)
+	n := v.val.Load() + delta
+	v.val.Store(n)
+	v.vlock.Store(wv << 1)
+	return n
+}
+
+// SwapDirect atomically replaces the Var's value outside any transaction,
+// returning the previous value, with the same conflict semantics as
+// StoreDirect.
+func (v *Var) SwapDirect(x uint64) uint64 {
+	v.lockCell()
+	wv := v.dom.clock.Add(1)
+	old := v.val.Load()
+	v.val.Store(x)
+	v.vlock.Store(wv << 1)
+	return old
+}
+
+// CASDirect performs a compare-and-swap outside any transaction, with the
+// same conflict semantics as StoreDirect. It returns whether the swap
+// happened.
+func (v *Var) CASDirect(old, new uint64) bool {
+	v.lockCell()
+	if v.val.Load() != old {
+		// Release without bumping the version: nothing changed.
+		v.vlock.Store(v.vlock.Load() &^ lockBit)
+		return false
+	}
+	wv := v.dom.clock.Add(1)
+	v.val.Store(new)
+	v.vlock.Store(wv << 1)
+	return true
+}
+
+// lockCell spins until it owns the cell's lock bit.
+func (v *Var) lockCell() {
+	for spins := 0; ; spins++ {
+		vl := v.vlock.Load()
+		if vl&lockBit == 0 && v.vlock.CompareAndSwap(vl, vl|lockBit) {
+			return
+		}
+		if spins > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// sampleUnlocked returns the cell's (version, value) observed consistently,
+// spinning past in-flight writers. Used by direct read-modify-write ops and
+// tests.
+func (v *Var) sampleUnlocked() (ver, val uint64) {
+	for spins := 0; ; spins++ {
+		v1 := v.vlock.Load()
+		if v1&lockBit == 0 {
+			x := v.val.Load()
+			if v.vlock.Load() == v1 {
+				return v1 >> 1, x
+			}
+			continue
+		}
+		if spins > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Version returns the cell's current committed version (test/diagnostic
+// use).
+func (v *Var) Version() uint64 {
+	ver, _ := v.sampleUnlocked()
+	return ver
+}

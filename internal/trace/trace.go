@@ -1,0 +1,220 @@
+// Package trace is a lightweight per-thread event recorder for the ALE
+// engine. The paper's library differentiates itself by "detailed,
+// fine-grained performance data"; aggregate statistics (internal/stats)
+// answer *how often*, and this package answers *in what order*: every
+// execution attempt, commit, abort (with reason), SWOpt failure, grouping
+// deferral and mode fallback can be recorded into a fixed-size ring and
+// rendered as a timeline, which is how the adaptive policy's behaviour
+// was debugged and is a user-facing diagnostic in its own right.
+//
+// Rings are single-writer: each ALE thread owns one and records without
+// synchronization. Snapshots are meant for post-run analysis (after the
+// workers quiesce) or for a single thread inspecting itself; concurrent
+// snapshotting of a live foreign ring sees a consistent prefix of slots
+// but possibly a torn in-flight event, which is acceptable for the
+// diagnostic use case and documented here.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// KindAttempt: one execution attempt started in the recorded mode.
+	KindAttempt Kind = iota
+	// KindCommit: the attempt succeeded (mode in Mode).
+	KindCommit
+	// KindAbort: an HTM attempt aborted; Detail is the tm.AbortReason.
+	KindAbort
+	// KindSWOptFail: a SWOpt attempt returned retry; Detail is 1 for
+	// self-abort, 0 for plain interference.
+	KindSWOptFail
+	// KindGroupWait: the execution deferred to a retrying SWOpt group.
+	KindGroupWait
+	// KindFallback: the execution moved to the next mode in the
+	// progression (Mode is the mode being abandoned).
+	KindFallback
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	KindAttempt:   "attempt",
+	KindCommit:    "commit",
+	KindAbort:     "abort",
+	KindSWOptFail: "swopt-fail",
+	KindGroupWait: "group-wait",
+	KindFallback:  "fallback",
+}
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded engine event. Lock identifies the ALE lock (its
+// creation sequence number), Mode is the core.Mode as a raw uint8, Detail
+// carries kind-specific payload (abort reason, self-abort flag).
+type Event struct {
+	When   int64 // nanoseconds, monotonic-ish (time.Now().UnixNano())
+	Seq    uint64
+	Thread int32
+	Lock   uint32
+	Kind   Kind
+	Mode   uint8
+	Detail uint8
+}
+
+// Ring is a fixed-capacity single-writer event buffer. The zero Ring is
+// disabled (records are dropped); construct with NewRing to enable.
+type Ring struct {
+	buf    []Event
+	next   uint64
+	thread int32
+}
+
+// NewRing allocates a ring holding the last capacity events for thread id.
+func NewRing(capacity int, thread int32) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity), thread: thread}
+}
+
+// Enabled reports whether the ring records anything.
+func (r *Ring) Enabled() bool { return r != nil && len(r.buf) > 0 }
+
+// Record appends an event, overwriting the oldest once full. Only the
+// owning thread may call Record.
+func (r *Ring) Record(lock uint32, kind Kind, mode, detail uint8) {
+	if !r.Enabled() {
+		return
+	}
+	e := Event{
+		When:   time.Now().UnixNano(),
+		Seq:    r.next,
+		Thread: r.thread,
+		Lock:   lock,
+		Kind:   kind,
+		Mode:   mode,
+		Detail: detail,
+	}
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+}
+
+// Len reports how many events are currently retained.
+func (r *Ring) Len() int {
+	if !r.Enabled() {
+		return 0
+	}
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Recorded reports the total number of events ever recorded (including
+// overwritten ones).
+func (r *Ring) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next
+}
+
+// Snapshot returns the retained events oldest-first.
+func (r *Ring) Snapshot() []Event {
+	n := r.Len()
+	out := make([]Event, 0, n)
+	if n == 0 {
+		return out
+	}
+	start := uint64(0)
+	if r.next > uint64(len(r.buf)) {
+		start = r.next - uint64(len(r.buf))
+	}
+	for s := start; s < r.next; s++ {
+		out = append(out, r.buf[s%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// Merge combines several snapshots into one timeline ordered by time
+// (ties by thread then seq).
+func Merge(snapshots ...[]Event) []Event {
+	var all []Event
+	for _, s := range snapshots {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].When != all[j].When {
+			return all[i].When < all[j].When
+		}
+		if all[i].Thread != all[j].Thread {
+			return all[i].Thread < all[j].Thread
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	return all
+}
+
+// ModeNamer translates a raw mode byte to a display name; the core package
+// passes its Mode.String. A nil namer prints the raw number.
+type ModeNamer func(mode uint8) string
+
+// DetailNamer translates a kind-specific detail byte (e.g. abort reason).
+type DetailNamer func(kind Kind, detail uint8) string
+
+// Write renders a merged timeline, one event per line, timestamps relative
+// to the first event.
+func Write(w io.Writer, events []Event, modeName ModeNamer, detailName DetailNamer) error {
+	if len(events) == 0 {
+		_, err := io.WriteString(w, "(no events)\n")
+		return err
+	}
+	t0 := events[0].When
+	var b strings.Builder
+	for _, e := range events {
+		mode := fmt.Sprintf("%d", e.Mode)
+		if modeName != nil {
+			mode = modeName(e.Mode)
+		}
+		fmt.Fprintf(&b, "%10.3fµs thr%-3d lock%-3d %-10s %-5s",
+			float64(e.When-t0)/1e3, e.Thread, e.Lock, e.Kind, mode)
+		if detailName != nil {
+			if d := detailName(e.Kind, e.Detail); d != "" {
+				fmt.Fprintf(&b, " %s", d)
+			}
+		} else if e.Detail != 0 {
+			fmt.Fprintf(&b, " detail=%d", e.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Counts tallies events by kind (diagnostics, tests).
+func Counts(events []Event) [numKinds]int {
+	var out [numKinds]int
+	for _, e := range events {
+		if int(e.Kind) < len(out) {
+			out[e.Kind]++
+		}
+	}
+	return out
+}
+
+// NumKinds is the number of event kinds (for sizing).
+const NumKinds = int(numKinds)

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4, 7)
+	if !r.Enabled() {
+		t.Fatal("ring not enabled")
+	}
+	if r.Len() != 0 || r.Recorded() != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	r.Record(1, KindAttempt, 0, 0)
+	r.Record(1, KindCommit, 0, 0)
+	if r.Len() != 2 || r.Recorded() != 2 {
+		t.Fatalf("Len=%d Recorded=%d", r.Len(), r.Recorded())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Kind != KindAttempt || snap[1].Kind != KindCommit {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Thread != 7 || snap[0].Lock != 1 {
+		t.Errorf("event stamping wrong: %+v", snap[0])
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(3, 0)
+	for i := uint8(0); i < 10; i++ {
+		r.Record(uint32(i), KindAttempt, 0, i)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", r.Recorded())
+	}
+	snap := r.Snapshot()
+	for i, e := range snap {
+		if e.Detail != uint8(7+i) {
+			t.Errorf("snapshot[%d].Detail = %d, want %d", i, e.Detail, 7+i)
+		}
+	}
+}
+
+func TestNilAndZeroRingSafe(t *testing.T) {
+	var r *Ring
+	if r.Enabled() {
+		t.Error("nil ring enabled")
+	}
+	r.Record(0, KindAttempt, 0, 0) // must not panic
+	if r.Recorded() != 0 {
+		t.Error("nil ring recorded")
+	}
+	z := &Ring{}
+	z.Record(0, KindAttempt, 0, 0)
+	if z.Len() != 0 {
+		t.Error("zero ring retained an event")
+	}
+}
+
+func TestMergeOrdersByTime(t *testing.T) {
+	a := NewRing(8, 1)
+	b := NewRing(8, 2)
+	a.Record(0, KindAttempt, 0, 0)
+	b.Record(0, KindAttempt, 0, 0)
+	a.Record(0, KindCommit, 0, 0)
+	merged := Merge(a.Snapshot(), b.Snapshot())
+	if len(merged) != 3 {
+		t.Fatalf("merged %d events", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].When < merged[i-1].When {
+			t.Fatal("merged timeline out of order")
+		}
+	}
+}
+
+func TestWriteRendersEvents(t *testing.T) {
+	r := NewRing(8, 3)
+	r.Record(5, KindAttempt, 1, 0)
+	r.Record(5, KindAbort, 1, 2)
+	var sb strings.Builder
+	err := Write(&sb, r.Snapshot(),
+		func(m uint8) string { return "M" + string(rune('0'+m)) },
+		func(k Kind, d uint8) string {
+			if k == KindAbort {
+				return "reason" + string(rune('0'+d))
+			}
+			return ""
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"thr3", "lock5", "attempt", "abort", "M1", "reason2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no events") {
+		t.Errorf("empty render = %q", sb.String())
+	}
+}
+
+func TestCounts(t *testing.T) {
+	r := NewRing(8, 0)
+	r.Record(0, KindAttempt, 0, 0)
+	r.Record(0, KindAttempt, 0, 0)
+	r.Record(0, KindCommit, 0, 0)
+	c := Counts(r.Snapshot())
+	if c[KindAttempt] != 2 || c[KindCommit] != 1 {
+		t.Errorf("counts = %v", c)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindAttempt.String() != "attempt" || KindGroupWait.String() != "group-wait" {
+		t.Error("kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}

@@ -1,0 +1,88 @@
+// Package xrand provides a tiny, allocation-free, per-thread pseudo-random
+// number generator used throughout the ALE reproduction.
+//
+// The hot paths of the library (spurious-abort injection, statistical
+// counters, sampled timing, workload generators) need a generator that is
+// cheap, unsynchronized, and owned by exactly one worker goroutine.
+// math/rand's global generator takes a lock and math/rand/v2 is overkill for
+// the simple xorshift* stream we need, so we keep our own ~20-line source.
+package xrand
+
+// State is an xorshift64* generator. The zero value is not a valid state;
+// construct with New. Each worker goroutine owns its own State; State is not
+// safe for concurrent use.
+type State struct {
+	x uint64
+}
+
+// New returns a generator seeded from seed. A zero seed is replaced with a
+// fixed non-zero constant so the stream never degenerates to all zeros.
+func New(seed uint64) *State {
+	s := &State{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the generator to a stream determined by seed.
+func (s *State) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	// Scramble the seed with splitmix64 so that consecutive seeds (thread
+	// IDs) produce uncorrelated streams.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	s.x = z
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *State) Uint64() uint64 {
+	x := s.x
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.x = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (s *State) Uint32() uint32 {
+	return uint32(s.Uint64() >> 32)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (s *State) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Uint64n returns a pseudo-random uint64 in [0, n). It panics if n == 0.
+func (s *State) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	return s.Uint64() % n
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (s *State) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p (clamped to [0, 1]).
+func (s *State) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}

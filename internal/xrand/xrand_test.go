@@ -1,0 +1,135 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroSeedIsValid(t *testing.T) {
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Error("zero-seeded stream degenerate")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSeedsDecorrelated(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds collided %d times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	s.Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %.4f, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(13)
+	const p, n = 0.25, 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(p) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / n; math.Abs(rate-p) > 0.01 {
+		t.Errorf("rate = %.4f, want ~%.2f", rate, p)
+	}
+}
+
+func TestQuickUniformBuckets(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		const buckets, n = 8, 8000
+		var counts [buckets]int
+		for i := 0; i < n; i++ {
+			counts[s.Intn(buckets)]++
+		}
+		for _, c := range counts {
+			// Each bucket expects n/buckets = 1000; allow ±20%.
+			if c < 800 || c > 1200 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
