@@ -21,11 +21,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/kyoto"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -38,7 +42,19 @@ var (
 	// oversubscribed points).
 	maxThreads = flag.Int("maxthreads", 16, "trim sweep points above this thread count (0 = keep all)")
 	verbose    = flag.Bool("verbose", false, "print the ALE statistics report after each figure")
+
+	metricsAddr = flag.String("metrics-addr", "",
+		"serve live metrics over HTTP on this address (e.g. :8080; /metrics Prometheus, /snapshot JSON, /events)")
+	traceCap = flag.Int("trace", 0,
+		"per-thread event-ring capacity; dumps the merged trace of the last ALE run (0 = off)")
+	sampleInterval = flag.Duration("sample-interval", 0,
+		"log interval metric deltas to stderr at this period (0 = off)")
 )
+
+// metricsURL is the base URL of the live metrics server after setupObs
+// bound its listener ("" when -metrics-addr is off). With an explicit
+// port it only restates the flag; with ":0" it carries the chosen port.
+var metricsURL string
 
 func main() {
 	flag.Parse()
@@ -46,10 +62,67 @@ func main() {
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
 	}
+	teardown, err := setupObs()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alebench:", err)
+		os.Exit(1)
+	}
 	if err := run(cmd); err != nil {
 		fmt.Fprintln(os.Stderr, "alebench:", err)
 		os.Exit(1)
 	}
+	if err := teardown(); err != nil {
+		fmt.Fprintln(os.Stderr, "alebench:", err)
+		os.Exit(1)
+	}
+}
+
+// setupObs wires the observability flags into the bench harness: it
+// installs a base option set carrying the shared obs collector and trace
+// capacity, serves the collector over HTTP when -metrics-addr is set, and
+// starts the interval sampler when -sample-interval is set. The returned
+// teardown stops the sampler (flushing its final partial interval) and
+// dumps the last run's trace when -trace is on.
+func setupObs() (func() error, error) {
+	if *metricsAddr == "" && *traceCap == 0 && *sampleInterval == 0 {
+		return func() error { return nil }, nil
+	}
+	opts := core.DefaultOptions()
+	opts.TraceCapacity = *traceCap
+	collector := obs.New()
+	opts.Obs = collector
+	bench.SetBaseOptions(opts)
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		metricsURL = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "alebench: serving metrics on %s/metrics\n", metricsURL)
+		srv := &http.Server{Handler: obs.Handler(collector)}
+		go func() { _ = srv.Serve(ln) }()
+	}
+
+	var sampler *obs.Sampler
+	if *sampleInterval > 0 {
+		sampler = obs.StartSampler(collector, *sampleInterval, os.Stderr)
+	}
+
+	return func() error {
+		if sampler != nil {
+			sampler.Stop()
+		}
+		if *traceCap > 0 {
+			if rt := bench.LastRuntime(); rt != nil {
+				fmt.Println("\n== Trace: merged event timeline of the last ALE run ==")
+				if err := rt.WriteTrace(os.Stdout); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}, nil
 }
 
 func run(cmd string) error {

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"testing"
+	"time"
 )
 
 // TestRunCommandsSmoke drives each subcommand with a tiny workload; this
@@ -36,5 +41,100 @@ func TestRunCommandsSmoke(t *testing.T) {
 func TestRunUnknownCommand(t *testing.T) {
 	if err := run("fig9"); err == nil {
 		t.Error("unknown command accepted")
+	}
+}
+
+// TestObservabilityFlags drives the -metrics-addr/-trace/-sample-interval
+// wiring end to end: a tiny sweep runs with the shared collector attached,
+// the live HTTP endpoints serve Prometheus text and snapshot JSON while
+// the process is up, and teardown dumps the last run's merged trace.
+func TestObservabilityFlags(t *testing.T) {
+	*ops = 300
+	*keyRange = 256
+	*maxThreads = 2
+	*metricsAddr = "127.0.0.1:0"
+	*traceCap = 64
+	*sampleInterval = 50 * time.Millisecond
+	defer func() {
+		*metricsAddr = ""
+		*traceCap = 0
+		*sampleInterval = 0
+		metricsURL = ""
+	}()
+
+	teardown, err := setupObs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricsURL == "" {
+		t.Fatal("setupObs did not record the metrics URL")
+	}
+
+	// Capture stdout (figure tables + the teardown trace dump).
+	tmp, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = tmp
+	runErr := run("striping")
+	tearErr := teardown()
+	os.Stdout = old
+
+	if runErr != nil {
+		t.Fatalf("run(striping): %v", runErr)
+	}
+	if tearErr != nil {
+		t.Fatalf("teardown: %v", tearErr)
+	}
+
+	// The acceptance check: scraping /metrics during the process's
+	// lifetime yields per-mode counters and the elision-rate gauge.
+	resp, err := http.Get(metricsURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"ale_execs_total",
+		`ale_attempts_total{mode="htm"}`,
+		`ale_successes_total{mode="swopt"}`,
+		`ale_aborts_total{reason="conflict"}`,
+		"ale_elision_rate",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	var snap struct {
+		Execs uint64 `json:"execs"`
+	}
+	resp, err = http.Get(metricsURL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/snapshot is not JSON: %v", err)
+	}
+	if snap.Execs == 0 {
+		t.Error("/snapshot reports zero execs after a sweep")
+	}
+
+	if _, err := tmp.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "== Trace: merged event timeline") {
+		t.Error("teardown did not dump the trace (-trace flag wiring broken)")
 	}
 }

@@ -8,17 +8,29 @@
 // reports provide valuable insights to guide optimization efforts" use
 // case: the report shows which locks and contexts dominate, so a developer
 // knows where adding a SWOpt path or enabling HTM would pay off.
+//
+// With -in it instead analyzes a saved metrics file: either an alebench
+// CSV export (WriteCSV) summarized per (lock, context), or obs snapshot
+// JSON (one object, an array, or JSON-lines — e.g. periodic saves of
+// alebench's /snapshot endpoint) rendered as interval elision-rate deltas.
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
+	"text/tabwriter"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hashmap"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/tm"
 	"repro/internal/xrand"
@@ -27,11 +39,125 @@ import (
 func main() {
 	threads := flag.Int("threads", min(4, runtime.GOMAXPROCS(0)), "worker goroutines")
 	ops := flag.Int("ops", 50000, "operations per worker")
+	in := flag.String("in", "", "analyze a saved metrics file instead of running: alebench CSV export or obs snapshot JSON")
 	flag.Parse()
-	if err := run(*threads, *ops); err != nil {
+	var err error
+	if *in != "" {
+		err = analyzeFile(*in, os.Stdout)
+	} else {
+		err = run(*threads, *ops)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "alereport:", err)
 		os.Exit(1)
 	}
+}
+
+// analyzeFile dispatches on the file's first non-space byte: '{' or '['
+// mean obs snapshot JSON, anything else is treated as WriteCSV output.
+func analyzeFile(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	if len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '[') {
+		snaps, err := obs.ParseSnapshots(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return writeSnapshotDeltas(w, snaps)
+	}
+	return summarizeCSV(w, data)
+}
+
+// writeSnapshotDeltas renders a cumulative snapshot series as per-interval
+// deltas: how the elision rate and throughput moved between scrapes. This
+// is where an adaptive policy's learning shows up — early lock-dominated
+// intervals giving way to elided steady state.
+func writeSnapshotDeltas(w io.Writer, snaps []obs.Snapshot) error {
+	if len(snaps) == 0 {
+		return fmt.Errorf("no snapshots in input")
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "interval\tspan\texecs\texecs/s\telision%\taborts\tswopt-fails\t")
+	row := func(label string, d obs.Snapshot) {
+		span := "-"
+		rate := "-"
+		if d.Interval > 0 {
+			span = d.Interval.Round(10 * time.Millisecond).String()
+			rate = fmt.Sprintf("%.0f", float64(d.Execs())/d.Interval.Seconds())
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%.1f\t%d\t%d\t\n",
+			label, span, d.Execs(), rate, 100*d.ElisionRate(),
+			d.AbortsTotal(), d.Get(obs.CtrSWOptFail))
+	}
+	if len(snaps) == 1 {
+		row("total", snaps[0])
+		return tw.Flush()
+	}
+	for i := 1; i < len(snaps); i++ {
+		row(fmt.Sprintf("#%d", i), snaps[i].Sub(snaps[i-1]))
+	}
+	last := snaps[len(snaps)-1]
+	total := last.Sub(snaps[0])
+	total.Interval = last.At.Sub(snaps[0].At)
+	row("total", total)
+	return tw.Flush()
+}
+
+// summarizeCSV renders a WriteCSV export per (lock, context): execution
+// counts and the realized elision rate of each critical section.
+func summarizeCSV(w io.Writer, data []byte) error {
+	rows, err := csv.NewReader(strings.NewReader(string(data))).ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(rows) < 1 {
+		return fmt.Errorf("empty CSV input")
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	for _, need := range []string{"lock", "context", "execs", "htm_successes", "swopt_successes", "lock_successes"} {
+		if _, ok := col[need]; !ok {
+			return fmt.Errorf("CSV input missing column %q (not a WriteCSV export?)", need)
+		}
+	}
+	u := func(row []string, name string) uint64 {
+		v, _ := strconv.ParseUint(row[col[name]], 10, 64)
+		return v
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "lock\tcontext\texecs\thtm\tswopt\tlock\telision%")
+	var totExecs, totElided uint64
+	for _, row := range rows[1:] {
+		execs := u(row, "execs")
+		htm, sw, lk := u(row, "htm_successes"), u(row, "swopt_successes"), u(row, "lock_successes")
+		ctx := row[col["context"]]
+		if ctx == "" {
+			ctx = "(root)"
+		}
+		rate := 0.0
+		if execs > 0 {
+			rate = 100 * float64(htm+sw) / float64(execs)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%.1f\n",
+			row[col["lock"]], ctx, execs, htm, sw, lk, rate)
+		totExecs += execs
+		totElided += htm + sw
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if totExecs > 0 {
+		fmt.Fprintf(w, "overall: %d execs, %.1f%% elided\n",
+			totExecs, 100*float64(totElided)/float64(totExecs))
+	}
+	return nil
 }
 
 func run(threads, ops int) error {

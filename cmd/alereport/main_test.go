@@ -1,8 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 func TestRunSmoke(t *testing.T) {
@@ -18,5 +24,109 @@ func TestRunSmoke(t *testing.T) {
 	}()
 	if err := run(2, 2000); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+// writeTemp writes content to a file in the test's temp dir.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// snapLine builds one JSON-lines snapshot with the given cumulative
+// per-mode successes at the given offset from t0.
+func snapLine(t *testing.T, t0 time.Time, offset time.Duration, lock, htm, swopt uint64) string {
+	t.Helper()
+	var s obs.Snapshot
+	s.At = t0.Add(offset)
+	s.Counts[obs.CtrSuccessLock] = lock
+	s.Counts[obs.CtrSuccessHTM] = htm
+	s.Counts[obs.CtrSuccessSWOpt] = swopt
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestAnalyzeSnapshotJSON: a saved /snapshot series renders as interval
+// deltas — the first interval is lock-dominated (learning), the second
+// fully elided, and the rates reflect only each interval's motion, not the
+// cumulative totals.
+func TestAnalyzeSnapshotJSON(t *testing.T) {
+	t0 := time.Unix(1700000000, 0)
+	lines := strings.Join([]string{
+		snapLine(t, t0, 0, 0, 0, 0),
+		snapLine(t, t0, time.Second, 1000, 0, 0),      // interval 1: all lock
+		snapLine(t, t0, 2*time.Second, 1000, 2000, 0), // interval 2: all HTM
+	}, "\n") + "\n"
+	path := writeTemp(t, "snaps.jsonl", lines)
+	var out strings.Builder
+	if err := analyzeFile(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"interval", "#1", "#2", "total", "0.0", "100.0", "1s"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The total row covers both intervals: 3000 execs, 2/3 elided.
+	if !strings.Contains(got, "3000") || !strings.Contains(got, "66.7") {
+		t.Errorf("total row wrong:\n%s", got)
+	}
+}
+
+// TestAnalyzeSnapshotArray: the same input as a JSON array parses too.
+func TestAnalyzeSnapshotArray(t *testing.T) {
+	t0 := time.Unix(1700000000, 0)
+	arr := "[" + snapLine(t, t0, 0, 0, 0, 0) + "," + snapLine(t, t0, time.Second, 500, 500, 0) + "]"
+	path := writeTemp(t, "snaps.json", arr)
+	var out strings.Builder
+	if err := analyzeFile(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "50.0") {
+		t.Errorf("expected 50%% elision interval:\n%s", out.String())
+	}
+}
+
+// TestAnalyzeCSV: a WriteCSV export summarizes per (lock, context) with
+// realized elision rates and an overall roll-up.
+func TestAnalyzeCSV(t *testing.T) {
+	csvIn := strings.Join([]string{
+		"lock,policy,context,execs,htm_attempts,htm_successes,swopt_attempts,swopt_successes,lock_successes,mean_htm_ns,mean_swopt_ns,mean_lock_ns,lockheld_aborts,aborts_conflict,aborts_capacity,aborts_spurious,aborts_explicit,aborts_lock-held,aborts_disabled,aborts_nesting",
+		"tbl,Static-All-10:10,get,1000,900,800,100,100,100,120,340,900,0,40,0,3,0,5,0,0",
+		"tbl,Static-All-10:10,,500,0,0,400,400,100,0,250,800,0,0,0,0,0,0,0,0",
+	}, "\n") + "\n"
+	path := writeTemp(t, "export.csv", csvIn)
+	var out strings.Builder
+	if err := analyzeFile(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"tbl", "get", "(root)", "90.0", "80.0", "overall: 1500 execs, 86.7% elided"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestAnalyzeBadInput: non-export CSV and empty files fail loudly instead
+// of printing an empty table.
+func TestAnalyzeBadInput(t *testing.T) {
+	var out strings.Builder
+	if err := analyzeFile(writeTemp(t, "junk.csv", "a,b\n1,2\n"), &out); err == nil {
+		t.Error("CSV without export columns accepted")
+	}
+	if err := analyzeFile(writeTemp(t, "empty.json", "[]"), &out); err == nil {
+		t.Error("empty snapshot array accepted")
+	}
+	if err := analyzeFile(filepath.Join(t.TempDir(), "missing"), &out); err == nil {
+		t.Error("missing file accepted")
 	}
 }

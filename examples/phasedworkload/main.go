@@ -25,11 +25,13 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/locks"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/tm"
 )
@@ -71,6 +73,8 @@ func adaptiveCfg() core.AdaptiveConfig {
 func runScenario(name string, pol core.Policy) {
 	opts := core.DefaultOptions()
 	opts.SampleAllTimings = true // full timing signal for learner + detector
+	collector := obs.New()
+	opts.Obs = collector // record the policy's learning-phase events
 	rt := core.NewRuntimeOpts(tm.NewDomain(platform.T2().Profile), opts)
 	d := rt.Domain()
 	lock := rt.NewLock("L", locks.NewTATAS(d), pol)
@@ -122,6 +126,14 @@ func runScenario(name string, pol core.Policy) {
 	fmt.Printf("  phase 3, optimism back:    %8.1f ms\n", d3.Seconds()*1e3)
 	if dp, ok := pol.(*core.DriftPolicy); ok {
 		fmt.Printf("  drift relearns:            %d\n", dp.Relearns())
+	}
+	if events := collector.Events(); len(events) > 0 {
+		snap := collector.Snapshot()
+		fmt.Printf("  policy event timeline (%d events, %d phase transitions, %d relearns):\n",
+			len(events), snap.Get(obs.CtrPhaseTransition), snap.Get(obs.CtrRelearn))
+		if err := obs.WriteEvents(os.Stdout, events); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Println()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -72,6 +73,23 @@ func Ablations() []Ablation {
 			},
 		},
 		{
+			Name: "obs",
+			Descr: "Live observability layer (internal/obs): per-thread " +
+				"counter shards mirroring execution outcomes, one uncontended " +
+				"atomic add per execution. Quantifies the cost of leaving " +
+				"metrics attached in production versus Options.Obs=nil.",
+			Set: func(o *core.Options, e bool) {
+				if e {
+					o.Obs = obs.New()
+				} else {
+					o.Obs = nil
+				}
+			},
+			Platform:  platform.Haswell(),
+			MutatePct: 0, // read-only: the one-atomic-add hot path dominates
+			Variant:   all(),
+		},
+		{
 			Name: "sampling",
 			Descr: "~3% timing sampling (section 4.3) versus timing every " +
 				"execution. Quantifies the instrumentation cost the sampling " +
@@ -99,7 +117,7 @@ func RunAblation(a Ablation, threads []int, opsPerThread int, keyRange uint64) (
 		}
 		s := Series{Label: label, Points: map[int]float64{}}
 		for _, th := range threads {
-			opts := core.DefaultOptions()
+			opts := baseOptions()
 			a.Set(&opts, enabled)
 			res, _, err := RunHashMap(HashMapParams{
 				Platform:     a.Platform,

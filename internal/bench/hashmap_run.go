@@ -42,7 +42,7 @@ func RunHashMap(p HashMapParams) (Result, *core.Runtime, error) {
 	if p.Threads < 1 || p.OpsPerThread < 1 || p.KeyRange < 2 {
 		return Result{}, nil, fmt.Errorf("bench: bad params %+v", p)
 	}
-	opts := core.DefaultOptions()
+	opts := baseOptions()
 	if p.Opts != nil {
 		opts = *p.Opts
 	}
@@ -143,6 +143,7 @@ func RunHashMap(p HashMapParams) (Result, *core.Runtime, error) {
 	if !p.Variant.NeedsALE() {
 		return res, nil, nil
 	}
+	lastRuntime.Store(rt)
 	return res, rt, nil
 }
 

@@ -34,7 +34,7 @@ func RunKyoto(p KyotoParams) (Result, *core.Runtime, error) {
 	if p.Threads < 1 || p.OpsPerThread < 1 {
 		return Result{}, nil, fmt.Errorf("bench: bad params %+v", p)
 	}
-	opts := core.DefaultOptions()
+	opts := baseOptions()
 	if p.Opts != nil {
 		opts = *p.Opts
 	}
@@ -103,6 +103,7 @@ func RunKyoto(p KyotoParams) (Result, *core.Runtime, error) {
 	if !p.Variant.NeedsALE() {
 		return res, nil, nil
 	}
+	lastRuntime.Store(rt)
 	return res, rt, nil
 }
 

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// baseOpts is the options template runners start from when a params struct
+// carries no explicit Opts override. The CLI installs its observability
+// and tracing flags here once, so every run of a sweep inherits them.
+var baseOpts atomic.Pointer[core.Options]
+
+// lastRuntime records the ALE runtime of the most recently completed run.
+var lastRuntime atomic.Pointer[core.Runtime]
+
+// SetBaseOptions installs opts as the template every subsequent run starts
+// from (unless the run's params carry an explicit Opts override). Intended
+// for process-wide wiring such as alebench's -metrics-addr and -trace
+// flags; call it before starting sweeps.
+func SetBaseOptions(opts core.Options) { baseOpts.Store(&opts) }
+
+// baseOptions returns the current template (DefaultOptions when none was
+// installed).
+func baseOptions() core.Options {
+	if p := baseOpts.Load(); p != nil {
+		return *p
+	}
+	return core.DefaultOptions()
+}
+
+// LastRuntime returns the ALE runtime of the most recently completed
+// RunHashMap/RunKyoto call (nil before any ALE run finishes, and unchanged
+// by non-ALE baseline runs). The CLI uses it to dump the final run's trace
+// and report after a sweep; it is only meaningful once the sweep's workers
+// have quiesced.
+func LastRuntime() *core.Runtime { return lastRuntime.Load() }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -220,6 +221,30 @@ func (p *AdaptivePolicy) build(g *Granule) {
 	p.stages = append(p.stages, stage{progLock, stageCustom})
 	p.stages = append(p.stages, stage{progLock, stageSettled})
 	p.lockTime = make([]stats.TimeStat, len(p.stages))
+	p.obsEvent(g.lock, obs.Event{
+		Kind:   obs.EventPhaseEnter,
+		Lock:   g.lock.name,
+		Stage:  p.stages[0].String(),
+		Detail: fmt.Sprintf("schedule built (%d stages)", len(p.stages)),
+	})
+}
+
+// obsEvent forwards a policy event to the runtime's live-metrics
+// collector, if one is attached. Called from phase transitions only —
+// never from the per-execution path.
+func (p *AdaptivePolicy) obsEvent(l *Lock, e obs.Event) {
+	if c := l.rt.opts.Obs; c != nil {
+		c.RecordEvent(e)
+	}
+}
+
+// granEventLabel is the granule label policy events carry ("(root)" for
+// the empty context, matching report rendering).
+func granEventLabel(g *Granule) string {
+	if g.label == "" {
+		return "(root)"
+	}
+	return g.label
 }
 
 // granLearn is the per-granule learning state, hung off Granule.policyData.
@@ -303,6 +328,11 @@ func (p *AdaptivePolicy) Relearn(l *Lock) {
 	p.useCustom.Store(false)
 	p.uniformProg.Store(int32(progLock))
 	p.cur.Store(0)
+	p.obsEvent(l, obs.Event{
+		Kind: obs.EventRelearn, Lock: l.name,
+		Stage:  p.stages[0].String(),
+		Detail: "learning schedule restarted",
+	})
 }
 
 // Plan implements Policy.
@@ -405,16 +435,32 @@ func (p *AdaptivePolicy) advance(si int, g *Granule) {
 				// otherwise mark HTM hopeless here.
 				if gl.stageExecs[si].Load() >= int64(p.cfg.PhaseExecs)/4 {
 					gl.xByProg[st.prog].Store(0)
+					p.obsEvent(g.lock, obs.Event{
+						Kind: obs.EventXChosen, Lock: g.lock.name,
+						Granule: granEventLabel(og), Stage: st.String(),
+						Detail: "X=0 (HTM hopeless: no success in discovery)",
+					})
 					continue
 				}
 				maxA = p.cfg.InitialX - p.cfg.XSlack
 			}
 			gl.xByProg[st.prog].Store(int32(maxA + p.cfg.XSlack))
+			p.obsEvent(g.lock, obs.Event{
+				Kind: obs.EventXChosen, Lock: g.lock.name,
+				Granule: granEventLabel(og), Stage: st.String(),
+				Detail: fmt.Sprintf("X=%d (discovery cap: max attempts %d + slack %d)",
+					maxA+p.cfg.XSlack, maxA, p.cfg.XSlack),
+			})
 		}
 	case stageHistogram:
 		for _, og := range grans {
 			gl := p.granData(og)
 			p.chooseX(og, gl, si, st.prog)
+			p.obsEvent(g.lock, obs.Event{
+				Kind: obs.EventXChosen, Lock: g.lock.name,
+				Granule: granEventLabel(og), Stage: st.String(),
+				Detail: fmt.Sprintf("X=%d (histogram cost model)", gl.xByProg[st.prog].Load()),
+			})
 		}
 	case stageMeasure:
 		if p.stages[si+1].kind == stageCustom {
@@ -433,8 +479,23 @@ func (p *AdaptivePolicy) advance(si int, g *Granule) {
 		customTime := p.lockTime[si].Mean()
 		p.uniformProg.Store(int32(bestProg))
 		p.useCustom.Store(customTime > 0 && (bestTime == 0 || customTime < bestTime))
+		verdict := fmt.Sprintf("uniform %s (custom mean %v vs uniform mean %v)",
+			bestProg, customTime, bestTime)
+		if p.useCustom.Load() {
+			verdict = fmt.Sprintf("custom per-granule progressions (mean %v vs best uniform %s %v)",
+				customTime, bestProg, bestTime)
+		}
+		p.obsEvent(g.lock, obs.Event{
+			Kind: obs.EventVerdict, Lock: g.lock.name,
+			Stage: st.String(), Detail: verdict,
+		})
 	}
 	p.cur.Store(int32(si + 1))
+	p.obsEvent(g.lock, obs.Event{
+		Kind: obs.EventPhaseEnter, Lock: g.lock.name,
+		Stage:  p.stages[si+1].String(),
+		Detail: "from " + st.String(),
+	})
 }
 
 // bestProgFor returns the progression with the lowest measured mean time

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/locks"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/tm"
 	"repro/internal/trace"
@@ -161,6 +162,7 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 			if ok {
 				g.successes[ModeHTM].Inc(thr.rng)
 				thr.emit(l, trace.KindCommit, ModeHTM, 0)
+				thr.obsAdd(obs.CtrSuccessHTM)
 				rec.FinalMode = ModeHTM
 				return err
 			}
@@ -173,6 +175,7 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 			}
 			g.aborts[reason].Inc(thr.rng)
 			thr.emit(l, trace.KindAbort, ModeHTM, uint8(reason))
+			thr.obsAdd(obs.CtrAbort(reason))
 			switch reason {
 			case tm.AbortLockHeld:
 				rec.LockHeldAborts++
@@ -191,10 +194,12 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 				if capacityAborts >= capacityGiveUp {
 					plan.UseHTM = false // this section cannot fit in HTM
 					thr.emit(l, trace.KindFallback, ModeHTM, 0)
+					thr.obsAdd(obs.CtrFallback)
 				}
 			case tm.AbortNesting, tm.AbortDisabled:
 				plan.UseHTM = false
 				thr.emit(l, trace.KindFallback, ModeHTM, 0)
+				thr.obsAdd(obs.CtrFallback)
 			}
 
 		case plan.UseSWOpt && !swoptDisabled && rec.SWOptAttempts < plan.Y:
@@ -205,6 +210,7 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 			switch err {
 			case ErrSWOptRetry:
 				thr.emit(l, trace.KindSWOptFail, ModeSWOpt, 0)
+				thr.obsAdd(obs.CtrSWOptFail)
 				// Enter the retrying group: conflicting executions will
 				// defer until this SWOpt execution gets through.
 				if !arrived && l.rt.opts.Grouping {
@@ -216,10 +222,12 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 				// The optimistic path reached a conflicting action: retry
 				// this execution non-optimistically (section 3.3).
 				thr.emit(l, trace.KindSWOptFail, ModeSWOpt, 1)
+				thr.obsAdd(obs.CtrSWOptFail)
 				swoptDisabled = true
 			default:
 				g.successes[ModeSWOpt].Inc(thr.rng)
 				thr.emit(l, trace.KindCommit, ModeSWOpt, 0)
+				thr.obsAdd(obs.CtrSuccessSWOpt)
 				rec.FinalMode = ModeSWOpt
 				return err
 			}
@@ -230,6 +238,7 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 			err := l.lockAttempt(thr, cs, fi)
 			g.successes[ModeLock].Inc(thr.rng)
 			thr.emit(l, trace.KindCommit, ModeLock, 0)
+			thr.obsAdd(obs.CtrSuccessLock)
 			rec.FinalMode = ModeLock
 			return err
 		}
@@ -320,6 +329,7 @@ func (l *Lock) groupWait(thr *Thread, cs *CS) {
 		if !waited {
 			waited = true
 			thr.emit(l, trace.KindGroupWait, ModeLock, 0)
+			thr.obsAdd(obs.CtrGroupWait)
 		}
 		if i >= groupWaitBound {
 			return // bounded politeness; Y-large fallback ensures progress

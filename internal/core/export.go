@@ -12,7 +12,12 @@ import (
 // WriteCSV exports the per-granule statistics as machine-readable CSV, one
 // row per (lock, context): the same data WriteReport renders for humans,
 // for spreadsheets and plotting scripts. Columns are stable; see the
-// header row.
+// header row (and the golden-file test in export_test.go, which pins it).
+//
+// Like WriteReport, WriteCSV reads the per-granule counters without
+// synchronization against workers, so call it only after all threads have
+// quiesced. For live numbers while a workload runs, attach Options.Obs and
+// scrape an obs.Snapshot instead.
 func (rt *Runtime) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{

@@ -2,6 +2,8 @@ package core
 
 import (
 	"encoding/csv"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -57,5 +59,94 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if !foundWrite {
 		t.Error("no row for pair.Write")
+	}
+}
+
+// csvHeaderWant is the full stable WriteCSV column set, in order. Changing
+// it breaks downstream consumers (alereport -in, plotting scripts), so a
+// change here must be deliberate and update the golden files too.
+var csvHeaderWant = []string{
+	"lock", "policy", "context", "execs",
+	"htm_attempts", "htm_successes",
+	"swopt_attempts", "swopt_successes",
+	"lock_successes",
+	"mean_htm_ns", "mean_swopt_ns", "mean_lock_ns",
+	"lockheld_aborts",
+	"aborts_conflict", "aborts_capacity", "aborts_spurious", "aborts_explicit",
+	"aborts_lock-held", "aborts_disabled", "aborts_nesting",
+}
+
+// maskMeanColumns replaces every mean_* value (the only nondeterministic
+// columns — they carry wall-clock timings) with "-" so the rest of the
+// export can be compared byte-for-byte against a golden file.
+func maskMeanColumns(t *testing.T, raw string) string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(raw)).ReadAll()
+	if err != nil {
+		t.Fatalf("export is not valid CSV: %v", err)
+	}
+	for i, name := range rows[0] {
+		if !strings.HasPrefix(name, "mean_") {
+			continue
+		}
+		for _, row := range rows[1:] {
+			row[i] = "-"
+		}
+	}
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.WriteAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestWriteCSVGolden pins the exact export of a deterministic run — the
+// full header (every aborts_* column included) and all row values except
+// the masked timing means — on both an HTM and a no-HTM platform. The
+// single-threaded fixture run is deterministic: thread ids, PRNG seeds and
+// the simulated HTM's abort injection all derive from fixed seeds.
+func TestWriteCSVGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		profile tm.Profile
+		golden  string
+	}{
+		{"htm", htmProfile(), "export_golden_htm.csv"},
+		{"nohtm", noHTMProfile(), "export_golden_nohtm.csv"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := NewRuntime(tm.NewDomain(tc.profile))
+			f := newPairFixture(rt, NewStatic(5, 5))
+			thr := rt.NewThread()
+			for i := 0; i < 100; i++ {
+				if err := f.lock.Execute(thr, f.writeCS); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.lock.Execute(thr, f.readCS); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var b strings.Builder
+			if err := rt.WriteCSV(&b); err != nil {
+				t.Fatal(err)
+			}
+			rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+			if err != nil {
+				t.Fatalf("export is not valid CSV: %v", err)
+			}
+			if got, want := strings.Join(rows[0], ","), strings.Join(csvHeaderWant, ","); got != want {
+				t.Errorf("CSV header changed:\n got %s\nwant %s", got, want)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := maskMeanColumns(t, b.String())
+			if got != string(want) {
+				t.Errorf("masked CSV export differs from testdata/%s:\n got:\n%s\nwant:\n%s",
+					tc.golden, got, want)
+			}
+		})
 	}
 }

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/tm"
+)
+
+// BenchmarkExecuteObsOverhead is the observability ablation: the same
+// single-threaded HTM-success-path execution with Options.Obs detached
+// (one nil check per execution) and attached (one uncontended atomic add
+// into the thread's private shard). EXPERIMENTS.md records the measured
+// delta. The read path is the worst case — the cheapest execution the
+// engine has, so the added work is the largest relative cost.
+func BenchmarkExecuteObsOverhead(b *testing.B) {
+	for _, withObs := range []bool{false, true} {
+		name := "obs-off"
+		if withObs {
+			name = "obs-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := DefaultOptions()
+			if withObs {
+				opts.Obs = obs.New()
+			}
+			rt := NewRuntimeOpts(tm.NewDomain(htmProfile()), opts)
+			f := newPairFixture(rt, NewStatic(5, 5))
+			thr := rt.NewThread()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.lock.Execute(thr, f.readCS); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

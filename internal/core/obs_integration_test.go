@@ -1,0 +1,226 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/tm"
+)
+
+// newObsRuntime builds a runtime with a fresh collector attached.
+func newObsRuntime(profile tm.Profile) (*Runtime, *obs.Collector) {
+	c := obs.New()
+	opts := DefaultOptions()
+	opts.Obs = c
+	return NewRuntimeOpts(tm.NewDomain(profile), opts), c
+}
+
+// TestObsModeMapping pins the cross-package convention the obs wire format
+// depends on: obs cannot import core, so it mirrors core's mode indices by
+// definition order. If either side reorders, this fails.
+func TestObsModeMapping(t *testing.T) {
+	if obs.NumModes != NumModes {
+		t.Fatalf("obs.NumModes = %d, core.NumModes = %d", obs.NumModes, NumModes)
+	}
+	pairs := []struct {
+		mode Mode
+		ctr  obs.Counter
+	}{
+		{ModeLock, obs.CtrSuccessLock},
+		{ModeHTM, obs.CtrSuccessHTM},
+		{ModeSWOpt, obs.CtrSuccessSWOpt},
+	}
+	for _, p := range pairs {
+		if got := obs.CtrSuccess(uint8(p.mode)); got != p.ctr {
+			t.Errorf("obs.CtrSuccess(%s) = %v, want %v", p.mode, got, p.ctr)
+		}
+		if got, want := obs.ModeNames[p.mode], strings.ToLower(p.mode.String()); got != want {
+			t.Errorf("obs.ModeNames[%d] = %q, want %q", p.mode, got, want)
+		}
+	}
+}
+
+// TestObsCountersMirrorRun checks the live counters against the engine's
+// own per-granule statistics after a deterministic run: every execution is
+// counted exactly once under its final mode, and the derived attempt
+// totals match the granule bookkeeping.
+func TestObsCountersMirrorRun(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		profile tm.Profile
+	}{
+		{"htm", htmProfile()},
+		{"nohtm", noHTMProfile()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, c := newObsRuntime(tc.profile)
+			f := newPairFixture(rt, NewStatic(5, 5))
+			thr := rt.NewThread()
+			const iters = 100
+			for i := 0; i < iters; i++ {
+				if err := f.lock.Execute(thr, f.writeCS); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.lock.Execute(thr, f.readCS); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap := c.Snapshot()
+			if got := snap.Execs(); got != 2*iters {
+				t.Errorf("snapshot execs = %d, want %d", got, 2*iters)
+			}
+			for _, m := range []Mode{ModeLock, ModeHTM, ModeSWOpt} {
+				var succ, att uint64
+				for _, g := range f.lock.Granules() {
+					succ += g.Successes(m)
+					att += g.Attempts(m)
+				}
+				if got := snap.Successes(uint8(m)); got != succ {
+					t.Errorf("%s successes: snapshot %d, granules %d", m, got, succ)
+				}
+				if got := snap.Attempts(uint8(m)); got != att {
+					t.Errorf("%s attempts: snapshot %d, granules %d", m, got, att)
+				}
+			}
+			var aborts uint64
+			for _, g := range f.lock.Granules() {
+				for r := 1; r < tm.NumAbortReasons; r++ {
+					aborts += g.Aborts(tm.AbortReason(r))
+				}
+			}
+			if got := snap.AbortsTotal(); got != aborts {
+				t.Errorf("aborts: snapshot %d, granules %d", got, aborts)
+			}
+		})
+	}
+}
+
+// TestObsAdaptiveEvents: driving an adaptive policy to settlement must
+// leave a phase-transition trail in the collector's event ring, and a
+// Relearn must append a relearn event.
+func TestObsAdaptiveEvents(t *testing.T) {
+	rt, c := newObsRuntime(htmProfile())
+	pol := fastAdaptive()
+	f := newPairFixture(rt, pol)
+	drive(t, rt, f.lock, f.writeCS, 1500)
+	if !pol.Settled() {
+		t.Fatalf("policy did not settle; stage = %s", pol.StageName())
+	}
+	events := c.Events()
+	counts := map[obs.EventKind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+		if e.Lock != "pairLock" {
+			t.Errorf("event %v has lock %q, want pairLock", e.Kind, e.Lock)
+		}
+	}
+	if counts[obs.EventPhaseEnter] == 0 {
+		t.Error("no phase-enter events recorded")
+	}
+	if counts[obs.EventVerdict] != 1 {
+		t.Errorf("verdict events = %d, want 1", counts[obs.EventVerdict])
+	}
+	snap := c.Snapshot()
+	if got := snap.Get(obs.CtrPhaseTransition); got != uint64(counts[obs.EventPhaseEnter]) {
+		t.Errorf("CtrPhaseTransition = %d, events show %d", got, counts[obs.EventPhaseEnter])
+	}
+
+	pol.Relearn(f.lock)
+	var sawRelearn bool
+	for _, e := range c.Events() {
+		if e.Kind == obs.EventRelearn {
+			sawRelearn = true
+		}
+	}
+	if !sawRelearn {
+		t.Error("no relearn event after Relearn")
+	}
+	if got := c.Snapshot().Get(obs.CtrRelearn); got != 1 {
+		t.Errorf("CtrRelearn = %d, want 1", got)
+	}
+}
+
+// TestObsRelearnBeforeFirstUseEmitsNothing: Relearn on a policy with no
+// schedule yet is a no-op and must not emit an event.
+func TestObsRelearnBeforeFirstUseEmitsNothing(t *testing.T) {
+	rt, c := newObsRuntime(htmProfile())
+	pol := fastAdaptive()
+	f := newPairFixture(rt, pol)
+	pol.Relearn(f.lock)
+	if n := c.EventsRecorded(); n != 0 {
+		t.Errorf("events recorded = %d, want 0", n)
+	}
+}
+
+// TestObsConcurrentScrape exercises the consistency contract from the
+// report/export docs: scraping the collector (snapshots, Prometheus
+// rendering, the WriteReport live-totals header) is safe while workers are
+// mid-flight, even though the full per-granule report requires quiescence.
+// Run under -race this is the layer's data-race regression test.
+func TestObsConcurrentScrape(t *testing.T) {
+	rt, c := newObsRuntime(htmProfile())
+	f := newPairFixture(rt, NewStatic(5, 5))
+
+	const workers, iters = 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		var prev obs.Snapshot
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := c.Snapshot()
+			if s.Execs() < prev.Execs() {
+				t.Errorf("execs went backwards: %d -> %d", prev.Execs(), s.Execs())
+				return
+			}
+			_ = obs.FormatDelta(s.Sub(prev))
+			var sb strings.Builder
+			if err := obs.WritePrometheus(&sb, s); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			prev = s
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := rt.NewThread()
+			for i := 0; i < iters; i++ {
+				cs := f.readCS
+				if i%5 == 0 {
+					cs = f.writeCS
+				}
+				if err := f.lock.Execute(thr, cs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-scrapeDone
+
+	snap := c.Snapshot()
+	if got := snap.Execs(); got != workers*iters {
+		t.Errorf("final execs = %d, want %d", got, workers*iters)
+	}
+	// Post-quiesce, the full report must agree with the live header.
+	var sb strings.Builder
+	if err := rt.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "live totals:") {
+		t.Error("report with Options.Obs lacks the live-totals header")
+	}
+}

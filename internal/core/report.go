@@ -6,6 +6,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/obs"
 	"repro/internal/tm"
 )
 
@@ -15,9 +16,30 @@ import (
 // mode, mean execution times, and the HTM abort breakdown. Even a program
 // that never enables HTM or SWOpt modes gets guidance from this about
 // which critical sections are worth optimizing.
+//
+// Quiescence: the per-granule statistics (internal/stats counters) are
+// bumped by worker threads without synchronization beyond their own atomic
+// stripes, so WriteReport must only run after every worker has finished its
+// critical sections — typically after the workload's WaitGroup completes.
+// Calling it while workers are still executing yields torn (but memory-safe)
+// numbers. The one exception is the live-totals header: when Options.Obs is
+// attached it is taken as an obs.Snapshot — a consistent point-in-time
+// atomic read of every thread shard — and is safe to render concurrently
+// with running workers (that is what the obs HTTP handler and sampler do).
 func (rt *Runtime) WriteReport(w io.Writer) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ALE statistics report — platform %s\n", rt.dom.Profile())
+	if c := rt.opts.Obs; c != nil {
+		s := c.Snapshot()
+		fmt.Fprintf(&b, "live totals: execs=%d elision=%.1f%%", s.Execs(), 100*s.ElisionRate())
+		for m := 0; m < obs.NumModes; m++ {
+			fmt.Fprintf(&b, " %s=%d/%d", obs.ModeNames[m], s.Successes(uint8(m)), s.Attempts(uint8(m)))
+		}
+		if n := s.AbortsTotal(); n > 0 {
+			fmt.Fprintf(&b, " aborts=%d", n)
+		}
+		fmt.Fprintln(&b)
+	}
 	for _, l := range rt.Locks() {
 		fmt.Fprintf(&b, "\nlock %q  policy=%s", l.name, l.policy.Name())
 		if ap, ok := l.policy.(*AdaptivePolicy); ok {

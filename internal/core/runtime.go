@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/tm"
 )
 
@@ -40,6 +41,17 @@ type Options struct {
 	// disables tracing entirely (the default; the hot path then pays one
 	// nil check per event site).
 	TraceCapacity int
+
+	// Obs, when non-nil, attaches the live observability layer
+	// (internal/obs): every Thread gets a private cache-padded counter
+	// shard in the collector, the engine mirrors execution outcomes into
+	// it, and the adaptive policy emits learning-phase events to the
+	// collector's event ring. The hot path costs one uncontended atomic
+	// add per completed execution (failure paths pay one add per
+	// failure, which they dwarf anyway) and zero allocations; nil (the
+	// default) costs one nil check per execution. One collector may be
+	// shared by several runtimes — its totals then span all of them.
+	Obs *obs.Collector
 }
 
 // DefaultOptions returns the paper-faithful configuration: every mechanism
@@ -61,6 +73,7 @@ type Runtime struct {
 
 	mu        sync.Mutex
 	locks     []*Lock
+	threads   []*Thread
 	threadSeq atomic.Uint64
 }
 
@@ -92,6 +105,23 @@ func (rt *Runtime) Locks() []*Lock {
 	out := make([]*Lock, len(rt.locks))
 	copy(out, rt.locks)
 	return out
+}
+
+// Threads returns every Thread created on this runtime, in creation
+// order. Intended for post-quiesce diagnostics (trace dumps); the threads
+// themselves must not be used from foreign goroutines.
+func (rt *Runtime) Threads() []*Thread {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*Thread, len(rt.threads))
+	copy(out, rt.threads)
+	return out
+}
+
+func (rt *Runtime) registerThread(t *Thread) {
+	rt.mu.Lock()
+	rt.threads = append(rt.threads, t)
+	rt.mu.Unlock()
 }
 
 func (rt *Runtime) register(l *Lock) {

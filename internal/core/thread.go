@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/obs"
 	"repro/internal/tm"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -52,6 +53,11 @@ type Thread struct {
 
 	// ring records engine events when Options.TraceCapacity > 0.
 	ring *trace.Ring
+
+	// shard is this thread's private live-metrics counter shard when
+	// Options.Obs is set, nil otherwise. Single-writer: only this thread
+	// bumps it; the collector reads it with atomic loads.
+	shard *obs.Shard
 }
 
 // frame records one nesting level (paper section 4.1: per-thread stacks of
@@ -77,6 +83,10 @@ func (rt *Runtime) NewThread() *Thread {
 	if rt.opts.TraceCapacity > 0 {
 		t.ring = trace.NewRing(rt.opts.TraceCapacity, int32(id))
 	}
+	if rt.opts.Obs != nil {
+		t.shard = rt.opts.Obs.NewShard()
+	}
+	rt.registerThread(t)
 	return t
 }
 
@@ -88,6 +98,15 @@ func (t *Thread) Trace() *trace.Ring { return t.ring }
 func (t *Thread) emit(l *Lock, kind trace.Kind, mode Mode, detail uint8) {
 	if t.ring != nil {
 		t.ring.Record(l.id, kind, uint8(mode), detail)
+	}
+}
+
+// obsAdd bumps a live-metrics counter if Options.Obs is attached: one
+// uncontended atomic add into the thread's private shard, nothing when
+// observability is off.
+func (t *Thread) obsAdd(c obs.Counter) {
+	if t.shard != nil {
+		t.shard.Add(c)
 	}
 }
 

@@ -37,3 +37,11 @@ func WriteTrace(w io.Writer, threads ...*Thread) error {
 	}
 	return trace.Write(w, trace.Merge(snaps...), TraceModeName, TraceDetailName)
 }
+
+// WriteTrace renders the merged timeline of every thread created on the
+// runtime — the whole-program view a CLI wants after a run (alebench's
+// -trace flag uses it). Requires Options.TraceCapacity > 0 and quiesced
+// threads; with tracing disabled it renders an empty timeline.
+func (rt *Runtime) WriteTrace(w io.Writer) error {
+	return WriteTrace(w, rt.Threads()...)
+}

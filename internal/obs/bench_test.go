@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"testing"
+)
+
+// BenchmarkShardAdd measures the obs hot-path primitive: one uncontended
+// atomic add into a thread-private shard. This is the entire per-execution
+// cost of the observability layer on the success path.
+func BenchmarkShardAdd(b *testing.B) {
+	c := New()
+	sh := c.NewShard()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sh.Add(CtrSuccessHTM)
+	}
+}
+
+// BenchmarkShardAddParallel shows the sharding paying off: every goroutine
+// adds into its own shard, so there is no cross-thread coherence traffic.
+func BenchmarkShardAddParallel(b *testing.B) {
+	c := New()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		sh := c.NewShard()
+		for pb.Next() {
+			sh.Add(CtrSuccessSWOpt)
+		}
+	})
+}
+
+// BenchmarkSnapshot measures aggregation cost as shard count grows — the
+// scrape-side cost a /metrics request pays.
+func BenchmarkSnapshot(b *testing.B) {
+	for _, shards := range []int{1, 16, 64} {
+		b.Run(map[int]string{1: "1shard", 16: "16shards", 64: "64shards"}[shards], func(b *testing.B) {
+			c := New()
+			for i := 0; i < shards; i++ {
+				c.NewShard().Add(CtrSuccessHTM)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = c.Snapshot()
+			}
+		})
+	}
+}

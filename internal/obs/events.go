@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventKind classifies one adaptive-policy lifecycle event.
+type EventKind uint8
+
+const (
+	// EventPhaseEnter: the lock's learning schedule entered a new stage.
+	EventPhaseEnter EventKind = iota
+	// EventXChosen: a granule's HTM retry budget X was fixed (after the
+	// discovery cap or the histogram cost model).
+	EventXChosen
+	// EventVerdict: the custom phase decided per-granule progressions
+	// versus the best uniform progression.
+	EventVerdict
+	// EventRelearn: the learning schedule was restarted (the drift
+	// detector fired, or the application called Relearn).
+	EventRelearn
+
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	EventPhaseEnter: "phase-enter",
+	EventXChosen:    "x-chosen",
+	EventVerdict:    "verdict",
+	EventRelearn:    "relearn",
+}
+
+// String returns a short name for the kind.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one structured policy event. Unlike the engine's per-thread
+// trace ring (internal/trace), these are rare, lock-level events — a
+// handful per learning schedule — so strings and a shared mutex are fine.
+type Event struct {
+	// When is the emission time.
+	When time.Time
+	// Seq is the collector-wide emission sequence number (total order).
+	Seq uint64
+	// Kind classifies the event.
+	Kind EventKind
+	// Lock is the emitting lock's report name.
+	Lock string
+	// Granule is the granule's context label for per-granule events
+	// (EventXChosen), empty for lock-level events.
+	Granule string
+	// Stage is the learning stage the event refers to (the stage entered
+	// for EventPhaseEnter, the stage that just computed for others).
+	Stage string
+	// Detail is a human-readable payload: "X=7", "custom beats uniform",
+	// the relearn trigger, …
+	Detail string
+}
+
+// ring is a bounded, mutex-protected event buffer. Policy events are
+// emitted under the policy's own transition mutex at phase-transition
+// frequency (once per thousands of executions), so lock cost is
+// irrelevant; the mutex keeps concurrent RecordEvent/Events race-clean.
+type ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64
+}
+
+func (r *ring) init(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r.buf = make([]Event, capacity)
+}
+
+func (r *ring) record(e Event) {
+	r.mu.Lock()
+	e.Seq = r.next
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+	r.mu.Unlock()
+}
+
+func (r *ring) snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	cap64 := uint64(len(r.buf))
+	start := uint64(0)
+	if n > cap64 {
+		start = n - cap64
+	}
+	out := make([]Event, 0, n-start)
+	for s := start; s < n; s++ {
+		out = append(out, r.buf[s%cap64])
+	}
+	return out
+}
+
+// RecordEvent appends a policy event to the bounded ring (oldest events
+// are overwritten once full) and bumps the matching counter: phase
+// entries count as CtrPhaseTransition, relearns as CtrRelearn, other
+// kinds only enter the ring. When is stamped if the caller left it zero.
+func (c *Collector) RecordEvent(e Event) {
+	if e.When.IsZero() {
+		e.When = time.Now()
+	}
+	c.events.record(e)
+	switch e.Kind {
+	case EventPhaseEnter:
+		c.global.Add(CtrPhaseTransition)
+	case EventRelearn:
+		c.global.Add(CtrRelearn)
+	}
+}
+
+// Events returns the retained policy events, oldest first.
+func (c *Collector) Events() []Event { return c.events.snapshot() }
+
+// EventsRecorded returns the total number of events ever recorded,
+// including overwritten ones.
+func (c *Collector) EventsRecorded() uint64 {
+	c.events.mu.Lock()
+	defer c.events.mu.Unlock()
+	return c.events.next
+}
+
+// WriteEvents renders events one per line, timestamps relative to the
+// first event — the same visual convention as the engine trace timeline
+// (internal/trace.Write), so the two can be read side by side.
+func WriteEvents(w io.Writer, events []Event) error {
+	if len(events) == 0 {
+		_, err := io.WriteString(w, "(no policy events)\n")
+		return err
+	}
+	t0 := events[0].When
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, "%12.3fms lock=%-12s %-11s", float64(e.When.Sub(t0).Nanoseconds())/1e6, e.Lock, e.Kind)
+		if e.Stage != "" {
+			fmt.Fprintf(&b, " stage=%s", e.Stage)
+		}
+		if e.Granule != "" {
+			fmt.Fprintf(&b, " granule=%q", e.Granule)
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(&b, " %s", e.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/tm"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as ale_*_total, plus derived gauges for
+// the elision rate and uptime. Attempt totals are derived per mode (see
+// Snapshot.Attempts), so a scraper sees the familiar attempts/successes
+// pairs even though the hot path only counts successes.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	b.WriteString("# HELP ale_execs_total Completed critical-section executions.\n")
+	b.WriteString("# TYPE ale_execs_total counter\n")
+	fmt.Fprintf(&b, "ale_execs_total %d\n", s.Execs())
+
+	b.WriteString("# HELP ale_attempts_total Execution attempts by mode (derived: successes + mode failures).\n")
+	b.WriteString("# TYPE ale_attempts_total counter\n")
+	for m := uint8(0); m < NumModes; m++ {
+		fmt.Fprintf(&b, "ale_attempts_total{mode=%q} %d\n", ModeNames[m], s.Attempts(m))
+	}
+
+	b.WriteString("# HELP ale_successes_total Executions finalized by mode.\n")
+	b.WriteString("# TYPE ale_successes_total counter\n")
+	for m := uint8(0); m < NumModes; m++ {
+		fmt.Fprintf(&b, "ale_successes_total{mode=%q} %d\n", ModeNames[m], s.Successes(m))
+	}
+
+	b.WriteString("# HELP ale_aborts_total Failed HTM attempts by abort reason.\n")
+	b.WriteString("# TYPE ale_aborts_total counter\n")
+	for r := 1; r < tm.NumAbortReasons; r++ {
+		fmt.Fprintf(&b, "ale_aborts_total{reason=%q} %d\n",
+			tm.AbortReason(r).String(), s.Aborts(tm.AbortReason(r)))
+	}
+
+	for _, c := range []struct {
+		name, help string
+		ctr        Counter
+	}{
+		{"ale_swopt_fails_total", "Failed SWOpt attempts (validation failures and self-aborts).", CtrSWOptFail},
+		{"ale_group_waits_total", "Executions that deferred to a retrying SWOpt group.", CtrGroupWait},
+		{"ale_fallbacks_total", "Executions that abandoned HTM mid-flight.", CtrFallback},
+		{"ale_policy_phase_transitions_total", "Adaptive-policy learning-stage transitions.", CtrPhaseTransition},
+		{"ale_policy_relearns_total", "Adaptive-policy relearns (drift detector firings).", CtrRelearn},
+	} {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, s.Counts[c.ctr])
+	}
+
+	b.WriteString("# HELP ale_elision_rate Fraction of executions completing without the lock.\n")
+	b.WriteString("# TYPE ale_elision_rate gauge\n")
+	fmt.Fprintf(&b, "ale_elision_rate %g\n", s.ElisionRate())
+
+	b.WriteString("# HELP ale_uptime_seconds Time span the counters cover.\n")
+	b.WriteString("# TYPE ale_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "ale_uptime_seconds %g\n", s.Interval.Seconds())
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders a snapshot as the expvar-style JSON object /snapshot
+// serves (the format Snapshot.MarshalJSON and ParseSnapshots share).
+func WriteJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Handler serves the collector over HTTP:
+//
+//	/metrics   Prometheus text format
+//	/snapshot  expvar-style JSON (the cmd/alereport input format)
+//	/events    the adaptive-policy event timeline as text
+//
+// Every response is computed from one consistent Snapshot taken at request
+// time; handlers are safe under concurrent workload execution.
+func Handler(c *Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, c.Snapshot())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, c.Snapshot())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteEvents(w, c.Events())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ALE live metrics: /metrics (Prometheus), /snapshot (JSON), /events (policy timeline)")
+	})
+	return mux
+}

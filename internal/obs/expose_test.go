@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/tm"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	sh.AddN(CtrSuccessHTM, 80)
+	sh.AddN(CtrSuccessSWOpt, 15)
+	sh.AddN(CtrSuccessLock, 5)
+	sh.AddN(CtrAbort(tm.AbortConflict), 3)
+	sh.AddN(CtrAbort(tm.AbortCapacity), 2)
+	sh.Add(CtrSWOptFail)
+	c.Global().Add(CtrPhaseTransition)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"ale_execs_total 100",
+		`ale_attempts_total{mode="htm"} 85`, // 80 successes + 5 aborts
+		`ale_attempts_total{mode="swopt"} 16`,
+		`ale_successes_total{mode="htm"} 80`,
+		`ale_aborts_total{reason="conflict"} 3`,
+		`ale_aborts_total{reason="capacity"} 2`,
+		"ale_swopt_fails_total 1",
+		"ale_policy_phase_transitions_total 1",
+		"ale_elision_rate 0.95",
+		"# TYPE ale_execs_total counter",
+		"# TYPE ale_elision_rate gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in prometheus output:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	sh.AddN(CtrSuccessHTM, 10)
+	c.RecordEvent(Event{Kind: EventPhaseEnter, Lock: "L", Stage: "Lock/measure"})
+
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(body, "ale_execs_total 10") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+	if !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+
+	body, ct = get("/snapshot")
+	if !strings.Contains(ct, "application/json") {
+		t.Errorf("/snapshot content-type = %q", ct)
+	}
+	snaps, err := ParseSnapshots([]byte(body))
+	if err != nil || len(snaps) != 1 || snaps[0].Execs() != 10 {
+		t.Errorf("/snapshot not parseable back: %v %+v", err, snaps)
+	}
+
+	body, _ = get("/events")
+	if !strings.Contains(body, "phase-enter") || !strings.Contains(body, "Lock/measure") {
+		t.Errorf("/events body:\n%s", body)
+	}
+
+	body, _ = get("/")
+	if !strings.Contains(body, "/metrics") {
+		t.Errorf("index body:\n%s", body)
+	}
+}

@@ -1,0 +1,185 @@
+// Package obs is the live observability layer for the ALE library: the
+// paper stresses (section 3.4) that the per-granule statistics are "useful
+// in their own right", but the aggregate reports of internal/core are post
+// mortem — they summarize a run after the workers quiesce. This package
+// makes the same signals watchable *while* a workload runs, without
+// perturbing the hot path it observes:
+//
+//   - Counters are sharded per thread and cache-padded: the engine's hot
+//     path is one uncontended atomic add into the calling thread's private
+//     shard, with zero allocations. The counter schema is deliberately
+//     minimal — only "execution finalized in mode m" is counted on the
+//     success path; failed attempts (HTM aborts by reason, SWOpt
+//     validation failures) each count at their failure site, which is
+//     already a slow path. Attempt totals are *derived* at snapshot time
+//     (attempts = successes + failures), so a conflict-free execution
+//     costs exactly one atomic add.
+//
+//   - Snapshot aggregates the shards on demand into an immutable value
+//     with delta arithmetic (Snapshot.Sub) and rate computation, so a
+//     scraper or sampler can turn cumulative counters into interval rates.
+//
+//   - expose.go serves snapshots over HTTP in Prometheus text format
+//     (/metrics) and as expvar-style JSON (/snapshot), and the adaptive
+//     policy's event ring (/events).
+//
+//   - events.go records the adaptive policy's learning-phase lifecycle
+//     (phase entered, X chosen per granule, custom-phase verdict, drift
+//     relearn) as structured events in a bounded ring.
+//
+//   - sampler.go logs interval deltas (elision %, aborts/s by reason)
+//     periodically for long-running benchmarks.
+//
+// A Collector may outlive any single core.Runtime: cmd/alebench attaches
+// one collector to every benchmark runtime of a sweep, so the /metrics
+// endpoint shows the sweep's cumulative behaviour live.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tm"
+)
+
+// NumModes mirrors core.NumModes; the mode indices used by this package
+// (Lock=0, HTM=1, SWOpt=2) are core.Mode values. obs cannot import core —
+// core imports obs — so the correspondence is by convention and checked by
+// a test in internal/core.
+const NumModes = 3
+
+// ModeNames are Prometheus label values per mode index.
+var ModeNames = [NumModes]string{"lock", "htm", "swopt"}
+
+// Counter indexes one sharded counter. The schema counts *outcomes*, not
+// attempts: successes per final mode on the hot path, failures per kind on
+// the (inherently slow) failure paths. Attempt totals are derived.
+type Counter uint32
+
+const (
+	// CtrSuccessLock/HTM/SWOpt count executions finalized in each mode.
+	// One of these — and nothing else — is bumped on a conflict-free
+	// execution, keeping the hot path at a single atomic add. The three
+	// values are contiguous and ordered like core.Mode.
+	CtrSuccessLock Counter = iota
+	CtrSuccessHTM
+	CtrSuccessSWOpt
+
+	// CtrSWOptFail counts failed SWOpt attempts (validation failures and
+	// self-aborts).
+	CtrSWOptFail
+	// CtrGroupWait counts executions that deferred to a retrying SWOpt
+	// group (the section 4.2 grouping mechanism engaging).
+	CtrGroupWait
+	// CtrFallback counts executions that abandoned HTM mid-flight
+	// (capacity give-up, nesting, platform without HTM).
+	CtrFallback
+	// CtrPhaseTransition counts adaptive-policy learning-stage
+	// transitions.
+	CtrPhaseTransition
+	// CtrRelearn counts AdaptivePolicy.Relearn invocations (drift
+	// detector firings).
+	CtrRelearn
+
+	// ctrAbortBase starts tm.NumAbortReasons counters of failed HTM
+	// attempts by abort reason.
+	ctrAbortBase
+
+	// NumCounters sizes shard arrays.
+	NumCounters = int(ctrAbortBase) + tm.NumAbortReasons
+)
+
+// CtrSuccess returns the success counter for a core.Mode value.
+func CtrSuccess(mode uint8) Counter { return CtrSuccessLock + Counter(mode) }
+
+// CtrAbort returns the failed-HTM-attempt counter for an abort reason.
+func CtrAbort(r tm.AbortReason) Counter { return ctrAbortBase + Counter(r) }
+
+// cacheLine is the assumed coherence granule; shards are padded to a
+// multiple of it so two threads' shards never share a line.
+const cacheLine = 64
+
+// Shard is one thread's private slice of the counter set. The owning
+// thread bumps it with uncontended atomic adds; Collector.Snapshot reads
+// it with atomic loads, so concurrent aggregation is race-clean.
+type Shard struct {
+	counts [NumCounters]atomic.Uint64
+	_      [(cacheLine - (NumCounters*8)%cacheLine) % cacheLine]byte
+}
+
+// Add bumps counter c by one.
+func (s *Shard) Add(c Counter) { s.counts[c].Add(1) }
+
+// AddN bumps counter c by n.
+func (s *Shard) AddN(c Counter, n uint64) { s.counts[c].Add(n) }
+
+// Collector owns the shards and the policy-event ring. The zero value is
+// not usable; construct with New.
+type Collector struct {
+	start time.Time
+
+	mu     sync.Mutex
+	shards []*Shard
+
+	// global absorbs cold-path events that have no calling thread at
+	// hand (adaptive-policy stage transitions run under the policy's
+	// transition mutex).
+	global Shard
+
+	events ring
+}
+
+// DefaultEventCapacity is the policy-event ring size New uses.
+const DefaultEventCapacity = 256
+
+// New creates a collector with the default event-ring capacity.
+func New() *Collector { return NewSized(DefaultEventCapacity) }
+
+// NewSized creates a collector whose event ring holds the last eventCap
+// policy events.
+func NewSized(eventCap int) *Collector {
+	c := &Collector{start: time.Now()}
+	c.events.init(eventCap)
+	return c
+}
+
+// Start returns the collector's creation time (snapshot uptime baseline).
+func (c *Collector) Start() time.Time { return c.start }
+
+// NewShard registers and returns a fresh per-thread shard. Called once per
+// core.Thread; the shard stays registered for the collector's lifetime so
+// counts survive the thread.
+func (c *Collector) NewShard() *Shard {
+	s := &Shard{}
+	c.mu.Lock()
+	c.shards = append(c.shards, s)
+	c.mu.Unlock()
+	return s
+}
+
+// Global returns the collector-level shard for events emitted outside any
+// thread context (policy transitions). Safe for concurrent use.
+func (c *Collector) Global() *Shard { return &c.global }
+
+// Snapshot sums every shard into an immutable snapshot. Safe to call
+// concurrently with running threads: each counter is read atomically, so
+// the result is a consistent-enough view (an in-flight execution may show
+// its failure counts before its success count, never the reverse torn
+// across snapshots).
+func (c *Collector) Snapshot() Snapshot {
+	now := time.Now()
+	s := Snapshot{At: now, Interval: now.Sub(c.start)}
+	c.mu.Lock()
+	shards := c.shards
+	c.mu.Unlock()
+	for _, sh := range shards {
+		for i := range s.Counts {
+			s.Counts[i] += sh.counts[i].Load()
+		}
+	}
+	for i := range s.Counts {
+		s.Counts[i] += c.global.counts[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tm"
+)
+
+func TestSnapshotAggregatesShards(t *testing.T) {
+	c := New()
+	a, b := c.NewShard(), c.NewShard()
+	for i := 0; i < 10; i++ {
+		a.Add(CtrSuccessHTM)
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(CtrSuccessLock)
+	}
+	b.AddN(CtrSuccessSWOpt, 3)
+	a.Add(CtrAbort(tm.AbortConflict))
+	c.Global().Add(CtrPhaseTransition)
+
+	s := c.Snapshot()
+	if got := s.Execs(); got != 18 {
+		t.Errorf("Execs = %d, want 18", got)
+	}
+	if got := s.Successes(1); got != 10 { // ModeHTM
+		t.Errorf("Successes(htm) = %d, want 10", got)
+	}
+	if got := s.Elided(); got != 13 {
+		t.Errorf("Elided = %d, want 13", got)
+	}
+	if got := s.Aborts(tm.AbortConflict); got != 1 {
+		t.Errorf("Aborts(conflict) = %d, want 1", got)
+	}
+	if got := s.Get(CtrPhaseTransition); got != 1 {
+		t.Errorf("phase transitions = %d, want 1", got)
+	}
+	if s.Interval <= 0 {
+		t.Errorf("Interval = %v, want > 0", s.Interval)
+	}
+}
+
+func TestDerivedAttempts(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	// 4 executions: 2 straight HTM commits, 1 that aborted twice then
+	// committed in HTM, 1 that failed SWOpt once and fell to the lock.
+	sh.AddN(CtrSuccessHTM, 3)
+	sh.AddN(CtrAbort(tm.AbortConflict), 2)
+	sh.Add(CtrSWOptFail)
+	sh.Add(CtrSuccessLock)
+
+	s := c.Snapshot()
+	if got := s.Attempts(1); got != 5 { // htm: 3 successes + 2 aborts
+		t.Errorf("Attempts(htm) = %d, want 5", got)
+	}
+	if got := s.Attempts(2); got != 1 { // swopt: 0 successes + 1 fail
+		t.Errorf("Attempts(swopt) = %d, want 1", got)
+	}
+	if got := s.Attempts(0); got != 1 { // lock never fails
+		t.Errorf("Attempts(lock) = %d, want 1", got)
+	}
+	if got, want := s.ElisionRate(), 0.75; got != want {
+		t.Errorf("ElisionRate = %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	sh.AddN(CtrSuccessLock, 7)
+	prev := c.Snapshot()
+	sh.AddN(CtrSuccessLock, 5)
+	sh.Add(CtrSuccessSWOpt)
+	time.Sleep(time.Millisecond)
+	cur := c.Snapshot()
+
+	d := cur.Sub(prev)
+	if got := d.Execs(); got != 6 {
+		t.Errorf("delta execs = %d, want 6", got)
+	}
+	if d.Interval <= 0 {
+		t.Errorf("delta interval = %v, want > 0", d.Interval)
+	}
+	// Saturation: subtracting a later snapshot from an earlier one must
+	// clamp to zero, not wrap around.
+	if got := prev.Sub(cur).Execs(); got != 0 {
+		t.Errorf("saturating sub = %d, want 0", got)
+	}
+}
+
+func TestSnapshotRate(t *testing.T) {
+	s := Snapshot{Interval: 2 * time.Second}
+	s.Counts[CtrSuccessLock] = 10
+	if got := s.Rate(CtrSuccessLock); got != 5 {
+		t.Errorf("Rate = %v, want 5", got)
+	}
+	if got := (Snapshot{}).Rate(CtrSuccessLock); got != 0 {
+		t.Errorf("zero-interval Rate = %v, want 0", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	sh.AddN(CtrSuccessHTM, 42)
+	sh.AddN(CtrAbort(tm.AbortCapacity), 7)
+	sh.Add(CtrSWOptFail)
+	c.Global().Add(CtrRelearn)
+	s := c.Snapshot()
+
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Execs() != s.Execs() || back.Aborts(tm.AbortCapacity) != 7 ||
+		back.Get(CtrSWOptFail) != 1 || back.Get(CtrRelearn) != 1 {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, s)
+	}
+	if back.At.UnixNano() != s.At.UnixNano() {
+		t.Errorf("timestamp not preserved: %v vs %v", back.At, s.At)
+	}
+}
+
+func TestParseSnapshots(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	sh.AddN(CtrSuccessSWOpt, 3)
+	s1 := c.Snapshot()
+	sh.AddN(CtrSuccessSWOpt, 9)
+	s2 := c.Snapshot()
+
+	j1, _ := s1.MarshalJSON()
+	j2, _ := s2.MarshalJSON()
+
+	// JSON-lines stream.
+	stream := append(append(append([]byte{}, j1...), '\n'), j2...)
+	got, err := ParseSnapshots(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Execs() != 3 || got[1].Execs() != 12 {
+		t.Errorf("stream parse = %+v", got)
+	}
+
+	// JSON array.
+	arr := append(append(append([]byte{'['}, j1...), ','), append(j2, ']')...)
+	got, err = ParseSnapshots(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Execs() != 12 {
+		t.Errorf("array parse = %+v", got)
+	}
+
+	if _, err := ParseSnapshots([]byte("  \n")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestEventRing(t *testing.T) {
+	c := NewSized(4)
+	for i := 0; i < 6; i++ {
+		kind := EventPhaseEnter
+		if i == 5 {
+			kind = EventRelearn
+		}
+		c.RecordEvent(Event{Kind: kind, Lock: "L", Stage: "s"})
+	}
+	evs := c.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4 (capacity)", len(evs))
+	}
+	if evs[0].Seq != 2 || evs[3].Seq != 5 {
+		t.Errorf("ring window = [%d, %d], want [2, 5]", evs[0].Seq, evs[3].Seq)
+	}
+	if got := c.EventsRecorded(); got != 6 {
+		t.Errorf("EventsRecorded = %d, want 6", got)
+	}
+	s := c.Snapshot()
+	if s.Get(CtrPhaseTransition) != 5 || s.Get(CtrRelearn) != 1 {
+		t.Errorf("event counters = %d/%d, want 5/1",
+			s.Get(CtrPhaseTransition), s.Get(CtrRelearn))
+	}
+
+	var b strings.Builder
+	if err := WriteEvents(&b, evs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "relearn") || !strings.Contains(b.String(), "lock=L") {
+		t.Errorf("WriteEvents output:\n%s", b.String())
+	}
+}
+
+func TestConcurrentShardsAndSnapshots(t *testing.T) {
+	c := New()
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Snapshot()
+				_ = c.Events()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh := c.NewShard()
+			for i := 0; i < 5000; i++ {
+				sh.Add(CtrSuccessHTM)
+				if i%100 == 0 {
+					c.RecordEvent(Event{Kind: EventXChosen, Lock: "L"})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-snapDone
+
+	if got := c.Snapshot().Execs(); got != workers*5000 {
+		t.Errorf("final execs = %d, want %d", got, workers*5000)
+	}
+}
+
+func TestFormatDelta(t *testing.T) {
+	var d Snapshot
+	d.Interval = time.Second
+	d.Counts[CtrSuccessSWOpt] = 90
+	d.Counts[CtrSuccessLock] = 10
+	d.Counts[CtrSWOptFail] = 4
+	d.Counts[CtrAbort(tm.AbortConflict)] = 2
+	d.Counts[CtrRelearn] = 1
+	line := FormatDelta(d)
+	for _, want := range []string{"execs=100", "elision=90.0%", "swopt-fails/s=4", "conflict=2", "relearns=1"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("FormatDelta missing %q in %q", want, line)
+		}
+	}
+}
+
+func TestSampler(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	var mu sync.Mutex
+	var b strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	s := StartSampler(c, 10*time.Millisecond, w)
+	for i := 0; i < 100; i++ {
+		sh.Add(CtrSuccessHTM)
+		time.Sleep(300 * time.Microsecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	mu.Lock()
+	out := b.String()
+	mu.Unlock()
+	if !strings.Contains(out, "[obs]") || !strings.Contains(out, "elision=") {
+		t.Errorf("sampler output:\n%s", out)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/tm"
+)
+
+// Sampler periodically snapshots a collector, subtracts the previous
+// snapshot, and logs the interval's rates — elision %, executions/s and
+// aborts/s by reason — one line per interval. It is the "watch a
+// long-running benchmark breathe" tool: where /metrics serves cumulative
+// counters to a scraper, the sampler prints human-readable deltas.
+type Sampler struct {
+	c        *Collector
+	interval time.Duration
+	w        io.Writer
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartSampler begins logging interval deltas to w every interval. Stop
+// it with Stop; a final partial interval is logged on stop so short runs
+// still produce output.
+func StartSampler(c *Collector, interval time.Duration, w io.Writer) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &Sampler{
+		c:        c,
+		interval: interval,
+		w:        w,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	prev := s.c.Snapshot()
+	for {
+		select {
+		case <-t.C:
+			cur := s.c.Snapshot()
+			s.log(cur.Sub(prev))
+			prev = cur
+		case <-s.stop:
+			cur := s.c.Snapshot()
+			if d := cur.Sub(prev); d.Execs() > 0 {
+				s.log(d)
+			}
+			return
+		}
+	}
+}
+
+func (s *Sampler) log(d Snapshot) {
+	fmt.Fprintln(s.w, FormatDelta(d))
+}
+
+// FormatDelta renders one interval delta as a single log line.
+func FormatDelta(d Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[obs] +%.1fs execs=%d (%.0f/s) elision=%.1f%%",
+		d.Interval.Seconds(), d.Execs(), d.Rate(CtrSuccessLock)+d.Rate(CtrSuccessHTM)+d.Rate(CtrSuccessSWOpt),
+		d.ElisionRate()*100)
+	if f := d.Counts[CtrSWOptFail]; f > 0 {
+		fmt.Fprintf(&b, " swopt-fails/s=%.0f", d.Rate(CtrSWOptFail))
+	}
+	if g := d.Counts[CtrGroupWait]; g > 0 {
+		fmt.Fprintf(&b, " group-waits/s=%.0f", d.Rate(CtrGroupWait))
+	}
+	first := true
+	for r := 1; r < tm.NumAbortReasons; r++ {
+		c := CtrAbort(tm.AbortReason(r))
+		if d.Counts[c] == 0 {
+			continue
+		}
+		if first {
+			b.WriteString(" aborts/s:")
+			first = false
+		}
+		fmt.Fprintf(&b, " %s=%.0f", tm.AbortReason(r), d.Rate(c))
+	}
+	if p := d.Counts[CtrPhaseTransition]; p > 0 {
+		fmt.Fprintf(&b, " phase-transitions=%d", p)
+	}
+	if rl := d.Counts[CtrRelearn]; rl > 0 {
+		fmt.Fprintf(&b, " relearns=%d", rl)
+	}
+	return b.String()
+}
+
+// Stop halts the sampler and waits for its final line to be written.
+// Stop is idempotent.
+func (s *Sampler) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/tm"
+)
+
+// Snapshot is an immutable aggregate of every shard at one instant. The
+// zero Snapshot is a valid "nothing happened" value, which makes it usable
+// as the previous snapshot of a first delta.
+type Snapshot struct {
+	// At is when the snapshot was taken.
+	At time.Time
+	// Interval is the time span the counts cover: since the collector
+	// started for a full snapshot, between the operands for a Sub delta.
+	Interval time.Duration
+	// Counts are the raw counter values, indexed by Counter.
+	Counts [NumCounters]uint64
+}
+
+// Get returns one raw counter.
+func (s Snapshot) Get(c Counter) uint64 { return s.Counts[c] }
+
+// Sub returns the delta snapshot s − prev: counts subtracted (saturating
+// at zero, so a snapshot from a restarted collector never yields bogus
+// huge deltas), Interval spanning prev.At to s.At.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := Snapshot{At: s.At, Interval: s.At.Sub(prev.At)}
+	for i := range d.Counts {
+		if s.Counts[i] > prev.Counts[i] {
+			d.Counts[i] = s.Counts[i] - prev.Counts[i]
+		}
+	}
+	return d
+}
+
+// Execs returns the number of completed executions (sum of per-mode
+// successes; every execution succeeds in exactly one mode).
+func (s Snapshot) Execs() uint64 {
+	return s.Counts[CtrSuccessLock] + s.Counts[CtrSuccessHTM] + s.Counts[CtrSuccessSWOpt]
+}
+
+// Successes returns executions finalized in the given mode index.
+func (s Snapshot) Successes(mode uint8) uint64 { return s.Counts[CtrSuccess(mode)] }
+
+// Aborts returns failed HTM attempts with the given reason.
+func (s Snapshot) Aborts(r tm.AbortReason) uint64 { return s.Counts[CtrAbort(r)] }
+
+// AbortsTotal returns all failed HTM attempts.
+func (s Snapshot) AbortsTotal() uint64 {
+	var t uint64
+	for r := 1; r < tm.NumAbortReasons; r++ {
+		t += s.Counts[CtrAbort(tm.AbortReason(r))]
+	}
+	return t
+}
+
+// Attempts derives per-mode attempt totals: successes plus the mode's
+// failures (HTM aborts, SWOpt validation failures; Lock never fails).
+// Mode indices are core.Mode values (see NumModes).
+func (s Snapshot) Attempts(mode uint8) uint64 {
+	n := s.Counts[CtrSuccess(mode)]
+	switch mode {
+	case 1: // core.ModeHTM
+		n += s.AbortsTotal()
+	case 2: // core.ModeSWOpt
+		n += s.Counts[CtrSWOptFail]
+	}
+	return n
+}
+
+// Elided returns executions that completed without acquiring the lock.
+func (s Snapshot) Elided() uint64 {
+	return s.Counts[CtrSuccessHTM] + s.Counts[CtrSuccessSWOpt]
+}
+
+// ElisionRate returns Elided/Execs, or 0 before any execution completes.
+func (s Snapshot) ElisionRate() float64 {
+	e := s.Execs()
+	if e == 0 {
+		return 0
+	}
+	return float64(s.Elided()) / float64(e)
+}
+
+// Rate returns counter c as events per second over the snapshot's
+// interval, or 0 for an empty interval.
+func (s Snapshot) Rate(c Counter) float64 {
+	if s.Interval <= 0 {
+		return 0
+	}
+	return float64(s.Counts[c]) / s.Interval.Seconds()
+}
+
+// snapshotJSON is the stable wire format of a snapshot — what /snapshot
+// serves and what cmd/alereport parses back. Counter names are the
+// Prometheus metric names minus the ale_ prefix and _total suffix.
+type snapshotJSON struct {
+	UnixNano  int64             `json:"unix_nano"`
+	IntervalS float64           `json:"interval_s"`
+	Execs     uint64            `json:"execs"`
+	Elision   float64           `json:"elision_rate"`
+	Success   map[string]uint64 `json:"successes"`
+	Attempts  map[string]uint64 `json:"attempts"`
+	Aborts    map[string]uint64 `json:"aborts"`
+	Events    map[string]uint64 `json:"events"`
+}
+
+// MarshalJSON encodes the snapshot in the stable /snapshot wire format.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	j := snapshotJSON{
+		UnixNano:  s.At.UnixNano(),
+		IntervalS: s.Interval.Seconds(),
+		Execs:     s.Execs(),
+		Elision:   s.ElisionRate(),
+		Success:   map[string]uint64{},
+		Attempts:  map[string]uint64{},
+		Aborts:    map[string]uint64{},
+		Events: map[string]uint64{
+			"swopt_fail":       s.Counts[CtrSWOptFail],
+			"group_wait":       s.Counts[CtrGroupWait],
+			"fallback":         s.Counts[CtrFallback],
+			"phase_transition": s.Counts[CtrPhaseTransition],
+			"relearn":          s.Counts[CtrRelearn],
+		},
+	}
+	for m := uint8(0); m < NumModes; m++ {
+		j.Success[ModeNames[m]] = s.Successes(m)
+		j.Attempts[ModeNames[m]] = s.Attempts(m)
+	}
+	for r := 1; r < tm.NumAbortReasons; r++ {
+		j.Aborts[tm.AbortReason(r).String()] = s.Aborts(tm.AbortReason(r))
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the /snapshot wire format back into a snapshot.
+// Only the raw counters are restored; derived fields are recomputed by the
+// accessors, which keeps round-trips consistent by construction.
+func (s *Snapshot) UnmarshalJSON(data []byte) error {
+	var j snapshotJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*s = Snapshot{
+		At:       time.Unix(0, j.UnixNano),
+		Interval: time.Duration(j.IntervalS * float64(time.Second)),
+	}
+	for m := uint8(0); m < NumModes; m++ {
+		s.Counts[CtrSuccess(m)] = j.Success[ModeNames[m]]
+	}
+	for r := 1; r < tm.NumAbortReasons; r++ {
+		s.Counts[CtrAbort(tm.AbortReason(r))] = j.Aborts[tm.AbortReason(r).String()]
+	}
+	s.Counts[CtrSWOptFail] = j.Events["swopt_fail"]
+	s.Counts[CtrGroupWait] = j.Events["group_wait"]
+	s.Counts[CtrFallback] = j.Events["fallback"]
+	s.Counts[CtrPhaseTransition] = j.Events["phase_transition"]
+	s.Counts[CtrRelearn] = j.Events["relearn"]
+	return nil
+}
+
+// ParseSnapshots parses a sequence of snapshots: either a JSON array or a
+// stream of whitespace-separated JSON objects (JSON Lines, the natural
+// shape of a /snapshot scrape loop appending to a file). This is the input
+// format of cmd/alereport's snapshot mode.
+func ParseSnapshots(data []byte) ([]Snapshot, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("obs: empty snapshot input")
+	}
+	if trimmed[0] == '[' {
+		var arr []Snapshot
+		if err := json.Unmarshal(trimmed, &arr); err != nil {
+			return nil, err
+		}
+		return arr, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	var out []Snapshot
+	for {
+		var s Snapshot
+		err := dec.Decode(&s)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
