@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race lint fmt bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Static verification of the ALE critical-section rules
+# (docs/SWOPT_RULES.md) plus go vet. CI runs the same pair.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/alelint ./...
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

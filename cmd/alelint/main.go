@@ -1,0 +1,23 @@
+// Command alelint statically verifies ALE critical-section invariants
+// across the repository: Begin/End conflicting-region pairing, the
+// ReadStable/Validate discipline, irrevocable-action freedom in elidable
+// bodies, and Execute structural rules. See docs/SWOPT_RULES.md for the
+// rule catalog and internal/analysis for the analyzers.
+//
+// Usage:
+//
+//	go run ./cmd/alelint ./...
+//
+// Exit status is 0 when clean, 1 when diagnostics were reported, and 2 on
+// load or analysis failure.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis/alelint"
+)
+
+func main() {
+	os.Exit(alelint.Main(os.Args[1:]))
+}

@@ -127,16 +127,30 @@ func summarizeCSV(w io.Writer, data []byte) error {
 			return fmt.Errorf("CSV input missing column %q (not a WriteCSV export?)", need)
 		}
 	}
+	var parseErr error
 	u := func(row []string, name string) uint64 {
-		v, _ := strconv.ParseUint(row[col[name]], 10, 64)
+		c := col[name]
+		if c >= len(row) {
+			if parseErr == nil {
+				parseErr = fmt.Errorf("row is missing column %q", name)
+			}
+			return 0
+		}
+		v, err := strconv.ParseUint(row[c], 10, 64)
+		if err != nil && parseErr == nil {
+			parseErr = fmt.Errorf("column %q: %w", name, err)
+		}
 		return v
 	}
 	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "lock\tcontext\texecs\thtm\tswopt\tlock\telision%")
 	var totExecs, totElided uint64
-	for _, row := range rows[1:] {
+	for i, row := range rows[1:] {
 		execs := u(row, "execs")
 		htm, sw, lk := u(row, "htm_successes"), u(row, "swopt_successes"), u(row, "lock_successes")
+		if parseErr != nil {
+			return fmt.Errorf("CSV line %d: %w", i+2, parseErr)
+		}
 		ctx := row[col["context"]]
 		if ctx == "" {
 			ctx = "(root)"

@@ -116,6 +116,36 @@ func TestAnalyzeCSV(t *testing.T) {
 	}
 }
 
+// TestAnalyzeCSVMalformedNumbers: a row whose numeric column does not
+// parse must fail with a located error, not silently render as zero
+// (the parse error used to be discarded, so garbage input exited 0).
+func TestAnalyzeCSVMalformedNumbers(t *testing.T) {
+	header := "lock,context,execs,htm_successes,swopt_successes,lock_successes"
+	for name, row := range map[string]string{
+		"non-numeric": "tbl,get,not-a-number,1,2,3",
+		"negative":    "tbl,get,-5,1,2,3",
+		"float":       "tbl,get,1.5,1,2,3",
+	} {
+		var out strings.Builder
+		in := header + "\n" + row + "\n"
+		err := analyzeFile(writeTemp(t, "bad.csv", in), &out)
+		if err == nil {
+			t.Errorf("%s: malformed CSV accepted:\n%s", name, out.String())
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("%s: error does not locate the bad row: %v", name, err)
+		}
+	}
+	// A truncated row (fewer fields than the header) is rejected by the
+	// csv reader itself; a well-formed row must still parse after the fix.
+	var out strings.Builder
+	good := header + "\n" + "tbl,get,10,4,3,3\n"
+	if err := analyzeFile(writeTemp(t, "good.csv", good), &out); err != nil {
+		t.Errorf("well-formed CSV rejected after fix: %v", err)
+	}
+}
+
 // TestAnalyzeBadInput: non-export CSV and empty files fail loudly instead
 // of printing an empty table.
 func TestAnalyzeBadInput(t *testing.T) {

@@ -70,9 +70,9 @@ func main() {
 		HasSWOpt: true,
 		Body: func(ec *core.ExecCtx) error {
 			if ec.InSWOpt() {
-				v := marker.ReadStable()
+				v := ec.ReadStable(marker)
 				x, y := ec.Load(a), ec.Load(b)
-				if !marker.Validate(v) {
+				if !ec.Validate(marker, v) {
 					return ec.SWOptFail()
 				}
 				if x != y {

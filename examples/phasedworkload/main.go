@@ -91,9 +91,9 @@ func runScenario(name string, pol core.Policy) {
 		HasSWOpt: true,
 		Body: func(ec *core.ExecCtx) error {
 			if ec.InSWOpt() {
-				ver := marker.ReadStable()
+				ver := ec.ReadStable(marker)
 				_ = ec.Load(v)
-				if interference.Load() || !marker.Validate(ver) {
+				if interference.Load() || !ec.Validate(marker, ver) {
 					return ec.SWOptFail()
 				}
 				return nil

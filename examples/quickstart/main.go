@@ -60,10 +60,10 @@ func main() {
 		HasSWOpt: true,
 		Body: func(ec *core.ExecCtx) error {
 			if ec.InSWOpt() { // GET_EXEC_MODE
-				v := marker.ReadStable()
+				v := ec.ReadStable(marker)
 				x := ec.Load(a)
 				y := ec.Load(b)
-				if !marker.Validate(v) {
+				if !ec.Validate(marker, v) {
 					return ec.SWOptFail() // interfered with: retry
 				}
 				if x != y {

@@ -1,3 +1,7 @@
+// Deliberately dependency-free: this build environment has no module
+// proxy, so everything (including the go/analysis-style framework under
+// internal/analysis/framework) is implemented against the standard
+// library only. Requires Go 1.22+.
 module repro
 
 go 1.22

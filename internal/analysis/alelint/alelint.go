@@ -1,0 +1,103 @@
+// Package alelint is the multichecker driver for the ALE analyzer suite:
+// it loads packages, runs every registered analyzer, and prints
+// diagnostics in the canonical path:line:col form. cmd/alelint is the
+// thin executable wrapper; tests call Main (or Run) directly.
+package alelint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/irrevocable"
+	"repro/internal/analysis/lockdiscipline"
+	"repro/internal/analysis/markerpair"
+	"repro/internal/analysis/validatebeforeuse"
+)
+
+// Analyzers is the registered suite, in reporting order.
+var Analyzers = []*framework.Analyzer{
+	markerpair.Analyzer,
+	validatebeforeuse.Analyzer,
+	irrevocable.Analyzer,
+	lockdiscipline.Analyzer,
+}
+
+// Exit codes, mirroring the x/tools multichecker convention.
+const (
+	ExitClean = 0 // no diagnostics
+	ExitDiags = 1 // diagnostics reported
+	ExitError = 2 // loader or analyzer failure
+)
+
+// Main parses args (flags followed by package patterns, default ./...)
+// and runs the suite in the current directory, printing to stdout/stderr.
+// It returns the process exit code.
+func Main(args []string) int {
+	fs := flag.NewFlagSet("alelint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: alelint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	// Expose each analyzer's flags as -<name>.<flag>.
+	for _, a := range Analyzers {
+		name := a.Name
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, name+"."+f.Name, f.Usage)
+		})
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return ExitClean
+		}
+		return ExitError
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	return Run("", patterns, os.Stdout, os.Stderr)
+}
+
+// Run loads the patterns (resolved in dir, "" = cwd), applies the suite,
+// and writes diagnostics to out and errors to errw. It returns an exit
+// code.
+func Run(dir string, patterns []string, out, errw io.Writer) int {
+	pkgs, err := framework.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(errw, "alelint: %v\n", err)
+		return ExitError
+	}
+	diags, err := framework.RunAnalyzers(pkgs, Analyzers)
+	if err != nil {
+		fmt.Fprintf(errw, "alelint: %v\n", err)
+		return ExitError
+	}
+	if len(diags) == 0 {
+		return ExitClean
+	}
+	// All packages from one Load share a FileSet; any package's works for
+	// position resolution.
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(out, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+	}
+	return ExitDiags
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,23 @@
+package alelint_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/analysis/alelint"
+)
+
+// TestRepoIsClean is the enforcement test: the whole module must pass the
+// analyzer suite. CI additionally runs `go run ./cmd/alelint ./...`; this
+// test keeps the guarantee under plain `go test ./...` too.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short mode")
+	}
+	var out, errb bytes.Buffer
+	code := alelint.Run("../../..", []string{"./..."}, &out, &errb)
+	if code != alelint.ExitClean {
+		t.Fatalf("alelint ./... = exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, alelint.ExitClean, out.String(), errb.String())
+	}
+}

@@ -1,0 +1,305 @@
+// Package aleutil holds the vocabulary shared by the alelint analyzers:
+// resolving calls to the ALE core API (ConflictMarker and ExecCtx methods,
+// Lock.Execute) and discovering critical-section bodies.
+package aleutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CorePkgSuffix identifies the ALE core package by import-path suffix, so
+// the analyzers keep working if the module is renamed or vendored.
+const CorePkgSuffix = "internal/core"
+
+// IsCorePath reports whether path is the ALE core package.
+func IsCorePath(path string) bool {
+	return path == CorePkgSuffix || strings.HasSuffix(path, "/"+CorePkgSuffix)
+}
+
+// Callee resolves the *types.Func a call statically invokes (method or
+// package function), or nil for builtins, function values, and type
+// conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// coreMethod returns the method name when call invokes recvType.name on
+// the ALE core package, or "" otherwise. recvType is the bare named type
+// ("ConflictMarker", "ExecCtx", "Lock").
+func coreMethod(info *types.Info, call *ast.CallExpr, recvType string) string {
+	fn := Callee(info, call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Name() != recvType || obj.Pkg() == nil || !IsCorePath(obj.Pkg().Path()) {
+		return ""
+	}
+	return fn.Name()
+}
+
+// MarkerCall returns the ConflictMarker method name invoked by call
+// ("BeginConflicting", "EndConflicting", "ReadStable", "Validate",
+// "ValidateIn", ...), or "".
+func MarkerCall(info *types.Info, call *ast.CallExpr) string {
+	return coreMethod(info, call, "ConflictMarker")
+}
+
+// ExecCtxCall returns the ExecCtx method name invoked by call ("Load",
+// "Store", "Validate", "ReadStable", "SWOptFail", ...), or "".
+func ExecCtxCall(info *types.Info, call *ast.CallExpr) string {
+	return coreMethod(info, call, "ExecCtx")
+}
+
+// IsExecuteCall reports whether call is Lock.Execute.
+func IsExecuteCall(info *types.Info, call *ast.CallExpr) bool {
+	return coreMethod(info, call, "Lock") == "Execute"
+}
+
+// ReceiverKey identifies the receiver of a method call for matching
+// Begin/End pairs: the receiver's types.Object when it is a plain
+// identifier, else the receiver expression's printed form. Two calls on
+// the same key are treated as operating on the same marker.
+func ReceiverKey(info *types.Info, call *ast.CallExpr) any {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil {
+			return obj
+		}
+	}
+	return types.ExprString(sel.X)
+}
+
+// CSBody is one discovered critical-section body.
+type CSBody struct {
+	// Fn is the body's function literal.
+	Fn *ast.FuncLit
+	// Lit is the core.CS composite literal the body belongs to, nil when
+	// the function was matched by signature alone.
+	Lit *ast.CompositeLit
+	// Name is the expression the CS literal is assigned to ("h.csGet"),
+	// "" when unknown.
+	Name string
+	// HasSWOpt, NoHTM, Conflicting mirror the literal's static fields
+	// (false when absent or when the literal is unknown).
+	HasSWOpt, NoHTM, Conflicting bool
+}
+
+// CSBodies finds every core.CS composite literal with a literal Body
+// function in the files, plus, when includeBare is set, any other
+// function literal whose signature is func(*core.ExecCtx) error (bodies
+// constructed away from their CS literal).
+func CSBodies(info *types.Info, files []*ast.File, includeBare bool) []CSBody {
+	var out []CSBody
+	inLit := map[*ast.FuncLit]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				// Named pass: `h.csGet = core.CS{...}` and friends, so the
+				// literal can be matched against recursive Execute calls.
+				if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+					if lit := csLiteral(info, n.Rhs[0]); lit != nil {
+						if body := csFromLiteral(info, lit, types.ExprString(n.Lhs[0])); body != nil {
+							inLit[body.Fn] = true
+							out = append(out, *body)
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if isCSType(info.Types[n].Type) {
+					if body := csFromLiteral(info, n, ""); body != nil {
+						if !inLit[body.Fn] {
+							inLit[body.Fn] = true
+							out = append(out, *body)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if includeBare {
+		for _, f := range files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				fl, ok := n.(*ast.FuncLit)
+				if !ok || inLit[fl] {
+					return true
+				}
+				if isCSBodySig(info.Types[fl].Type) {
+					out = append(out, CSBody{Fn: fl})
+				}
+				return true
+			})
+		}
+	}
+	// Deduplicate literal-found bodies discovered twice (named pass plus
+	// bare CompositeLit pass): inLit already guards that.
+	return out
+}
+
+func csLiteral(info *types.Info, e ast.Expr) *ast.CompositeLit {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok || !isCSType(info.Types[lit].Type) {
+		return nil
+	}
+	return lit
+}
+
+func isCSType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "CS" && obj.Pkg() != nil && IsCorePath(obj.Pkg().Path())
+}
+
+// isCSBodySig reports whether t is func(*core.ExecCtx) error.
+func isCSBodySig(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	p, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ExecCtx" && obj.Pkg() != nil && IsCorePath(obj.Pkg().Path())
+}
+
+func csFromLiteral(info *types.Info, lit *ast.CompositeLit, name string) *CSBody {
+	body := CSBody{Lit: lit, Name: name}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Body":
+			if fl, ok := ast.Unparen(kv.Value).(*ast.FuncLit); ok {
+				body.Fn = fl
+			}
+		case "HasSWOpt":
+			body.HasSWOpt = isTrue(kv.Value)
+		case "NoHTM":
+			body.NoHTM = isTrue(kv.Value)
+		case "Conflicting":
+			body.Conflicting = isTrue(kv.Value)
+		}
+	}
+	if body.Fn == nil {
+		return nil
+	}
+	return &body
+}
+
+func isTrue(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "true"
+}
+
+// ExecCtxParam returns the *ExecCtx parameter object of fn's signature
+// (function literal or declaration), or nil.
+func ExecCtxParam(info *types.Info, ftype *ast.FuncType) *types.Var {
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			v, ok := info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			p, ok := v.Type().(*types.Pointer)
+			if !ok {
+				continue
+			}
+			if named, ok := p.Elem().(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Name() == "ExecCtx" && obj.Pkg() != nil && IsCorePath(obj.Pkg().Path()) {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FuncsWithExecCtx returns every function declaration and literal in the
+// files that has a *core.ExecCtx parameter, with its body and parameter.
+type ExecCtxFunc struct {
+	Name  string // declaration name, "" for literals
+	Type  *ast.FuncType
+	Body  *ast.BlockStmt
+	Param *types.Var
+}
+
+func FuncsWithExecCtx(info *types.Info, files []*ast.File) []ExecCtxFunc {
+	var out []ExecCtxFunc
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				if p := ExecCtxParam(info, n.Type); p != nil {
+					out = append(out, ExecCtxFunc{Name: n.Name.Name, Type: n.Type, Body: n.Body, Param: p})
+				}
+			case *ast.FuncLit:
+				if p := ExecCtxParam(info, n.Type); p != nil {
+					out = append(out, ExecCtxFunc{Type: n.Type, Body: n.Body, Param: p})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest (unavailable offline; see
+// internal/analysis/framework).
+//
+// A fixture lives at testdata/src/<pkg>/ inside the analyzer's package
+// directory. Lines that should trigger a diagnostic carry a comment of
+// the form
+//
+//	x := ec.Load(&v) // want `used before Validate`
+//
+// with one or more quoted (double-quote or backtick) regular expressions,
+// each of which must match a distinct diagnostic reported on that line.
+// Diagnostics with no matching want, and wants with no matching
+// diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory (go test runs with the package directory as cwd).
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: resolving testdata: %v", err)
+	}
+	return abs
+}
+
+// Run loads each fixture package testdata/src/<pkg>, applies the
+// analyzer, and checks diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, p := range pkgs {
+		runOne(t, filepath.Join(testdata, "src", p), a)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var argRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func runOne(t *testing.T, dir string, a *framework.Analyzer) {
+	t.Helper()
+	pkgs, err := framework.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	diags, err := framework.RunAnalyzers(pkgs, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s on %s: %v", a.Name, dir, err)
+	}
+	fset := pkgs[0].Fset
+
+	var wants []*want
+	byLine := map[string][]*want{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, am := range argRe.FindAllStringSubmatch(m[1], -1) {
+						pat := am[1]
+						if pat == "" && am[2] != "" {
+							if s, err := strconv.Unquote(`"` + am[2] + `"`); err == nil {
+								pat = s
+							}
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						w := &want{file: pos.Filename, line: pos.Line, pattern: pat, re: re}
+						wants = append(wants, w)
+						key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+						byLine[key] = append(byLine[key], w)
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range byLine[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q was reported", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Package cfgutil builds a simple intraprocedural control-flow graph over
+// a function body's statements — the role golang.org/x/tools/go/cfg plays
+// for the real analysis framework (unavailable offline; see
+// internal/analysis/framework). The graph is statement-granular, with
+// condition expressions kept at the end of their branching block and
+// labeled edges (true/false) so dataflow analyses can be branch-sensitive
+// around validation guards.
+package cfgutil
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is a basic block: a sequence of nodes executed in order, then a
+// transfer to one of Succs.
+type Block struct {
+	Index int
+
+	// Nodes holds the block's statements in execution order. For a
+	// branching block the final node is its condition expression (an
+	// ast.Expr); plain statements are ast.Stmt.
+	Nodes []ast.Node
+
+	// Cond is the branch condition when the block ends in a two-way
+	// branch: Succs[0] is the true edge, Succs[1] the false edge. Nil for
+	// unconditional blocks (including range headers and switch heads,
+	// which branch without a boolean condition).
+	Cond ast.Expr
+
+	// Stmt is the statement that gave rise to this block when it is a
+	// loop or branch header (ForStmt, RangeStmt, IfStmt, SwitchStmt,
+	// TypeSwitchStmt, SelectStmt); nil otherwise.
+	Stmt ast.Stmt
+
+	Succs []*Block
+}
+
+// Graph is a function body's control-flow graph. Exit represents every way
+// out of the function: returns, panics, and falling off the end.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// New builds the CFG for a function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: map[string]*labelInfo{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.Exit) // fall off the end
+	for _, p := range b.pendingGotos {
+		if li, ok := b.labels[p.label]; ok && li.start != nil {
+			b.edge(p.from, li.start)
+		} else {
+			b.edge(p.from, b.g.Exit) // unresolved goto: be conservative
+		}
+	}
+	return b.g
+}
+
+type labelInfo struct {
+	start          *Block // the labeled statement's block (goto/continue target owner)
+	breakTarget    *Block // set when the labeled stmt is a loop/switch
+	continueTarget *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	// Innermost-last stacks of break/continue targets.
+	breaks    []*Block
+	continues []*Block
+
+	labels       map[string]*labelInfo
+	pendingGotos []pendingGoto
+	curLabel     string // label attached to the next loop/switch statement
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// startUnreachable begins a fresh block with no predecessors, used after a
+// terminating statement so trailing dead code still parses into the graph.
+func (b *builder) startUnreachable() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit)
+		b.startUnreachable()
+
+	case *ast.BranchStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if li := b.labels[s.Label.Name]; li != nil && li.breakTarget != nil {
+					b.edge(b.cur, li.breakTarget)
+				} else {
+					b.edge(b.cur, b.g.Exit)
+				}
+			} else if n := len(b.breaks); n > 0 {
+				b.edge(b.cur, b.breaks[n-1])
+			} else {
+				b.edge(b.cur, b.g.Exit)
+			}
+			b.startUnreachable()
+		case token.CONTINUE:
+			if s.Label != nil {
+				if li := b.labels[s.Label.Name]; li != nil && li.continueTarget != nil {
+					b.edge(b.cur, li.continueTarget)
+				} else {
+					b.edge(b.cur, b.g.Exit)
+				}
+			} else if n := len(b.continues); n > 0 {
+				b.edge(b.cur, b.continues[n-1])
+			} else {
+				b.edge(b.cur, b.g.Exit)
+			}
+			b.startUnreachable()
+		case token.GOTO:
+			b.pendingGotos = append(b.pendingGotos, pendingGoto{b.cur, s.Label.Name})
+			b.startUnreachable()
+		case token.FALLTHROUGH:
+			// Handled by the enclosing switch construction (the clause's
+			// block simply falls through to the next clause body).
+		}
+
+	case *ast.LabeledStmt:
+		li := b.labels[s.Label.Name]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[s.Label.Name] = li
+		}
+		start := b.newBlock()
+		b.edge(b.cur, start)
+		b.cur = start
+		li.start = start
+		b.curLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.curLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		condBlk := b.cur
+		condBlk.Nodes = append(condBlk.Nodes, s.Cond)
+		condBlk.Cond = s.Cond
+		condBlk.Stmt = s
+		thenBlk := b.newBlock()
+		after := b.newBlock()
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		header := b.newBlock()
+		header.Stmt = s
+		b.edge(b.cur, header)
+		body := b.newBlock()
+		after := b.newBlock()
+		post := header
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, header)
+		}
+		if s.Cond != nil {
+			header.Nodes = append(header.Nodes, s.Cond)
+			header.Cond = s.Cond
+			b.edge(header, body)  // true
+			b.edge(header, after) // false
+		} else {
+			b.edge(header, body) // for {}: only exit via break
+		}
+		b.withLoop(after, post, s, func() {
+			b.cur = body
+			b.stmt(s.Body)
+			b.edge(b.cur, post)
+		})
+		b.cur = after
+
+	case *ast.RangeStmt:
+		header := b.newBlock()
+		header.Stmt = s
+		header.Nodes = append(header.Nodes, s)
+		b.edge(b.cur, header)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(header, body)  // iterate
+		b.edge(header, after) // done (possibly zero iterations)
+		b.withLoop(after, header, s, func() {
+			b.cur = body
+			b.stmt(s.Body)
+			b.edge(b.cur, header)
+		})
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchClauses(s, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchClauses(s, s.Body.List)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		head.Stmt = s
+		after := b.newBlock()
+		b.withBreak(after, s, func() {
+			for _, c := range s.Body.List {
+				comm := c.(*ast.CommClause)
+				clause := b.newBlock()
+				b.edge(head, clause)
+				if comm.Comm != nil {
+					clause.Nodes = append(clause.Nodes, comm.Comm)
+				}
+				b.cur = clause
+				b.stmtList(comm.Body)
+				b.edge(b.cur, after)
+			}
+		})
+		if len(s.Body.List) == 0 {
+			b.edge(head, after)
+		}
+		b.cur = after
+
+	default:
+		// Plain statement: Expr, Assign, Decl, IncDec, Send, Defer, Go,
+		// Empty. A terminating panic(...) call ends the block.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanicStmt(s) {
+			b.edge(b.cur, b.g.Exit)
+			b.startUnreachable()
+		}
+	}
+}
+
+// switchClauses wires a (type) switch's clause blocks: the head branches
+// to every clause (and past the switch when there is no default), each
+// clause body flows to the after-block, and fallthrough flows into the
+// next clause's body.
+func (b *builder) switchClauses(sw ast.Stmt, clauses []ast.Stmt) {
+	head := b.cur
+	head.Stmt = sw
+	after := b.newBlock()
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		for _, e := range cc.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	b.withBreak(after, sw, func() {
+		for i, c := range clauses {
+			cc := c.(*ast.CaseClause)
+			b.cur = blocks[i]
+			b.stmtList(cc.Body)
+			if fallsThrough(cc.Body) && i+1 < len(clauses) {
+				b.edge(b.cur, blocks[i+1])
+				b.startUnreachable()
+			} else {
+				b.edge(b.cur, after)
+			}
+		}
+	})
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// withLoop runs fn with break/continue targets pushed, also registering
+// them under the loop's label (if any) for labeled break/continue.
+func (b *builder) withLoop(brk, cont *Block, stmt ast.Stmt, fn func()) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if b.curLabel != "" {
+		li := b.labels[b.curLabel]
+		li.breakTarget, li.continueTarget = brk, cont
+		b.curLabel = ""
+	}
+	fn()
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// withBreak is withLoop for break-only constructs (switch, select).
+func (b *builder) withBreak(brk *Block, stmt ast.Stmt, fn func()) {
+	b.breaks = append(b.breaks, brk)
+	if b.curLabel != "" {
+		b.labels[b.curLabel].breakTarget = brk
+		b.curLabel = ""
+	}
+	fn()
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+// isPanicStmt reports whether s is a call to the panic builtin.
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

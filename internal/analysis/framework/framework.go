@@ -1,0 +1,154 @@
+// Package framework is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface that the alelint suite needs. The
+// container this repository builds in has no module proxy access, so the
+// real x/tools module cannot be pinned; the subset here keeps the same
+// shape (Analyzer / Pass / Diagnostic, a multichecker-style driver in
+// cmd/alelint, and an analysistest-style harness in
+// internal/analysis/analysistest) so the analyzers can migrate to the real
+// framework by changing imports if the dependency ever becomes available.
+//
+// Supported Go version: the loader shells out to the module-aware `go`
+// tool and needs go >= 1.19 for `go list -json=<fields>`; the repository
+// itself declares go 1.22 in go.mod.
+package framework
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flag names. It must
+	// be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph help text (first line = summary).
+	Doc string
+
+	// Flags holds analyzer-specific flags. The driver registers each as
+	// -<name>.<flag>.
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported problem.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// combined diagnostics sorted by file position. Suppressed diagnostics
+// (see Suppressions) are filtered out.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := NewSuppressions(pkg.Fset, pkg.Files)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &pkgDiags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		for _, d := range pkgDiags {
+			if !sup.Suppressed(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// Suppressions indexes //alelint:allow comments. A comment of the form
+//
+//	//alelint:allow markerpair,irrevocable -- reason
+//
+// suppresses diagnostics from the named analyzers on the comment's own
+// line and on the immediately following line (so it can ride at the end
+// of the offending line or stand on its own line above it).
+type Suppressions struct {
+	fset  *token.FileSet
+	byLoc map[string]map[string]bool // "file:line" -> analyzer set
+}
+
+var allowRe = regexp.MustCompile(`^//\s*alelint:allow\s+([A-Za-z0-9_,\s]+?)(?:\s+--.*)?$`)
+
+// NewSuppressions scans the files' comments for alelint:allow directives.
+func NewSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{fset: fset, byLoc: map[string]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					s.add(pos.Filename, pos.Line, name)
+					s.add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *Suppressions) add(file string, line int, name string) {
+	key := fmt.Sprintf("%s:%d", file, line)
+	if s.byLoc[key] == nil {
+		s.byLoc[key] = map[string]bool{}
+	}
+	s.byLoc[key][name] = true
+}
+
+// Suppressed reports whether d is covered by an alelint:allow directive.
+func (s *Suppressions) Suppressed(d Diagnostic) bool {
+	pos := s.fset.Position(d.Pos)
+	set := s.byLoc[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+	return set != nil && set[d.Analyzer]
+}

@@ -1,0 +1,136 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed, and type-checked package — the subset of
+// golang.org/x/tools/go/packages.Package the analyzers need.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the module-aware go tool and type-checks the
+// matched packages from source. Dependencies (including the standard
+// library) are imported from compiler export data produced by
+// `go list -export`, so loading works offline against the local build
+// cache. dir is the working directory for pattern resolution ("" = cwd).
+//
+// Test files are not loaded: the analyzers verify library-usage
+// discipline in shipping code, and fixtures under testdata are loaded as
+// ordinary packages by explicit path.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var roots []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly {
+			roots = append(roots, e)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, e := range roots {
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range e.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: e.ImportPath,
+			Dir:        e.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			TypesInfo:  info,
+		})
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("go list %v matched no packages with Go files", patterns)
+	}
+	return pkgs, nil
+}

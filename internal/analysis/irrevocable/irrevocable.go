@@ -1,0 +1,277 @@
+// Package irrevocable flags irrevocable actions inside critical-section
+// bodies that can execute in HTM or SWOpt mode: I/O, syscalls, sleeps,
+// channel operations, goroutine launches, panics, and unbounded loops
+// with no validation. A hardware transaction aborts on most of these (at
+// best wasting the retry budget, at worst looping forever on a
+// deterministic abort), and a SWOpt execution may run them on stale data
+// and retry them arbitrarily many times — so they must live outside the
+// body or behind a self-abort (paper section 3.3's nested-mutation and
+// self-abort idioms; the lazy-subscription literature shows HTM bodies
+// running on inconsistent state can take wild branches, which is why even
+// "harmless" I/O is unsafe).
+//
+// Bodies that can only ever run under the lock (NoHTM and no SWOpt path)
+// are exempt. Calls are followed one level into same-package helper
+// functions; the ALE runtime packages themselves are trusted. Additional
+// callees can be allowed with -irrevocable.allow=name1,name2 (substring
+// match on the callee's full name).
+package irrevocable
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/aleutil"
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the irrevocable analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "irrevocable",
+	Doc: "flag irrevocable actions (I/O, sleeps, channels, panics, unbounded loops) in elidable critical sections\n\n" +
+		"HTM- or SWOpt-eligible bodies may execute speculatively on stale\n" +
+		"state and re-execute arbitrarily often; actions that cannot be\n" +
+		"rolled back must not appear in them.",
+	Run: run,
+}
+
+var allowFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&allowFlag, "allow", "", "comma-separated substrings of callee full names to allow")
+}
+
+// deniedPkgs lists packages whose every call is irrevocable from an
+// elidable body. sync/atomic is NOT here (path match is exact).
+var deniedPkgs = map[string]string{
+	"os":            "operating-system call",
+	"io":            "I/O",
+	"bufio":         "I/O",
+	"net":           "network I/O",
+	"net/http":      "network I/O",
+	"syscall":       "syscall",
+	"log":           "logging I/O",
+	"sync":          "blocking synchronization",
+	"os/exec":       "subprocess launch",
+	"os/signal":     "signal handling",
+	"path/filepath": "filesystem access",
+}
+
+// deniedFuncs lists individual functions that are irrevocable even though
+// their package is otherwise allowed.
+var deniedFuncs = map[string]string{
+	"fmt.Print":      "write to stdout",
+	"fmt.Printf":     "write to stdout",
+	"fmt.Println":    "write to stdout",
+	"fmt.Fprint":     "I/O",
+	"fmt.Fprintf":    "I/O",
+	"fmt.Fprintln":   "I/O",
+	"fmt.Scan":       "read from stdin",
+	"fmt.Scanf":      "read from stdin",
+	"fmt.Scanln":     "read from stdin",
+	"time.Sleep":     "sleep",
+	"time.After":     "timer channel",
+	"time.Tick":      "timer channel",
+	"time.NewTimer":  "timer",
+	"time.NewTicker": "timer",
+	"runtime.Gosched": "scheduler yield (defers the transaction " +
+		"indefinitely)",
+}
+
+// trustedPkgSuffixes are the ALE runtime's own packages: their internals
+// (spins, panics on misuse) are the library's concern, not the body's.
+var trustedPkgSuffixes = []string{
+	"internal/core", "internal/tm", "internal/locks", "internal/stats",
+	"internal/obs", "internal/trace", "internal/snzi", "internal/xrand",
+	"internal/platform",
+}
+
+func run(pass *framework.Pass) error {
+	allow := strings.Split(allowFlag, ",")
+	ck := &checker{pass: pass, allow: allow, helpers: map[*types.Func]*ast.FuncDecl{}}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					ck.helpers[fn] = fd
+				}
+			}
+		}
+	}
+	for _, cs := range aleutil.CSBodies(pass.TypesInfo, pass.Files, true) {
+		if cs.Lit != nil && cs.NoHTM && !cs.HasSWOpt {
+			continue // lock-mode only: irrevocable actions are fine
+		}
+		ck.checkBody(cs.Fn.Body, nil)
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *framework.Pass
+	allow   []string
+	helpers map[*types.Func]*ast.FuncDecl
+	stack   []*types.Func // call-graph walk path (cycle guard)
+}
+
+// finding is one irrevocable action inside a function.
+type finding struct {
+	pos  token.Pos
+	what string
+}
+
+// checkBody reports every irrevocable action in body. When via is
+// non-nil, findings are collected into it instead of reported (helper
+// analysis).
+func (ck *checker) checkBody(body *ast.BlockStmt, via *[]finding) {
+	emit := func(pos token.Pos, what string) {
+		if via != nil {
+			*via = append(*via, finding{pos, what})
+			return
+		}
+		ck.pass.Reportf(pos, "%s inside an elidable critical-section body (move it outside the CS, behind ec.SelfAbort, or into a NoHTM lock-only section)", what)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed separately if it is itself a body
+		case *ast.GoStmt:
+			emit(n.Pos(), "goroutine launch")
+			return false
+		case *ast.SendStmt:
+			emit(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				emit(n.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			emit(n.Pos(), "select statement")
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopHasExitOrValidation(ck.pass.TypesInfo, n) {
+				emit(n.Pos(), "unbounded loop without validation or exit")
+			}
+		case *ast.CallExpr:
+			ck.checkCall(n, emit)
+		}
+		return true
+	})
+}
+
+func (ck *checker) checkCall(call *ast.CallExpr, emit func(token.Pos, string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "panic":
+			if _, isBuiltin := ck.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				emit(call.Pos(), "panic")
+				return
+			}
+		case "print", "println":
+			if _, isBuiltin := ck.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				emit(call.Pos(), "write to stderr")
+				return
+			}
+		}
+	}
+	fn := aleutil.Callee(ck.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	full := fullName(fn)
+	for _, a := range ck.allow {
+		if a != "" && strings.Contains(full, a) {
+			return
+		}
+	}
+	if what, ok := deniedFuncs[full]; ok {
+		emit(call.Pos(), what+" ("+full+")")
+		return
+	}
+	pkgPath := fn.Pkg().Path()
+	if what, ok := deniedPkgs[pkgPath]; ok {
+		emit(call.Pos(), what+" ("+full+")")
+		return
+	}
+	for _, suf := range trustedPkgSuffixes {
+		if pkgPath == suf || strings.HasSuffix(pkgPath, "/"+suf) {
+			return
+		}
+	}
+	// Same-package helper: follow one call-graph level (transitively,
+	// cycle-guarded) and attribute its irrevocable actions to this call
+	// site.
+	if decl, ok := ck.helpers[fn]; ok && len(ck.stack) < 8 {
+		for _, f := range ck.stack {
+			if f == fn {
+				return
+			}
+		}
+		ck.stack = append(ck.stack, fn)
+		var nested []finding
+		ck.checkBody(decl.Body, &nested)
+		ck.stack = ck.stack[:len(ck.stack)-1]
+		if len(nested) > 0 {
+			pos := ck.pass.Fset.Position(nested[0].pos)
+			emit(call.Pos(), "call to "+fn.Name()+", which performs "+nested[0].what+
+				" (at "+pos.String()+")")
+		}
+	}
+}
+
+// loopHasExitOrValidation reports whether a condition-less for loop can
+// make progress visible to the engine: it validates a marker, fails the
+// SWOpt attempt, returns, breaks, or panics out.
+func loopHasExitOrValidation(info *types.Info, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// break inside these does not exit the outer loop; keep
+			// descending for returns and validations only. (A labeled
+			// break would — accepted below by the BranchStmt case since
+			// we cannot resolve its target cheaply.)
+			return true
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch aleutil.MarkerCall(info, n) {
+			case "Validate", "ValidateIn", "ReadStable":
+				found = true
+			}
+			switch aleutil.ExecCtxCall(info, n) {
+			case "Validate", "ValidateIn", "ReadStable", "SWOptFail", "SelfAbort":
+				found = true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func fullName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}

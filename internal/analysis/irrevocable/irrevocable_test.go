@@ -1,0 +1,12 @@
+package irrevocable_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/irrevocable"
+)
+
+func TestIrrevocable(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), irrevocable.Analyzer, "a")
+}

@@ -1,0 +1,124 @@
+// Package a is the irrevocable golden fixture: actions that can and
+// cannot appear inside elidable critical-section bodies.
+package a
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+var sink uint64
+var ch = make(chan int)
+
+// Printing inside an elidable body.
+var csPrint = core.CS{
+	Scope:    core.NewScope("print"),
+	HasSWOpt: true,
+	Body: func(ec *core.ExecCtx) error {
+		fmt.Println("inside") // want `write to stdout`
+		return nil
+	},
+}
+
+// Sleeping inside an elidable body.
+var csSleep = core.CS{
+	Scope: core.NewScope("sleep"),
+	Body: func(ec *core.ExecCtx) error {
+		time.Sleep(time.Millisecond) // want `sleep`
+		return nil
+	},
+}
+
+// Goroutine launch and channel traffic.
+var csConc = core.CS{
+	Scope: core.NewScope("conc"),
+	Body: func(ec *core.ExecCtx) error {
+		go func() { sink++ }() // want `goroutine launch`
+		ch <- 1                // want `channel send`
+		<-ch                   // want `channel receive`
+		return nil
+	},
+}
+
+// Explicit panic.
+var csPanic = core.CS{
+	Scope: core.NewScope("panic"),
+	Body: func(ec *core.ExecCtx) error {
+		panic("no") // want `panic`
+	},
+}
+
+// An unbounded spin with no validation, return, or break.
+var csSpin = core.CS{
+	Scope: core.NewScope("spin"),
+	Body: func(ec *core.ExecCtx) error {
+		for { // want `unbounded loop without validation or exit`
+			sink++
+		}
+	},
+}
+
+// A spin that validates each round is the legitimate SWOpt retry shape.
+var csSpinOK = core.CS{
+	Scope:    core.NewScope("spinok"),
+	HasSWOpt: true,
+	Body: func(ec *core.ExecCtx) error {
+		mk := mkFor()
+		for {
+			v := mk.ReadStable()
+			if mk.Validate(v) {
+				break
+			}
+		}
+		return nil
+	},
+}
+
+// Irrevocable work behind a same-package helper is still found, and
+// attributed to the call site.
+var csHelper = core.CS{
+	Scope:    core.NewScope("helper"),
+	HasSWOpt: true,
+	Body: func(ec *core.ExecCtx) error {
+		logit() // want `call to logit`
+		return nil
+	},
+}
+
+func logit() {
+	fmt.Println("logging")
+}
+
+func mkFor() *core.ConflictMarker { return nil }
+
+// A NoHTM section with no SWOpt path only ever runs under the lock:
+// irrevocable actions are legal there. Clean.
+var csLockOnly = core.CS{
+	Scope: core.NewScope("lockonly"),
+	NoHTM: true,
+	Body: func(ec *core.ExecCtx) error {
+		fmt.Println("lock-mode only")
+		time.Sleep(time.Millisecond)
+		return nil
+	},
+}
+
+// Pure computation, error construction, and sync/atomic are all safe in
+// an elidable body. Clean.
+var csClean = core.CS{
+	Scope:    core.NewScope("clean"),
+	HasSWOpt: true,
+	Body: func(ec *core.ExecCtx) error {
+		atomic.AddUint64(&sink, 1)
+		if sink > 1<<40 {
+			return fmt.Errorf("sink overflow: %d", sink)
+		}
+		for i := 0; i < 8; i++ {
+			sink += uint64(i)
+		}
+		return nil
+	},
+}

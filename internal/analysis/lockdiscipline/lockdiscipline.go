@@ -1,0 +1,204 @@
+// Package lockdiscipline enforces the structural rules of Lock.Execute
+// critical sections:
+//
+//   - L1: a *core.ExecCtx must not be captured beyond the body it was
+//     passed to — storing it in a field, global, channel, or returning it
+//     lets code use a context whose attempt has already committed or
+//     aborted.
+//   - L2: a body must not re-Execute its own critical section (direct
+//     self-recursion through the same CS value deadlocks in lock mode and
+//     aborts forever in HTM mode).
+//   - L3: a CS whose body enters conflicting regions must declare
+//     Conflicting: true, or the engine's marker-elision accounting
+//     (COULD_SWOPT_BE_RUNNING) is skipped for it.
+//   - L4: BeginConflicting must not be gated on ec.InSWOpt() — conflicting
+//     regions are entered in HTM and Lock modes too; in SWOpt mode bump()
+//     itself fails the attempt. Gating inverts the protocol.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/aleutil"
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the lockdiscipline analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "enforce Execute critical-section structure: no ExecCtx escape, no self-recursive Execute,\n" +
+		"Conflicting flag matches marker use, Begin not gated on InSWOpt",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	info := pass.TypesInfo
+	bodies := aleutil.CSBodies(info, pass.Files, false)
+
+	// L1: ExecCtx escape — checked over every function taking an ExecCtx,
+	// declared helpers included.
+	for _, fn := range aleutil.FuncsWithExecCtx(info, pass.Files) {
+		checkEscape(pass, fn)
+	}
+
+	for _, cs := range bodies {
+		if cs.Name != "" {
+			checkSelfExecute(pass, cs)
+		}
+		checkConflictingFlag(pass, cs)
+		checkSWOptGate(pass, cs)
+	}
+	return nil
+}
+
+// checkEscape reports ExecCtx values that outlive the body: assigned to a
+// field, index, dereference, or package-level variable; sent on a
+// channel; returned; or appended to a slice. Passing ec onward as a call
+// argument is the normal helper pattern and is allowed.
+func checkEscape(pass *framework.Pass, fn aleutil.ExecCtxFunc) {
+	info := pass.TypesInfo
+	param := fn.Param
+	isCtx := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.ObjectOf(id) == param
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !isCtx(rhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.Ident:
+					if obj := info.ObjectOf(lhs); obj != nil {
+						if v, ok := obj.(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+							pass.Reportf(rhs.Pos(), "ExecCtx stored in package-level variable %s: the context is only valid inside its critical-section body", lhs.Name)
+						}
+					}
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					pass.Reportf(rhs.Pos(), "ExecCtx escapes its critical-section body (stored through %s); the context is invalid once the attempt commits or aborts", types.ExprString(n.Lhs[i]))
+				}
+			}
+		case *ast.SendStmt:
+			if isCtx(n.Value) {
+				pass.Reportf(n.Value.Pos(), "ExecCtx sent on a channel: the receiver would use a context whose attempt has already finished")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isCtx(r) {
+					pass.Reportf(r.Pos(), "ExecCtx returned from its critical-section body; the context is invalid once the attempt commits or aborts")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					for _, a := range n.Args[1:] {
+						if isCtx(a) {
+							pass.Reportf(a.Pos(), "ExecCtx appended to a slice: the context is only valid inside its critical-section body")
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// A nested literal capturing ec and being *stored* is an escape
+			// too, but distinguishing store from immediate call is the
+			// loader's job in a deeper pass; the common repo idiom (nested
+			// Execute body capturing the outer ec for SWOptFail) is legal.
+			return true
+		}
+		return true
+	})
+}
+
+// checkSelfExecute reports Execute calls on the body's own CS value
+// (matched by printed expression of the CS's assignment target vs the
+// Execute argument).
+func checkSelfExecute(pass *framework.Pass, cs aleutil.CSBody) {
+	info := pass.TypesInfo
+	ast.Inspect(cs.Fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !aleutil.IsExecuteCall(info, call) || len(call.Args) != 2 {
+			return true
+		}
+		// Execute(thr *Thread, cs *CS): the CS is the second argument.
+		arg := ast.Unparen(call.Args[1])
+		// Execute takes *CS; strip a leading & to compare the value.
+		if u, ok := arg.(*ast.UnaryExpr); ok {
+			arg = ast.Unparen(u.X)
+		}
+		if types.ExprString(arg) == cs.Name {
+			pass.Reportf(call.Pos(), "critical-section body re-executes its own CS (%s): self-recursive Execute deadlocks in lock mode", cs.Name)
+		}
+		return true
+	})
+}
+
+// checkConflictingFlag reports CS literals whose body (or same-package
+// helpers it calls) enters conflicting regions without declaring
+// Conflicting: true.
+func checkConflictingFlag(pass *framework.Pass, cs aleutil.CSBody) {
+	if cs.Lit == nil || cs.Conflicting {
+		return
+	}
+	info := pass.TypesInfo
+	var beginPos ast.Node
+	ast.Inspect(cs.Fn.Body, func(n ast.Node) bool {
+		if beginPos != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if aleutil.MarkerCall(info, call) == "BeginConflicting" {
+				beginPos = call
+				return false
+			}
+		}
+		return true
+	})
+	if beginPos != nil {
+		pass.Reportf(beginPos.Pos(), "body calls BeginConflicting but its CS does not set Conflicting: true (the engine skips conflicting-region accounting for it)")
+	}
+}
+
+// checkSWOptGate reports BeginConflicting calls that only execute when
+// ec.InSWOpt() is true — the protocol is the opposite: conflicting
+// regions are for HTM/Lock mode, and in SWOpt mode bump() aborts the
+// attempt itself.
+func checkSWOptGate(pass *framework.Pass, cs aleutil.CSBody) {
+	info := pass.TypesInfo
+	ast.Inspect(cs.Fn.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !isInSWOptCall(info, ifs.Cond) {
+			return true
+		}
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := m.(*ast.CallExpr); ok {
+				if aleutil.MarkerCall(info, call) == "BeginConflicting" {
+					pass.Reportf(call.Pos(), "BeginConflicting gated on ec.InSWOpt(): conflicting regions must be entered in every mode (in SWOpt the marker itself fails the attempt)")
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// isInSWOptCall reports whether cond is exactly `ec.InSWOpt()` (possibly
+// parenthesized).
+func isInSWOptCall(info *types.Info, cond ast.Expr) bool {
+	call, ok := ast.Unparen(cond).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return aleutil.ExecCtxCall(info, call) == "InSWOpt"
+}

@@ -1,0 +1,116 @@
+// Package a is the lockdiscipline golden fixture: ExecCtx escapes,
+// self-recursive Execute, the Conflicting flag, and InSWOpt gating.
+package a
+
+import (
+	"repro/internal/core"
+)
+
+type holder struct {
+	ec  *core.ExecCtx
+	cs  core.CS
+	cs2 core.CS
+	lk  *core.Lock
+	mk  *core.ConflictMarker
+}
+
+var globalCtx *core.ExecCtx
+var ctxs []*core.ExecCtx
+
+// L1: storing the context in a field outlives the attempt.
+func (h *holder) escapeField(ec *core.ExecCtx) error {
+	h.ec = ec // want `ExecCtx escapes its critical-section body`
+	return nil
+}
+
+// L1: storing the context in a package-level variable.
+func stash(ec *core.ExecCtx) error {
+	globalCtx = ec // want `stored in package-level variable`
+	return nil
+}
+
+// L1: returning the context.
+func leak(ec *core.ExecCtx) *core.ExecCtx {
+	return ec // want `ExecCtx returned from its critical-section body`
+}
+
+// L1: sending the context on a channel.
+func send(ec *core.ExecCtx, out chan *core.ExecCtx) error {
+	out <- ec // want `ExecCtx sent on a channel`
+	return nil
+}
+
+// L1: appending the context to a slice.
+func collect(ec *core.ExecCtx) error {
+	ctxs = append(ctxs, ec) // want `appended to a slice`
+	return nil
+}
+
+// Passing the context onward to a helper is the normal pattern. Clean.
+func forward(ec *core.ExecCtx) error {
+	return helper(ec)
+}
+
+func helper(ec *core.ExecCtx) error { return nil }
+
+// L2: a body re-executing its own CS.
+func (h *holder) setupSelf(thr *core.Thread) {
+	h.cs = core.CS{
+		Scope: core.NewScope("self"),
+		Body: func(ec *core.ExecCtx) error {
+			return h.lk.Execute(ec.Thread(), &h.cs) // want `re-executes its own CS`
+		},
+	}
+}
+
+// Executing a *different* CS from a body is the nested-mutation pattern.
+// Clean.
+func (h *holder) setupNested(thr *core.Thread) {
+	h.cs = core.CS{
+		Scope: core.NewScope("outer"),
+		Body: func(ec *core.ExecCtx) error {
+			return h.lk.Execute(ec.Thread(), &h.cs2)
+		},
+	}
+}
+
+// L3: entering conflicting regions without declaring Conflicting: true.
+func (h *holder) setupUndeclared() {
+	h.cs2 = core.CS{
+		Scope: core.NewScope("undeclared"),
+		Body: func(ec *core.ExecCtx) error {
+			h.mk.BeginConflicting(ec) // want `does not set Conflicting: true`
+			h.mk.EndConflicting(ec)
+			return nil
+		},
+	}
+}
+
+// Declared Conflicting: clean.
+func (h *holder) setupDeclared() {
+	h.cs2 = core.CS{
+		Scope:       core.NewScope("declared"),
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.mk.BeginConflicting(ec)
+			h.mk.EndConflicting(ec)
+			return nil
+		},
+	}
+}
+
+// L4: gating BeginConflicting on InSWOpt inverts the protocol (the marker
+// itself already fails the SWOpt attempt; HTM/Lock modes need the bump).
+func (h *holder) setupGated() {
+	h.cs2 = core.CS{
+		Scope:       core.NewScope("gated"),
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			if ec.InSWOpt() {
+				h.mk.BeginConflicting(ec) // want `gated on ec.InSWOpt`
+				h.mk.EndConflicting(ec)
+			}
+			return nil
+		},
+	}
+}

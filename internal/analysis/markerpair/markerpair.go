@@ -1,0 +1,290 @@
+// Package markerpair verifies that every ConflictMarker.BeginConflicting
+// inside a critical-section body is matched by an EndConflicting on every
+// path out of the function — early returns, panics, and falling off the
+// end included (paper section 3: a conflicting region left open keeps the
+// marker version odd forever, wedging every SWOpt reader).
+//
+// Matching is receiver-aware: Begin on marker A pairs with End on marker
+// A. Sweep loops are recognized as a unit — a `for _, mk := range X`
+// whose body begins conflicting regions pairs with a later
+// `for _, mk := range X` that ends them (the bulk-clear idiom).
+package markerpair
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/aleutil"
+	"repro/internal/analysis/cfgutil"
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the markerpair analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "markerpair",
+	Doc: "check that every BeginConflicting is matched by EndConflicting on all paths\n\n" +
+		"A conflicting region left open on an early return or panic leaves the\n" +
+		"marker version odd, permanently blocking SWOpt readers (ReadStable\n" +
+		"spins for an even version).",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, fn := range aleutil.FuncsWithExecCtx(pass.TypesInfo, pass.Files) {
+		checkFunc(pass, fn.Body)
+	}
+	return nil
+}
+
+// beginCall is one BeginConflicting site in a function body.
+type beginCall struct {
+	call *ast.CallExpr
+	key  any // receiver identity (types.Object or printed expr)
+}
+
+// sweep describes a `for _, mk := range X { mk.<BeginOrEnd>Conflicting }`
+// loop: the range statement, the printed range expression, and whether it
+// ends (vs begins) regions.
+type sweep struct {
+	rng     *ast.RangeStmt
+	rangeEx string
+	ends    bool
+}
+
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Gather Begin sites, deferred Ends, and sweep loops up front. Nested
+	// function literals are analyzed separately (FuncsWithExecCtx yields
+	// them when they take an ExecCtx; other nested literals run outside
+	// the critical section's control flow), so skip their subtrees.
+	var begins []beginCall
+	deferredEnds := map[any]bool{}
+	anyDeferredEnd := false
+	var sweeps []sweep
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if aleutil.MarkerCall(info, n.Call) == "EndConflicting" {
+				deferredEnds[aleutil.ReceiverKey(info, n.Call)] = true
+				anyDeferredEnd = true
+			}
+		case *ast.RangeStmt:
+			if s, ok := sweepOf(info, n); ok {
+				sweeps = append(sweeps, s)
+			}
+		case *ast.CallExpr:
+			if aleutil.MarkerCall(info, n) == "BeginConflicting" {
+				begins = append(begins, beginCall{call: n, key: aleutil.ReceiverKey(info, n)})
+			}
+		}
+		return true
+	})
+	if len(begins) == 0 {
+		return
+	}
+
+	g := cfgutil.New(body)
+
+	// Map each CFG node back to its block and position for DFS starts.
+	nodeBlock := map[ast.Node]*cfgutil.Block{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			nodeBlock[n] = b
+		}
+	}
+
+	for _, bc := range begins {
+		if deferredEnds[bc.key] || (len(deferredEnds) > 0 && anyDeferredEnd && singleMarker(begins)) {
+			continue // a deferred EndConflicting covers every exit
+		}
+		if escapesUnmatched(pass, g, nodeBlock, bc, sweeps) {
+			pass.Reportf(bc.call.Pos(),
+				"BeginConflicting is not matched by an EndConflicting on every path out of the function (early return, panic, or loop exit leaves the conflicting region open)")
+		}
+	}
+}
+
+// singleMarker reports whether all Begin sites share one receiver key, in
+// which case a deferred End on any key is accepted as covering them.
+func singleMarker(begins []beginCall) bool {
+	for i := 1; i < len(begins); i++ {
+		if begins[i].key != begins[0].key {
+			return false
+		}
+	}
+	return true
+}
+
+// sweepOf recognizes `for _, mk := range X` loops whose body's marker
+// calls are all Begin (or all End) on the range's value variable.
+func sweepOf(info *types.Info, rng *ast.RangeStmt) (sweep, bool) {
+	valID, ok := rng.Value.(*ast.Ident)
+	if !ok {
+		return sweep{}, false
+	}
+	valObj := info.ObjectOf(valID)
+	if valObj == nil {
+		return sweep{}, false
+	}
+	var sawBegin, sawEnd, sawOther bool
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch aleutil.MarkerCall(info, call) {
+		case "BeginConflicting":
+			if aleutil.ReceiverKey(info, call) == any(valObj) {
+				sawBegin = true
+			} else {
+				sawOther = true
+			}
+		case "EndConflicting":
+			if aleutil.ReceiverKey(info, call) == any(valObj) {
+				sawEnd = true
+			} else {
+				sawOther = true
+			}
+		}
+		return true
+	})
+	if sawOther || sawBegin == sawEnd {
+		return sweep{}, false
+	}
+	return sweep{rng: rng, rangeEx: types.ExprString(rng.X), ends: sawEnd}, true
+}
+
+// escapesUnmatched walks the CFG from just after the Begin call and
+// reports whether any path reaches the function exit without executing a
+// matching EndConflicting (or entering a paired End-sweep loop).
+func escapesUnmatched(pass *framework.Pass, g *cfgutil.Graph, nodeBlock map[ast.Node]*cfgutil.Block, bc beginCall, sweeps []sweep) bool {
+	info := pass.TypesInfo
+
+	// If the Begin site sits inside a Begin-sweep loop, paths that later
+	// enter an End-sweep over the same expression are satisfied.
+	var pairedEndSweeps []*ast.RangeStmt
+	for _, s := range sweeps {
+		if s.ends {
+			continue
+		}
+		if s.rng.Body.Pos() <= bc.call.Pos() && bc.call.End() <= s.rng.Body.End() {
+			for _, e := range sweeps {
+				if e.ends && e.rangeEx == s.rangeEx {
+					pairedEndSweeps = append(pairedEndSweeps, e.rng)
+				}
+			}
+		}
+	}
+	isPairedEndSweep := func(b *cfgutil.Block) bool {
+		for _, rng := range pairedEndSweeps {
+			if b.Stmt == rng {
+				return true
+			}
+		}
+		return false
+	}
+
+	matchesEnd := func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = n.Call
+		}
+		if call == nil || aleutil.MarkerCall(info, call) != "EndConflicting" {
+			return false
+		}
+		key := aleutil.ReceiverKey(info, call)
+		return key == bc.key || key == nil || bc.key == nil
+	}
+
+	startBlock := nodeBlock[findStmtOf(g, bc.call)]
+	if startBlock == nil {
+		return false // not in the graph (e.g. inside a defer's call args)
+	}
+
+	// Scan the remainder of the start block after the Begin call.
+	started := false
+	for _, n := range startBlock.Nodes {
+		if !started {
+			if containsNode(n, bc.call) {
+				started = true
+			}
+			continue
+		}
+		if matchesEnd(n) {
+			return false
+		}
+	}
+
+	visited := map[*cfgutil.Block]bool{startBlock: true}
+	var dfs func(b *cfgutil.Block) bool
+	dfs = func(b *cfgutil.Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if visited[b] {
+			return false
+		}
+		visited[b] = true
+		if isPairedEndSweep(b) {
+			return false
+		}
+		for _, n := range b.Nodes {
+			if matchesEnd(n) {
+				return false
+			}
+		}
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range startBlock.Succs {
+		if dfs(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// findStmtOf returns the CFG node (statement or condition expression)
+// containing the call, so DFS can start at the right block.
+func findStmtOf(g *cfgutil.Graph, call *ast.CallExpr) ast.Node {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if containsNode(n, call) {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+func containsNode(n ast.Node, target ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	// A RangeStmt appears as a node of its own header block, but its Body
+	// belongs to a different block — only the range clause itself
+	// (key/value/X) executes in the header.
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		return containsNode(rng.Key, target) ||
+			containsNode(rng.Value, target) ||
+			containsNode(rng.X, target)
+	}
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

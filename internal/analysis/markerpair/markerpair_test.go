@@ -1,0 +1,12 @@
+package markerpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/markerpair"
+)
+
+func TestMarkerPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), markerpair.Analyzer, "a")
+}

@@ -1,0 +1,110 @@
+// Package a is the markerpair golden fixture: each function exercises one
+// Begin/End pairing shape, good or bad.
+package a
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+type box struct {
+	mk  *core.ConflictMarker
+	mks []*core.ConflictMarker
+}
+
+// Straight-line pairing: clean.
+func (b *box) pairOK(ec *core.ExecCtx) error {
+	b.mk.BeginConflicting(ec)
+	b.mk.EndConflicting(ec)
+	return nil
+}
+
+// Early return between Begin and End leaves the region open.
+func (b *box) earlyReturn(ec *core.ExecCtx, fail bool) error {
+	b.mk.BeginConflicting(ec) // want `not matched by an EndConflicting on every path`
+	if fail {
+		return errors.New("boom")
+	}
+	b.mk.EndConflicting(ec)
+	return nil
+}
+
+// A deferred End covers every exit: clean.
+func (b *box) deferOK(ec *core.ExecCtx, fail bool) error {
+	b.mk.BeginConflicting(ec)
+	defer b.mk.EndConflicting(ec)
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// End on each branch: clean.
+func (b *box) branchesOK(ec *core.ExecCtx, fail bool) error {
+	b.mk.BeginConflicting(ec)
+	if fail {
+		b.mk.EndConflicting(ec)
+		return errors.New("boom")
+	}
+	b.mk.EndConflicting(ec)
+	return nil
+}
+
+// A panic path escapes the region.
+func (b *box) panicPath(ec *core.ExecCtx, n int) error {
+	b.mk.BeginConflicting(ec) // want `not matched by an EndConflicting on every path`
+	if n < 0 {
+		panic("negative")
+	}
+	b.mk.EndConflicting(ec)
+	return nil
+}
+
+// Paired sweeps (the bulk-clear idiom): clean.
+func (b *box) sweepOK(ec *core.ExecCtx) error {
+	for _, mk := range b.mks {
+		mk.BeginConflicting(ec)
+	}
+	for _, mk := range b.mks {
+		mk.EndConflicting(ec)
+	}
+	return nil
+}
+
+// A Begin sweep with no End sweep leaves every marker open.
+func (b *box) sweepBad(ec *core.ExecCtx) error {
+	for _, mk := range b.mks {
+		mk.BeginConflicting(ec) // want `not matched by an EndConflicting on every path`
+	}
+	return nil
+}
+
+// Ending a different marker does not close this one.
+func (b *box) wrongMarker(ec *core.ExecCtx, other *core.ConflictMarker) error {
+	b.mk.BeginConflicting(ec) // want `not matched by an EndConflicting on every path`
+	other.EndConflicting(ec)
+	return nil
+}
+
+// Loop exit via break after Begin, End after the loop: clean.
+func (b *box) loopBreakOK(ec *core.ExecCtx, n int) error {
+	b.mk.BeginConflicting(ec)
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+	}
+	b.mk.EndConflicting(ec)
+	return nil
+}
+
+// A suppressed violation: no want, the directive absorbs it.
+func (b *box) suppressed(ec *core.ExecCtx, fail bool) error {
+	b.mk.BeginConflicting(ec) //alelint:allow markerpair -- fixture: intentionally unmatched
+	if fail {
+		return errors.New("boom")
+	}
+	b.mk.EndConflicting(ec)
+	return nil
+}

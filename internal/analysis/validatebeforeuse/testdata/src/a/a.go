@@ -1,0 +1,132 @@
+// Package a is the validatebeforeuse golden fixture: optimistic-read
+// shapes that do and do not respect the ReadStable/Validate discipline.
+package a
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/tm"
+)
+
+type st struct {
+	mk   *core.ConflictMarker
+	val  tm.Var
+	next tm.Var
+	out  uint64
+	ok   bool
+}
+
+// Canonical pattern: load, validate, then publish. Clean.
+func (s *st) goodGet(ec *core.ExecCtx) error {
+	v := s.mk.ReadStable()
+	x := ec.Load(&s.val)
+	if !s.mk.Validate(v) {
+		return ec.SWOptFail()
+	}
+	s.out = x
+	s.ok = true
+	return nil
+}
+
+// Computing with the loaded value before validating.
+func (s *st) badUse(ec *core.ExecCtx) error {
+	v := s.mk.ReadStable()
+	x := ec.Load(&s.val)
+	s.out = x + 1 // want `used before Validate confirms it`
+	if !s.mk.Validate(v) {
+		return ec.SWOptFail()
+	}
+	return nil
+}
+
+// Branching on the loaded value before validating.
+func (s *st) badBranch(ec *core.ExecCtx) error {
+	v := s.mk.ReadStable()
+	x := ec.Load(&s.val)
+	if x == 0 { // want `used before Validate confirms it`
+		return ec.SWOptFail()
+	}
+	if !s.mk.Validate(v) {
+		return ec.SWOptFail()
+	}
+	s.out = x
+	return nil
+}
+
+// Committing (returning nil) with unvalidated loads outstanding.
+func (s *st) badReturn(ec *core.ExecCtx) error {
+	v := s.mk.ReadStable()
+	s.out = ec.Load(&s.val)
+	_ = v
+	return nil // want `returns success with loads not yet validated`
+}
+
+// Using a tainted value as a load address before validating.
+func (s *st) badIndex(ec *core.ExecCtx, arr []tm.Var) error {
+	v := s.mk.ReadStable()
+	idx := ec.Load(&s.next)
+	x := ec.Load(&arr[idx]) // want `used before Validate confirms it`
+	if !s.mk.Validate(v) {
+		return ec.SWOptFail()
+	}
+	s.out = x
+	return nil
+}
+
+// Short-circuit guard `a || !Validate`: the fallthrough edge proves the
+// validation. Clean (the repo's interference-check idiom).
+func (s *st) goodGuard(ec *core.ExecCtx, interference *atomic.Bool) error {
+	v := s.mk.ReadStable()
+	x := ec.Load(&s.val)
+	if interference.Load() || !s.mk.Validate(v) {
+		return ec.SWOptFail()
+	}
+	s.out = x
+	return nil
+}
+
+// Positive-polarity guard `if Validate { use }`. Clean.
+func (s *st) goodPositive(ec *core.ExecCtx) error {
+	v := s.mk.ReadStable()
+	x := ec.Load(&s.val)
+	if s.mk.Validate(v) {
+		s.out = x
+		return nil
+	}
+	return ec.SWOptFail()
+}
+
+// Chained loads with a validation between hops (the list-walk idiom).
+// Clean: each hop is validated before the next dereference.
+func (s *st) goodWalk(ec *core.ExecCtx, nodes []tm.Var) error {
+	v := s.mk.ReadStable()
+	i := ec.Load(&s.next)
+	if !s.mk.Validate(v) {
+		return ec.SWOptFail()
+	}
+	x := ec.Load(&nodes[i])
+	if !s.mk.Validate(v) {
+		return ec.SWOptFail()
+	}
+	s.out = x
+	return nil
+}
+
+// ValidateIn (the ExecCtx-aware form) clears taint too. Clean.
+func (s *st) goodValidateIn(ec *core.ExecCtx) error {
+	v := s.mk.ReadStable()
+	x := ec.Load(&s.val)
+	if !s.mk.ValidateIn(ec, v) {
+		return ec.SWOptFail()
+	}
+	s.out = x
+	return nil
+}
+
+// Functions that never ReadStable are out of scope: plain Loads in
+// lock/HTM-mode bodies are trusted. Clean.
+func (s *st) noReadStable(ec *core.ExecCtx) error {
+	s.out = ec.Load(&s.val) + 1
+	return nil
+}

@@ -1,0 +1,425 @@
+// Package validatebeforeuse enforces the paper's Figure-1 discipline on
+// software-optimistic paths: a value read under a ReadStable marker
+// version is untrusted until a Validate (or ValidateIn) confirms the
+// version, so using it — as an index, in arithmetic, in a branch
+// condition — or committing the section (returning nil) before
+// validating is a latent corruption bug that only fires under contention.
+//
+// The analysis is a forward may-dataflow over the CFG of any function
+// that calls ReadStable. After ReadStable, every ExecCtx.Load result is
+// tainted; a validation guard (`if !ec.Validate(mk, v) { return ... }` or
+// the marker-method form) clears all taint on its success edge. A tainted
+// value may be copied verbatim (x := p, h.f = p) but any computing use
+// before validation is reported, as is a `return nil` while unvalidated
+// loads are outstanding.
+package validatebeforeuse
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/aleutil"
+	"repro/internal/analysis/cfgutil"
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the validatebeforeuse analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "validatebeforeuse",
+	Doc: "check that optimistic reads under a ReadStable version are validated before use\n\n" +
+		"SWOpt bodies must re-check the conflict marker (Validate/ValidateIn)\n" +
+		"after loading shared data and before using the loaded values or\n" +
+		"committing, per the paper's Figure 1.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, fn := range aleutil.FuncsWithExecCtx(pass.TypesInfo, pass.Files) {
+		if callsReadStable(pass.TypesInfo, fn.Body) {
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func callsReadStable(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isReadStable(info, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isReadStable(info *types.Info, call *ast.CallExpr) bool {
+	return aleutil.MarkerCall(info, call) == "ReadStable" ||
+		aleutil.ExecCtxCall(info, call) == "ReadStable"
+}
+
+func isValidate(info *types.Info, call *ast.CallExpr) bool {
+	switch aleutil.MarkerCall(info, call) {
+	case "Validate", "ValidateIn":
+		return true
+	}
+	switch aleutil.ExecCtxCall(info, call) {
+	case "Validate", "ValidateIn":
+		return true
+	}
+	return false
+}
+
+func isLoad(info *types.Info, call *ast.CallExpr) bool {
+	switch aleutil.ExecCtxCall(info, call) {
+	case "Load", "Add":
+		return true
+	}
+	return false
+}
+
+// state is the dataflow fact at a program point.
+type state struct {
+	armed bool // a ReadStable has executed on this path
+	dirty bool // some load since the last validation (or since arming)
+	vars  map[types.Object]bool
+}
+
+func newState() state { return state{vars: map[types.Object]bool{}} }
+
+func (s state) clone() state {
+	c := state{armed: s.armed, dirty: s.dirty, vars: make(map[types.Object]bool, len(s.vars))}
+	for k, v := range s.vars {
+		c.vars[k] = v
+	}
+	return c
+}
+
+func (s *state) merge(o state) bool {
+	changed := false
+	if o.armed && !s.armed {
+		s.armed, changed = true, true
+	}
+	if o.dirty && !s.dirty {
+		s.dirty, changed = true, true
+	}
+	for k := range o.vars {
+		if !s.vars[k] {
+			s.vars[k], changed = true, true
+		}
+	}
+	return changed
+}
+
+func (s *state) clearTaint() {
+	s.dirty = false
+	s.vars = map[types.Object]bool{}
+}
+
+type checker struct {
+	pass     *framework.Pass
+	info     *types.Info
+	reported map[token.Pos]bool
+}
+
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	g := cfgutil.New(body)
+	ck := &checker{pass: pass, info: pass.TypesInfo, reported: map[token.Pos]bool{}}
+
+	in := make([]state, len(g.Blocks))
+	for i := range in {
+		in[i] = newState()
+	}
+	work := []*cfgutil.Block{g.Entry}
+	inQueue := map[*cfgutil.Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work, inQueue[b] = work[1:], false
+		outTrue, outFalse := ck.transfer(b, in[b.Index].clone())
+		for i, succ := range b.Succs {
+			out := outTrue
+			if b.Cond != nil && i == 1 {
+				out = outFalse
+			}
+			if in[succ.Index].merge(out) && !inQueue[succ] {
+				work = append(work, succ)
+				inQueue[succ] = true
+			}
+		}
+	}
+}
+
+// transfer runs the block's nodes over st, reporting violations, and
+// returns the out-states for the true and false edges (identical unless
+// the block ends in a validation-guard condition).
+func (ck *checker) transfer(b *cfgutil.Block, st state) (outTrue, outFalse state) {
+	for i, n := range b.Nodes {
+		isCondNode := b.Cond != nil && i == len(b.Nodes)-1
+		switch n := n.(type) {
+		case ast.Stmt:
+			ck.stmt(n, &st)
+		case ast.Expr:
+			if isCondNode {
+				return ck.condition(n, st)
+			}
+			ck.checkUses(n, &st)
+		}
+	}
+	return st, st
+}
+
+// condition handles a branch condition, splitting the out-state when the
+// condition implies a successful validation on one edge.
+func (ck *checker) condition(cond ast.Expr, st state) (onTrue, onFalse state) {
+	// Polarity: does one edge prove "Validate returned true"?
+	//   if ec.Validate(mk, v)      -> true edge validated
+	//   if !ec.Validate(mk, v)     -> false edge validated
+	//   if a || !ec.Validate(...)  -> false edge validated (all terms false)
+	//   if a && ec.Validate(...)   -> true edge validated (all terms true)
+	if validatedEdge, ok := ck.validatePolarity(cond); ok {
+		// The condition's own subexpressions are evaluated before the
+		// branch; check them for tainted uses (the validate call's
+		// arguments are version/marker values, which are never tainted
+		// unless the code is wrong — in which case reporting is right).
+		ck.checkUses(cond, &st)
+		clean := st.clone()
+		clean.clearTaint()
+		if validatedEdge {
+			return clean, st
+		}
+		return st, clean
+	}
+	ck.checkUses(cond, &st)
+	return st, st
+}
+
+// validatePolarity reports (edgeThatProvesValidation, found) for cond.
+func (ck *checker) validatePolarity(cond ast.Expr) (trueEdge bool, ok bool) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.CallExpr:
+		if isValidate(ck.info, e) {
+			return true, true
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			if t, ok := ck.validatePolarity(e.X); ok {
+				return !t, true
+			}
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			// a || b false => both false: a validation term appearing with
+			// false polarity is proven true on the false edge.
+			for _, sub := range []ast.Expr{e.X, e.Y} {
+				if t, ok := ck.validatePolarity(sub); ok && !t {
+					return false, true
+				}
+			}
+		case token.LAND:
+			for _, sub := range []ast.Expr{e.X, e.Y} {
+				if t, ok := ck.validatePolarity(sub); ok && t {
+					return true, true
+				}
+			}
+		}
+	}
+	return false, false
+}
+
+func (ck *checker) stmt(s ast.Stmt, st *state) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		ck.assign(s, st)
+	case *ast.ReturnStmt:
+		ck.ret(s, st)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			ck.call(call, st)
+			return
+		}
+		ck.checkUses(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						var rhs ast.Expr
+						if i < len(vs.Values) {
+							rhs = vs.Values[i]
+						}
+						ck.assignOne(name, rhs, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		ck.checkUses(s.X, st)
+	case *ast.SendStmt:
+		ck.checkUses(s.Chan, st)
+		ck.checkUses(s.Value, st)
+	case *ast.BranchStmt, *ast.DeferStmt, *ast.GoStmt, *ast.EmptyStmt:
+		// defer/go bodies run outside this path's validation window;
+		// irrevocable and lockdiscipline cover them.
+	case *ast.RangeStmt:
+		ck.checkUses(s.X, st)
+	default:
+		ck.checkUses(s, st)
+	}
+}
+
+// assign handles taint creation (x := ec.Load(...)), propagation
+// (y := x), and checking of computing right-hand sides.
+func (ck *checker) assign(s *ast.AssignStmt, st *state) {
+	// Position-matched only for 1:1 and n:n forms.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			ck.assignOne(s.Lhs[i], s.Rhs[i], st)
+		}
+		return
+	}
+	for _, r := range s.Rhs {
+		ck.checkUses(r, st)
+	}
+	for _, l := range s.Lhs {
+		ck.checkWriteTarget(l, st)
+	}
+}
+
+func (ck *checker) assignOne(lhs, rhs ast.Expr, st *state) {
+	ck.checkWriteTarget(lhs, st)
+	var taintLHS bool
+	switch r := ast.Unparen(rhs).(type) {
+	case nil:
+	case *ast.CallExpr:
+		if st.armed && isLoad(ck.info, r) {
+			// The canonical taint source. Its argument (&shared.cell) may
+			// itself involve tainted indices — check it.
+			for _, a := range r.Args {
+				ck.checkUses(a, st)
+			}
+			st.dirty = true
+			taintLHS = true
+		} else {
+			ck.call(r, st)
+		}
+	case *ast.Ident:
+		if obj := ck.info.ObjectOf(r); obj != nil && st.vars[obj] {
+			taintLHS = true // verbatim copy keeps the taint, legally
+		}
+	default:
+		ck.checkUses(rhs, st)
+	}
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if obj := ck.info.ObjectOf(id); obj != nil {
+			if taintLHS {
+				st.vars[obj] = true
+			} else {
+				delete(st.vars, obj) // overwritten with a clean value
+			}
+		}
+	}
+}
+
+// call handles a call expression in statement position: validations clear
+// taint, ReadStable (re-)arms, loads taint the dirty flag, everything
+// else has its arguments checked.
+func (ck *checker) call(call *ast.CallExpr, st *state) {
+	switch {
+	case isValidate(ck.info, call):
+		// A validation whose result is ignored still proves nothing —
+		// but the engine idiom never does this, and flagging ignored
+		// results is vet's job. Treat it as clearing to avoid cascades.
+		st.clearTaint()
+	case isReadStable(ck.info, call):
+		st.armed = true
+		st.clearTaint()
+	case st.armed && isLoad(ck.info, call):
+		for _, a := range call.Args {
+			ck.checkUses(a, st)
+		}
+		st.dirty = true
+	default:
+		ck.checkUses(call.Fun, st)
+		for _, a := range call.Args {
+			ck.checkUses(a, st)
+		}
+	}
+}
+
+// ret checks a return statement: returning nil (committing the optimistic
+// section) with unvalidated loads outstanding is a violation; returning a
+// tainted value is too.
+func (ck *checker) ret(s *ast.ReturnStmt, st *state) {
+	for _, r := range s.Results {
+		ck.checkUses(r, st)
+	}
+	if !st.armed || !st.dirty {
+		return
+	}
+	if len(s.Results) == 1 {
+		if id, ok := ast.Unparen(s.Results[0]).(*ast.Ident); ok && id.Name == "nil" {
+			ck.reportf(s.Pos(), "optimistic section returns success with loads not yet validated (call Validate/ValidateIn after the last Load and before returning nil)")
+		}
+	}
+}
+
+// checkWriteTarget checks the expression parts of an assignment target
+// (index expressions, field bases) for tainted uses.
+func (ck *checker) checkWriteTarget(lhs ast.Expr, st *state) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		// plain variable: nothing evaluated
+	case *ast.IndexExpr:
+		ck.checkUses(l.X, st)
+		ck.checkUses(l.Index, st)
+	case *ast.StarExpr:
+		ck.checkUses(l.X, st)
+	case *ast.SelectorExpr:
+		ck.checkUses(l.X, st)
+	default:
+		ck.checkUses(lhs, st)
+	}
+}
+
+// checkUses reports every reference to a tainted variable inside expr,
+// except references that are themselves the whole expression of a
+// verbatim copy (handled by assignOne) or arguments to Validate calls.
+func (ck *checker) checkUses(n ast.Node, st *state) {
+	if n == nil || len(st.vars) == 0 {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isValidate(ck.info, x) || isReadStable(ck.info, x) {
+				return false
+			}
+			if st.armed && isLoad(ck.info, x) {
+				st.dirty = true // load embedded in a larger expression
+			}
+		case *ast.Ident:
+			if obj := ck.info.ObjectOf(x); obj != nil && st.vars[obj] {
+				ck.reportf(x.Pos(), "%s is read under a ReadStable version and used before Validate confirms it (validate first, then use)", x.Name)
+			}
+		}
+		return true
+	})
+}
+
+func (ck *checker) reportf(pos token.Pos, format string, args ...any) {
+	if ck.reported[pos] {
+		return
+	}
+	ck.reported[pos] = true
+	ck.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,12 @@
+package validatebeforeuse_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/validatebeforeuse"
+)
+
+func TestValidateBeforeUse(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), validatebeforeuse.Analyzer, "a")
+}

@@ -22,6 +22,7 @@ type ExecCtx struct {
 	lock *Lock
 	txn  *tm.Txn // non-nil iff mode == ModeHTM
 	mode Mode
+	inv  *invState // non-nil iff Options.InvariantMode
 }
 
 // Mode reports how this attempt is executing (GET_EXEC_MODE).
@@ -36,6 +37,9 @@ func (ec *ExecCtx) InSWOpt() bool { return ec.mode == ModeSWOpt }
 
 // Load reads a transactional cell in the current mode.
 func (ec *ExecCtx) Load(v *tm.Var) uint64 {
+	if ec.inv != nil && ec.inv.armed {
+		ec.inv.pending++
+	}
 	if ec.mode == ModeHTM {
 		return ec.txn.Load(v)
 	}
@@ -57,10 +61,39 @@ func (ec *ExecCtx) Store(v *tm.Var, x uint64) {
 // Add increments a transactional cell in the current mode, returning the
 // new value.
 func (ec *ExecCtx) Add(v *tm.Var, delta uint64) uint64 {
+	if ec.inv != nil && ec.inv.armed {
+		ec.inv.pending++
+	}
 	if ec.mode == ModeHTM {
 		return ec.txn.Add(v, delta)
 	}
 	return v.AddDirect(delta)
+}
+
+// ReadStable is the instrumented form of ConflictMarker.ReadStable: it
+// additionally tells the invariant checker (Options.InvariantMode) that
+// an optimistic read sequence is starting, so the checker can verify
+// every subsequent Load is validated before the body commits. New code
+// should prefer it; the marker method remains for bodies built before
+// the checker existed.
+func (ec *ExecCtx) ReadStable(m *ConflictMarker) uint64 {
+	if ec.inv != nil {
+		ec.inv.armed = true
+		ec.inv.pending = 0
+	}
+	return m.ReadStable()
+}
+
+// Validate is the instrumented form of ConflictMarker.ValidateIn: a
+// successful validation tells the invariant checker that every load
+// since the last ReadStable/Validate is now trusted. Like ValidateIn it
+// validates in the current execution mode (in HTM the marker joins the
+// read set).
+func (ec *ExecCtx) Validate(m *ConflictMarker, v uint64) bool {
+	if ec.inv != nil {
+		ec.inv.pending = 0
+	}
+	return m.ValidateIn(ec, v)
 }
 
 // SWOptFail is what a SWOpt body returns when marker validation failed:

@@ -86,16 +86,20 @@ func (l *Lock) Execute(thr *Thread, cs *CS) error {
 		if !thr.holds(l) && l.ops.HeldValue(thr.txn.Load(l.ops.Word())) {
 			thr.txn.Abort(tm.AbortLockHeld)
 		}
-		ec := ExecCtx{thr: thr, lock: l, txn: thr.txn, mode: ModeHTM}
-		return cs.Body(&ec)
+		ec := ExecCtx{thr: thr, lock: l, txn: thr.txn, mode: ModeHTM, inv: l.rt.invFor(cs, l, ModeHTM)}
+		err := cs.Body(&ec)
+		ec.invDone(err)
+		return err
 	}
 
 	// Rule 2 (section 4.1): the thread already holds this lock — run the
 	// body directly under the existing acquisition. SWOpt would have no
 	// benefit and is not used.
 	if thr.holds(l) {
-		ec := ExecCtx{thr: thr, lock: l, mode: ModeLock}
-		return cs.Body(&ec)
+		ec := ExecCtx{thr: thr, lock: l, mode: ModeLock, inv: l.rt.invFor(cs, l, ModeLock)}
+		err := cs.Body(&ec)
+		ec.invDone(err)
+		return err
 	}
 
 	thr.pushScope(cs.Scope)
@@ -261,8 +265,12 @@ func (l *Lock) htmAttempt(thr *Thread, cs *CS, fi int) (ok bool, reason tm.Abort
 		thr.inHTM = true
 		thr.htmFrame = fi
 		defer func() { thr.inHTM = false }()
-		fr.ec = ExecCtx{thr: thr, lock: l, txn: tx, mode: ModeHTM}
+		fr.ec = ExecCtx{thr: thr, lock: l, txn: tx, mode: ModeHTM, inv: l.rt.invFor(cs, l, ModeHTM)}
 		userErr = cs.Body(&fr.ec)
+		// Checked inside the closure: an aborted attempt unwinds out of
+		// the body before this point, so only completed bodies are held
+		// to the balance invariant.
+		fr.ec.invDone(userErr)
 	})
 	thr.inHTM = false
 	if !committed {
@@ -299,8 +307,10 @@ func (l *Lock) swoptAttempt(thr *Thread, cs *CS, fi int) error {
 			thr.swoptLock = prevLock
 		}
 	}()
-	fr.ec = ExecCtx{thr: thr, lock: l, mode: ModeSWOpt}
-	return cs.Body(&fr.ec)
+	fr.ec = ExecCtx{thr: thr, lock: l, mode: ModeSWOpt, inv: l.rt.invFor(cs, l, ModeSWOpt)}
+	err := cs.Body(&fr.ec)
+	fr.ec.invDone(err)
+	return err
 }
 
 // lockAttempt acquires the lock and runs the body — the fallback that
@@ -311,8 +321,10 @@ func (l *Lock) lockAttempt(thr *Thread, cs *CS, fi int) error {
 	fr.mode = ModeLock
 	l.ops.Acquire()
 	defer l.ops.Release()
-	fr.ec = ExecCtx{thr: thr, lock: l, mode: ModeLock}
-	return cs.Body(&fr.ec)
+	fr.ec = ExecCtx{thr: thr, lock: l, mode: ModeLock, inv: l.rt.invFor(cs, l, ModeLock)}
+	err := cs.Body(&fr.ec)
+	fr.ec.invDone(err)
+	return err
 }
 
 // groupWait implements the grouping mechanism (section 4.2): an execution

@@ -1,0 +1,71 @@
+package core
+
+import "fmt"
+
+// invState is the per-attempt record the invariant checker keeps when
+// Options.InvariantMode is on — the dynamic counterpart of the alelint
+// static analyzers (markerpair and validatebeforeuse). Each body
+// invocation gets a fresh state; the engine checks it when the body
+// returns. The zero-cost contract when the mode is off is a single
+// `ec.inv != nil` test at each instrumented call.
+type invState struct {
+	// balance is BeginConflicting minus EndConflicting so far. It must be
+	// zero whenever the body returns (markerpair's static rule), and never
+	// negative (End without Begin panics immediately).
+	balance int
+
+	// armed records that the body issued an ec.ReadStable, i.e. it is on
+	// an optimistic read path; pending counts the loads issued since the
+	// last ReadStable/Validate. A SWOpt body returning success with
+	// pending loads has trusted unvalidated data (validatebeforeuse's
+	// static rule).
+	armed   bool
+	pending int
+
+	// Diagnostics for the panic message.
+	scope string
+	lock  string
+	mode  Mode
+}
+
+// invFor allocates the attempt's invariant state, or nil when the mode is
+// off. Execute verifies cs.Scope is non-nil before any attempt runs.
+func (rt *Runtime) invFor(cs *CS, l *Lock, mode Mode) *invState {
+	if !rt.opts.InvariantMode {
+		return nil
+	}
+	return &invState{scope: cs.Scope.Label(), lock: l.name, mode: mode}
+}
+
+func (inv *invState) beginRegion() {
+	inv.balance++
+}
+
+func (inv *invState) endRegion() {
+	inv.balance--
+	if inv.balance < 0 {
+		panic(fmt.Sprintf(
+			"ale: invariant violation in scope %q (lock %q, mode %s): EndConflicting without a matching BeginConflicting",
+			inv.scope, inv.lock, inv.mode))
+	}
+}
+
+// invDone is the engine's post-body check: the body returned err after
+// running to completion (aborted HTM attempts never reach it — the abort
+// unwinds out of the body).
+func (ec *ExecCtx) invDone(err error) {
+	inv := ec.inv
+	if inv == nil {
+		return
+	}
+	if inv.balance != 0 {
+		panic(fmt.Sprintf(
+			"ale: invariant violation in scope %q (lock %q, mode %s): conflicting-region balance %+d at body exit (BeginConflicting without a matching EndConflicting on this path)",
+			inv.scope, inv.lock, inv.mode, inv.balance))
+	}
+	if inv.mode == ModeSWOpt && err == nil && inv.pending > 0 {
+		panic(fmt.Sprintf(
+			"ale: invariant violation in scope %q (lock %q): SWOpt body committed (returned nil) with %d load(s) not validated since the last ReadStable/Validate",
+			inv.scope, inv.lock, inv.pending))
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/tm"
+)
+
+func invRuntime(profile tm.Profile) *Runtime {
+	opts := DefaultOptions()
+	opts.InvariantMode = true
+	return NewRuntimeOpts(tm.NewDomain(profile), opts)
+}
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a panic containing %q, got none", substr)
+		}
+		if !strings.Contains(fmt.Sprint(r), substr) {
+			t.Fatalf("panic = %v, want substring %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+// A Begin with no End must be caught when the body returns, in Lock mode.
+func TestInvariantModeUnbalancedBeginLock(t *testing.T) {
+	rt := invRuntime(noHTMProfile())
+	lock := rt.NewLock("inv", locks.NewTATAS(rt.Domain()), NewLockOnly())
+	mk := lock.NewMarker()
+	thr := rt.NewThread()
+	cs := &CS{
+		Scope:       NewScope("inv.unbalanced"),
+		Conflicting: true,
+		Body: func(ec *ExecCtx) error {
+			mk.BeginConflicting(ec) //alelint:allow markerpair -- seeded violation for the runtime checker test
+			return nil
+		},
+	}
+	mustPanic(t, "conflicting-region balance", func() {
+		_ = lock.Execute(thr, cs)
+	})
+}
+
+// The same imbalance inside a hardware transaction must be caught too
+// (the check runs inside the transaction closure, after the body
+// completes).
+func TestInvariantModeUnbalancedBeginHTM(t *testing.T) {
+	rt := invRuntime(htmProfile())
+	lock := rt.NewLock("inv", locks.NewTATAS(rt.Domain()), NewStatic(10, 0))
+	mk := lock.NewMarker()
+	thr := rt.NewThread()
+	cs := &CS{
+		Scope:       NewScope("inv.unbalancedHTM"),
+		Conflicting: true,
+		Body: func(ec *ExecCtx) error {
+			mk.BeginConflicting(ec) //alelint:allow markerpair -- seeded violation for the runtime checker test
+			return nil
+		},
+	}
+	mustPanic(t, "conflicting-region balance", func() {
+		_ = lock.Execute(thr, cs)
+	})
+}
+
+// An End with no Begin panics at the call, not at body exit.
+func TestInvariantModeEndWithoutBegin(t *testing.T) {
+	rt := invRuntime(noHTMProfile())
+	lock := rt.NewLock("inv", locks.NewTATAS(rt.Domain()), NewLockOnly())
+	mk := lock.NewMarker()
+	thr := rt.NewThread()
+	cs := &CS{
+		Scope:       NewScope("inv.endOnly"),
+		Conflicting: true,
+		Body: func(ec *ExecCtx) error {
+			mk.EndConflicting(ec)
+			return nil
+		},
+	}
+	mustPanic(t, "EndConflicting without a matching BeginConflicting", func() {
+		_ = lock.Execute(thr, cs)
+	})
+}
+
+// A SWOpt body that commits with a load it never validated must be
+// caught at the nil return.
+func TestInvariantModeUnvalidatedCommit(t *testing.T) {
+	rt := invRuntime(noHTMProfile())
+	lock := rt.NewLock("inv", locks.NewTATAS(rt.Domain()), NewStatic(0, 4))
+	mk := lock.NewMarker()
+	cell := rt.Domain().NewVar(7)
+	thr := rt.NewThread()
+	var got uint64
+	cs := &CS{
+		Scope:    NewScope("inv.unvalidated"),
+		HasSWOpt: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.InSWOpt() {
+				_ = ec.ReadStable(mk)
+				got = ec.Load(cell)
+				return nil //alelint:allow validatebeforeuse -- seeded violation for the runtime checker test
+			}
+			got = ec.Load(cell)
+			return nil
+		},
+	}
+	mustPanic(t, "not validated since the last ReadStable", func() {
+		_ = lock.Execute(thr, cs)
+	})
+	_ = got
+}
+
+// The canonical validated pattern — including the instrumented
+// ec.ReadStable/ec.Validate forms — must pass the checker under
+// concurrency in every mode (run with -race in CI).
+func TestInvariantModeCleanConcurrent(t *testing.T) {
+	rt := invRuntime(htmProfile())
+	lock := rt.NewLock("inv", locks.NewTATAS(rt.Domain()), NewStatic(4, 4))
+	mk := lock.NewMarker()
+	a := rt.Domain().NewVar(0)
+	b := rt.Domain().NewVar(0)
+
+	const goroutines = 4
+	const opsEach = 300
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := rt.NewThread()
+			var x, y uint64
+			readCS := &CS{
+				Scope:    NewScope("inv.read"),
+				HasSWOpt: true,
+				Body: func(ec *ExecCtx) error {
+					if ec.InSWOpt() {
+						v := ec.ReadStable(mk)
+						x = ec.Load(a)
+						if !ec.Validate(mk, v) {
+							return ec.SWOptFail()
+						}
+						y = ec.Load(b)
+						if !ec.Validate(mk, v) {
+							return ec.SWOptFail()
+						}
+						return nil
+					}
+					x = ec.Load(a)
+					y = ec.Load(b)
+					return nil
+				},
+			}
+			writeCS := &CS{
+				Scope:       NewScope("inv.write"),
+				Conflicting: true,
+				Body: func(ec *ExecCtx) error {
+					n := ec.Load(a) + 1
+					mk.BeginConflicting(ec)
+					ec.Store(a, n)
+					ec.Store(b, n)
+					mk.EndConflicting(ec)
+					return nil
+				},
+			}
+			for op := 0; op < opsEach; op++ {
+				var err error
+				if op%4 == 0 {
+					err = lock.Execute(thr, writeCS)
+				} else {
+					err = lock.Execute(thr, readCS)
+					if err == nil && x != y {
+						err = fmt.Errorf("torn read: a=%d b=%d", x, y)
+					}
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// benchBody builds the canonical optimistic read section over rt.
+func benchBody(rt *Runtime, policy Policy) (*Lock, *CS) {
+	lock := rt.NewLock("bench", locks.NewTATAS(rt.Domain()), policy)
+	mk := lock.NewMarker()
+	cell := rt.Domain().NewVar(1)
+	cs := &CS{
+		Scope:    NewScope("bench.read"),
+		HasSWOpt: true,
+		Body: func(ec *ExecCtx) error {
+			if ec.InSWOpt() {
+				v := ec.ReadStable(mk)
+				x := ec.Load(cell)
+				if !ec.Validate(mk, v) {
+					return ec.SWOptFail()
+				}
+				_ = x
+				return nil
+			}
+			_ = ec.Load(cell)
+			return nil
+		},
+	}
+	return lock, cs
+}
+
+// The two benchmarks quantify InvariantMode's overhead; the disabled
+// case is the one that must stay free (a nil check per instrumented
+// call). Results go to EXPERIMENTS.md.
+func BenchmarkExecuteInvariantOff(b *testing.B) {
+	rt := NewRuntimeOpts(tm.NewDomain(noHTMProfile()), DefaultOptions())
+	lock, cs := benchBody(rt, NewStatic(0, 4))
+	thr := rt.NewThread()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := lock.Execute(thr, cs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteInvariantOn(b *testing.B) {
+	opts := DefaultOptions()
+	opts.InvariantMode = true
+	rt := NewRuntimeOpts(tm.NewDomain(noHTMProfile()), opts)
+	lock, cs := benchBody(rt, NewStatic(0, 4))
+	thr := rt.NewThread()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := lock.Execute(thr, cs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -46,11 +46,19 @@ func (l *Lock) NewMarker() *ConflictMarker {
 // instead return ec.SelfAbort() or perform the action in a nested
 // non-SWOpt critical section (paper section 3.3).
 func (m *ConflictMarker) BeginConflicting(ec *ExecCtx) {
+	// Balance accounting happens here rather than in bump so that
+	// HTM-mode marker elision cannot skew it.
+	if ec.inv != nil {
+		ec.inv.beginRegion()
+	}
 	m.bump(ec)
 }
 
 // EndConflicting leaves a conflicting region.
 func (m *ConflictMarker) EndConflicting(ec *ExecCtx) {
+	if ec.inv != nil {
+		ec.inv.endRegion()
+	}
 	m.bump(ec)
 }
 
@@ -109,7 +117,12 @@ func (m *ConflictMarker) Validate(v uint64) bool {
 // this as its "first check if a conflict has occurred" step after the
 // nested critical section is entered.
 func (m *ConflictMarker) ValidateIn(ec *ExecCtx, v uint64) bool {
-	return ec.Load(m.ver) == v
+	ok := ec.Load(m.ver) == v
+	// Clear after the load above, which itself counts as pending.
+	if ec.inv != nil {
+		ec.inv.pending = 0
+	}
+	return ok
 }
 
 // Version returns the raw marker version (diagnostics).

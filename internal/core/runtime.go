@@ -42,6 +42,17 @@ type Options struct {
 	// nil check per event site).
 	TraceCapacity int
 
+	// InvariantMode enables the runtime invariant checker — the dynamic
+	// counterpart of the alelint static analyzers (see
+	// docs/SWOPT_RULES.md). Every body invocation tracks its
+	// BeginConflicting/EndConflicting balance and, on optimistic paths
+	// started with ec.ReadStable, whether every load was validated before
+	// the SWOpt attempt committed; violations panic with the scope, lock,
+	// and mode. Off by default: disabled cost is one nil check per
+	// instrumented call; enabled cost is one small allocation per body
+	// invocation. Intended for tests and race-detector runs.
+	InvariantMode bool
+
 	// Obs, when non-nil, attaches the live observability layer
 	// (internal/obs): every Thread gets a private cache-padded counter
 	// shard in the collector, the engine mirrors execution outcomes into

@@ -28,9 +28,9 @@ func (h *Handle) buildCS() {
 			b := m.bucket(key)
 			if ec.InSWOpt() {
 				mk := m.marker(b)
-				v := mk.ReadStable()
+				v := ec.ReadStable(mk)
 				p := ec.Load(&m.buckets[b])
-				if !mk.Validate(v) {
+				if !ec.Validate(mk, v) {
 					return ec.SWOptFail()
 				}
 				for p != 0 {
@@ -39,19 +39,19 @@ func (h *Handle) buildCS() {
 					}
 					nd := &m.nodes[p-1]
 					k := ec.Load(&nd.key)
-					if !mk.Validate(v) {
+					if !ec.Validate(mk, v) {
 						return ec.SWOptFail()
 					}
 					if k == key {
 						h.retVal = ec.Load(&nd.val)
-						if !mk.Validate(v) {
+						if !ec.Validate(mk, v) {
 							return ec.SWOptFail()
 						}
 						h.retOK = true
 						return nil
 					}
 					p = ec.Load(&nd.next)
-					if !mk.Validate(v) {
+					if !ec.Validate(mk, v) {
 						return ec.SWOptFail()
 					}
 				}
@@ -210,10 +210,10 @@ func (h *Handle) buildCS() {
 			b := m.bucket(key)
 			if ec.InSWOpt() {
 				mk := m.marker(b)
-				v := mk.ReadStable()
+				v := ec.ReadStable(mk)
 				found := uint64(0)
 				p := ec.Load(&m.buckets[b])
-				if !mk.Validate(v) {
+				if !ec.Validate(mk, v) {
 					return ec.SWOptFail()
 				}
 				for p != 0 {
@@ -222,7 +222,7 @@ func (h *Handle) buildCS() {
 					}
 					nd := &m.nodes[p-1]
 					k := ec.Load(&nd.key)
-					if !mk.Validate(v) {
+					if !ec.Validate(mk, v) {
 						return ec.SWOptFail()
 					}
 					if k == key {
@@ -230,7 +230,7 @@ func (h *Handle) buildCS() {
 						break
 					}
 					p = ec.Load(&nd.next)
-					if !mk.Validate(v) {
+					if !ec.Validate(mk, v) {
 						return ec.SWOptFail()
 					}
 				}
@@ -279,10 +279,10 @@ func (h *Handle) buildCS() {
 			b := m.bucket(key)
 			if ec.InSWOpt() {
 				mk := m.marker(b)
-				v := mk.ReadStable()
+				v := ec.ReadStable(mk)
 				prev := uint64(0)
 				p := ec.Load(&m.buckets[b])
-				if !mk.Validate(v) {
+				if !ec.Validate(mk, v) {
 					return ec.SWOptFail()
 				}
 				for p != 0 {
@@ -291,12 +291,12 @@ func (h *Handle) buildCS() {
 					}
 					nd := &m.nodes[p-1]
 					k := ec.Load(&nd.key)
-					if !mk.Validate(v) {
+					if !ec.Validate(mk, v) {
 						return ec.SWOptFail()
 					}
 					if k == key {
 						next := ec.Load(&nd.next)
-						if !mk.Validate(v) {
+						if !ec.Validate(mk, v) {
 							return ec.SWOptFail()
 						}
 						h.optVer, h.optPrev, h.optNode, h.optNext = v, prev, p, next
@@ -308,7 +308,7 @@ func (h *Handle) buildCS() {
 					}
 					prev = p
 					p = ec.Load(&nd.next)
-					if !mk.Validate(v) {
+					if !ec.Validate(mk, v) {
 						return ec.SWOptFail()
 					}
 				}
@@ -381,9 +381,9 @@ func (h *Handle) buildCS() {
 			b := m.bucket(key)
 			if ec.InSWOpt() {
 				mk := m.marker(b)
-				v := mk.ReadStable()
+				v := ec.ReadStable(mk)
 				p := ec.Load(&m.buckets[b])
-				if !mk.Validate(v) {
+				if !ec.Validate(mk, v) {
 					return ec.SWOptFail()
 				}
 				for p != 0 {
@@ -392,14 +392,14 @@ func (h *Handle) buildCS() {
 					}
 					nd := &m.nodes[p-1]
 					k := ec.Load(&nd.key)
-					if !mk.Validate(v) {
+					if !ec.Validate(mk, v) {
 						return ec.SWOptFail()
 					}
 					if k == key {
 						return ec.SelfAbort() // conflicting action ahead
 					}
 					p = ec.Load(&nd.next)
-					if !mk.Validate(v) {
+					if !ec.Validate(mk, v) {
 						return ec.SWOptFail()
 					}
 				}

@@ -201,9 +201,9 @@ func (h *Handle) buildCS() {
 			h.retOK = false
 			key := h.argKey
 			if ec.InSWOpt() {
-				v := s.marker.ReadStable()
+				v := ec.ReadStable(s.marker)
 				p := ec.Load(&s.head)
-				if !s.marker.Validate(v) {
+				if !ec.Validate(s.marker, v) {
 					return ec.SWOptFail()
 				}
 				for p != 0 {
@@ -212,7 +212,7 @@ func (h *Handle) buildCS() {
 					}
 					nd := &s.nodes[p-1]
 					k := ec.Load(&nd.key)
-					if !s.marker.Validate(v) {
+					if !ec.Validate(s.marker, v) {
 						return ec.SWOptFail()
 					}
 					if k >= key {
@@ -220,7 +220,7 @@ func (h *Handle) buildCS() {
 						return nil
 					}
 					p = ec.Load(&nd.next)
-					if !s.marker.Validate(v) {
+					if !ec.Validate(s.marker, v) {
 						return ec.SWOptFail()
 					}
 				}

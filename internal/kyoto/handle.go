@@ -126,7 +126,7 @@ func (h *Handle) buildCS() {
 	// validating against the method marker.
 	outerBody := func(ec *core.ExecCtx) error {
 		if ec.InSWOpt() {
-			h.optVer = db.methodMarker.ReadStable()
+			h.optVer = ec.ReadStable(db.methodMarker)
 			err := db.slots[h.curSlot].Lock().Execute(h.thr, &h.csSlotChecked)
 			if errors.Is(err, errStale) {
 				return ec.SWOptFail()

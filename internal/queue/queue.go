@@ -190,17 +190,17 @@ func (h *Handle) buildCS() {
 		Body: func(ec *core.ExecCtx) error {
 			h.retOK, h.retVal = false, 0
 			if ec.InSWOpt() {
-				ver := q.marker.ReadStable()
+				ver := ec.ReadStable(q.marker)
 				head := ec.Load(&q.head)
 				tail := ec.Load(&q.tail)
-				if !q.marker.Validate(ver) {
+				if !ec.Validate(q.marker, ver) {
 					return ec.SWOptFail()
 				}
 				if head == tail {
 					return nil
 				}
 				v := ec.Load(&q.slots[head&q.mask])
-				if !q.marker.Validate(ver) {
+				if !ec.Validate(q.marker, ver) {
 					return ec.SWOptFail()
 				}
 				h.retVal, h.retOK = v, true
@@ -221,10 +221,10 @@ func (h *Handle) buildCS() {
 		Body: func(ec *core.ExecCtx) error {
 			h.retN = 0
 			if ec.InSWOpt() {
-				ver := q.marker.ReadStable()
+				ver := ec.ReadStable(q.marker)
 				head := ec.Load(&q.head)
 				tail := ec.Load(&q.tail)
-				if !q.marker.Validate(ver) {
+				if !ec.Validate(q.marker, ver) {
 					return ec.SWOptFail()
 				}
 				h.retN = int(tail - head)
