@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt bench
+.PHONY: all build test race lint fmt bench stress cover
 
 all: build lint test
 
@@ -26,3 +26,16 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Fault-injection stress: deterministic oracle runs plus a concurrent
+# soak (docs/TESTING.md). Override SEED to replay a CI failure.
+SEED ?= 1
+stress:
+	$(GO) run ./cmd/alestress -seed $(SEED) -ops 20000
+	$(GO) run ./cmd/alestress -soak -seed $(SEED) -workers 4 -ops 10000
+
+# Combined engine+substrate coverage against the CI floor (89.7%).
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out \
+		-coverpkg=repro/internal/core,repro/internal/tm ./...
+	$(GO) tool cover -func=cover.out | tail -1

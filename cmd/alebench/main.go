@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	alebench [flags] fig2|fig3|fig4|fig5|report|ablation|striping|all
+//	alebench [flags] fig2|fig3|fig4|fig5|report|ablation|striping|faults|all
 //
 // Figures (see DESIGN.md section 4 for the reconstruction mapping):
 //
@@ -141,15 +141,17 @@ func run(cmd string) error {
 		return ablations()
 	case "striping":
 		return striping()
+	case "faults":
+		return faultAblation()
 	case "all":
-		for _, c := range []string{"fig2", "fig3", "fig4", "fig5", "report", "ablation", "striping"} {
+		for _, c := range []string{"fig2", "fig3", "fig4", "fig5", "report", "ablation", "striping", "faults"} {
 			if err := run(c); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown command %q (want fig2|fig3|fig4|fig5|report|ablation|striping|all)", cmd)
+	return fmt.Errorf("unknown command %q (want fig2|fig3|fig4|fig5|report|ablation|striping|faults|all)", cmd)
 }
 
 func hashmapFigure(figNum int) error {
@@ -286,5 +288,20 @@ func striping() error {
 		return err
 	}
 	fig.Print(os.Stdout)
+	return nil
+}
+
+// faultAblation runs the injected-fault regime table (internal/bench
+// FaultAblationTable): throughput of each policy variant under each
+// scripted fault class, quantifying how the adaptive policy reroutes
+// around degraded mechanisms.
+func faultAblation() error {
+	plat := platform.Haswell()
+	tbl, err := bench.FaultAblationTable(plat, min(4, runtime.GOMAXPROCS(0)),
+		*ops/2, *keyRange, 20)
+	if err != nil {
+		return err
+	}
+	tbl.Print(os.Stdout)
 	return nil
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// FuzzAnalyzeInput throws arbitrary bytes at the -in analysis path —
+// the same dispatch analyzeFile performs, minus the file read. Saved
+// metrics files come from outside the process (hand-edited exports,
+// truncated scrapes, foreign CSVs), so the only contract is: return an
+// error or a rendering, never panic, for any input whatsoever.
+func FuzzAnalyzeInput(f *testing.F) {
+	const hdr = "lock,context,execs,htm_successes,swopt_successes,lock_successes"
+	f.Add([]byte(hdr + "\ntbl,get,10,4,3,3\n"))
+	f.Add([]byte(hdr + "\n"))
+	f.Add([]byte(hdr + "\ntbl,,18446744073709551615,1,2,3\n"))
+	f.Add([]byte(hdr + "\ntbl,x,-1,NaN,Inf,1e30\n"))
+	f.Add([]byte("lock,context\na,b\n"))
+	f.Add([]byte("\"unterminated"))
+	f.Add([]byte(""))
+	f.Add([]byte("   \n\t"))
+	f.Add([]byte(`{"at":"2026-08-05T00:00:00Z"}`))
+	f.Add([]byte(`[{"counters":{"execs":"not-a-number"}}]`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
+			return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+		})
+		if len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '[') {
+			snaps, err := obs.ParseSnapshots(data)
+			if err != nil {
+				return
+			}
+			_ = writeSnapshotDeltas(io.Discard, snaps)
+			return
+		}
+		_ = summarizeCSV(io.Discard, data)
+	})
+}

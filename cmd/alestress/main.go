@@ -1,0 +1,151 @@
+// Command alestress is the deterministic fault-injection stress harness:
+// it drives the ALE-backed structures (hashmap, intset, queue) through a
+// seeded operation tape while a scripted fault injector forces aborts,
+// validation failures, and stretched critical sections, cross-checking
+// every observed result against a single-threaded sequential oracle.
+//
+// Usage:
+//
+//	alestress [flags]                      deterministic oracle run
+//	alestress -soak [flags]                concurrent soak (interleaving-
+//	                                       independent invariant checks)
+//
+// The default mode replays bit for bit: the same -seed and -script always
+// produce the same tape hash and the same fault firings. On a mismatch the
+// harness minimizes the failure (shortest failing prefix, load-bearing
+// script rules only) and prints a reproduction command line whose flags
+// are exactly the ones below — paste it to replay the bug.
+//
+// -seed-bug n deliberately seeds the queue's head-skip defect (every n-th
+// Take skips the head advance, double-dequeuing an element). It exists to
+// prove the harness catches real wrong-result bugs; see docs/TESTING.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/faultinject"
+	"repro/internal/oracle"
+)
+
+// defaultScript touches every fault class with co-prime periods so the
+// classes interleave rather than synchronize.
+const defaultScript = "spurious-burst/41,capacity-cliff/53=24,conflict-storm/37," +
+	"htm-disable/101,validate-fail/29,delay-end/43=8,lock-stretch/47=8"
+
+var (
+	structFlag = flag.String("struct", "all", "structure under test: hashmap|intset|queue|all")
+	seed       = flag.Uint64("seed", 1, "tape seed; same seed + script replays bit for bit")
+	opsN       = flag.Int("ops", 5000, "operations per tape (per worker in -soak mode)")
+	keys       = flag.Uint64("keys", 64, "key-range size (per worker in -soak mode)")
+	scriptStr  = flag.String("script", defaultScript, "fault script (empty = no injected faults)")
+	queueCap   = flag.Int("queue-cap", 0, "queue capacity, rounded to a power of two (0 = default)")
+	seedBug    = flag.Uint64("seed-bug", 0, "seed the queue head-skip defect every n-th take (harness self-test)")
+	soak       = flag.Bool("soak", false, "concurrent soak instead of the deterministic oracle run")
+	workers    = flag.Int("workers", 4, "soak workers (map/set) or producer/consumer pairs (queue)")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "alestress: unexpected argument %q (all inputs are flags)\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	script, err := faultinject.ParseScript(*scriptStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alestress:", err)
+		os.Exit(2)
+	}
+	structures, err := pickStructures(*structFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alestress:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, s := range structures {
+		if *soak {
+			failed = runSoak(s, script) || failed
+		} else {
+			failed = runDeterministic(s, script) || failed
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func pickStructures(name string) ([]oracle.Structure, error) {
+	if name == "all" {
+		all := make([]oracle.Structure, 0, oracle.NumStructures)
+		for s := oracle.Structure(0); s < oracle.NumStructures; s++ {
+			all = append(all, s)
+		}
+		return all, nil
+	}
+	s, err := oracle.ParseStructure(name)
+	if err != nil {
+		return nil, err
+	}
+	return []oracle.Structure{s}, nil
+}
+
+// runDeterministic executes one oracle run and reports it; the seed is
+// always logged so any run (including CI soaks) can be replayed.
+func runDeterministic(s oracle.Structure, script faultinject.Script) (failed bool) {
+	rep := oracle.Run(oracle.Config{
+		Structure:     s,
+		Seed:          *seed,
+		Ops:           *opsN,
+		Keys:          *keys,
+		Script:        script,
+		QueueCap:      *queueCap,
+		QueueSkipHead: *seedBug,
+	})
+	if rep.Repro != nil {
+		fmt.Fprintf(os.Stderr, "alestress: FAIL %s (seed %d)\n%s\n", s, *seed, rep.Repro.Error())
+		return true
+	}
+	fmt.Printf("alestress: ok %s seed=%d ops=%d keys=%d tape-hash=%#016x %s\n",
+		s, *seed, rep.Ops, *keys, rep.TapeHash, firingSummary(rep.Firings))
+	return false
+}
+
+// runSoak executes the concurrent soak: disjoint-key per-worker oracles
+// for map/set, conservation plus per-producer FIFO order for the queue.
+func runSoak(s oracle.Structure, script faultinject.Script) (failed bool) {
+	firings, err := oracle.Soak(oracle.SoakConfig{
+		Structure:     s,
+		Seed:          *seed,
+		Workers:       *workers,
+		OpsPerWorker:  *opsN,
+		Keys:          *keys,
+		Script:        script,
+		QueueCap:      *queueCap,
+		QueueSkipHead: *seedBug,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alestress: FAIL %s soak (seed %d, workers %d): %v\n",
+			s, *seed, *workers, err)
+		return true
+	}
+	fmt.Printf("alestress: ok %s soak seed=%d workers=%d ops/worker=%d %s\n",
+		s, *seed, *workers, *opsN, firingSummary(firings))
+	return false
+}
+
+func firingSummary(firings [faultinject.NumClasses]uint64) string {
+	var total uint64
+	for _, f := range firings {
+		total += f
+	}
+	out := fmt.Sprintf("faults=%d", total)
+	for c, f := range firings {
+		if f > 0 {
+			out += fmt.Sprintf(" %s=%d", faultinject.Class(c), f)
+		}
+	}
+	return out
+}

@@ -93,6 +93,8 @@ type Result struct {
 	Elapsed  time.Duration
 	HitRate  float64 // fraction of lookups that hit (where tracked)
 	MopsPerS float64
+	// Faults counts injected-fault firings (fault-ablation runs only).
+	Faults uint64
 }
 
 func finish(ops uint64, hits, lookups uint64, elapsed time.Duration) Result {

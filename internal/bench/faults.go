@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/platform"
+)
+
+// FaultRegime is one row of the fault-ablation table: a named fault
+// script applied to every run in that row. The empty script is the
+// organic baseline.
+type FaultRegime struct {
+	Name   string
+	Script faultinject.Script
+}
+
+// FaultRegimes returns the ablation's regime set: the fault-free
+// baseline, one periodic regime per fault class, and all classes
+// combined. Periods are co-prime so the combined regime interleaves
+// rather than synchronizes.
+func FaultRegimes() []FaultRegime {
+	mk := func(name, script string) FaultRegime {
+		sc, err := faultinject.ParseScript(script)
+		if err != nil {
+			panic("bench: bad built-in fault script: " + err.Error())
+		}
+		return FaultRegime{Name: name, Script: sc}
+	}
+	return []FaultRegime{
+		{Name: "baseline"},
+		mk("spurious-burst", "spurious-burst/41"),
+		mk("capacity-cliff", "capacity-cliff/53=24"),
+		mk("conflict-storm", "conflict-storm/37"),
+		mk("htm-disable", "htm-disable/101"),
+		mk("validate-fail", "validate-fail/29"),
+		mk("delay-end", "delay-end/43=8"),
+		mk("lock-stretch", "lock-stretch/47=8"),
+		mk("all-combined",
+			"spurious-burst/41,capacity-cliff/53=24,conflict-storm/37,"+
+				"htm-disable/101,validate-fail/29,delay-end/43=8,lock-stretch/47=8"),
+	}
+}
+
+// FaultTable is the rendered fault ablation: one row per regime, one
+// column pair (throughput, firings) per variant.
+type FaultTable struct {
+	Title    string
+	Descr    string
+	Variants []string
+	Rows     []FaultRow
+}
+
+// FaultRow is one regime's measurements across the variant columns.
+type FaultRow struct {
+	Regime string
+	Mops   []float64
+	Faults []uint64
+}
+
+// Print renders the table; each cell is Mops/s with the injected-fault
+// firing count in parentheses.
+func (t FaultTable) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	if t.Descr != "" {
+		fmt.Fprintf(w, "%s\n", t.Descr)
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+	header := append([]string{"fault regime"}, t.Variants...)
+	fmt.Fprintln(tw, strings.Join(header, "\t")+"\t")
+	for _, r := range t.Rows {
+		row := []string{r.Regime}
+		for i := range r.Mops {
+			row = append(row, fmt.Sprintf("%.3f (%d)", r.Mops[i], r.Faults[i]))
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t")+"\t")
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "(throughput, Mops/s; parenthesized: injected-fault firings)")
+}
+
+// faultVariants returns the curves the fault ablation contrasts: an
+// HTM-only static policy (maximally exposed to HTM-side faults), the
+// full static mix, and the adaptive policy (which should reroute around
+// whichever mechanism the faults degrade).
+func faultVariants() []Variant {
+	return []Variant{
+		{Name: "Static-HL-10", Policy: func() core.Policy { return core.NewStatic(10, 0) }, AllowHTM: true},
+		{Name: "Static-All-10:10", Policy: func() core.Policy { return core.NewStatic(10, 10) }, AllowHTM: true, AllowSWOpt: true},
+		{Name: "Adaptive-All", Policy: func() core.Policy { return core.NewAdaptiveCfg(adaptiveCfg()) }, AllowHTM: true, AllowSWOpt: true},
+	}
+}
+
+// FaultAblationTable sweeps fault regimes x policy variants on the
+// HashMap workload at one thread count: the fault-ablation mode. The
+// injected faults are sound (they only force aborts, retries, and
+// stretched critical sections), so throughput deltas measure how each
+// policy degrades — the adaptive policy's job is to keep the all-combined
+// row closest to its baseline.
+func FaultAblationTable(plat platform.Platform, threads, opsPerThread int,
+	keyRange uint64, mutatePct int) (FaultTable, error) {
+	variants := faultVariants()
+	t := FaultTable{
+		Title: "Fault ablation: HashMap throughput under injected fault regimes",
+		Descr: fmt.Sprintf("platform=%s  threads=%d  keyRange=%d  mutate=%d%%  ops/thread=%d",
+			plat.Profile.String(), threads, keyRange, mutatePct, opsPerThread),
+	}
+	for _, v := range variants {
+		t.Variants = append(t.Variants, v.Name)
+	}
+	for _, reg := range FaultRegimes() {
+		row := FaultRow{Regime: reg.Name}
+		for _, v := range variants {
+			res, _, err := RunHashMap(HashMapParams{
+				Platform:     plat,
+				Variant:      v,
+				Threads:      threads,
+				OpsPerThread: opsPerThread,
+				KeyRange:     keyRange,
+				MutatePct:    mutatePct,
+				FaultScript:  reg.Script,
+			})
+			if err != nil {
+				return FaultTable{}, fmt.Errorf("fault ablation %s/%s: %w", reg.Name, v.Name, err)
+			}
+			row.Mops = append(row.Mops, res.MopsPerS)
+			row.Faults = append(row.Faults, res.Faults)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hashmap"
 	"repro/internal/platform"
 	"repro/internal/tm"
@@ -33,6 +34,11 @@ type HashMapParams struct {
 	// Opts overrides the runtime options (nil = DefaultOptions) for the
 	// mechanism ablations.
 	Opts *core.Options
+	// FaultScript, when non-empty, installs a deterministic fault
+	// injector (internal/faultinject) on both the substrate and the
+	// engine for this run — the fault-ablation mode. Result.Faults
+	// reports how often it fired.
+	FaultScript faultinject.Script
 }
 
 // RunHashMap executes one configuration and returns its measured point.
@@ -46,7 +52,17 @@ func RunHashMap(p HashMapParams) (Result, *core.Runtime, error) {
 	if p.Opts != nil {
 		opts = *p.Opts
 	}
-	rt := core.NewRuntimeOpts(tm.NewDomain(p.Platform.Profile), opts)
+	dom := tm.NewDomain(p.Platform.Profile)
+	var inj *faultinject.Injector
+	if len(p.FaultScript) > 0 {
+		inj = faultinject.New(p.FaultScript)
+		if opts.Obs != nil {
+			inj.SetObsShard(opts.Obs.NewShard())
+		}
+		dom.SetInjector(inj)
+		opts.Faults = inj
+	}
+	rt := core.NewRuntimeOpts(dom, opts)
 	stripes := p.Stripes
 	if stripes < 1 {
 		stripes = 1
@@ -140,6 +156,9 @@ func RunHashMap(p HashMapParams) (Result, *core.Runtime, error) {
 		return Result{}, nil, *ep
 	}
 	res := finish(uint64(p.Threads)*uint64(p.OpsPerThread), hits.Load(), lookups.Load(), elapsed)
+	if inj != nil {
+		res.Faults = inj.TotalFirings()
+	}
 	if !p.Variant.NeedsALE() {
 		return res, nil, nil
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -590,23 +591,44 @@ func (p *AdaptivePolicy) chooseX(g *Granule, gl *granLearn, si int, pr progressi
 		perAttempt = time.Microsecond
 	}
 
-	bestX, bestCost := xcap, time.Duration(0)
+	gl.xByProg[pr].Store(int32(costModelX(h.Bucket, total, xcap, tSucc, lower, upper, perAttempt)))
+}
+
+// costModelX is the cost-model minimization at the heart of chooseX,
+// extracted so it can be tested and fuzzed in isolation: pick the attempt
+// budget x in [1, xcap] minimizing the expected execution time. bucket(a)
+// is the number of observed executions that needed exactly a HTM attempts
+// to succeed; total the number of observations.
+//
+// The statistics it consumes are racy by design (concurrently updated
+// counters, sampled timings), so no input combination — zero or
+// inconsistent totals, zero, negative, or absurd times — may panic, and
+// the result must always stay in [1, xcap]. A NaN or infinite candidate
+// cost (degenerate float arithmetic) loses every comparison and is
+// thereby ignored.
+func costModelX(bucket func(int) uint64, total uint64, xcap int,
+	tSucc, lower, upper, perAttempt time.Duration) int {
+	if xcap < 1 {
+		return 1
+	}
+	bestX := xcap
+	bestCost := math.Inf(1)
+	var succ uint64
 	for x := 1; x <= xcap; x++ {
-		var succ uint64
-		for a := 1; a <= x; a++ {
-			succ += h.Bucket(a)
+		succ += bucket(x)
+		var pSucc float64
+		if total > 0 {
+			pSucc = float64(succ) / float64(total)
 		}
-		pSucc := float64(succ) / float64(total)
 		// Linear interpolation of the non-HTM completion time: x = xcap
 		// hits the measured lower bound, x = 0 would hit the upper bound.
-		fall := lower + time.Duration(float64(upper-lower)*float64(xcap-x)/float64(xcap))
-		cost := time.Duration(pSucc*float64(tSucc) +
-			(1-pSucc)*(float64(x)*float64(perAttempt)+float64(fall)))
-		if bestCost == 0 || cost < bestCost {
+		fall := float64(lower) + float64(upper-lower)*float64(xcap-x)/float64(xcap)
+		cost := pSucc*float64(tSucc) + (1-pSucc)*(float64(x)*float64(perAttempt)+fall)
+		if cost < bestCost {
 			bestX, bestCost = x, cost
 		}
 	}
-	gl.xByProg[pr].Store(int32(bestX))
+	return bestX
 }
 
 // fallbackMean is the measured mean time of executions in stage si that

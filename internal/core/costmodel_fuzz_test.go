@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Direct tests for costModelX, the pure minimization extracted from
+// chooseX: hand-checkable distributions first, then a fuzz target for the
+// degenerate-input contract (the statistics feeding it are racy by
+// design, so no input may panic or push the result out of range).
+
+// literalBuckets adapts a literal attempts-to-success distribution
+// (buckets[a] = executions succeeding at exactly attempt a) to the
+// bucket-lookup shape costModelX consumes.
+func literalBuckets(buckets []uint64) (func(int) uint64, uint64) {
+	var total uint64
+	for _, b := range buckets {
+		total += b
+	}
+	return func(a int) uint64 {
+		if a < 0 || a >= len(buckets) {
+			return 0
+		}
+		return buckets[a]
+	}, total
+}
+
+func TestCostModelXTable(t *testing.T) {
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	cases := []struct {
+		name    string
+		buckets []uint64
+		xcap    int
+		tSucc   time.Duration
+		lower   time.Duration
+		upper   time.Duration
+		per     time.Duration
+		want    int
+	}{
+		{
+			// Every success lands on attempt 1 and HTM is much cheaper
+			// than the fallback: budget exactly one attempt.
+			name:    "first-attempt-point-mass",
+			buckets: []uint64{0, 100},
+			xcap:    8,
+			tSucc:   us(1), lower: us(100), upper: us(100), per: us(1),
+			want: 1,
+		},
+		{
+			// All successes need 5 attempts against a ruinous fallback:
+			// fewer than 5 always falls back, more burns dead retries.
+			name:    "fifth-attempt-point-mass",
+			buckets: []uint64{0, 0, 0, 0, 0, 100},
+			xcap:    8,
+			tSucc:   us(1), lower: us(1000), upper: us(1000), per: us(1),
+			want: 5,
+		},
+		{
+			// HTM never succeeds (all mass in bucket 0, unreachable by any
+			// budget) and each attempt costs: minimum budget wins.
+			name:    "htm-hopeless",
+			buckets: []uint64{100},
+			xcap:    6,
+			tSucc:   us(10), lower: us(50), upper: us(50), per: us(10),
+			want: 1,
+		},
+		{
+			// Successes split between attempts 1 and 3, but HTM success is
+			// slow and the fallback cheap: chasing the late half buys
+			// nothing over falling back immediately after attempt 1.
+			name:    "bimodal-slow-htm",
+			buckets: []uint64{0, 50, 0, 50},
+			xcap:    4,
+			tSucc:   us(100), lower: us(12), upper: us(12), per: us(10),
+			want: 1,
+		},
+		{
+			// Same split with an expensive fallback: pay the retries to
+			// rescue the attempt-3 half.
+			name:    "bimodal-dear-fallback",
+			buckets: []uint64{0, 50, 0, 50},
+			xcap:    4,
+			tSucc:   us(10), lower: us(10000), upper: us(10000), per: us(10),
+			want: 3,
+		},
+		{
+			// Degenerate: nothing observed, no timing — must still return
+			// a legal budget.
+			name:    "all-zero",
+			buckets: nil,
+			xcap:    5,
+			want:    1,
+		},
+		{
+			// Degenerate: xcap below the legal floor.
+			name:    "xcap-zero",
+			buckets: []uint64{0, 10},
+			xcap:    0,
+			tSucc:   us(1), lower: us(10), upper: us(10), per: us(1),
+			want: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bucket, total := literalBuckets(tc.buckets)
+			got := costModelX(bucket, total, tc.xcap, tc.tSucc, tc.lower, tc.upper, tc.per)
+			if got != tc.want {
+				t.Errorf("costModelX = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzCostModelX feeds the cost model the garbage its racy inputs can in
+// principle produce — inconsistent totals, zero/negative/huge times,
+// degenerate caps. Invariants: no panic, result always in [1, max(xcap,
+// 1)], and the function is deterministic. The float arithmetic inside can
+// yield NaN and ±Inf candidate costs; those must be ignored, not returned.
+func FuzzCostModelX(f *testing.F) {
+	f.Add(uint64(10), uint64(20), uint64(5), uint64(100), 8,
+		int64(1000), int64(50000), int64(80000), int64(500))
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), 0,
+		int64(0), int64(0), int64(0), int64(0))
+	f.Add(^uint64(0), uint64(1), ^uint64(0)/2, uint64(3), 64,
+		int64(-1), int64(1)<<62, int64(-1)<<62, int64(1))
+	f.Add(uint64(1), uint64(2), uint64(3), uint64(0), -5,
+		int64(7), int64(-7), int64(7), int64(-7))
+	f.Fuzz(func(t *testing.T, b1, b2, b3, total uint64, xcap int,
+		tSucc, lower, upper, per int64) {
+		if xcap > 1<<12 {
+			xcap = 1 << 12 // keep the linear scan bounded; larger caps add nothing
+		}
+		bucket := func(a int) uint64 {
+			switch a {
+			case 1:
+				return b1
+			case 2:
+				return b2
+			case 3:
+				return b3
+			}
+			return 0
+		}
+		got := costModelX(bucket, total, xcap,
+			time.Duration(tSucc), time.Duration(lower), time.Duration(upper), time.Duration(per))
+		limit := xcap
+		if limit < 1 {
+			limit = 1
+		}
+		if got < 1 || got > limit {
+			t.Fatalf("costModelX = %d, outside [1, %d] (total=%d xcap=%d times=%d/%d/%d/%d)",
+				got, limit, total, xcap, tSucc, lower, upper, per)
+		}
+		if again := costModelX(bucket, total, xcap,
+			time.Duration(tSucc), time.Duration(lower), time.Duration(upper), time.Duration(per)); again != got {
+			t.Fatalf("costModelX not deterministic: %d then %d", got, again)
+		}
+	})
+}

@@ -20,48 +20,54 @@ func driftCfg() DriftConfig {
 	}
 }
 
+// fakeClock is the virtual clock the drift tests measure with: the
+// workload advances it explicitly, so measured durations depend only on
+// which paths executed — never on scheduler load or wall time
+// (docs/TESTING.md). Atomic because the engine may read it from timed
+// paths while a test goroutine advances it.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
 // driftFixture builds a CS whose cost profile can be flipped at runtime:
 // in phase 0 the exclusive path is slow (SWOpt should win); in phase 1 the
-// SWOpt path always fails (Lock should win). Timing is fully sampled so
-// the learner and the detector both see the change quickly.
+// SWOpt path always fails (Lock should win). Timing is fully sampled and
+// measured on the fixture's virtual clock: the SWOpt path costs 1µs, the
+// exclusive path 50µs, deterministically.
 type driftFixture struct {
 	rt    *Runtime
 	lock  *Lock
 	pol   *DriftPolicy
 	phase atomic.Int32
 	cs    *CS
+	clock *fakeClock
 }
 
 func newDriftFixture(t *testing.T) *driftFixture {
 	t.Helper()
+	f := &driftFixture{pol: NewDriftCfg(driftCfg()), clock: &fakeClock{}}
 	opts := DefaultOptions()
 	opts.SampleAllTimings = true
+	opts.Clock = f.clock.now
 	rt := NewRuntimeOpts(tm.NewDomain(noHTMProfile()), opts)
 	d := rt.Domain()
-	f := &driftFixture{rt: rt, pol: NewDriftCfg(driftCfg())}
+	f.rt = rt
 	f.lock = rt.NewLock("L", locks.NewTATAS(d), f.pol)
 	v := d.NewVar(0)
-	slow := func() {
-		x := uint64(1)
-		for i := 0; i < 6000; i++ {
-			x = x*2654435761 + 1
-		}
-		if x == 42 {
-			t.Log("never")
-		}
-	}
 	f.cs = &CS{
 		Scope:    NewScope("cs"),
 		HasSWOpt: true,
 		Body: func(ec *ExecCtx) error {
 			if ec.InSWOpt() {
+				f.clock.advance(time.Microsecond)
 				if f.phase.Load() == 1 {
 					return ec.SWOptFail() // SWOpt stopped working
 				}
 				_ = ec.Load(v)
 				return nil
 			}
-			slow()
+			f.clock.advance(50 * time.Microsecond)
 			_ = ec.Load(v)
 			return nil
 		},

@@ -123,7 +123,11 @@ func (l *Lock) Execute(thr *Thread, cs *CS) error {
 	timed := l.rt.opts.SampleAllTimings || stats.ShouldSample(thr.rng)
 	var start time.Time
 	if timed {
-		start = time.Now()
+		if c := l.rt.opts.Clock; c != nil {
+			start = c()
+		} else {
+			start = time.Now()
+		}
 	}
 
 	thr.frames = append(thr.frames, frame{lock: l, gran: g})
@@ -133,7 +137,11 @@ func (l *Lock) Execute(thr *Thread, cs *CS) error {
 	thr.frames = thr.frames[:fi]
 
 	if timed {
-		rec.Duration = time.Since(start)
+		if c := l.rt.opts.Clock; c != nil {
+			rec.Duration = c().Sub(start)
+		} else {
+			rec.Duration = time.Since(start)
+		}
 		g.timeBy[rec.FinalMode].Add(rec.Duration)
 	}
 	g.execs.Inc()
@@ -321,6 +329,11 @@ func (l *Lock) lockAttempt(thr *Thread, cs *CS, fi int) error {
 	fr.mode = ModeLock
 	l.ops.Acquire()
 	defer l.ops.Release()
+	// Stretch while held, before the body: concurrent HTM attempts see
+	// AbortLockHeld pressure for the whole stretch.
+	if h := l.rt.opts.Faults; h != nil {
+		h.StretchLockHold()
+	}
 	fr.ec = ExecCtx{thr: thr, lock: l, mode: ModeLock, inv: l.rt.invFor(cs, l, ModeLock)}
 	err := cs.Body(&fr.ec)
 	fr.ec.invDone(err)

@@ -1,0 +1,39 @@
+package core
+
+// FaultHooks is the engine-level fault-injection hook set, the companion
+// of tm.Injector one layer up: where the tm hooks force hardware-
+// transaction aborts, these force the failure modes that live in the ALE
+// engine itself — SWOpt validation failures, stretched conflicting
+// regions, stretched lock holds. internal/faultinject implements both
+// interfaces with one scripted, deterministic injector.
+//
+// Like every injected fault in this codebase, these are sound: a Validate
+// returning false, a slow EndConflicting, or a long lock hold are all
+// legal executions, so injection can only force retries, deferrals, and
+// convoys — never incorrect results. The stress harness (internal/oracle)
+// relies on that to cross-check results against a sequential oracle while
+// faults fire.
+//
+// Zero-cost contract: with Options.Faults nil (the default), each hook
+// site costs one nil check, the same pattern as Options.InvariantMode.
+// Implementations must be safe for concurrent use.
+type FaultHooks interface {
+	// ForceValidateFail is consulted by ConflictMarker.ValidateIn (and
+	// therefore ec.Validate); returning true makes the validation report
+	// failure regardless of the marker's actual version, driving SWOpt
+	// retry storms and nested-mutation invalidation paths.
+	ForceValidateFail() bool
+
+	// StretchConflicting is invoked inside EndConflicting, before the
+	// closing marker bump: the conflicting region stays observable (odd
+	// version in Lock mode, open transaction in HTM mode) for the
+	// duration of the call, widening the window concurrent SWOpt
+	// executions must detect.
+	StretchConflicting()
+
+	// StretchLockHold is invoked while the lock is held in a Lock-mode
+	// execution, before the body runs: it lengthens the critical section,
+	// manufacturing the lock convoys and AbortLockHeld pressure the
+	// paper's discount accounting exists for.
+	StretchLockHold()
+}

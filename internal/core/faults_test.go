@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/tm"
+)
+
+// stubFaults is a minimal deterministic FaultHooks: force the next failN
+// validations to fail, count the stretch invocations.
+type stubFaults struct {
+	failN       atomic.Int64
+	stretchConf atomic.Int64
+	stretchLock atomic.Int64
+}
+
+func (s *stubFaults) ForceValidateFail() bool { return s.failN.Add(-1) >= 0 }
+func (s *stubFaults) StretchConflicting()     { s.stretchConf.Add(1) }
+func (s *stubFaults) StretchLockHold()        { s.stretchLock.Add(1) }
+
+var errStale = errors.New("validation failed")
+
+// TestFaultHooksForceValidateFail checks that an installed hook makes
+// ec.Validate report failure exactly as a real conflict would — the body
+// sees false, reports staleness, and the caller's retry succeeds once the
+// injection window passes.
+func TestFaultHooksForceValidateFail(t *testing.T) {
+	faults := &stubFaults{}
+	faults.failN.Store(3)
+	opts := DefaultOptions()
+	opts.Faults = faults
+	rt := NewRuntimeOpts(tm.NewDomain(htmProfile()), opts)
+	d := rt.Domain()
+	lock := rt.NewLock("vf", locks.NewTATAS(d), NewLockOnly())
+	m := lock.NewMarker()
+	cell := d.NewVar(42)
+	cs := &CS{
+		Scope: NewScope("vf.read"),
+		Body: func(ec *ExecCtx) error {
+			v := m.Version()
+			got := ec.Load(cell)
+			if !ec.Validate(m, v) {
+				return errStale
+			}
+			if got != 42 {
+				t.Errorf("validated load = %d, want 42", got)
+			}
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	for i := 1; i <= 3; i++ {
+		if err := lock.Execute(thr, cs); err != errStale {
+			t.Fatalf("execute %d: err = %v, want forced %v", i, err, errStale)
+		}
+	}
+	if err := lock.Execute(thr, cs); err != nil {
+		t.Fatalf("post-window execute: %v (injection must stop when the script runs out)", err)
+	}
+}
+
+// TestFaultHooksStretches checks that the two stretch hooks fire once per
+// site — StretchLockHold per Lock-mode acquisition, StretchConflicting per
+// EndConflicting — and that stretching never corrupts results.
+func TestFaultHooksStretches(t *testing.T) {
+	faults := &stubFaults{}
+	opts := DefaultOptions()
+	opts.Faults = faults
+	rt := NewRuntimeOpts(tm.NewDomain(htmProfile()), opts)
+	f := newPairFixture(rt, NewLockOnly())
+	thr := rt.NewThread()
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := f.a.LoadDirect(), f.b.LoadDirect(); a != n || b != n {
+		t.Errorf("pair = (%d, %d), want (%d, %d)", a, b, n, n)
+	}
+	if got := faults.stretchLock.Load(); got != n {
+		t.Errorf("StretchLockHold fired %d times, want %d (once per lock attempt)", got, n)
+	}
+	if got := faults.stretchConf.Load(); got != n {
+		t.Errorf("StretchConflicting fired %d times, want %d (once per EndConflicting)", got, n)
+	}
+}
+
+// TestFaultHooksHTMModeUnaffected checks the engine-level hooks do not
+// fire on HTM-mode paths that never take the lock or validate: HTM-mode
+// failure injection belongs to tm.Injector, not FaultHooks.
+func TestFaultHooksHTMModeUnaffected(t *testing.T) {
+	faults := &stubFaults{}
+	opts := DefaultOptions()
+	opts.Faults = faults
+	rt := NewRuntimeOpts(tm.NewDomain(htmProfile()), opts)
+	f := newPairFixture(rt, NewStatic(10, 0))
+	thr := rt.NewThread()
+	for i := 0; i < 10; i++ {
+		if err := f.lock.Execute(thr, f.readCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := faults.stretchLock.Load(); got != 0 {
+		t.Errorf("StretchLockHold fired %d times on an uncontended HTM workload", got)
+	}
+}

@@ -59,6 +59,11 @@ func (m *ConflictMarker) EndConflicting(ec *ExecCtx) {
 	if ec.inv != nil {
 		ec.inv.endRegion()
 	}
+	// The stretch runs before the closing bump, so the region stays
+	// observable (odd version in Lock mode) for its whole duration.
+	if h := ec.lock.rt.opts.Faults; h != nil {
+		h.StretchConflicting()
+	}
 	m.bump(ec)
 }
 
@@ -121,6 +126,12 @@ func (m *ConflictMarker) ValidateIn(ec *ExecCtx, v uint64) bool {
 	// Clear after the load above, which itself counts as pending.
 	if ec.inv != nil {
 		ec.inv.pending = 0
+	}
+	// A forced failure is always a sound answer — callers must treat a
+	// false as "conflict occurred, retry" — so injection drives the retry
+	// and nested-invalidation paths without permitting a wrong result.
+	if h := ec.lock.rt.opts.Faults; h != nil && h.ForceValidateFail() {
+		return false
 	}
 	return ok
 }

@@ -115,36 +115,31 @@ func TestDeepNestingConcurrent(t *testing.T) {
 // TestAdaptiveLearnsFromTiming is the paper's headline adaptive claim in
 // miniature: the learner must pick the progression whose *measured* mean
 // execution time is lowest. The critical section is built so the signal is
-// unambiguous — its exclusive path burns time that its SWOpt path does not
-// (in a real workload that difference comes from lock contention; here it
-// is synthesized so the test is deterministic) — and the policy must
-// settle on SWOpt+Lock and route subsequent executions through SWOpt.
+// unambiguous — its exclusive path costs 50µs on the fixture's virtual
+// clock while its SWOpt path costs 1µs (in a real workload that difference
+// comes from lock contention; here it is synthesized so the test is
+// deterministic, see docs/TESTING.md) — and the policy must settle on
+// SWOpt+Lock and route subsequent executions through SWOpt.
 func TestAdaptiveLearnsFromTiming(t *testing.T) {
+	clock := &fakeClock{}
 	opts := DefaultOptions()
 	opts.SampleAllTimings = true // full timing so the learner sees the gap
+	opts.Clock = clock.now
 	rt := NewRuntimeOpts(tm.NewDomain(noHTMProfile()), opts)
 	d := rt.Domain()
 	pol := NewAdaptiveCfg(AdaptiveConfig{PhaseExecs: 150, InitialX: 10, XSlack: 2, BigY: 200})
 	l := rt.NewLock("L", locks.NewTATAS(d), pol)
 	v := d.NewVar(0)
-	slow := func() { // ~ a few microseconds of work
-		x := uint64(1)
-		for i := 0; i < 4000; i++ {
-			x = x*2654435761 + 1
-		}
-		if x == 42 {
-			t.Log("never")
-		}
-	}
 	cs := &CS{
 		Scope:    NewScope("read"),
 		HasSWOpt: true,
 		Body: func(ec *ExecCtx) error {
 			if ec.InSWOpt() {
+				clock.advance(time.Microsecond)
 				_ = ec.Load(v)
 				return nil
 			}
-			slow()
+			clock.advance(50 * time.Microsecond)
 			_ = ec.Load(v)
 			return nil
 		},

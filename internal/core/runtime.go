@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/tm"
@@ -52,6 +53,24 @@ type Options struct {
 	// instrumented call; enabled cost is one small allocation per body
 	// invocation. Intended for tests and race-detector runs.
 	InvariantMode bool
+
+	// Faults, when non-nil, attaches the engine-level fault-injection
+	// hooks (see FaultHooks and internal/faultinject): forced Validate
+	// failures, stretched conflicting regions, stretched lock holds. The
+	// substrate-level hooks (forced HTM aborts) install separately via
+	// tm.Domain.SetInjector; internal/faultinject implements both sides
+	// with one scripted injector. Off (nil, the default) costs one nil
+	// check per hook site. Intended for the stress harness
+	// (internal/oracle) and fault-ablation benchmarks only.
+	Faults FaultHooks
+
+	// Clock, when non-nil, replaces time.Now for execution-duration
+	// measurement. It exists so timing-sensitive tests (the drift
+	// detector's in particular) can drive a virtual clock advanced by the
+	// workload itself instead of depending on wall time and scheduler
+	// load — see docs/TESTING.md. nil (the default) uses time.Now and
+	// costs one nil check on the (already sampled) timed path.
+	Clock func() time.Time
 
 	// Obs, when non-nil, attaches the live observability layer
 	// (internal/obs): every Thread gets a private cache-padded counter

@@ -1,0 +1,270 @@
+// Package faultinject is the deterministic fault-injection layer of the
+// stress harness: a scripted Injector that forces the failure modes of both
+// the simulated-HTM substrate (internal/tm — spurious-abort bursts,
+// capacity cliffs, conflict storms, HTM disabling) and the ALE engine
+// (internal/core — forced validation failures, stretched conflicting
+// regions, stretched lock holds). One Injector implements both hook
+// interfaces (tm.Injector and, structurally, core.FaultHooks), so a single
+// Script drives faults through every layer at once.
+//
+// Every injectable fault is *sound*: an abort, a failed validation, or a
+// longer critical section are all legal executions of the same program, so
+// injection can force retries, fallbacks, and convoys — but never an
+// incorrect result. That is the property the sequential-oracle stress
+// checker (internal/oracle) depends on: it cross-checks results under
+// injection against an oracle that knows nothing about faults.
+//
+// Determinism: rules fire on *opportunity counts*, not probabilities. Each
+// fault class counts its own opportunities (transaction begins, data
+// accesses, validations, region ends, lock holds), and a rule fires on a
+// deterministic schedule over that count. Under the oracle harness's
+// single-scheduler mode, opportunities occur in tape order, so the same
+// seed and script reproduce the same firings bit for bit. Under concurrent
+// soaks the counters are shared atomics: still race-clean and exact in
+// total, merely not attributable to a specific interleaving.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Class enumerates the injectable fault classes. The first four force
+// substrate-level HTM aborts (tm.Injector hooks); the last three force
+// engine-level failures (core.FaultHooks hooks).
+type Class uint8
+
+const (
+	// SpuriousBurst forces AbortSpurious on scheduled transactional
+	// accesses — the implementation-induced failures that make long
+	// transactions fragile on real HTM.
+	SpuriousBurst Class = iota
+	// CapacityCliff forces AbortCapacity on scheduled accesses once the
+	// transaction's footprint (reads+writes) reaches Param — a sharper
+	// cliff than the profile's own caps, without rebuilding the domain.
+	CapacityCliff
+	// ConflictStorm forces AbortConflict on scheduled accesses,
+	// simulating data-conflict storms independent of actual sharing.
+	ConflictStorm
+	// HTMDisable forces AbortDisabled on scheduled transaction begins —
+	// the platform's HTM flipping off mid-run (paper's T2-like regime).
+	HTMDisable
+	// ValidateFail forces ConflictMarker.ValidateIn (and ec.Validate) to
+	// report failure, driving SWOpt retry storms.
+	ValidateFail
+	// DelayEnd stretches EndConflicting: the conflicting region stays
+	// observable for Param extra scheduler yields.
+	DelayEnd
+	// LockStretch stretches Lock-mode critical sections by Param
+	// scheduler yields while the lock is held, manufacturing lock
+	// convoys and AbortLockHeld pressure.
+	LockStretch
+
+	// NumClasses sizes per-class arrays. Mirrored by obs.NumFaultClasses
+	// (obs cannot import this package); TestObsMirror cross-checks.
+	NumClasses = 7
+)
+
+// classNames are the canonical (and parseable) class names, equal to
+// obs.FaultClassNames by the same convention.
+var classNames = [NumClasses]string{
+	"spurious-burst", "capacity-cliff", "conflict-storm", "htm-disable",
+	"validate-fail", "delay-end", "lock-stretch",
+}
+
+// String returns the canonical class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ParseClass parses a canonical class name.
+func ParseClass(s string) (Class, error) {
+	for i, n := range classNames {
+		if s == n {
+			return Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown fault class %q (want one of %s)",
+		s, strings.Join(classNames[:], ", "))
+}
+
+// Rule schedules one fault class over its opportunity count. Opportunities
+// are 1-based and per class: the n-th opportunity fires iff
+//
+//	From <= n && (To == 0 || n <= To) && (n-From) % max(Every,1) == 0
+//
+// so the zero window (From=0, To=0) with Every=0 means "every
+// opportunity, forever". Param is class-specific: the footprint threshold
+// for CapacityCliff (0 means 1: every counted access), the yield count
+// for DelayEnd/LockStretch (0 means 1), unused otherwise.
+type Rule struct {
+	Class Class
+	From  uint64 // first opportunity in window (0 ≡ 1)
+	To    uint64 // last opportunity in window, inclusive; 0 = unbounded
+	Every uint64 // fire every Every-th opportunity in window (0 ≡ 1)
+	Param uint64 // class-specific parameter
+}
+
+// matches reports whether the rule fires on the n-th (1-based)
+// opportunity of its class.
+func (r Rule) matches(n uint64) bool {
+	from := r.From
+	if from == 0 {
+		from = 1
+	}
+	if n < from || (r.To != 0 && n > r.To) {
+		return false
+	}
+	every := r.Every
+	if every == 0 {
+		every = 1
+	}
+	return (n-from)%every == 0
+}
+
+// String formats the rule in the script syntax:
+//
+//	class[@from:to][/every][=param]
+//
+// Defaulted fields are omitted, so String∘ParseRule is the identity on
+// canonical forms and ParseRule∘String is the identity on all rules.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Class.String())
+	if r.From != 0 || r.To != 0 {
+		b.WriteByte('@')
+		if r.From != 0 {
+			fmt.Fprintf(&b, "%d", r.From)
+		}
+		b.WriteByte(':')
+		if r.To != 0 {
+			fmt.Fprintf(&b, "%d", r.To)
+		}
+	}
+	if r.Every > 1 {
+		fmt.Fprintf(&b, "/%d", r.Every)
+	}
+	if r.Param != 0 {
+		fmt.Fprintf(&b, "=%d", r.Param)
+	}
+	return b.String()
+}
+
+// ParseRule parses the class[@from:to][/every][=param] syntax. Examples:
+//
+//	spurious-burst                  every access aborts spuriously
+//	conflict-storm@100:200          accesses 100..200 abort with conflict
+//	htm-disable@50:/2               every 2nd begin from the 50th on
+//	capacity-cliff=6                every access with footprint >= 6 aborts
+//	delay-end@10:10=64              the 10th EndConflicting yields 64 times
+func ParseRule(s string) (Rule, error) {
+	var r Rule
+	rest := s
+	if i := strings.IndexByte(rest, '='); i >= 0 {
+		p, err := parseCount(rest[i+1:], "param")
+		if err != nil {
+			return r, fmt.Errorf("faultinject: rule %q: %v", s, err)
+		}
+		r.Param = p
+		rest = rest[:i]
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		e, err := parseCount(rest[i+1:], "every")
+		if err != nil {
+			return r, fmt.Errorf("faultinject: rule %q: %v", s, err)
+		}
+		r.Every = e
+		rest = rest[:i]
+	}
+	if i := strings.IndexByte(rest, '@'); i >= 0 {
+		win := rest[i+1:]
+		rest = rest[:i]
+		j := strings.IndexByte(win, ':')
+		if j < 0 {
+			return r, fmt.Errorf("faultinject: rule %q: window %q needs from:to", s, win)
+		}
+		if f := win[:j]; f != "" {
+			v, err := parseCount(f, "window start")
+			if err != nil {
+				return r, fmt.Errorf("faultinject: rule %q: %v", s, err)
+			}
+			r.From = v
+		}
+		if t := win[j+1:]; t != "" {
+			v, err := parseCount(t, "window end")
+			if err != nil {
+				return r, fmt.Errorf("faultinject: rule %q: %v", s, err)
+			}
+			r.To = v
+		}
+	}
+	c, err := ParseClass(rest)
+	if err != nil {
+		return r, fmt.Errorf("faultinject: rule %q: %v", s, err)
+	}
+	r.Class = c
+	if r.To != 0 && r.From > r.To {
+		return r, fmt.Errorf("faultinject: rule %q: empty window %d:%d", s, r.From, r.To)
+	}
+	return r, nil
+}
+
+func parseCount(s, what string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", what, s)
+	}
+	return v, nil
+}
+
+// Script is an ordered set of rules; a class fires on an opportunity if
+// any of its rules matches. The String form is the comma-joined rules —
+// the exact text a failing stress run prints for reproduction.
+type Script []Rule
+
+// String formats the script as comma-joined rules ("" for an empty
+// script).
+func (s Script) String() string {
+	parts := make([]string, len(s))
+	for i, r := range s {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseScript parses a comma- and/or whitespace-separated rule list. An
+// empty or all-separator input yields an empty (inject-nothing) script.
+func ParseScript(s string) (Script, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n'
+	})
+	out := make(Script, 0, len(fields))
+	for _, f := range fields {
+		r, err := ParseRule(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// init cross-checks the class-name convention against obs at package load:
+// the two arrays must stay identical for dashboards to label fault
+// counters correctly.
+func init() {
+	if NumClasses != obs.NumFaultClasses {
+		panic("faultinject: NumClasses diverged from obs.NumFaultClasses")
+	}
+	for i := range classNames {
+		if classNames[i] != obs.FaultClassNames[i] {
+			panic("faultinject: class names diverged from obs.FaultClassNames")
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/tm"
+)
+
+func TestRuleRoundTrip(t *testing.T) {
+	cases := []string{
+		"spurious-burst",
+		"conflict-storm@100:200",
+		"htm-disable@50:/2",
+		"capacity-cliff=6",
+		"delay-end@10:10=64",
+		"lock-stretch/3=16",
+		"validate-fail@:7",
+	}
+	for _, s := range cases {
+		r, err := ParseRule(s)
+		if err != nil {
+			t.Fatalf("ParseRule(%q): %v", s, err)
+		}
+		back, err := ParseRule(r.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q: %v", s, r.String(), err)
+		}
+		if back != r {
+			t.Errorf("round trip %q: %+v != %+v", s, back, r)
+		}
+	}
+}
+
+func TestScriptRoundTrip(t *testing.T) {
+	const src = "spurious-burst@5:9, htm-disable/4\nconflict-storm@100:=0"
+	sc, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(sc))
+	}
+	sc2, err := ParseScript(sc.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", sc.String(), err)
+	}
+	if sc2.String() != sc.String() {
+		t.Errorf("round trip: %q != %q", sc2.String(), sc.String())
+	}
+	if empty, err := ParseScript("  ,\n"); err != nil || len(empty) != 0 {
+		t.Errorf("separator-only script = (%v, %v), want empty", empty, err)
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	for _, s := range []string{
+		"no-such-class", "spurious-burst@5", "delay-end=x",
+		"htm-disable@9:3", "conflict-storm/", "",
+	} {
+		if r, err := ParseRule(s); err == nil {
+			t.Errorf("ParseRule(%q) = %+v, want error", s, r)
+		}
+	}
+}
+
+func TestRuleMatches(t *testing.T) {
+	r := Rule{Class: ConflictStorm, From: 10, To: 20, Every: 5}
+	want := map[uint64]bool{9: false, 10: true, 14: false, 15: true, 20: true, 21: false, 25: false}
+	for n, w := range want {
+		if got := r.matches(n); got != w {
+			t.Errorf("matches(%d) = %v, want %v", n, got, w)
+		}
+	}
+	always := Rule{Class: SpuriousBurst}
+	for _, n := range []uint64{1, 2, 1000} {
+		if !always.matches(n) {
+			t.Errorf("zero-value window must match every opportunity (n=%d)", n)
+		}
+	}
+}
+
+func testProfile() tm.Profile {
+	return tm.Profile{Name: "fi-test", Enabled: true, ReadCap: 1 << 16, WriteCap: 1 << 16}
+}
+
+// TestInjectorSubstrate drives a tm domain under a scripted injector and
+// checks the scheduled aborts and the firing counters.
+func TestInjectorSubstrate(t *testing.T) {
+	sc, err := ParseScript("htm-disable@2:2,conflict-storm@4:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(sc)
+	d := tm.NewDomain(testProfile())
+	d.SetInjector(inj)
+	v := d.NewVar(0)
+	txn := d.NewTxn(1)
+	body := func(tx *tm.Txn) { tx.Add(v, 1) } // 2 access opportunities each
+
+	results := []struct {
+		ok     bool
+		reason tm.AbortReason
+	}{}
+	for i := 0; i < 3; i++ {
+		ok, reason := txn.Run(body)
+		results = append(results, struct {
+			ok     bool
+			reason tm.AbortReason
+		}{ok, reason})
+	}
+	// Begin opportunities: 1 (run), 2 (fires disable), 3 (run).
+	// Access opportunities: run1 = 1,2; run3 = 3,4 (fires conflict on 4).
+	if !results[0].ok {
+		t.Fatalf("run 1 = %+v, want commit", results[0])
+	}
+	if results[1].ok || results[1].reason != tm.AbortDisabled {
+		t.Fatalf("run 2 = %+v, want AbortDisabled", results[1])
+	}
+	if results[2].ok || results[2].reason != tm.AbortConflict {
+		t.Fatalf("run 3 = %+v, want AbortConflict", results[2])
+	}
+	f := inj.Firings()
+	if f[HTMDisable] != 1 || f[ConflictStorm] != 1 {
+		t.Errorf("firings = %v, want one htm-disable and one conflict-storm", f)
+	}
+	if inj.TotalFirings() != 2 {
+		t.Errorf("TotalFirings = %d, want 2", inj.TotalFirings())
+	}
+}
+
+// TestInjectorCapacityCliff checks the footprint-threshold semantics: the
+// cliff fires only once the transaction's footprint reaches Param.
+func TestInjectorCapacityCliff(t *testing.T) {
+	inj := New(Script{{Class: CapacityCliff, Param: 3}})
+	d := tm.NewDomain(testProfile())
+	d.SetInjector(inj)
+	vs := d.NewVars(8)
+	txn := d.NewTxn(1)
+
+	if ok, _ := txn.Run(func(tx *tm.Txn) {
+		tx.Load(&vs[0])
+		tx.Load(&vs[1])
+		tx.Load(&vs[2])
+	}); !ok {
+		t.Fatalf("footprint-3 transaction must fit (cliff checks footprint before the access)")
+	}
+	ok, reason := txn.Run(func(tx *tm.Txn) {
+		for i := range vs {
+			tx.Load(&vs[i])
+		}
+	})
+	if ok || reason != tm.AbortCapacity {
+		t.Fatalf("big transaction = (%v, %v), want injected AbortCapacity", ok, reason)
+	}
+	if f := inj.Firings(); f[CapacityCliff] != 1 {
+		t.Errorf("cliff fired %d times, want 1", f[CapacityCliff])
+	}
+}
+
+// TestInjectorDeterminism replays the same workload twice and demands
+// identical opportunity and firing counts — the property the oracle
+// harness's bit-for-bit reproducibility rests on.
+func TestInjectorDeterminism(t *testing.T) {
+	sc, err := ParseScript("spurious-burst@3:/7,htm-disable@5:9/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([NumClasses]uint64, [NumClasses]uint64) {
+		inj := New(sc)
+		d := tm.NewDomain(testProfile())
+		d.SetInjector(inj)
+		vs := d.NewVars(4)
+		txn := d.NewTxn(99)
+		for i := 0; i < 50; i++ {
+			txn.Run(func(tx *tm.Txn) {
+				tx.Store(&vs[i%4], uint64(i))
+				tx.Load(&vs[(i+1)%4])
+			})
+		}
+		return inj.Opportunities(), inj.Firings()
+	}
+	o1, f1 := run()
+	o2, f2 := run()
+	if o1 != o2 || f1 != f2 {
+		t.Errorf("replay diverged: opps %v vs %v, firings %v vs %v", o1, o2, f1, f2)
+	}
+	if f1[SpuriousBurst] == 0 || f1[HTMDisable] == 0 {
+		t.Errorf("script never fired: %v", f1)
+	}
+}
+
+// TestObsMirror checks the firing counters flow into an obs shard and out
+// the Prometheus/JSON exports, and that the class-name convention holds.
+func TestObsMirror(t *testing.T) {
+	if NumClasses != obs.NumFaultClasses {
+		t.Fatalf("NumClasses %d != obs.NumFaultClasses %d", NumClasses, obs.NumFaultClasses)
+	}
+	for i := range classNames {
+		if classNames[i] != obs.FaultClassNames[i] {
+			t.Fatalf("class %d named %q here, %q in obs", i, classNames[i], obs.FaultClassNames[i])
+		}
+	}
+	col := obs.New()
+	inj := New(Script{{Class: ValidateFail, To: 3}})
+	inj.SetObsShard(col.NewShard())
+	for i := 0; i < 10; i++ {
+		inj.ForceValidateFail()
+	}
+	s := col.Snapshot()
+	if got := s.Faults(uint8(ValidateFail)); got != 3 {
+		t.Fatalf("snapshot validate-fail count = %d, want 3", got)
+	}
+	if got := s.FaultsTotal(); got != 3 {
+		t.Fatalf("FaultsTotal = %d, want 3", got)
+	}
+	var b strings.Builder
+	if err := obs.WritePrometheus(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `ale_faults_injected_total{class="validate-fail"} 3`) {
+		t.Errorf("Prometheus export missing fault counter:\n%s", b.String())
+	}
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back obs.Snapshot
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Faults(uint8(ValidateFail)) != 3 {
+		t.Errorf("JSON round trip lost fault counts: %s", data)
+	}
+}
+
+// TestStretchHooks checks the stretch hooks consume opportunities and
+// fire per their windows (the yield itself is not observable here).
+func TestStretchHooks(t *testing.T) {
+	inj := New(Script{
+		{Class: DelayEnd, Every: 2, Param: 4},
+		{Class: LockStretch, From: 3},
+	})
+	for i := 0; i < 6; i++ {
+		inj.StretchConflicting()
+		inj.StretchLockHold()
+	}
+	f := inj.Firings()
+	if f[DelayEnd] != 3 { // opportunities 1,3,5
+		t.Errorf("delay-end fired %d, want 3", f[DelayEnd])
+	}
+	if f[LockStretch] != 4 { // opportunities 3..6
+		t.Errorf("lock-stretch fired %d, want 4", f[LockStretch])
+	}
+}

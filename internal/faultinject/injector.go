@@ -1,0 +1,161 @@
+package faultinject
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/tm"
+)
+
+// Injector executes a Script. It implements tm.Injector (install with
+// tm.Domain.SetInjector) and core.FaultHooks (install via
+// core.Options.Faults — the interface is satisfied structurally, keeping
+// this package below internal/core in the import graph).
+//
+// All methods are safe for concurrent use; per-class opportunity and
+// firing counters are shared atomics. Install the obs shard (if any) with
+// SetObsShard before wiring the injector into a domain or runtime.
+type Injector struct {
+	// byClass holds each class's rules, pre-split so the hook hot path
+	// scans only its own (usually zero or one) rules.
+	byClass [NumClasses][]Rule
+	opps    [NumClasses]atomic.Uint64
+	fired   [NumClasses]atomic.Uint64
+	shard   *obs.Shard
+}
+
+// New builds an injector for the script. An empty script yields an
+// injector that never fires — handy as an always-installed default in
+// harness code.
+func New(script Script) *Injector {
+	inj := &Injector{}
+	for _, r := range script {
+		inj.byClass[r.Class] = append(inj.byClass[r.Class], r)
+	}
+	return inj
+}
+
+// SetObsShard mirrors every firing into sh (as obs.CtrFault counters).
+// Must be called before the injector is installed; nil disables mirroring.
+func (inj *Injector) SetObsShard(sh *obs.Shard) { inj.shard = sh }
+
+// Firings returns the cumulative per-class firing counts.
+func (inj *Injector) Firings() [NumClasses]uint64 {
+	var out [NumClasses]uint64
+	for i := range out {
+		out[i] = inj.fired[i].Load()
+	}
+	return out
+}
+
+// Opportunities returns the cumulative per-class opportunity counts (how
+// many times each hook site was consulted).
+func (inj *Injector) Opportunities() [NumClasses]uint64 {
+	var out [NumClasses]uint64
+	for i := range out {
+		out[i] = inj.opps[i].Load()
+	}
+	return out
+}
+
+// TotalFirings returns the sum of all per-class firing counts.
+func (inj *Injector) TotalFirings() uint64 {
+	var t uint64
+	for i := range inj.fired {
+		t += inj.fired[i].Load()
+	}
+	return t
+}
+
+// step counts one opportunity for class c and returns the matching rule
+// (by pointer into byClass) if the class fires on it, else nil.
+func (inj *Injector) step(c Class) *Rule {
+	rules := inj.byClass[c]
+	if len(rules) == 0 {
+		return nil
+	}
+	n := inj.opps[c].Add(1)
+	for i := range rules {
+		if rules[i].matches(n) {
+			inj.fired[c].Add(1)
+			if sh := inj.shard; sh != nil {
+				sh.Add(obs.CtrFault(uint8(c)))
+			}
+			return &rules[i]
+		}
+	}
+	return nil
+}
+
+// BeginTxn implements tm.Injector: HTMDisable rules fire here.
+func (inj *Injector) BeginTxn() tm.AbortReason {
+	if inj.step(HTMDisable) != nil {
+		return tm.AbortDisabled
+	}
+	return tm.AbortNone
+}
+
+// OnAccess implements tm.Injector: CapacityCliff rules count (and fire
+// on) accesses at or above their footprint threshold; SpuriousBurst and
+// ConflictStorm rules count every access.
+func (inj *Injector) OnAccess(reads, writes int, write bool) tm.AbortReason {
+	if rules := inj.byClass[CapacityCliff]; len(rules) != 0 {
+		n := inj.opps[CapacityCliff].Add(1)
+		for i := range rules {
+			thresh := rules[i].Param
+			if thresh == 0 {
+				thresh = 1
+			}
+			if uint64(reads+writes) >= thresh && rules[i].matches(n) {
+				inj.fired[CapacityCliff].Add(1)
+				if sh := inj.shard; sh != nil {
+					sh.Add(obs.CtrFault(uint8(CapacityCliff)))
+				}
+				return tm.AbortCapacity
+			}
+		}
+	}
+	if inj.step(SpuriousBurst) != nil {
+		return tm.AbortSpurious
+	}
+	if inj.step(ConflictStorm) != nil {
+		return tm.AbortConflict
+	}
+	return tm.AbortNone
+}
+
+// ForceValidateFail implements the core.FaultHooks validation hook.
+func (inj *Injector) ForceValidateFail() bool {
+	return inj.step(ValidateFail) != nil
+}
+
+// StretchConflicting implements the core.FaultHooks region hook: a firing
+// DelayEnd rule yields the scheduler Param times (default 1) before the
+// region's closing marker bump.
+func (inj *Injector) StretchConflicting() {
+	if r := inj.step(DelayEnd); r != nil {
+		stretch(r.Param)
+	}
+}
+
+// StretchLockHold implements the core.FaultHooks lock hook: a firing
+// LockStretch rule yields Param times (default 1) while the lock is held.
+func (inj *Injector) StretchLockHold() {
+	if r := inj.step(LockStretch); r != nil {
+		stretch(r.Param)
+	}
+}
+
+// stretch lengthens the current critical section by n scheduler yields.
+// Yields rather than sleeps: the stretch is meaningful under concurrency
+// (other goroutines run against the widened window) yet adds no
+// wall-clock time dependence that could flake tests.
+func stretch(n uint64) {
+	if n == 0 {
+		n = 1
+	}
+	for i := uint64(0); i < n; i++ {
+		runtime.Gosched()
+	}
+}

@@ -55,6 +55,15 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			c.name, c.help, c.name, c.name, s.Counts[c.ctr])
 	}
 
+	if s.FaultsTotal() > 0 {
+		b.WriteString("# HELP ale_faults_injected_total Injected-fault firings by class (internal/faultinject).\n")
+		b.WriteString("# TYPE ale_faults_injected_total counter\n")
+		for c := uint8(0); c < NumFaultClasses; c++ {
+			fmt.Fprintf(&b, "ale_faults_injected_total{class=%q} %d\n",
+				FaultClassNames[c], s.Faults(c))
+		}
+	}
+
 	b.WriteString("# HELP ale_elision_rate Fraction of executions completing without the lock.\n")
 	b.WriteString("# TYPE ale_elision_rate gauge\n")
 	fmt.Fprintf(&b, "ale_elision_rate %g\n", s.ElisionRate())

@@ -86,15 +86,38 @@ const (
 	// attempts by abort reason.
 	ctrAbortBase
 
+	// ctrFaultBase starts NumFaultClasses counters of injected-fault
+	// firings by fault class (internal/faultinject). All zero unless a
+	// fault script is installed, so dashboards can tell a fault-ablation
+	// run from an organic one at a glance.
+	ctrFaultBase = ctrAbortBase + Counter(tm.NumAbortReasons)
+
 	// NumCounters sizes shard arrays.
-	NumCounters = int(ctrAbortBase) + tm.NumAbortReasons
+	NumCounters = int(ctrFaultBase) + NumFaultClasses
 )
+
+// NumFaultClasses mirrors faultinject.NumClasses; obs cannot import
+// faultinject (faultinject imports obs to mirror its firing counters), so
+// the correspondence is by convention and checked by a test in
+// internal/faultinject, exactly like NumModes vs core.NumModes.
+const NumFaultClasses = 7
+
+// FaultClassNames are Prometheus label values per fault-class index, in
+// faultinject.Class order.
+var FaultClassNames = [NumFaultClasses]string{
+	"spurious-burst", "capacity-cliff", "conflict-storm", "htm-disable",
+	"validate-fail", "delay-end", "lock-stretch",
+}
 
 // CtrSuccess returns the success counter for a core.Mode value.
 func CtrSuccess(mode uint8) Counter { return CtrSuccessLock + Counter(mode) }
 
 // CtrAbort returns the failed-HTM-attempt counter for an abort reason.
 func CtrAbort(r tm.AbortReason) Counter { return ctrAbortBase + Counter(r) }
+
+// CtrFault returns the injected-fault counter for a fault-class index
+// (a faultinject.Class value).
+func CtrFault(class uint8) Counter { return ctrFaultBase + Counter(class) }
 
 // cacheLine is the assumed coherence granule; shards are padded to a
 // multiple of it so two threads' shards never share a line.

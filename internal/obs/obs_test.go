@@ -75,8 +75,11 @@ func TestSnapshotSub(t *testing.T) {
 	prev := c.Snapshot()
 	sh.AddN(CtrSuccessLock, 5)
 	sh.Add(CtrSuccessSWOpt)
-	time.Sleep(time.Millisecond)
 	cur := c.Snapshot()
+	// Pin the timestamps: the interval math is under test here, not the
+	// wall clock's resolution (two back-to-back snapshots may otherwise
+	// read identical coarse clock values — docs/TESTING.md).
+	cur.At = prev.At.Add(time.Millisecond)
 
 	d := cur.Sub(prev)
 	if got := d.Execs(); got != 6 {
@@ -265,10 +268,12 @@ func TestSampler(t *testing.T) {
 		defer mu.Unlock()
 		return b.Write(p)
 	})
-	s := StartSampler(c, 10*time.Millisecond, w)
+	// A long interval keeps the ticker from firing during the test; the
+	// output is produced by Stop's guaranteed final-interval flush, so the
+	// test never waits on (or races with) the wall clock — docs/TESTING.md.
+	s := StartSampler(c, time.Hour, w)
 	for i := 0; i < 100; i++ {
 		sh.Add(CtrSuccessHTM)
-		time.Sleep(300 * time.Microsecond)
 	}
 	s.Stop()
 	s.Stop() // idempotent

@@ -20,6 +20,13 @@ type Sampler struct {
 	interval time.Duration
 	w        io.Writer
 
+	// prev is the baseline snapshot, taken synchronously in StartSampler
+	// so that anything counted after StartSampler returns is guaranteed to
+	// land in some interval (the loop goroutine may start arbitrarily
+	// late; taking the baseline there would silently swallow early
+	// counts).
+	prev Snapshot
+
 	stop chan struct{}
 	done chan struct{}
 	once sync.Once
@@ -39,6 +46,7 @@ func StartSampler(c *Collector, interval time.Duration, w io.Writer) *Sampler {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	s.prev = c.Snapshot()
 	go s.loop()
 	return s
 }
@@ -47,7 +55,7 @@ func (s *Sampler) loop() {
 	defer close(s.done)
 	t := time.NewTicker(s.interval)
 	defer t.Stop()
-	prev := s.c.Snapshot()
+	prev := s.prev
 	for {
 		select {
 		case <-t.C:

@@ -51,6 +51,18 @@ func (s Snapshot) Successes(mode uint8) uint64 { return s.Counts[CtrSuccess(mode
 // Aborts returns failed HTM attempts with the given reason.
 func (s Snapshot) Aborts(r tm.AbortReason) uint64 { return s.Counts[CtrAbort(r)] }
 
+// Faults returns injected-fault firings for the given class index.
+func (s Snapshot) Faults(class uint8) uint64 { return s.Counts[CtrFault(class)] }
+
+// FaultsTotal returns all injected-fault firings (zero in organic runs).
+func (s Snapshot) FaultsTotal() uint64 {
+	var t uint64
+	for c := uint8(0); c < NumFaultClasses; c++ {
+		t += s.Counts[CtrFault(c)]
+	}
+	return t
+}
+
 // AbortsTotal returns all failed HTM attempts.
 func (s Snapshot) AbortsTotal() uint64 {
 	var t uint64
@@ -109,6 +121,9 @@ type snapshotJSON struct {
 	Attempts  map[string]uint64 `json:"attempts"`
 	Aborts    map[string]uint64 `json:"aborts"`
 	Events    map[string]uint64 `json:"events"`
+	// Faults is omitted entirely for organic (no-injection) runs, so
+	// pre-fault-harness snapshot files parse and re-encode unchanged.
+	Faults map[string]uint64 `json:"faults,omitempty"`
 }
 
 // MarshalJSON encodes the snapshot in the stable /snapshot wire format.
@@ -136,6 +151,12 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 	for r := 1; r < tm.NumAbortReasons; r++ {
 		j.Aborts[tm.AbortReason(r).String()] = s.Aborts(tm.AbortReason(r))
 	}
+	if s.FaultsTotal() > 0 {
+		j.Faults = map[string]uint64{}
+		for c := uint8(0); c < NumFaultClasses; c++ {
+			j.Faults[FaultClassNames[c]] = s.Faults(c)
+		}
+	}
 	return json.Marshal(j)
 }
 
@@ -162,6 +183,9 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 	s.Counts[CtrFallback] = j.Events["fallback"]
 	s.Counts[CtrPhaseTransition] = j.Events["phase_transition"]
 	s.Counts[CtrRelearn] = j.Events["relearn"]
+	for c := uint8(0); c < NumFaultClasses; c++ {
+		s.Counts[CtrFault(c)] = j.Faults[FaultClassNames[c]]
+	}
 	return nil
 }
 

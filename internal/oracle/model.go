@@ -1,0 +1,116 @@
+package oracle
+
+import "fmt"
+
+// Result is the observable outcome of one operation, normalized across
+// structures so real and model executions compare with ==. Unused fields
+// are zero; errors compare by message.
+type Result struct {
+	Val uint64 // Get/Take/Peek value, or queue length for OpLen
+	OK  bool   // present / newly-linked / removed / non-empty
+	Err string // "" on success
+}
+
+func (r Result) String() string {
+	if r.Err != "" {
+		return fmt.Sprintf("error(%s)", r.Err)
+	}
+	return fmt.Sprintf("(val=%d ok=%v)", r.Val, r.OK)
+}
+
+// model is a sequential reference implementation: apply executes one
+// operation and returns the result the real structure must produce at the
+// same point of the linearization.
+type model interface {
+	apply(op Op) Result
+}
+
+func newModel(s Structure, queueCap int) model {
+	switch s {
+	case StructHashMap:
+		return &mapModel{m: map[uint64]uint64{}}
+	case StructIntSet:
+		return &setModel{m: map[uint64]struct{}{}}
+	case StructQueue:
+		return &queueModel{cap: queueCap}
+	}
+	panic("oracle: unknown structure")
+}
+
+// mapModel mirrors hashmap.Handle semantics: Insert reports "newly
+// linked" (false on overwrite), Remove reports presence.
+type mapModel struct{ m map[uint64]uint64 }
+
+func (mm *mapModel) apply(op Op) Result {
+	switch op.Kind {
+	case OpGet:
+		v, ok := mm.m[op.Key]
+		return Result{Val: v, OK: ok}
+	case OpInsert, OpInsertOpt:
+		_, existed := mm.m[op.Key]
+		mm.m[op.Key] = op.Val
+		return Result{OK: !existed}
+	case OpRemove, OpRemoveOpt, OpRemoveSA:
+		_, existed := mm.m[op.Key]
+		delete(mm.m, op.Key)
+		return Result{OK: existed}
+	case OpLen:
+		return Result{Val: uint64(len(mm.m))}
+	}
+	panic("oracle: bad hashmap op " + op.Kind.String())
+}
+
+// setModel mirrors intset.Handle semantics.
+type setModel struct{ m map[uint64]struct{} }
+
+func (sm *setModel) apply(op Op) Result {
+	switch op.Kind {
+	case OpContains:
+		_, ok := sm.m[op.Key]
+		return Result{OK: ok}
+	case OpInsert:
+		_, existed := sm.m[op.Key]
+		sm.m[op.Key] = struct{}{}
+		return Result{OK: !existed}
+	case OpRemove:
+		_, existed := sm.m[op.Key]
+		delete(sm.m, op.Key)
+		return Result{OK: existed}
+	case OpLen:
+		return Result{Val: uint64(len(sm.m))}
+	}
+	panic("oracle: bad intset op " + op.Kind.String())
+}
+
+// queueModel mirrors queue.Handle semantics over the *effective* capacity
+// (queue.New rounds up to a power of two).
+type queueModel struct {
+	vals []uint64
+	cap  int
+}
+
+func (qm *queueModel) apply(op Op) Result {
+	switch op.Kind {
+	case OpPut:
+		if len(qm.vals) >= qm.cap {
+			return Result{Err: "queue: full"}
+		}
+		qm.vals = append(qm.vals, op.Key)
+		return Result{}
+	case OpTake:
+		if len(qm.vals) == 0 {
+			return Result{Err: "queue: empty"}
+		}
+		v := qm.vals[0]
+		qm.vals = qm.vals[1:]
+		return Result{Val: v, OK: true}
+	case OpPeek:
+		if len(qm.vals) == 0 {
+			return Result{}
+		}
+		return Result{Val: qm.vals[0], OK: true}
+	case OpLen:
+		return Result{Val: uint64(len(qm.vals))}
+	}
+	panic("oracle: bad queue op " + op.Kind.String())
+}

@@ -1,0 +1,345 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/hashmap"
+	"repro/internal/intset"
+	"repro/internal/queue"
+	"repro/internal/tm"
+)
+
+// Config parameterizes one deterministic stress run. The zero value is
+// not runnable; fill at least Structure, Seed, and Ops. Defaults applied
+// by Run: Keys 64, QueueCap 16, StaticX/StaticY 3, and a clean
+// (SpuriousProb 0) HTM profile — organic randomness is deliberately off
+// so every abort is scripted and the run replays bit for bit.
+type Config struct {
+	Structure Structure
+	Seed      uint64
+	Ops       int
+	Keys      uint64
+	Script    faultinject.Script
+
+	// Profile overrides the default deterministic platform profile when
+	// its Name is non-empty. Profiles with SpuriousProb > 0 trade exact
+	// replayability for organic noise; the harness tests keep it 0.
+	Profile tm.Profile
+
+	// QueueCap sizes the queue (rounded up to a power of two by the
+	// structure itself; the oracle models the rounded capacity).
+	QueueCap int
+
+	// QueueSkipHead seeds the queue's deliberate head-skip defect
+	// (queue.SetDebugSkipHeadEvery) — the harness's self-test that a real
+	// wrong-result bug is caught and minimized.
+	QueueSkipHead uint64
+
+	// StaticX and StaticY are the Static-policy attempt budgets. The
+	// adaptive policy is deliberately not used here: its decisions depend
+	// on measured durations, which would break bit-for-bit replay.
+	StaticX, StaticY int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Keys == 0 {
+		c.Keys = 64
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 16
+	}
+	if c.StaticX == 0 {
+		c.StaticX = 3
+	}
+	if c.StaticY == 0 {
+		c.StaticY = 3
+	}
+	if c.Profile.Name == "" {
+		c.Profile = tm.Profile{
+			Name:    "oracle-deterministic",
+			Enabled: true,
+			// Generous caps: capacity pressure comes from the script's
+			// capacity-cliff rules, where it is reproducible.
+			ReadCap:  1 << 16,
+			WriteCap: 1 << 16,
+		}
+	}
+	return c
+}
+
+// Repro names a failing run precisely enough to reproduce and debug it:
+// the structure, seed, minimal failing prefix, and minimized fault
+// script. String renders it as the message a failing stress test prints.
+type Repro struct {
+	Structure     Structure
+	Seed          uint64
+	Keys          uint64
+	Ops           int // minimal failing prefix length (FailIndex+1)
+	FailIndex     int
+	Script        faultinject.Script
+	QueueCap      int
+	QueueSkipHead uint64
+	Op            Op
+	Got, Want     Result
+}
+
+// Error formats the mismatch with its reproduction recipe.
+func (r *Repro) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle: %s diverged from sequential oracle at op %d %s: got %s, want %s\n",
+		r.Structure, r.FailIndex, r.Op, r.Got, r.Want)
+	fmt.Fprintf(&b, "reproduce: alestress -struct %s -seed %d -ops %d -keys %d -script %q",
+		r.Structure, r.Seed, r.Ops, r.Keys, r.Script.String())
+	if r.Structure == StructQueue {
+		fmt.Fprintf(&b, " -queue-cap %d", r.QueueCap)
+		if r.QueueSkipHead != 0 {
+			fmt.Fprintf(&b, " -seed-bug %d", r.QueueSkipHead)
+		}
+	}
+	return b.String()
+}
+
+// Report is the outcome of one deterministic run. TapeHash fingerprints
+// the full (operation, result) sequence and Firings the injector's
+// per-class counts, so two runs are bit-for-bit identical iff both
+// fields match. Repro is nil for a clean run.
+type Report struct {
+	Ops      int
+	TapeHash uint64
+	Firings  [faultinject.NumClasses]uint64
+	Repro    *Repro
+}
+
+// Run executes cfg's tape in the deterministic single-scheduler mode:
+// one goroutine, one operation at a time, Static policy, every abort
+// scripted. Each result is checked against the sequential model as it is
+// observed; on the first mismatch the failure is minimized and reported.
+func Run(cfg Config) Report {
+	cfg = cfg.withDefaults()
+	tape := GenTape(cfg.Structure, cfg.Seed, cfg.Ops, cfg.Keys)
+	rep := runTape(cfg, tape)
+	if rep.Repro != nil {
+		rep.Repro = minimize(cfg, tape, rep.Repro)
+	}
+	return rep
+}
+
+// runTape executes a tape prefix (the whole tape here; minimize passes
+// prefixes) and checks every result. It stops at the first mismatch.
+func runTape(cfg Config, tape []Op) Report {
+	inj := faultinject.New(cfg.Script)
+	ex := newExecutor(cfg, inj)
+	m := newModel(cfg.Structure, ex.queueCap())
+	rep := Report{Ops: len(tape)}
+	h := newTapeHash()
+	for i, op := range tape {
+		got := ex.exec(op)
+		want := m.apply(op)
+		h = h.op(op, got)
+		if got != want {
+			rep.Repro = &Repro{
+				Structure:     cfg.Structure,
+				Seed:          cfg.Seed,
+				Keys:          cfg.Keys,
+				Ops:           i + 1,
+				FailIndex:     i,
+				Script:        cfg.Script,
+				QueueCap:      cfg.QueueCap,
+				QueueSkipHead: cfg.QueueSkipHead,
+				Op:            op,
+				Got:           got,
+				Want:          want,
+			}
+			break
+		}
+	}
+	rep.TapeHash = uint64(h)
+	rep.Firings = inj.Firings()
+	return rep
+}
+
+// minimize shrinks a failing run: deterministic replay means the minimal
+// failing prefix is exactly FailIndex+1 operations, and script rules are
+// then dropped greedily while the mismatch still reproduces within that
+// prefix. (A defect-seeded failure typically minimizes to an empty
+// script — the bug needs no faults at all.)
+func minimize(cfg Config, tape []Op, found *Repro) *Repro {
+	best := found
+	prefix := tape[:found.FailIndex+1]
+	script := append(faultinject.Script(nil), cfg.Script...)
+	for i := 0; i < len(script); {
+		cand := append(append(faultinject.Script(nil), script[:i]...), script[i+1:]...)
+		candCfg := cfg
+		candCfg.Script = cand
+		rep := runTape(candCfg, prefix)
+		if rep.Repro == nil {
+			i++ // rule i is load-bearing
+			continue
+		}
+		script = cand
+		best = rep.Repro
+		prefix = prefix[:rep.Repro.FailIndex+1]
+	}
+	best.Script = script
+	best.Ops = len(prefix)
+	return best
+}
+
+// tapeHash is FNV-1a over the (op, result) stream.
+type tapeHash uint64
+
+func newTapeHash() tapeHash { return 14695981039346656037 }
+
+func (h tapeHash) word(x uint64) tapeHash {
+	for i := 0; i < 8; i++ {
+		h ^= tapeHash(x & 0xff)
+		h *= 1099511628211
+		x >>= 8
+	}
+	return h
+}
+
+func (h tapeHash) op(op Op, r Result) tapeHash {
+	h = h.word(uint64(op.Kind)).word(op.Key).word(op.Val)
+	h = h.word(r.Val)
+	var flags uint64
+	if r.OK {
+		flags = 1
+	}
+	h = h.word(flags)
+	for i := 0; i < len(r.Err); i++ {
+		h = h.word(uint64(r.Err[i]))
+	}
+	return h
+}
+
+// executor binds one structure instance and dispatches tape operations
+// onto its handle, normalizing outcomes into Results.
+type executor struct {
+	structure Structure
+	hm        *hashmap.Handle
+	is        *intset.Handle
+	q         *queue.Queue
+	qh        *queue.Handle
+}
+
+// newExecutor builds the structure under test on a fresh runtime with the
+// injector installed on both sides (substrate and engine).
+func newExecutor(cfg Config, inj *faultinject.Injector) *executor {
+	dom := tm.NewDomain(cfg.Profile)
+	dom.SetInjector(inj)
+	opts := core.DefaultOptions()
+	opts.Faults = inj
+	rt := core.NewRuntimeOpts(dom, opts)
+	ex := &executor{structure: cfg.Structure}
+	switch cfg.Structure {
+	case StructHashMap:
+		// Arena sized past the op count so ErrFull cannot occur: the
+		// model does not track arena exhaustion.
+		mcfg := hashmap.Config{Buckets: 64, Capacity: cfg.Ops + 256, MarkerStripes: 1}
+		m := hashmap.New(rt, "oracle-map", mcfg, core.NewStatic(cfg.StaticX, cfg.StaticY))
+		ex.hm = m.NewHandle()
+	case StructIntSet:
+		s := intset.New(rt, "oracle-set", cfg.Ops+256, core.NewStatic(cfg.StaticX, cfg.StaticY))
+		ex.is = s.NewHandle()
+	case StructQueue:
+		ex.q = queue.New(rt, "oracle-queue", cfg.QueueCap, core.NewStatic(cfg.StaticX, cfg.StaticY))
+		if cfg.QueueSkipHead != 0 {
+			ex.q.SetDebugSkipHeadEvery(cfg.QueueSkipHead)
+		}
+		ex.qh = ex.q.NewHandle()
+	default:
+		panic("oracle: unknown structure")
+	}
+	return ex
+}
+
+// queueCap reports the effective (rounded) queue capacity for the model.
+func (ex *executor) queueCap() int {
+	if ex.q != nil {
+		return ex.q.Cap()
+	}
+	return 0
+}
+
+func res2(ok bool, err error) Result {
+	if err != nil {
+		return Result{Err: err.Error()}
+	}
+	return Result{OK: ok}
+}
+
+func (ex *executor) exec(op Op) Result {
+	switch ex.structure {
+	case StructHashMap:
+		switch op.Kind {
+		case OpGet:
+			v, ok, err := ex.hm.Get(op.Key)
+			if err != nil {
+				return Result{Err: err.Error()}
+			}
+			return Result{Val: v, OK: ok}
+		case OpInsert:
+			return res2(ex.hm.Insert(op.Key, op.Val))
+		case OpInsertOpt:
+			return res2(ex.hm.InsertOpt(op.Key, op.Val))
+		case OpRemove:
+			return res2(ex.hm.Remove(op.Key))
+		case OpRemoveOpt:
+			return res2(ex.hm.RemoveOpt(op.Key))
+		case OpRemoveSA:
+			return res2(ex.hm.RemoveSelfAbort(op.Key))
+		case OpLen:
+			n, err := ex.hm.Len()
+			if err != nil {
+				return Result{Err: err.Error()}
+			}
+			return Result{Val: uint64(n)}
+		}
+	case StructIntSet:
+		switch op.Kind {
+		case OpContains:
+			return res2(ex.is.Contains(op.Key))
+		case OpInsert:
+			return res2(ex.is.Insert(op.Key))
+		case OpRemove:
+			return res2(ex.is.Remove(op.Key))
+		case OpLen:
+			n, err := ex.is.Len()
+			if err != nil {
+				return Result{Err: err.Error()}
+			}
+			return Result{Val: uint64(n)}
+		}
+	case StructQueue:
+		switch op.Kind {
+		case OpPut:
+			if err := ex.qh.Put(op.Key); err != nil {
+				return Result{Err: err.Error()}
+			}
+			return Result{}
+		case OpTake:
+			v, err := ex.qh.Take()
+			if err != nil {
+				return Result{Err: err.Error()}
+			}
+			return Result{Val: v, OK: true}
+		case OpPeek:
+			v, ok, err := ex.qh.Peek()
+			if err != nil {
+				return Result{Err: err.Error()}
+			}
+			return Result{Val: v, OK: ok}
+		case OpLen:
+			n, err := ex.qh.Len()
+			if err != nil {
+				return Result{Err: err.Error()}
+			}
+			return Result{Val: uint64(n)}
+		}
+	}
+	panic(fmt.Sprintf("oracle: %s cannot execute %s", ex.structure, op))
+}

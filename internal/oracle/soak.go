@@ -1,0 +1,262 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/hashmap"
+	"repro/internal/intset"
+	"repro/internal/obs"
+	"repro/internal/queue"
+	"repro/internal/tm"
+)
+
+// SoakConfig parameterizes a concurrent stress soak: several workers
+// share one structure while faults fire. Concurrent runs are not
+// bit-for-bit reproducible (the interleaving is the scheduler's), so the
+// checks are interleaving-independent:
+//
+//   - hashmap/intset: workers own disjoint key ranges, so each worker's
+//     operations on its own keys linearize in its program order and check
+//     against a private sequential model — while still contending on the
+//     shared lock, markers, and buckets.
+//   - queue: conservation (every successfully enqueued value is dequeued
+//     exactly once, and nothing else ever appears) plus per-producer FIFO
+//     order within each consumer's take log.
+type SoakConfig struct {
+	Structure     Structure
+	Seed          uint64
+	Workers       int // map/set: model workers; queue: producer/consumer pairs
+	OpsPerWorker  int
+	Keys          uint64 // per-worker key-range size (map/set)
+	Script        faultinject.Script
+	Profile       tm.Profile
+	QueueCap      int
+	QueueSkipHead uint64
+
+	// Obs optionally receives the injector's firing counters.
+	Obs *obs.Collector
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.OpsPerWorker == 0 {
+		c.OpsPerWorker = 2000
+	}
+	if c.Keys == 0 {
+		c.Keys = 32
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.Profile.Name == "" {
+		c.Profile = tm.Profile{
+			Name:     "oracle-soak",
+			Enabled:  true,
+			ReadCap:  1 << 16,
+			WriteCap: 1 << 16,
+		}
+	}
+	return c
+}
+
+// Soak runs the concurrent stress soak and returns the injector's
+// per-class firing counts (so callers can assert the script actually
+// exercised something) plus the first violation found (nil for a clean
+// soak).
+func Soak(cfg SoakConfig) (firings [faultinject.NumClasses]uint64, err error) {
+	cfg = cfg.withDefaults()
+	inj := faultinject.New(cfg.Script)
+	if cfg.Obs != nil {
+		inj.SetObsShard(cfg.Obs.NewShard())
+	}
+	dom := tm.NewDomain(cfg.Profile)
+	dom.SetInjector(inj)
+	opts := core.DefaultOptions()
+	opts.Faults = inj
+	opts.Obs = cfg.Obs
+	rt := core.NewRuntimeOpts(dom, opts)
+
+	switch cfg.Structure {
+	case StructHashMap, StructIntSet:
+		err = soakKeyed(cfg, rt)
+	case StructQueue:
+		err = soakQueue(cfg, rt)
+	default:
+		err = fmt.Errorf("oracle: unknown structure %d", cfg.Structure)
+	}
+	return inj.Firings(), err
+}
+
+// soakKeyed is the disjoint-key-range soak shared by hashmap and intset:
+// worker w draws keys from [1+w*Keys, 1+(w+1)*Keys) and checks its own
+// sequential model, so any cross-worker interference that corrupts
+// results is caught by whichever worker observes it.
+func soakKeyed(cfg SoakConfig, rt *core.Runtime) error {
+	capacity := cfg.Workers*cfg.OpsPerWorker + 256
+	var newHandle func() func(Op) Result
+	switch cfg.Structure {
+	case StructHashMap:
+		m := hashmap.New(rt, "soak-map",
+			hashmap.Config{Buckets: 64, Capacity: capacity, MarkerStripes: 1},
+			core.NewAdaptive())
+		newHandle = func() func(Op) Result {
+			h := m.NewHandle()
+			ex := &executor{structure: StructHashMap, hm: h}
+			return ex.exec
+		}
+	case StructIntSet:
+		s := intset.New(rt, "soak-set", capacity, core.NewAdaptive())
+		newHandle = func() func(Op) Result {
+			h := s.NewHandle()
+			ex := &executor{structure: StructIntSet, is: h}
+			return ex.exec
+		}
+	}
+
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		exec := newHandle() // handles (and their threads) made on the caller
+		base := 1 + uint64(w)*cfg.Keys
+		tape := genTape(cfg.Structure, cfg.Seed+uint64(w)*0x9e3779b97f4a7c15,
+			cfg.OpsPerWorker, base, cfg.Keys, false)
+		model := newModel(cfg.Structure, 0)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, op := range tape {
+				got := exec(op)
+				want := model.apply(op)
+				if got != want {
+					errs[w] = fmt.Errorf(
+						"oracle: soak worker %d: %s diverged at its op %d %s: got %s, want %s (seed %d, script %q)",
+						w, cfg.Structure, i, op, got, want, cfg.Seed, cfg.Script.String())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// soakQueue runs Workers producers against Workers consumers. Values
+// encode (producer, sequence), so the post-run checks need no model of
+// the interleaving: conservation plus per-producer order within each
+// consumer's log.
+func soakQueue(cfg SoakConfig, rt *core.Runtime) error {
+	q := queue.New(rt, "soak-queue", cfg.QueueCap, core.NewAdaptive())
+	if cfg.QueueSkipHead != 0 {
+		q.SetDebugSkipHeadEvery(cfg.QueueSkipHead)
+	}
+
+	puts := make([]uint64, cfg.Workers)   // per-producer successful puts
+	logs := make([][]uint64, cfg.Workers) // per-consumer take logs
+	handles := make([]*queue.Handle, 2*cfg.Workers)
+	for i := range handles {
+		handles[i] = q.NewHandle()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(2)
+		go func(w int) { // producer
+			defer wg.Done()
+			h := handles[w]
+			seq := uint64(0)
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				v := uint64(w)<<32 | seq
+				if err := h.Put(v); err == nil {
+					seq++
+				}
+			}
+			puts[w] = seq
+		}(w)
+		go func(w int) { // consumer
+			defer wg.Done()
+			h := handles[cfg.Workers+w]
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				if v, err := h.Take(); err == nil {
+					logs[w] = append(logs[w], v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Drain what the consumers left behind (single-threaded now).
+	drainer := q.NewHandle()
+	var drained []uint64
+	for {
+		v, err := drainer.Take()
+		if err != nil {
+			break
+		}
+		drained = append(drained, v)
+	}
+
+	// Per-producer FIFO order within each consumer's log: a consumer's
+	// takes are a real-time-ordered subsequence of the global dequeue
+	// order, and producer w's values enter in ascending sequence.
+	for c, log := range logs {
+		last := make(map[uint64]uint64, cfg.Workers)
+		for i, v := range log {
+			p, seq := v>>32, v&0xffffffff
+			if prev, seen := last[p]; seen && seq <= prev {
+				return fmt.Errorf(
+					"oracle: queue soak: consumer %d saw producer %d seq %d after seq %d (log index %d, seed %d, script %q)",
+					c, p, seq, prev, i, cfg.Seed, cfg.Script.String())
+			}
+			last[p] = seq
+		}
+	}
+
+	// Conservation: takes + drain is exactly the multiset of successful
+	// puts — each value once, nothing invented, nothing lost.
+	var all []uint64
+	for _, log := range logs {
+		all = append(all, log...)
+	}
+	all = append(all, drained...)
+	var want int
+	for _, n := range puts {
+		want += int(n)
+	}
+	if len(all) != want {
+		return fmt.Errorf("oracle: queue soak: %d values dequeued, %d enqueued (seed %d, script %q)",
+			len(all), want, cfg.Seed, cfg.Script.String())
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			v := all[i]
+			return fmt.Errorf(
+				"oracle: queue soak: value %d (producer %d seq %d) dequeued twice (seed %d, script %q)",
+				v, v>>32, v&0xffffffff, cfg.Seed, cfg.Script.String())
+		}
+	}
+	idx := 0
+	for p := 0; p < cfg.Workers; p++ {
+		for seq := uint64(0); seq < puts[p]; seq++ {
+			wantV := uint64(p)<<32 | seq
+			if idx >= len(all) || all[idx] != wantV {
+				return fmt.Errorf(
+					"oracle: queue soak: missing or foreign value near producer %d seq %d (seed %d, script %q)",
+					p, seq, cfg.Seed, cfg.Script.String())
+			}
+			idx++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+// Package oracle is the sequential-oracle stress checker of the
+// fault-injection harness: it drives the ALE-integrated data structures
+// (hashmap, intset, queue) through seeded, randomized operation tapes
+// while internal/faultinject forces aborts, validation failures, and
+// stretched critical sections, and cross-checks every observed result
+// against a single-threaded sequential model replaying the same
+// linearized tape.
+//
+// The check is sound because every injectable fault is: faults force
+// retries and fallbacks, never different results, so any divergence from
+// the oracle is a real bug in the structure or the engine.
+//
+// Two modes:
+//
+//   - Run: the deterministic single-scheduler mode. One goroutine
+//     executes the tape one operation at a time under a Static policy, so
+//     the tape *is* the linearization and the whole run — operation tape,
+//     fault firings, oracle verdict — is bit-for-bit reproducible from
+//     (seed, script). On a mismatch the runner minimizes: deterministic
+//     replay makes the minimal failing prefix exactly the mismatch index
+//     plus one, and script rules are greedily dropped while the failure
+//     reproduces. The Repro it emits prints the seed and fault script to
+//     re-run.
+//
+//   - Soak: the concurrent mode. Workers share one structure under
+//     injected faults; map/set workers operate on disjoint key ranges so
+//     each checks its own sequential model, and the queue is checked by
+//     conservation (every value enqueued is dequeued exactly once) plus
+//     per-producer FIFO order within each consumer's take log.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Structure selects the data structure under test.
+type Structure uint8
+
+const (
+	StructHashMap Structure = iota
+	StructIntSet
+	StructQueue
+	NumStructures
+)
+
+var structNames = [NumStructures]string{"hashmap", "intset", "queue"}
+
+// String returns the canonical structure name.
+func (s Structure) String() string {
+	if int(s) < len(structNames) {
+		return structNames[s]
+	}
+	return fmt.Sprintf("structure(%d)", uint8(s))
+}
+
+// ParseStructure parses a canonical structure name.
+func ParseStructure(s string) (Structure, error) {
+	for i, n := range structNames {
+		if s == n {
+			return Structure(i), nil
+		}
+	}
+	return 0, fmt.Errorf("oracle: unknown structure %q (want hashmap, intset, or queue)", s)
+}
+
+// OpKind enumerates tape operations across all three structures.
+type OpKind uint8
+
+const (
+	// hashmap operations.
+	OpGet OpKind = iota
+	OpInsert
+	OpRemove
+	OpInsertOpt
+	OpRemoveOpt
+	OpRemoveSA
+	// intset operations (OpInsert/OpRemove are shared).
+	OpContains
+	// queue operations.
+	OpPut
+	OpTake
+	OpPeek
+	// shared read-only size operation.
+	OpLen
+
+	numOpKinds
+)
+
+var opNames = [numOpKinds]string{
+	"get", "insert", "remove", "insert-opt", "remove-opt", "remove-sa",
+	"contains", "put", "take", "peek", "len",
+}
+
+// String returns the operation name.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one tape entry. Key is the operation's key (or the enqueued value
+// for OpPut); Val is the inserted value for map inserts.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  uint64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpInsert, OpInsertOpt:
+		return fmt.Sprintf("%s(%d,%d)", o.Kind, o.Key, o.Val)
+	case OpPut:
+		return fmt.Sprintf("put(%d)", o.Key)
+	case OpLen, OpTake, OpPeek:
+		return o.Kind.String() + "()"
+	default:
+		return fmt.Sprintf("%s(%d)", o.Kind, o.Key)
+	}
+}
+
+// GenTape generates the n-operation tape for (structure, seed) over a
+// key space of keys distinct keys. The generator is pure: the same
+// arguments always yield the same tape, which is what lets a Repro name a
+// failing run by seed alone.
+func GenTape(s Structure, seed uint64, n int, keys uint64) []Op {
+	return genTape(s, seed, n, 1, keys, true)
+}
+
+// genTape is the range-parameterized generator: keys are drawn from
+// [base, base+keys), and global (whole-structure) operations are included
+// only when global is set — the concurrent soak excludes them because a
+// per-worker model cannot predict them.
+func genTape(s Structure, seed uint64, n int, base, keys uint64, global bool) []Op {
+	if keys == 0 {
+		keys = 1
+	}
+	rng := xrand.New(seed)
+	tape := make([]Op, n)
+	for i := range tape {
+		tape[i] = genOp(s, rng, base, keys, global)
+	}
+	return tape
+}
+
+func genOp(s Structure, rng *xrand.State, base, keys uint64, global bool) Op {
+	key := base + rng.Uint64n(keys)
+	roll := rng.Uint64n(100)
+	switch s {
+	case StructHashMap:
+		switch {
+		case roll < 35:
+			return Op{Kind: OpGet, Key: key}
+		case roll < 50:
+			return Op{Kind: OpInsert, Key: key, Val: rng.Uint64()}
+		case roll < 60:
+			return Op{Kind: OpInsertOpt, Key: key, Val: rng.Uint64()}
+		case roll < 75:
+			return Op{Kind: OpRemove, Key: key}
+		case roll < 85:
+			return Op{Kind: OpRemoveOpt, Key: key}
+		case roll < 95 || !global:
+			return Op{Kind: OpRemoveSA, Key: key}
+		default:
+			return Op{Kind: OpLen}
+		}
+	case StructIntSet:
+		switch {
+		case roll < 50:
+			return Op{Kind: OpContains, Key: key}
+		case roll < 70:
+			return Op{Kind: OpInsert, Key: key}
+		case roll < 90 || !global:
+			return Op{Kind: OpRemove, Key: key}
+		default:
+			return Op{Kind: OpLen}
+		}
+	case StructQueue:
+		switch {
+		case roll < 45:
+			return Op{Kind: OpPut, Key: rng.Uint64n(1 << 32)}
+		case roll < 80:
+			return Op{Kind: OpTake}
+		case roll < 90 || !global:
+			return Op{Kind: OpPeek}
+		default:
+			return Op{Kind: OpLen}
+		}
+	}
+	panic("oracle: unknown structure")
+}

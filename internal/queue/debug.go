@@ -1,0 +1,15 @@
+package queue
+
+// SetDebugSkipHeadEvery seeds a deliberate defect for the stress
+// harness's self-test (internal/oracle): every n-th Take that reaches the
+// dequeue's conflicting region skips advancing the head cursor, so a
+// later Take observes — and returns — the same element twice. The queue
+// stays structurally sound (cursors monotone, marker balanced), so no
+// invariant checker notices; only result checking against a sequential
+// oracle catches it. n = 0 restores correct behaviour (the default).
+//
+// The skip counter counts attempts reaching the region, so under HTM
+// retries an aborted attempt consumes a count; under the oracle harness's
+// deterministic runner the firing schedule is exactly reproducible.
+// Test-only: never call this outside harness self-tests.
+func (q *Queue) SetDebugSkipHeadEvery(n uint64) { q.debugSkipHead.Store(n) }

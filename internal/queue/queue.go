@@ -21,6 +21,7 @@ package queue
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/locks"
@@ -46,6 +47,12 @@ type Queue struct {
 	head  tm.Var // absolute dequeue cursor
 	tail  tm.Var // absolute enqueue cursor
 	mask  uint64
+
+	// debugSkipHead/debugTakes implement the seeded defect of
+	// SetDebugSkipHeadEvery (stress-harness self-test); both stay zero in
+	// real use, costing one atomic load per Take.
+	debugSkipHead atomic.Uint64
+	debugTakes    atomic.Uint64
 
 	scopePut, scopeTake, scopePeek, scopeLen *core.Scope
 }
@@ -178,7 +185,9 @@ func (h *Handle) buildCS() {
 			}
 			q.marker.BeginConflicting(ec)
 			h.retVal = ec.Load(&q.slots[head&q.mask])
-			ec.Store(&q.head, head+1)
+			if skip := q.debugSkipHead.Load(); skip == 0 || q.debugTakes.Add(1)%skip != 0 {
+				ec.Store(&q.head, head+1)
+			}
 			q.marker.EndConflicting(ec)
 			h.retOK = true
 			return nil

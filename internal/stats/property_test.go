@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// Property tests for the statistics math the adaptive policy leans on:
+// the histogram's bucket accounting (including clamping) against a
+// reference implementation, the cumulative attempts-to-success fractions
+// derived from it, and the BFP counter's packing and monotonicity.
+
+// TestHistogramMatchesReference records random tapes — spanning
+// negatives, in-range values, and past-the-end values — and demands the
+// histogram agree with a straightforward reference map under the
+// documented clamping rules.
+func TestHistogramMatchesReference(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8) bool {
+		n := int(sizeRaw%12) + 1
+		h := NewHistogram(n)
+		ref := make([]uint64, n)
+		rng := xrand.New(seed)
+		const records = 500
+		for i := 0; i < records; i++ {
+			v := int(int8(rng.Uint64())) // [-128, 127]: negatives and overflow
+			h.Record(v)
+			cl := v
+			if cl < 0 {
+				cl = 0
+			}
+			if cl >= n {
+				cl = n - 1
+			}
+			ref[cl]++
+		}
+		if h.Total() != records {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if h.Bucket(i) != ref[i] {
+				return false
+			}
+		}
+		return h.Bucket(-1) == 0 && h.Bucket(n) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// successWithin is the attempts-to-success statistic the adaptive policy
+// computes from a histogram (bucket 0 = never succeeded in HTM, bucket a
+// = succeeded at attempt a): the fraction of executions that succeed
+// within an attempt budget of x.
+func successWithin(h *Histogram, x int) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	var succ uint64
+	for a := 1; a <= x; a++ {
+		succ += h.Bucket(a)
+	}
+	return float64(succ) / float64(total)
+}
+
+// TestAttemptsToSuccessMath pins the cumulative fractions on hand-built
+// distributions.
+func TestAttemptsToSuccessMath(t *testing.T) {
+	cases := []struct {
+		name    string
+		buckets int
+		record  []int
+		cum     []float64 // cum[i] = successWithin(h, i+1)
+	}{
+		{
+			name:    "all-first-attempt",
+			buckets: 4,
+			record:  []int{1, 1, 1, 1},
+			cum:     []float64{1, 1, 1},
+		},
+		{
+			name:    "never-succeeds",
+			buckets: 4,
+			record:  []int{0, 0, 0},
+			cum:     []float64{0, 0, 0},
+		},
+		{
+			name:    "mixed",
+			buckets: 4,
+			record:  []int{1, 1, 2, 0},
+			cum:     []float64{0.5, 0.75, 0.75},
+		},
+		{
+			name:    "clamped-into-last",
+			buckets: 4,
+			record:  []int{1, 99, 99, 3},
+			cum:     []float64{0.25, 0.25, 1}, // 99s clamp into bucket 3
+		},
+		{
+			name:    "empty",
+			buckets: 4,
+			record:  nil,
+			cum:     []float64{0, 0, 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(tc.buckets)
+			for _, v := range tc.record {
+				h.Record(v)
+			}
+			for i, want := range tc.cum {
+				if got := successWithin(h, i+1); math.Abs(got-want) > 1e-12 {
+					t.Errorf("successWithin(%d) = %g, want %g", i+1, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAttemptsToSuccessMonotone: for any recorded tape, the cumulative
+// success fraction is nondecreasing in the attempt budget and bounded by
+// [0, 1] — the property the cost model's minimization relies on.
+func TestAttemptsToSuccessMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		h := NewHistogram(10)
+		rng := xrand.New(seed)
+		for i := 0; i < 300; i++ {
+			h.Record(int(rng.Uint64n(12)))
+		}
+		prev := 0.0
+		for x := 1; x < h.Len(); x++ {
+			p := successWithin(h, x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCounterPackRoundTrip: the BFP counter's state packing is lossless
+// over its full (mantissa, exponent) domain.
+func TestCounterPackRoundTrip(t *testing.T) {
+	f := func(nRaw, eRaw uint64) bool {
+		n, e := nRaw%mantMax, eRaw&expMask
+		gn, ge := unpackCtr(packCtr(n, e))
+		return gn == n && ge == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCounterMonotone: the counter estimate never decreases as
+// increments accrue — migration halves the mantissa but bumps the
+// exponent, so the represented value n<<e is nondecreasing.
+func TestCounterMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		var c Counter
+		rng := xrand.New(seed)
+		prev := uint64(0)
+		for i := 0; i < 5000; i++ {
+			c.Inc(rng)
+			if v := c.Read(); v < prev {
+				return false
+			} else {
+				prev = v
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

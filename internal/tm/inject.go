@@ -1,0 +1,42 @@
+package tm
+
+// Injector is the fault-injection hook interface the simulated-HTM
+// substrate consults when one is installed on a Domain (see
+// internal/faultinject for the scripted implementation). It exists so the
+// test harness can *force* the failure schedules that natural scheduling
+// produces only rarely — capacity cliffs, spurious-abort bursts, conflict
+// storms, HTM-disable flips mid-run — deterministically and reproducibly.
+//
+// Injected aborts are always sound: an abort is a legal outcome of any
+// best-effort hardware transaction at any point, so an injector can only
+// force retries and fallbacks, never wrong results. That is what makes
+// oracle cross-checking under injection meaningful (internal/oracle).
+//
+// The zero-cost contract mirrors Options.InvariantMode in internal/core:
+// with no injector installed, each hook site costs one nil check.
+// Implementations must be safe for concurrent use when the domain is
+// shared between goroutines.
+type Injector interface {
+	// BeginTxn is consulted at transaction begin. A non-AbortNone return
+	// aborts the attempt immediately with that reason — AbortDisabled
+	// models an HTM-disable flip (the platform "losing" its HTM for a
+	// window of the run).
+	BeginTxn() AbortReason
+
+	// OnAccess is consulted at every transactional Load and Store, before
+	// the access executes. reads and writes are the current read- and
+	// write-set sizes (distinct Vars), so capacity-cliff schedules can
+	// fire once a transaction grows past a scripted threshold; write
+	// reports whether the access is a Store. A non-AbortNone return
+	// aborts the attempt with that reason.
+	OnAccess(reads, writes int, write bool) AbortReason
+}
+
+// SetInjector installs (or, with nil, removes) the domain's fault
+// injector. Install before the domain is shared: the field is read
+// without synchronization on the transaction hot path, matching the
+// "configure, then share" contract of the rest of the runtime options.
+func (d *Domain) SetInjector(inj Injector) { d.inj = inj }
+
+// Injector returns the installed fault injector, or nil.
+func (d *Domain) Injector() Injector { return d.inj }

@@ -1,0 +1,175 @@
+package tm
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// scriptedInjector is a minimal deterministic Injector for the substrate
+// tests: it forces the scripted reasons at the scripted hook counts.
+type scriptedInjector struct {
+	beginReason  AbortReason // forced at the beginAt-th BeginTxn (1-based)
+	beginAt      int
+	begins       int
+	accessReason AbortReason // forced at the accessAt-th OnAccess (1-based)
+	accessAt     int
+	accesses     int
+	capAt        int // force AbortCapacity once reads+writes >= capAt (0 = off)
+}
+
+func (s *scriptedInjector) BeginTxn() AbortReason {
+	s.begins++
+	if s.beginAt != 0 && s.begins == s.beginAt {
+		return s.beginReason
+	}
+	return AbortNone
+}
+
+func (s *scriptedInjector) OnAccess(reads, writes int, write bool) AbortReason {
+	s.accesses++
+	if s.capAt != 0 && reads+writes >= s.capAt {
+		return AbortCapacity
+	}
+	if s.accessAt != 0 && s.accesses == s.accessAt {
+		return s.accessReason
+	}
+	return AbortNone
+}
+
+func TestInjectorBeginTxn(t *testing.T) {
+	d := NewDomain(testProfile())
+	inj := &scriptedInjector{beginReason: AbortDisabled, beginAt: 2}
+	d.SetInjector(inj)
+	if d.Injector() != inj {
+		t.Fatalf("Injector() did not return the installed injector")
+	}
+	v := d.NewVar(1)
+	txn := d.NewTxn(1)
+	body := func(tx *Txn) { tx.Load(v) }
+
+	if ok, _ := txn.Run(body); !ok {
+		t.Fatalf("attempt 1 should commit (injector fires at begin 2)")
+	}
+	ok, reason := txn.Run(body)
+	if ok || reason != AbortDisabled {
+		t.Fatalf("attempt 2 = (%v, %v), want forced AbortDisabled", ok, reason)
+	}
+	if ok, _ := txn.Run(body); !ok {
+		t.Fatalf("attempt 3 should commit (injection window passed)")
+	}
+}
+
+func TestInjectorOnAccess(t *testing.T) {
+	d := NewDomain(testProfile())
+	d.SetInjector(&scriptedInjector{accessReason: AbortConflict, accessAt: 3})
+	vs := d.NewVars(4)
+	txn := d.NewTxn(1)
+
+	ok, reason := txn.Run(func(tx *Txn) {
+		tx.Load(&vs[0])     // access 1
+		tx.Store(&vs[1], 7) // access 2
+		tx.Load(&vs[2])     // access 3: forced conflict
+		t.Error("unreachable: the forced abort must unwind the body")
+	})
+	if ok || reason != AbortConflict {
+		t.Fatalf("Run = (%v, %v), want forced AbortConflict", ok, reason)
+	}
+	// The transaction must be fully rolled back: the buffered store never
+	// became visible and the descriptor is reusable.
+	if got := vs[1].LoadDirect(); got != 0 {
+		t.Fatalf("aborted store leaked: %d", got)
+	}
+	if ok, _ := txn.Run(func(tx *Txn) { tx.Load(&vs[0]) }); !ok {
+		t.Fatalf("descriptor not reusable after injected abort")
+	}
+}
+
+func TestInjectorCapacityCliff(t *testing.T) {
+	d := NewDomain(testProfile())
+	d.SetInjector(&scriptedInjector{capAt: 3})
+	vs := d.NewVars(8)
+	txn := d.NewTxn(1)
+
+	// Under the cliff: commits.
+	if ok, _ := txn.Run(func(tx *Txn) {
+		tx.Load(&vs[0])
+		tx.Load(&vs[1])
+	}); !ok {
+		t.Fatalf("2-access transaction should fit under the injected cliff")
+	}
+	// At the cliff: the 4th access sees reads+writes == 3.
+	ok, reason := txn.Run(func(tx *Txn) {
+		for i := range vs {
+			tx.Load(&vs[i])
+		}
+	})
+	if ok || reason != AbortCapacity {
+		t.Fatalf("Run = (%v, %v), want injected AbortCapacity", ok, reason)
+	}
+}
+
+func TestInjectorDisabledIsNoOp(t *testing.T) {
+	d := NewDomain(testProfile())
+	v := d.NewVar(0)
+	txn := d.NewTxn(1)
+	if ok, _ := txn.Run(func(tx *Txn) { tx.Store(v, 1) }); !ok {
+		t.Fatalf("no-injector transaction should commit")
+	}
+	d.SetInjector(&scriptedInjector{})
+	d.SetInjector(nil) // removable
+	if ok, _ := txn.Run(func(tx *Txn) { tx.Store(v, 2) }); !ok {
+		t.Fatalf("transaction after injector removal should commit")
+	}
+	if got := v.LoadDirect(); got != 2 {
+		t.Fatalf("value = %d, want 2", got)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+		want string // substring of the located error, "" = valid
+	}{
+		{"valid", func(p *Profile) {}, ""},
+		{"negative read cap", func(p *Profile) { p.ReadCap = -1 }, "negative ReadCap -1"},
+		{"negative write cap", func(p *Profile) { p.WriteCap = -7 }, "negative WriteCap -7"},
+		{"negative spurious", func(p *Profile) { p.SpuriousProb = -0.25 }, "negative SpuriousProb"},
+		{"nan spurious", func(p *Profile) { p.SpuriousProb = math.NaN() }, "SpuriousProb is NaN"},
+		{"clamped spurious", func(p *Profile) { p.SpuriousProb = 1.5 }, ""},
+		{"disabled zero caps", func(p *Profile) { p.Enabled = false; p.ReadCap = 0; p.WriteCap = 0 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := testProfile()
+			tc.mut(&p)
+			err := p.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), `"test"`) {
+				t.Fatalf("error %v does not locate the profile by name", err)
+			}
+		})
+	}
+}
+
+func TestNewDomainRejectsInvalidProfile(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("NewDomain accepted a negative ReadCap")
+		}
+		if err, ok := r.(error); !ok || !strings.Contains(err.Error(), "negative ReadCap") {
+			t.Fatalf("panic value %v, want the located validation error", r)
+		}
+	}()
+	NewDomain(Profile{Name: "bad", Enabled: true, ReadCap: -3, WriteCap: 8})
+}

@@ -1,6 +1,9 @@
 package tm
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Profile describes the best-effort HTM characteristics of a simulated
 // platform. The ALE paper's three evaluation platforms map onto profiles as
@@ -33,6 +36,31 @@ type Profile struct {
 	// spurThresh is SpuriousProb precomputed as a uint64 threshold so the
 	// hot path compares a raw PRNG draw instead of converting to float.
 	spurThresh uint64
+}
+
+// Validate reports whether the profile's parameters are meaningful,
+// naming the offending field and profile in the error. A negative
+// capacity would make every transactional access abort with
+// AbortCapacity (len(set) >= cap holds from the first access) and a
+// negative or NaN SpuriousProb silently disables or corrupts the
+// spurious-abort draw — none of which models a real platform, so domain
+// construction rejects them instead of misbehaving. SpuriousProb above 1
+// is allowed and clamps to "every access aborts" (Finalize), which is a
+// legitimate worst-case profile.
+func (p *Profile) Validate() error {
+	if p.ReadCap < 0 {
+		return fmt.Errorf("tm: profile %q: negative ReadCap %d", p.Name, p.ReadCap)
+	}
+	if p.WriteCap < 0 {
+		return fmt.Errorf("tm: profile %q: negative WriteCap %d", p.Name, p.WriteCap)
+	}
+	if p.SpuriousProb < 0 {
+		return fmt.Errorf("tm: profile %q: negative SpuriousProb %g", p.Name, p.SpuriousProb)
+	}
+	if math.IsNaN(p.SpuriousProb) {
+		return fmt.Errorf("tm: profile %q: SpuriousProb is NaN", p.Name)
+	}
+	return nil
 }
 
 // Finalize precomputes derived fields. Domain constructors call it; callers

@@ -144,6 +144,11 @@ func (t *Txn) begin() {
 	if !t.dom.profile.Enabled {
 		panic(abortSignal{AbortDisabled})
 	}
+	if inj := t.dom.inj; inj != nil {
+		if r := inj.BeginTxn(); r != AbortNone {
+			panic(abortSignal{r})
+		}
+	}
 }
 
 func (t *Txn) cleanup() {
@@ -191,6 +196,11 @@ func (t *Txn) Load(v *Var) uint64 {
 	if i := t.writeIdx(v); i >= 0 {
 		return t.wvals[i] // read-own-write from the redo log
 	}
+	if inj := t.dom.inj; inj != nil {
+		if r := inj.OnAccess(len(t.reads), len(t.wkeys), false); r != AbortNone {
+			panic(abortSignal{r})
+		}
+	}
 	t.maybeSpurious()
 	v1 := v.vlock.Load()
 	if v1&lockBit != 0 {
@@ -225,6 +235,11 @@ func (t *Txn) Store(v *Var, x uint64) {
 	}
 	if v.dom != t.dom {
 		panic("tm: Store of Var from a different domain")
+	}
+	if inj := t.dom.inj; inj != nil {
+		if r := inj.OnAccess(len(t.reads), len(t.wkeys), true); r != AbortNone {
+			panic(abortSignal{r})
+		}
 	}
 	t.maybeSpurious()
 	if i := t.writeIdx(v); i >= 0 {

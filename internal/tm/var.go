@@ -35,10 +35,20 @@ const lockBit = 1
 type Domain struct {
 	clock   atomic.Uint64
 	profile Profile
+	// inj, when non-nil, is the fault-injection hook set (see inject.go).
+	// Read without synchronization on the transaction hot path; install
+	// before the domain is shared.
+	inj Injector
 }
 
 // NewDomain creates a transactional domain with the given platform profile.
+// It panics if the profile is invalid (see Profile.Validate): a negative
+// capacity or probability would silently abort every transaction instead
+// of expressing any real platform.
 func NewDomain(p Profile) *Domain {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
 	p.Finalize()
 	return &Domain{profile: p}
 }
