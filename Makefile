@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt bench stress cover
+.PHONY: all build test race lint fmt bench bench-json stress cover
 
 all: build lint test
 
@@ -26,6 +26,11 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Hot-path microbenchmark suite with the machine-readable report
+# (alebench-microbench/v1; render it with `alereport -in BENCH_4.json`).
+bench-json:
+	$(GO) run ./cmd/alebench -bench-json BENCH_4.json micro
 
 # Fault-injection stress: deterministic oracle runs plus a concurrent
 # soak (docs/TESTING.md). Override SEED to replay a CI failure.

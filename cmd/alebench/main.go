@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	alebench [flags] fig2|fig3|fig4|fig5|report|ablation|striping|faults|all
+//	alebench [flags] fig2|fig3|fig4|fig5|report|ablation|striping|faults|micro|all
 //
 // Figures (see DESIGN.md section 4 for the reconstruction mapping):
 //
@@ -13,6 +13,8 @@
 //	fig3  HashMap throughput vs threads, Rock profile, 3 mutation mixes
 //	fig4  HashMap throughput vs threads, T2 (no HTM), 3 mixes + nomutate stats
 //	fig5  Kyoto Cabinet wicked benchmark vs threads (+ nomutate variant)
+//	micro hot-path microbenchmarks (substrate + engine); -bench-json emits
+//	      the machine-readable BENCH JSON cmd/alereport and CI consume
 //
 // Absolute numbers depend on the host; the claims under reproduction are
 // the relative shapes (EXPERIMENTS.md).
@@ -25,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -49,6 +52,11 @@ var (
 		"per-thread event-ring capacity; dumps the merged trace of the last ALE run (0 = off)")
 	sampleInterval = flag.Duration("sample-interval", 0,
 		"log interval metric deltas to stderr at this period (0 = off)")
+
+	benchJSON = flag.String("bench-json", "",
+		"with the micro command: also write the results as BENCH JSON to this path")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
+	memProfile = flag.String("memprofile", "", "write a heap profile at exit to this path")
 )
 
 // metricsURL is the base URL of the live metrics server after setupObs
@@ -67,7 +75,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "alebench:", err)
 		os.Exit(1)
 	}
+	stopProfiles, err := setupProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alebench:", err)
+		os.Exit(1)
+	}
 	if err := run(cmd); err != nil {
+		fmt.Fprintln(os.Stderr, "alebench:", err)
+		os.Exit(1)
+	}
+	if err := stopProfiles(); err != nil {
 		fmt.Fprintln(os.Stderr, "alebench:", err)
 		os.Exit(1)
 	}
@@ -75,6 +92,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "alebench:", err)
 		os.Exit(1)
 	}
+}
+
+// setupProfiles starts the -cpuprofile capture and returns a stop function
+// that finishes it and writes the -memprofile heap snapshot. Profiles
+// cover the whole command (sweep or micro suite), the usual way to find
+// where a regression's time or allocations went.
+func setupProfiles() (func() error, error) {
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "alebench: wrote CPU profile to %s\n", *cpuProfile)
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "alebench: wrote heap profile to %s\n", *memProfile)
+		}
+		return nil
+	}, nil
 }
 
 // setupObs wires the observability flags into the bench harness: it
@@ -143,6 +201,8 @@ func run(cmd string) error {
 		return striping()
 	case "faults":
 		return faultAblation()
+	case "micro":
+		return micro()
 	case "all":
 		for _, c := range []string{"fig2", "fig3", "fig4", "fig5", "report", "ablation", "striping", "faults"} {
 			if err := run(c); err != nil {
@@ -151,7 +211,7 @@ func run(cmd string) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown command %q (want fig2|fig3|fig4|fig5|report|ablation|striping|faults|all)", cmd)
+	return fmt.Errorf("unknown command %q (want fig2|fig3|fig4|fig5|report|ablation|striping|faults|micro|all)", cmd)
 }
 
 func hashmapFigure(figNum int) error {
@@ -288,6 +348,31 @@ func striping() error {
 		return err
 	}
 	fig.Print(os.Stdout)
+	return nil
+}
+
+// micro runs the hot-path microbenchmark suite (internal/bench RunMicro):
+// substrate transaction costs, per-mode Execute, and granule lookup. With
+// -bench-json the machine-readable report is also written, the format
+// cmd/alereport renders and CI archives.
+func micro() error {
+	fmt.Println("== Hot-path microbenchmarks ==")
+	rep := bench.RunMicro(os.Stdout)
+	if *benchJSON == "" {
+		return nil
+	}
+	f, err := os.Create(*benchJSON)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteMicroJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "alebench: wrote %s\n", *benchJSON)
 	return nil
 }
 

@@ -9,10 +9,12 @@
 // case: the report shows which locks and contexts dominate, so a developer
 // knows where adding a SWOpt path or enabling HTM would pay off.
 //
-// With -in it instead analyzes a saved metrics file: either an alebench
-// CSV export (WriteCSV) summarized per (lock, context), or obs snapshot
-// JSON (one object, an array, or JSON-lines — e.g. periodic saves of
-// alebench's /snapshot endpoint) rendered as interval elision-rate deltas.
+// With -in it instead analyzes a saved metrics file: an alebench CSV
+// export (WriteCSV) summarized per (lock, context), obs snapshot JSON
+// (one object, an array, or JSON-lines — e.g. periodic saves of
+// alebench's /snapshot endpoint) rendered as interval elision-rate
+// deltas, or an `alebench micro -bench-json` report rendered as the
+// microbenchmark table.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/hashmap"
 	"repro/internal/obs"
@@ -54,7 +57,9 @@ func main() {
 }
 
 // analyzeFile dispatches on the file's first non-space byte: '{' or '['
-// mean obs snapshot JSON, anything else is treated as WriteCSV output.
+// mean JSON — a BENCH microbenchmark report (detected by its schema
+// field) or obs snapshot JSON — anything else is treated as WriteCSV
+// output.
 func analyzeFile(path string, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -64,6 +69,9 @@ func analyzeFile(path string, w io.Writer) error {
 		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
 	})
 	if len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '[') {
+		if rep, err := bench.ParseMicro(data); err == nil {
+			return writeMicroTable(w, rep)
+		}
 		snaps, err := obs.ParseSnapshots(data)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
@@ -71,6 +79,19 @@ func analyzeFile(path string, w io.Writer) error {
 		return writeSnapshotDeltas(w, snaps)
 	}
 	return summarizeCSV(w, data)
+}
+
+// writeMicroTable renders a BENCH microbenchmark report (the
+// alebench-microbench/v1 schema emitted by `alebench micro -bench-json`).
+func writeMicroTable(w io.Writer, rep bench.MicroReport) error {
+	fmt.Fprintf(w, "microbenchmark report (%s, GOMAXPROCS=%d)\n", rep.Schema, rep.GoMaxProcs)
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "benchmark\tns/op\tallocs/op\tops/s\telision%\t")
+	for _, b := range rep.Benchmarks {
+		fmt.Fprintf(tw, "%s\t%.1f\t%d\t%.0f\t%.1f\t\n",
+			b.Name, b.NsPerOp, b.AllocsPerOp, b.OpsPerSec, b.ElisionPct)
+	}
+	return tw.Flush()
 }
 
 // writeSnapshotDeltas renders a cumulative snapshot series as per-interval

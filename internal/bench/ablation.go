@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/tm"
 )
 
 // Ablation identifies one library mechanism whose contribution DESIGN.md
@@ -13,8 +14,12 @@ import (
 type Ablation struct {
 	Name  string
 	Descr string
-	// Set flips the mechanism in an option set.
+	// Set flips the mechanism in an option set (nil when the mechanism
+	// lives in the platform profile instead).
 	Set func(o *core.Options, enabled bool)
+	// SetProfile, when non-nil, flips the mechanism in the platform's HTM
+	// profile (substrate-level mechanisms like timestamp extension).
+	SetProfile func(p *tm.Profile, enabled bool)
 	// Platform / workload under which the mechanism matters.
 	Platform  platform.Platform
 	MutatePct int
@@ -90,6 +95,22 @@ func Ablations() []Ablation {
 			Variant:   all(),
 		},
 		{
+			Name: "timestamp-extension",
+			Descr: "TL2 timestamp extension (DESIGN.md section 7): a load " +
+				"observing a version past the begin-time snapshot revalidates " +
+				"the read set and slides the snapshot forward instead of " +
+				"aborting. Off reintroduces false-conflict aborts from " +
+				"unrelated commits under mutation-heavy HTM workloads.",
+			SetProfile: func(p *tm.Profile, e bool) { p.DisableExtension = !e },
+			Platform:   platform.Haswell(),
+			MutatePct:  50,
+			Variant: Variant{
+				Name:     "Static-HL-10",
+				Policy:   func() core.Policy { return core.NewStatic(10, 0) },
+				AllowHTM: true,
+			},
+		},
+		{
 			Name: "sampling",
 			Descr: "~3% timing sampling (section 4.3) versus timing every " +
 				"execution. Quantifies the instrumentation cost the sampling " +
@@ -118,9 +139,15 @@ func RunAblation(a Ablation, threads []int, opsPerThread int, keyRange uint64) (
 		s := Series{Label: label, Points: map[int]float64{}}
 		for _, th := range threads {
 			opts := baseOptions()
-			a.Set(&opts, enabled)
+			if a.Set != nil {
+				a.Set(&opts, enabled)
+			}
+			plat := a.Platform
+			if a.SetProfile != nil {
+				a.SetProfile(&plat.Profile, enabled)
+			}
 			res, _, err := RunHashMap(HashMapParams{
-				Platform:     a.Platform,
+				Platform:     plat,
 				Variant:      a.Variant,
 				Threads:      th,
 				OpsPerThread: opsPerThread,

@@ -1,0 +1,329 @@
+package bench
+
+// Microbenchmark suite: the per-operation cost of the hot paths the
+// figure-level sweeps sit on top of — substrate transactions (load,
+// commit, the timestamp-extension path, the GV4 commit clock under
+// disjoint parallelism) and the engine's Execute in each mode, plus
+// granule resolution on cache hit versus forced eviction.
+//
+// The suite runs through testing.Benchmark so the same bodies work from
+// `go test -bench` (internal/tm and internal/core keep their own copies as
+// _test benchmarks) and from the alebench binary (`alebench micro`), which
+// additionally emits the machine-readable BENCH JSON consumed by
+// cmd/alereport and CI.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/obs"
+	"repro/internal/tm"
+)
+
+// MicroSchema identifies the BENCH JSON wire format.
+const MicroSchema = "alebench-microbench/v1"
+
+// MicroResult is one benchmark's measured point.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	// ElisionPct is the realized elision rate of the engine benchmarks
+	// (successful executions completing without the lock); substrate and
+	// granule-lookup benchmarks have no lock to elide and report 0.
+	ElisionPct float64 `json:"elision_pct"`
+}
+
+// MicroReport is the whole suite's output — the BENCH_<n>.json schema.
+type MicroReport struct {
+	Schema     string        `json:"schema"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Benchmarks []MicroResult `json:"benchmarks"`
+}
+
+// WriteMicroJSON emits the report in the stable BENCH JSON format.
+func WriteMicroJSON(w io.Writer, r MicroReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseMicro decodes BENCH JSON, rejecting input whose schema field does
+// not match (so callers can probe a file before falling back to other
+// formats).
+func ParseMicro(data []byte) (MicroReport, error) {
+	var r MicroReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return MicroReport{}, err
+	}
+	if r.Schema != MicroSchema {
+		return MicroReport{}, fmt.Errorf("bench: schema %q is not %q", r.Schema, MicroSchema)
+	}
+	return r, nil
+}
+
+// microProfile is the deterministic HTM envelope the suite measures under:
+// capacity far above every working set and no spurious aborts, so every
+// benchmark exercises exactly the path its name says.
+func microProfile() tm.Profile {
+	return tm.Profile{Name: "microbench", Enabled: true, ReadCap: 1 << 16, WriteCap: 1 << 16}
+}
+
+// microPair mirrors the engine's canonical SWOpt-capable fixture (two
+// cells kept equal; readers validate against a conflict marker, writers
+// bump it) built through the public API only.
+type microPair struct {
+	rt              *core.Runtime
+	c               *obs.Collector
+	lock            *core.Lock
+	readCS, writeCS *core.CS
+}
+
+func newMicroPair(policy core.Policy) *microPair {
+	opts := core.DefaultOptions()
+	c := obs.New()
+	opts.Obs = c
+	rt := core.NewRuntimeOpts(tm.NewDomain(microProfile()), opts)
+	d := rt.Domain()
+	a, b := d.NewVar(0), d.NewVar(0)
+	p := &microPair{rt: rt, c: c}
+	p.lock = rt.NewLock("microPair", locks.NewTATAS(d), policy)
+	marker := p.lock.NewMarker()
+	p.readCS = &core.CS{
+		Scope:    core.NewScope("micro.Read"),
+		HasSWOpt: true,
+		Body: func(ec *core.ExecCtx) error {
+			if ec.InSWOpt() {
+				v := marker.ReadStable()
+				_ = ec.Load(a)
+				if !marker.Validate(v) {
+					return ec.SWOptFail()
+				}
+				_ = ec.Load(b)
+				if !marker.Validate(v) {
+					return ec.SWOptFail()
+				}
+				return nil
+			}
+			_ = ec.Load(a)
+			_ = ec.Load(b)
+			return nil
+		},
+	}
+	p.writeCS = &core.CS{
+		Scope:       core.NewScope("micro.Write"),
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			n := ec.Load(a) + 1
+			marker.BeginConflicting(ec)
+			ec.Store(a, n)
+			ec.Store(b, n)
+			marker.EndConflicting(ec)
+			return nil
+		},
+	}
+	return p
+}
+
+// elisionPct reads the realized elision rate off the fixture's collector.
+func (p *microPair) elisionPct() float64 { return 100 * p.c.Snapshot().ElisionRate() }
+
+// executeBench measures the steady-state Execute cost of one CS under one
+// policy, returning the realized elision rate alongside.
+func executeBench(policy func() core.Policy, read bool) (testing.BenchmarkResult, float64) {
+	p := newMicroPair(policy())
+	thr := p.rt.NewThread()
+	cs := p.writeCS
+	if read {
+		cs = p.readCS
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := p.lock.Execute(thr, cs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return r, p.elisionPct()
+}
+
+// granuleBench measures Execute of a trivial body under LockOnly with the
+// per-thread granule cache either always hitting (one hot scope) or
+// churning: cycling through 4x more contexts than the cache holds, so
+// most resolutions evict and fall through to the shared table. The
+// difference between the two isolates granule-resolution cost.
+func granuleBench(scopes int) testing.BenchmarkResult {
+	rt := core.NewRuntime(tm.NewDomain(microProfile()))
+	l := rt.NewLock("granule", locks.NewTATAS(rt.Domain()), core.NewLockOnly())
+	thr := rt.NewThread()
+	css := make([]*core.CS, scopes)
+	for i := range css {
+		css[i] = &core.CS{Scope: core.NewScope("g"), Body: func(*core.ExecCtx) error { return nil }}
+	}
+	// Warm: register every granule so the measured loop never allocates.
+	for _, cs := range css {
+		if err := l.Execute(thr, cs); err != nil {
+			panic(err)
+		}
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := l.Execute(thr, css[i%len(css)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// granuleChurnScopes is 4x the engine's per-thread cache size (64 slots),
+// kept as a literal so bench does not need access to core internals.
+const granuleChurnScopes = 256
+
+// microBenches is the suite in display order.
+func microBenches() []struct {
+	name string
+	run  func() (testing.BenchmarkResult, float64)
+} {
+	return []struct {
+		name string
+		run  func() (testing.BenchmarkResult, float64)
+	}{
+		{"tm/load-8", func() (testing.BenchmarkResult, float64) {
+			d := tm.NewDomain(microProfile())
+			vars := d.NewVars(8)
+			tx := d.NewTxn(1)
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tx.Run(func(tx *tm.Txn) {
+						for j := range vars {
+							_ = tx.Load(&vars[j])
+						}
+					})
+				}
+			}), 0
+		}},
+		{"tm/commit-rw-8", func() (testing.BenchmarkResult, float64) {
+			d := tm.NewDomain(microProfile())
+			vars := d.NewVars(8)
+			tx := d.NewTxn(1)
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tx.Run(func(tx *tm.Txn) {
+						for j := range vars {
+							tx.Store(&vars[j], tx.Load(&vars[j])+1)
+						}
+					})
+				}
+			}), 0
+		}},
+		{"tm/commit-disjoint-parallel", func() (testing.BenchmarkResult, float64) {
+			// Disjoint read-write commits from every P: the GV4 commit
+			// clock's pass-on-CAS-failure case. Cells are padded apart so
+			// only the clock is shared.
+			d := tm.NewDomain(microProfile())
+			const stride = 8
+			vars := d.NewVars(64 * stride)
+			var seed atomic.Uint64
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				b.RunParallel(func(pb *testing.PB) {
+					id := seed.Add(1)
+					v := &vars[(id%64)*stride]
+					tx := d.NewTxn(id)
+					for pb.Next() {
+						for {
+							ok, _ := tx.Run(func(tx *tm.Txn) { tx.Add(v, 1) })
+							if ok {
+								break
+							}
+						}
+					}
+				})
+			}), 0
+		}},
+		{"tm/extension", func() (testing.BenchmarkResult, float64) {
+			// Every iteration forces one timestamp extension: the
+			// revalidate-and-advance path that replaces a false-conflict
+			// abort.
+			d := tm.NewDomain(microProfile())
+			a := d.NewVar(0)
+			v := d.NewVar(0)
+			tx := d.NewTxn(1)
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ok, _ := tx.Run(func(tx *tm.Txn) {
+						_ = tx.Load(a)
+						v.StoreDirect(uint64(i))
+						_ = tx.Load(v)
+					})
+					if !ok {
+						b.Fatal("extension benchmark txn aborted")
+					}
+				}
+			}), 0
+		}},
+		{"core/execute-htm", func() (testing.BenchmarkResult, float64) {
+			return executeBench(func() core.Policy { return core.NewStatic(10, 0) }, false)
+		}},
+		{"core/execute-swopt", func() (testing.BenchmarkResult, float64) {
+			return executeBench(func() core.Policy { return core.NewStatic(0, 10) }, true)
+		}},
+		{"core/execute-lock", func() (testing.BenchmarkResult, float64) {
+			return executeBench(func() core.Policy { return core.NewLockOnly() }, false)
+		}},
+		{"core/granule-hit", func() (testing.BenchmarkResult, float64) {
+			return granuleBench(1), 0
+		}},
+		{"core/granule-miss", func() (testing.BenchmarkResult, float64) {
+			return granuleBench(granuleChurnScopes), 0
+		}},
+	}
+}
+
+// MicroBenchNames lists the suite in run order.
+func MicroBenchNames() []string {
+	bs := microBenches()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.name
+	}
+	return names
+}
+
+// RunMicro runs the whole suite, streaming a human-readable line per
+// benchmark to w as results land (fixed-width columns, so partial output
+// stays aligned), and returns the machine-readable report.
+func RunMicro(w io.Writer) MicroReport {
+	rep := MicroReport{Schema: MicroSchema, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	fmt.Fprintf(w, "%-28s %10s %10s %12s %9s\n", "benchmark", "ns/op", "allocs/op", "ops/s", "elision%")
+	for _, mb := range microBenches() {
+		r, elision := mb.run()
+		res := MicroResult{
+			Name:        mb.name,
+			AllocsPerOp: r.AllocsPerOp(),
+			ElisionPct:  elision,
+		}
+		if r.N > 0 {
+			res.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+		}
+		if r.T > 0 {
+			res.OpsPerSec = float64(r.N) / r.T.Seconds()
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Fprintf(w, "%-28s %10.1f %10d %12.0f %9.1f\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.OpsPerSec, res.ElisionPct)
+	}
+	return rep
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The full suite is exercised by `alebench micro` and CI's bench job; unit
+// tests pin the wire format and the suite's shape, which are cheap.
+
+func TestMicroJSONRoundTrip(t *testing.T) {
+	rep := MicroReport{
+		Schema:     MicroSchema,
+		GoMaxProcs: 4,
+		Benchmarks: []MicroResult{
+			{Name: "tm/load-8", NsPerOp: 96.8, AllocsPerOp: 0, OpsPerSec: 1.0e7, ElisionPct: 0},
+			{Name: "core/execute-htm", NsPerOp: 230.9, AllocsPerOp: 0, OpsPerSec: 4.3e6, ElisionPct: 100},
+		},
+	}
+	var b strings.Builder
+	if err := WriteMicroJSON(&b, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMicro([]byte(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != MicroSchema || got.GoMaxProcs != 4 || len(got.Benchmarks) != 2 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if got.Benchmarks[1].Name != "core/execute-htm" || got.Benchmarks[1].ElisionPct != 100 {
+		t.Errorf("benchmark entry mismatch: %+v", got.Benchmarks[1])
+	}
+}
+
+func TestParseMicroRejectsOtherJSON(t *testing.T) {
+	// An obs snapshot (or any JSON object without the schema marker) must
+	// be rejected so alereport's format probe falls through correctly.
+	for _, in := range []string{
+		`{"execs": 12, "elision_rate": 0.5}`,
+		`{"schema": "something-else/v2", "benchmarks": []}`,
+		`not json at all`,
+	} {
+		if _, err := ParseMicro([]byte(in)); err == nil {
+			t.Errorf("ParseMicro accepted %q", in)
+		}
+	}
+}
+
+func TestMicroBenchNamesCoverHotPaths(t *testing.T) {
+	names := strings.Join(MicroBenchNames(), " ")
+	for _, want := range []string{
+		"tm/load", "tm/commit-rw", "tm/commit-disjoint-parallel", "tm/extension",
+		"core/execute-htm", "core/execute-swopt", "core/execute-lock",
+		"core/granule-hit", "core/granule-miss",
+	} {
+		if !strings.Contains(names, want) {
+			t.Errorf("suite is missing %q (have: %s)", want, names)
+		}
+	}
+}

@@ -103,8 +103,7 @@ func (l *Lock) Execute(thr *Thread, cs *CS) error {
 	}
 
 	thr.pushScope(cs.Scope)
-	ctxHash, label := thr.contextTop()
-	g := l.granule(ctxHash, label)
+	g := thr.granuleFor(l, thr.contextTop())
 
 	eligHTM := !cs.NoHTM && l.allowHTM && l.rt.HTMAvailable()
 	// Rule 3 (section 4.1): SWOpt is not eligible while already executing
@@ -120,24 +119,28 @@ func (l *Lock) Execute(thr *Thread, cs *CS) error {
 		plan.UseSWOpt = false
 	}
 
-	timed := l.rt.opts.SampleAllTimings || stats.ShouldSample(thr.rng)
+	timed := l.rt.disp.sampleAll || stats.ShouldSample(thr.rng)
 	var start time.Time
 	if timed {
-		if c := l.rt.opts.Clock; c != nil {
+		if c := l.rt.disp.clock; c != nil {
 			start = c()
 		} else {
 			start = time.Now()
 		}
 	}
 
+	// rec lives in the frame, not on Execute's stack: its address is
+	// handed to the policy's Done hook (an interface call), which would
+	// otherwise force a heap allocation per execution. All access goes
+	// through this one pointer, so a nested Execute growing thr.frames
+	// (and copying the array) cannot split the record.
 	thr.frames = append(thr.frames, frame{lock: l, gran: g})
 	fi := len(thr.frames) - 1
-	var rec ExecRecord
-	err := l.runAttempts(thr, cs, g, plan, &rec, fi)
-	thr.frames = thr.frames[:fi]
+	rec := &thr.frames[fi].rec
+	err := l.runAttempts(thr, cs, g, plan, rec, fi)
 
 	if timed {
-		if c := l.rt.opts.Clock; c != nil {
+		if c := l.rt.disp.clock; c != nil {
 			rec.Duration = c().Sub(start)
 		} else {
 			rec.Duration = time.Since(start)
@@ -145,7 +148,8 @@ func (l *Lock) Execute(thr *Thread, cs *CS) error {
 		g.timeBy[rec.FinalMode].Add(rec.Duration)
 	}
 	g.execs.Inc()
-	l.policy.Done(g, &rec)
+	l.policy.Done(g, rec)
+	thr.frames = thr.frames[:fi]
 	thr.popScope()
 	return err
 }
@@ -195,7 +199,7 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 				// Lighter accounting: these aborts say nothing about
 				// HTM's suitability, so most of them do not consume
 				// retry budget (bounded to avoid livelock).
-				if l.rt.opts.LockHeldDiscount && refunds < maxLockHeldRefunds {
+				if l.rt.disp.lockHeldDiscount && refunds < maxLockHeldRefunds {
 					refunds++
 					if refunds%lockHeldChargeEvery != 0 {
 						rec.HTMAttempts--
@@ -225,7 +229,7 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 				thr.obsAdd(obs.CtrSWOptFail)
 				// Enter the retrying group: conflicting executions will
 				// defer until this SWOpt execution gets through.
-				if !arrived && l.rt.opts.Grouping {
+				if !arrived && l.rt.disp.grouping {
 					l.swoptRetry.Arrive(thr.id)
 					thr.snziArrivals++
 					arrived = true
@@ -258,29 +262,26 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 }
 
 // htmAttempt runs one hardware-transaction attempt: wait for the lock to be
-// free, begin, subscribe to the lock word, run the body, commit.
+// free, begin, subscribe to the lock word, run the body, commit. The body
+// runs through the thread's pre-bound trampoline (Thread.runHTMBody) so the
+// attempt builds no closure.
 func (l *Lock) htmAttempt(thr *Thread, cs *CS, fi int) (ok bool, reason tm.AbortReason, userErr error) {
 	waitFree(l.ops)
 	l.groupWait(thr, cs)
 	fr := &thr.frames[fi]
 	fr.mode = ModeHTM
-	committed, abortReason := thr.txn.Run(func(tx *tm.Txn) {
-		// Subscribe: load the lock word inside the transaction and abort
-		// if held. Any later acquisition bumps the word and dooms us.
-		if l.ops.HeldValue(tx.Load(l.ops.Word())) {
-			tx.Abort(tm.AbortLockHeld)
-		}
-		thr.inHTM = true
-		thr.htmFrame = fi
-		defer func() { thr.inHTM = false }()
-		fr.ec = ExecCtx{thr: thr, lock: l, txn: tx, mode: ModeHTM, inv: l.rt.invFor(cs, l, ModeHTM)}
-		userErr = cs.Body(&fr.ec)
-		// Checked inside the closure: an aborted attempt unwinds out of
-		// the body before this point, so only completed bodies are held
-		// to the balance invariant.
-		fr.ec.invDone(userErr)
-	})
+	thr.htmLock, thr.htmCS, thr.htmFI, thr.htmErr = l, cs, fi, nil
+	committed, abortReason := thr.txn.Run(thr.htmBody)
 	thr.inHTM = false
+	userErr = thr.htmErr
+	thr.htmLock, thr.htmCS, thr.htmErr = nil, nil, nil
+	// Mirror timestamp extensions performed during this attempt into the
+	// live metrics: each one is a false conflict the substrate absorbed
+	// instead of aborting (TL2 extension; see tm.TxnStats.Extensions).
+	if n := thr.txn.Extensions(); n != thr.extSeen {
+		thr.obsAddN(obs.CtrHTMExtension, n-thr.extSeen)
+		thr.extSeen = n
+	}
 	if !committed {
 		return false, abortReason, nil
 	}
@@ -331,7 +332,7 @@ func (l *Lock) lockAttempt(thr *Thread, cs *CS, fi int) error {
 	defer l.ops.Release()
 	// Stretch while held, before the body: concurrent HTM attempts see
 	// AbortLockHeld pressure for the whole stretch.
-	if h := l.rt.opts.Faults; h != nil {
+	if h := l.rt.disp.faults; h != nil {
 		h.StretchLockHold()
 	}
 	fr.ec = ExecCtx{thr: thr, lock: l, mode: ModeLock, inv: l.rt.invFor(cs, l, ModeLock)}
@@ -346,7 +347,7 @@ func (l *Lock) lockAttempt(thr *Thread, cs *CS, fi int) error {
 // parallel without interference. A thread that is itself part of a
 // retrying group never defers (it would wait for itself).
 func (l *Lock) groupWait(thr *Thread, cs *CS) {
-	if !cs.Conflicting || !l.rt.opts.Grouping || thr.snziArrivals > 0 {
+	if !cs.Conflicting || !l.rt.disp.grouping || thr.snziArrivals > 0 {
 		return
 	}
 	waited := false

@@ -73,7 +73,7 @@ var csvHeaderWant = []string{
 	"mean_htm_ns", "mean_swopt_ns", "mean_lock_ns",
 	"lockheld_aborts",
 	"aborts_conflict", "aborts_capacity", "aborts_spurious", "aborts_explicit",
-	"aborts_lock-held", "aborts_disabled", "aborts_nesting",
+	"aborts_lock-held", "aborts_disabled", "aborts_nesting", "aborts_panic",
 }
 
 // maskMeanColumns replaces every mean_* value (the only nondeterministic

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/obs"
+	"repro/internal/tm"
+)
+
+// Zero-allocation contract: a steady-state Execute (warm granule cache,
+// pre-grown stacks, no aborts) must not allocate in any of the three
+// modes. These tests pin the contract the hot-path work establishes —
+// regressions here are performance bugs even though nothing is incorrect.
+
+func zeroAllocProfile() tm.Profile {
+	// SpuriousProb stays 0 so the HTM attempt deterministically commits.
+	return tm.Profile{Name: "test-zeroalloc", Enabled: true, ReadCap: 1 << 16, WriteCap: 1 << 16}
+}
+
+func testAllocsPerExecute(t *testing.T, rt *Runtime, f *pairFixture, cs *CS, wantMode Mode) {
+	t.Helper()
+	thr := rt.NewThread()
+	// Warm up: create the granule, grow the frame/context stacks, spill
+	// nothing. Then the measured executions must be allocation-free.
+	for i := 0; i < 10; i++ {
+		if err := f.lock.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := f.lock.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Execute (%v mode) allocates %.1f times/op, want 0", wantMode, allocs)
+	}
+	var g *Granule
+	for _, gr := range f.lock.Granules() {
+		if gr.Successes(wantMode) > 0 {
+			g = gr
+		}
+	}
+	if g == nil {
+		t.Fatalf("no granule recorded successes in mode %v; executions took an unintended path", wantMode)
+	}
+}
+
+func TestExecuteZeroAllocsHTM(t *testing.T) {
+	// Obs attached: the contract must hold with live metrics on, since
+	// that is the recommended production configuration.
+	opts := DefaultOptions()
+	opts.Obs = obs.New()
+	rt := NewRuntimeOpts(tm.NewDomain(zeroAllocProfile()), opts)
+	f := newPairFixture(rt, NewStatic(10, 0))
+	testAllocsPerExecute(t, rt, f, f.writeCS, ModeHTM)
+}
+
+func TestExecuteZeroAllocsSWOpt(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Obs = obs.New()
+	rt := NewRuntimeOpts(tm.NewDomain(zeroAllocProfile()), opts)
+	f := newPairFixture(rt, NewStatic(0, 10))
+	testAllocsPerExecute(t, rt, f, f.readCS, ModeSWOpt)
+}
+
+func TestExecuteZeroAllocsLock(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Obs = obs.New()
+	rt := NewRuntimeOpts(tm.NewDomain(zeroAllocProfile()), opts)
+	f := newPairFixture(rt, NewLockOnly())
+	testAllocsPerExecute(t, rt, f, f.writeCS, ModeLock)
+}
+
+// TestGranuleCacheAgreement: the thread cache must resolve to exactly the
+// granules the lock's shared table owns — same pointers, no shadow
+// granules — including under nested scopes.
+func TestGranuleCacheAgreement(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	l := rt.NewLock("L", locks.NewTATAS(rt.Domain()), NewLockOnly())
+	thr := rt.NewThread()
+	outer := NewScope("outer")
+	inner := NewScope("inner")
+	innerCS := &CS{Scope: inner, Body: func(ec *ExecCtx) error { return nil }}
+
+	// Same scope at top level and nested under an explicit scope: two
+	// distinct contexts, two distinct granules.
+	if err := l.Execute(thr, innerCS); err != nil {
+		t.Fatal(err)
+	}
+	thr.BeginScope(outer)
+	if err := l.Execute(thr, innerCS); err != nil {
+		t.Fatal(err)
+	}
+	thr.EndScope()
+
+	gs := l.Granules()
+	if len(gs) != 2 {
+		t.Fatalf("granules = %d, want 2 (top-level and nested contexts)", len(gs))
+	}
+	byLabel := map[string]*Granule{}
+	for _, g := range gs {
+		byLabel[g.Label()] = g
+	}
+	if byLabel["inner"] == nil || byLabel["outer/inner"] == nil {
+		t.Fatalf("granule labels = %v, want [inner outer/inner]", []string{gs[0].Label(), gs[1].Label()})
+	}
+
+	// Re-resolving through the cache must return the table's pointers.
+	thr.pushScope(inner)
+	if g := thr.granuleFor(l, thr.contextTop()); g != byLabel["inner"] {
+		t.Error("cache hit disagrees with Lock.Granules() for top-level context")
+	}
+	thr.popScope()
+	thr.pushScope(outer)
+	thr.pushScope(inner)
+	if g := thr.granuleFor(l, thr.contextTop()); g != byLabel["outer/inner"] {
+		t.Error("cache hit disagrees with Lock.Granules() for nested context")
+	}
+	thr.popScope()
+	thr.popScope()
+
+	// A colliding context hash (same hash handed to the lock's table with
+	// a different label) must behave exactly like the shared table:
+	// first-registered wins, label and all.
+	thr.pushScope(inner)
+	hash := thr.contextTop()
+	thr.popScope()
+	if g := l.granule(hash, "some-colliding-label"); g != byLabel["inner"] {
+		t.Error("shared table returned a new granule for a colliding hash")
+	}
+	// And a fresh thread resolving the same hash through its (cold) cache
+	// agrees too.
+	thr2 := rt.NewThread()
+	thr2.pushScope(inner)
+	if g := thr2.granuleFor(l, thr2.contextTop()); g != byLabel["inner"] {
+		t.Error("cold cache disagrees with shared table for colliding hash")
+	}
+	thr2.popScope()
+}
+
+// TestGranuleCacheEviction: far more (lock, context) pairs than cache
+// slots must still account every execution exactly once — eviction only
+// costs a refill, never a miscount.
+func TestGranuleCacheEviction(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	l := rt.NewLock("L", locks.NewTATAS(rt.Domain()), NewLockOnly())
+	thr := rt.NewThread()
+	const scopes = 3 * granCacheSize
+	const rounds = 4
+	css := make([]*CS, scopes)
+	for i := range css {
+		css[i] = &CS{Scope: NewScope("s"), Body: func(ec *ExecCtx) error { return nil }}
+	}
+	for r := 0; r < rounds; r++ {
+		for _, cs := range css {
+			if err := l.Execute(thr, cs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	gs := l.Granules()
+	if len(gs) != scopes {
+		t.Fatalf("granules = %d, want %d", len(gs), scopes)
+	}
+	var total uint64
+	for _, g := range gs {
+		if n := g.Execs(); n != rounds {
+			t.Errorf("granule %q execs = %d, want %d", g.Label(), n, rounds)
+		}
+		total += g.Execs()
+	}
+	if total != scopes*rounds {
+		t.Errorf("total execs = %d, want %d", total, scopes*rounds)
+	}
+}
+
+// TestGranuleCacheShareElisionState: locks sharing elision state (the RW
+// lock pattern) still keep fully separate granule tables; the per-thread
+// cache must never leak a granule across locks even when context hashes
+// coincide exactly.
+func TestGranuleCacheShareElisionState(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	d := rt.Domain()
+	rd := rt.NewLock("db.read", locks.NewTATAS(d), NewLockOnly())
+	wr := rt.NewLock("db.write", locks.NewTATAS(d), NewLockOnly())
+	wr.ShareElisionState(rd)
+	thr := rt.NewThread()
+	s := NewScope("op")
+	cs := &CS{Scope: s, Body: func(ec *ExecCtx) error { return nil }}
+	// Alternate the two locks under the *same* scope: identical context
+	// hash, different lock — the cache key must distinguish them.
+	for i := 0; i < 50; i++ {
+		if err := rd.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+		if err := wr.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range []*Lock{rd, wr} {
+		gs := l.Granules()
+		if len(gs) != 1 {
+			t.Fatalf("%s granules = %d, want 1", l.Name(), len(gs))
+		}
+		if n := gs[0].Execs(); n != 50 {
+			t.Errorf("%s execs = %d, want 50", l.Name(), n)
+		}
+	}
+	if rd.Granules()[0] == wr.Granules()[0] {
+		t.Error("locks sharing elision state also share a granule")
+	}
+}
+
+// TestGranuleCacheConcurrent churns many scopes from many threads under
+// -race: the per-thread caches populate concurrently from the shared
+// table, and every thread must agree on the winning granule pointers.
+func TestGranuleCacheConcurrent(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	l := rt.NewLock("L", locks.NewTATAS(rt.Domain()), NewStatic(5, 0))
+	const scopes = 2 * granCacheSize
+	css := make([]*CS, scopes)
+	for i := range css {
+		css[i] = &CS{Scope: NewScope("s"), Body: func(ec *ExecCtx) error { return nil }}
+	}
+	const workers, rounds = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			thr := rt.NewThread()
+			for r := 0; r < rounds; r++ {
+				cs := css[(id*31+r)%scopes]
+				if err := l.Execute(thr, cs); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	gs := l.Granules()
+	if len(gs) != scopes {
+		t.Fatalf("granules = %d, want %d", len(gs), scopes)
+	}
+	var total uint64
+	for _, g := range gs {
+		total += g.Execs()
+	}
+	if total != workers*rounds {
+		t.Errorf("total execs = %d, want %d", total, workers*rounds)
+	}
+}
+
+// Engine microbenchmarks: the per-execution cost of Execute's success path
+// in each mode, and of granule resolution on cache hit versus forced miss.
+
+func benchRuntime(b *testing.B, policy func() Policy) (*Runtime, *pairFixture) {
+	b.Helper()
+	rt := NewRuntime(tm.NewDomain(zeroAllocProfile()))
+	return rt, newPairFixture(rt, policy())
+}
+
+func BenchmarkExecuteHTM(b *testing.B) {
+	rt, f := benchRuntime(b, func() Policy { return NewStatic(10, 0) })
+	thr := rt.NewThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteSWOpt(b *testing.B) {
+	rt, f := benchRuntime(b, func() Policy { return NewStatic(0, 10) })
+	thr := rt.NewThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.lock.Execute(thr, f.readCS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteLock(b *testing.B) {
+	rt, f := benchRuntime(b, func() Policy { return NewLockOnly() })
+	thr := rt.NewThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGranuleLookupHit(b *testing.B) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	l := rt.NewLock("L", locks.NewTATAS(rt.Domain()), NewLockOnly())
+	thr := rt.NewThread()
+	s := NewScope("hot")
+	thr.pushScope(s)
+	hash := thr.contextTop()
+	thr.granuleFor(l, hash) // populate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = thr.granuleFor(l, hash)
+	}
+	thr.popScope()
+}
+
+func BenchmarkGranuleLookupMiss(b *testing.B) {
+	rt := NewRuntime(tm.NewDomain(htmProfile()))
+	l := rt.NewLock("L", locks.NewTATAS(rt.Domain()), NewLockOnly())
+	thr := rt.NewThread()
+	// Two context hashes mapping to the same cache slot evict each other
+	// on every lookup, so each resolution falls through to the shared
+	// table (the pre-cache cost, including the sync.Map key boxing).
+	scopes := []*Scope{NewScope("a"), NewScope("b")}
+	hashes := make([]uint64, 0, 2)
+	for _, s := range scopes {
+		thr.pushScope(s)
+		hashes = append(hashes, thr.contextTop())
+		thr.granuleFor(l, thr.contextTop())
+		thr.popScope()
+	}
+	slot := func(h uint64) uint64 { return (h ^ uint64(l.id)*0x9e3779b97f4a7c15) & (granCacheSize - 1) }
+	if slot(hashes[0]) != slot(hashes[1]) {
+		// Try more scopes until two collide (64 slots → a collision is
+		// found quickly by birthday bound).
+		found := false
+		for i := 0; i < 256 && !found; i++ {
+			s := NewScope("x")
+			thr.pushScope(s)
+			h := thr.contextTop()
+			thr.granuleFor(l, h)
+			thr.popScope()
+			if slot(h) == slot(hashes[0]) && h != hashes[0] {
+				hashes[1] = h
+				found = true
+			}
+		}
+		if !found {
+			b.Fatal("could not construct colliding cache slots")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = thr.granuleFor(l, hashes[i&1])
+	}
+}

@@ -31,7 +31,7 @@ type invState struct {
 // invFor allocates the attempt's invariant state, or nil when the mode is
 // off. Execute verifies cs.Scope is non-nil before any attempt runs.
 func (rt *Runtime) invFor(cs *CS, l *Lock, mode Mode) *invState {
-	if !rt.opts.InvariantMode {
+	if !rt.disp.invariantMode {
 		return nil
 	}
 	return &invState{scope: cs.Scope.Label(), lock: l.name, mode: mode}

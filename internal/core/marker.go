@@ -61,7 +61,7 @@ func (m *ConflictMarker) EndConflicting(ec *ExecCtx) {
 	}
 	// The stretch runs before the closing bump, so the region stays
 	// observable (odd version in Lock mode) for its whole duration.
-	if h := ec.lock.rt.opts.Faults; h != nil {
+	if h := ec.lock.rt.disp.faults; h != nil {
 		h.StretchConflicting()
 	}
 	m.bump(ec)
@@ -72,7 +72,7 @@ func (m *ConflictMarker) bump(ec *ExecCtx) {
 	case ModeSWOpt:
 		panic("ale: conflicting region entered in SWOpt mode")
 	case ModeHTM:
-		if ec.lock.rt.opts.MarkerElision {
+		if ec.lock.rt.disp.markerElision {
 			ind := m.lock.swoptActive
 			// Cheap direct peek first so the indicator joins our read
 			// set only when elision looks possible: when SWOpt threads
@@ -130,7 +130,7 @@ func (m *ConflictMarker) ValidateIn(ec *ExecCtx, v uint64) bool {
 	// A forced failure is always a sound answer — callers must treat a
 	// false as "conflict occurred, retry" — so injection drives the retry
 	// and nested-invalidation paths without permitting a wrong result.
-	if h := ec.lock.rt.opts.Faults; h != nil && h.ForceValidateFail() {
+	if h := ec.lock.rt.disp.faults; h != nil && h.ForceValidateFail() {
 		return false
 	}
 	return ok

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/locks"
 	"repro/internal/obs"
 	"repro/internal/tm"
 )
@@ -94,6 +95,47 @@ func TestObsCountersMirrorRun(t *testing.T) {
 				t.Errorf("aborts: snapshot %d, granules %d", got, aborts)
 			}
 		})
+	}
+}
+
+// TestObsExtensionMirroredFromEngine drives a real timestamp extension
+// through an HTM-mode execution and checks the engine mirrors the
+// substrate's counter into the collector: the extension must be visible in
+// the snapshot (and its delta accounting must not double-count across
+// subsequent executions).
+func TestObsExtensionMirroredFromEngine(t *testing.T) {
+	rt, c := newObsRuntime(htmProfile())
+	d := rt.Domain()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(10, 0))
+	a := d.NewVar(0)
+	unrelated := d.NewVar(0)
+	cs := &CS{
+		Scope: NewScope("ext"),
+		Body: func(ec *ExecCtx) error {
+			_ = ec.Load(a)
+			// An unrelated committer (simulated inline) advances the
+			// domain clock mid-transaction; the next load extends.
+			unrelated.StoreDirect(1)
+			_ = ec.Load(unrelated)
+			return nil
+		},
+	}
+	thr := rt.NewThread()
+	const execs = 5
+	for i := 0; i < execs; i++ {
+		if err := l.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Snapshot()
+	if got := s.Get(obs.CtrHTMExtension); got != execs {
+		t.Errorf("snapshot htm_extension = %d, want %d (one per execution)", got, execs)
+	}
+	if got := s.Successes(uint8(ModeHTM)); got != execs {
+		t.Errorf("HTM successes = %d, want %d (extension should prevent the abort)", got, execs)
+	}
+	if got := s.Aborts(tm.AbortConflict); got != 0 {
+		t.Errorf("conflict aborts = %d, want 0 — extensions should have absorbed them", got)
 	}
 }
 

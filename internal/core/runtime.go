@@ -100,11 +100,28 @@ func DefaultOptions() Options {
 type Runtime struct {
 	dom  *tm.Domain
 	opts Options
+	disp dispatch
 
 	mu        sync.Mutex
 	locks     []*Lock
 	threads   []*Thread
 	threadSeq atomic.Uint64
+}
+
+// dispatch is the hot path's view of Options, precomputed once at Runtime
+// construction. Options stays the documented configuration surface; the
+// engine, marker, and invariant code read these flat fields instead so the
+// per-execution checks compile to direct loads off one cache line, with no
+// repeated indirection through the larger Options struct. Options are
+// immutable after NewRuntimeOpts, so the two never diverge.
+type dispatch struct {
+	grouping         bool
+	lockHeldDiscount bool
+	markerElision    bool
+	sampleAll        bool
+	invariantMode    bool
+	faults           FaultHooks
+	clock            func() time.Time
 }
 
 // NewRuntime creates a Runtime over the given transactional domain with
@@ -115,7 +132,19 @@ func NewRuntime(dom *tm.Domain) *Runtime {
 
 // NewRuntimeOpts creates a Runtime with explicit options.
 func NewRuntimeOpts(dom *tm.Domain, opts Options) *Runtime {
-	return &Runtime{dom: dom, opts: opts}
+	return &Runtime{
+		dom:  dom,
+		opts: opts,
+		disp: dispatch{
+			grouping:         opts.Grouping,
+			lockHeldDiscount: opts.LockHeldDiscount,
+			markerElision:    opts.MarkerElision,
+			sampleAll:        opts.SampleAllTimings,
+			invariantMode:    opts.InvariantMode,
+			faults:           opts.Faults,
+			clock:            opts.Clock,
+		},
+	}
 }
 
 // Domain returns the runtime's transactional domain.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strings"
+
 	"repro/internal/obs"
 	"repro/internal/tm"
 	"repro/internal/trace"
@@ -22,9 +24,19 @@ type Thread struct {
 	txn *tm.Txn
 
 	// Calling context: a stack of rolling hashes (ctx[len-1] is current)
-	// and the matching scope labels for report rendering.
+	// and the matching scopes. Labels for report rendering are joined on
+	// demand (granule creation only), so the push/pop fast path performs
+	// no string building.
 	ctxHashes []uint64
-	ctxLabels []string
+	ctxScopes []*Scope
+
+	// granCache is a direct-mapped cache over Lock.granule: the engine
+	// resolves (lock, context hash) pairs here first, bypassing the lock's
+	// sync.Map — whose uint64 key would be boxed on every lookup — on the
+	// effectively-100% hit path of a steady-state workload. Single-owner
+	// like the rest of the Thread, so no synchronization; a Granule is
+	// immutable once created, so a hit can never be stale.
+	granCache [granCacheSize]granCacheEntry
 
 	// frames records one entry per in-flight critical section execution,
 	// innermost last. No frame is pushed for critical sections nested
@@ -58,15 +70,62 @@ type Thread struct {
 	// Options.Obs is set, nil otherwise. Single-writer: only this thread
 	// bumps it; the collector reads it with atomic loads.
 	shard *obs.Shard
+
+	// extSeen is the last value of txn.Extensions() mirrored into obs; the
+	// engine publishes the delta after every HTM attempt.
+	extSeen uint64
+
+	// HTM trampoline: the engine runs hardware attempts through htmBody, a
+	// method value bound once at construction, with the per-attempt inputs
+	// and result passed through these fields instead of a closure
+	// environment. A fresh closure per attempt would allocate — on the
+	// hottest path in the library.
+	htmBody func(*tm.Txn)
+	htmLock *Lock
+	htmCS   *CS
+	htmFI   int
+	htmErr  error
+}
+
+// granCacheSize is the number of direct-mapped granule-cache slots per
+// thread (power of two). Workloads in the paper touch a handful of (lock,
+// context) pairs per thread; 64 slots make eviction collisions rare
+// without bloating the Thread.
+const granCacheSize = 64
+
+// granCacheEntry is one direct-mapped cache slot: the (lock, context hash)
+// key and the granule it resolved to.
+type granCacheEntry struct {
+	lock    *Lock
+	ctxHash uint64
+	gran    *Granule
+}
+
+// granuleFor resolves the granule for lock l in the thread's current
+// context, consulting the direct-mapped cache before the lock's shared
+// table.
+func (t *Thread) granuleFor(l *Lock, ctxHash uint64) *Granule {
+	slot := (ctxHash ^ uint64(l.id)*0x9e3779b97f4a7c15) & (granCacheSize - 1)
+	e := &t.granCache[slot]
+	if e.lock == l && e.ctxHash == ctxHash {
+		return e.gran
+	}
+	g := l.granule(ctxHash, t.contextLabel())
+	*e = granCacheEntry{lock: l, ctxHash: ctxHash, gran: g}
+	return g
 }
 
 // frame records one nesting level (paper section 4.1: per-thread stacks of
-// frames record the lock, granule, and mode of each level).
+// frames record the lock, granule, and mode of each level). The frame also
+// provides frame-lifetime storage for the execution's ExecCtx and
+// ExecRecord, so handing their addresses to the body and the policy's Done
+// hook never forces a heap allocation.
 type frame struct {
 	lock *Lock
 	gran *Granule
 	mode Mode
 	ec   ExecCtx
+	rec  ExecRecord
 }
 
 // NewThread creates a worker handle. Each worker goroutine needs its own.
@@ -78,8 +137,9 @@ func (rt *Runtime) NewThread() *Thread {
 		rng:       xrand.New(id*0x9e3779b9 + 1),
 		txn:       rt.dom.NewTxn(id + 0x1000),
 		ctxHashes: []uint64{0},
-		ctxLabels: []string{""},
+		ctxScopes: []*Scope{nil},
 	}
+	t.htmBody = t.runHTMBody // one-time bind; per-attempt binding would allocate
 	if rt.opts.TraceCapacity > 0 {
 		t.ring = trace.NewRing(rt.opts.TraceCapacity, int32(id))
 	}
@@ -110,6 +170,37 @@ func (t *Thread) obsAdd(c obs.Counter) {
 	}
 }
 
+// obsAddN bumps a live-metrics counter by n if Options.Obs is attached.
+func (t *Thread) obsAddN(c obs.Counter, n uint64) {
+	if t.shard != nil {
+		t.shard.AddN(c, n)
+	}
+}
+
+// runHTMBody is one hardware-transaction attempt's body, reached through
+// the bound htmBody trampoline (see the field comments). Inputs arrive in
+// htmLock/htmCS/htmFI; the user error leaves through htmErr. An abort
+// unwinds out of here via the substrate's panic, so htmErr only carries
+// meaning when the enclosing Run reports a commit.
+func (t *Thread) runHTMBody(tx *tm.Txn) {
+	l, cs, fi := t.htmLock, t.htmCS, t.htmFI
+	// Subscribe: load the lock word inside the transaction and abort if
+	// held. Any later acquisition bumps the word and dooms us.
+	if l.ops.HeldValue(tx.Load(l.ops.Word())) {
+		tx.Abort(tm.AbortLockHeld)
+	}
+	t.inHTM = true
+	t.htmFrame = fi
+	defer func() { t.inHTM = false }()
+	fr := &t.frames[fi]
+	fr.ec = ExecCtx{thr: t, lock: l, txn: tx, mode: ModeHTM, inv: l.rt.invFor(cs, l, ModeHTM)}
+	t.htmErr = cs.Body(&fr.ec)
+	// Checked inside the transaction: an aborted attempt unwinds out of
+	// the body before this point, so only completed bodies are held to the
+	// balance invariant.
+	fr.ec.invDone(t.htmErr)
+}
+
 // ID returns the thread's small dense id (used as its SNZI slot).
 func (t *Thread) ID() int { return t.id }
 
@@ -134,11 +225,7 @@ func (t *Thread) EndScope() {
 func (t *Thread) pushScope(s *Scope) {
 	top := t.ctxHashes[len(t.ctxHashes)-1]
 	t.ctxHashes = append(t.ctxHashes, contextHash(top, s))
-	label := s.label
-	if prev := t.ctxLabels[len(t.ctxLabels)-1]; prev != "" {
-		label = prev + "/" + s.label
-	}
-	t.ctxLabels = append(t.ctxLabels, label)
+	t.ctxScopes = append(t.ctxScopes, s)
 }
 
 func (t *Thread) popScope() {
@@ -146,13 +233,32 @@ func (t *Thread) popScope() {
 		panic("ale: EndScope without matching BeginScope")
 	}
 	t.ctxHashes = t.ctxHashes[:len(t.ctxHashes)-1]
-	t.ctxLabels = t.ctxLabels[:len(t.ctxLabels)-1]
+	t.ctxScopes = t.ctxScopes[:len(t.ctxScopes)-1]
 }
 
-// contextTop returns the current context hash and label.
-func (t *Thread) contextTop() (uint64, string) {
-	i := len(t.ctxHashes) - 1
-	return t.ctxHashes[i], t.ctxLabels[i]
+// contextTop returns the current context hash.
+func (t *Thread) contextTop() uint64 {
+	return t.ctxHashes[len(t.ctxHashes)-1]
+}
+
+// contextLabel joins the scope labels on the context stack for report
+// rendering. Only the granule-creation slow path calls it; steady-state
+// executions resolve their granule from the cache without touching labels.
+func (t *Thread) contextLabel() string {
+	switch len(t.ctxScopes) {
+	case 1:
+		return ""
+	case 2:
+		return t.ctxScopes[1].label
+	}
+	var b strings.Builder
+	for i, s := range t.ctxScopes[1:] {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		b.WriteString(s.label)
+	}
+	return b.String()
 }
 
 // holds reports whether the thread currently holds l's underlying lock

@@ -50,6 +50,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		{"ale_fallbacks_total", "Executions that abandoned HTM mid-flight.", CtrFallback},
 		{"ale_policy_phase_transitions_total", "Adaptive-policy learning-stage transitions.", CtrPhaseTransition},
 		{"ale_policy_relearns_total", "Adaptive-policy relearns (drift detector firings).", CtrRelearn},
+		{"ale_htm_extensions_total", "Timestamp extensions during HTM attempts (false conflicts absorbed).", CtrHTMExtension},
 	} {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			c.name, c.help, c.name, c.name, s.Counts[c.ctr])

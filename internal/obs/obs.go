@@ -81,6 +81,13 @@ const (
 	// CtrRelearn counts AdaptivePolicy.Relearn invocations (drift
 	// detector firings).
 	CtrRelearn
+	// CtrHTMExtension counts timestamp extensions performed by the tm
+	// substrate during HTM attempts (tm.TxnStats.Extensions, mirrored by
+	// the engine): loads that observed a version past the transaction's
+	// snapshot but revalidated and advanced it instead of aborting. Each
+	// one is a false conflict the pre-extension substrate would have
+	// turned into an AbortConflict.
+	CtrHTMExtension
 
 	// ctrAbortBase starts tm.NumAbortReasons counters of failed HTM
 	// attempts by abort reason.

@@ -132,6 +132,42 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHTMExtensionVisibility: the substrate's timestamp-extension counter
+// must survive the whole observability pipeline — snapshot, JSON wire
+// format (events.htm_extension), and Prometheus exposition.
+func TestHTMExtensionVisibility(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	sh.AddN(CtrHTMExtension, 13)
+	s := c.Snapshot()
+	if got := s.Get(CtrHTMExtension); got != 13 {
+		t.Fatalf("snapshot extension count = %d, want 13", got)
+	}
+
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"htm_extension":13`) {
+		t.Errorf("JSON wire format lacks htm_extension: %s", data)
+	}
+	var back Snapshot
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Get(CtrHTMExtension); got != 13 {
+		t.Errorf("round-tripped extension count = %d, want 13", got)
+	}
+
+	var prom strings.Builder
+	if err := WritePrometheus(&prom, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "ale_htm_extensions_total 13") {
+		t.Errorf("Prometheus exposition lacks ale_htm_extensions_total:\n%s", prom.String())
+	}
+}
+
 func TestParseSnapshots(t *testing.T) {
 	c := New()
 	sh := c.NewShard()

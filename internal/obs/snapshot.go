@@ -142,6 +142,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 			"fallback":         s.Counts[CtrFallback],
 			"phase_transition": s.Counts[CtrPhaseTransition],
 			"relearn":          s.Counts[CtrRelearn],
+			"htm_extension":    s.Counts[CtrHTMExtension],
 		},
 	}
 	for m := uint8(0); m < NumModes; m++ {
@@ -183,6 +184,7 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 	s.Counts[CtrFallback] = j.Events["fallback"]
 	s.Counts[CtrPhaseTransition] = j.Events["phase_transition"]
 	s.Counts[CtrRelearn] = j.Events["relearn"]
+	s.Counts[CtrHTMExtension] = j.Events["htm_extension"]
 	for c := uint8(0); c < NumFaultClasses; c++ {
 		s.Counts[CtrFault(c)] = j.Faults[FaultClassNames[c]]
 	}

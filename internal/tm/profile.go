@@ -33,6 +33,13 @@ type Profile struct {
 	// transactions fail more often for incidental reasons.
 	SpuriousProb float64
 
+	// DisableExtension turns off TL2 timestamp extension (an ablation
+	// switch, not a platform property): a Load observing a version above
+	// the begin-time snapshot aborts with AbortConflict immediately, the
+	// pre-extension behaviour. EXPERIMENTS.md quantifies the
+	// false-conflict abort rate this reintroduces.
+	DisableExtension bool
+
 	// spurThresh is SpuriousProb precomputed as a uint64 threshold so the
 	// hot path compares a raw PRNG draw instead of converting to float.
 	spurThresh uint64

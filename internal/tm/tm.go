@@ -67,8 +67,14 @@ const (
 	// does not allow HTM mode, so the enclosing transaction must abort
 	// (paper section 4.1).
 	AbortNesting
+	// AbortPanic: user code panicked (with a non-abort value) inside the
+	// transaction body. The speculative state is rolled back exactly like
+	// any other abort and the panic then propagates to Run's caller; the
+	// bucket exists so the descriptor's stats invariant
+	// starts == commits + Σaborts holds even across user panics.
+	AbortPanic
 
-	numAbortReasons = int(AbortNesting) + 1
+	numAbortReasons = int(AbortPanic) + 1
 )
 
 // NumAbortReasons is the number of distinct abort reason codes, for sizing
@@ -84,6 +90,7 @@ var abortReasonNames = [...]string{
 	AbortLockHeld: "lock-held",
 	AbortDisabled: "disabled",
 	AbortNesting:  "nesting",
+	AbortPanic:    "panic",
 }
 
 // String returns a short lower-case name for the reason.

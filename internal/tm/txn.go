@@ -14,6 +14,14 @@ import (
 // capacity limits) degrade gracefully instead of quadratically.
 const setSpill = 32
 
+// spillHighWater is the set size above which cleanup releases the spill
+// maps (and slice backing arrays) instead of retaining them for reuse. A
+// descriptor that once ran a giant transaction — e.g. a capacity probe on
+// the Haswell profile (ReadCap 512) — would otherwise pin that memory for
+// its whole lifetime. The bound sits comfortably above every platform
+// profile's capacity, so ordinary workloads never release.
+const spillHighWater = 1024
+
 // Txn is a transaction descriptor. Each worker goroutine owns one reusable
 // Txn per domain (allocate with Domain.NewTxn); a Txn must never be shared
 // between goroutines.
@@ -44,6 +52,7 @@ type Txn struct {
 	lastReason AbortReason
 	starts     uint64
 	commits    uint64
+	extensions uint64
 	aborts     [NumAbortReasons]uint64
 }
 
@@ -64,11 +73,35 @@ func (t *Txn) Active() bool { return t.active }
 // AbortNone if it committed.
 func (t *Txn) LastReason() AbortReason { return t.lastReason }
 
-// Stats returns cumulative (starts, commits) and a per-reason abort count
-// array for this descriptor.
-func (t *Txn) Stats() (starts, commits uint64, aborts [NumAbortReasons]uint64) {
-	return t.starts, t.commits, t.aborts
+// TxnStats is a snapshot of a descriptor's cumulative statistics. The
+// invariant Starts == Commits + ΣAborts holds whenever no transaction is
+// mid-flight on the descriptor (user panics are accounted under
+// AbortPanic, so even abandoned attempts balance).
+type TxnStats struct {
+	Starts  uint64
+	Commits uint64
+	// Extensions counts successful timestamp extensions: loads that
+	// observed a version past the begin-time snapshot but revalidated the
+	// read set and advanced rv instead of aborting (TL2 extension). Each
+	// one is a false AbortConflict that did not happen.
+	Extensions uint64
+	Aborts     [NumAbortReasons]uint64
 }
+
+// Stats returns a snapshot of the descriptor's cumulative statistics.
+func (t *Txn) Stats() TxnStats {
+	return TxnStats{
+		Starts:     t.starts,
+		Commits:    t.commits,
+		Extensions: t.extensions,
+		Aborts:     t.aborts,
+	}
+}
+
+// Extensions returns the cumulative count of successful timestamp
+// extensions (see TxnStats.Extensions). The ALE engine reads this after
+// every attempt to mirror the delta into the observability layer.
+func (t *Txn) Extensions() uint64 { return t.extensions }
 
 // ReadSetSize and WriteSetSize report the current set sizes (diagnostics).
 func (t *Txn) ReadSetSize() int  { return len(t.reads) }
@@ -119,6 +152,11 @@ func (t *Txn) Run(body func(*Txn)) (committed bool, reason AbortReason) {
 		if r := recover(); r != nil {
 			sig, ok := r.(abortSignal)
 			if !ok {
+				// A user panic abandons the attempt after begin bumped
+				// starts; account it as an abort so the stats invariant
+				// starts == commits + Σaborts survives the unwind.
+				t.lastReason = AbortPanic
+				t.aborts[AbortPanic]++
 				t.cleanup()
 				panic(r)
 			}
@@ -151,16 +189,32 @@ func (t *Txn) begin() {
 	}
 }
 
+// cleanup resets the descriptor after an attempt. The read/write sets and
+// spill maps are retained (cleared, not freed) so back-to-back attempts
+// allocate nothing — except after an outsized transaction: sets past
+// spillHighWater are released entirely so one capacity probe doesn't pin
+// memory for the descriptor's lifetime.
 func (t *Txn) cleanup() {
 	t.active = false
-	t.reads = t.reads[:0]
-	t.wkeys = t.wkeys[:0]
-	t.wvals = t.wvals[:0]
-	if t.rseen != nil {
-		clear(t.rseen)
+	if len(t.reads) > spillHighWater {
+		t.reads = nil
+		t.rseen = nil
+	} else {
+		t.reads = t.reads[:0]
+		if t.rseen != nil {
+			clear(t.rseen)
+		}
 	}
-	if t.windex != nil {
-		clear(t.windex)
+	if len(t.wkeys) > spillHighWater {
+		t.wkeys = nil
+		t.wvals = nil
+		t.windex = nil
+	} else {
+		t.wkeys = t.wkeys[:0]
+		t.wvals = t.wvals[:0]
+		if t.windex != nil {
+			clear(t.windex)
+		}
 	}
 }
 
@@ -207,8 +261,29 @@ func (t *Txn) Load(v *Var) uint64 {
 		panic(abortSignal{AbortConflict})
 	}
 	x := v.val.Load()
-	if v.vlock.Load() != v1 || v1>>1 > t.rv {
+	if v.vlock.Load() != v1 {
 		panic(abortSignal{AbortConflict})
+	}
+	if v1>>1 > t.rv {
+		// The cell committed after our begin-time snapshot. TL2 timestamp
+		// extension: if everything read so far is still valid at the old
+		// snapshot, nothing serialized between our reads and now, so we
+		// may slide the snapshot forward instead of aborting. Unrelated
+		// commits (the overwhelmingly common case) thus stop
+		// manufacturing false conflicts that real HTM would never see.
+		if t.dom.profile.DisableExtension || !t.extend() {
+			panic(abortSignal{AbortConflict})
+		}
+		// Re-sample under the advanced snapshot: the cell may have
+		// committed again between the extension sample and here.
+		v1 = v.vlock.Load()
+		if v1&lockBit != 0 {
+			panic(abortSignal{AbortConflict})
+		}
+		x = v.val.Load()
+		if v.vlock.Load() != v1 || v1>>1 > t.rv {
+			panic(abortSignal{AbortConflict})
+		}
 	}
 	if !t.readSeen(v) {
 		if len(t.reads) >= t.dom.profile.ReadCap {
@@ -225,6 +300,32 @@ func (t *Txn) Load(v *Var) uint64 {
 		}
 	}
 	return x
+}
+
+// extend attempts a TL2 timestamp extension: sample the clock, revalidate
+// every read cell against the *old* snapshot, and on success adopt the
+// sample as the new snapshot. Returns false (leaving rv untouched) if any
+// read cell is locked or has moved — a real conflict.
+//
+// Soundness: any writer that publishes a version ≤ the new sample into one
+// of our read cells must have ticked the clock before we sampled it, and
+// writers lock their cells before ticking and hold them through
+// publication — so at revalidation time that cell shows either the lock
+// bit or a version past the old rv, and we refuse to extend. Hence after a
+// successful extension every read remains valid at the advanced snapshot,
+// and opacity is preserved exactly as if the transaction had begun at the
+// new rv.
+func (t *Txn) extend() bool {
+	newRv := t.dom.clock.Load()
+	for _, r := range t.reads {
+		vl := r.vlock.Load()
+		if vl&lockBit != 0 || vl>>1 > t.rv {
+			return false
+		}
+	}
+	t.rv = newRv
+	t.extensions++
+	return true
 }
 
 // Store transactionally writes x to v. The write is buffered in the redo
@@ -279,26 +380,15 @@ func (t *Txn) commit() {
 	}
 	// Lock write cells in address order so concurrent committers cannot
 	// deadlock. Sort key/value pairs in tandem.
-	order := wsetSorter{t.wkeys, t.wvals}
-	sort.Sort(order)
-	if t.windex != nil {
-		for i, w := range t.wkeys {
-			t.windex[w] = i
-		}
-	}
+	t.sortWriteSet()
 	locked := 0
-	release := func() {
-		for _, v := range t.wkeys[:locked] {
-			v.vlock.Store(v.vlock.Load() &^ lockBit)
-		}
-	}
 	for _, v := range t.wkeys {
 		vl := v.vlock.Load()
 		// A write cell whose version moved past our snapshot means a
 		// conflicting committer beat us (write-write conflicts abort on
 		// real HTM). A held lock bit means one is mid-commit right now.
 		if vl&lockBit != 0 || vl>>1 > t.rv || !v.vlock.CompareAndSwap(vl, vl|lockBit) {
-			release()
+			t.releaseLocked(locked)
 			panic(abortSignal{AbortConflict})
 		}
 		locked++
@@ -311,14 +401,49 @@ func (t *Txn) commit() {
 		}
 		vl := v.vlock.Load()
 		if vl&lockBit != 0 || vl>>1 > t.rv {
-			release()
+			t.releaseLocked(locked)
 			panic(abortSignal{AbortConflict})
 		}
 	}
-	wv := t.dom.clock.Add(1)
+	wv := t.dom.commitTick()
 	for i, v := range t.wkeys {
 		v.val.Store(t.wvals[i])
 		v.vlock.Store(wv << 1)
+	}
+}
+
+// releaseLocked drops the lock bit on the first n write cells (the ones a
+// failed commit managed to lock) without bumping their versions.
+func (t *Txn) releaseLocked(n int) {
+	for _, v := range t.wkeys[:n] {
+		v.vlock.Store(v.vlock.Load() &^ lockBit)
+	}
+}
+
+// sortWriteSet orders the write-set key/value slices in tandem by cell
+// address. Small sets (the common case) use an in-place insertion sort so
+// the commit fast path performs no interface boxing; spilled sets fall
+// back to sort.Sort, whose one allocation is noise next to the spill maps.
+// The windex positions are rebuilt afterwards either way.
+func (t *Txn) sortWriteSet() {
+	if len(t.wkeys) <= setSpill {
+		keys, vals := t.wkeys, t.wvals
+		for i := 1; i < len(keys); i++ {
+			k, x := keys[i], vals[i]
+			j := i - 1
+			for j >= 0 && uintptr(unsafe.Pointer(keys[j])) > uintptr(unsafe.Pointer(k)) {
+				keys[j+1], vals[j+1] = keys[j], vals[j]
+				j--
+			}
+			keys[j+1], vals[j+1] = k, x
+		}
+	} else {
+		sort.Sort(wsetSorter{t.wkeys, t.wvals})
+	}
+	if t.windex != nil {
+		for i, w := range t.wkeys {
+			t.windex[w] = i
+		}
 	}
 }
 

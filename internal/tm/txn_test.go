@@ -69,9 +69,35 @@ func TestUserPanicPropagatesAndCleansUp(t *testing.T) {
 	if got := v.LoadDirect(); got != 0 {
 		t.Errorf("write leaked through panic: %d", got)
 	}
+	// The abandoned attempt must be accounted (AbortPanic) so the stats
+	// invariant holds.
+	st := tx.Stats()
+	if st.Aborts[AbortPanic] != 1 {
+		t.Errorf("Aborts[AbortPanic] = %d, want 1", st.Aborts[AbortPanic])
+	}
+	if tx.LastReason() != AbortPanic {
+		t.Errorf("LastReason = %v, want AbortPanic", tx.LastReason())
+	}
+	assertStatsInvariant(t, tx)
 	// The descriptor must be reusable.
 	if ok, _ := tx.Run(func(tx *Txn) { tx.Store(v, 5) }); !ok {
 		t.Error("Txn not reusable after user panic")
+	}
+	assertStatsInvariant(t, tx)
+}
+
+// assertStatsInvariant checks starts == commits + Σaborts on a quiescent
+// descriptor.
+func assertStatsInvariant(t *testing.T, tx *Txn) {
+	t.Helper()
+	st := tx.Stats()
+	var sum uint64
+	for _, n := range st.Aborts {
+		sum += n
+	}
+	if st.Starts != st.Commits+sum {
+		t.Errorf("stats invariant broken: starts=%d commits=%d Σaborts=%d (%+v)",
+			st.Starts, st.Commits, sum, st)
 	}
 }
 
@@ -85,13 +111,118 @@ func TestDirectStoreAbortsReader(t *testing.T) {
 		// A concurrent thread (simulated inline) writes v and then other.
 		v.StoreDirect(1)
 		other.StoreDirect(1)
-		// Reading either cell now must abort: their versions are past our
-		// snapshot.
+		// Reading either cell now must abort: v's version is past even an
+		// extended snapshot's reach because other (already in our read
+		// set) changed too, so the extension revalidation fails.
 		_ = tx.Load(v)
 		t.Error("Load returned after conflicting direct store")
 	})
 	if ok || reason != AbortConflict {
 		t.Fatalf("Run = (%v, %v), want conflict abort", ok, reason)
+	}
+}
+
+// TestExtensionAllowsUnrelatedCommit: a direct write to a cell *outside*
+// the read set bumps the clock; a subsequent load of that cell must
+// succeed by extending the snapshot instead of aborting (the false
+// conflict the pre-extension substrate manufactured).
+func TestExtensionAllowsUnrelatedCommit(t *testing.T) {
+	d := newTestDomain()
+	a := d.NewVar(1)
+	b := d.NewVar(0)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		if got := tx.Load(a); got != 1 {
+			t.Errorf("Load(a) = %d, want 1", got)
+		}
+		// Unrelated committer (simulated inline) advances the clock and
+		// stamps b with a version past our begin-time snapshot.
+		b.StoreDirect(7)
+		if got := tx.Load(b); got != 7 {
+			t.Errorf("Load(b) = %d, want 7", got)
+		}
+	})
+	if !ok {
+		t.Fatalf("Run aborted with %v; extension should have absorbed the unrelated commit", reason)
+	}
+	st := tx.Stats()
+	if st.Extensions != 1 {
+		t.Errorf("Extensions = %d, want 1", st.Extensions)
+	}
+	if tx.Extensions() != st.Extensions {
+		t.Errorf("Extensions() = %d, disagrees with Stats()", tx.Extensions())
+	}
+}
+
+// TestDisableExtensionRestoresAbort: with the ablation switch on, the
+// same unrelated-commit schedule must abort with AbortConflict (the
+// pre-extension behaviour EXPERIMENTS.md's extension ablation measures).
+func TestDisableExtensionRestoresAbort(t *testing.T) {
+	p := Profile{Name: "noext", Enabled: true, ReadCap: 1 << 10, WriteCap: 1 << 10,
+		DisableExtension: true}
+	d := NewDomain(p)
+	a := d.NewVar(1)
+	b := d.NewVar(0)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		_ = tx.Load(a)
+		b.StoreDirect(7)
+		_ = tx.Load(b)
+		t.Error("Load returned despite DisableExtension")
+	})
+	if ok || reason != AbortConflict {
+		t.Fatalf("Run = (%v, %v), want conflict abort", ok, reason)
+	}
+	if n := tx.Extensions(); n != 0 {
+		t.Errorf("Extensions = %d, want 0 with extension disabled", n)
+	}
+}
+
+// TestExtensionFailsOnReadSetChange: if a cell already in the read set
+// changed, extension must refuse and the load must abort — accepting it
+// would break opacity.
+func TestExtensionFailsOnReadSetChange(t *testing.T) {
+	d := newTestDomain()
+	a := d.NewVar(1)
+	b := d.NewVar(0)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		_ = tx.Load(a)
+		a.StoreDirect(2) // invalidates our read of a
+		b.StoreDirect(7) // makes the next load need an extension
+		_ = tx.Load(b)   // extension must refuse: a moved
+		t.Error("Load returned despite invalidated read set")
+	})
+	if ok || reason != AbortConflict {
+		t.Fatalf("Run = (%v, %v), want conflict abort", ok, reason)
+	}
+	if n := tx.Extensions(); n != 0 {
+		t.Errorf("Extensions = %d, want 0", n)
+	}
+}
+
+// TestExtensionPreservesCommitValidation: an extended snapshot must not
+// let the commit-time read validation accept a cell that changed after it
+// was read (extension slides rv forward only when all reads are intact at
+// that moment; later invalidations still abort at commit).
+func TestExtensionPreservesCommitValidation(t *testing.T) {
+	d := newTestDomain()
+	a := d.NewVar(1)
+	b := d.NewVar(0)
+	w := d.NewVar(0)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		_ = tx.Load(a)
+		b.StoreDirect(7) // unrelated: triggers extension on next load
+		_ = tx.Load(b)
+		tx.Store(w, 1)
+		a.StoreDirect(2) // invalidates a after the extension
+	})
+	if ok || reason != AbortConflict {
+		t.Fatalf("Run = (%v, %v), want conflict abort at commit", ok, reason)
+	}
+	if got := w.LoadDirect(); got != 0 {
+		t.Errorf("aborted txn published w = %d", got)
 	}
 }
 
@@ -255,9 +386,9 @@ func TestStatsCounting(t *testing.T) {
 	tx := d.NewTxn(1)
 	tx.Run(func(tx *Txn) { tx.Store(v, 1) })
 	tx.Run(func(tx *Txn) { tx.Abort(AbortExplicit) })
-	starts, commits, aborts := tx.Stats()
-	if starts != 2 || commits != 1 || aborts[AbortExplicit] != 1 {
-		t.Errorf("stats = (%d, %d, %v)", starts, commits, aborts)
+	st := tx.Stats()
+	if st.Starts != 2 || st.Commits != 1 || st.Aborts[AbortExplicit] != 1 {
+		t.Errorf("stats = %+v", st)
 	}
 	if tx.LastReason() != AbortExplicit {
 		t.Errorf("LastReason = %v", tx.LastReason())
@@ -435,4 +566,165 @@ func TestRunWhileActivePanics(t *testing.T) {
 		}
 	}()
 	tx.Run(func(tx *Txn) { tx.Run(func(*Txn) {}) })
+}
+
+// TestCleanupReleasesOversizedSets: one giant transaction (past
+// spillHighWater) must not pin its sets and spill maps for the
+// descriptor's lifetime; cleanup drops them back to nil. Modest spilled
+// sets stay pooled.
+func TestCleanupReleasesOversizedSets(t *testing.T) {
+	d := newTestDomain()
+	vs := d.NewVars(spillHighWater + 10)
+	tx := d.NewTxn(1)
+
+	// A spilled-but-modest transaction retains its maps for reuse.
+	ok, _ := tx.Run(func(tx *Txn) {
+		for i := 0; i < 2*setSpill; i++ {
+			_ = tx.Load(&vs[i])
+			tx.Store(&vs[i], 1)
+		}
+	})
+	if !ok {
+		t.Fatal("modest txn aborted")
+	}
+	if tx.rseen == nil || tx.windex == nil {
+		t.Error("modest spill maps were released; want pooled")
+	}
+	if cap(tx.reads) == 0 || cap(tx.wkeys) == 0 {
+		t.Error("modest set slices were released; want pooled")
+	}
+
+	// A giant transaction releases everything at cleanup.
+	ok, _ = tx.Run(func(tx *Txn) {
+		for i := range vs {
+			_ = tx.Load(&vs[i])
+			tx.Store(&vs[i], 2)
+		}
+	})
+	if !ok {
+		t.Fatal("giant txn aborted")
+	}
+	if tx.reads != nil || tx.rseen != nil {
+		t.Error("oversized read set retained after cleanup")
+	}
+	if tx.wkeys != nil || tx.wvals != nil || tx.windex != nil {
+		t.Error("oversized write set retained after cleanup")
+	}
+
+	// The descriptor must still work after the release.
+	ok, _ = tx.Run(func(tx *Txn) { tx.Store(&vs[0], 3) })
+	if !ok || vs[0].LoadDirect() != 3 {
+		t.Error("descriptor unusable after high-water release")
+	}
+	assertStatsInvariant(t, tx)
+}
+
+// TestCleanupReleasesOversizedSetsOnAbort: the high-water release must
+// also fire on the abort path (capacity probes abort by construction).
+func TestCleanupReleasesOversizedSetsOnAbort(t *testing.T) {
+	d := newTestDomain()
+	vs := d.NewVars(spillHighWater + 10)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		for i := range vs {
+			_ = tx.Load(&vs[i])
+		}
+		tx.Abort(AbortExplicit)
+	})
+	if ok || reason != AbortExplicit {
+		t.Fatalf("Run = (%v, %v), want explicit abort", ok, reason)
+	}
+	if tx.reads != nil || tx.rseen != nil {
+		t.Error("oversized read set retained after aborting cleanup")
+	}
+}
+
+// TestCommitAllocationFree: a warmed descriptor running a small
+// read-write transaction must not allocate — the engine's zero-alloc fast
+// path depends on it.
+func TestCommitAllocationFree(t *testing.T) {
+	d := newTestDomain()
+	vs := d.NewVars(8)
+	tx := d.NewTxn(1)
+	body := func(tx *Txn) {
+		for i := range vs {
+			tx.Store(&vs[i], tx.Load(&vs[i])+1)
+		}
+	}
+	if ok, reason := tx.Run(body); !ok { // warm-up
+		t.Fatalf("warm-up aborted: %v", reason)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if ok, _ := tx.Run(body); !ok {
+			t.Fatal("txn aborted")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("read-write commit allocates %.1f times/op, want 0", allocs)
+	}
+}
+
+// TestExtensionAllocationFree: the extension path itself (unrelated
+// commit absorbed mid-transaction) must not allocate either.
+func TestExtensionAllocationFree(t *testing.T) {
+	d := newTestDomain()
+	a := d.NewVar(0)
+	b := d.NewVar(0)
+	tx := d.NewTxn(1)
+	body := func(tx *Txn) {
+		_ = tx.Load(a)
+		b.StoreDirect(1) // forces an extension at the next load
+		_ = tx.Load(b)
+	}
+	if ok, reason := tx.Run(body); !ok {
+		t.Fatalf("warm-up aborted: %v", reason)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if ok, _ := tx.Run(body); !ok {
+			t.Fatal("txn aborted")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("extension path allocates %.1f times/op, want 0", allocs)
+	}
+}
+
+// TestCommitTickAdoption: commitTick must hand out a usable timestamp
+// even when it loses the CAS race; concurrent disjoint committers all
+// succeed and publish versions ≤ the final clock value.
+func TestCommitTickAdoption(t *testing.T) {
+	d := newTestDomain()
+	const workers, perWorker = 8, 2000
+	vars := d.NewVars(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tx := d.NewTxn(uint64(id) + 1)
+			for i := 0; i < perWorker; i++ {
+				for {
+					ok, _ := tx.Run(func(tx *Txn) { tx.Add(&vars[id], 1) })
+					if ok {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	clock := d.Now()
+	for i := range vars {
+		if got := vars[i].LoadDirect(); got != perWorker {
+			t.Errorf("vars[%d] = %d, want %d", i, got, perWorker)
+		}
+		if ver := vars[i].Version(); ver > clock {
+			t.Errorf("vars[%d] version %d exceeds clock %d", i, ver, clock)
+		}
+	}
+	// With adoption, N disjoint committers may tick the clock fewer than
+	// N times — but never more.
+	if clock > workers*perWorker {
+		t.Errorf("clock = %d, exceeds one tick per commit (%d)", clock, workers*perWorker)
+	}
 }

@@ -63,6 +63,26 @@ func (d *Domain) HTMAvailable() bool { return d.profile.Enabled }
 // tests and diagnostics only.
 func (d *Domain) Now() uint64 { return d.clock.Load() }
 
+// commitTick obtains a commit timestamp for a read-write transaction with
+// the GV4 "pass on failure" scheme: try one CAS to advance the clock; if a
+// concurrent committer wins the race, adopt the clock's current value as
+// our own timestamp instead of retrying. Concurrent disjoint commits may
+// thus share a timestamp, which is safe because each committer locks its
+// entire write set *before* calling commitTick and holds the locks through
+// publication: two committers sharing a timestamp necessarily have
+// disjoint write sets, and any reader with rv ≥ wv began after the clock
+// reached wv, i.e. after both writers had locked their cells — so it
+// either waits out the lock bits or sees the fully published values. The
+// payoff is that N disjoint committers perform one clock write instead of
+// N, removing the last globally contended CAS from the commit path.
+func (d *Domain) commitTick() uint64 {
+	old := d.clock.Load()
+	if d.clock.CompareAndSwap(old, old+1) {
+		return old + 1
+	}
+	return d.clock.Load()
+}
+
 // NewVar allocates a Var in this domain holding init.
 func (d *Domain) NewVar(init uint64) *Var {
 	v := &Var{dom: d}
