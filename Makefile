@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt bench bench-json stress cover
+.PHONY: all build test race lint fmt bench bench-json stress cover profile
 
 all: build lint test
 
@@ -28,9 +28,17 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # Hot-path microbenchmark suite with the machine-readable report
-# (alebench-microbench/v1; render it with `alereport -in BENCH_4.json`).
+# (alebench-microbench/v1; render it with `alereport -in BENCH_5.json`).
 bench-json:
-	$(GO) run ./cmd/alebench -bench-json BENCH_4.json micro
+	$(GO) run ./cmd/alebench -bench-json BENCH_5.json micro
+
+# Profiling bundle for a representative sweep: CPU profile, heap profile,
+# and a Perfetto-loadable Chrome trace with the timing layer on (plus the
+# contention profile on stdout). Artifacts are gitignored.
+profile:
+	$(GO) run ./cmd/alebench -cpuprofile cpu.pprof -memprofile mem.pprof \
+		-trace-chrome ale.trace.json striping
+	@echo "profile: cpu.pprof mem.pprof ale.trace.json (go tool pprof / Perfetto)"
 
 # Fault-injection stress: deterministic oracle runs plus a concurrent
 # soak (docs/TESTING.md). Override SEED to replay a CI failure.

@@ -50,6 +50,10 @@ var (
 		"serve live metrics over HTTP on this address (e.g. :8080; /metrics Prometheus, /snapshot JSON, /events)")
 	traceCap = flag.Int("trace", 0,
 		"per-thread event-ring capacity; dumps the merged trace of the last ALE run (0 = off)")
+	timing = flag.Bool("timing", false,
+		"enable the timing layer: latency histograms, per-granule wasted-time attribution, span durations")
+	traceChrome = flag.String("trace-chrome", "",
+		"write the last ALE run's event timeline as Chrome Trace Event JSON (Perfetto-loadable) to this path; implies -timing and a default -trace capacity")
 	sampleInterval = flag.Duration("sample-interval", 0,
 		"log interval metric deltas to stderr at this period (0 = off)")
 
@@ -142,11 +146,21 @@ func setupProfiles() (func() error, error) {
 // teardown stops the sampler (flushing its final partial interval) and
 // dumps the last run's trace when -trace is on.
 func setupObs() (func() error, error) {
-	if *metricsAddr == "" && *traceCap == 0 && *sampleInterval == 0 {
+	if *traceChrome != "" {
+		// A Chrome trace without spans or events is useless: turn the
+		// timing layer on and give the rings a capacity if the user set
+		// neither.
+		*timing = true
+		if *traceCap == 0 {
+			*traceCap = 8192
+		}
+	}
+	if *metricsAddr == "" && *traceCap == 0 && *sampleInterval == 0 && !*timing {
 		return func() error { return nil }, nil
 	}
 	opts := core.DefaultOptions()
 	opts.TraceCapacity = *traceCap
+	opts.Timing = *timing
 	collector := obs.New()
 	opts.Obs = collector
 	bench.SetBaseOptions(opts)
@@ -171,12 +185,31 @@ func setupObs() (func() error, error) {
 		if sampler != nil {
 			sampler.Stop()
 		}
-		if *traceCap > 0 {
-			if rt := bench.LastRuntime(); rt != nil {
-				fmt.Println("\n== Trace: merged event timeline of the last ALE run ==")
-				if err := rt.WriteTrace(os.Stdout); err != nil {
-					return err
-				}
+		rt := bench.LastRuntime()
+		if *traceChrome != "" && rt != nil {
+			f, err := os.Create(*traceChrome)
+			if err != nil {
+				return err
+			}
+			if err := rt.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "alebench: wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n",
+				*traceChrome)
+		} else if *traceCap > 0 && rt != nil {
+			fmt.Println("\n== Trace: merged event timeline of the last ALE run ==")
+			if err := rt.WriteTrace(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if *timing && rt != nil {
+			fmt.Println("\n== Contention profile of the last ALE run ==")
+			if err := rt.WriteContentionReport(os.Stdout, 10); err != nil {
+				return err
 			}
 		}
 		return nil

@@ -138,3 +138,78 @@ func TestObservabilityFlags(t *testing.T) {
 		t.Error("teardown did not dump the trace (-trace flag wiring broken)")
 	}
 }
+
+// TestTraceChromeFlag drives `-trace-chrome out.json` end to end: it
+// implies -timing and a ring capacity, the teardown writes the file, and
+// the output is valid Chrome Trace Event JSON with duration spans plus the
+// contention profile on stdout.
+func TestTraceChromeFlag(t *testing.T) {
+	*ops = 300
+	*keyRange = 256
+	*maxThreads = 2
+	path := t.TempDir() + "/out.trace.json"
+	*traceChrome = path
+	defer func() {
+		*traceChrome = ""
+		*timing = false
+		*traceCap = 0
+	}()
+
+	teardown, err := setupObs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !*timing || *traceCap == 0 {
+		t.Fatalf("-trace-chrome should imply -timing and a trace capacity; got timing=%v trace=%d",
+			*timing, *traceCap)
+	}
+
+	tmp, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = tmp
+	runErr := run("striping")
+	tearErr := teardown()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatalf("run(striping): %v", runErr)
+	}
+	if tearErr != nil {
+		t.Fatalf("teardown: %v", tearErr)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Error("chrome trace has no duration spans (timing wiring broken)")
+	}
+
+	if _, err := tmp.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "== Contention profile") {
+		t.Error("teardown did not print the contention profile (-timing wiring broken)")
+	}
+}

@@ -42,13 +42,15 @@ import (
 func main() {
 	threads := flag.Int("threads", min(4, runtime.GOMAXPROCS(0)), "worker goroutines")
 	ops := flag.Int("ops", 50000, "operations per worker")
+	timing := flag.Bool("timing", false,
+		"enable the timing layer for the instrumented run: latency percentiles and the contention profile")
 	in := flag.String("in", "", "analyze a saved metrics file instead of running: alebench CSV export or obs snapshot JSON")
 	flag.Parse()
 	var err error
 	if *in != "" {
 		err = analyzeFile(*in, os.Stdout)
 	} else {
-		err = run(*threads, *ops)
+		err = run(*threads, *ops, *timing)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "alereport:", err)
@@ -117,7 +119,10 @@ func writeSnapshotDeltas(w io.Writer, snaps []obs.Snapshot) error {
 	}
 	if len(snaps) == 1 {
 		row("total", snaps[0])
-		return tw.Flush()
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		return writeTimingTables(w, snaps[0])
 	}
 	for i := 1; i < len(snaps); i++ {
 		row(fmt.Sprintf("#%d", i), snaps[i].Sub(snaps[i-1]))
@@ -126,7 +131,64 @@ func writeSnapshotDeltas(w io.Writer, snaps []obs.Snapshot) error {
 	total := last.Sub(snaps[0])
 	total.Interval = last.At.Sub(snaps[0].At)
 	row("total", total)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	// Latency and contention are rendered from the final cumulative
+	// snapshot — histograms merge monotonically, so the last scrape holds
+	// the whole run.
+	return writeTimingTables(w, last)
+}
+
+// writeTimingTables renders the timing layer's two views from a snapshot:
+// per-histogram latency percentiles and the top contended granules. A
+// snapshot without timing data (Options.Timing off, or an old export)
+// renders nothing.
+func writeTimingTables(w io.Writer, s obs.Snapshot) error {
+	if !s.HasTiming() {
+		return nil
+	}
+	fmt.Fprintln(w, "\nlatency (log-bucketed; percentiles are conservative upper bounds)")
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "histogram\tcount\tmean\tp50\tp90\tp99\tmax\t")
+	for h := 0; h < obs.NumHists; h++ {
+		d := s.Lat[h]
+		if d.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t\n",
+			obs.HistNames[h], d.Count(), fmtNS(d.MeanNS()),
+			fmtNS(d.Quantile(0.50)), fmtNS(d.Quantile(0.90)),
+			fmtNS(d.Quantile(0.99)), fmtNS(d.MaxNS()))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(s.Contention) == 0 {
+		return nil
+	}
+	fmt.Fprintln(w, "\ncontention (granules ranked by wasted time)")
+	tw = tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "lock\tcontext\texecs\telision%\tabort-work\tswopt-retry\tlock-wait\twasted\tpayoff\t")
+	for _, e := range s.Contention {
+		ctx := e.Context
+		if ctx == "" {
+			ctx = "(root)"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%s\t%s\t%s\t%s\t%s\t\n",
+			e.Lock, ctx, e.Execs, e.ElisionPct, fmtNS(e.AbortWorkNS),
+			fmtNS(e.SWOptRetryNS), fmtNS(e.LockWaitNS), fmtNS(e.WastedNS),
+			fmtNS(e.PayoffNS))
+	}
 	return tw.Flush()
+}
+
+// fmtNS renders a nanosecond figure as a compact duration for tables.
+func fmtNS(ns int64) string {
+	if ns == 0 {
+		return "0"
+	}
+	return time.Duration(ns).Round(time.Microsecond).String()
 }
 
 // summarizeCSV renders a WriteCSV export per (lock, context): execution
@@ -195,9 +257,16 @@ func summarizeCSV(w io.Writer, data []byte) error {
 	return nil
 }
 
-func run(threads, ops int) error {
+func run(threads, ops int, timing bool) error {
 	plat := platform.Haswell()
-	rt := core.NewRuntime(tm.NewDomain(plat.Profile))
+	opts := core.DefaultOptions()
+	var collector *obs.Collector
+	if timing {
+		collector = obs.New()
+		opts.Obs = collector
+		opts.Timing = true
+	}
+	rt := core.NewRuntimeOpts(tm.NewDomain(plat.Profile), opts)
 	m := hashmap.New(rt, "sessions", hashmap.Config{Buckets: 512, Capacity: 1 << 15, MarkerStripes: 1},
 		core.NewLockOnly())
 
@@ -249,5 +318,19 @@ func run(threads, ops int) error {
 	fmt.Println("time goes per calling context — renderStats dominates and is read-only,")
 	fmt.Println("so it is the natural first candidate for a SWOpt path:")
 	fmt.Println()
-	return rt.WriteReport(os.Stdout)
+	if err := rt.WriteReport(os.Stdout); err != nil {
+		return err
+	}
+	if !timing {
+		return nil
+	}
+	// With -timing the collector's histograms and the runtime's granule
+	// attribution turn the same run into the section 3.4 profiling view:
+	// not just *where* the lock is used, but how long executions take and
+	// where blocked time goes.
+	if err := writeTimingTables(os.Stdout, collector.Snapshot()); err != nil {
+		return err
+	}
+	fmt.Println()
+	return rt.WriteContentionReport(os.Stdout, 10)
 }

@@ -22,8 +22,50 @@ func TestRunSmoke(t *testing.T) {
 		os.Stdout = old
 		devnull.Close()
 	}()
-	if err := run(2, 2000); err != nil {
+	if err := run(2, 2000, false); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if err := run(2, 2000, true); err != nil {
+		t.Fatalf("run -timing: %v", err)
+	}
+}
+
+// TestAnalyzeSnapshotTiming: a snapshot carrying timing data renders the
+// latency-percentile and contention tables; one without renders neither.
+func TestAnalyzeSnapshotTiming(t *testing.T) {
+	var s obs.Snapshot
+	s.At = time.Unix(1700000000, 0)
+	s.Counts[obs.CtrSuccessLock] = 10
+	s.Lat[obs.HistExecLock].Buckets[8] = 10
+	s.Lat[obs.HistExecLock].SumNS = 10 * 9000
+	s.Contention = []obs.ContentionEntry{{
+		Lock: "tbl", Context: "get", Execs: 10,
+		AbortWorkNS: 5000, WastedNS: 5000, PayoffNS: -5000,
+	}}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := analyzeFile(writeTemp(t, "timed.json", string(b)), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"latency", obs.HistNames[obs.HistExecLock], "p99", "contention", "tbl", "get"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("timed snapshot output missing %q:\n%s", want, got)
+		}
+	}
+
+	// Timing-off snapshot: no timing tables.
+	t0 := time.Unix(1700000000, 0)
+	path := writeTemp(t, "plain.json", snapLine(t, t0, 0, 5, 0, 0))
+	out.Reset()
+	if err := analyzeFile(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "latency") || strings.Contains(out.String(), "contention") {
+		t.Errorf("untimed snapshot rendered timing tables:\n%s", out.String())
 	}
 }
 

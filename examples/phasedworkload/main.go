@@ -41,17 +41,28 @@ const opsPerPhase = 30000
 func main() {
 	fmt.Println("A SWOpt path stops succeeding mid-run (phase 2), then recovers (phase 3).")
 	fmt.Println()
+	// One runtime with the timing layer on hosts all three scenarios, one
+	// lock per policy: afterwards the contention profiler ranks the
+	// policies by where wasted time actually went, independent of the
+	// wall-clock phase numbers each scenario prints.
+	opts := core.DefaultOptions()
+	opts.SampleAllTimings = true // full timing signal for learner + detector
+	opts.Timing = true           // latency histograms + per-granule waste attribution
+	collector := obs.New()
+	opts.Obs = collector // record the policy's learning-phase events
+	rt := core.NewRuntimeOpts(tm.NewDomain(platform.T2().Profile), opts)
 	for _, tc := range []struct {
 		name string
+		lock string
 		pol  func() core.Policy
 	}{
-		{"Static-SL-50 (hand-tuned for phase 1)", func() core.Policy {
+		{"Static-SL-50 (hand-tuned for phase 1)", "static", func() core.Policy {
 			return core.NewStatic(0, 50)
 		}},
-		{"Adaptive (learns once)", func() core.Policy {
+		{"Adaptive (learns once)", "adaptive", func() core.Policy {
 			return core.NewAdaptiveCfg(adaptiveCfg())
 		}},
-		{"Adaptive+Drift (relearns)", func() core.Policy {
+		{"Adaptive+Drift (relearns)", "drift", func() core.Policy {
 			return core.NewDriftCfg(core.DriftConfig{
 				Adaptive:   adaptiveCfg(),
 				Window:     1000,
@@ -62,7 +73,17 @@ func main() {
 			})
 		}},
 	} {
-		runScenario(tc.name, tc.pol())
+		runScenario(rt, collector, tc.name, tc.lock, tc.pol())
+	}
+
+	// The profiler's verdict: every lock saw the same injected
+	// interference, so the wasted-time ranking is a pure comparison of how
+	// much each policy paid for it (the drift policy should blame the
+	// least time on swopt-retry because it stopped choosing the dead
+	// path).
+	fmt.Println("Where the wasted time went, per policy (contention profiler):")
+	if err := rt.WriteContentionReport(os.Stdout, 3); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -70,14 +91,11 @@ func adaptiveCfg() core.AdaptiveConfig {
 	return core.AdaptiveConfig{PhaseExecs: 300, InitialX: 10, XSlack: 2, BigY: 50}
 }
 
-func runScenario(name string, pol core.Policy) {
-	opts := core.DefaultOptions()
-	opts.SampleAllTimings = true // full timing signal for learner + detector
-	collector := obs.New()
-	opts.Obs = collector // record the policy's learning-phase events
-	rt := core.NewRuntimeOpts(tm.NewDomain(platform.T2().Profile), opts)
+func runScenario(rt *core.Runtime, collector *obs.Collector, name, lockName string, pol core.Policy) {
 	d := rt.Domain()
-	lock := rt.NewLock("L", locks.NewTATAS(d), pol)
+	lock := rt.NewLock(lockName, locks.NewTATAS(d), pol)
+	eventsBefore := len(collector.Events())
+	snapBefore := collector.Snapshot()
 	marker := lock.NewMarker()
 	v := d.NewVar(0)
 
@@ -127,8 +145,8 @@ func runScenario(name string, pol core.Policy) {
 	if dp, ok := pol.(*core.DriftPolicy); ok {
 		fmt.Printf("  drift relearns:            %d\n", dp.Relearns())
 	}
-	if events := collector.Events(); len(events) > 0 {
-		snap := collector.Snapshot()
+	if events := collector.Events()[eventsBefore:]; len(events) > 0 {
+		snap := collector.Snapshot().Sub(snapBefore)
 		fmt.Printf("  policy event timeline (%d events, %d phase transitions, %d relearns):\n",
 			len(events), snap.Get(obs.CtrPhaseTransition), snap.Get(obs.CtrRelearn))
 		if err := obs.WriteEvents(os.Stdout, events); err != nil {

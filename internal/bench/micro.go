@@ -86,10 +86,11 @@ type microPair struct {
 	readCS, writeCS *core.CS
 }
 
-func newMicroPair(policy core.Policy) *microPair {
+func newMicroPair(policy core.Policy, timing bool) *microPair {
 	opts := core.DefaultOptions()
 	c := obs.New()
 	opts.Obs = c
+	opts.Timing = timing
 	rt := core.NewRuntimeOpts(tm.NewDomain(microProfile()), opts)
 	d := rt.Domain()
 	a, b := d.NewVar(0), d.NewVar(0)
@@ -138,7 +139,14 @@ func (p *microPair) elisionPct() float64 { return 100 * p.c.Snapshot().ElisionRa
 // executeBench measures the steady-state Execute cost of one CS under one
 // policy, returning the realized elision rate alongside.
 func executeBench(policy func() core.Policy, read bool) (testing.BenchmarkResult, float64) {
-	p := newMicroPair(policy())
+	return executeBenchTiming(policy, read, false)
+}
+
+// executeBenchTiming is executeBench with the timing layer optionally on;
+// the -timing suite entries exist so the histogram/attribution overhead is
+// a standing number in the BENCH report rather than folklore.
+func executeBenchTiming(policy func() core.Policy, read, timing bool) (testing.BenchmarkResult, float64) {
+	p := newMicroPair(policy(), timing)
 	thr := p.rt.NewThread()
 	cs := p.writeCS
 	if read {
@@ -282,6 +290,15 @@ func microBenches() []struct {
 		}},
 		{"core/execute-lock", func() (testing.BenchmarkResult, float64) {
 			return executeBench(func() core.Policy { return core.NewLockOnly() }, false)
+		}},
+		{"core/execute-htm-timing", func() (testing.BenchmarkResult, float64) {
+			return executeBenchTiming(func() core.Policy { return core.NewStatic(10, 0) }, false, true)
+		}},
+		{"core/execute-swopt-timing", func() (testing.BenchmarkResult, float64) {
+			return executeBenchTiming(func() core.Policy { return core.NewStatic(0, 10) }, true, true)
+		}},
+		{"core/execute-lock-timing", func() (testing.BenchmarkResult, float64) {
+			return executeBenchTiming(func() core.Policy { return core.NewLockOnly() }, false, true)
 		}},
 		{"core/granule-hit", func() (testing.BenchmarkResult, float64) {
 			return granuleBench(1), 0

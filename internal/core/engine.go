@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/locks"
@@ -120,8 +122,16 @@ func (l *Lock) Execute(thr *Thread, cs *CS) error {
 	}
 
 	timed := l.rt.disp.sampleAll || stats.ShouldSample(thr.rng)
+	timing := l.rt.disp.timing
+	var t0 int64
 	var start time.Time
-	if timed {
+	if timing {
+		// The timing layer reads its monotonic clock exactly twice on a
+		// conflict-free execution: here and at the end. The sampled
+		// granule statistics reuse these reads instead of taking their
+		// own.
+		t0 = l.rt.disp.nano()
+	} else if timed {
 		if c := l.rt.disp.clock; c != nil {
 			start = c()
 		} else {
@@ -137,9 +147,30 @@ func (l *Lock) Execute(thr *Thread, cs *CS) error {
 	thr.frames = append(thr.frames, frame{lock: l, gran: g})
 	fi := len(thr.frames) - 1
 	rec := &thr.frames[fi].rec
-	err := l.runAttempts(thr, cs, g, plan, rec, fi)
+	err := l.runAttempts(thr, cs, g, plan, rec, fi, t0)
 
-	if timed {
+	if timing {
+		tEnd := l.rt.disp.nano()
+		// Re-take the frame pointer: a nested Execute may have grown (and
+		// copied) thr.frames since the append above. tWin/tAcq were
+		// written after any such growth or before the copying body ran,
+		// so the re-taken view is current.
+		fr := &thr.frames[fi]
+		d := tEnd - t0
+		thr.latRecord(obs.HistExec(uint8(rec.FinalMode)), d)
+		thr.latRecord(obs.HistAttemptWaste, fr.tWin-t0)
+		if rec.FinalMode == ModeLock {
+			// tEnd sits just after the deferred Release, which is what
+			// HistLockHold is specified to measure — no extra clock read.
+			hold := tEnd - fr.tAcq
+			thr.latRecord(obs.HistLockHold, hold)
+			g.holdTime.Add(time.Duration(hold))
+		}
+		if timed {
+			rec.Duration = time.Duration(d)
+			g.timeBy[rec.FinalMode].Add(rec.Duration)
+		}
+	} else if timed {
 		if c := l.rt.disp.clock; c != nil {
 			rec.Duration = c().Sub(start)
 		} else {
@@ -155,8 +186,11 @@ func (l *Lock) Execute(thr *Thread, cs *CS) error {
 }
 
 // runAttempts is the retry loop implementing the HTM -> SWOpt -> Lock mode
-// progression with the plan's budgets.
-func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *ExecRecord, fi int) error {
+// progression with the plan's budgets. t0 is the timing layer's Execute
+// entry timestamp (0 when timing is off); the failure sites below read the
+// clock once each and hand the reading to the next attempt as its start,
+// so attempt-waste attribution adds exactly one read per failed attempt.
+func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *ExecRecord, fi int, t0 int64) error {
 	swoptDisabled := false
 	arrived := false // this execution has arrived in the SWOpt-retry SNZI
 	defer func() {
@@ -167,6 +201,8 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 	}()
 	refunds := 0
 	capacityAborts := 0
+	timing := l.rt.disp.timing
+	tAttempt := t0 // current attempt's start on the timing clock
 
 	for {
 		switch {
@@ -177,7 +213,10 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 			ok, reason, err := l.htmAttempt(thr, cs, fi)
 			if ok {
 				g.successes[ModeHTM].Inc(thr.rng)
-				thr.emit(l, trace.KindCommit, ModeHTM, 0)
+				if timing {
+					thr.frames[fi].tWin = tAttempt
+				}
+				thr.emitCommit(l, ModeHTM, tAttempt)
 				thr.obsAdd(obs.CtrSuccessHTM)
 				rec.FinalMode = ModeHTM
 				return err
@@ -190,7 +229,15 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 				reason = tm.AbortLockHeld
 			}
 			g.aborts[reason].Inc(thr.rng)
-			thr.emit(l, trace.KindAbort, ModeHTM, uint8(reason))
+			var now int64
+			if timing {
+				now = l.rt.disp.nano()
+				g.wastedHTM[reason].Add(time.Duration(now - tAttempt))
+			}
+			thr.emitSpan(l, trace.KindAbort, ModeHTM, uint8(reason), tAttempt, now)
+			if timing {
+				tAttempt = now
+			}
 			thr.obsAdd(obs.CtrAbort(reason))
 			switch reason {
 			case tm.AbortLockHeld:
@@ -223,9 +270,16 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 			g.attempts[ModeSWOpt].Inc(thr.rng)
 			thr.emit(l, trace.KindAttempt, ModeSWOpt, 0)
 			err := l.swoptAttempt(thr, cs, fi)
+			var now int64
+			if timing && (err == ErrSWOptRetry || err == ErrSWOptSelfAbort) {
+				now = l.rt.disp.nano()
+				d := now - tAttempt
+				thr.latRecord(obs.HistSWOptRetry, d)
+				g.wastedSWOpt.Add(time.Duration(d))
+			}
 			switch err {
 			case ErrSWOptRetry:
-				thr.emit(l, trace.KindSWOptFail, ModeSWOpt, 0)
+				thr.emitSpan(l, trace.KindSWOptFail, ModeSWOpt, 0, tAttempt, now)
 				thr.obsAdd(obs.CtrSWOptFail)
 				// Enter the retrying group: conflicting executions will
 				// defer until this SWOpt execution gets through.
@@ -237,23 +291,46 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 			case ErrSWOptSelfAbort:
 				// The optimistic path reached a conflicting action: retry
 				// this execution non-optimistically (section 3.3).
-				thr.emit(l, trace.KindSWOptFail, ModeSWOpt, 1)
+				thr.emitSpan(l, trace.KindSWOptFail, ModeSWOpt, 1, tAttempt, now)
 				thr.obsAdd(obs.CtrSWOptFail)
 				swoptDisabled = true
 			default:
 				g.successes[ModeSWOpt].Inc(thr.rng)
-				thr.emit(l, trace.KindCommit, ModeSWOpt, 0)
+				if timing {
+					thr.frames[fi].tWin = tAttempt
+				}
+				thr.emitCommit(l, ModeSWOpt, tAttempt)
 				thr.obsAdd(obs.CtrSuccessSWOpt)
 				rec.FinalMode = ModeSWOpt
 				return err
+			}
+			if timing {
+				tAttempt = now
 			}
 
 		default:
 			g.attempts[ModeLock].Inc(thr.rng)
 			thr.emit(l, trace.KindAttempt, ModeLock, 0)
-			err := l.lockAttempt(thr, cs, fi)
+			var err error
+			if timing && (rec.HTMAttempts > 0 || rec.SWOptAttempts > 0) {
+				// Contended fallback (elision already failed at least
+				// once): label the acquisition for CPU profiles so pprof
+				// attributes lock-wait samples to the (lock, context)
+				// granule. Only here — the label set allocates, and the
+				// uncontended Lock path must stay allocation-free.
+				pprof.Do(context.Background(), pprof.Labels(
+					"ale_lock", l.name, "ale_ctx", g.label, "ale_mode", "lock",
+				), func(context.Context) {
+					err = l.lockAttempt(thr, cs, fi, tAttempt)
+				})
+			} else {
+				err = l.lockAttempt(thr, cs, fi, tAttempt)
+			}
 			g.successes[ModeLock].Inc(thr.rng)
-			thr.emit(l, trace.KindCommit, ModeLock, 0)
+			if timing {
+				thr.frames[fi].tWin = tAttempt
+			}
+			thr.emitCommit(l, ModeLock, tAttempt)
 			thr.obsAdd(obs.CtrSuccessLock)
 			rec.FinalMode = ModeLock
 			return err
@@ -267,8 +344,8 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 // attempt builds no closure.
 func (l *Lock) htmAttempt(thr *Thread, cs *CS, fi int) (ok bool, reason tm.AbortReason, userErr error) {
 	waitFree(l.ops)
-	l.groupWait(thr, cs)
 	fr := &thr.frames[fi]
+	l.groupWait(thr, cs, fr.gran)
 	fr.mode = ModeHTM
 	thr.htmLock, thr.htmCS, thr.htmFI, thr.htmErr = l, cs, fi, nil
 	committed, abortReason := thr.txn.Run(thr.htmBody)
@@ -281,6 +358,12 @@ func (l *Lock) htmAttempt(thr *Thread, cs *CS, fi int) (ok bool, reason tm.Abort
 	if n := thr.txn.Extensions(); n != thr.extSeen {
 		thr.obsAddN(obs.CtrHTMExtension, n-thr.extSeen)
 		thr.extSeen = n
+	}
+	// Likewise mirror the substrate's abort-work nanoseconds (nonzero only
+	// when the timing layer installed a domain nanotime hook).
+	if n := thr.txn.AbortNS(); n != thr.abortNSSeen {
+		thr.obsAddN(obs.CtrAbortWorkNS, n-thr.abortNSSeen)
+		thr.abortNSSeen = n
 	}
 	if !committed {
 		return false, abortReason, nil
@@ -323,13 +406,20 @@ func (l *Lock) swoptAttempt(thr *Thread, cs *CS, fi int) error {
 }
 
 // lockAttempt acquires the lock and runs the body — the fallback that
-// always succeeds.
-func (l *Lock) lockAttempt(thr *Thread, cs *CS, fi int) error {
-	l.groupWait(thr, cs)
+// always succeeds. tAttempt is the attempt's start on the timing clock
+// (0 when timing is off); the acquisition timestamp taken here is the
+// timing layer's one extra clock read on the Lock-mode success path,
+// buying both lock-wait and hold-time attribution.
+func (l *Lock) lockAttempt(thr *Thread, cs *CS, fi int, tAttempt int64) error {
 	fr := &thr.frames[fi]
+	l.groupWait(thr, cs, fr.gran)
 	fr.mode = ModeLock
 	l.ops.Acquire()
 	defer l.ops.Release()
+	if l.rt.disp.timing {
+		fr.tAcq = l.rt.disp.nano()
+		fr.gran.lockWait.Add(time.Duration(fr.tAcq - tAttempt))
+	}
 	// Stretch while held, before the body: concurrent HTM attempts see
 	// AbortLockHeld pressure for the whole stretch.
 	if h := l.rt.disp.faults; h != nil {
@@ -346,23 +436,35 @@ func (l *Lock) lockAttempt(thr *Thread, cs *CS, fi int) error {
 // lock are retrying, so the whole optimistic group can complete in
 // parallel without interference. A thread that is itself part of a
 // retrying group never defers (it would wait for itself).
-func (l *Lock) groupWait(thr *Thread, cs *CS) {
+func (l *Lock) groupWait(thr *Thread, cs *CS, g *Granule) {
 	if !cs.Conflicting || !l.rt.disp.grouping || thr.snziArrivals > 0 {
 		return
 	}
 	waited := false
+	var tw int64
 	for i := 0; l.swoptRetry.Query(); i++ {
 		if !waited {
 			waited = true
+			if l.rt.disp.timing {
+				tw = l.rt.disp.nano()
+			}
 			thr.emit(l, trace.KindGroupWait, ModeLock, 0)
 			thr.obsAdd(obs.CtrGroupWait)
 		}
 		if i >= groupWaitBound {
-			return // bounded politeness; Y-large fallback ensures progress
+			break // bounded politeness; Y-large fallback ensures progress
 		}
 		if i&15 == 15 {
 			runtime.Gosched()
 		}
+	}
+	if waited && l.rt.disp.timing {
+		// Clock reads only on the (already spinning) deferral path. The
+		// wait also sits inside the enclosing attempt's abort-work or
+		// lock-wait window; GranuleProfile keeps it out of the Wasted sum.
+		d := l.rt.disp.nano() - tw
+		thr.latRecord(obs.HistGroupWait, d)
+		g.groupWaitT.Add(time.Duration(d))
 	}
 }
 

@@ -74,6 +74,48 @@ func TestExecuteZeroAllocsLock(t *testing.T) {
 	testAllocsPerExecute(t, rt, f, f.writeCS, ModeLock)
 }
 
+// Timing variants: the contract must also hold with the full timing layer
+// on (Options.Timing + Obs) — histogram records are atomic adds into
+// preallocated per-thread shards, and the monotonic clock reads allocate
+// nothing. Each test additionally checks the layer really measured the
+// executions, so a regression that silently disables timing cannot make
+// the pin pass vacuously.
+func timingZeroAllocRuntime(t *testing.T, policy Policy) (*Runtime, *pairFixture, *obs.Collector) {
+	t.Helper()
+	c := obs.New()
+	opts := DefaultOptions()
+	opts.Obs = c
+	opts.Timing = true
+	rt := NewRuntimeOpts(tm.NewDomain(zeroAllocProfile()), opts)
+	return rt, newPairFixture(rt, policy), c
+}
+
+func checkTimingRecorded(t *testing.T, c *obs.Collector, mode Mode) {
+	t.Helper()
+	s := c.Snapshot()
+	if n := s.Lat[obs.HistExec(uint8(mode))].Count(); n == 0 {
+		t.Errorf("timing on but %s exec-latency histogram is empty", mode)
+	}
+}
+
+func TestExecuteZeroAllocsTimingHTM(t *testing.T) {
+	rt, f, c := timingZeroAllocRuntime(t, NewStatic(10, 0))
+	testAllocsPerExecute(t, rt, f, f.writeCS, ModeHTM)
+	checkTimingRecorded(t, c, ModeHTM)
+}
+
+func TestExecuteZeroAllocsTimingSWOpt(t *testing.T) {
+	rt, f, c := timingZeroAllocRuntime(t, NewStatic(0, 10))
+	testAllocsPerExecute(t, rt, f, f.readCS, ModeSWOpt)
+	checkTimingRecorded(t, c, ModeSWOpt)
+}
+
+func TestExecuteZeroAllocsTimingLock(t *testing.T) {
+	rt, f, c := timingZeroAllocRuntime(t, NewLockOnly())
+	testAllocsPerExecute(t, rt, f, f.writeCS, ModeLock)
+	checkTimingRecorded(t, c, ModeLock)
+}
+
 // TestGranuleCacheAgreement: the thread cache must resolve to exactly the
 // granules the lock's shared table owns — same pointers, no shadow
 // granules — including under nested scopes.
@@ -298,6 +340,55 @@ func BenchmarkExecuteSWOpt(b *testing.B) {
 
 func BenchmarkExecuteLock(b *testing.B) {
 	rt, f := benchRuntime(b, func() Policy { return NewLockOnly() })
+	thr := rt.NewThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Timing-on variants quantify the timing layer's overhead against the
+// matching benchmarks above (two clock reads + two atomic adds per
+// conflict-free execution; EXPERIMENTS.md records the deltas).
+
+func benchTimingRuntime(b *testing.B, policy func() Policy) (*Runtime, *pairFixture) {
+	b.Helper()
+	opts := DefaultOptions()
+	opts.Obs = obs.New()
+	opts.Timing = true
+	rt := NewRuntimeOpts(tm.NewDomain(zeroAllocProfile()), opts)
+	return rt, newPairFixture(rt, policy())
+}
+
+func BenchmarkExecuteHTMTiming(b *testing.B) {
+	rt, f := benchTimingRuntime(b, func() Policy { return NewStatic(10, 0) })
+	thr := rt.NewThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteSWOptTiming(b *testing.B) {
+	rt, f := benchTimingRuntime(b, func() Policy { return NewStatic(0, 10) })
+	thr := rt.NewThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.lock.Execute(thr, f.readCS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteLockTiming(b *testing.B) {
+	rt, f := benchTimingRuntime(b, func() Policy { return NewLockOnly() })
 	thr := rt.NewThread()
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -139,6 +139,15 @@ type Granule struct {
 	timeBy    [NumModes]stats.TimeStat
 	lockHeld  stats.Counter // HTM aborts attributed to lock acquisition
 
+	// Wasted-time attribution, recorded only when Options.Timing is on
+	// (the contention profiler's raw data; see Runtime.ContentionProfiles).
+	// Every field is cumulative nanoseconds via the CAS-merged TimeStat.
+	wastedHTM   [tm.NumAbortReasons]stats.TimeStat // aborted HTM attempts (incl. pre-attempt spin), by reason
+	wastedSWOpt stats.TimeStat                     // failed SWOpt attempts
+	lockWait    stats.TimeStat                     // Lock-mode attempt start to acquisition (incl. group wait)
+	groupWaitT  stats.TimeStat                     // grouping-mechanism deferrals
+	holdTime    stats.TimeStat                     // Lock-mode acquisition to just after release
+
 	// policyData is private learning state; only the lock's policy
 	// touches it (no locking needed beyond what the policy does itself).
 	policyData any
@@ -169,6 +178,37 @@ func (g *Granule) LockHeldAborts() uint64 { return g.lockHeld.Read() }
 // MeanTime returns the mean sampled execution time for executions that
 // completed in mode m (0 if never sampled).
 func (g *Granule) MeanTime(m Mode) time.Duration { return g.timeBy[m].Mean() }
+
+// WastedHTMTimeBy returns the cumulative time burned in aborted HTM
+// attempts with reason r (always 0 unless Options.Timing is on).
+func (g *Granule) WastedHTMTimeBy(r tm.AbortReason) time.Duration { return g.wastedHTM[r].Sum() }
+
+// WastedHTMTime returns the cumulative time burned in aborted HTM
+// attempts, all reasons together.
+func (g *Granule) WastedHTMTime() time.Duration {
+	var t time.Duration
+	for r := range g.wastedHTM {
+		t += g.wastedHTM[r].Sum()
+	}
+	return t
+}
+
+// WastedSWOptTime returns the cumulative time burned in failed SWOpt
+// attempts.
+func (g *Granule) WastedSWOptTime() time.Duration { return g.wastedSWOpt.Sum() }
+
+// LockWaitTime returns the cumulative time Lock-mode attempts spent
+// between starting and holding the lock (group deferral + acquisition).
+func (g *Granule) LockWaitTime() time.Duration { return g.lockWait.Sum() }
+
+// GroupWaitTime returns the cumulative time executions deferred to
+// retrying SWOpt groups. These waits also appear inside the abort-work /
+// lock-wait windows they delayed; see GranuleProfile.Wasted.
+func (g *Granule) GroupWaitTime() time.Duration { return g.groupWaitT.Sum() }
+
+// HoldTime returns the cumulative time Lock-mode executions held the
+// underlying lock.
+func (g *Granule) HoldTime() time.Duration { return g.holdTime.Sum() }
 
 // TimeSamples returns how many executions completing in mode m were timed.
 func (g *Granule) TimeSamples(m Mode) uint64 { return g.timeBy[m].Count() }

@@ -41,6 +41,20 @@ func TestObsModeMapping(t *testing.T) {
 			t.Errorf("obs.ModeNames[%d] = %q, want %q", p.mode, got, want)
 		}
 	}
+	// The execution-latency histograms follow the same ordering convention.
+	hists := []struct {
+		mode Mode
+		hist obs.Hist
+	}{
+		{ModeLock, obs.HistExecLock},
+		{ModeHTM, obs.HistExecHTM},
+		{ModeSWOpt, obs.HistExecSWOpt},
+	}
+	for _, p := range hists {
+		if got := obs.HistExec(uint8(p.mode)); got != p.hist {
+			t.Errorf("obs.HistExec(%s) = %v, want %v", p.mode, got, p.hist)
+		}
+	}
 }
 
 // TestObsCountersMirrorRun checks the live counters against the engine's

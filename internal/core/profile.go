@@ -1,0 +1,192 @@
+// The granule contention profiler: turns the timing layer's per-granule
+// wasted-time attribution (Options.Timing) into a ranked "where does
+// blocked and discarded time go" report, in the spirit of lock-contention
+// profilers — but attributed to the paper's (lock, context) granules and
+// split by *why* the time was wasted (HTM abort reason, SWOpt validation
+// failure, lock wait), with a per-granule estimate of whether elision is
+// paying for itself.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tm"
+)
+
+// GranuleProfile is one granule's contention profile. All durations are
+// cumulative since the runtime started; everything is zero unless
+// Options.Timing is on.
+type GranuleProfile struct {
+	Lock    string
+	Context string
+	Execs   uint64
+	// ElisionPct is the percentage of executions completed without the
+	// lock.
+	ElisionPct float64
+	// AbortWork is time burned in HTM attempts that aborted (begin-of-
+	// attempt to abort, including the pre-attempt lock-free spin), with
+	// AbortWorkBy splitting it by abort reason.
+	AbortWork   time.Duration
+	AbortWorkBy [tm.NumAbortReasons]time.Duration
+	// SWOptRetry is time burned in SWOpt attempts that failed validation
+	// or self-aborted.
+	SWOptRetry time.Duration
+	// LockWait is time between starting a Lock-mode attempt and holding
+	// the lock (group deferral + acquisition wait).
+	LockWait time.Duration
+	// GroupWait is time deferring to retrying SWOpt groups. It is not a
+	// separate component of Wasted — deferrals happen inside the windows
+	// AbortWork and LockWait already measure — but profiles report it
+	// separately because a granule dominated by GroupWait needs a
+	// different fix (SWOpt path quality) than one dominated by raw
+	// conflicts.
+	GroupWait time.Duration
+	// Wasted is the granule's total attributed waste:
+	// AbortWork + SWOptRetry + LockWait. The ranking key.
+	Wasted time.Duration
+	// Hold is total time Lock-mode executions held the lock — the
+	// serialization pressure this granule imposes on everyone else.
+	Hold time.Duration
+	// Payoff estimates elision's net benefit: elided executions times the
+	// latency gap between the granule's mean Lock-mode execution and its
+	// mean elided execution, minus Wasted. Negative means elision is
+	// losing time; zero when no Lock-mode baseline was sampled yet.
+	Payoff time.Duration
+}
+
+// profileOf assembles one granule's profile from its statistics.
+func profileOf(g *Granule) GranuleProfile {
+	p := GranuleProfile{
+		Lock:       g.lock.name,
+		Context:    g.label,
+		Execs:      g.Execs(),
+		SWOptRetry: g.WastedSWOptTime(),
+		LockWait:   g.LockWaitTime(),
+		GroupWait:  g.GroupWaitTime(),
+		Hold:       g.HoldTime(),
+	}
+	for r := 0; r < tm.NumAbortReasons; r++ {
+		d := g.wastedHTM[r].Sum()
+		p.AbortWorkBy[r] = d
+		p.AbortWork += d
+	}
+	p.Wasted = p.AbortWork + p.SWOptRetry + p.LockWait
+	elided := g.Successes(ModeHTM) + g.Successes(ModeSWOpt)
+	if p.Execs > 0 {
+		// Successes are statistical counters while execs is exact, so the
+		// raw ratio can overshoot; clamp to keep the report sane.
+		p.ElisionPct = min(100*float64(elided)/float64(p.Execs), 100)
+	}
+	if meanLock := g.MeanTime(ModeLock); meanLock > 0 {
+		var saved time.Duration
+		for _, m := range []Mode{ModeHTM, ModeSWOpt} {
+			if g.TimeSamples(m) > 0 {
+				saved += time.Duration(g.Successes(m)) * (meanLock - g.MeanTime(m))
+			}
+		}
+		p.Payoff = saved - p.Wasted
+	}
+	return p
+}
+
+// ContentionProfiles returns a profile for every granule in the runtime,
+// sorted most-wasted first (ties broken by lock then context so the order
+// is deterministic). Meaningful only when Options.Timing is on; otherwise
+// every duration is zero.
+func (rt *Runtime) ContentionProfiles() []GranuleProfile {
+	var out []GranuleProfile
+	for _, l := range rt.Locks() {
+		for _, g := range l.Granules() {
+			out = append(out, profileOf(g))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wasted != out[j].Wasted {
+			return out[i].Wasted > out[j].Wasted
+		}
+		if out[i].Lock != out[j].Lock {
+			return out[i].Lock < out[j].Lock
+		}
+		return out[i].Context < out[j].Context
+	})
+	return out
+}
+
+// contentionEntries adapts ContentionProfiles to the obs wire type; the
+// runtime registers it as the collector's contention source when both
+// Timing and Obs are configured (obs cannot import core, so the profile
+// crosses the boundary as plain data, like the counter mirroring).
+func (rt *Runtime) contentionEntries() []obs.ContentionEntry {
+	profiles := rt.ContentionProfiles()
+	out := make([]obs.ContentionEntry, len(profiles))
+	for i, p := range profiles {
+		out[i] = obs.ContentionEntry{
+			Lock:         p.Lock,
+			Context:      p.Context,
+			Execs:        p.Execs,
+			ElisionPct:   p.ElisionPct,
+			AbortWorkNS:  p.AbortWork.Nanoseconds(),
+			SWOptRetryNS: p.SWOptRetry.Nanoseconds(),
+			LockWaitNS:   p.LockWait.Nanoseconds(),
+			GroupWaitNS:  p.GroupWait.Nanoseconds(),
+			WastedNS:     p.Wasted.Nanoseconds(),
+			HoldNS:       p.Hold.Nanoseconds(),
+			PayoffNS:     p.Payoff.Nanoseconds(),
+		}
+	}
+	return out
+}
+
+// WriteContentionReport renders the top-N most contended granules as a
+// table: where wasted time went and whether elision is paying off. topN
+// <= 0 means all granules.
+func (rt *Runtime) WriteContentionReport(w io.Writer, topN int) error {
+	profiles := rt.ContentionProfiles()
+	if topN > 0 && len(profiles) > topN {
+		profiles = profiles[:topN]
+	}
+	if _, err := fmt.Fprintf(w, "Contention profile (top %d of %d granules by wasted time)\n",
+		len(profiles), rt.granuleCount()); err != nil {
+		return err
+	}
+	const hdr = "%-14s %-22s %10s %8s %12s %12s %12s %12s %12s %12s\n"
+	const row = "%-14s %-22s %10d %7.1f%% %12s %12s %12s %12s %12s %12s\n"
+	if _, err := fmt.Fprintf(w, hdr, "lock", "context", "execs", "elision",
+		"abort-work", "swopt-retry", "lock-wait", "group-wait", "wasted", "payoff"); err != nil {
+		return err
+	}
+	for _, p := range profiles {
+		ctx := p.Context
+		if ctx == "" {
+			ctx = "(root)"
+		}
+		if _, err := fmt.Fprintf(w, row, p.Lock, ctx, p.Execs, p.ElisionPct,
+			fmtDur(p.AbortWork), fmtDur(p.SWOptRetry), fmtDur(p.LockWait),
+			fmtDur(p.GroupWait), fmtDur(p.Wasted), fmtDur(p.Payoff)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (rt *Runtime) granuleCount() int {
+	n := 0
+	for _, l := range rt.Locks() {
+		n += len(l.Granules())
+	}
+	return n
+}
+
+// fmtDur renders a duration compactly for report tables (µs precision is
+// noise at the scales profiled; sub-µs rounds to 0 intentionally only for
+// zero values, others keep Go's default formatting).
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return "0"
+	}
+	return d.Round(time.Microsecond).String()
+}

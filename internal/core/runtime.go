@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/tm"
+	"repro/internal/trace"
 )
 
 // Options tune library-wide mechanisms. The defaults (from DefaultOptions)
@@ -64,12 +65,28 @@ type Options struct {
 	// (internal/oracle) and fault-ablation benchmarks only.
 	Faults FaultHooks
 
+	// Timing enables the timing-aware observability layer: log-bucketed
+	// latency histograms (per-mode Execute latency, attempt-to-success,
+	// lock hold, SWOpt retry, group wait — recorded into per-thread
+	// obs.LatShards when Obs is also set), per-granule wasted-time
+	// attribution feeding the contention profiler
+	// (Runtime.ContentionProfiles), tm-substrate abort-work measurement,
+	// and timestamped trace spans on thread rings. The monotonic clock is
+	// sampled twice on an elided conflict-free execution (entry and
+	// commit; Lock mode adds one read after acquisition, and each failed
+	// attempt adds one at its failure site), and the success path stays
+	// allocation-free — pinned by TestExecuteZeroAllocsTiming*. Off (the
+	// default) costs one branch per execution.
+	Timing bool
+
 	// Clock, when non-nil, replaces time.Now for execution-duration
 	// measurement. It exists so timing-sensitive tests (the drift
 	// detector's in particular) can drive a virtual clock advanced by the
 	// workload itself instead of depending on wall time and scheduler
 	// load — see docs/TESTING.md. nil (the default) uses time.Now and
-	// costs one nil check on the (already sampled) timed path.
+	// costs one nil check on the (already sampled) timed path. When
+	// Timing is on, the timing layer derives its nanosecond clock from
+	// Clock too (UnixNano), so virtual-clock tests drive both.
 	Clock func() time.Time
 
 	// Obs, when non-nil, attaches the live observability layer
@@ -120,8 +137,14 @@ type dispatch struct {
 	markerElision    bool
 	sampleAll        bool
 	invariantMode    bool
+	timing           bool
 	faults           FaultHooks
 	clock            func() time.Time
+	// nano is the timing layer's monotonic nanosecond clock, non-nil
+	// exactly when timing is true: trace.Now by default so engine span
+	// timestamps share the trace rings' epoch, or Clock().UnixNano when a
+	// virtual clock is installed.
+	nano func() int64
 }
 
 // NewRuntime creates a Runtime over the given transactional domain with
@@ -132,7 +155,7 @@ func NewRuntime(dom *tm.Domain) *Runtime {
 
 // NewRuntimeOpts creates a Runtime with explicit options.
 func NewRuntimeOpts(dom *tm.Domain, opts Options) *Runtime {
-	return &Runtime{
+	rt := &Runtime{
 		dom:  dom,
 		opts: opts,
 		disp: dispatch{
@@ -141,10 +164,28 @@ func NewRuntimeOpts(dom *tm.Domain, opts Options) *Runtime {
 			markerElision:    opts.MarkerElision,
 			sampleAll:        opts.SampleAllTimings,
 			invariantMode:    opts.InvariantMode,
+			timing:           opts.Timing,
 			faults:           opts.Faults,
 			clock:            opts.Clock,
 		},
 	}
+	if opts.Timing {
+		if c := opts.Clock; c != nil {
+			rt.disp.nano = func() int64 { return c().UnixNano() }
+		} else {
+			rt.disp.nano = trace.Now
+		}
+		// Let the substrate measure begin-to-abort durations on the same
+		// clock (tm.TxnStats.AbortNS; the engine mirrors the deltas).
+		dom.SetNanotime(rt.disp.nano)
+		if opts.Obs != nil {
+			// Publish the granule contention profile into snapshots. A
+			// collector shared across runtimes keeps the last-registered
+			// source (bench sweeps report the current runtime).
+			opts.Obs.SetContentionSource(rt.contentionEntries)
+		}
+	}
+	return rt
 }
 
 // Domain returns the runtime's transactional domain.

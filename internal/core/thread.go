@@ -71,9 +71,18 @@ type Thread struct {
 	// bumps it; the collector reads it with atomic loads.
 	shard *obs.Shard
 
+	// lat is this thread's private latency-histogram shard when both
+	// Options.Obs and Options.Timing are set, nil otherwise. Same
+	// single-writer discipline as shard.
+	lat *obs.LatShard
+
 	// extSeen is the last value of txn.Extensions() mirrored into obs; the
 	// engine publishes the delta after every HTM attempt.
 	extSeen uint64
+
+	// abortNSSeen is the last value of txn.AbortNS() mirrored into obs
+	// (CtrAbortWorkNS), maintained exactly like extSeen.
+	abortNSSeen uint64
 
 	// HTM trampoline: the engine runs hardware attempts through htmBody, a
 	// method value bound once at construction, with the per-attempt inputs
@@ -126,6 +135,13 @@ type frame struct {
 	mode Mode
 	ec   ExecCtx
 	rec  ExecRecord
+
+	// Timing-layer state (Options.Timing only). All three are written
+	// before or after — never during — a body invocation, so a nested
+	// Execute growing thr.frames copies whatever was already written and
+	// a post-body read through a re-taken frame pointer stays correct.
+	tAcq int64 // Lock mode: acquisition timestamp (hold/wait attribution)
+	tWin int64 // start of the finally-successful attempt
 }
 
 // NewThread creates a worker handle. Each worker goroutine needs its own.
@@ -145,6 +161,9 @@ func (rt *Runtime) NewThread() *Thread {
 	}
 	if rt.opts.Obs != nil {
 		t.shard = rt.opts.Obs.NewShard()
+		if rt.opts.Timing {
+			t.lat = rt.opts.Obs.NewLatShard()
+		}
 	}
 	rt.registerThread(t)
 	return t
@@ -154,10 +173,39 @@ func (rt *Runtime) NewThread() *Thread {
 // Snapshot it after the thread quiesces (see internal/trace).
 func (t *Thread) Trace() *trace.Ring { return t.ring }
 
-// emit records an engine event if tracing is enabled.
+// emit records an instant engine event if tracing is enabled.
 func (t *Thread) emit(l *Lock, kind trace.Kind, mode Mode, detail uint8) {
 	if t.ring != nil {
 		t.ring.Record(l.id, kind, uint8(mode), detail)
+	}
+}
+
+// emitSpan records an event as a [begin, end] span when the timing layer
+// supplied both timestamps (end > begin), degrading to an instant
+// otherwise (timing off passes zeros). Timestamps come from dispatch.nano,
+// which shares trace.Now's epoch unless a virtual Clock is installed.
+func (t *Thread) emitSpan(l *Lock, kind trace.Kind, mode Mode, detail uint8, begin, end int64) {
+	if t.ring == nil {
+		return
+	}
+	if end > begin {
+		t.ring.RecordSpan(l.id, kind, uint8(mode), detail, begin, end)
+	} else {
+		t.ring.Record(l.id, kind, uint8(mode), detail)
+	}
+}
+
+// emitCommit records the winning attempt's commit event: a span covering
+// the attempt when timing is on (the clock is read only here, so untraced
+// runs pay no extra read), an instant otherwise.
+func (t *Thread) emitCommit(l *Lock, mode Mode, begin int64) {
+	if t.ring == nil {
+		return
+	}
+	if nano := t.rt.disp.nano; nano != nil {
+		t.ring.RecordSpan(l.id, trace.KindCommit, uint8(mode), 0, begin, nano())
+	} else {
+		t.ring.Record(l.id, trace.KindCommit, uint8(mode), 0)
 	}
 }
 
@@ -174,6 +222,15 @@ func (t *Thread) obsAdd(c obs.Counter) {
 func (t *Thread) obsAddN(c obs.Counter, n uint64) {
 	if t.shard != nil {
 		t.shard.AddN(c, n)
+	}
+}
+
+// latRecord adds one observation to a latency histogram: two uncontended
+// atomic adds into the thread's private shard, nothing when the timing
+// layer or the collector is absent.
+func (t *Thread) latRecord(h obs.Hist, ns int64) {
+	if t.lat != nil {
+		t.lat.Record(h, ns)
 	}
 }
 

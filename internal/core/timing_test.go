@@ -1,0 +1,293 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/obs"
+	"repro/internal/tm"
+)
+
+// The timing layer under a virtual clock: every duration below is exact,
+// because the clock only moves when the test body moves it — wall time,
+// scheduler jitter and spin loops all contribute zero. This is the same
+// virtual-clock technique the drift-detector tests use (docs/TESTING.md).
+
+// timingHarness is a runtime with Timing on, a collector attached, and a
+// body-driven virtual clock.
+type timingHarness struct {
+	rt  *Runtime
+	c   *obs.Collector
+	now int64
+}
+
+func newTimingHarness(profile tm.Profile) *timingHarness {
+	h := &timingHarness{c: obs.New()}
+	opts := DefaultOptions()
+	opts.Obs = h.c
+	opts.Timing = true
+	opts.Clock = func() time.Time { return time.Unix(0, h.now) }
+	h.rt = NewRuntimeOpts(tm.NewDomain(profile), opts)
+	return h
+}
+
+func (h *timingHarness) advance(ns int64) { h.now += ns }
+
+func TestTimingLockModeAttribution(t *testing.T) {
+	h := newTimingHarness(htmProfile())
+	l := h.rt.NewLock("L", locks.NewTATAS(h.rt.Domain()), NewLockOnly())
+	cs := &CS{Scope: NewScope("s"), Body: func(ec *ExecCtx) error {
+		h.advance(1000)
+		return nil
+	}}
+	thr := h.rt.NewThread()
+	const execs = 8
+	for i := 0; i < execs; i++ {
+		if err := l.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := h.c.Snapshot()
+	if !s.HasTiming() {
+		t.Fatal("snapshot has no timing data with Options.Timing on")
+	}
+	execDist := s.Lat[obs.HistExecLock]
+	if got := execDist.Count(); got != execs {
+		t.Errorf("exec_lock count = %d, want %d", got, execs)
+	}
+	if got := execDist.SumNS; got != execs*1000 {
+		t.Errorf("exec_lock sum = %dns, want %d", got, execs*1000)
+	}
+	hold := s.Lat[obs.HistLockHold]
+	if got := hold.SumNS; got != execs*1000 {
+		t.Errorf("lock_hold sum = %dns, want %d (acquisition to release is the whole body)", got, execs*1000)
+	}
+	// Uncontended: the winning attempt starts at Execute entry, so
+	// attempt-to-success waste is exactly zero.
+	if got := s.Lat[obs.HistAttemptWaste].SumNS; got != 0 {
+		t.Errorf("attempt_to_success sum = %dns, want 0 for uncontended executions", got)
+	}
+
+	g := l.Granules()[0]
+	if got := g.HoldTime(); got != execs*1000 {
+		t.Errorf("granule hold time = %v, want %dns", got, execs*1000)
+	}
+	if got := g.LockWaitTime(); got != 0 {
+		t.Errorf("granule lock wait = %v, want 0 uncontended", got)
+	}
+}
+
+func TestTimingSWOptRetryAttribution(t *testing.T) {
+	h := newTimingHarness(noHTMProfile())
+	l := h.rt.NewLock("L", locks.NewTATAS(h.rt.Domain()), NewStatic(0, 3))
+	attempt := 0
+	cs := &CS{Scope: NewScope("s"), HasSWOpt: true, Body: func(ec *ExecCtx) error {
+		attempt++
+		if attempt%3 != 0 { // two failures, then success
+			h.advance(500)
+			return ec.SWOptFail()
+		}
+		h.advance(200)
+		return nil
+	}}
+	thr := h.rt.NewThread()
+	const execs = 4
+	for i := 0; i < execs; i++ {
+		if err := l.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := h.c.Snapshot()
+	retry := s.Lat[obs.HistSWOptRetry]
+	if got := retry.Count(); got != 2*execs {
+		t.Errorf("swopt_retry count = %d, want %d (two failed attempts per execution)", got, 2*execs)
+	}
+	if got := retry.SumNS; got != 2*execs*500 {
+		t.Errorf("swopt_retry sum = %dns, want %d", got, 2*execs*500)
+	}
+	// Execute latency spans all three attempts; the waste histogram holds
+	// just the failed ones.
+	if got := s.Lat[obs.HistExecSWOpt].SumNS; got != execs*1200 {
+		t.Errorf("exec_swopt sum = %dns, want %d", got, execs*1200)
+	}
+	if got := s.Lat[obs.HistAttemptWaste].SumNS; got != execs*1000 {
+		t.Errorf("attempt_to_success sum = %dns, want %d", got, execs*1000)
+	}
+	if got := l.Granules()[0].WastedSWOptTime(); got != execs*1000 {
+		t.Errorf("granule wasted SWOpt = %v, want %dns", got, execs*1000)
+	}
+}
+
+func TestTimingHTMAbortAttributionAndProfile(t *testing.T) {
+	h := newTimingHarness(htmProfile())
+	d := h.rt.Domain()
+	l := h.rt.NewLock("hotlock", locks.NewTATAS(d), NewStatic(2, 0))
+	v := d.NewVar(0)
+	i := uint64(0)
+	cs := &CS{Scope: NewScope("hot"), Body: func(ec *ExecCtx) error {
+		h.advance(300)
+		if ec.Mode() == ModeHTM {
+			_ = ec.Load(v)
+			i++
+			v.StoreDirect(i) // direct interference dooms the transaction
+			_ = ec.Load(v)   // read set can no longer extend: conflict abort
+		}
+		return nil
+	}}
+	thr := h.rt.NewThread()
+	const execs = 5
+	for n := 0; n < execs; n++ {
+		if err := l.Execute(thr, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Each execution: two 300ns HTM aborts, then a 300ns Lock-mode run.
+	g := l.Granules()[0]
+	if got := g.WastedHTMTimeBy(tm.AbortConflict); got != execs*600 {
+		t.Errorf("wasted HTM (conflict) = %v, want %dns", got, execs*600)
+	}
+	if got := g.WastedHTMTime(); got != execs*600 {
+		t.Errorf("wasted HTM total = %v, want %dns", got, execs*600)
+	}
+	s := h.c.Snapshot()
+	if got := s.Lat[obs.HistExecLock].SumNS; got != execs*900 {
+		t.Errorf("exec_lock sum = %dns, want %d (two aborts + lock run)", got, execs*900)
+	}
+	if got := s.Lat[obs.HistAttemptWaste].SumNS; got != execs*600 {
+		t.Errorf("attempt_to_success sum = %dns, want %d", got, execs*600)
+	}
+	// The substrate measured the same discarded work on its own clock
+	// (begin to abort = the 300ns body prefix), mirrored into obs.
+	if got := s.Counts[obs.CtrAbortWorkNS]; got != execs*600 {
+		t.Errorf("CtrAbortWorkNS = %d, want %d", got, execs*600)
+	}
+
+	// Contention profile: the granule's waste is ranked and attributed.
+	profiles := h.rt.ContentionProfiles()
+	if len(profiles) != 1 {
+		t.Fatalf("profiles = %d, want 1", len(profiles))
+	}
+	p := profiles[0]
+	if p.Lock != "hotlock" || p.Context != "hot" {
+		t.Errorf("profile identity = (%q, %q), want (hotlock, hot)", p.Lock, p.Context)
+	}
+	if p.Execs != execs {
+		t.Errorf("profile execs = %d, want %d", p.Execs, execs)
+	}
+	if p.ElisionPct != 0 {
+		t.Errorf("elision pct = %v, want 0 (every execution fell back)", p.ElisionPct)
+	}
+	if p.AbortWork != execs*600 || p.AbortWorkBy[tm.AbortConflict] != execs*600 {
+		t.Errorf("profile abort work = %v (by-conflict %v), want %dns",
+			p.AbortWork, p.AbortWorkBy[tm.AbortConflict], execs*600)
+	}
+	if p.Wasted != p.AbortWork+p.SWOptRetry+p.LockWait {
+		t.Errorf("Wasted = %v, want sum of components", p.Wasted)
+	}
+	if p.Hold != execs*300 {
+		t.Errorf("profile hold = %v, want %dns", p.Hold, execs*300)
+	}
+
+	// The same rows reach an obs snapshot through the registered source.
+	if len(s.Contention) != 1 || s.Contention[0].Lock != "hotlock" {
+		t.Fatalf("snapshot contention rows = %+v, want the hotlock granule", s.Contention)
+	}
+	if s.Contention[0].AbortWorkNS != int64(execs*600) {
+		t.Errorf("snapshot abort work = %d, want %d", s.Contention[0].AbortWorkNS, execs*600)
+	}
+
+	// And the text report renders them.
+	var sb strings.Builder
+	if err := h.rt.WriteContentionReport(&sb, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hotlock", "hot", "abort-work", "payoff"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("contention report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestTimingChromeTraceEndToEnd runs a workload with rings and timing on
+// (real clock) and checks WriteChromeTrace emits Perfetto-loadable JSON
+// with duration spans for commits.
+func TestTimingChromeTraceEndToEnd(t *testing.T) {
+	c := obs.New()
+	opts := DefaultOptions()
+	opts.Obs = c
+	opts.Timing = true
+	opts.TraceCapacity = 256
+	rt := NewRuntimeOpts(tm.NewDomain(htmProfile()), opts)
+	f := newPairFixture(rt, NewStatic(5, 5))
+	thr := rt.NewThread()
+	for n := 0; n < 50; n++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.lock.Execute(thr, f.readCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var sb strings.Builder
+	if err := rt.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+			if e.Dur < 0 {
+				t.Errorf("span %q has negative dur %v", e.Name, e.Dur)
+			}
+		}
+	}
+	if spans == 0 {
+		t.Error("no duration spans in chrome trace with timing on")
+	}
+}
+
+// TestTimingOffStaysDark: without Options.Timing nothing in the timing
+// layer activates — no histograms, no contention rows, no wasted-time
+// attribution — even with a collector attached.
+func TestTimingOffStaysDark(t *testing.T) {
+	c := obs.New()
+	opts := DefaultOptions()
+	opts.Obs = c
+	rt := NewRuntimeOpts(tm.NewDomain(htmProfile()), opts)
+	f := newPairFixture(rt, NewStatic(5, 5))
+	thr := rt.NewThread()
+	for n := 0; n < 50; n++ {
+		if err := f.lock.Execute(thr, f.writeCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Snapshot()
+	if s.HasTiming() {
+		t.Error("snapshot claims timing data with Timing off")
+	}
+	if len(s.Contention) != 0 {
+		t.Errorf("contention rows = %d, want 0 with Timing off", len(s.Contention))
+	}
+	for _, g := range f.lock.Granules() {
+		if g.WastedHTMTime() != 0 || g.HoldTime() != 0 || g.LockWaitTime() != 0 {
+			t.Error("granule wasted-time stats nonzero with Timing off")
+		}
+	}
+}

@@ -45,3 +45,20 @@ func WriteTrace(w io.Writer, threads ...*Thread) error {
 func (rt *Runtime) WriteTrace(w io.Writer) error {
 	return WriteTrace(w, rt.Threads()...)
 }
+
+// WriteChromeTrace renders every thread's event ring in the Chrome Trace
+// Event Format (loadable in Perfetto / chrome://tracing; alebench's
+// -trace-chrome flag uses it). Attempts that committed or aborted become
+// duration spans when Options.Timing is on (instants otherwise — enable
+// both TraceCapacity and Timing for a useful timeline). Call after the
+// threads quiesce.
+func (rt *Runtime) WriteChromeTrace(w io.Writer) error {
+	threads := rt.Threads()
+	snaps := make([][]trace.Event, 0, len(threads))
+	for _, t := range threads {
+		if t.ring != nil {
+			snaps = append(snaps, t.ring.Snapshot())
+		}
+	}
+	return trace.WriteChrome(w, trace.Merge(snaps...), TraceModeName, TraceDetailName)
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
+	"repro/internal/stats"
 	"repro/internal/tm"
 )
 
@@ -56,6 +58,16 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			c.name, c.help, c.name, c.name, s.Counts[c.ctr])
 	}
 
+	if n := s.Counts[CtrAbortWorkNS]; n > 0 {
+		b.WriteString("# HELP ale_htm_abort_work_seconds_total Work discarded in aborted HTM attempts (substrate view).\n")
+		b.WriteString("# TYPE ale_htm_abort_work_seconds_total counter\n")
+		fmt.Fprintf(&b, "ale_htm_abort_work_seconds_total %g\n", float64(n)/1e9)
+	}
+
+	if s.HasTiming() {
+		writeLatencyHistograms(&b, s)
+	}
+
 	if s.FaultsTotal() > 0 {
 		b.WriteString("# HELP ale_faults_injected_total Injected-fault firings by class (internal/faultinject).\n")
 		b.WriteString("# TYPE ale_faults_injected_total counter\n")
@@ -75,6 +87,60 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeLatencyHistograms renders the timing layer's log-bucketed
+// histograms as Prometheus histogram families (_bucket/_sum/_count with
+// cumulative le labels in seconds). The three per-mode execution
+// histograms share one family with a mode label; the rest are their own
+// families. Only emitted when the snapshot has timing data, so scrape
+// output is unchanged for runs without Options.Timing.
+func writeLatencyHistograms(b *strings.Builder, s Snapshot) {
+	le := func(i int) float64 { return float64(stats.LogBucketUpper(i)) / 1e9 }
+	emit := func(name, labels string, d LatDist) {
+		var cum uint64
+		for i := range d.Buckets {
+			cum += d.Buckets[i]
+			if d.Buckets[i] == 0 && i != len(d.Buckets)-1 {
+				continue // keep output compact: only boundaries that moved
+			}
+			sep := ","
+			if labels == "" {
+				sep = ""
+			}
+			fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, strconv.FormatFloat(le(i), 'g', -1, 64), cum)
+		}
+		sep := ","
+		if labels == "" {
+			sep = ""
+		}
+		fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+		if labels == "" {
+			fmt.Fprintf(b, "%s_sum %g\n", name, float64(d.SumNS)/1e9)
+			fmt.Fprintf(b, "%s_count %d\n", name, cum)
+		} else {
+			fmt.Fprintf(b, "%s_sum{%s} %g\n", name, labels, float64(d.SumNS)/1e9)
+			fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, cum)
+		}
+	}
+
+	b.WriteString("# HELP ale_exec_latency_seconds Execute latency by final mode (log-bucketed).\n")
+	b.WriteString("# TYPE ale_exec_latency_seconds histogram\n")
+	for m := uint8(0); m < NumModes; m++ {
+		emit("ale_exec_latency_seconds", fmt.Sprintf("mode=%q", ModeNames[m]), s.Lat[HistExec(m)])
+	}
+	for _, h := range []struct {
+		name, help string
+		hist       Hist
+	}{
+		{"ale_attempt_to_success_seconds", "Time from Execute entry to the start of the winning attempt.", HistAttemptWaste},
+		{"ale_lock_hold_seconds", "Lock hold time of Lock-mode executions.", HistLockHold},
+		{"ale_swopt_retry_seconds", "Duration of failed SWOpt attempts.", HistSWOptRetry},
+		{"ale_group_wait_seconds", "Grouping-mechanism deferral waits.", HistGroupWait},
+	} {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+		emit(h.name, "", s.Lat[h.hist])
+	}
 }
 
 // WriteJSON renders a snapshot as the expvar-style JSON object /snapshot

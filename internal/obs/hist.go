@@ -1,0 +1,215 @@
+// Latency histograms: the timing half of the live observability layer.
+// Counters (obs.go) answer *how often*; these answer *how long*. Shards
+// follow the same discipline as counter shards — one per thread,
+// single-writer, recorded with uncontended atomic adds into preallocated
+// arrays, merged atomically at snapshot time — so the engine's hot path
+// stays allocation-free with timing enabled (pinned by the
+// TestExecuteZeroAllocsTiming* tests in internal/core).
+//
+// The bucket scheme is the shared power-of-two layout of
+// internal/stats/logbucket.go: 32 buckets from 64ns to ~68s, quantile
+// error bounded by 2×. A live merge reads each bucket atomically but the
+// histogram as a whole is not a consistent cut — an in-flight Record may
+// show its bucket increment before its sum increment (or vice versa), so
+// a concurrent snapshot's Mean can be off by one sample, exactly like
+// stats.TimeStat. Deltas of quiesced snapshots are exact.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Hist indexes one latency histogram. The three exec histograms are
+// contiguous and ordered like core.Mode (checked by the mode-mapping test
+// in internal/core, same convention as CtrSuccess).
+type Hist uint8
+
+const (
+	// HistExecLock/HTM/SWOpt record the full Execute latency of
+	// executions finalized in each mode (planning through commit,
+	// including any failed attempts along the way).
+	HistExecLock Hist = iota
+	HistExecHTM
+	HistExecSWOpt
+
+	// HistAttemptWaste records the attempt-to-success latency: time from
+	// Execute entry to the start of the finally-successful attempt, i.e.
+	// the time burned on attempts that did not commit. A conflict-free
+	// execution records ~0 (bucket 0).
+	HistAttemptWaste
+
+	// HistLockHold records how long Lock-mode executions held the
+	// underlying lock (acquisition to release, measured to just after
+	// release).
+	HistLockHold
+
+	// HistSWOptRetry records the duration of each *failed* SWOpt attempt
+	// (one retry-loop iteration: optimistic body run + failed validation).
+	HistSWOptRetry
+
+	// HistGroupWait records how long executions deferred to a retrying
+	// SWOpt group (the section 4.2 grouping mechanism's wait).
+	HistGroupWait
+
+	numHists
+)
+
+// NumHists is the number of latency histograms (for sizing).
+const NumHists = int(numHists)
+
+// HistNames are the stable wire/exposition names per histogram, used as
+// JSON keys and (with mode split out as a label) Prometheus metric names.
+var HistNames = [NumHists]string{
+	"exec_lock", "exec_htm", "exec_swopt",
+	"attempt_to_success", "lock_hold", "swopt_retry", "group_wait",
+}
+
+// HistExec returns the execution-latency histogram for a core.Mode value.
+func HistExec(mode uint8) Hist { return HistExecLock + Hist(mode) }
+
+// latHist is one histogram within a shard: per-bucket counts plus a
+// nanosecond sum (the count is the bucket total, never stored twice).
+type latHist struct {
+	buckets [stats.NumLogBuckets]atomic.Uint64
+	sumNS   atomic.Uint64
+}
+
+// LatShard is one thread's private latency histogram set. Like Shard it
+// is single-writer (the owning thread records, the collector reads with
+// atomic loads); unlike Shard it is large enough (~2KB) that cache-line
+// padding between shards would buy nothing — only the boundary lines are
+// ever shared.
+type LatShard struct {
+	hists [NumHists]latHist
+}
+
+// Record adds one observation of ns nanoseconds to histogram h: two
+// uncontended atomic adds, no allocation. Negative values clamp to 0.
+func (s *LatShard) Record(h Hist, ns int64) {
+	lh := &s.hists[h]
+	lh.buckets[stats.LogBucketOf(ns)].Add(1)
+	if ns > 0 {
+		lh.sumNS.Add(uint64(ns))
+	}
+}
+
+// NewLatShard registers and returns a fresh per-thread latency shard,
+// the timing counterpart of NewShard. The shard stays registered for the
+// collector's lifetime so recorded time survives the thread.
+func (c *Collector) NewLatShard() *LatShard {
+	s := &LatShard{}
+	c.mu.Lock()
+	c.latShards = append(c.latShards, s)
+	c.mu.Unlock()
+	return s
+}
+
+// LatDist is the merged distribution of one histogram in a Snapshot.
+type LatDist struct {
+	// Buckets are observation counts per log bucket (see
+	// stats.LogBucketOf for the boundary scheme).
+	Buckets [stats.NumLogBuckets]uint64
+	// SumNS is the total of all recorded durations in nanoseconds.
+	SumNS uint64
+}
+
+// Count returns the number of recorded observations.
+func (d LatDist) Count() uint64 {
+	var t uint64
+	for _, n := range d.Buckets {
+		t += n
+	}
+	return t
+}
+
+// Quantile estimates the q-quantile in nanoseconds (conservative bucket
+// upper bound; ≤2× overshoot, never undershoots). 0 when empty.
+func (d LatDist) Quantile(q float64) int64 {
+	return stats.QuantileFromLogBuckets(d.Buckets[:], q)
+}
+
+// MaxNS returns an upper bound on the largest recorded value, 0 when
+// empty.
+func (d LatDist) MaxNS() int64 { return stats.MaxFromLogBuckets(d.Buckets[:]) }
+
+// MeanNS returns the exact mean of recorded durations, 0 when empty.
+func (d LatDist) MeanNS() int64 {
+	c := d.Count()
+	if c == 0 {
+		return 0
+	}
+	return int64(d.SumNS / c)
+}
+
+// Mean returns MeanNS as a time.Duration.
+func (d LatDist) Mean() time.Duration { return time.Duration(d.MeanNS()) }
+
+// Sub returns the bucket-wise delta d − prev, saturating at zero like
+// Snapshot.Sub.
+func (d LatDist) Sub(prev LatDist) LatDist {
+	var out LatDist
+	for i := range d.Buckets {
+		if d.Buckets[i] > prev.Buckets[i] {
+			out.Buckets[i] = d.Buckets[i] - prev.Buckets[i]
+		}
+	}
+	if d.SumNS > prev.SumNS {
+		out.SumNS = d.SumNS - prev.SumNS
+	}
+	return out
+}
+
+// ContentionEntry is one granule's row in the contention profile: where
+// wasted time went for one (lock, context) pair, as published into
+// snapshots by the core runtime's profiler (Runtime.ContentionProfiles).
+// All durations are cumulative nanoseconds since the runtime started.
+type ContentionEntry struct {
+	Lock    string `json:"lock"`
+	Context string `json:"context"`
+	Execs   uint64 `json:"execs"`
+	// ElisionPct is the percentage of executions that completed without
+	// acquiring the lock.
+	ElisionPct float64 `json:"elision_pct"`
+	// AbortWorkNS is time burned in HTM attempts that aborted (including
+	// the pre-attempt lock-free spin).
+	AbortWorkNS int64 `json:"abort_work_ns"`
+	// SWOptRetryNS is time burned in SWOpt attempts that failed
+	// validation.
+	SWOptRetryNS int64 `json:"swopt_retry_ns"`
+	// LockWaitNS is time spent between starting a Lock-mode attempt and
+	// holding the lock (group deferral + acquisition wait).
+	LockWaitNS int64 `json:"lock_wait_ns"`
+	// GroupWaitNS is time spent deferring to retrying SWOpt groups.
+	GroupWaitNS int64 `json:"group_wait_ns"`
+	// WastedNS is the total attributed waste (sum of the above).
+	WastedNS int64 `json:"wasted_ns"`
+	// HoldNS is total time Lock-mode executions held the lock —
+	// serialization pressure imposed on everyone else.
+	HoldNS int64 `json:"hold_ns"`
+	// PayoffNS estimates the net benefit of elision for this granule:
+	// time saved by elided executions (vs. the granule's mean Lock-mode
+	// latency) minus WastedNS. Negative means elision is losing; 0 when
+	// no Lock-mode baseline exists yet.
+	PayoffNS int64 `json:"payoff_ns"`
+}
+
+// ContentionTopN bounds how many granule rows a Snapshot retains (and
+// the JSON wire format carries): the profile is a top-N report, not a
+// full dump, so snapshot size stays bounded on granule-heavy workloads.
+const ContentionTopN = 16
+
+// SetContentionSource installs the function snapshots call to collect
+// the granule contention profile (rows sorted by WastedNS descending;
+// Snapshot truncates to ContentionTopN). The core runtime registers its
+// profiler here when Options.Timing and Options.Obs are both set. A
+// collector shared across several runtimes keeps only the most recently
+// registered source (matching bench.LastRuntime semantics); pass nil to
+// detach.
+func (c *Collector) SetContentionSource(f func() []ContentionEntry) {
+	c.mu.Lock()
+	c.contention = f
+	c.mu.Unlock()
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestLatShardRecordAndSnapshot(t *testing.T) {
+	c := New()
+	s := c.NewLatShard()
+	s.Record(HistExecHTM, 100)
+	s.Record(HistExecHTM, 200)
+	s.Record(HistLockHold, 1<<20)
+	s.Record(HistExecLock, -5) // clamps to bucket 0, sum unchanged
+
+	snap := c.Snapshot()
+	if !snap.HasTiming() {
+		t.Fatal("HasTiming false after records")
+	}
+	htm := snap.Latency(HistExecHTM)
+	if htm.Count() != 2 || htm.SumNS != 300 {
+		t.Errorf("exec_htm = count %d sum %d, want 2/300", htm.Count(), htm.SumNS)
+	}
+	if got := htm.MeanNS(); got != 150 {
+		t.Errorf("mean = %d, want 150", got)
+	}
+	hold := snap.Latency(HistLockHold)
+	if q := hold.Quantile(1); q < 1<<20 || q > 2<<20 {
+		t.Errorf("lock_hold p100 = %d, want within [2^20, 2^21]", q)
+	}
+	lk := snap.Latency(HistExecLock)
+	if lk.Count() != 1 || lk.SumNS != 0 {
+		t.Errorf("negative record: count %d sum %d, want 1/0", lk.Count(), lk.SumNS)
+	}
+}
+
+// TestLatShardsMergeAcrossThreads: shards are per-thread; the snapshot is
+// their bucket-wise sum.
+func TestLatShardsMergeAcrossThreads(t *testing.T) {
+	c := New()
+	a, b := c.NewLatShard(), c.NewLatShard()
+	a.Record(HistSWOptRetry, 1000)
+	b.Record(HistSWOptRetry, 1000)
+	b.Record(HistSWOptRetry, 1<<30)
+	d := c.Snapshot().Latency(HistSWOptRetry)
+	if d.Count() != 3 || d.SumNS != 2000+1<<30 {
+		t.Errorf("merged = count %d sum %d, want 3/%d", d.Count(), d.SumNS, 2000+1<<30)
+	}
+	if d.Buckets[stats.LogBucketOf(1000)] != 2 {
+		t.Errorf("bucket for 1000ns = %d, want 2", d.Buckets[stats.LogBucketOf(1000)])
+	}
+}
+
+// TestLatShardConcurrentRecordMerge is the timing layer's -race regression
+// test: writers hammer their own shards while a reader snapshots, and the
+// final quiesced snapshot is exact.
+func TestLatShardConcurrentRecordMerge(t *testing.T) {
+	c := New()
+	const workers, iters = 4, 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		var prev Snapshot
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := c.Snapshot()
+			for h := 0; h < NumHists; h++ {
+				if s.Lat[h].Count() < prev.Lat[h].Count() {
+					t.Errorf("hist %s count went backwards", HistNames[h])
+					return
+				}
+			}
+			prev = s
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := c.NewLatShard()
+			for i := 0; i < iters; i++ {
+				s.Record(Hist(i%NumHists), int64(id*1000+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	snap := c.Snapshot()
+	var total uint64
+	for h := 0; h < NumHists; h++ {
+		total += snap.Lat[h].Count()
+	}
+	if total != workers*iters {
+		t.Errorf("total observations = %d, want %d", total, workers*iters)
+	}
+}
+
+// TestSnapshotSchemaMarker pins the wire-format contract: new encodes
+// carry the schema marker, schema-less (pre-v1) files still parse, and an
+// unknown schema is rejected loudly instead of misread.
+func TestSnapshotSchemaMarker(t *testing.T) {
+	c := New()
+	c.NewShard().Add(CtrSuccessHTM)
+	b, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"schema":"`+SnapshotSchema+`"`) {
+		t.Errorf("encoded snapshot lacks schema marker:\n%s", b)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if s.Get(CtrSuccessHTM) != 1 {
+		t.Error("round-trip lost counters")
+	}
+
+	// Pre-v1 file: no schema field at all.
+	old := `{"unix_nano":1700000000000000000,"execs":5,"successes":{"lock":5}}`
+	if err := json.Unmarshal([]byte(old), &s); err != nil {
+		t.Fatalf("schema-less input rejected: %v", err)
+	}
+	if s.Get(CtrSuccessLock) != 5 {
+		t.Errorf("schema-less parse: lock successes = %d, want 5", s.Get(CtrSuccessLock))
+	}
+
+	// Future/foreign schema: loud error.
+	if err := json.Unmarshal([]byte(`{"schema":"ale-snapshot/v9"}`), &s); err == nil {
+		t.Error("unknown schema accepted")
+	} else if !strings.Contains(err.Error(), "ale-snapshot/v9") {
+		t.Errorf("schema error does not name the offender: %v", err)
+	}
+}
+
+// TestSnapshotLatencyJSONRoundTrip: buckets and sums survive the wire;
+// quantiles rederive identically on the far side.
+func TestSnapshotLatencyJSONRoundTrip(t *testing.T) {
+	c := New()
+	s := c.NewLatShard()
+	for _, ns := range []int64{50, 900, 900, 12345, 1 << 22} {
+		s.Record(HistExecSWOpt, ns)
+		s.Record(HistGroupWait, ns*2)
+	}
+	before := c.Snapshot()
+	b, err := json.Marshal(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after Snapshot
+	if err := json.Unmarshal(b, &after); err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < NumHists; h++ {
+		bd, ad := before.Lat[h], after.Lat[h]
+		if bd.Buckets != ad.Buckets || bd.SumNS != ad.SumNS {
+			t.Errorf("hist %s did not round-trip: %+v vs %+v", HistNames[h], bd, ad)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+			if bd.Quantile(q) != ad.Quantile(q) {
+				t.Errorf("hist %s q%.2f differs after round-trip", HistNames[h], q)
+			}
+		}
+	}
+}
+
+// TestSnapshotContention: the registered source's rows land in snapshots
+// (truncated to ContentionTopN) and survive the JSON wire format.
+func TestSnapshotContention(t *testing.T) {
+	c := New()
+	rows := make([]ContentionEntry, ContentionTopN+4)
+	for i := range rows {
+		rows[i] = ContentionEntry{
+			Lock: "l", Context: string(rune('a' + i)),
+			WastedNS: int64(1000 - i), // already sorted desc, as the contract requires
+		}
+	}
+	c.SetContentionSource(func() []ContentionEntry { return rows })
+	s := c.Snapshot()
+	if len(s.Contention) != ContentionTopN {
+		t.Fatalf("contention rows = %d, want truncation to %d", len(s.Contention), ContentionTopN)
+	}
+	if s.Contention[0].Context != "a" {
+		t.Errorf("truncation kept the wrong end: first row %+v", s.Contention[0])
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Contention) != ContentionTopN || back.Contention[0].WastedNS != 1000 {
+		t.Errorf("contention did not round-trip: %+v", back.Contention)
+	}
+
+	c.SetContentionSource(nil)
+	if got := c.Snapshot().Contention; len(got) != 0 {
+		t.Errorf("detached source still yields %d rows", len(got))
+	}
+}
+
+// TestWritePrometheusLatency: timing data renders as Prometheus histogram
+// families with cumulative le buckets in seconds.
+func TestWritePrometheusLatency(t *testing.T) {
+	c := New()
+	sh := c.NewLatShard()
+	sh.Record(HistExecHTM, 500)
+	sh.Record(HistLockHold, 2_000_000)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`ale_exec_latency_seconds_bucket{mode="htm",le="+Inf"} 1`,
+		`ale_exec_latency_seconds_count{mode="htm"} 1`,
+		"ale_lock_hold_seconds_bucket",
+		"# TYPE ale_exec_latency_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+	// Timing-off snapshots render no latency families at all.
+	sb.Reset()
+	if err := WritePrometheus(&sb, New().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "latency_seconds") {
+		t.Error("untimed snapshot rendered latency histograms")
+	}
+}

@@ -88,6 +88,13 @@ const (
 	// one is a false conflict the pre-extension substrate would have
 	// turned into an AbortConflict.
 	CtrHTMExtension
+	// CtrAbortWorkNS accumulates *nanoseconds* (not events) of work the
+	// tm substrate discarded in aborted transaction attempts
+	// (tm.TxnStats.AbortNS, mirrored by the engine when Options.Timing
+	// is on). This is the substrate-level view of HTM waste — body
+	// execution only — versus the engine-level per-granule attribution,
+	// which also includes pre-attempt spin (see ContentionEntry).
+	CtrAbortWorkNS
 
 	// ctrAbortBase starts tm.NumAbortReasons counters of failed HTM
 	// attempts by abort reason.
@@ -151,6 +158,12 @@ type Collector struct {
 
 	mu     sync.Mutex
 	shards []*Shard
+	// latShards are the per-thread latency histogram shards (hist.go),
+	// populated only when core's Options.Timing is on.
+	latShards []*LatShard
+	// contention, when set, is polled at snapshot time for the granule
+	// contention profile (see SetContentionSource).
+	contention func() []ContentionEntry
 
 	// global absorbs cold-path events that have no calling thread at
 	// hand (adaptive-policy stage transitions run under the policy's
@@ -202,6 +215,8 @@ func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{At: now, Interval: now.Sub(c.start)}
 	c.mu.Lock()
 	shards := c.shards
+	latShards := c.latShards
+	contention := c.contention
 	c.mu.Unlock()
 	for _, sh := range shards {
 		for i := range s.Counts {
@@ -210,6 +225,22 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	for i := range s.Counts {
 		s.Counts[i] += c.global.counts[i].Load()
+	}
+	for _, ls := range latShards {
+		for h := range ls.hists {
+			lh := &ls.hists[h]
+			for b := range lh.buckets {
+				s.Lat[h].Buckets[b] += lh.buckets[b].Load()
+			}
+			s.Lat[h].SumNS += lh.sumNS.Load()
+		}
+	}
+	if contention != nil {
+		rows := contention()
+		if len(rows) > ContentionTopN {
+			rows = rows[:ContentionTopN]
+		}
+		s.Contention = rows
 	}
 	return s
 }

@@ -21,6 +21,13 @@ type Snapshot struct {
 	Interval time.Duration
 	// Counts are the raw counter values, indexed by Counter.
 	Counts [NumCounters]uint64
+	// Lat are the merged latency histograms, indexed by Hist. All-zero
+	// unless the runtime ran with Options.Timing.
+	Lat [NumHists]LatDist
+	// Contention is the granule contention profile (top
+	// ContentionTopN rows by wasted time), present only when a timing
+	// runtime registered its profiler via SetContentionSource.
+	Contention []ContentionEntry
 }
 
 // Get returns one raw counter.
@@ -36,8 +43,29 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			d.Counts[i] = s.Counts[i] - prev.Counts[i]
 		}
 	}
+	for h := range d.Lat {
+		d.Lat[h] = s.Lat[h].Sub(prev.Lat[h])
+	}
+	// Contention rows are cumulative attributions, not counters; a delta
+	// keeps the newer profile as-is (interval attribution would need
+	// per-granule history the wire format deliberately does not carry).
+	d.Contention = s.Contention
 	return d
 }
+
+// HasTiming reports whether any latency histogram has observations —
+// i.e. whether the snapshot came from a runtime with Options.Timing on.
+func (s Snapshot) HasTiming() bool {
+	for h := range s.Lat {
+		if s.Lat[h].Count() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Latency returns the merged distribution of histogram h.
+func (s Snapshot) Latency(h Hist) LatDist { return s.Lat[h] }
 
 // Execs returns the number of completed executions (sum of per-mode
 // successes; every execution succeeds in exactly one mode).
@@ -109,10 +137,18 @@ func (s Snapshot) Rate(c Counter) float64 {
 	return float64(s.Counts[c]) / s.Interval.Seconds()
 }
 
+// SnapshotSchema is the wire-format identifier carried in the snapshot
+// JSON "schema" field, the same probing convention the BENCH
+// microbenchmark report uses (alebench-microbench/v1). The parser also
+// accepts schema-less input (pre-v1 files) for compatibility; an
+// unrecognized schema value is an error.
+const SnapshotSchema = "ale-snapshot/v1"
+
 // snapshotJSON is the stable wire format of a snapshot — what /snapshot
 // serves and what cmd/alereport parses back. Counter names are the
 // Prometheus metric names minus the ale_ prefix and _total suffix.
 type snapshotJSON struct {
+	Schema    string            `json:"schema"`
 	UnixNano  int64             `json:"unix_nano"`
 	IntervalS float64           `json:"interval_s"`
 	Execs     uint64            `json:"execs"`
@@ -124,11 +160,33 @@ type snapshotJSON struct {
 	// Faults is omitted entirely for organic (no-injection) runs, so
 	// pre-fault-harness snapshot files parse and re-encode unchanged.
 	Faults map[string]uint64 `json:"faults,omitempty"`
+	// Latency is omitted entirely for runs without Options.Timing, so
+	// pre-timing snapshot files parse and re-encode unchanged. Keys are
+	// HistNames; percentiles are derived from the buckets at encode time
+	// (decode restores buckets+sum and rederives).
+	Latency map[string]latDistJSON `json:"latency,omitempty"`
+	// Contention is the top-N granule contention profile, omitted when
+	// no timing profiler is attached.
+	Contention []ContentionEntry `json:"contention,omitempty"`
+}
+
+// latDistJSON is one histogram on the wire: the raw buckets (the source
+// of truth, restored on decode) plus derived percentiles for human and
+// downstream-tool consumption.
+type latDistJSON struct {
+	Count   uint64   `json:"count"`
+	SumNS   uint64   `json:"sum_ns"`
+	P50NS   int64    `json:"p50_ns"`
+	P90NS   int64    `json:"p90_ns"`
+	P99NS   int64    `json:"p99_ns"`
+	MaxNS   int64    `json:"max_ns"`
+	Buckets []uint64 `json:"buckets"`
 }
 
 // MarshalJSON encodes the snapshot in the stable /snapshot wire format.
 func (s Snapshot) MarshalJSON() ([]byte, error) {
 	j := snapshotJSON{
+		Schema:    SnapshotSchema,
 		UnixNano:  s.At.UnixNano(),
 		IntervalS: s.Interval.Seconds(),
 		Execs:     s.Execs(),
@@ -158,6 +216,28 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 			j.Faults[FaultClassNames[c]] = s.Faults(c)
 		}
 	}
+	if n := s.Counts[CtrAbortWorkNS]; n > 0 {
+		j.Events["htm_abort_work_ns"] = n
+	}
+	if s.HasTiming() {
+		j.Latency = map[string]latDistJSON{}
+		for h := 0; h < NumHists; h++ {
+			d := s.Lat[h]
+			if d.Count() == 0 {
+				continue
+			}
+			j.Latency[HistNames[h]] = latDistJSON{
+				Count:   d.Count(),
+				SumNS:   d.SumNS,
+				P50NS:   d.Quantile(0.50),
+				P90NS:   d.Quantile(0.90),
+				P99NS:   d.Quantile(0.99),
+				MaxNS:   d.MaxNS(),
+				Buckets: d.Buckets[:],
+			}
+		}
+	}
+	j.Contention = s.Contention
 	return json.Marshal(j)
 }
 
@@ -168,6 +248,12 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 	var j snapshotJSON
 	if err := json.Unmarshal(data, &j); err != nil {
 		return err
+	}
+	// Accept the current schema and schema-less pre-v1 files; reject
+	// anything else loudly rather than misreading a future format.
+	if j.Schema != "" && j.Schema != SnapshotSchema {
+		return fmt.Errorf("obs: unsupported snapshot schema %q (want %q or none)",
+			j.Schema, SnapshotSchema)
 	}
 	*s = Snapshot{
 		At:       time.Unix(0, j.UnixNano),
@@ -185,9 +271,19 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 	s.Counts[CtrPhaseTransition] = j.Events["phase_transition"]
 	s.Counts[CtrRelearn] = j.Events["relearn"]
 	s.Counts[CtrHTMExtension] = j.Events["htm_extension"]
+	s.Counts[CtrAbortWorkNS] = j.Events["htm_abort_work_ns"]
 	for c := uint8(0); c < NumFaultClasses; c++ {
 		s.Counts[CtrFault(c)] = j.Faults[FaultClassNames[c]]
 	}
+	for h := 0; h < NumHists; h++ {
+		d, ok := j.Latency[HistNames[h]]
+		if !ok {
+			continue
+		}
+		copy(s.Lat[h].Buckets[:], d.Buckets)
+		s.Lat[h].SumNS = d.SumNS
+	}
+	s.Contention = j.Contention
 	return nil
 }
 

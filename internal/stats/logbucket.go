@@ -1,0 +1,100 @@
+package stats
+
+import "math/bits"
+
+// Log-bucketed latency histogram math, shared by the obs timing layer
+// (internal/obs LatShard) and the granule contention profiler. The bucket
+// scheme is fixed at compile time so a histogram is a flat array of
+// NumLogBuckets counters and recording is branch-free index arithmetic —
+// no float math, no search, no allocation.
+//
+// Bucket i covers the half-open nanosecond range
+//
+//	[LogBucketUpper(i-1), LogBucketUpper(i))
+//
+// with LogBucketUpper(-1) taken as 0. Boundaries are powers of two
+// starting at logBucketMin ns, so bucket 0 absorbs everything below the
+// clock's useful resolution and the last bucket absorbs everything beyond
+// ~68 s (clamped, like stats.Histogram). Power-of-two boundaries bound the
+// relative error of any bucket-derived quantile by a factor of 2 — plenty
+// for "where do the cycles go" profiling, and the property test in
+// logbucket_test.go pins that bound against a reference implementation.
+
+// NumLogBuckets is the number of latency buckets.
+const NumLogBuckets = 32
+
+// logBucketMinShift sets the first boundary: bucket 0 covers
+// [0, 1<<(logBucketMinShift+1)) ns = [0, 64ns).
+const logBucketMinShift = 5
+
+// LogBucketOf maps a duration in nanoseconds to its bucket index.
+// Non-positive durations land in bucket 0; durations past the last
+// boundary are clamped into the final bucket.
+func LogBucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) - logBucketMinShift - 1
+	if b < 0 {
+		return 0
+	}
+	if b >= NumLogBuckets {
+		return NumLogBuckets - 1
+	}
+	return b
+}
+
+// LogBucketUpper returns bucket i's exclusive upper boundary in
+// nanoseconds. The last bucket is open-ended; its reported boundary is
+// still returned (values beyond it are clamped in, see LogBucketOf).
+func LogBucketUpper(i int) int64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= NumLogBuckets {
+		i = NumLogBuckets - 1
+	}
+	return 1 << (logBucketMinShift + 1 + i)
+}
+
+// QuantileFromLogBuckets estimates the q-quantile (0 ≤ q ≤ 1) of the
+// recorded distribution as the upper boundary of the bucket containing
+// that rank — the same conservative estimate a Prometheus `le` histogram
+// yields. Returns 0 for an empty histogram. The estimate never
+// undershoots the true value and overshoots by at most 2× (one bucket).
+func QuantileFromLogBuckets(buckets []uint64, q float64) int64 {
+	var total uint64
+	for _, n := range buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the order statistic we want.
+	rank := uint64(q*float64(total-1)) + 1
+	var cum uint64
+	for i, n := range buckets {
+		cum += n
+		if cum >= rank {
+			return LogBucketUpper(i)
+		}
+	}
+	return LogBucketUpper(len(buckets) - 1)
+}
+
+// MaxFromLogBuckets returns the upper boundary of the highest non-empty
+// bucket (an upper bound on the maximum recorded value), or 0 when empty.
+func MaxFromLogBuckets(buckets []uint64) int64 {
+	for i := len(buckets) - 1; i >= 0; i-- {
+		if buckets[i] > 0 {
+			return LogBucketUpper(i)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLogBucketBoundaries(t *testing.T) {
+	if got := LogBucketOf(0); got != 0 {
+		t.Errorf("LogBucketOf(0) = %d, want 0", got)
+	}
+	if got := LogBucketOf(-5); got != 0 {
+		t.Errorf("LogBucketOf(-5) = %d, want 0", got)
+	}
+	// Every bucket's boundary values: Upper(i)-1 lands in bucket i,
+	// Upper(i) lands in bucket i+1 (except the clamped last bucket).
+	for i := 0; i < NumLogBuckets; i++ {
+		up := LogBucketUpper(i)
+		if got := LogBucketOf(up - 1); got != i {
+			t.Errorf("LogBucketOf(%d) = %d, want %d", up-1, got, i)
+		}
+		want := i + 1
+		if want >= NumLogBuckets {
+			want = NumLogBuckets - 1
+		}
+		if got := LogBucketOf(up); got != want {
+			t.Errorf("LogBucketOf(%d) = %d, want %d", up, got, want)
+		}
+	}
+	// Boundaries are strictly increasing.
+	for i := 1; i < NumLogBuckets; i++ {
+		if LogBucketUpper(i) <= LogBucketUpper(i-1) {
+			t.Errorf("boundary %d (%d) not past boundary %d (%d)",
+				i, LogBucketUpper(i), i-1, LogBucketUpper(i-1))
+		}
+	}
+	if LogBucketUpper(-1) != 0 {
+		t.Errorf("LogBucketUpper(-1) = %d, want 0", LogBucketUpper(-1))
+	}
+}
+
+// TestQuantileErrorBoundProperty records batches of known values and
+// checks every bucket-derived quantile against the exact order statistic:
+// the estimate must never undershoot, and must stay within one power-of-2
+// bucket (2×, plus the bottom bucket's 64ns floor) of the truth.
+func TestQuantileErrorBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	quantiles := []float64{0, 0.25, 0.5, 0.9, 0.99, 1}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		values := make([]int64, n)
+		var buckets [NumLogBuckets]uint64
+		for i := range values {
+			// Mix magnitudes: a log-uniform draw covers every bucket up
+			// to (but not past) the clamped tail, which is pinned by
+			// TestQuantileClampedTail separately.
+			v := int64(1) << uint(rng.Intn(36))
+			v += rng.Int63n(v + 1)
+			values[i] = v
+			buckets[LogBucketOf(v)]++
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		for _, q := range quantiles {
+			exact := values[int(q*float64(n-1))]
+			est := QuantileFromLogBuckets(buckets[:], q)
+			if est < exact {
+				t.Fatalf("trial %d q=%v: estimate %d undershoots exact %d", trial, q, est, exact)
+			}
+			bound := 2*exact + 64
+			if clamp := LogBucketUpper(NumLogBuckets - 1); exact >= clamp {
+				bound = clamp // clamped tail: estimate pinned to last boundary
+			}
+			if est > bound {
+				t.Fatalf("trial %d q=%v: estimate %d exceeds error bound %d (exact %d)",
+					trial, q, est, bound, exact)
+			}
+		}
+		// Max behaves like a quantile at q=1.
+		max := MaxFromLogBuckets(buckets[:])
+		if exact := values[n-1]; max < exact || (max > 2*exact+64 && exact < LogBucketUpper(NumLogBuckets-1)) {
+			t.Fatalf("trial %d: max estimate %d vs exact %d", trial, max, values[n-1])
+		}
+	}
+}
+
+// TestQuantileClampedTail: values past the last boundary are clamped
+// into the final bucket, so estimates there are pinned to its boundary —
+// an undershoot the scheme accepts by design (documented in logbucket.go).
+func TestQuantileClampedTail(t *testing.T) {
+	var buckets [NumLogBuckets]uint64
+	huge := int64(1) << 40 // well past the ~68s last boundary
+	buckets[LogBucketOf(huge)]++
+	clamp := LogBucketUpper(NumLogBuckets - 1)
+	if got := QuantileFromLogBuckets(buckets[:], 1); got != clamp {
+		t.Errorf("clamped quantile = %d, want last boundary %d", got, clamp)
+	}
+	if got := MaxFromLogBuckets(buckets[:]); got != clamp {
+		t.Errorf("clamped max = %d, want last boundary %d", got, clamp)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var empty [NumLogBuckets]uint64
+	if got := QuantileFromLogBuckets(empty[:], 0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+	if got := MaxFromLogBuckets(empty[:]); got != 0 {
+		t.Errorf("empty max = %d, want 0", got)
+	}
+}

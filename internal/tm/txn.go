@@ -54,6 +54,10 @@ type Txn struct {
 	commits    uint64
 	extensions uint64
 	aborts     [NumAbortReasons]uint64
+	// attemptStart/abortNS measure work discarded by aborts, active only
+	// when the domain has a nanotime hook (Domain.SetNanotime).
+	attemptStart int64
+	abortNS      uint64
 }
 
 // NewTxn creates a transaction descriptor for this domain. seed seeds the
@@ -86,6 +90,10 @@ type TxnStats struct {
 	// one is a false AbortConflict that did not happen.
 	Extensions uint64
 	Aborts     [NumAbortReasons]uint64
+	// AbortNS is the cumulative nanoseconds spent in attempts that
+	// aborted — begin to abort, the substrate's view of discarded work.
+	// Zero unless the domain has a nanotime hook (Domain.SetNanotime).
+	AbortNS uint64
 }
 
 // Stats returns a snapshot of the descriptor's cumulative statistics.
@@ -95,6 +103,7 @@ func (t *Txn) Stats() TxnStats {
 		Commits:    t.commits,
 		Extensions: t.extensions,
 		Aborts:     t.aborts,
+		AbortNS:    t.abortNS,
 	}
 }
 
@@ -102,6 +111,11 @@ func (t *Txn) Stats() TxnStats {
 // extensions (see TxnStats.Extensions). The ALE engine reads this after
 // every attempt to mirror the delta into the observability layer.
 func (t *Txn) Extensions() uint64 { return t.extensions }
+
+// AbortNS returns the cumulative nanoseconds discarded in aborted
+// attempts (see TxnStats.AbortNS); the engine mirrors the delta into
+// the observability layer the same way it mirrors Extensions.
+func (t *Txn) AbortNS() uint64 { return t.abortNS }
 
 // ReadSetSize and WriteSetSize report the current set sizes (diagnostics).
 func (t *Txn) ReadSetSize() int  { return len(t.reads) }
@@ -150,6 +164,11 @@ func (t *Txn) Run(body func(*Txn)) (committed bool, reason AbortReason) {
 	}
 	defer func() {
 		if r := recover(); r != nil {
+			if f := t.dom.nanotime; f != nil {
+				if d := f() - t.attemptStart; d > 0 {
+					t.abortNS += uint64(d)
+				}
+			}
 			sig, ok := r.(abortSignal)
 			if !ok {
 				// A user panic abandons the attempt after begin bumped
@@ -178,6 +197,9 @@ func (t *Txn) Run(body func(*Txn)) (committed bool, reason AbortReason) {
 func (t *Txn) begin() {
 	t.starts++
 	t.active = true
+	if f := t.dom.nanotime; f != nil {
+		t.attemptStart = f()
+	}
 	t.rv = t.dom.clock.Load()
 	if !t.dom.profile.Enabled {
 		panic(abortSignal{AbortDisabled})

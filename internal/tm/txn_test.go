@@ -728,3 +728,66 @@ func TestCommitTickAdoption(t *testing.T) {
 		t.Errorf("clock = %d, exceeds one tick per commit (%d)", clock, workers*perWorker)
 	}
 }
+
+// TestAbortNSMeasuresDiscardedWork drives aborting and committing
+// attempts under a virtual nanotime hook and checks AbortNS accumulates
+// exactly the aborted attempts' begin-to-abort durations.
+func TestAbortNSMeasuresDiscardedWork(t *testing.T) {
+	d := newTestDomain()
+	var now int64
+	d.SetNanotime(func() int64 { return now })
+	v := d.NewVar(0)
+	tx := d.NewTxn(1)
+
+	// Committing attempt: advances the virtual clock but must not count.
+	ok, _ := tx.Run(func(tx *Txn) {
+		now += 100
+		tx.Store(v, 1)
+	})
+	if !ok {
+		t.Fatal("commit attempt aborted")
+	}
+	if got := tx.AbortNS(); got != 0 {
+		t.Errorf("AbortNS after commit = %d, want 0", got)
+	}
+
+	// Explicit abort 70ns into the attempt.
+	ok, reason := tx.Run(func(tx *Txn) {
+		now += 70
+		tx.Abort(AbortExplicit)
+	})
+	if ok || reason != AbortExplicit {
+		t.Fatalf("Run = (%v, %v), want explicit abort", ok, reason)
+	}
+	if got := tx.AbortNS(); got != 70 {
+		t.Errorf("AbortNS after abort = %d, want 70", got)
+	}
+
+	// User panic 30ns in: abandoned work still counts.
+	func() {
+		defer func() { recover() }()
+		tx.Run(func(tx *Txn) {
+			now += 30
+			panic("boom")
+		})
+	}()
+	if got := tx.AbortNS(); got != 100 {
+		t.Errorf("AbortNS after user panic = %d, want 100", got)
+	}
+	if got := tx.Stats().AbortNS; got != 100 {
+		t.Errorf("Stats().AbortNS = %d, want 100", got)
+	}
+}
+
+// TestAbortNSZeroWithoutHook: without SetNanotime the measurement is off
+// and AbortNS stays zero no matter how many aborts happen.
+func TestAbortNSZeroWithoutHook(t *testing.T) {
+	d := newTestDomain()
+	tx := d.NewTxn(1)
+	for i := 0; i < 3; i++ {
+		tx.Run(func(tx *Txn) { tx.Abort(AbortExplicit) })
+	}
+	if got := tx.AbortNS(); got != 0 {
+		t.Errorf("AbortNS without hook = %d, want 0", got)
+	}
+}

@@ -39,6 +39,10 @@ type Domain struct {
 	// Read without synchronization on the transaction hot path; install
 	// before the domain is shared.
 	inj Injector
+	// nanotime, when non-nil, is sampled at attempt begin and abort so
+	// TxnStats.AbortNS can account discarded work (see SetNanotime). Like
+	// inj it is read without synchronization; install before sharing.
+	nanotime func() int64
 }
 
 // NewDomain creates a transactional domain with the given platform profile.
@@ -55,6 +59,13 @@ func NewDomain(p Profile) *Domain {
 
 // Profile returns the domain's platform profile.
 func (d *Domain) Profile() *Profile { return &d.profile }
+
+// SetNanotime installs the monotonic clock the domain uses to measure
+// aborted-attempt durations (TxnStats.AbortNS). nil — the default —
+// disables measurement: attempts then pay no clock reads at all, keeping
+// the untimed hot path unchanged. Install before the domain is shared;
+// the hook must be safe for concurrent use (a pure clock read is).
+func (d *Domain) SetNanotime(f func() int64) { d.nanotime = f }
 
 // HTMAvailable reports whether transactions can ever commit on this domain.
 func (d *Domain) HTMAvailable() bool { return d.profile.Enabled }

@@ -1,0 +1,113 @@
+// Chrome-trace export: renders a merged timeline in the Chrome Trace
+// Event Format (the JSON Perfetto and chrome://tracing load), so an ALE
+// run's attempt/commit/abort interleaving can be inspected on a real
+// timeline UI instead of the text rendering of Write.
+//
+// Mapping: each ALE thread becomes a trace thread (tid) under one process
+// (pid 1) with a thread_name metadata record; span events (RecordSpan)
+// become "X" complete events with ts/dur; instant events become "i"
+// instants scoped to their thread. Timestamps are microseconds (the
+// format's unit) on the package's monotonic epoch, rebased so the first
+// event sits at 0.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteChrome renders events (as produced by Merge) as a Chrome Trace
+// Event Format JSON object. modeName/detailName label events like Write;
+// nil namers fall back to raw numbers.
+func WriteChrome(w io.Writer, events []Event, modeName ModeNamer, detailName DetailNamer) error {
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[")
+	first := true
+	emit := func(s string) {
+		if !first {
+			b.WriteString(",\n")
+		} else {
+			b.WriteString("\n")
+			first = false
+		}
+		b.WriteString(s)
+	}
+
+	// Stable thread_name metadata, one per thread seen, sorted for
+	// deterministic output.
+	threads := map[int32]bool{}
+	for _, e := range events {
+		threads[e.Thread] = true
+	}
+	ids := make([]int32, 0, len(threads))
+	for id := range threads {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"ale-thread-%d"}}`, id, id))
+	}
+
+	var t0 int64
+	if len(events) > 0 {
+		t0 = events[0].When
+		for _, e := range events {
+			if e.When < t0 {
+				t0 = e.When
+			}
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns-t0) / 1e3 }
+
+	for _, e := range events {
+		mode := fmt.Sprintf("%d", e.Mode)
+		if modeName != nil {
+			mode = modeName(e.Mode)
+		}
+		name := fmt.Sprintf("%s %s", e.Kind, mode)
+		detail := ""
+		if detailName != nil {
+			detail = detailName(e.Kind, e.Detail)
+		} else if e.Detail != 0 {
+			detail = fmt.Sprintf("detail=%d", e.Detail)
+		}
+		args := fmt.Sprintf(`{"lock":%d,"mode":%s`, e.Lock, quote(mode))
+		if detail != "" {
+			args += fmt.Sprintf(`,"detail":%s`, quote(detail))
+		}
+		args += "}"
+		if e.IsSpan() {
+			emit(fmt.Sprintf(`{"name":%s,"ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,"args":%s}`,
+				quote(name), e.Thread, us(e.When), float64(e.End-e.When)/1e3, args))
+		} else {
+			emit(fmt.Sprintf(`{"name":%s,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%.3f,"args":%s}`,
+				quote(name), e.Thread, us(e.When), args))
+		}
+	}
+	b.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// quote JSON-escapes a label string (namers only produce ASCII names, but
+// escape defensively).
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(&b, `\u%04x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

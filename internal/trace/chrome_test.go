@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteChromeGolden pins the exporter's output for a small fixed
+// timeline: two threads with overlapping spans and one abort instant.
+// The exact bytes matter — Perfetto/chrome://tracing parse this format —
+// so the test both compares against the golden text and re-parses the
+// output as JSON to check the structural fields tools rely on.
+func TestWriteChromeGolden(t *testing.T) {
+	events := []Event{
+		{When: 1000, End: 5000, Thread: 0, Lock: 2, Kind: KindAttempt, Mode: 1, Seq: 0},
+		{When: 2000, End: 7000, Thread: 1, Lock: 2, Kind: KindAttempt, Mode: 1, Seq: 0},
+		{When: 4500, Thread: 1, Lock: 2, Kind: KindAbort, Mode: 1, Detail: 1, Seq: 1},
+		{When: 5000, End: 6000, Thread: 0, Lock: 2, Kind: KindCommit, Mode: 1, Seq: 1},
+	}
+	modeName := func(m uint8) string { return [...]string{"lock", "htm", "swopt"}[m] }
+	detailName := func(k Kind, d uint8) string {
+		if k == KindAbort {
+			return "reason-conflict"
+		}
+		return ""
+	}
+
+	var sb strings.Builder
+	if err := WriteChrome(&sb, events, modeName, detailName); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	want := `{"traceEvents":[
+{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"ale-thread-0"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"ale-thread-1"}},
+{"name":"attempt htm","ph":"X","pid":1,"tid":0,"ts":0.000,"dur":4.000,"args":{"lock":2,"mode":"htm"}},
+{"name":"attempt htm","ph":"X","pid":1,"tid":1,"ts":1.000,"dur":5.000,"args":{"lock":2,"mode":"htm"}},
+{"name":"abort htm","ph":"i","s":"t","pid":1,"tid":1,"ts":3.500,"args":{"lock":2,"mode":"htm","detail":"reason-conflict"}},
+{"name":"commit htm","ph":"X","pid":1,"tid":0,"ts":4.000,"dur":1.000,"args":{"lock":2,"mode":"htm"}}
+],"displayTimeUnit":"ns"}
+`
+	if got != want {
+		t.Errorf("golden mismatch:\n got: %s\nwant: %s", got, want)
+	}
+
+	// Structural check: valid JSON with the fields trace viewers need.
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Ts   float64         `json:"ts"`
+			Dur  float64         `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(got), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var spans, instants, meta int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur <= 0 {
+				t.Errorf("span %q has non-positive dur %v", e.Name, e.Dur)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if spans != 3 || instants != 1 || meta != 2 {
+		t.Errorf("got %d spans, %d instants, %d metadata; want 3, 1, 2", spans, instants, meta)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChrome(&sb, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Error("empty export missing traceEvents key")
+	}
+}
+
+func TestRecordSpan(t *testing.T) {
+	r := NewRing(8, 4)
+	begin := Now()
+	end := begin + 1500
+	r.RecordSpan(9, KindCommit, 2, 0, begin, end)
+	r.RecordSpan(9, KindAttempt, 2, 0, end, begin) // inverted: degrades to instant
+	ev := r.Snapshot()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events, want 2", len(ev))
+	}
+	if !ev[0].IsSpan() || ev[0].When != begin || ev[0].End != end {
+		t.Errorf("span event = %+v, want [%d,%d]", ev[0], begin, end)
+	}
+	if ev[1].IsSpan() {
+		t.Errorf("inverted interval should degrade to instant, got %+v", ev[1])
+	}
+	if ev[0].Seq != 0 || ev[1].Seq != 1 {
+		t.Errorf("seq not assigned in order: %d, %d", ev[0].Seq, ev[1].Seq)
+	}
+}
+
+func TestNowMonotonic(t *testing.T) {
+	a := Now()
+	b := Now()
+	if a < 0 || b < a {
+		t.Errorf("Now not monotonic: %d then %d", a, b)
+	}
+}

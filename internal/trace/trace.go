@@ -62,11 +62,26 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// processStart anchors the package's monotonic clock: every recorded
+// timestamp is nanoseconds since this instant, so timestamps from
+// different threads' rings share one epoch and survive wall-clock jumps
+// (time.Since reads Go's monotonic reading).
+var processStart = time.Now()
+
+// Now returns the package's monotonic timestamp: nanoseconds since
+// process start. This is the clock Record and RecordSpan stamp events
+// with, exported so callers (the core engine's timing layer) can sample
+// span boundaries on the same epoch.
+func Now() int64 { return int64(time.Since(processStart)) }
+
 // Event is one recorded engine event. Lock identifies the ALE lock (its
 // creation sequence number), Mode is the core.Mode as a raw uint8, Detail
 // carries kind-specific payload (abort reason, self-abort flag).
+// When/End are nanoseconds on the package's monotonic clock (Now): an
+// instant event has End == 0; a span (RecordSpan) has End >= When.
 type Event struct {
-	When   int64 // nanoseconds, monotonic-ish (time.Now().UnixNano())
+	When   int64 // span begin (or the instant), monotonic ns (Now)
+	End    int64 // span end; 0 for instant events
 	Seq    uint64
 	Thread int32
 	Lock   uint32
@@ -74,6 +89,9 @@ type Event struct {
 	Mode   uint8
 	Detail uint8
 }
+
+// IsSpan reports whether the event carries a duration.
+func (e Event) IsSpan() bool { return e.End != 0 }
 
 // Ring is a fixed-capacity single-writer event buffer. The zero Ring is
 // disabled (records are dropped); construct with NewRing to enable.
@@ -94,21 +112,45 @@ func NewRing(capacity int, thread int32) *Ring {
 // Enabled reports whether the ring records anything.
 func (r *Ring) Enabled() bool { return r != nil && len(r.buf) > 0 }
 
-// Record appends an event, overwriting the oldest once full. Only the
-// owning thread may call Record.
+// Record appends an instant event, overwriting the oldest once full. Only
+// the owning thread may call Record.
 func (r *Ring) Record(lock uint32, kind Kind, mode, detail uint8) {
 	if !r.Enabled() {
 		return
 	}
-	e := Event{
-		When:   time.Now().UnixNano(),
-		Seq:    r.next,
+	r.push(Event{
+		When:   Now(),
 		Thread: r.thread,
 		Lock:   lock,
 		Kind:   kind,
 		Mode:   mode,
 		Detail: detail,
+	})
+}
+
+// RecordSpan appends an event covering [begin, end] (timestamps from Now).
+// The engine's timing layer uses this to attach durations to attempts and
+// commits; a zero or inverted interval degrades to an instant at begin.
+func (r *Ring) RecordSpan(lock uint32, kind Kind, mode, detail uint8, begin, end int64) {
+	if !r.Enabled() {
+		return
 	}
+	if end < begin {
+		end = 0
+	}
+	r.push(Event{
+		When:   begin,
+		End:    end,
+		Thread: r.thread,
+		Lock:   lock,
+		Kind:   kind,
+		Mode:   mode,
+		Detail: detail,
+	})
+}
+
+func (r *Ring) push(e Event) {
+	e.Seq = r.next
 	r.buf[r.next%uint64(len(r.buf))] = e
 	r.next++
 }
@@ -192,6 +234,9 @@ func Write(w io.Writer, events []Event, modeName ModeNamer, detailName DetailNam
 		}
 		fmt.Fprintf(&b, "%10.3fµs thr%-3d lock%-3d %-10s %-5s",
 			float64(e.When-t0)/1e3, e.Thread, e.Lock, e.Kind, mode)
+		if e.IsSpan() {
+			fmt.Fprintf(&b, " +%.3fµs", float64(e.End-e.When)/1e3)
+		}
 		if detailName != nil {
 			if d := detailName(e.Kind, e.Detail); d != "" {
 				fmt.Fprintf(&b, " %s", d)
