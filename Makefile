@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt bench bench-json stress cover profile
+.PHONY: all build test race lint fmt bench bench-json bench-compare bench-gate bench-trend stress cover profile
 
 all: build lint test
 
@@ -28,9 +28,32 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # Hot-path microbenchmark suite with the machine-readable report
-# (alebench-microbench/v1; render it with `alereport -in BENCH_5.json`).
+# (alebench-microbench/v2: BENCH_COUNT repeated samples per benchmark
+# plus the environment fingerprint; render it with `alereport -in
+# BENCH_6.json`). This is how the committed baseline is refreshed — see
+# EXPERIMENTS.md "Refreshing the BENCH_N baseline" for the procedure.
+BENCH_BASELINE ?= BENCH_6.json
+BENCH_COUNT ?= 5
 bench-json:
-	$(GO) run ./cmd/alebench -bench-json BENCH_5.json micro
+	$(GO) run ./cmd/alebench -bench-json $(BENCH_BASELINE) -count $(BENCH_COUNT) micro
+
+# Rerun the suite and diff it against the committed baseline,
+# informationally: the verdict table prints but a regression does not
+# fail the target. bench-new.json is gitignored scratch output.
+bench-compare:
+	$(GO) run ./cmd/alebench -bench-json bench-new.json -count $(BENCH_COUNT) micro
+	-$(GO) run ./cmd/alereport -compare $(BENCH_BASELINE) bench-new.json
+
+# The gating form: exit 1 if any benchmark regressed past its noise
+# bound (or allocs/op rose at all), exit 2 on malformed input. Run this
+# locally before claiming a perf win or merging a hot-path change.
+bench-gate:
+	$(GO) run ./cmd/alebench -bench-json bench-new.json -count $(BENCH_COUNT) micro
+	$(GO) run ./cmd/alereport -compare $(BENCH_BASELINE) bench-new.json
+
+# Cross-run trajectory of the whole committed BENCH series as markdown.
+bench-trend:
+	$(GO) run ./cmd/alereport -trend 'BENCH_*.json'
 
 # Profiling bundle for a representative sweep: CPU profile, heap profile,
 # and a Perfetto-loadable Chrome trace with the timing layer on (plus the

@@ -59,6 +59,8 @@ var (
 
 	benchJSON = flag.String("bench-json", "",
 		"with the micro command: also write the results as BENCH JSON to this path")
+	benchCount = flag.Int("count", 1,
+		"with the micro command: repeat the whole suite this many times, recording every pass as a sample (the v2 schema's noise model; baselines use ≥5)")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 	memProfile = flag.String("memprofile", "", "write a heap profile at exit to this path")
 )
@@ -384,13 +386,14 @@ func striping() error {
 	return nil
 }
 
-// micro runs the hot-path microbenchmark suite (internal/bench RunMicro):
-// substrate transaction costs, per-mode Execute, and granule lookup. With
-// -bench-json the machine-readable report is also written, the format
-// cmd/alereport renders and CI archives.
+// micro runs the hot-path microbenchmark suite (internal/bench
+// RunMicroCount): substrate transaction costs, per-mode Execute, and
+// granule lookup, repeated -count times with every pass recorded as a
+// sample. With -bench-json the machine-readable report is also written,
+// the format cmd/alereport renders, compares (-compare), and CI archives.
 func micro() error {
 	fmt.Println("== Hot-path microbenchmarks ==")
-	rep := bench.RunMicro(os.Stdout)
+	rep := bench.RunMicroCount(os.Stdout, *benchCount)
 	if *benchJSON == "" {
 		return nil
 	}

@@ -1,0 +1,158 @@
+package main
+
+// The cross-run half of alereport: -compare judges one BENCH report
+// against another under internal/trend's noise model (the perf gate CI
+// and `make bench-gate` run), and -trend renders the whole committed
+// BENCH_N.json series as a markdown trajectory report. File IO and exit
+// codes live here; all statistics live in internal/trend.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"repro/internal/bench"
+	"repro/internal/trend"
+)
+
+// Exit codes of the -compare mode, stable for CI and Makefile use.
+const (
+	exitClean      = 0 // no regression past the noise bound
+	exitRegression = 1 // at least one benchmark regressed
+	exitMalformed  = 2 // unreadable/invalid input or usage error
+)
+
+// microToRun lifts a parsed BENCH report into the trend package's
+// neutral Run form: every benchmark's sample series (v1 files collapse
+// to one sample) plus the environment fingerprint as a flat map.
+func microToRun(label string, rep bench.MicroReport) trend.Run {
+	run := trend.Run{Label: label, Env: map[string]string{}}
+	if rep.GoMaxProcs > 0 {
+		run.Env["go_max_procs"] = strconv.Itoa(rep.GoMaxProcs)
+	}
+	if e := rep.Env; e != nil {
+		run.Env["go_version"] = e.GoVersion
+		run.Env["goos"] = e.GOOS
+		run.Env["goarch"] = e.GOARCH
+		run.Env["cpu_model"] = e.CPUModel
+		run.Env["git_rev"] = e.GitRev
+		run.Env["time"] = e.Time
+	}
+	for _, b := range rep.Benchmarks {
+		run.Benchmarks = append(run.Benchmarks, trend.Benchmark{
+			Name:        b.Name,
+			SamplesNS:   b.Samples(),
+			AllocsPerOp: b.AllocsPerOp,
+		})
+	}
+	return run
+}
+
+// loadMicroRun reads and parses one BENCH report file.
+func loadMicroRun(path string) (trend.Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return trend.Run{}, err
+	}
+	rep, err := bench.ParseMicro(data)
+	if err != nil {
+		return trend.Run{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return microToRun(filepath.Base(path), rep), nil
+}
+
+// runCompare implements `alereport -compare old.json new.json`,
+// returning the process exit code: 0 clean, 1 regression, 2 malformed
+// input. thresholdPct > 0 replaces the statistical noise bound; jsonOut
+// selects the machine-readable Comparison encoding over the human table.
+func runCompare(args []string, thresholdPct float64, jsonOut bool, w, errw io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(errw, "alereport: -compare needs exactly two files: old.json new.json")
+		return exitMalformed
+	}
+	oldRun, err := loadMicroRun(args[0])
+	if err != nil {
+		fmt.Fprintln(errw, "alereport:", err)
+		return exitMalformed
+	}
+	newRun, err := loadMicroRun(args[1])
+	if err != nil {
+		fmt.Fprintln(errw, "alereport:", err)
+		return exitMalformed
+	}
+	cmp := trend.Compare(oldRun, newRun, trend.Options{ThresholdPct: thresholdPct})
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cmp); err != nil {
+			fmt.Fprintln(errw, "alereport:", err)
+			return exitMalformed
+		}
+	} else {
+		trend.WriteCompareTable(w, cmp)
+	}
+	if cmp.HasRegression() {
+		return exitRegression
+	}
+	return exitClean
+}
+
+// runTrend implements `alereport -trend 'BENCH_*.json'`: every matching
+// report, ordered naturally (BENCH_9 before BENCH_10), rendered as the
+// markdown trend report CI uploads as an artifact.
+func runTrend(pattern string, w io.Writer) error {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -trend pattern %q: %w", pattern, err)
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("-trend pattern %q matches no files", pattern)
+	}
+	sort.Slice(paths, func(i, j int) bool { return naturalLess(paths[i], paths[j]) })
+	runs := make([]trend.Run, 0, len(paths))
+	for _, p := range paths {
+		run, err := loadMicroRun(p)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, run)
+	}
+	return trend.WriteMarkdown(w, runs, trend.Options{})
+}
+
+// naturalLess orders strings with embedded integers compared
+// numerically, so the committed series reads BENCH_4 < BENCH_5 < ... <
+// BENCH_10 instead of the lexical BENCH_10 < BENCH_4.
+func naturalLess(a, b string) bool {
+	for len(a) > 0 && len(b) > 0 {
+		ad, an := leadingInt(a)
+		bd, bn := leadingInt(b)
+		if an > 0 && bn > 0 {
+			if ad != bd {
+				return ad < bd
+			}
+			a, b = a[an:], b[bn:]
+			continue
+		}
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		a, b = a[1:], b[1:]
+	}
+	return len(a) < len(b)
+}
+
+// leadingInt parses the digit run at the start of s, returning its value
+// and length (0 when s does not start with a digit). Values are capped
+// well below overflow by the 18-digit cut.
+func leadingInt(s string) (val int64, n int) {
+	for n < len(s) && n < 18 && s[n] >= '0' && s[n] <= '9' {
+		val = val*10 + int64(s[n]-'0')
+		n++
+	}
+	return val, n
+}

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/trend"
+)
+
+// microFixture builds a v2 BENCH report JSON string with one sample set
+// per (name, samples...) pair.
+func microFixture(t *testing.T, env *bench.MicroEnv, benches map[string][]float64) string {
+	t.Helper()
+	rep := bench.MicroReport{Schema: bench.MicroSchema, GoMaxProcs: 1, Env: env}
+	// Deterministic order for table assertions.
+	names := make([]string, 0, len(benches))
+	for n := range benches {
+		names = append(names, n)
+	}
+	for _, n := range []string{"tm/load-8", "core/execute-htm", "core/granule-hit"} {
+		for _, have := range names {
+			if have == n {
+				med := trend.Summarize(benches[n]).Median
+				rep.Benchmarks = append(rep.Benchmarks, bench.MicroResult{
+					Name: n, NsPerOp: med, SamplesNS: benches[n], OpsPerSec: 1e9 / med,
+				})
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := bench.WriteMicroJSON(&sb, rep); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestCompareIdenticalExitsClean(t *testing.T) {
+	fx := microFixture(t, nil, map[string][]float64{
+		"tm/load-8":        {83, 84, 82, 83, 83},
+		"core/execute-htm": {200, 201, 199, 200, 200},
+	})
+	path := writeTemp(t, "base.json", fx)
+	var out, errOut strings.Builder
+	if code := runCompare([]string{path, path}, 0, false, &out, &errOut); code != exitClean {
+		t.Fatalf("identical inputs exit %d, want 0; stderr: %s\noutput:\n%s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "0 regressed") {
+		t.Errorf("clean compare table:\n%s", out.String())
+	}
+}
+
+// TestCompareSeededRegression is the acceptance fixture: a synthetic
+// ~50% slowdown on tight samples must exit 1 and name the benchmark.
+func TestCompareSeededRegression(t *testing.T) {
+	oldPath := writeTemp(t, "old.json", microFixture(t, nil, map[string][]float64{
+		"tm/load-8":        {83, 84, 82, 83, 83},
+		"core/execute-htm": {200, 201, 199, 200, 200},
+	}))
+	newPath := writeTemp(t, "new.json", microFixture(t, nil, map[string][]float64{
+		"tm/load-8":        {83, 84, 82, 83, 83},
+		"core/execute-htm": {300, 301, 299, 300, 300},
+	}))
+	var out, errOut strings.Builder
+	code := runCompare([]string{oldPath, newPath}, 0, false, &out, &errOut)
+	if code != exitRegression {
+		t.Fatalf("seeded regression exit %d, want 1\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "core/execute-htm") || !strings.Contains(got, "regressed") {
+		t.Errorf("regression output does not name the benchmark:\n%s", got)
+	}
+	if !strings.Contains(got, "tm/load-8") {
+		t.Errorf("clean benchmark missing from table:\n%s", got)
+	}
+
+	// -threshold wide enough silences the same delta.
+	out.Reset()
+	if code := runCompare([]string{oldPath, newPath}, 75, false, &out, &errOut); code != exitClean {
+		t.Errorf("threshold 75%% still exits %d\n%s", code, out.String())
+	}
+
+	// -json emits a machine-readable Comparison with the same verdict.
+	out.Reset()
+	if code := runCompare([]string{oldPath, newPath}, 0, true, &out, &errOut); code != exitRegression {
+		t.Fatalf("-json compare exit %d, want 1", code)
+	}
+	var cmp trend.Comparison
+	if err := json.Unmarshal([]byte(out.String()), &cmp); err != nil {
+		t.Fatalf("-json output not parseable: %v\n%s", err, out.String())
+	}
+	if cmp.Regressions != 1 {
+		t.Errorf("json comparison regressions = %d, want 1", cmp.Regressions)
+	}
+}
+
+// TestCompareV1Baseline: a v1 single-sample file compares against a v2
+// repeated-sample file — the round-trip the acceptance criteria name.
+// Single samples get the wide default bound, so a 5% wobble is clean
+// while a 50% jump still fails.
+func TestCompareV1Baseline(t *testing.T) {
+	v1 := `{"schema": "alebench-microbench/v1", "go_max_procs": 1, "benchmarks": [
+		{"name": "core/execute-htm", "ns_per_op": 200, "allocs_per_op": 0, "ops_per_sec": 5000000, "elision_pct": 100}
+	]}`
+	oldPath := writeTemp(t, "v1.json", v1)
+	within := writeTemp(t, "v2a.json", microFixture(t, nil, map[string][]float64{
+		"core/execute-htm": {210, 211, 209, 210, 210},
+	}))
+	var out, errOut strings.Builder
+	if code := runCompare([]string{oldPath, within}, 0, false, &out, &errOut); code != exitClean {
+		t.Errorf("5%% delta vs v1 baseline exit %d, want 0 (wide default bound)\n%s", code, out.String())
+	}
+	jump := writeTemp(t, "v2b.json", microFixture(t, nil, map[string][]float64{
+		"core/execute-htm": {300, 301, 299, 300, 300},
+	}))
+	out.Reset()
+	if code := runCompare([]string{oldPath, jump}, 0, false, &out, &errOut); code != exitRegression {
+		t.Errorf("50%% delta vs v1 baseline exit %d, want 1\n%s", code, out.String())
+	}
+}
+
+func TestCompareMalformedExits2(t *testing.T) {
+	good := writeTemp(t, "good.json", microFixture(t, nil, map[string][]float64{"tm/load-8": {80}}))
+	cases := map[string][]string{
+		"missing file":   {good, filepath.Join(t.TempDir(), "nope.json")},
+		"not json":       {writeTemp(t, "junk.json", "not json"), good},
+		"wrong schema":   {writeTemp(t, "other.json", `{"schema":"x/v9"}`), good},
+		"one arg":        {good},
+		"three args":     {good, good, good},
+		"duplicate name": {writeTemp(t, "dup.json", `{"schema":"alebench-microbench/v2","benchmarks":[{"name":"a","ns_per_op":1},{"name":"a","ns_per_op":2}]}`), good},
+	}
+	for name, args := range cases {
+		var out, errOut strings.Builder
+		if code := runCompare(args, 0, false, &out, &errOut); code != exitMalformed {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", name, code, errOut.String())
+		}
+	}
+	// The duplicate-name rejection is located.
+	var out, errOut strings.Builder
+	runCompare(cases["duplicate name"], 0, false, &out, &errOut)
+	if !strings.Contains(errOut.String(), "benchmarks[1]") {
+		t.Errorf("duplicate-name error not located: %s", errOut.String())
+	}
+}
+
+// TestCompareEnvAnnotation: fingerprint mismatches annotate the table so
+// a cross-host delta is never silently read as a code change.
+func TestCompareEnvAnnotation(t *testing.T) {
+	oldPath := writeTemp(t, "host-a.json", microFixture(t,
+		&bench.MicroEnv{GoVersion: "go1.22.1", GOOS: "linux", GOARCH: "amd64", CPUModel: "Xeon", Time: "2026-01-01T00:00:00Z"},
+		map[string][]float64{"tm/load-8": {80, 80, 80}}))
+	newPath := writeTemp(t, "host-b.json", microFixture(t,
+		&bench.MicroEnv{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "arm64", CPUModel: "Graviton", Time: "2026-02-01T00:00:00Z"},
+		map[string][]float64{"tm/load-8": {80, 80, 80}}))
+	var out, errOut strings.Builder
+	runCompare([]string{oldPath, newPath}, 0, false, &out, &errOut)
+	got := out.String()
+	for _, want := range []string{"go_version", "goarch", "cpu_model", "environment"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("cross-env compare missing %q annotation:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTrend(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// BENCH_4 is v1 (single samples); 5 and 12 are v2. The glob must
+	// order them 4 < 5 < 12, which lexical sorting would not.
+	write("BENCH_4.json", `{"schema": "alebench-microbench/v1", "benchmarks": [
+		{"name": "core/execute-htm", "ns_per_op": 370, "elision_pct": 100}
+	]}`)
+	write("BENCH_5.json", microFixture(t, nil, map[string][]float64{"core/execute-htm": {200, 201, 199}}))
+	write("BENCH_12.json", microFixture(t, nil, map[string][]float64{"core/execute-htm": {150, 151, 149}}))
+	var out strings.Builder
+	if err := runTrend(filepath.Join(dir, "BENCH_*.json"), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	i4 := strings.Index(got, "BENCH_4.json")
+	i5 := strings.Index(got, "BENCH_5.json")
+	i12 := strings.Index(got, "BENCH_12.json")
+	if i4 < 0 || i5 < 0 || i12 < 0 || !(i4 < i5 && i5 < i12) {
+		t.Fatalf("runs out of natural order (positions %d %d %d):\n%s", i4, i5, i12, got)
+	}
+	for _, want := range []string{"# Benchmark trend report (3 runs)", "## core/execute-htm", "improved"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trend report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTrendErrors(t *testing.T) {
+	var out strings.Builder
+	if err := runTrend(filepath.Join(t.TempDir(), "BENCH_*.json"), &out); err == nil {
+		t.Error("empty glob accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_1.json"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTrend(filepath.Join(dir, "BENCH_*.json"), io.Discard); err == nil {
+		t.Error("unparseable series member accepted")
+	}
+}
+
+// TestAnalyzeMicroV2: the -in path renders a v2 report with sample
+// counts and "-" for entries without a defined elision rate, and a
+// report with duplicate names fails with the located parse error
+// instead of falling through to the snapshot parser.
+func TestAnalyzeMicroV2(t *testing.T) {
+	fx := microFixture(t,
+		&bench.MicroEnv{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", Time: "2026-08-09T00:00:00Z"},
+		map[string][]float64{"tm/load-8": {83, 84, 82}})
+	var out strings.Builder
+	if err := analyzeFile(writeTemp(t, "v2.json", fx), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"alebench-microbench/v2", "go1.24.0", "tm/load-8", "-"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("v2 table missing %q:\n%s", want, got)
+		}
+	}
+
+	dup := `{"schema":"alebench-microbench/v2","benchmarks":[{"name":"a","ns_per_op":1},{"name":"a","ns_per_op":2}]}`
+	err := analyzeFile(writeTemp(t, "dup.json", dup), &out)
+	if err == nil {
+		t.Fatal("duplicate-name report accepted by -in")
+	}
+	if !strings.Contains(err.Error(), "benchmarks[1]") {
+		t.Errorf("-in duplicate error not located: %v", err)
+	}
+}
+
+func TestNaturalLess(t *testing.T) {
+	for _, tc := range []struct {
+		a, b string
+		want bool
+	}{
+		{"BENCH_4.json", "BENCH_5.json", true},
+		{"BENCH_9.json", "BENCH_10.json", true},
+		{"BENCH_10.json", "BENCH_9.json", false},
+		{"BENCH_10.json", "BENCH_10.json", false},
+		{"a", "ab", true},
+		{"BENCH_2x.json", "BENCH_2y.json", true},
+	} {
+		if got := naturalLess(tc.a, tc.b); got != tc.want {
+			t.Errorf("naturalLess(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"errors"
 	"io"
 	"strings"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/obs"
 )
 
@@ -26,11 +28,22 @@ func FuzzAnalyzeInput(f *testing.F) {
 	f.Add([]byte(`{"at":"2026-08-05T00:00:00Z"}`))
 	f.Add([]byte(`[{"counters":{"execs":"not-a-number"}}]`))
 	f.Add([]byte(`{`))
+	f.Add([]byte(`{"schema":"alebench-microbench/v2","benchmarks":[{"name":"a","samples_ns_per_op":[1,2]}]}`))
+	f.Add([]byte(`{"schema":"alebench-microbench/v2","benchmarks":[{"name":"a"},{"name":"a"}]}`))
+	f.Add([]byte(`{"schema":"alebench-microbench/v1","benchmarks":[{"name":"a","ns_per_op":-1e308}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
 			return r == ' ' || r == '\t' || r == '\n' || r == '\r'
 		})
 		if len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '[') {
+			rep, err := bench.ParseMicro(data)
+			if err == nil {
+				_ = writeMicroTable(io.Discard, rep)
+				return
+			}
+			if !errors.Is(err, bench.ErrNotMicroSchema) {
+				return // a located BENCH error, surfaced not rendered
+			}
 			snaps, err := obs.ParseSnapshots(data)
 			if err != nil {
 				return

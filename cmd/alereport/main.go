@@ -15,10 +15,25 @@
 // alebench's /snapshot endpoint) rendered as interval elision-rate
 // deltas, or an `alebench micro -bench-json` report rendered as the
 // microbenchmark table.
+//
+// The cross-run modes turn the committed BENCH_N.json series into
+// checked trends (internal/trend):
+//
+//	alereport -compare old.json new.json
+//	    judge new against old under a noise model (robust per-benchmark
+//	    statistics over repeated samples; v1 single-sample files get a
+//	    wide default bound). Exit 0 = clean, 1 = regression past noise,
+//	    2 = malformed input. -threshold overrides the bound with a fixed
+//	    ±pct band; -json emits the machine-readable comparison.
+//
+//	alereport -trend 'BENCH_*.json'
+//	    render every matching report (naturally ordered) as a markdown
+//	    per-benchmark trajectory report — the CI artifact.
 package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -45,11 +60,25 @@ func main() {
 	timing := flag.Bool("timing", false,
 		"enable the timing layer for the instrumented run: latency percentiles and the contention profile")
 	in := flag.String("in", "", "analyze a saved metrics file instead of running: alebench CSV export or obs snapshot JSON")
+	compare := flag.Bool("compare", false,
+		"compare two BENCH reports (old.json new.json as arguments); exit 0 clean, 1 regression, 2 malformed")
+	threshold := flag.Float64("threshold", 0,
+		"with -compare: replace the statistical noise bound with a fixed ±pct band (0 = use the noise model)")
+	jsonOut := flag.Bool("json", false,
+		"with -compare: emit the machine-readable comparison JSON instead of the table")
+	trendGlob := flag.String("trend", "",
+		"render every BENCH report matching this glob (e.g. 'BENCH_*.json') as a markdown trend report")
 	flag.Parse()
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *threshold, *jsonOut, os.Stdout, os.Stderr))
+	}
 	var err error
-	if *in != "" {
+	switch {
+	case *trendGlob != "":
+		err = runTrend(*trendGlob, os.Stdout)
+	case *in != "":
 		err = analyzeFile(*in, os.Stdout)
-	} else {
+	default:
 		err = run(*threads, *ops, *timing)
 	}
 	if err != nil {
@@ -71,8 +100,15 @@ func analyzeFile(path string, w io.Writer) error {
 		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
 	})
 	if len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '[') {
-		if rep, err := bench.ParseMicro(data); err == nil {
+		rep, err := bench.ParseMicro(data)
+		if err == nil {
 			return writeMicroTable(w, rep)
+		}
+		if !errors.Is(err, bench.ErrNotMicroSchema) {
+			// A BENCH report, but an invalid one (e.g. duplicate
+			// benchmark names): surface the located error instead of
+			// falling through to the snapshot parser's noise.
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		snaps, err := obs.ParseSnapshots(data)
 		if err != nil {
@@ -84,14 +120,27 @@ func analyzeFile(path string, w io.Writer) error {
 }
 
 // writeMicroTable renders a BENCH microbenchmark report (the
-// alebench-microbench/v1 schema emitted by `alebench micro -bench-json`).
+// alebench-microbench/v1 or /v2 schema emitted by `alebench micro
+// -bench-json`). v2 rows show the sample count; entries without a
+// defined elision rate (substrate, granule lookup) render "-".
 func writeMicroTable(w io.Writer, rep bench.MicroReport) error {
-	fmt.Fprintf(w, "microbenchmark report (%s, GOMAXPROCS=%d)\n", rep.Schema, rep.GoMaxProcs)
+	fmt.Fprintf(w, "microbenchmark report (%s, GOMAXPROCS=%d", rep.Schema, rep.GoMaxProcs)
+	if e := rep.Env; e != nil {
+		fmt.Fprintf(w, ", %s %s/%s", e.GoVersion, e.GOOS, e.GOARCH)
+		if e.GitRev != "" {
+			fmt.Fprintf(w, ", git %s", e.GitRev)
+		}
+	}
+	fmt.Fprintln(w, ")")
 	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(tw, "benchmark\tns/op\tallocs/op\tops/s\telision%\t")
+	fmt.Fprintln(tw, "benchmark\tsamples\tns/op\tallocs/op\tops/s\telision%\t")
 	for _, b := range rep.Benchmarks {
-		fmt.Fprintf(tw, "%s\t%.1f\t%d\t%.0f\t%.1f\t\n",
-			b.Name, b.NsPerOp, b.AllocsPerOp, b.OpsPerSec, b.ElisionPct)
+		el := "-"
+		if b.ElisionPct != nil {
+			el = fmt.Sprintf("%.1f", *b.ElisionPct)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%.0f\t%s\t\n",
+			b.Name, len(b.Samples()), b.NsPerOp, b.AllocsPerOp, b.OpsPerSec, el)
 	}
 	return tw.Flush()
 }

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// MicroEnv is the environment fingerprint stamped into every v2 BENCH
+// report. Cross-run comparisons (internal/trend, alereport -compare)
+// inspect it to annotate deltas measured across different hosts or
+// toolchains — a faster number on a faster machine is not a faster
+// program. GOMAXPROCS lives at the report's top level (a v1 holdover);
+// everything else about the capture environment is here.
+type MicroEnv struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CPUModel is the host CPU's self-reported model name where readable
+	// (/proc/cpuinfo on linux); empty elsewhere.
+	CPUModel string `json:"cpu_model,omitempty"`
+	// Time is the capture time in RFC 3339 UTC.
+	Time string `json:"time"`
+	// GitRev is the repository's short HEAD revision at capture time,
+	// empty when the binary runs outside a git checkout.
+	GitRev string `json:"git_rev,omitempty"`
+}
+
+// CaptureEnv reads the current process's environment fingerprint. Best
+// effort by design: fields that cannot be determined are left empty
+// rather than failing the benchmark run.
+func CaptureEnv() MicroEnv {
+	return MicroEnv{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUModel:  cpuModel(),
+		Time:      time.Now().UTC().Format(time.RFC3339),
+		GitRev:    gitRev(),
+	}
+}
+
+// cpuModel returns the first "model name" entry of /proc/cpuinfo, or ""
+// where that file does not exist (non-linux) or has another layout.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if ok && strings.TrimSpace(key) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}
+
+// gitRev returns the short HEAD revision, or "" when git or the
+// repository is unavailable.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -14,6 +14,7 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -24,27 +25,53 @@ import (
 	"repro/internal/locks"
 	"repro/internal/obs"
 	"repro/internal/tm"
+	"repro/internal/trend"
 )
 
-// MicroSchema identifies the BENCH JSON wire format.
-const MicroSchema = "alebench-microbench/v1"
+// MicroSchema identifies the current BENCH JSON wire format: repeated
+// per-benchmark samples plus the environment fingerprint, so cross-run
+// comparisons can model noise and refuse to read a cross-host delta as
+// a code change.
+const MicroSchema = "alebench-microbench/v2"
+
+// MicroSchemaV1 is the original single-sample format. Still parsed:
+// a v1 benchmark becomes a one-sample series, which the trend layer
+// compares under a deliberately wide default noise bound.
+const MicroSchemaV1 = "alebench-microbench/v1"
+
+// ErrNotMicroSchema marks input that is not a BENCH microbench report at
+// all (wrong schema marker, or not JSON). Callers probing a file before
+// trying other formats branch on this with errors.Is; any other ParseMicro
+// error means the input *is* a BENCH report, just an invalid one, and must
+// surface rather than fall through to the next parser.
+var ErrNotMicroSchema = errors.New("not an alebench-microbench report")
 
 // MicroResult is one benchmark's measured point.
 type MicroResult struct {
-	Name        string  `json:"name"`
+	Name string `json:"name"`
+	// NsPerOp is the median of SamplesNS (v2) or the single collapsed
+	// measurement (v1).
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
+	// SamplesNS holds every repeated ns/op sample (alebench micro
+	// -count N records N). v1 files omit it; readers should fall back to
+	// NsPerOp as a single sample.
+	SamplesNS []float64 `json:"samples_ns_per_op,omitempty"`
 	// ElisionPct is the realized elision rate of the engine benchmarks
-	// (successful executions completing without the lock); substrate and
-	// granule-lookup benchmarks have no lock to elide and report 0.
-	ElisionPct float64 `json:"elision_pct"`
+	// (successful executions completing without the lock). Substrate and
+	// granule-lookup benchmarks have no lock to elide, so the field is
+	// absent there rather than a misleading 0; v1 files carrying an
+	// explicit 0 still parse.
+	ElisionPct *float64 `json:"elision_pct,omitempty"`
 }
 
 // MicroReport is the whole suite's output — the BENCH_<n>.json schema.
 type MicroReport struct {
-	Schema     string        `json:"schema"`
-	GoMaxProcs int           `json:"go_max_procs"`
+	Schema     string `json:"schema"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	// Env is the v2 environment fingerprint; nil in v1 files.
+	Env        *MicroEnv     `json:"env,omitempty"`
 	Benchmarks []MicroResult `json:"benchmarks"`
 }
 
@@ -55,18 +82,40 @@ func WriteMicroJSON(w io.Writer, r MicroReport) error {
 	return enc.Encode(r)
 }
 
-// ParseMicro decodes BENCH JSON, rejecting input whose schema field does
-// not match (so callers can probe a file before falling back to other
-// formats).
+// ParseMicro decodes BENCH JSON, v1 or v2. Input without the schema
+// marker fails with an error wrapping ErrNotMicroSchema (so callers can
+// probe before falling back to other formats); a recognized report with
+// duplicate benchmark names fails with a located error instead of
+// letting the last entry silently win in tables and comparisons.
 func ParseMicro(data []byte) (MicroReport, error) {
 	var r MicroReport
 	if err := json.Unmarshal(data, &r); err != nil {
-		return MicroReport{}, err
+		return MicroReport{}, fmt.Errorf("%w: %v", ErrNotMicroSchema, err)
 	}
-	if r.Schema != MicroSchema {
-		return MicroReport{}, fmt.Errorf("bench: schema %q is not %q", r.Schema, MicroSchema)
+	switch r.Schema {
+	case MicroSchema, MicroSchemaV1:
+	default:
+		return MicroReport{}, fmt.Errorf("%w: schema %q is neither %q nor %q",
+			ErrNotMicroSchema, r.Schema, MicroSchema, MicroSchemaV1)
+	}
+	seen := make(map[string]int, len(r.Benchmarks))
+	for i, b := range r.Benchmarks {
+		if j, dup := seen[b.Name]; dup {
+			return MicroReport{}, fmt.Errorf(
+				"bench: benchmarks[%d] duplicates name %q of benchmarks[%d]", i, b.Name, j)
+		}
+		seen[b.Name] = i
 	}
 	return r, nil
+}
+
+// Samples returns the benchmark's ns/op sample series: the recorded v2
+// samples, or the collapsed v1 point as a one-element series.
+func (b MicroResult) Samples() []float64 {
+	if len(b.SamplesNS) > 0 {
+		return b.SamplesNS
+	}
+	return []float64{b.NsPerOp}
 }
 
 // microProfile is the deterministic HTM envelope the suite measures under:
@@ -196,16 +245,20 @@ func granuleBench(scopes int) testing.BenchmarkResult {
 // kept as a literal so bench does not need access to core internals.
 const granuleChurnScopes = 256
 
+// microBench is one suite entry. elidable marks the engine benchmarks
+// whose realized elision rate is a meaningful output; substrate and
+// granule-lookup entries have no lock to elide, and their reports omit
+// the field entirely.
+type microBench struct {
+	name     string
+	elidable bool
+	run      func() (testing.BenchmarkResult, float64)
+}
+
 // microBenches is the suite in display order.
-func microBenches() []struct {
-	name string
-	run  func() (testing.BenchmarkResult, float64)
-} {
-	return []struct {
-		name string
-		run  func() (testing.BenchmarkResult, float64)
-	}{
-		{"tm/load-8", func() (testing.BenchmarkResult, float64) {
+func microBenches() []microBench {
+	return []microBench{
+		{name: "tm/load-8", run: func() (testing.BenchmarkResult, float64) {
 			d := tm.NewDomain(microProfile())
 			vars := d.NewVars(8)
 			tx := d.NewTxn(1)
@@ -220,7 +273,7 @@ func microBenches() []struct {
 				}
 			}), 0
 		}},
-		{"tm/commit-rw-8", func() (testing.BenchmarkResult, float64) {
+		{name: "tm/commit-rw-8", run: func() (testing.BenchmarkResult, float64) {
 			d := tm.NewDomain(microProfile())
 			vars := d.NewVars(8)
 			tx := d.NewTxn(1)
@@ -235,7 +288,7 @@ func microBenches() []struct {
 				}
 			}), 0
 		}},
-		{"tm/commit-disjoint-parallel", func() (testing.BenchmarkResult, float64) {
+		{name: "tm/commit-disjoint-parallel", run: func() (testing.BenchmarkResult, float64) {
 			// Disjoint read-write commits from every P: the GV4 commit
 			// clock's pass-on-CAS-failure case. Cells are padded apart so
 			// only the clock is shared.
@@ -260,7 +313,7 @@ func microBenches() []struct {
 				})
 			}), 0
 		}},
-		{"tm/extension", func() (testing.BenchmarkResult, float64) {
+		{name: "tm/extension", run: func() (testing.BenchmarkResult, float64) {
 			// Every iteration forces one timestamp extension: the
 			// revalidate-and-advance path that replaces a false-conflict
 			// abort.
@@ -282,28 +335,28 @@ func microBenches() []struct {
 				}
 			}), 0
 		}},
-		{"core/execute-htm", func() (testing.BenchmarkResult, float64) {
+		{name: "core/execute-htm", elidable: true, run: func() (testing.BenchmarkResult, float64) {
 			return executeBench(func() core.Policy { return core.NewStatic(10, 0) }, false)
 		}},
-		{"core/execute-swopt", func() (testing.BenchmarkResult, float64) {
+		{name: "core/execute-swopt", elidable: true, run: func() (testing.BenchmarkResult, float64) {
 			return executeBench(func() core.Policy { return core.NewStatic(0, 10) }, true)
 		}},
-		{"core/execute-lock", func() (testing.BenchmarkResult, float64) {
+		{name: "core/execute-lock", elidable: true, run: func() (testing.BenchmarkResult, float64) {
 			return executeBench(func() core.Policy { return core.NewLockOnly() }, false)
 		}},
-		{"core/execute-htm-timing", func() (testing.BenchmarkResult, float64) {
+		{name: "core/execute-htm-timing", elidable: true, run: func() (testing.BenchmarkResult, float64) {
 			return executeBenchTiming(func() core.Policy { return core.NewStatic(10, 0) }, false, true)
 		}},
-		{"core/execute-swopt-timing", func() (testing.BenchmarkResult, float64) {
+		{name: "core/execute-swopt-timing", elidable: true, run: func() (testing.BenchmarkResult, float64) {
 			return executeBenchTiming(func() core.Policy { return core.NewStatic(0, 10) }, true, true)
 		}},
-		{"core/execute-lock-timing", func() (testing.BenchmarkResult, float64) {
+		{name: "core/execute-lock-timing", elidable: true, run: func() (testing.BenchmarkResult, float64) {
 			return executeBenchTiming(func() core.Policy { return core.NewLockOnly() }, false, true)
 		}},
-		{"core/granule-hit", func() (testing.BenchmarkResult, float64) {
+		{name: "core/granule-hit", run: func() (testing.BenchmarkResult, float64) {
 			return granuleBench(1), 0
 		}},
-		{"core/granule-miss", func() (testing.BenchmarkResult, float64) {
+		{name: "core/granule-miss", run: func() (testing.BenchmarkResult, float64) {
 			return granuleBench(granuleChurnScopes), 0
 		}},
 	}
@@ -319,28 +372,73 @@ func MicroBenchNames() []string {
 	return names
 }
 
-// RunMicro runs the whole suite, streaming a human-readable line per
-// benchmark to w as results land (fixed-width columns, so partial output
-// stays aligned), and returns the machine-readable report.
-func RunMicro(w io.Writer) MicroReport {
-	rep := MicroReport{Schema: MicroSchema, GoMaxProcs: runtime.GOMAXPROCS(0)}
-	fmt.Fprintf(w, "%-28s %10s %10s %12s %9s\n", "benchmark", "ns/op", "allocs/op", "ops/s", "elision%")
-	for _, mb := range microBenches() {
-		r, elision := mb.run()
+// RunMicro runs one pass of the whole suite, streaming a human-readable
+// line per benchmark to w as results land (fixed-width columns, so
+// partial output stays aligned), and returns the machine-readable
+// report.
+func RunMicro(w io.Writer) MicroReport { return RunMicroCount(w, 1) }
+
+// RunMicroCount runs the suite count times and records every pass's
+// ns/op as a sample (the v2 schema's repeated-measurement mode). Passes
+// are interleaved — pass 2 reruns the whole suite rather than repeating
+// one benchmark back to back — so slow host-state drift (thermal
+// throttling, background load) spreads across every benchmark's samples
+// instead of biasing whichever ran last. The reported NsPerOp is the
+// median across passes; allocs/op takes the maximum so a pass that
+// allocates cannot hide behind quieter ones.
+func RunMicroCount(w io.Writer, count int) MicroReport {
+	if count < 1 {
+		count = 1
+	}
+	benches := microBenches()
+	samples := make([][]float64, len(benches))
+	allocs := make([]int64, len(benches))
+	elision := make([]float64, len(benches))
+	for pass := 0; pass < count; pass++ {
+		if count > 1 {
+			fmt.Fprintf(w, "-- pass %d/%d --\n", pass+1, count)
+		}
+		fmt.Fprintf(w, "%-28s %10s %10s %12s %9s\n", "benchmark", "ns/op", "allocs/op", "ops/s", "elision%")
+		for i, mb := range benches {
+			r, e := mb.run()
+			var ns, ops float64
+			if r.N > 0 {
+				ns = float64(r.T.Nanoseconds()) / float64(r.N)
+			}
+			if r.T > 0 {
+				ops = float64(r.N) / r.T.Seconds()
+			}
+			samples[i] = append(samples[i], ns)
+			a := r.AllocsPerOp()
+			if pass == 0 || a > allocs[i] {
+				allocs[i] = a
+			}
+			elision[i] = e
+			elCol := "-"
+			if mb.elidable {
+				elCol = fmt.Sprintf("%.1f", e)
+			}
+			fmt.Fprintf(w, "%-28s %10.1f %10d %12.0f %9s\n", mb.name, ns, a, ops, elCol)
+		}
+	}
+	env := CaptureEnv()
+	rep := MicroReport{Schema: MicroSchema, GoMaxProcs: runtime.GOMAXPROCS(0), Env: &env}
+	for i, mb := range benches {
+		med := trend.Summarize(samples[i]).Median
 		res := MicroResult{
 			Name:        mb.name,
-			AllocsPerOp: r.AllocsPerOp(),
-			ElisionPct:  elision,
+			NsPerOp:     med,
+			AllocsPerOp: allocs[i],
+			SamplesNS:   samples[i],
 		}
-		if r.N > 0 {
-			res.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+		if med > 0 {
+			res.OpsPerSec = 1e9 / med
 		}
-		if r.T > 0 {
-			res.OpsPerSec = float64(r.N) / r.T.Seconds()
+		if mb.elidable {
+			e := elision[i]
+			res.ElisionPct = &e
 		}
 		rep.Benchmarks = append(rep.Benchmarks, res)
-		fmt.Fprintf(w, "%-28s %10.1f %10d %12.0f %9.1f\n",
-			res.Name, res.NsPerOp, res.AllocsPerOp, res.OpsPerSec, res.ElisionPct)
 	}
 	return rep
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -8,13 +9,18 @@ import (
 // The full suite is exercised by `alebench micro` and CI's bench job; unit
 // tests pin the wire format and the suite's shape, which are cheap.
 
+func pct(v float64) *float64 { return &v }
+
 func TestMicroJSONRoundTrip(t *testing.T) {
 	rep := MicroReport{
 		Schema:     MicroSchema,
 		GoMaxProcs: 4,
+		Env:        &MicroEnv{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", Time: "2026-08-09T00:00:00Z", GitRev: "abc1234"},
 		Benchmarks: []MicroResult{
-			{Name: "tm/load-8", NsPerOp: 96.8, AllocsPerOp: 0, OpsPerSec: 1.0e7, ElisionPct: 0},
-			{Name: "core/execute-htm", NsPerOp: 230.9, AllocsPerOp: 0, OpsPerSec: 4.3e6, ElisionPct: 100},
+			{Name: "tm/load-8", NsPerOp: 96.8, AllocsPerOp: 0, OpsPerSec: 1.0e7,
+				SamplesNS: []float64{96.8, 97.1, 96.2}},
+			{Name: "core/execute-htm", NsPerOp: 230.9, AllocsPerOp: 0, OpsPerSec: 4.3e6,
+				SamplesNS: []float64{230.9, 231.4, 229.8}, ElisionPct: pct(100)},
 		},
 	}
 	var b strings.Builder
@@ -28,21 +34,98 @@ func TestMicroJSONRoundTrip(t *testing.T) {
 	if got.Schema != MicroSchema || got.GoMaxProcs != 4 || len(got.Benchmarks) != 2 {
 		t.Fatalf("round-trip mismatch: %+v", got)
 	}
-	if got.Benchmarks[1].Name != "core/execute-htm" || got.Benchmarks[1].ElisionPct != 100 {
-		t.Errorf("benchmark entry mismatch: %+v", got.Benchmarks[1])
+	if got.Env == nil || got.Env.GoVersion != "go1.24.0" || got.Env.GitRev != "abc1234" {
+		t.Errorf("env fingerprint lost: %+v", got.Env)
+	}
+	hb := got.Benchmarks[1]
+	if hb.Name != "core/execute-htm" || hb.ElisionPct == nil || *hb.ElisionPct != 100 {
+		t.Errorf("benchmark entry mismatch: %+v", hb)
+	}
+	if len(hb.SamplesNS) != 3 || hb.SamplesNS[1] != 231.4 {
+		t.Errorf("samples lost in round trip: %v", hb.SamplesNS)
+	}
+	// The substrate entry carries no elision field at all.
+	if got.Benchmarks[0].ElisionPct != nil {
+		t.Errorf("tm entry grew an elision_pct: %+v", got.Benchmarks[0])
+	}
+	if strings.Contains(b.String(), `"name": "tm/load-8"`) &&
+		strings.Contains(strings.Split(b.String(), `"core/execute-htm"`)[0], "elision_pct") {
+		t.Errorf("wire format carries elision_pct for the substrate entry:\n%s", b.String())
+	}
+}
+
+// TestParseMicroV1: the original single-sample schema still parses —
+// including its explicit elision_pct: 0 on substrate entries — and
+// Samples() exposes the collapsed point as a one-element series.
+func TestParseMicroV1(t *testing.T) {
+	v1 := `{
+		"schema": "alebench-microbench/v1",
+		"go_max_procs": 2,
+		"benchmarks": [
+			{"name": "tm/load-8", "ns_per_op": 83.1, "allocs_per_op": 0, "ops_per_sec": 12034897, "elision_pct": 0},
+			{"name": "core/execute-htm", "ns_per_op": 188.0, "allocs_per_op": 0, "ops_per_sec": 5320328, "elision_pct": 100}
+		]
+	}`
+	rep, err := ParseMicro([]byte(v1))
+	if err != nil {
+		t.Fatalf("v1 report rejected: %v", err)
+	}
+	if rep.Env != nil {
+		t.Errorf("v1 report grew an env fingerprint: %+v", rep.Env)
+	}
+	b := rep.Benchmarks[0]
+	if b.ElisionPct == nil || *b.ElisionPct != 0 {
+		t.Errorf("explicit v1 elision_pct: 0 not preserved: %+v", b)
+	}
+	if s := b.Samples(); len(s) != 1 || s[0] != 83.1 {
+		t.Errorf("v1 Samples() = %v, want the collapsed point", s)
 	}
 }
 
 func TestParseMicroRejectsOtherJSON(t *testing.T) {
 	// An obs snapshot (or any JSON object without the schema marker) must
-	// be rejected so alereport's format probe falls through correctly.
+	// be rejected — with ErrNotMicroSchema, so alereport's format probe
+	// falls through correctly.
 	for _, in := range []string{
 		`{"execs": 12, "elision_rate": 0.5}`,
 		`{"schema": "something-else/v2", "benchmarks": []}`,
 		`not json at all`,
 	} {
-		if _, err := ParseMicro([]byte(in)); err == nil {
+		_, err := ParseMicro([]byte(in))
+		if err == nil {
 			t.Errorf("ParseMicro accepted %q", in)
+			continue
+		}
+		if !errors.Is(err, ErrNotMicroSchema) {
+			t.Errorf("ParseMicro(%q) error is not ErrNotMicroSchema: %v", in, err)
+		}
+	}
+}
+
+// TestParseMicroRejectsDuplicateNames: duplicate benchmark names would
+// silently last-win in tables and comparisons; the parser refuses them
+// with both positions named. The error is NOT ErrNotMicroSchema — the
+// input is a BENCH report, just an invalid one — so probing callers
+// surface it instead of falling through to the next format.
+func TestParseMicroRejectsDuplicateNames(t *testing.T) {
+	in := `{
+		"schema": "alebench-microbench/v2",
+		"benchmarks": [
+			{"name": "tm/load-8", "ns_per_op": 1},
+			{"name": "core/execute-htm", "ns_per_op": 2},
+			{"name": "tm/load-8", "ns_per_op": 3}
+		]
+	}`
+	_, err := ParseMicro([]byte(in))
+	if err == nil {
+		t.Fatal("duplicate benchmark names accepted")
+	}
+	if errors.Is(err, ErrNotMicroSchema) {
+		t.Errorf("duplicate-name error must not read as schema mismatch: %v", err)
+	}
+	for _, want := range []string{"benchmarks[2]", "benchmarks[0]", "tm/load-8"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("duplicate-name error not located (missing %q): %v", want, err)
 		}
 	}
 }
@@ -58,4 +141,25 @@ func TestMicroBenchNamesCoverHotPaths(t *testing.T) {
 			t.Errorf("suite is missing %q (have: %s)", want, names)
 		}
 	}
+}
+
+// TestMicroElidableEntries: exactly the engine Execute benchmarks report
+// an elision rate; substrate and granule-lookup entries must omit it
+// (the satellite fix for the misleading elision_pct: 0 rows).
+func TestMicroElidableEntries(t *testing.T) {
+	for _, mb := range microBenches() {
+		wantElidable := strings.HasPrefix(mb.name, "core/execute-")
+		if mb.elidable != wantElidable {
+			t.Errorf("%s: elidable = %v, want %v", mb.name, mb.elidable, wantElidable)
+		}
+	}
+}
+
+func TestCaptureEnv(t *testing.T) {
+	env := CaptureEnv()
+	if env.GoVersion == "" || env.GOOS == "" || env.GOARCH == "" || env.Time == "" {
+		t.Errorf("fingerprint has empty required fields: %+v", env)
+	}
+	// CPUModel and GitRev are best effort (may be empty off-linux or
+	// outside a checkout); no assertion beyond not panicking.
 }

@@ -102,10 +102,64 @@ func TestQuantileClampedTail(t *testing.T) {
 
 func TestQuantileEmpty(t *testing.T) {
 	var empty [NumLogBuckets]uint64
-	if got := QuantileFromLogBuckets(empty[:], 0.5); got != 0 {
-		t.Errorf("empty quantile = %d, want 0", got)
+	// Every quantile of an empty histogram is 0, including the extremes
+	// and out-of-range q values (which are clamped, not rejected).
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := QuantileFromLogBuckets(empty[:], q); got != 0 {
+			t.Errorf("empty quantile(%v) = %d, want 0", q, got)
+		}
 	}
 	if got := MaxFromLogBuckets(empty[:]); got != 0 {
 		t.Errorf("empty max = %d, want 0", got)
+	}
+	// A nil slice is an empty histogram too (a zero-valued snapshot).
+	if got := QuantileFromLogBuckets(nil, 0.5); got != 0 {
+		t.Errorf("nil quantile = %d, want 0", got)
+	}
+	if got := MaxFromLogBuckets(nil); got != 0 {
+		t.Errorf("nil max = %d, want 0", got)
+	}
+}
+
+// TestQuantileSingleBucketMass: with all mass in one bucket, every
+// quantile — including the clamped out-of-range ones — must return that
+// bucket's upper boundary, regardless of the count. The compare path
+// leans on this: two runs whose latencies quantize into the same bucket
+// must report identical percentiles, not count-dependent drift.
+func TestQuantileSingleBucketMass(t *testing.T) {
+	for _, bucket := range []int{0, 1, 7, NumLogBuckets - 2} {
+		for _, count := range []uint64{1, 2, 1000} {
+			var buckets [NumLogBuckets]uint64
+			buckets[bucket] = count
+			want := LogBucketUpper(bucket)
+			for _, q := range []float64{-0.5, 0, 0.25, 0.5, 0.99, 1, 1.5} {
+				if got := QuantileFromLogBuckets(buckets[:], q); got != want {
+					t.Errorf("bucket %d count %d: quantile(%v) = %d, want %d",
+						bucket, count, q, got, want)
+				}
+			}
+			if got := MaxFromLogBuckets(buckets[:]); got != want {
+				t.Errorf("bucket %d count %d: max = %d, want %d", bucket, count, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantileAllMassClampedTail: a histogram whose every recording
+// overflowed into the clamped final bucket pins all quantiles to the
+// last boundary — the documented undershoot. This is the degenerate
+// shape a runaway workload produces, and the compare path must see two
+// such runs as identical rather than diverging on clamped garbage.
+func TestQuantileAllMassClampedTail(t *testing.T) {
+	var buckets [NumLogBuckets]uint64
+	buckets[NumLogBuckets-1] = 12345
+	clamp := LogBucketUpper(NumLogBuckets - 1)
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := QuantileFromLogBuckets(buckets[:], q); got != clamp {
+			t.Errorf("all-clamped quantile(%v) = %d, want %d", q, got, clamp)
+		}
+	}
+	if got := MaxFromLogBuckets(buckets[:]); got != clamp {
+		t.Errorf("all-clamped max = %d, want %d", got, clamp)
 	}
 }

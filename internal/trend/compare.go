@@ -1,0 +1,262 @@
+package trend
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Verdict classifies one benchmark's movement between two runs.
+type Verdict int
+
+const (
+	// WithinNoise: the median delta does not clear the noise bound.
+	WithinNoise Verdict = iota
+	// Improved: ns/op dropped past the noise bound.
+	Improved
+	// Regressed: ns/op rose past the noise bound, or allocs/op rose at
+	// all (allocation counts are deterministic, so any increase is real).
+	Regressed
+	// Missing: present in the old run but absent from the new one.
+	Missing
+	// New: absent from the old run, present in the new one.
+	New
+)
+
+var verdictNames = map[Verdict]string{
+	WithinNoise: "within-noise",
+	Improved:    "improved",
+	Regressed:   "regressed",
+	Missing:     "missing",
+	New:         "new",
+}
+
+func (v Verdict) String() string {
+	if s, ok := verdictNames[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// MarshalJSON encodes the verdict as its string name, the form the
+// -json compare output and CI artifacts carry.
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + v.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the string names MarshalJSON emits.
+func (v *Verdict) UnmarshalJSON(data []byte) error {
+	for k, name := range verdictNames {
+		if string(data) == `"`+name+`"` {
+			*v = k
+			return nil
+		}
+	}
+	return fmt.Errorf("trend: unknown verdict %s", data)
+}
+
+// Benchmark is one benchmark's measurements within a run: every ns/op
+// sample (len >= 1; v1-era single-shot files carry exactly one) plus the
+// deterministic allocs/op.
+type Benchmark struct {
+	Name        string    `json:"name"`
+	SamplesNS   []float64 `json:"samples_ns_per_op"`
+	AllocsPerOp int64     `json:"allocs_per_op"`
+}
+
+// Run is one benchmark run: an ordered benchmark list plus the
+// environment fingerprint it was captured under (free-form key/value;
+// see EnvKeys for the keys comparisons inspect).
+type Run struct {
+	Label      string            `json:"label"`
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// EnvKeys are the fingerprint keys whose mismatch makes a delta a
+// cross-environment claim: a comparison across any of these is
+// annotated, because the delta may measure the host or toolchain rather
+// than the code. Capture-time keys like git_rev and time are expected
+// to differ and are not flagged.
+var EnvKeys = []string{"go_version", "goos", "goarch", "cpu_model", "go_max_procs"}
+
+// Options tune a comparison's noise model.
+type Options struct {
+	// ThresholdPct, when > 0, replaces the statistical noise bound with a
+	// fixed ±ThresholdPct band — the -threshold escape hatch for hosts
+	// whose variance the t interval underestimates.
+	ThresholdPct float64
+	// DefaultNoisePct is the bound substituted for a single-sample
+	// summary (a v1-era file or -count 1 run): no spread information, so
+	// a deliberately wide ±10% default.
+	DefaultNoisePct float64
+	// MinNoisePct floors the statistical bound so quantized or
+	// duplicate samples cannot produce a zero-width interval that flags
+	// every 0.1% wobble. Default 1%.
+	MinNoisePct float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.DefaultNoisePct <= 0 {
+		o.DefaultNoisePct = 10
+	}
+	if o.MinNoisePct <= 0 {
+		o.MinNoisePct = 1
+	}
+	return o
+}
+
+// Delta is one benchmark's comparison row.
+type Delta struct {
+	Name    string  `json:"name"`
+	Verdict Verdict `json:"verdict"`
+	Old     Summary `json:"old"`
+	New     Summary `json:"new"`
+	// PctChange is the median-to-median movement, (new-old)/old*100;
+	// positive is slower. Zero for Missing/New rows.
+	PctChange float64 `json:"pct_change"`
+	// NoisePct is the bound the verdict was judged against.
+	NoisePct  float64 `json:"noise_pct"`
+	OldAllocs int64   `json:"old_allocs_per_op"`
+	NewAllocs int64   `json:"new_allocs_per_op"`
+	// AllocRegression marks an allocs/op increase, which forces the
+	// verdict to Regressed regardless of the ns/op noise bound.
+	AllocRegression bool `json:"alloc_regression,omitempty"`
+}
+
+// Comparison is the full pairwise result.
+type Comparison struct {
+	Old    string  `json:"old"`
+	New    string  `json:"new"`
+	Deltas []Delta `json:"deltas"`
+	// EnvNotes names every EnvKeys mismatch between the two fingerprints
+	// ("go_version: go1.22.1 -> go1.24.0"); non-empty notes mean the
+	// deltas may reflect the environment, not the code.
+	EnvNotes     []string `json:"env_notes,omitempty"`
+	Regressions  int      `json:"regressions"`
+	Improvements int      `json:"improvements"`
+	Within       int      `json:"within_noise"`
+	MissingCount int      `json:"missing"`
+	NewCount     int      `json:"new_benchmarks"`
+}
+
+// HasRegression reports whether the gate should fail.
+func (c Comparison) HasRegression() bool { return c.Regressions > 0 }
+
+// Compare judges every benchmark of the new run against the old one.
+// Rows keep the old run's order, with new-only benchmarks appended in
+// the new run's order.
+func Compare(oldRun, newRun Run, opts Options) Comparison {
+	opts = opts.withDefaults()
+	c := Comparison{Old: oldRun.Label, New: newRun.Label,
+		EnvNotes: envNotes(oldRun.Env, newRun.Env)}
+	newByName := make(map[string]Benchmark, len(newRun.Benchmarks))
+	for _, b := range newRun.Benchmarks {
+		newByName[b.Name] = b
+	}
+	oldSeen := make(map[string]bool, len(oldRun.Benchmarks))
+	for _, ob := range oldRun.Benchmarks {
+		oldSeen[ob.Name] = true
+		nb, ok := newByName[ob.Name]
+		if !ok {
+			c.Deltas = append(c.Deltas, Delta{
+				Name: ob.Name, Verdict: Missing,
+				Old: Summarize(ob.SamplesNS), OldAllocs: ob.AllocsPerOp,
+			})
+			c.MissingCount++
+			continue
+		}
+		d := compareBench(ob, nb, opts)
+		c.Deltas = append(c.Deltas, d)
+		switch d.Verdict {
+		case Regressed:
+			c.Regressions++
+		case Improved:
+			c.Improvements++
+		default:
+			c.Within++
+		}
+	}
+	for _, nb := range newRun.Benchmarks {
+		if oldSeen[nb.Name] {
+			continue
+		}
+		c.Deltas = append(c.Deltas, Delta{
+			Name: nb.Name, Verdict: New,
+			New: Summarize(nb.SamplesNS), NewAllocs: nb.AllocsPerOp,
+		})
+		c.NewCount++
+	}
+	return c
+}
+
+// compareBench judges one benchmark present in both runs.
+func compareBench(ob, nb Benchmark, opts Options) Delta {
+	d := Delta{
+		Name:      ob.Name,
+		Old:       Summarize(ob.SamplesNS),
+		New:       Summarize(nb.SamplesNS),
+		OldAllocs: ob.AllocsPerOp,
+		NewAllocs: nb.AllocsPerOp,
+	}
+	d.PctChange, d.NoisePct, d.Verdict = judge(d.Old, d.New, opts)
+	if nb.AllocsPerOp > ob.AllocsPerOp {
+		d.AllocRegression = true
+		d.Verdict = Regressed
+	}
+	return d
+}
+
+// judge applies the noise model to two summaries: a fixed threshold when
+// set, otherwise the two 95% intervals combined in quadrature (they are
+// independent measurements) and floored at MinNoisePct.
+func judge(prev, cur Summary, opts Options) (pct, noise float64, v Verdict) {
+	if opts.ThresholdPct > 0 {
+		noise = opts.ThresholdPct
+	} else {
+		ho, hn := prev.ciPct(opts.DefaultNoisePct), cur.ciPct(opts.DefaultNoisePct)
+		noise = max(math.Hypot(ho, hn), opts.MinNoisePct)
+	}
+	if prev.Median == 0 {
+		// Degenerate baseline (no timing recorded): any nonzero new
+		// median is flagged rather than dividing by zero. PctChange is
+		// pinned to ±100 so the row stays JSON-encodable.
+		if cur.Median == 0 {
+			return 0, noise, WithinNoise
+		}
+		return 100, noise, Regressed
+	}
+	pct = 100 * (cur.Median - prev.Median) / prev.Median
+	switch {
+	case pct > noise:
+		v = Regressed
+	case pct < -noise:
+		v = Improved
+	default:
+		v = WithinNoise
+	}
+	return pct, noise, v
+}
+
+// envNotes lists the EnvKeys mismatches between two fingerprints. A key
+// absent from either side is only flagged when present in the other
+// with a non-empty value.
+func envNotes(oldEnv, newEnv map[string]string) []string {
+	var notes []string
+	for _, k := range EnvKeys {
+		ov, nv := oldEnv[k], newEnv[k]
+		if ov == nv || (ov == "" && nv == "") {
+			continue
+		}
+		notes = append(notes, fmt.Sprintf("%s: %s -> %s", k, orUnknown(ov), orUnknown(nv)))
+	}
+	sort.Strings(notes)
+	return notes
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "(unknown)"
+	}
+	return s
+}

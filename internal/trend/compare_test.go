@@ -1,0 +1,167 @@
+package trend
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// run builds a single-benchmark Run for comparison tests.
+func run1(label, name string, allocs int64, samples ...float64) Run {
+	return Run{Label: label, Benchmarks: []Benchmark{
+		{Name: name, SamplesNS: samples, AllocsPerOp: allocs},
+	}}
+}
+
+func TestCompareIdenticalWithinNoise(t *testing.T) {
+	r := run1("a.json", "core/execute-htm", 0, 200, 201, 199, 200, 200)
+	c := Compare(r, r, Options{})
+	if c.HasRegression() || c.Improvements != 0 || c.Within != 1 {
+		t.Fatalf("identical runs not clean: %+v", c)
+	}
+	if c.Deltas[0].Verdict != WithinNoise || c.Deltas[0].PctChange != 0 {
+		t.Errorf("delta: %+v", c.Deltas[0])
+	}
+}
+
+func TestCompareSeededRegression(t *testing.T) {
+	old := run1("old", "core/execute-htm", 0, 100, 101, 99, 100, 100)
+	cur := run1("new", "core/execute-htm", 0, 150, 151, 149, 150, 150)
+	c := Compare(old, cur, Options{})
+	d := c.Deltas[0]
+	if d.Verdict != Regressed {
+		t.Fatalf("50%% slowdown on tight samples not flagged: %+v", d)
+	}
+	if d.PctChange < 45 || d.PctChange > 55 {
+		t.Errorf("pct change = %v, want ~50", d.PctChange)
+	}
+	if !c.HasRegression() || c.Regressions != 1 {
+		t.Errorf("comparison totals: %+v", c)
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	old := run1("old", "b", 0, 100, 101, 99, 100, 100)
+	cur := run1("new", "b", 0, 60, 61, 59, 60, 60)
+	c := Compare(old, cur, Options{})
+	if c.Deltas[0].Verdict != Improved || c.Improvements != 1 || c.HasRegression() {
+		t.Fatalf("40%% speedup not an improvement: %+v", c)
+	}
+}
+
+// Single-sample runs (v1-era files) get the wide default noise bound:
+// a 5% wobble passes, a 50% jump still fails. The two defaults combine
+// in quadrature, so the effective bound is ~14%.
+func TestCompareSingleSampleDefaultNoise(t *testing.T) {
+	within := Compare(run1("o", "b", 0, 100), run1("n", "b", 0, 105), Options{})
+	if v := within.Deltas[0].Verdict; v != WithinNoise {
+		t.Errorf("5%% single-sample delta flagged as %v", v)
+	}
+	regressed := Compare(run1("o", "b", 0, 100), run1("n", "b", 0, 150), Options{})
+	if v := regressed.Deltas[0].Verdict; v != Regressed {
+		t.Errorf("50%% single-sample delta judged %v", v)
+	}
+}
+
+// -threshold replaces the statistical bound entirely, in both
+// directions: a huge threshold silences a real regression, a tiny one
+// flags a small drift the default bound would absorb.
+func TestCompareThresholdOverride(t *testing.T) {
+	old := run1("o", "b", 0, 100, 100, 100, 100, 100)
+	cur := run1("n", "b", 0, 150, 150, 150, 150, 150)
+	if c := Compare(old, cur, Options{ThresholdPct: 60}); c.HasRegression() {
+		t.Errorf("threshold 60%% still flags a 50%% delta: %+v", c.Deltas[0])
+	}
+	drift := run1("n", "b", 0, 103, 103, 103, 103, 103)
+	if c := Compare(old, drift, Options{ThresholdPct: 2}); !c.HasRegression() {
+		t.Errorf("threshold 2%% misses a 3%% delta: %+v", c.Deltas[0])
+	}
+}
+
+// Allocation counts are deterministic, so any increase is a regression
+// even when ns/op stays put.
+func TestCompareAllocRegression(t *testing.T) {
+	old := run1("o", "b", 0, 100, 100, 100)
+	cur := run1("n", "b", 2, 100, 100, 100)
+	c := Compare(old, cur, Options{})
+	d := c.Deltas[0]
+	if d.Verdict != Regressed || !d.AllocRegression {
+		t.Fatalf("alloc increase 0->2 not flagged: %+v", d)
+	}
+	if !c.HasRegression() {
+		t.Error("comparison with alloc regression reports clean")
+	}
+}
+
+func TestCompareMissingAndNew(t *testing.T) {
+	old := Run{Label: "o", Benchmarks: []Benchmark{
+		{Name: "kept", SamplesNS: []float64{10}},
+		{Name: "dropped", SamplesNS: []float64{20}},
+	}}
+	cur := Run{Label: "n", Benchmarks: []Benchmark{
+		{Name: "kept", SamplesNS: []float64{10}},
+		{Name: "added", SamplesNS: []float64{30}},
+	}}
+	c := Compare(old, cur, Options{})
+	if c.MissingCount != 1 || c.NewCount != 1 || c.HasRegression() {
+		t.Fatalf("totals: %+v", c)
+	}
+	byName := map[string]Verdict{}
+	for _, d := range c.Deltas {
+		byName[d.Name] = d.Verdict
+	}
+	if byName["dropped"] != Missing || byName["added"] != New || byName["kept"] != WithinNoise {
+		t.Errorf("verdicts: %v", byName)
+	}
+}
+
+func TestCompareEnvNotes(t *testing.T) {
+	old := run1("o", "b", 0, 100)
+	old.Env = map[string]string{"go_version": "go1.22.1", "goos": "linux", "git_rev": "aaa111"}
+	cur := run1("n", "b", 0, 100)
+	cur.Env = map[string]string{"go_version": "go1.24.0", "goos": "linux", "git_rev": "bbb222"}
+	c := Compare(old, cur, Options{})
+	if len(c.EnvNotes) != 1 || !strings.Contains(c.EnvNotes[0], "go_version") {
+		t.Fatalf("env notes: %v (want exactly the go_version mismatch; git_rev differs by design)", c.EnvNotes)
+	}
+	same := Compare(old, old, Options{})
+	if len(same.EnvNotes) != 0 {
+		t.Errorf("identical env produced notes: %v", same.EnvNotes)
+	}
+}
+
+// A zero-median baseline must not divide by zero or emit Inf (which
+// would break the -json output).
+func TestCompareZeroBaseline(t *testing.T) {
+	c := Compare(run1("o", "b", 0, 0), run1("n", "b", 0, 50), Options{})
+	if c.Deltas[0].Verdict != Regressed {
+		t.Errorf("0 -> 50 not flagged: %+v", c.Deltas[0])
+	}
+	if _, err := json.Marshal(c); err != nil {
+		t.Fatalf("comparison not JSON-encodable: %v", err)
+	}
+	both := Compare(run1("o", "b", 0, 0), run1("n", "b", 0, 0), Options{})
+	if both.Deltas[0].Verdict != WithinNoise {
+		t.Errorf("0 -> 0 judged %v", both.Deltas[0].Verdict)
+	}
+}
+
+func TestVerdictJSONRoundTrip(t *testing.T) {
+	for _, v := range []Verdict{WithinNoise, Improved, Regressed, Missing, New} {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Verdict
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if got != v {
+			t.Errorf("round trip %v -> %s -> %v", v, b, got)
+		}
+	}
+	var v Verdict
+	if err := json.Unmarshal([]byte(`"nonsense"`), &v); err == nil {
+		t.Error("unknown verdict accepted")
+	}
+}

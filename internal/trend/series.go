@@ -1,0 +1,165 @@
+package trend
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SeriesPoint is one run's measurement of one benchmark. Present is
+// false when the run did not include the benchmark (the row renders as
+// a gap rather than a zero).
+type SeriesPoint struct {
+	Run         string  `json:"run"`
+	Present     bool    `json:"present"`
+	Summary     Summary `json:"summary"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Series is one benchmark's trajectory across an ordered run sequence.
+type Series struct {
+	Name   string        `json:"name"`
+	Points []SeriesPoint `json:"points"`
+}
+
+// BuildSeries pivots an ordered run list into per-benchmark series.
+// Benchmarks are ordered by first appearance across the runs, so a
+// benchmark added in run 3 sorts after everything run 1 measured; every
+// series carries one point per run, present or not.
+func BuildSeries(runs []Run) []Series {
+	order := []string{}
+	index := map[string]int{}
+	for _, r := range runs {
+		for _, b := range r.Benchmarks {
+			if _, ok := index[b.Name]; !ok {
+				index[b.Name] = len(order)
+				order = append(order, b.Name)
+			}
+		}
+	}
+	all := make([]Series, len(order))
+	for i, name := range order {
+		all[i] = Series{Name: name, Points: make([]SeriesPoint, len(runs))}
+	}
+	for ri, r := range runs {
+		for i := range all {
+			all[i].Points[ri] = SeriesPoint{Run: r.Label}
+		}
+		for _, b := range r.Benchmarks {
+			p := &all[index[b.Name]].Points[ri]
+			p.Present = true
+			p.Summary = Summarize(b.SamplesNS)
+			p.AllocsPerOp = b.AllocsPerOp
+		}
+	}
+	return all
+}
+
+// WriteMarkdown renders the whole run sequence as a markdown trend
+// report: a run-environment table up front (so cross-host segments of
+// the series are visible at a glance), then one table per benchmark with
+// each run's robust summary and its verdict against the previous
+// present run. This is the artifact CI uploads for every PR.
+func WriteMarkdown(w io.Writer, runs []Run, opts Options) error {
+	opts = opts.withDefaults()
+	if len(runs) == 0 {
+		return fmt.Errorf("trend: no runs to report")
+	}
+	fmt.Fprintf(w, "# Benchmark trend report (%d runs)\n\n", len(runs))
+	fmt.Fprintln(w, "| run | benchmarks | go | goos/goarch | cpu | GOMAXPROCS | git rev | captured |")
+	fmt.Fprintln(w, "|---|---:|---|---|---|---:|---|---|")
+	for _, r := range runs {
+		env := func(k string) string {
+			if v := r.Env[k]; v != "" {
+				return v
+			}
+			return "—"
+		}
+		osArch := "—"
+		if r.Env["goos"] != "" || r.Env["goarch"] != "" {
+			osArch = r.Env["goos"] + "/" + r.Env["goarch"]
+		}
+		fmt.Fprintf(w, "| %s | %d | %s | %s | %s | %s | %s | %s |\n",
+			r.Label, len(r.Benchmarks), env("go_version"), osArch,
+			env("cpu_model"), env("go_max_procs"), env("git_rev"), env("time"))
+	}
+	for _, s := range BuildSeries(runs) {
+		fmt.Fprintf(w, "\n## %s\n\n", s.Name)
+		fmt.Fprintln(w, "| run | n | median ns/op | ±95% CI | allocs/op | Δ vs prev | verdict |")
+		fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---|")
+		prev := -1 // index of the last present point
+		for i, p := range s.Points {
+			if !p.Present {
+				fmt.Fprintf(w, "| %s | — | — | — | — | — | missing |\n", p.Run)
+				continue
+			}
+			deltaCol, verdictCol := "—", "—"
+			if prev >= 0 {
+				pp := s.Points[prev]
+				pct, noise, v := judge(pp.Summary, p.Summary, opts)
+				if p.AllocsPerOp > pp.AllocsPerOp {
+					v = Regressed
+				}
+				deltaCol = fmt.Sprintf("%+.1f%% (noise ±%.1f%%)", pct, noise)
+				verdictCol = v.String()
+			}
+			fmt.Fprintf(w, "| %s | %d | %.1f | %s | %d | %s | %s |\n",
+				p.Run, p.Summary.N, p.Summary.Median, ciCell(p.Summary),
+				p.AllocsPerOp, deltaCol, verdictCol)
+			prev = i
+		}
+	}
+	return nil
+}
+
+// ciCell renders a summary's confidence interval for the markdown
+// table; single-sample points have no interval to show.
+func ciCell(s Summary) string {
+	if s.N < 2 {
+		return "single sample"
+	}
+	return fmt.Sprintf("±%.1f", s.CIHalf)
+}
+
+// WriteCompareTable renders a pairwise comparison as an aligned text
+// table plus a one-line summary — the human side of alereport -compare
+// (the -json flag emits the Comparison struct instead).
+func WriteCompareTable(w io.Writer, c Comparison) {
+	fmt.Fprintf(w, "compare: %s -> %s\n", c.Old, c.New)
+	fmt.Fprintf(w, "%-30s %12s %12s %9s %9s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ%", "noise%", "verdict")
+	for _, d := range c.Deltas {
+		oldCol, newCol, pctCol := "—", "—", "—"
+		if d.Verdict != New {
+			oldCol = fmt.Sprintf("%.1f", d.Old.Median)
+		}
+		if d.Verdict != Missing {
+			newCol = fmt.Sprintf("%.1f", d.New.Median)
+		}
+		if d.Verdict != Missing && d.Verdict != New {
+			pctCol = fmt.Sprintf("%+.1f", d.PctChange)
+		}
+		verdict := d.Verdict.String()
+		if d.AllocRegression {
+			verdict += fmt.Sprintf(" (allocs/op %d -> %d)", d.OldAllocs, d.NewAllocs)
+		}
+		fmt.Fprintf(w, "%-30s %12s %12s %9s %9.1f  %s\n",
+			d.Name, oldCol, newCol, pctCol, d.NoisePct, verdict)
+	}
+	for _, note := range c.EnvNotes {
+		fmt.Fprintf(w, "env: %s (deltas may reflect the environment, not the code)\n", note)
+	}
+	fmt.Fprintf(w, "summary: %d regressed, %d improved, %d within noise",
+		c.Regressions, c.Improvements, c.Within)
+	var extras []string
+	if c.MissingCount > 0 {
+		extras = append(extras, fmt.Sprintf("%d missing", c.MissingCount))
+	}
+	if c.NewCount > 0 {
+		extras = append(extras, fmt.Sprintf("%d new", c.NewCount))
+	}
+	if len(extras) > 0 {
+		fmt.Fprintf(w, ", %s", strings.Join(extras, ", "))
+	}
+	fmt.Fprintln(w)
+}

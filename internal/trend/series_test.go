@@ -1,0 +1,111 @@
+package trend
+
+import (
+	"strings"
+	"testing"
+)
+
+// threeRuns is a small series: benchmark "a" in every run (regressing in
+// the third), "b" missing from the middle run, "c" appearing only in the
+// last run.
+func threeRuns() []Run {
+	return []Run{
+		{Label: "BENCH_1.json", Env: map[string]string{"go_version": "go1.22.1", "goos": "linux", "goarch": "amd64"},
+			Benchmarks: []Benchmark{
+				{Name: "a", SamplesNS: []float64{100, 101, 99}},
+				{Name: "b", SamplesNS: []float64{50}},
+			}},
+		{Label: "BENCH_2.json", Benchmarks: []Benchmark{
+			{Name: "a", SamplesNS: []float64{100, 100, 100}},
+		}},
+		{Label: "BENCH_3.json", Benchmarks: []Benchmark{
+			{Name: "a", SamplesNS: []float64{180, 181, 179}},
+			{Name: "b", SamplesNS: []float64{50}},
+			{Name: "c", SamplesNS: []float64{7}},
+		}},
+	}
+}
+
+func TestBuildSeries(t *testing.T) {
+	series := BuildSeries(threeRuns())
+	if len(series) != 3 {
+		t.Fatalf("got %d series, want 3", len(series))
+	}
+	// Order is first appearance: a, b, c.
+	for i, want := range []string{"a", "b", "c"} {
+		if series[i].Name != want {
+			t.Errorf("series[%d] = %q, want %q", i, series[i].Name, want)
+		}
+		if len(series[i].Points) != 3 {
+			t.Errorf("series %q has %d points, want 3", want, len(series[i].Points))
+		}
+	}
+	b := series[1]
+	if !b.Points[0].Present || b.Points[1].Present || !b.Points[2].Present {
+		t.Errorf("presence of b across runs: %v %v %v",
+			b.Points[0].Present, b.Points[1].Present, b.Points[2].Present)
+	}
+	if got := series[0].Points[2].Summary.Median; got != 180 {
+		t.Errorf("a's final median = %v, want 180", got)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteMarkdown(&sb, threeRuns(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"# Benchmark trend report (3 runs)",
+		"BENCH_1.json", "BENCH_2.json", "BENCH_3.json",
+		"go1.22.1", "linux/amd64",
+		"## a", "## b", "## c",
+		// a's third run is an 80% jump over tight samples: regressed.
+		"regressed",
+		// b's middle run is a gap, and the delta for its third run is
+		// judged against run 1 (the last present point), not the gap.
+		"| BENCH_2.json | — | — | — | — | — | missing |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("markdown missing %q:\n%s", want, got)
+		}
+	}
+	// b did not move between its two present points — its verdict row
+	// must not be judged against a zero-valued gap.
+	if strings.Contains(got, "+inf") || strings.Contains(got, "NaN") {
+		t.Errorf("markdown contains non-finite values:\n%s", got)
+	}
+}
+
+func TestWriteMarkdownEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteMarkdown(&sb, nil, Options{}); err == nil {
+		t.Error("empty run list accepted")
+	}
+}
+
+func TestWriteCompareTable(t *testing.T) {
+	old := Run{Label: "old.json", Benchmarks: []Benchmark{
+		{Name: "fast", SamplesNS: []float64{100, 100, 100}},
+		{Name: "gone", SamplesNS: []float64{5}},
+	}}
+	cur := Run{Label: "new.json", Benchmarks: []Benchmark{
+		{Name: "fast", SamplesNS: []float64{200, 200, 200}, AllocsPerOp: 1},
+		{Name: "fresh", SamplesNS: []float64{9}},
+	}}
+	cur.Env = map[string]string{"goarch": "arm64"}
+	var sb strings.Builder
+	WriteCompareTable(&sb, Compare(old, cur, Options{}))
+	got := sb.String()
+	for _, want := range []string{
+		"compare: old.json -> new.json",
+		"fast", "+100.0", "regressed", "allocs/op 0 -> 1",
+		"gone", "missing", "fresh", "new",
+		"env: goarch:", "summary: 1 regressed, 0 improved, 0 within noise, 1 missing, 1 new",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare table missing %q:\n%s", want, got)
+		}
+	}
+}

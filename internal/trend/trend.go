@@ -1,0 +1,120 @@
+// Package trend turns series of repeated benchmark samples into checked
+// performance claims: robust per-benchmark summaries (median, MAD,
+// t-based confidence intervals), pairwise run comparison with explicit
+// noise bounds and a verdict enum, and a multi-run series model rendered
+// as a markdown trend report.
+//
+// The package is pure data — no file IO, no dependency on the bench
+// harness — so the same comparison logic serves cmd/alereport's
+// -compare gate, the -trend report, and tests that construct runs by
+// hand. The philosophy is the binstat one: statistics you can manage
+// programmatically, so a perf claim is a computed delta with a noise
+// bound, never a prose assertion about two numbers eyeballed side by
+// side.
+package trend
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary is the robust description of one benchmark's repeated ns/op
+// samples. Location is the median (a single pathological sample — a GC
+// pause, a migration — moves it far less than the mean); scale is the
+// MAD, promoted to a normal-consistent sigma; the confidence interval is
+// a 95% two-sided t interval on the median using that robust sigma.
+type Summary struct {
+	N      int     `json:"n"`
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// MAD is the raw median absolute deviation from the median.
+	MAD float64 `json:"mad"`
+	// Sigma is the robust scale estimate: 1.4826*MAD (normal-consistent),
+	// falling back to the sample standard deviation when the MAD
+	// degenerates to 0 (e.g. >half the samples identical).
+	Sigma float64 `json:"sigma"`
+	// CIHalf is the half-width of the 95% confidence interval on the
+	// median, t(0.975, N-1) * Sigma / sqrt(N). Zero when N < 2: a single
+	// sample carries no spread information, and comparisons substitute
+	// Options.DefaultNoisePct instead.
+	CIHalf float64 `json:"ci_half"`
+}
+
+// Summarize computes the robust summary of a sample set. An empty input
+// yields the zero Summary (N=0), which comparisons treat as absent.
+func Summarize(samples []float64) Summary {
+	s := Summary{N: len(samples)}
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	s.Median = medianSorted(sorted)
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	s.Mean = sum / float64(s.N)
+	dev := make([]float64, s.N)
+	for i, v := range samples {
+		dev[i] = math.Abs(v - s.Median)
+	}
+	sort.Float64s(dev)
+	s.MAD = medianSorted(dev)
+	s.Sigma = 1.4826 * s.MAD
+	if s.Sigma == 0 && s.N >= 2 {
+		var ss float64
+		for _, v := range samples {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Sigma = math.Sqrt(ss / float64(s.N-1))
+	}
+	if s.N >= 2 {
+		s.CIHalf = tCrit(s.N-1) * s.Sigma / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// ciPct is the confidence half-width as a percentage of the median, the
+// unit comparisons work in. Single-sample summaries substitute def (the
+// wide default bound for v1-era one-shot runs).
+func (s Summary) ciPct(def float64) float64 {
+	if s.N < 2 || s.Median == 0 {
+		return def
+	}
+	return 100 * s.CIHalf / s.Median
+}
+
+// medianSorted returns the median of an already-sorted non-empty slice.
+func medianSorted(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// tTable holds the two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; beyond 30 the normal value 1.96 is close enough
+// for a noise bound (the exact df-40 value is 2.021).
+var tTable = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit returns the two-sided 95% t critical value for df degrees of
+// freedom (df >= 1).
+func tCrit(df int) float64 {
+	if df < 1 {
+		df = 1
+	}
+	if df <= len(tTable) {
+		return tTable[df-1]
+	}
+	return 1.96
+}

@@ -1,0 +1,95 @@
+package trend
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{100, 102, 98, 101, 99})
+	if s.N != 5 {
+		t.Fatalf("N = %d, want 5", s.N)
+	}
+	if s.Median != 100 {
+		t.Errorf("median = %v, want 100", s.Median)
+	}
+	if s.Mean != 100 {
+		t.Errorf("mean = %v, want 100", s.Mean)
+	}
+	if s.Min != 98 || s.Max != 102 {
+		t.Errorf("min/max = %v/%v, want 98/102", s.Min, s.Max)
+	}
+	// Deviations from the median: {0,1,1,2,2} -> MAD 1.
+	if s.MAD != 1 {
+		t.Errorf("MAD = %v, want 1", s.MAD)
+	}
+	if s.Sigma != 1.4826 {
+		t.Errorf("sigma = %v, want 1.4826", s.Sigma)
+	}
+	want := tCrit(4) * 1.4826 / math.Sqrt(5)
+	if math.Abs(s.CIHalf-want) > 1e-12 {
+		t.Errorf("CIHalf = %v, want %v", s.CIHalf, want)
+	}
+}
+
+func TestSummarizeEvenCount(t *testing.T) {
+	s := Summarize([]float64{10, 20, 30, 40})
+	if s.Median != 25 {
+		t.Errorf("even-count median = %v, want 25", s.Median)
+	}
+}
+
+// A single sample has no spread information: the CI is zero and ciPct
+// substitutes the default noise bound, the v1-compat behaviour the
+// compare path depends on.
+func TestSummarizeSingleSample(t *testing.T) {
+	s := Summarize([]float64{250})
+	if s.N != 1 || s.Median != 250 || s.CIHalf != 0 {
+		t.Fatalf("single-sample summary: %+v", s)
+	}
+	if got := s.ciPct(10); got != 10 {
+		t.Errorf("ciPct default = %v, want 10", got)
+	}
+}
+
+// Identical samples degenerate the MAD to 0; the stddev fallback is also
+// 0, so the CI collapses — the MinNoisePct floor in judge() is what
+// keeps such comparisons from flagging every wobble.
+func TestSummarizeIdenticalSamples(t *testing.T) {
+	s := Summarize([]float64{77, 77, 77, 77})
+	if s.MAD != 0 || s.Sigma != 0 || s.CIHalf != 0 {
+		t.Fatalf("identical-sample summary has nonzero spread: %+v", s)
+	}
+}
+
+// An outlier moves the mean but not the median/MAD — the reason the
+// summary is robust in the first place.
+func TestSummarizeRobustToOutlier(t *testing.T) {
+	s := Summarize([]float64{100, 101, 99, 100, 10000})
+	if s.Median != 100 {
+		t.Errorf("median = %v, want 100 despite outlier", s.Median)
+	}
+	if s.MAD != 1 {
+		t.Errorf("MAD = %v, want 1 despite outlier", s.MAD)
+	}
+	if s.Mean < 1000 {
+		t.Errorf("mean = %v should be dragged by the outlier", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Median != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestTCrit(t *testing.T) {
+	for _, tc := range []struct {
+		df   int
+		want float64
+	}{{1, 12.706}, {4, 2.776}, {30, 2.042}, {31, 1.96}, {1000, 1.96}, {0, 12.706}} {
+		if got := tCrit(tc.df); got != tc.want {
+			t.Errorf("tCrit(%d) = %v, want %v", tc.df, got, tc.want)
+		}
+	}
+}
