@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt bench bench-json bench-compare bench-gate bench-trend stress cover profile
+.PHONY: all build test race lint fmt patch-check bench bench-json bench-compare bench-gate bench-trend stress cover profile
 
 all: build lint test
 
@@ -24,15 +24,28 @@ lint:
 fmt:
 	gofmt -w .
 
+# The alepatch conversion gate (docs/ALEPATCH.md): the vendored subject
+# package must stay fully convertible, the converted package must
+# re-check clean (idempotence: a second alepatch finds nothing to do),
+# and regenerating the conversion must reproduce the committed output
+# byte for byte. patch-scratch is gitignored scratch output.
+patch-check:
+	$(GO) run ./cmd/alepatch -check ./examples/vendored/counter ./examples/vendored/counter_converted
+	rm -rf patch-scratch
+	$(GO) run ./cmd/alepatch -o patch-scratch ./examples/vendored/counter >/dev/null
+	diff -u examples/vendored/counter_converted/counter.go patch-scratch/counter.go
+	diff -u examples/vendored/counter_converted/zz_alepatch.go patch-scratch/zz_alepatch.go
+	rm -rf patch-scratch
+
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # Hot-path microbenchmark suite with the machine-readable report
 # (alebench-microbench/v2: BENCH_COUNT repeated samples per benchmark
 # plus the environment fingerprint; render it with `alereport -in
-# BENCH_6.json`). This is how the committed baseline is refreshed — see
+# BENCH_7.json`). This is how the committed baseline is refreshed — see
 # EXPERIMENTS.md "Refreshing the BENCH_N baseline" for the procedure.
-BENCH_BASELINE ?= BENCH_6.json
+BENCH_BASELINE ?= BENCH_7.json
 BENCH_COUNT ?= 5
 bench-json:
 	$(GO) run ./cmd/alebench -bench-json $(BENCH_BASELINE) -count $(BENCH_COUNT) micro

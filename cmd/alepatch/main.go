@@ -1,0 +1,14 @@
+// Command alepatch converts sync.Mutex/sync.RWMutex critical sections
+// into ALE Lock.Execute calls, or reports which regions would convert
+// and why the rest cannot. See internal/analysis/alepatch.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis/alepatch"
+)
+
+func main() {
+	os.Exit(alepatch.Main(os.Args[1:]))
+}

@@ -1,8 +1,10 @@
 // Command alestress is the deterministic fault-injection stress harness:
-// it drives the ALE-backed structures (hashmap, intset, queue) through a
-// seeded operation tape while a scripted fault injector forces aborts,
-// validation failures, and stretched critical sections, cross-checking
-// every observed result against a single-threaded sequential oracle.
+// it drives the ALE-backed structures (hashmap, intset, queue) and the
+// alepatch-converted vendored counter package through a seeded operation
+// tape while a scripted fault injector forces aborts, validation
+// failures, and stretched critical sections, cross-checking every
+// observed result against a single-threaded sequential oracle (for the
+// vendored structure, the oracle is the original mutex-based package).
 //
 // Usage:
 //
@@ -36,7 +38,7 @@ const defaultScript = "spurious-burst/41,capacity-cliff/53=24,conflict-storm/37,
 	"htm-disable/101,validate-fail/29,delay-end/43=8,lock-stretch/47=8"
 
 var (
-	structFlag = flag.String("struct", "all", "structure under test: hashmap|intset|queue|all")
+	structFlag = flag.String("struct", "all", "structure under test: hashmap|intset|queue|vendored|all")
 	seed       = flag.Uint64("seed", 1, "tape seed; same seed + script replays bit for bit")
 	opsN       = flag.Int("ops", 5000, "operations per tape (per worker in -soak mode)")
 	keys       = flag.Uint64("keys", 64, "key-range size (per worker in -soak mode)")

@@ -1,0 +1,139 @@
+// Package counter is a small metrics library in the idiom of real-world
+// Go instrumentation packages: cumulative counters, last-value gauges,
+// and a name-indexed registry, each guarded by a sync mutex. It is the
+// alepatch end-to-end subject — examples/vendored/counter_converted is
+// this package after `alepatch -o`, and the oracle stress harness runs
+// both side by side.
+package counter
+
+import (
+	"sort"
+	"sync"
+)
+
+// Counter is a cumulative sum with an observation count.
+type Counter struct {
+	mu    sync.Mutex
+	total int64
+	count int64
+}
+
+// Add records one observation.
+func (c *Counter) Add(v int64) {
+	c.mu.Lock()
+	c.total += v
+	c.count++
+	c.mu.Unlock()
+}
+
+// Total returns the cumulative sum.
+func (c *Counter) Total() int64 {
+	c.mu.Lock()
+	t := c.total
+	c.mu.Unlock()
+	return t
+}
+
+// Count returns the number of observations.
+func (c *Counter) Count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Snapshot returns the sum and count as one consistent pair.
+func (c *Counter) Snapshot() (int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total, c.count
+}
+
+// Mean returns the average observation; ok is false when empty.
+func (c *Counter) Mean() (float64, bool) {
+	c.mu.Lock()
+	if c.count == 0 {
+		c.mu.Unlock()
+		return 0, false
+	}
+	m := float64(c.total) / float64(c.count)
+	c.mu.Unlock()
+	return m, true
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.total, c.count = 0, 0
+	c.mu.Unlock()
+}
+
+// Gauge is a last-value metric. It uses an RWMutex in the original:
+// gets dominate sets.
+type Gauge struct {
+	mu  sync.RWMutex
+	val int64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) {
+	g.mu.Lock()
+	g.val = v
+	g.mu.Unlock()
+}
+
+// Get returns the last recorded value.
+func (g *Gauge) Get() int64 {
+	g.mu.RLock()
+	v := g.val
+	g.mu.RUnlock()
+	return v
+}
+
+// Registry names counters, creating each on first use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Get returns the named counter, creating it if needed.
+func (r *Registry) Get(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Names returns the registered counter names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalOf sums the named counters, skipping unknown names.
+func (r *Registry) TotalOf(names ...string) int64 {
+	var sum int64
+	for _, name := range names {
+		r.mu.Lock()
+		c, ok := r.counters[name]
+		r.mu.Unlock()
+		if ok {
+			sum += c.Total()
+		}
+	}
+	return sum
+}

@@ -1,0 +1,126 @@
+package counter
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if got := c.Total(); got != 0 {
+		t.Fatalf("zero Total = %d, want 0", got)
+	}
+	if _, ok := c.Mean(); ok {
+		t.Fatal("empty counter reported a mean")
+	}
+	c.Add(5)
+	c.Add(7)
+	if got := c.Total(); got != 12 {
+		t.Fatalf("Total = %d, want 12", got)
+	}
+	if got := c.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	total, count := c.Snapshot()
+	if total != 12 || count != 2 {
+		t.Fatalf("Snapshot = (%d, %d), want (12, 2)", total, count)
+	}
+	m, ok := c.Mean()
+	if !ok || m != 6 {
+		t.Fatalf("Mean = (%v, %v), want (6, true)", m, ok)
+	}
+	c.Reset()
+	if total, count := c.Snapshot(); total != 0 || count != 0 {
+		t.Fatalf("after Reset Snapshot = (%d, %d), want (0, 0)", total, count)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+				_ = c.Total()
+				_, _ = c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Total(); got != workers*perWorker {
+		t.Fatalf("Total = %d, want %d", got, workers*perWorker)
+	}
+	if got := c.Count(); got != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if got := g.Get(); got != 0 {
+		t.Fatalf("zero Get = %d, want 0", got)
+	}
+	g.Set(42)
+	if got := g.Get(); got != 42 {
+		t.Fatalf("Get = %d, want 42", got)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Set(int64(w))
+				_ = g.Get()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Get(); got < 0 || got > 3 {
+		t.Fatalf("final Get = %d, want 0..3", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	a := r.Get("a")
+	if r.Get("a") != a {
+		t.Fatal("Get returned a different instance for the same name")
+	}
+	a.Add(3)
+	r.Get("b").Add(4)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v, want [a b]", names)
+	}
+	if got := r.TotalOf("a", "b", "missing"); got != 7 {
+		t.Fatalf("TotalOf = %d, want 7", got)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"x", "y", "z"}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := names[w%len(names)]
+			for i := 0; i < 500; i++ {
+				r.Get(name).Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.TotalOf(names...); got != 6*500 {
+		t.Fatalf("TotalOf = %d, want %d", got, 6*500)
+	}
+}

@@ -1,0 +1,308 @@
+// Package counter is a small metrics library in the idiom of real-world
+// Go instrumentation packages: cumulative counters, last-value gauges,
+// and a name-indexed registry, each guarded by a sync mutex. It is the
+// alepatch end-to-end subject — examples/vendored/counter_converted is
+// this package after `alepatch -o`, and the oracle stress harness runs
+// both side by side.
+package counter
+
+import (
+	"repro/internal/core"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a cumulative sum with an observation count.
+type Counter struct {
+	mu    alepatchMutex
+	total int64
+	count int64
+}
+
+// Add records one observation.
+func (c *Counter) Add(v int64) {
+	alepatchThr := alepatchAcquire()
+	alepatchLk, alepatchMK := c.mu.get("Counter.mu")
+	_ = alepatchLk.Execute(alepatchThr, &core.CS{
+		Scope:       alepatchScope0,
+		NoHTM:       true,
+		Conflicting: true,
+		Body: func(alepatchEC *core.ExecCtx) error {
+			alepatchMK.BeginConflicting(alepatchEC)
+			defer alepatchMK.EndConflicting(alepatchEC)
+			atomic.AddInt64(&c.total, v)
+			atomic.AddInt64(&c.count, 1)
+			return nil
+		},
+	})
+	alepatchRelease(alepatchThr)
+
+}
+
+// Total returns the cumulative sum.
+func (c *Counter) Total() int64 {
+	alepatchThr := alepatchAcquire()
+	var t int64
+	alepatchLk, alepatchMK := c.mu.get("Counter.mu")
+	_ = alepatchLk.Execute(alepatchThr, &core.CS{
+		Scope:    alepatchScope1,
+		NoHTM:    true,
+		HasSWOpt: true,
+		Body: func(alepatchEC *core.ExecCtx) error {
+			if alepatchEC.InSWOpt() {
+				alepatchVer := alepatchEC.ReadStable(alepatchMK)
+				t = atomic.LoadInt64(&c.total)
+				if !alepatchEC.Validate(alepatchMK, alepatchVer) {
+					return alepatchEC.SWOptFail()
+				}
+				return nil
+			}
+			t = c.total
+			return nil
+		},
+	})
+	alepatchRelease(alepatchThr)
+
+	return t
+}
+
+// Count returns the number of observations.
+func (c *Counter) Count() int64 {
+	alepatchThr := alepatchAcquire()
+	var alepatchRet0 int64
+	alepatchLk, alepatchMK := c.mu.get("Counter.mu")
+	_ = alepatchLk.Execute(alepatchThr, &core.CS{
+		Scope:    alepatchScope2,
+		NoHTM:    true,
+		HasSWOpt: true,
+		Body: func(alepatchEC *core.ExecCtx) error {
+			if alepatchEC.InSWOpt() {
+				alepatchVer := alepatchEC.ReadStable(alepatchMK)
+				alepatchRet0 = atomic.LoadInt64(&c.count)
+				if !alepatchEC.Validate(alepatchMK, alepatchVer) {
+					return alepatchEC.SWOptFail()
+				}
+				return nil
+			}
+			alepatchRet0 = c.count
+			return nil
+		},
+	})
+	alepatchRelease(alepatchThr)
+	return alepatchRet0
+
+}
+
+// Snapshot returns the sum and count as one consistent pair.
+func (c *Counter) Snapshot() (int64, int64) {
+	alepatchThr := alepatchAcquire()
+	var alepatchRet0 int64
+	var alepatchRet1 int64
+	alepatchLk, alepatchMK := c.mu.get("Counter.mu")
+	_ = alepatchLk.Execute(alepatchThr, &core.CS{
+		Scope:    alepatchScope3,
+		NoHTM:    true,
+		HasSWOpt: true,
+		Body: func(alepatchEC *core.ExecCtx) error {
+			if alepatchEC.InSWOpt() {
+				alepatchVer := alepatchEC.ReadStable(alepatchMK)
+				alepatchRet0 = atomic.LoadInt64(&c.total)
+				alepatchRet1 = atomic.LoadInt64(&c.count)
+				if !alepatchEC.Validate(alepatchMK, alepatchVer) {
+					return alepatchEC.SWOptFail()
+				}
+				return nil
+			}
+			alepatchRet0 = c.total
+			alepatchRet1 = c.count
+			return nil
+		},
+	})
+	alepatchRelease(alepatchThr)
+	return alepatchRet0, alepatchRet1
+
+}
+
+// Mean returns the average observation; ok is false when empty.
+func (c *Counter) Mean() (float64, bool) {
+	alepatchThr := alepatchAcquire()
+	var alepatchRet0 float64
+	var alepatchRet1 bool
+	alepatchDone := false
+	var m float64
+	alepatchLk, _ := c.mu.get("Counter.mu")
+	_ = alepatchLk.Execute(alepatchThr, &core.CS{
+		Scope: alepatchScope4,
+		NoHTM: true,
+		Body: func(alepatchEC *core.ExecCtx) error {
+			if c.count == 0 {
+				alepatchRet0, alepatchRet1 = 0, false
+				alepatchDone = true
+				return nil
+			}
+			m = float64(c.total) / float64(c.count)
+			return nil
+		},
+	})
+	alepatchRelease(alepatchThr)
+	if alepatchDone {
+		return alepatchRet0, alepatchRet1
+	}
+
+	return m, true
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	alepatchThr := alepatchAcquire()
+	alepatchLk, alepatchMK := c.mu.get("Counter.mu")
+	_ = alepatchLk.Execute(alepatchThr, &core.CS{
+		Scope:       alepatchScope5,
+		NoHTM:       true,
+		Conflicting: true,
+		Body: func(alepatchEC *core.ExecCtx) error {
+			alepatchMK.BeginConflicting(alepatchEC)
+			defer alepatchMK.EndConflicting(alepatchEC)
+			atomic.StoreInt64(&c.total, 0)
+			atomic.StoreInt64(&c.count, 0)
+			return nil
+		},
+	})
+	alepatchRelease(alepatchThr)
+
+}
+
+// Gauge is a last-value metric. It uses an RWMutex in the original:
+// gets dominate sets.
+type Gauge struct {
+	mu  alepatchMutex
+	val int64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) {
+	alepatchThr := alepatchAcquire()
+	alepatchLk, alepatchMK := g.mu.get("Gauge.mu")
+	_ = alepatchLk.Execute(alepatchThr, &core.CS{
+		Scope:       alepatchScope6,
+		NoHTM:       true,
+		Conflicting: true,
+		Body: func(alepatchEC *core.ExecCtx) error {
+			alepatchMK.BeginConflicting(alepatchEC)
+			defer alepatchMK.EndConflicting(alepatchEC)
+			atomic.StoreInt64(&g.val, v)
+			return nil
+		},
+	})
+	alepatchRelease(alepatchThr)
+
+}
+
+// Get returns the last recorded value.
+func (g *Gauge) Get() int64 {
+	alepatchThr := alepatchAcquire()
+	var v int64
+	alepatchLk, alepatchMK := g.mu.get("Gauge.mu")
+	_ = alepatchLk.Execute(alepatchThr, &core.CS{
+		Scope:    alepatchScope7,
+		NoHTM:    true,
+		HasSWOpt: true,
+		Body: func(alepatchEC *core.ExecCtx) error {
+			if alepatchEC.InSWOpt() {
+				alepatchVer := alepatchEC.ReadStable(alepatchMK)
+				v = atomic.LoadInt64(&g.val)
+				if !alepatchEC.Validate(alepatchMK, alepatchVer) {
+					return alepatchEC.SWOptFail()
+				}
+				return nil
+			}
+			v = g.val
+			return nil
+		},
+	})
+	alepatchRelease(alepatchThr)
+
+	return v
+}
+
+// Registry names counters, creating each on first use.
+type Registry struct {
+	mu       alepatchMutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Get returns the named counter, creating it if needed.
+func (r *Registry) Get(name string) *Counter {
+	alepatchThr := alepatchAcquire()
+	var alepatchRet0 *Counter
+	alepatchLk, _ := r.mu.get("Registry.mu")
+	_ = alepatchLk.Execute(alepatchThr, &core.CS{
+		Scope: alepatchScope8,
+		NoHTM: true,
+		Body: func(alepatchEC *core.ExecCtx) error {
+			c, ok := r.counters[name]
+			if !ok {
+				c = &Counter{}
+				r.counters[name] = c
+			}
+			alepatchRet0 = c
+			return nil
+		},
+	})
+	alepatchRelease(alepatchThr)
+	return alepatchRet0
+
+}
+
+// Names returns the registered counter names, sorted.
+func (r *Registry) Names() []string {
+	alepatchThr := alepatchAcquire()
+	var alepatchRet0 []string
+	alepatchLk, _ := r.mu.get("Registry.mu")
+	_ = alepatchLk.Execute(alepatchThr, &core.CS{
+		Scope: alepatchScope9,
+		NoHTM: true,
+		Body: func(alepatchEC *core.ExecCtx) error {
+			names := make([]string, 0, len(r.counters))
+			for name := range r.counters {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			alepatchRet0 = names
+			return nil
+		},
+	})
+	alepatchRelease(alepatchThr)
+	return alepatchRet0
+
+}
+
+// TotalOf sums the named counters, skipping unknown names.
+func (r *Registry) TotalOf(names ...string) int64 {
+	var sum int64
+	for _, name := range names {
+		alepatchThr := alepatchAcquire()
+		var c *Counter
+		var ok bool
+		alepatchLk, _ := r.mu.get("Registry.mu")
+		_ = alepatchLk.Execute(alepatchThr, &core.CS{
+			Scope: alepatchScope10,
+			NoHTM: true,
+			Body: func(alepatchEC *core.ExecCtx) error {
+				c, ok = r.counters[name]
+				return nil
+			},
+		})
+		alepatchRelease(alepatchThr)
+
+		if ok {
+			sum += c.Total()
+		}
+	}
+	return sum
+}

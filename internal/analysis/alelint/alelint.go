@@ -53,6 +53,7 @@ func Main(args []string) int {
 			fs.Var(f.Value, name+"."+f.Name, f.Usage)
 		})
 	}
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array of {file,line,col,analyzer,message} records")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return ExitClean
@@ -63,13 +64,26 @@ func Main(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	return Run("", patterns, os.Stdout, os.Stderr)
+	return RunOpts(Options{JSON: *jsonOut}, "", patterns, os.Stdout, os.Stderr)
+}
+
+// Options controls Run's output format.
+type Options struct {
+	// JSON switches diagnostic output from the human path:line:col lines
+	// to the machine-readable framework.JSONDiagnostic array shared with
+	// `alepatch -check -json` and CI.
+	JSON bool
 }
 
 // Run loads the patterns (resolved in dir, "" = cwd), applies the suite,
 // and writes diagnostics to out and errors to errw. It returns an exit
 // code.
 func Run(dir string, patterns []string, out, errw io.Writer) int {
+	return RunOpts(Options{}, dir, patterns, out, errw)
+}
+
+// RunOpts is Run with explicit output options.
+func RunOpts(opts Options, dir string, patterns []string, out, errw io.Writer) int {
 	pkgs, err := framework.Load(dir, patterns...)
 	if err != nil {
 		fmt.Fprintf(errw, "alelint: %v\n", err)
@@ -80,15 +94,22 @@ func Run(dir string, patterns []string, out, errw io.Writer) int {
 		fmt.Fprintf(errw, "alelint: %v\n", err)
 		return ExitError
 	}
-	if len(diags) == 0 {
-		return ExitClean
-	}
 	// All packages from one Load share a FileSet; any package's works for
 	// position resolution.
 	fset := pkgs[0].Fset
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		fmt.Fprintf(out, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+	if opts.JSON {
+		if err := framework.WriteJSONDiagnostics(out, fset, diags); err != nil {
+			fmt.Fprintf(errw, "alelint: %v\n", err)
+			return ExitError
+		}
+	} else {
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			fmt.Fprintf(out, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) == 0 {
+		return ExitClean
 	}
 	return ExitDiags
 }

@@ -2,9 +2,12 @@ package alelint_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/analysis/alelint"
+	"repro/internal/analysis/framework"
 )
 
 // TestRepoIsClean is the enforcement test: the whole module must pass the
@@ -19,5 +22,50 @@ func TestRepoIsClean(t *testing.T) {
 	if code != alelint.ExitClean {
 		t.Fatalf("alelint ./... = exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
 			code, alelint.ExitClean, out.String(), errb.String())
+	}
+}
+
+// TestJSONOutput runs the suite in JSON mode over a fixture package with
+// known violations and checks the emitted records parse as the shared
+// framework.JSONDiagnostic shape with populated fields.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short mode")
+	}
+	dir, err := filepath.Abs(filepath.Join("..", "markerpair", "testdata", "src", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := alelint.RunOpts(alelint.Options{JSON: true}, dir, []string{"."}, &out, &errb)
+	if code != alelint.ExitDiags {
+		t.Fatalf("alelint -json on fixture = exit %d, want %d\nstderr:\n%s",
+			code, alelint.ExitDiags, errb.String())
+	}
+	var recs []framework.JSONDiagnostic
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(recs) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	for i, r := range recs {
+		if r.File == "" || r.Line == 0 || r.Analyzer == "" || r.Message == "" {
+			t.Errorf("record %d has empty fields: %+v", i, r)
+		}
+	}
+	// JSON mode on a clean package still emits a (empty) JSON array.
+	out.Reset()
+	cleanDir, err := filepath.Abs(filepath.Join("..", "cfgutil"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = alelint.RunOpts(alelint.Options{JSON: true}, cleanDir, []string{"."}, &out, &errb)
+	if code != alelint.ExitClean {
+		t.Fatalf("alelint -json on clean package = exit %d, want %d\nstderr:\n%s",
+			code, alelint.ExitClean, errb.String())
+	}
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil || recs == nil && out.Len() == 0 {
+		t.Fatalf("clean run did not emit a JSON array: %v\n%s", err, out.String())
 	}
 }

@@ -1,0 +1,226 @@
+// Package alepatch is a static-analysis-driven rewriter that converts
+// sync.Mutex / sync.RWMutex critical sections into ALE Lock.Execute
+// calls. It matches Lock/Unlock regions on the control-flow graph,
+// filters them through an eligibility pipeline (lock identity stability,
+// escape, cross-function sections, irrevocable actions), classifies each
+// region as convertible, convertible-with-instrumentation (speculative
+// readers validated against a conflict marker), or rejected with a
+// reason, and either reports (-check) or rewrites (-w / -o).
+//
+// Conversion is all-or-nothing per mutex identity: the declaration's
+// type changes to the generated alepatchMutex shim, so one rejected
+// region keeps every region of that mutex untouched.
+//
+// The simulated HTM (internal/tm) only isolates tm.Var cells, so every
+// generated critical section sets NoHTM: conversions run in Lock mode
+// (always safe) with an optional SWOpt read path whose shared loads are
+// mirrored through sync/atomic.
+package alepatch
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis/framework"
+)
+
+// Exit codes, mirroring alelint.
+const (
+	ExitClean = 0 // no rejected regions
+	ExitDiags = 1 // at least one region rejected
+	ExitError = 2 // usage, load, or rewrite failure
+)
+
+// Options selects the tool's mode.
+type Options struct {
+	JSON   bool   // -check output as JSON instead of human lines
+	Write  bool   // rewrite files in place
+	OutDir string // write the converted package (all files) to this directory
+}
+
+// Result is one analyzed package.
+type Result struct {
+	Pkg     *framework.Package
+	Regions []*Region // every matched region, in source order
+	Report  Report
+
+	cls *classifier
+}
+
+// Analyze runs discovery, region matching, and classification over pkg.
+func Analyze(pkg *framework.Package) (*Result, error) {
+	src := map[*ast.File][]byte{}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %v", name, err)
+		}
+		src[f] = data
+	}
+	ls := discoverLocks(pkg)
+	ls.scanUses()
+	var regions []*Region
+	for _, f := range pkg.Files {
+		if ast.IsGenerated(f) {
+			continue // previously generated shims are not conversion subjects
+		}
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				regions = append(regions, ls.regionsIn(fn, f)...)
+			}
+		}
+	}
+	classifyPackage(ls, src)
+	sort.Slice(regions, func(i, j int) bool { return regions[i].LockStmt.Pos() < regions[j].LockStmt.Pos() })
+	return &Result{
+		Pkg:     pkg,
+		Regions: regions,
+		Report:  buildReport(pkg, regions),
+		cls:     &classifier{ls: ls, src: src},
+	}, nil
+}
+
+// Rewrite returns the converted files (changed sources plus the
+// zz_alepatch.go shim), keyed by base filename.
+func (res *Result) Rewrite() (map[string][]byte, error) {
+	return (&rewriter{c: res.cls}).Rewrite()
+}
+
+// SourceFiles returns the package's files as (basename, original bytes),
+// for -o output of unconverted files.
+func (res *Result) SourceFiles() map[string][]byte {
+	out := map[string][]byte{}
+	for _, f := range res.Pkg.Files {
+		name := res.Pkg.Fset.Position(f.Pos()).Filename
+		out[filepath.Base(name)] = res.cls.src[f]
+	}
+	return out
+}
+
+// Main parses flags and runs the tool; it returns the process exit code.
+func Main(args []string) int {
+	fs := flag.NewFlagSet("alepatch", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	check := fs.Bool("check", false, "report region classification without rewriting (default when -w and -o are absent)")
+	jsonOut := fs.Bool("json", false, "with -check, emit the report as JSON")
+	write := fs.Bool("w", false, "rewrite converted files in place")
+	outDir := fs.String("o", "", "write the converted package (all files plus the shim) into this directory")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: alepatch [-check [-json]] [-w | -o dir] [packages]\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return ExitClean
+		}
+		return ExitError
+	}
+	if *write && *outDir != "" {
+		fmt.Fprintln(os.Stderr, "alepatch: -w and -o are mutually exclusive")
+		return ExitError
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	opts := Options{JSON: *jsonOut, Write: *write, OutDir: *outDir}
+	_ = check // -check is the default mode; the flag exists for explicitness
+	return Run(opts, "", patterns, os.Stdout, os.Stderr)
+}
+
+// Run executes the tool over the packages matched by patterns (resolved
+// in dir; "" = cwd) and returns an exit code.
+func Run(opts Options, dir string, patterns []string, out, errw io.Writer) int {
+	pkgs, err := framework.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(errw, "alepatch: %v\n", err)
+		return ExitError
+	}
+	if opts.OutDir != "" && len(pkgs) != 1 {
+		fmt.Fprintf(errw, "alepatch: -o requires exactly one package (got %d)\n", len(pkgs))
+		return ExitError
+	}
+
+	var results []*Result
+	for _, pkg := range pkgs {
+		res, err := Analyze(pkg)
+		if err != nil {
+			fmt.Fprintf(errw, "alepatch: %s: %v\n", pkg.ImportPath, err)
+			return ExitError
+		}
+		results = append(results, res)
+	}
+
+	if !opts.Write && opts.OutDir == "" {
+		co := CheckOutput{}
+		rejected := false
+		for _, res := range results {
+			co.Packages = append(co.Packages, res.Report)
+			if res.Report.Rejected > 0 {
+				rejected = true
+			}
+		}
+		if opts.JSON {
+			if err := co.WriteJSON(out); err != nil {
+				fmt.Fprintf(errw, "alepatch: %v\n", err)
+				return ExitError
+			}
+		} else {
+			for _, rep := range co.Packages {
+				rep.WriteHuman(out)
+			}
+		}
+		if rejected {
+			return ExitDiags
+		}
+		return ExitClean
+	}
+
+	for _, res := range results {
+		files, err := res.Rewrite()
+		if err != nil {
+			fmt.Fprintf(errw, "alepatch: %s: %v\n", res.Pkg.ImportPath, err)
+			return ExitError
+		}
+		switch {
+		case opts.Write:
+			for name, data := range files {
+				path := filepath.Join(res.Pkg.Dir, name)
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					fmt.Fprintf(errw, "alepatch: %v\n", err)
+					return ExitError
+				}
+				fmt.Fprintln(out, path)
+			}
+		default: // -o
+			if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+				fmt.Fprintf(errw, "alepatch: %v\n", err)
+				return ExitError
+			}
+			merged := res.SourceFiles()
+			for name, data := range files {
+				merged[name] = data
+			}
+			var names []string
+			for name := range merged {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				path := filepath.Join(opts.OutDir, name)
+				if err := os.WriteFile(path, merged[name], 0o644); err != nil {
+					fmt.Fprintf(errw, "alepatch: %v\n", err)
+					return ExitError
+				}
+				fmt.Fprintln(out, path)
+			}
+		}
+	}
+	return ExitClean
+}

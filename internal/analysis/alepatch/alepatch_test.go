@@ -1,0 +1,201 @@
+package alepatch_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/alepatch"
+	"repro/internal/analysis/framework"
+)
+
+// runCheck runs alepatch -check -json over the package in dir (relative
+// to this test's directory) and returns the exit code and output.
+func runCheck(t *testing.T, dir string) (int, []byte) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := alepatch.Run(alepatch.Options{JSON: true}, abs, []string{"."}, &out, &errb)
+	if errb.Len() > 0 {
+		t.Logf("stderr:\n%s", errb.String())
+	}
+	return code, out.Bytes()
+}
+
+func mustGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestRejectGolden pins the full -check -json report for the fixture
+// that triggers every rejection reason, and asserts the diagnostic exit
+// code.
+func TestRejectGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short mode")
+	}
+	code, out := runCheck(t, filepath.Join("testdata", "src", "reject"))
+	if code != alepatch.ExitDiags {
+		t.Errorf("exit = %d, want %d", code, alepatch.ExitDiags)
+	}
+	if want := mustGolden(t, "reject.golden.json"); !bytes.Equal(out, want) {
+		t.Errorf("report drifted from testdata/reject.golden.json:\n%s", out)
+	}
+	reasons := []string{
+		alepatch.ReasonUnbalanced, alepatch.ReasonDeferInLoop,
+		alepatch.ReasonGotoCrosses, alepatch.ReasonUnsupported,
+		alepatch.ReasonCrossFn, alepatch.ReasonEscape,
+		alepatch.ReasonCondvar, alepatch.ReasonTryLock,
+		alepatch.ReasonAddressTaken, alepatch.ReasonUnstable,
+	}
+	for _, reason := range reasons {
+		if !strings.Contains(string(out), `"reason": "`+reason+`"`) {
+			t.Errorf("fixture does not exercise rejection reason %q", reason)
+		}
+	}
+}
+
+// TestClassifyGolden pins the downgrade-note report. NoteIrrevocable is
+// exempt: the reader shape filter subsumes it, and it remains only as a
+// backstop should the shape filter widen.
+func TestClassifyGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short mode")
+	}
+	code, out := runCheck(t, filepath.Join("testdata", "src", "classify"))
+	if code != alepatch.ExitDiags { // the sibling-rejected case rejects one region
+		t.Errorf("exit = %d, want %d", code, alepatch.ExitDiags)
+	}
+	if want := mustGolden(t, "classify.golden.json"); !bytes.Equal(out, want) {
+		t.Errorf("report drifted from testdata/classify.golden.json:\n%s", out)
+	}
+	notes := []string{
+		alepatch.NoteWideLoad, alepatch.NoteComputes, alepatch.NoteCalls,
+		alepatch.NoteControlFlow, alepatch.NoteWrites,
+		alepatch.NoteUnsupportedExpr, alepatch.NotePackageState,
+		alepatch.NoteNoLoads, alepatch.NoteWriterNotAtomic,
+		alepatch.NoteUnguarded, alepatch.NoteSibling,
+	}
+	for _, note := range notes {
+		if !strings.Contains(string(out), `"`+note+`"`) {
+			t.Errorf("fixture does not exercise downgrade note %q", note)
+		}
+	}
+}
+
+// TestVendoredRewriteMatchesCommitted regenerates the conversion of
+// examples/vendored/counter in memory and asserts it is byte-identical
+// to the committed examples/vendored/counter_converted package.
+func TestVendoredRewriteMatchesCommitted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short mode")
+	}
+	dir, err := filepath.Abs(filepath.Join("..", "..", "..", "examples", "vendored", "counter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := framework.Load(dir, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	res, err := alepatch.Analyze(pkgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Rejected != 0 {
+		t.Fatalf("vendored package has %d rejected regions", res.Report.Rejected)
+	}
+	files, err := res.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("rewrite produced no files")
+	}
+	convDir := filepath.Join(dir, "..", "counter_converted")
+	for name, got := range files {
+		want, err := os.ReadFile(filepath.Join(convDir, name))
+		if err != nil {
+			t.Errorf("converted file %s is not committed: %v", name, err)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s drifted from the committed conversion; regenerate with:\n"+
+				"  go run ./cmd/alepatch -o examples/vendored/counter_converted ./examples/vendored/counter", name)
+		}
+	}
+}
+
+// TestConvertedPackageIsInert asserts idempotence: analyzing the
+// converted package finds no regions (the shim is generated code, the
+// mutexes are gone) and a second rewrite emits nothing, so running
+// alepatch twice leaves bytes unchanged.
+func TestConvertedPackageIsInert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short mode")
+	}
+	dir, err := filepath.Abs(filepath.Join("..", "..", "..", "examples", "vendored", "counter_converted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := framework.Load(dir, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alepatch.Analyze(pkgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 0 {
+		t.Errorf("converted package still reports %d regions", len(res.Regions))
+	}
+	files, err := res.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Errorf("second rewrite is not empty: %d files", len(files))
+	}
+}
+
+// TestExitCodes covers the three exit codes through the public Run
+// entry point.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short mode")
+	}
+	clean, err := filepath.Abs(filepath.Join("..", "..", "..", "examples", "vendored", "counter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := alepatch.Run(alepatch.Options{}, clean, []string{"."}, &out, &errb); code != alepatch.ExitClean {
+		t.Errorf("clean package: exit = %d, want %d\n%s", code, alepatch.ExitClean, errb.String())
+	}
+	reject, err := filepath.Abs(filepath.Join("testdata", "src", "reject"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := alepatch.Run(alepatch.Options{}, reject, []string{"."}, &out, &errb); code != alepatch.ExitDiags {
+		t.Errorf("reject fixture: exit = %d, want %d", code, alepatch.ExitDiags)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := alepatch.Run(alepatch.Options{}, "", []string{"./no/such/package"}, &out, &errb); code != alepatch.ExitError {
+		t.Errorf("bogus pattern: exit = %d, want %d", code, alepatch.ExitError)
+	}
+}

@@ -1,0 +1,798 @@
+package alepatch
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis/irrevocable"
+)
+
+// Region classes.
+const (
+	ClassConvertible  = "convertible"
+	ClassInstrumented = "convertible-with-instrumentation"
+	ClassRejected     = "rejected"
+)
+
+// Downgrade notes: why a region converts to a lock-mode-only body instead
+// of gaining a speculative read path. Purely informational — the region
+// still converts.
+const (
+	NoteWideLoad        = "wide-load"           // protected load is not int64/uint64
+	NoteComputes        = "computes-on-loads"   // loaded/shared values feed computation before validation
+	NoteCalls           = "calls"               // region calls functions
+	NoteControlFlow     = "control-flow"        // region is not straight-line
+	NoteWrites          = "writes"              // region stores to shared state
+	NoteIrrevocable     = "irrevocable"         // region body performs irrevocable actions
+	NoteUnsupportedExpr = "unsupported-expr"    // non-basic or otherwise unmirrorable expression
+	NotePackageState    = "package-level-state" // package-var mutex: no owner struct to mirror
+	NoteNoLoads         = "no-protected-loads"  // nothing to validate speculatively
+	NoteWriterNotAtomic = "writer-not-atomic"   // a writer's stores cannot become atomic
+	NoteUnguarded       = "unguarded-access"    // mirrored field touched outside the lock's regions
+	NoteSibling         = "sibling-rejected"    // another region of the same lock was rejected
+)
+
+// hoist is one declaration moved out of the region so names defined
+// inside the generated closure stay visible to code after it.
+type hoist struct {
+	assign *ast.AssignStmt // `:=` whose token becomes `=` (nil when decl is set)
+	decl   *ast.DeclStmt   // value-less var declaration moved verbatim
+	names  []string        // per-LHS name; "" = already declared, no hoist
+	typs   []string        // rendered type per hoisted name
+}
+
+// readerOp is one step of an instrumented reader: either an atomic load
+// of a protected field or a verbatim copy, assigned to target.
+type readerOp struct {
+	target   string
+	declare  bool   // target is newly defined in the region (hoist it)
+	typ      string // rendered target type when declare
+	load     *types.Var
+	loadSel  string // rendered selector for the load
+	unsigned bool
+	verbatim string // verbatim RHS when load == nil
+}
+
+// storeEdit replaces one writer statement with its atomic form.
+type storeEdit struct {
+	node ast.Node
+	text string
+}
+
+// convPlan is everything the rewriter needs to emit a region.
+type convPlan struct {
+	caps      []string // capture names for the function's results
+	capTyps   []string // rendered types (nil when results are named)
+	capsNamed bool
+	needDone  bool // inline shape with early exits: alepatchDone flag
+
+	hoists []hoist
+
+	reader         []readerOp // non-nil: instrumented reader
+	readerFinalRet bool       // region ended in a return (defer shape)
+
+	stores []storeEdit // writer atomicizations when the lock is instrumented
+
+	scopeLabel string // filled by the rewriter
+	scopeIdx   int
+}
+
+// classifier runs the eligibility pipeline over one package.
+type classifier struct {
+	ls  *lockSet
+	src map[*ast.File][]byte
+}
+
+// fileOf returns the file whose range contains pos.
+func (c *classifier) fileOf(pos token.Pos) *ast.File {
+	for _, f := range c.ls.pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// render returns n's source bytes verbatim.
+func (c *classifier) render(n ast.Node) string {
+	f := c.fileOf(n.Pos())
+	if f == nil {
+		return ""
+	}
+	fset := c.ls.pkg.Fset
+	lo := fset.Position(n.Pos()).Offset
+	hi := fset.Position(n.End()).Offset
+	return string(c.src[f][lo:hi])
+}
+
+// renderType renders t using f's imports for qualification. ok is false
+// when a needed package is not imported in f.
+func (c *classifier) renderType(f *ast.File, t types.Type) (string, bool) {
+	t = types.Default(t)
+	ok := true
+	q := func(p *types.Package) string {
+		if p == c.ls.pkg.Types {
+			return ""
+		}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == p.Path() {
+				if imp.Name != nil {
+					if imp.Name.Name == "." {
+						return ""
+					}
+					return imp.Name.Name
+				}
+				return p.Name()
+			}
+		}
+		ok = false
+		return p.Name()
+	}
+	s := types.TypeString(t, q)
+	return s, ok
+}
+
+// classifyPackage runs the full pipeline: lock-level poisoning, per-region
+// base plans (captures/hoists/escape), instrumentation planning, and final
+// class assignment.
+func classifyPackage(ls *lockSet, src map[*ast.File][]byte) {
+	c := &classifier{ls: ls, src: src}
+	for _, li := range ls.locks {
+		for _, r := range li.Regions {
+			if r.Reject == "" && li.Reject != "" {
+				r.reject(li.Reject, li.RejectNote)
+			}
+		}
+	}
+	for _, li := range ls.locks {
+		c.classifyLock(li)
+	}
+}
+
+func (c *classifier) classifyLock(li *LockInfo) {
+	for _, r := range li.Regions {
+		if r.Reject == "" {
+			c.planBase(r)
+		}
+	}
+	allAccepted := true
+	for _, r := range li.Regions {
+		if r.Reject != "" {
+			r.Class = ClassRejected
+			allAccepted = false
+		}
+	}
+
+	// Reader candidates: regions whose whole body is a straight-line
+	// mirror of word-sized protected fields.
+	type candidate struct {
+		r        *Region
+		ops      []readerOp
+		finalRet bool
+		loads    map[*types.Var]bool
+	}
+	var cands []candidate
+	for _, r := range li.Regions {
+		if r.Reject != "" {
+			continue
+		}
+		ops, finalRet, loads, note := c.readerPlan(r)
+		if note != "" {
+			r.Notes = append(r.Notes, note)
+			continue
+		}
+		cands = append(cands, candidate{r, ops, finalRet, loads})
+	}
+
+	instrument := allAccepted && len(cands) > 0
+	var why string
+	var mirrored map[*types.Var]bool
+	writerStores := map[*Region][]storeEdit{}
+	if instrument {
+		mirrored = map[*types.Var]bool{}
+		for _, cd := range cands {
+			for v := range cd.loads {
+				mirrored[v] = true
+			}
+		}
+		isCand := map[*Region]bool{}
+		for _, cd := range cands {
+			isCand[cd.r] = true
+		}
+		for _, r := range li.Regions {
+			if isCand[r] {
+				continue
+			}
+			edits, ok := c.atomicize(r, mirrored)
+			if !ok {
+				instrument, why = false, NoteWriterNotAtomic
+				break
+			}
+			writerStores[r] = edits
+		}
+		if instrument && !c.guarded(li, mirrored) {
+			instrument, why = false, NoteUnguarded
+		}
+	}
+
+	li.Instrument = instrument
+	li.InstrumentNote = why
+	if instrument {
+		li.Mirrored = mirrored
+		for _, cd := range cands {
+			cd.r.Class = ClassInstrumented
+			cd.r.plan.reader = cd.ops
+			cd.r.plan.readerFinalRet = cd.finalRet
+		}
+		for r, edits := range writerStores {
+			r.plan.stores = edits
+		}
+	} else if why != "" {
+		for _, cd := range cands {
+			cd.r.Notes = append(cd.r.Notes, why)
+		}
+	}
+
+	for _, r := range li.Regions {
+		if r.Reject != "" {
+			r.Class = ClassRejected
+			continue
+		}
+		if r.Class == "" {
+			r.Class = ClassConvertible
+		}
+		if !allAccepted {
+			r.Notes = append(r.Notes, NoteSibling)
+		}
+	}
+}
+
+// planBase computes the shape-level plan every converted region needs:
+// result captures, the done flag, and hoisted declarations. It can still
+// reject the region (escape).
+func (c *classifier) planBase(r *Region) {
+	r.plan = &convPlan{}
+	info := c.ls.pkg.TypesInfo
+
+	// Generated identifiers are alepatch-prefixed; a user identifier with
+	// the prefix could collide or shadow.
+	collision := false
+	ast.Inspect(r.Fn, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && len(id.Name) >= 8 && id.Name[:8] == "alepatch" {
+			collision = true
+		}
+		return !collision
+	})
+	if collision {
+		r.reject(ReasonEscape, "function uses an alepatch-prefixed identifier")
+		return
+	}
+
+	// Result captures, needed when control leaves through the region.
+	needsCaps := (r.Defer && len(r.Returns) >= 0) || len(r.Exits) > 0
+	res := r.Fn.Type.Results
+	if needsCaps && res != nil && len(res.List) > 0 {
+		if res.List[0].Names != nil {
+			r.plan.capsNamed = true
+			for _, fld := range res.List {
+				for _, name := range fld.Names {
+					r.plan.caps = append(r.plan.caps, name.Name)
+				}
+			}
+		} else {
+			for i, fld := range res.List {
+				r.plan.caps = append(r.plan.caps, "alepatchRet"+strconv.Itoa(i))
+				r.plan.capTyps = append(r.plan.capTyps, c.render(fld.Type))
+			}
+		}
+	}
+	r.plan.needDone = !r.Defer && len(r.Exits) > 0
+
+	if r.Defer {
+		return // region is the rest of the body: nothing outlives it
+	}
+
+	// Hoists: top-level declarations whose names are used after the
+	// region must move out of the generated closure.
+	end := r.EndStmt.End()
+	usedAfter := func(obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(r.Fn.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Pos() > end && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	for _, s := range r.Stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE {
+				continue
+			}
+			h := hoist{assign: s}
+			need, renderOK := false, true
+			for _, l := range s.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok {
+					renderOK = false
+					break
+				}
+				obj := info.Defs[id]
+				if obj == nil || id.Name == "_" {
+					// Redeclared or blank: `=` needs no declaration for it.
+					h.names = append(h.names, "")
+					h.typs = append(h.typs, "")
+					continue
+				}
+				if usedAfter(obj) {
+					need = true
+				}
+				t, ok := c.renderType(r.File, obj.Type())
+				if !ok {
+					renderOK = false
+					break
+				}
+				h.names = append(h.names, id.Name)
+				h.typs = append(h.typs, t)
+			}
+			if !need {
+				continue
+			}
+			if !renderOK {
+				r.reject(ReasonEscape, "declaration used after the region has an unrenderable type")
+				return
+			}
+			r.plan.hoists = append(r.plan.hoists, h)
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			need, movable := false, gd.Tok == token.VAR
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					movable = false
+					continue
+				}
+				if len(vs.Values) > 0 {
+					movable = false
+				}
+				for _, name := range vs.Names {
+					if usedAfter(info.Defs[name]) {
+						need = true
+					}
+				}
+			}
+			if !need {
+				continue
+			}
+			if !movable {
+				r.reject(ReasonEscape, "initialized or non-var declaration used after the region")
+				return
+			}
+			r.plan.hoists = append(r.plan.hoists, hoist{decl: s})
+		}
+	}
+}
+
+// protectedField resolves sel to a word-addressable field of the lock's
+// owner struct reached through the region's own base path, or nil.
+func (c *classifier) protectedField(r *Region, sel *ast.SelectorExpr) *types.Var {
+	li := r.Ref.lock
+	if li.Owner == nil {
+		return nil
+	}
+	v, ok := c.ls.pkg.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() || v == li.Field {
+		return nil
+	}
+	st, ok := li.Owner.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	found := false
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == v {
+			found = true
+		}
+	}
+	if !found || types.ExprString(sel.X) != r.Ref.base {
+		return nil
+	}
+	return v
+}
+
+// wordSized reports whether t is int64 or uint64 (the types sync/atomic
+// can mirror), and whether it is the unsigned one.
+func wordSized(t types.Type) (unsigned, ok bool) {
+	b, isBasic := t.Underlying().(*types.Basic)
+	if !isBasic {
+		return false, false
+	}
+	switch b.Kind() {
+	case types.Int64:
+		return false, true
+	case types.Uint64:
+		return true, true
+	}
+	return false, false
+}
+
+// readerPlan decides whether the region can gain a speculative read path
+// and returns its op sequence; a non-empty note means no (with the why).
+func (c *classifier) readerPlan(r *Region) (ops []readerOp, finalRet bool, loads map[*types.Var]bool, note string) {
+	li := r.Ref.lock
+	if li.Field == nil {
+		return nil, false, nil, NotePackageState
+	}
+	info := c.ls.pkg.TypesInfo
+	loads = map[*types.Var]bool{}
+	targets := map[string]bool{}
+
+	// classifyRHS types one right-hand side as a protected load, a copy of
+	// a previous target, or a call-free local basic expression.
+	classifyRHS := func(e ast.Expr) (readerOp, string) {
+		e = ast.Unparen(e)
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			if fld := c.protectedField(r, sel); fld != nil {
+				unsigned, ok := wordSized(fld.Type())
+				if !ok {
+					return readerOp{}, NoteWideLoad
+				}
+				loads[fld] = true
+				return readerOp{load: fld, loadSel: c.render(sel), unsigned: unsigned}, ""
+			}
+		}
+		if id, ok := e.(*ast.Ident); ok && targets[id.Name] {
+			return readerOp{verbatim: id.Name}, ""
+		}
+		bad := ""
+		ast.Inspect(e, func(n ast.Node) bool {
+			if bad != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				bad = NoteCalls
+				return false
+			case *ast.FuncLit:
+				bad = NoteUnsupportedExpr
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW || n.Op == token.AND {
+					bad = NoteUnsupportedExpr
+					return false
+				}
+			case *ast.SelectorExpr:
+				if v, ok := info.Uses[n.Sel].(*types.Var); ok && v.IsField() {
+					bad = NoteComputes // any field read feeding computation
+					return false
+				}
+			case *ast.IndexExpr, *ast.StarExpr:
+				bad = NoteComputes
+				return false
+			case *ast.Ident:
+				obj := info.Uses[n]
+				if obj == nil {
+					return true
+				}
+				if _, isConst := obj.(*types.Const); isConst {
+					return true
+				}
+				if v, ok := obj.(*types.Var); ok {
+					if targets[n.Name] {
+						bad = NoteComputes // computing on a loaded value
+						return false
+					}
+					// Locals and parameters are per-call stable; anything
+					// else is shared state read twice under retry.
+					if !(v.Pos() >= r.Fn.Pos() && v.Pos() <= r.Fn.End()) {
+						bad = NoteComputes
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if bad != "" {
+			return readerOp{}, bad
+		}
+		t := info.TypeOf(e)
+		if t == nil {
+			return readerOp{}, NoteUnsupportedExpr
+		}
+		if _, ok := types.Default(t).Underlying().(*types.Basic); !ok {
+			return readerOp{}, NoteUnsupportedExpr
+		}
+		return readerOp{verbatim: c.render(e)}, ""
+	}
+
+	for i, s := range r.Stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				return nil, false, nil, NoteComputes
+			}
+			if len(s.Lhs) != len(s.Rhs) {
+				return nil, false, nil, NoteCalls
+			}
+			for j := range s.Lhs {
+				id, ok := s.Lhs[j].(*ast.Ident)
+				if !ok {
+					return nil, false, nil, NoteWrites
+				}
+				if v, ok := info.Uses[id].(*types.Var); ok && v.Parent() == c.ls.pkg.Types.Scope() {
+					return nil, false, nil, NoteWrites // store to a package var
+				}
+				op, bad := classifyRHS(s.Rhs[j])
+				if bad != "" {
+					return nil, false, nil, bad
+				}
+				op.target = id.Name
+				if s.Tok == token.DEFINE && id.Name != "_" {
+					op.declare = true
+					if op.load != nil {
+						if op.unsigned {
+							op.typ = "uint64"
+						} else {
+							op.typ = "int64"
+						}
+					} else {
+						t, ok := c.renderType(r.File, info.TypeOf(s.Rhs[j]))
+						if !ok {
+							return nil, false, nil, NoteUnsupportedExpr
+						}
+						op.typ = t
+					}
+				}
+				ops = append(ops, op)
+				if id.Name != "_" {
+					targets[id.Name] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			if !r.Defer || i != len(r.Stmts)-1 {
+				return nil, false, nil, NoteControlFlow
+			}
+			if len(s.Results) != len(r.plan.caps) {
+				return nil, false, nil, NoteCalls // multi-value call or naked return
+			}
+			for j, e := range s.Results {
+				op, bad := classifyRHS(e)
+				if bad != "" {
+					return nil, false, nil, bad
+				}
+				op.target = r.plan.caps[j]
+				ops = append(ops, op)
+			}
+			finalRet = true
+		default:
+			return nil, false, nil, NoteControlFlow
+		}
+	}
+	if len(loads) == 0 {
+		return nil, false, nil, NoteNoLoads
+	}
+
+	// An instrumented body re-executes under SWOpt retry: anything
+	// irrevocable in it (channel ops slipped through, etc.) disqualifies.
+	sc := irrevocable.NewScanner(c.ls.pkg.Fset, info, c.ls.pkg.Files, nil)
+	if findings := sc.ScanStmts(r.Stmts); len(findings) > 0 {
+		return nil, false, nil, NoteIrrevocable
+	}
+	return ops, finalRet, loads, ""
+}
+
+// atomicize rewrites every store to a mirrored field in a writer region
+// into its sync/atomic form; ok is false when any store has no such form.
+func (c *classifier) atomicize(r *Region, mirrored map[*types.Var]bool) (edits []storeEdit, ok bool) {
+	info := c.ls.pkg.TypesInfo
+
+	mirroredSel := func(e ast.Expr) (*ast.SelectorExpr, *types.Var) {
+		sel, isSel := ast.Unparen(e).(*ast.SelectorExpr)
+		if !isSel {
+			return nil, nil
+		}
+		if v, isVar := info.Uses[sel.Sel].(*types.Var); isVar && mirrored[v] {
+			return sel, v
+		}
+		return nil, nil
+	}
+	refsMirrored := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, isID := n.(*ast.Ident); isID {
+				if v, isVar := info.Uses[id].(*types.Var); isVar && mirrored[v] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	atomicFn := func(v *types.Var, op string) (string, bool) {
+		unsigned, word := wordSized(v.Type())
+		if !word {
+			return "", false
+		}
+		if unsigned {
+			if op == "Sub" {
+				return "", false // no negative literal for uint64 deltas
+			}
+			return "atomic." + op + "Uint64", true
+		}
+		if op == "Sub" {
+			op = "Add"
+		}
+		return "atomic." + op + "Int64", true
+	}
+
+	ok = true
+	for _, top := range r.Stmts {
+		ast.Inspect(top, func(n ast.Node) bool {
+			if !ok {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if _, v := mirroredSel(n.X); v != nil {
+						ok = false // address of protected state escapes
+						return false
+					}
+				}
+			case *ast.IncDecStmt:
+				sel, v := mirroredSel(n.X)
+				if v == nil {
+					return true
+				}
+				if types.ExprString(sel.X) != r.Ref.base {
+					ok = false
+					return false
+				}
+				op := "Add"
+				delta := "1"
+				if n.Tok == token.DEC {
+					op, delta = "Sub", "-1"
+				}
+				fn, can := atomicFn(v, op)
+				if !can {
+					ok = false
+					return false
+				}
+				edits = append(edits, storeEdit{node: n, text: fn + "(&" + c.render(sel) + ", " + delta + ")"})
+				return false
+			case *ast.AssignStmt:
+				anyMirrored := false
+				for _, l := range n.Lhs {
+					if _, v := mirroredSel(l); v != nil {
+						anyMirrored = true
+					}
+				}
+				if !anyMirrored {
+					return true
+				}
+				// No RHS may read mirrored state or any assigned LHS: the
+				// sequential split must match parallel-assign semantics.
+				lhsObjs := map[types.Object]bool{}
+				for _, l := range n.Lhs {
+					switch l := ast.Unparen(l).(type) {
+					case *ast.Ident:
+						lhsObjs[info.Uses[l]] = true
+						lhsObjs[info.Defs[l]] = true
+					case *ast.SelectorExpr:
+						lhsObjs[info.Uses[l.Sel]] = true
+					}
+				}
+				delete(lhsObjs, nil)
+				for _, rhs := range n.Rhs {
+					if refsMirrored(rhs) {
+						ok = false
+						return false
+					}
+					ast.Inspect(rhs, func(m ast.Node) bool {
+						if id, isID := m.(*ast.Ident); isID && lhsObjs[info.Uses[id]] {
+							ok = false
+						}
+						return ok
+					})
+					if !ok {
+						return false
+					}
+				}
+				if len(n.Lhs) != len(n.Rhs) {
+					ok = false // multi-value call into a mirrored field
+					return false
+				}
+				var lines []string
+				for j := range n.Lhs {
+					sel, v := mirroredSel(n.Lhs[j])
+					rhsText := c.render(n.Rhs[j])
+					if v == nil {
+						lines = append(lines, c.render(n.Lhs[j])+" = "+rhsText)
+						continue
+					}
+					if types.ExprString(sel.X) != r.Ref.base {
+						ok = false
+						return false
+					}
+					var fn string
+					var can bool
+					switch n.Tok {
+					case token.ASSIGN:
+						fn, can = atomicFn(v, "Store")
+					case token.ADD_ASSIGN:
+						fn, can = atomicFn(v, "Add")
+					case token.SUB_ASSIGN:
+						fn, can = atomicFn(v, "Sub")
+						rhsText = "-(" + rhsText + ")"
+					default:
+						can = false
+					}
+					if !can {
+						ok = false
+						return false
+					}
+					lines = append(lines, fn+"(&"+c.render(sel)+", "+rhsText+")")
+				}
+				text := lines[0]
+				for _, l := range lines[1:] {
+					text += "\n" + l
+				}
+				edits = append(edits, storeEdit{node: n, text: text})
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return nil, false
+		}
+	}
+	return edits, true
+}
+
+// guarded reports whether every use of a mirrored field in the package
+// sits inside one of the lock's accepted regions (composite-literal keys
+// and helper functions outside the lock count as unguarded).
+func (c *classifier) guarded(li *LockInfo, mirrored map[*types.Var]bool) bool {
+	type span struct{ lo, hi token.Pos }
+	var spans []span
+	for _, r := range li.Regions {
+		if r.Reject == "" {
+			lo, hi := r.span()
+			spans = append(spans, span{lo, hi})
+		}
+	}
+	inRegion := func(pos token.Pos) bool {
+		for _, s := range spans {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	guarded := true
+	for _, f := range c.ls.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if !guarded {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if v, isVar := c.ls.pkg.TypesInfo.Uses[id].(*types.Var); isVar && mirrored[v] && !inRegion(id.Pos()) {
+					guarded = false
+				}
+			}
+			return guarded
+		})
+	}
+	return guarded
+}

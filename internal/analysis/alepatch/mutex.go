@@ -1,0 +1,453 @@
+package alepatch
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// LockKind distinguishes the two sync lock types alepatch understands.
+type LockKind uint8
+
+const (
+	KindMutex LockKind = iota
+	KindRWMutex
+)
+
+// String returns the report name of the kind.
+func (k LockKind) String() string {
+	if k == KindRWMutex {
+		return "rwmutex"
+	}
+	return "mutex"
+}
+
+// LockInfo is one mutex identity: a sync.Mutex/sync.RWMutex-typed struct
+// field or package-level variable. All critical sections on the same
+// identity are converted (or rejected) together — the rewriter changes
+// the declaration's type, so conversion is all-or-nothing per identity.
+type LockInfo struct {
+	Obj   types.Object // the field or package var
+	Kind  LockKind
+	Name  string       // report name: "Counter.mu" or "pkgMu"
+	Owner *types.Named // owning struct's named type; nil for package vars
+
+	// Field is the *types.Var of the struct field (nil for package vars);
+	// protected-field matching uses its siblings.
+	Field *types.Var
+
+	// DeclType is the field's or var's type expression in the source
+	// (`sync.Mutex`), the range the rewriter replaces with the shim type.
+	DeclType ast.Expr
+	// DeclFile is the file containing DeclType.
+	DeclFile *ast.File
+
+	// Reject is a lock-level rejection reason ("" = usable): any use of
+	// the identity outside plain Lock/Unlock/RLock/RUnlock discipline
+	// poisons every region on it.
+	Reject     string
+	RejectNote string
+	RejectPos  token.Pos
+
+	Regions []*Region
+
+	// Instrument is set by classification when this lock's read regions
+	// gain a speculative path: readers validate against the conflict
+	// marker and writers enter conflicting regions with atomic stores to
+	// the mirrored fields.
+	Instrument     bool
+	InstrumentNote string              // why not, when readers exist but Instrument is false
+	Mirrored       map[*types.Var]bool // word-sized fields loaded by instrumented readers
+}
+
+// lockSet indexes the package's mutex identities and, per function, which
+// identities the function's body touches (for cross-function detection).
+type lockSet struct {
+	pkg   *framework.Package
+	locks map[types.Object]*LockInfo
+	// touchers: functions whose body calls Lock/Unlock/RLock/RUnlock on
+	// the identity — a call into one of these from inside a region on the
+	// same identity is a cross-function critical section.
+	touchers map[*types.Func]map[types.Object]bool
+}
+
+// lockMethods are the only method calls allowed on a convertible mutex.
+var lockMethods = map[string]bool{
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+}
+
+// isSyncLockType reports whether t is sync.Mutex or sync.RWMutex (by
+// value; pointer-typed declarations are aliases with unstable identity).
+func isSyncLockType(t types.Type) (LockKind, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return 0, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return 0, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return KindMutex, true
+	case "RWMutex":
+		return KindRWMutex, true
+	}
+	return 0, false
+}
+
+// discoverLocks finds every mutex identity declared in the package:
+// struct fields of named types and package-level variables.
+func discoverLocks(pkg *framework.Package) *lockSet {
+	ls := &lockSet{
+		pkg:      pkg,
+		locks:    map[types.Object]*LockInfo{},
+		touchers: map[*types.Func]map[types.Object]bool{},
+	}
+	info := pkg.TypesInfo
+	for _, f := range pkg.Files {
+		if ast.IsGenerated(f) {
+			continue
+		}
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				st, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				named, _ := info.Defs[n.Name].Type().(*types.Named)
+				for _, fld := range st.Fields.List {
+					kind, ok := isSyncLockType(info.TypeOf(fld.Type))
+					if !ok {
+						continue
+					}
+					for _, name := range fld.Names {
+						v, ok := info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						li := &LockInfo{
+							Obj: v, Kind: kind, Field: v, Owner: named,
+							DeclType: fld.Type, DeclFile: file,
+						}
+						if named != nil {
+							li.Name = named.Obj().Name() + "." + name.Name
+						} else {
+							li.Name = name.Name
+						}
+						ls.locks[v] = li
+					}
+				}
+			case *ast.ValueSpec:
+				for _, name := range n.Names {
+					v, ok := info.Defs[name].(*types.Var)
+					if !ok || v.Parent() != pkg.Types.Scope() {
+						continue
+					}
+					kind, ok := isSyncLockType(v.Type())
+					if !ok {
+						continue
+					}
+					li := &LockInfo{Obj: v, Kind: kind, Name: name.Name, DeclFile: file}
+					// The shared type expression of a multi-name spec can
+					// only be rewritten once; restrict to single-name specs.
+					if n.Type != nil && len(n.Names) == 1 {
+						li.DeclType = n.Type
+					} else {
+						li.reject("unstable-identity", name.NamePos,
+							"declaration form not rewritable (value-initialized or multi-name var spec)")
+					}
+					ls.locks[v] = li
+				}
+			}
+			return true
+		})
+	}
+	return ls
+}
+
+// reject records a lock-level rejection (first one wins).
+func (li *LockInfo) reject(reason string, pos token.Pos, note string) {
+	if li.Reject == "" {
+		li.Reject = reason
+		li.RejectPos = pos
+		li.RejectNote = note
+	}
+}
+
+// lockRef is one resolved reference to a mutex identity in an
+// expression: the identity plus the receiver path it was reached
+// through ("c.mu", "s.state.mu", "pkgMu").
+type lockRef struct {
+	lock *LockInfo
+	// base is the rendered owner path without the final lock field
+	// ("c", "s.state"); "" for package vars. Protected-field loads must
+	// share this exact base.
+	base string
+	// expr is the full rendered lock path ("c.mu").
+	expr string
+}
+
+// resolveLockExpr resolves e (the receiver of a Lock/Unlock-style call)
+// to a mutex identity with a stable base: either a package-level mutex
+// var, or a field path rooted at fn's pointer receiver. Any other shape
+// (locals, parameters, pointer fields, value receivers, map elements)
+// returns nil — those identities are not stable enough to rewrite.
+func (ls *lockSet) resolveLockExpr(fn *ast.FuncDecl, e ast.Expr) *lockRef {
+	info := ls.pkg.TypesInfo
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		li, ok := ls.locks[obj]
+		if !ok || li.Field != nil {
+			return nil
+		}
+		return &lockRef{lock: li, expr: e.Name}
+	case *ast.SelectorExpr:
+		obj := info.ObjectOf(e.Sel)
+		li, ok := ls.locks[obj]
+		if !ok {
+			return nil
+		}
+		if li.Field == nil {
+			// Package mutex var reached through a selector (pkg alias);
+			// same-package code cannot produce this.
+			return nil
+		}
+		// The base path must be plain selectors over a pointer receiver.
+		base := e.X
+		for {
+			base = ast.Unparen(base)
+			if sel, ok := base.(*ast.SelectorExpr); ok {
+				if _, ok := info.Selections[sel]; !ok {
+					return nil // qualified ident or method value
+				}
+				base = sel.X
+				continue
+			}
+			break
+		}
+		id, ok := base.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		recv := receiverObj(info, fn)
+		if recv == nil || info.ObjectOf(id) != recv {
+			return nil
+		}
+		if _, ok := recv.Type().(*types.Pointer); !ok {
+			return nil // value receiver: locking a copy
+		}
+		return &lockRef{lock: li, base: types.ExprString(e.X), expr: types.ExprString(e)}
+	}
+	return nil
+}
+
+// receiverObj returns fn's receiver variable, or nil.
+func receiverObj(info *types.Info, fn *ast.FuncDecl) *types.Var {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := info.Defs[fn.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// lockMethodCall decomposes a call into (receiver expr, method name) when
+// it invokes a method of sync.Mutex or sync.RWMutex.
+func lockMethodCall(info *types.Info, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, "", false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := isSyncLockType(t); !ok {
+		return nil, "", false
+	}
+	return sel.X, fn.Name(), true
+}
+
+// scanUses walks every file and classifies each reference to a mutex
+// identity. Anything but a plain Lock/Unlock/RLock/RUnlock call —
+// TryLock, sync.NewCond, RLocker, taking the address, passing or storing
+// the mutex — poisons the identity with the appropriate rejection.
+// It also fills the per-function toucher index.
+func (ls *lockSet) scanUses() {
+	info := ls.pkg.TypesInfo
+	for _, f := range ls.pkg.Files {
+		if ast.IsGenerated(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, isFunc := d.(*ast.FuncDecl)
+			var curFn *types.Func
+			if isFunc && fd.Body != nil {
+				curFn, _ = info.Defs[fd.Name].(*types.Func)
+			}
+			ls.scanNode(d, curFn)
+		}
+	}
+}
+
+// scanNode classifies mutex references under n, attributing touches to
+// fn (nil outside function bodies).
+func (ls *lockSet) scanNode(n ast.Node, fn *types.Func) {
+	info := ls.pkg.TypesInfo
+	var walk func(n ast.Node, parentCall *ast.CallExpr, inAddr bool)
+	// refOf returns the LockInfo an expression refers to, without
+	// descending into it further.
+	refOf := func(e ast.Expr) *LockInfo {
+		// Uses only: declaration idents (the field or var spec itself)
+		// are not references.
+		switch e := e.(type) {
+		case *ast.Ident:
+			if li, ok := ls.locks[info.Uses[e]]; ok && li.Field == nil {
+				return li
+			}
+		case *ast.SelectorExpr:
+			if li, ok := ls.locks[info.Uses[e.Sel]]; ok {
+				return li
+			}
+		}
+		return nil
+	}
+	touch := func(li *LockInfo) {
+		if fn == nil {
+			return
+		}
+		m := ls.touchers[fn]
+		if m == nil {
+			m = map[types.Object]bool{}
+			ls.touchers[fn] = m
+		}
+		m[li.Obj] = true
+	}
+	walk = func(n ast.Node, parentCall *ast.CallExpr, inAddr bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.CallExpr:
+			// A lock-method call: the receiver reference is legitimate.
+			if recv, meth, ok := lockMethodCall(info, n); ok {
+				if li := refOf(ast.Unparen(recv)); li != nil {
+					touch(li)
+					switch meth {
+					case "TryLock", "TryRLock":
+						li.reject("trylock", n.Pos(), meth+" has no Execute equivalent")
+					case "RLocker":
+						li.reject("address-taken", n.Pos(), "RLocker aliases the mutex as a sync.Locker")
+					default:
+						if !lockMethods[meth] {
+							li.reject("address-taken", n.Pos(), "unsupported mutex method "+meth)
+						}
+					}
+					// Descend only into the receiver's own base (not the
+					// mutex reference itself) and arguments.
+					walkBaseOf(recv, func(sub ast.Node) { walk(sub, nil, false) })
+					for _, a := range n.Args {
+						walk(a, nil, false)
+					}
+					return
+				}
+			}
+			// sync.NewCond(&mu): a condition variable is wedded to the
+			// native mutex implementation.
+			if callee := calleePath(info, n); callee == "sync.NewCond" {
+				for _, a := range n.Args {
+					if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+						if li := refOf(ast.Unparen(u.X)); li != nil {
+							li.reject("condvar", a.Pos(), "mutex used as a sync.Cond locker")
+							walkBaseOf(ast.Unparen(u.X), func(sub ast.Node) { walk(sub, nil, false) })
+							continue
+						}
+					}
+					walk(a, n, false)
+				}
+				return
+			}
+			walk(n.Fun, nil, false)
+			for _, a := range n.Args {
+				walk(a, n, false)
+			}
+			return
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if li := refOf(ast.Unparen(n.X)); li != nil {
+					li.reject("address-taken", n.Pos(), "address of the mutex escapes")
+					walkBaseOf(ast.Unparen(n.X), func(sub ast.Node) { walk(sub, nil, false) })
+					return
+				}
+				walk(n.X, nil, true)
+				return
+			}
+		case ast.Expr:
+			if li := refOf(n); li != nil {
+				// Any bare use outside a lock-method call: copied, passed,
+				// compared, stored.
+				li.reject("address-taken", n.Pos(), "mutex value used outside Lock/Unlock calls")
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					walkBaseOf(sel, func(sub ast.Node) { walk(sub, nil, false) })
+				}
+				return
+			}
+		}
+		// Generic descent.
+		children(n, func(c ast.Node) { walk(c, nil, false) })
+	}
+	walk(n, nil, false)
+}
+
+// walkBaseOf visits the owner path of a selector (everything left of the
+// final field) so uses buried in the base are still classified.
+func walkBaseOf(e ast.Expr, visit func(ast.Node)) {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		visit(sel.X)
+	}
+}
+
+// children invokes visit on each direct child node of n.
+func children(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			visit(c)
+		}
+		return false
+	})
+}
+
+// calleePath renders a call's callee as "pkg.Func" for package functions.
+func calleePath(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return ""
+	}
+	return fmt.Sprintf("%s.%s", fn.Pkg().Name(), fn.Name())
+}

@@ -1,0 +1,622 @@
+package alepatch
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/aleutil"
+	"repro/internal/analysis/cfgutil"
+)
+
+// Rejection reason codes. Every rejected region carries exactly one.
+const (
+	ReasonUnbalanced   = "unbalanced"          // a path holds the lock at exit, or re-locks
+	ReasonDeferInLoop  = "defer-in-loop"       // defer Unlock inside a loop: unlock runs at function exit, not per iteration
+	ReasonGotoCrosses  = "goto-crosses-region" // goto jumps over the region boundary
+	ReasonUnsupported  = "unsupported-exit"    // break/continue/defer/unlock shape outside the supported forms
+	ReasonCrossFn      = "cross-function"      // the critical section spans a call that locks/unlocks the same mutex
+	ReasonEscape       = "escape"              // region state cannot be hoisted out of the generated closure
+	ReasonCondvar      = "condvar"             // mutex feeds sync.NewCond
+	ReasonTryLock      = "trylock"             // TryLock/TryRLock used on the mutex
+	ReasonAddressTaken = "address-taken"       // mutex aliased beyond Lock/Unlock calls
+	ReasonUnstable     = "unstable-identity"   // lock expression not a stable field/package-var path
+)
+
+// Region is one matched (or attempted) critical section: from a Lock or
+// RLock call to its paired unlocks.
+type Region struct {
+	Fn   *ast.FuncDecl
+	File *ast.File
+	Ref  *lockRef // nil iff Reject == ReasonUnstable
+	Read bool     // RLock region
+
+	// Defer marks the `mu.Lock(); defer mu.Unlock()` shape: the region is
+	// the remainder of the function body.
+	Defer     bool
+	DeferStmt *ast.DeferStmt
+
+	LockStmt *ast.ExprStmt
+	List     []ast.Stmt // statement list containing LockStmt
+	LockIdx  int
+
+	// EndStmt is the fall-through Unlock ending an inline region (nil for
+	// the defer shape).
+	EndStmt *ast.ExprStmt
+	EndIdx  int
+
+	// Stmts are the statements between lock and final unlock (exclusive),
+	// or after the defer for the defer shape.
+	Stmts []ast.Stmt
+
+	// Exits are nested early exits: an Unlock immediately followed by a
+	// return.
+	Exits []EarlyExit
+
+	// Returns are the region's return statements for the defer shape
+	// (function literals excluded).
+	Returns []*ast.ReturnStmt
+
+	Reject string
+	Note   string
+
+	// Classification results (filled by classify).
+	Class string
+	Notes []string
+	plan  *convPlan
+}
+
+// EarlyExit is an `Unlock(); return ...` pair nested inside an inline
+// region.
+type EarlyExit struct {
+	Unlock *ast.ExprStmt
+	Ret    *ast.ReturnStmt
+	List   []ast.Stmt
+	Idx    int // index of Unlock in List
+}
+
+// reject records the region's rejection reason (first one wins).
+func (r *Region) reject(reason, note string) {
+	if r.Reject == "" {
+		r.Reject = reason
+		r.Note = note
+	}
+}
+
+// span returns the region's source extent, lock call included.
+func (r *Region) span() (token.Pos, token.Pos) {
+	if r.Defer {
+		return r.LockStmt.Pos(), r.Fn.Body.End()
+	}
+	return r.LockStmt.Pos(), r.EndStmt.End()
+}
+
+// listCtx is a statement list with its position context in the function.
+type listCtx struct {
+	list  []ast.Stmt
+	top   bool // the function body's own list
+	loops int  // enclosing loops within the function
+}
+
+// collectLists gathers every statement list in the function body, in
+// source order, without descending into function literals.
+func collectLists(fn *ast.FuncDecl) []listCtx {
+	var out []listCtx
+	var walkStmt func(s ast.Stmt, loops int)
+	walkList := func(list []ast.Stmt, top bool, loops int) {
+		out = append(out, listCtx{list, top, loops})
+		for _, s := range list {
+			walkStmt(s, loops)
+		}
+	}
+	walkStmt = func(s ast.Stmt, loops int) {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			walkList(s.List, false, loops)
+		case *ast.IfStmt:
+			walkList(s.Body.List, false, loops)
+			if s.Else != nil {
+				walkStmt(s.Else, loops)
+			}
+		case *ast.ForStmt:
+			walkList(s.Body.List, false, loops+1)
+		case *ast.RangeStmt:
+			walkList(s.Body.List, false, loops+1)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				walkList(c.(*ast.CaseClause).Body, false, loops)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				walkList(c.(*ast.CaseClause).Body, false, loops)
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				walkList(c.(*ast.CommClause).Body, false, loops)
+			}
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt, loops)
+		}
+	}
+	walkList(fn.Body.List, true, 0)
+	return out
+}
+
+// regionsIn matches every critical section in fn. Unmatchable Lock calls
+// produce rejected regions so the report covers them.
+func (ls *lockSet) regionsIn(fn *ast.FuncDecl, file *ast.File) []*Region {
+	info := ls.pkg.TypesInfo
+	var out []*Region
+	for _, lc := range collectLists(fn) {
+		for i, s := range lc.list {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			recv, meth, ok := lockMethodCall(info, call)
+			if !ok || (meth != "Lock" && meth != "RLock") {
+				continue
+			}
+			r := &Region{
+				Fn: fn, File: file, Read: meth == "RLock",
+				LockStmt: es, List: lc.list, LockIdx: i,
+			}
+			r.Ref = ls.resolveLockExpr(fn, recv)
+			if r.Ref == nil {
+				r.reject(ReasonUnstable,
+					"lock expression is not a package-level mutex or a field path on the method's pointer receiver")
+				out = append(out, r)
+				continue
+			}
+			ls.matchRegion(r, lc)
+			if r.Reject == "" {
+				ls.verifyRegion(r)
+			}
+			r.Ref.lock.Regions = append(r.Ref.lock.Regions, r)
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// unlockName returns the unlock method pairing the region's lock call.
+func (r *Region) unlockName() string {
+	if r.Read {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// isUnlockStmt reports whether s is `<ref>.<name>()` for the region's
+// reference.
+func (ls *lockSet) isUnlockStmt(r *Region, s ast.Stmt, name string) *ast.ExprStmt {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	recv, meth, ok := lockMethodCall(ls.pkg.TypesInfo, call)
+	if !ok || meth != name {
+		return nil
+	}
+	ref := ls.resolveLockExpr(r.Fn, recv)
+	if ref == nil || ref.lock != r.Ref.lock || ref.base != r.Ref.base {
+		return nil
+	}
+	return es
+}
+
+// matchRegion identifies the region's shape (defer or inline), its
+// statements, and its early exits, applying the syntactic checks that
+// give precise rejection reasons before the CFG pass.
+func (ls *lockSet) matchRegion(r *Region, lc listCtx) {
+	list, i := r.List, r.LockIdx
+
+	// Shape A: `mu.Lock(); defer mu.Unlock()`.
+	if i+1 < len(list) {
+		if ds, ok := list[i+1].(*ast.DeferStmt); ok {
+			if recv, meth, ok := lockMethodCall(ls.pkg.TypesInfo, ds.Call); ok && meth == r.unlockName() {
+				if ref := ls.resolveLockExpr(r.Fn, recv); ref != nil && ref.lock == r.Ref.lock && ref.base == r.Ref.base {
+					switch {
+					case lc.loops > 0:
+						r.reject(ReasonDeferInLoop,
+							"deferred "+r.unlockName()+" inside a loop runs at function exit, not per iteration")
+						return
+					case !lc.top:
+						r.reject(ReasonUnsupported,
+							"deferred "+r.unlockName()+" below the function's top level")
+						return
+					}
+					r.Defer = true
+					r.DeferStmt = ds
+					r.Stmts = list[i+2:]
+					r.EndIdx = len(list)
+					ls.scanRegionBody(r)
+					return
+				}
+			}
+		}
+	}
+
+	// Shape B: scan this level for the fall-through unlock.
+	for j := i + 1; j < len(list); j++ {
+		if es := ls.isUnlockStmt(r, list[j], r.unlockName()); es != nil {
+			r.EndStmt = es
+			r.EndIdx = j
+			r.Stmts = list[i+1 : j]
+			ls.scanRegionBody(r)
+			return
+		}
+		// A deferred unlock separated from the lock is ambiguous about
+		// what the critical section covers.
+		if ds, ok := list[j].(*ast.DeferStmt); ok {
+			if recv, meth, ok := lockMethodCall(ls.pkg.TypesInfo, ds.Call); ok && meth == r.unlockName() {
+				if ref := ls.resolveLockExpr(r.Fn, recv); ref != nil && ref.lock == r.Ref.lock {
+					if lc.loops > 0 {
+						r.reject(ReasonDeferInLoop,
+							"deferred "+r.unlockName()+" inside a loop runs at function exit, not per iteration")
+					} else {
+						r.reject(ReasonUnsupported,
+							"deferred "+r.unlockName()+" is not immediately after the Lock")
+					}
+					return
+				}
+			}
+		}
+	}
+	// No unlock at this level: conditional unlock, helper unlock, or a
+	// genuinely missing one.
+	if ls.fnUnlocksElsewhere(r) {
+		r.reject(ReasonCrossFn, "the matching "+r.unlockName()+" is in another function")
+		return
+	}
+	r.reject(ReasonUnbalanced, "no matching "+r.unlockName()+" at the same block level")
+}
+
+// fnUnlocksElsewhere reports whether any other same-package function
+// calls unlock on the region's lock identity.
+func (ls *lockSet) fnUnlocksElsewhere(r *Region) bool {
+	cur, _ := ls.pkg.TypesInfo.Defs[r.Fn.Name].(*types.Func)
+	for fn, touched := range ls.touchers {
+		if fn != cur && touched[r.Ref.lock.Obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// scanRegionBody applies the syntactic region checks: early-exit
+// discovery, goto/break/continue escape detection, and function-literal
+// hygiene. It leaves CFG-level balance to verifyRegion.
+func (ls *lockSet) scanRegionBody(r *Region) {
+	lo, hi := r.span()
+
+	// Function literals inside the region must not touch the mutex: the
+	// closure may run after (or during) the section.
+	for _, s := range r.Stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			fl, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(fl.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if recv, _, ok := lockMethodCall(ls.pkg.TypesInfo, call); ok {
+						if ref := ls.resolveLockExpr(r.Fn, recv); ref != nil && ref.lock == r.Ref.lock {
+							r.reject(ReasonUnsupported, "mutex used inside a function literal in the region")
+						}
+					}
+				}
+				return true
+			})
+			return false
+		})
+	}
+
+	// Early exits and stray unlocks inside the region.
+	var walkExits func(list []ast.Stmt)
+	walkExits = func(list []ast.Stmt) {
+		for k, s := range list {
+			if es := ls.isUnlockStmt(r, s, r.unlockName()); es != nil {
+				if r.Defer {
+					r.reject(ReasonUnsupported, "explicit "+r.unlockName()+" with a deferred unlock pending")
+					return
+				}
+				if k+1 < len(list) {
+					if ret, ok := list[k+1].(*ast.ReturnStmt); ok {
+						r.Exits = append(r.Exits, EarlyExit{Unlock: es, Ret: ret, List: list, Idx: k})
+						continue
+					}
+				}
+				r.reject(ReasonUnsupported, r.unlockName()+" not immediately followed by a return")
+				return
+			}
+			// Mismatched unlock variant (Unlock inside an RLock region or
+			// vice versa) is a lock-discipline bug; leave it to the CFG
+			// pass, which sees the path never release this mode's hold.
+			switch s := s.(type) {
+			case *ast.BlockStmt:
+				walkExits(s.List)
+			case *ast.IfStmt:
+				walkExits(s.Body.List)
+				if s.Else != nil {
+					walkExits([]ast.Stmt{s.Else})
+				}
+			case *ast.ForStmt:
+				walkExits(s.Body.List)
+			case *ast.RangeStmt:
+				walkExits(s.Body.List)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					walkExits(c.(*ast.CaseClause).Body)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					walkExits(c.(*ast.CaseClause).Body)
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					walkExits(c.(*ast.CommClause).Body)
+				}
+			case *ast.LabeledStmt:
+				walkExits([]ast.Stmt{s.Stmt})
+			}
+		}
+	}
+	walkExits(r.Stmts)
+	if r.Reject != "" {
+		return
+	}
+
+	// Returns inside a defer-shaped region are rewritten to captures.
+	if r.Defer {
+		for _, s := range r.Stmts {
+			ast.Inspect(s, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.ReturnStmt:
+					r.Returns = append(r.Returns, n)
+				}
+				return true
+			})
+		}
+	}
+
+	// Labels and gotos: a goto over either region boundary loses the
+	// lock/unlock pairing.
+	labels := map[string]token.Pos{}
+	ast.Inspect(r.Fn.Body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.LabeledStmt); ok {
+			labels[l.Label.Name] = l.Pos()
+		}
+		return true
+	})
+	ast.Inspect(r.Fn.Body, func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		if !ok || br.Tok != token.GOTO || br.Label == nil {
+			return true
+		}
+		target, known := labels[br.Label.Name]
+		if !known {
+			return true
+		}
+		fromIn := br.Pos() >= lo && br.Pos() < hi
+		toIn := target >= lo && target < hi
+		if fromIn != toIn {
+			r.reject(ReasonGotoCrosses, fmt.Sprintf("goto %s crosses the region boundary", br.Label.Name))
+			return false
+		}
+		return true
+	})
+	if r.Reject != "" {
+		return
+	}
+
+	// break/continue escaping the region: walk the region statements
+	// tracking how many breakable/continuable constructs are inside.
+	var walkBranches func(s ast.Stmt, brk, cont int)
+	walkBranchesList := func(list []ast.Stmt, brk, cont int) {
+		for _, s := range list {
+			walkBranches(s, brk, cont)
+		}
+	}
+	walkBranches = func(s ast.Stmt, brk, cont int) {
+		switch s := s.(type) {
+		case *ast.BranchStmt:
+			switch s.Tok {
+			case token.BREAK:
+				if s.Label != nil {
+					if target, ok := labels[s.Label.Name]; ok && (target < lo || target >= hi) {
+						r.reject(ReasonUnsupported, "labeled break exits the region with the lock held")
+					}
+				} else if brk == 0 {
+					r.reject(ReasonUnsupported, "break exits the region with the lock held")
+				}
+			case token.CONTINUE:
+				if s.Label != nil {
+					if target, ok := labels[s.Label.Name]; ok && (target < lo || target >= hi) {
+						r.reject(ReasonUnsupported, "labeled continue exits the region with the lock held")
+					}
+				} else if cont == 0 {
+					r.reject(ReasonUnsupported, "continue exits the region with the lock held")
+				}
+			}
+		case *ast.BlockStmt:
+			walkBranchesList(s.List, brk, cont)
+		case *ast.IfStmt:
+			walkBranchesList(s.Body.List, brk, cont)
+			if s.Else != nil {
+				walkBranches(s.Else, brk, cont)
+			}
+		case *ast.ForStmt:
+			walkBranchesList(s.Body.List, brk+1, cont+1)
+		case *ast.RangeStmt:
+			walkBranchesList(s.Body.List, brk+1, cont+1)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				walkBranchesList(c.(*ast.CaseClause).Body, brk+1, cont)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				walkBranchesList(c.(*ast.CaseClause).Body, brk+1, cont)
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				walkBranchesList(c.(*ast.CommClause).Body, brk+1, cont)
+			}
+		case *ast.LabeledStmt:
+			walkBranches(s.Stmt, brk, cont)
+		}
+	}
+	walkBranchesList(r.Stmts, 0, 0)
+}
+
+// verifyRegion walks the function's CFG from the Lock call and checks
+// every path releases the lock exactly once through a known unlock (or,
+// for the defer shape, reaches the function exit with no stray mutex
+// operations), rejecting cross-function sections along the way.
+func (ls *lockSet) verifyRegion(r *Region) {
+	info := ls.pkg.TypesInfo
+	g := cfgutil.New(r.Fn.Body)
+
+	known := map[ast.Stmt]bool{}
+	if r.EndStmt != nil {
+		known[r.EndStmt] = true
+	}
+	for _, e := range r.Exits {
+		known[e.Unlock] = true
+	}
+
+	curFn, _ := info.Defs[r.Fn.Name].(*types.Func)
+
+	// classify inspects one CFG node for mutex-relevant events.
+	const (
+		evNone = iota
+		evLockAgain
+		evUnlockKnown
+		evUnlockStray
+		evCross
+	)
+	classify := func(n ast.Node) (int, string) {
+		if n == ast.Node(r.LockStmt) {
+			return evLockAgain, "the Lock statement is reachable again while the lock is held"
+		}
+		if r.DeferStmt != nil && n == ast.Node(r.DeferStmt) {
+			return evNone, ""
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			if es := ls.isUnlockStmt(r, s, r.unlockName()); es != nil {
+				if known[es] {
+					return evUnlockKnown, ""
+				}
+				return evUnlockStray, r.unlockName() + " outside the supported region shapes"
+			}
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if recv, meth, ok := lockMethodCall(info, call); ok && (meth == "Lock" || meth == "RLock") {
+						if ref := ls.resolveLockExpr(r.Fn, recv); ref != nil && ref.lock == r.Ref.lock {
+							return evLockAgain, "the mutex is locked again while the lock is held"
+						}
+					}
+				}
+			}
+		}
+		// Nested mutex operations hidden in non-statement positions, and
+		// calls into functions that touch the same lock.
+		verdict, note := evNone, ""
+		ast.Inspect(n, func(m ast.Node) bool {
+			if verdict != evNone {
+				return false
+			}
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recv, meth, ok := lockMethodCall(info, call); ok {
+				if ref := ls.resolveLockExpr(r.Fn, recv); ref != nil && ref.lock == r.Ref.lock {
+					if es, isExpr := n.(*ast.ExprStmt); isExpr && es.X == call {
+						return true // already handled above
+					}
+					verdict, note = evUnlockStray, meth+" in an unsupported position inside the region"
+					return false
+				}
+				return true
+			}
+			if fn := aleutil.Callee(info, call); fn != nil && fn != curFn {
+				if ls.touchers[fn] != nil && ls.touchers[fn][r.Ref.lock.Obj] {
+					verdict, note = evCross, "call to "+fn.Name()+", which locks or unlocks the same mutex"
+					return false
+				}
+			}
+			return true
+		})
+		return verdict, note
+	}
+
+	// Locate the Lock statement in the graph.
+	var startB *cfgutil.Block
+	startI := -1
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == ast.Node(r.LockStmt) {
+				startB, startI = b, i
+			}
+		}
+	}
+	if startB == nil {
+		r.reject(ReasonUnsupported, "lock statement unreachable in the control-flow graph")
+		return
+	}
+
+	type cpos struct {
+		b *cfgutil.Block
+		i int
+	}
+	visited := map[cpos]bool{}
+	var walk func(b *cfgutil.Block, i int)
+	walk = func(b *cfgutil.Block, i int) {
+		if r.Reject != "" || visited[cpos{b, i}] {
+			return
+		}
+		visited[cpos{b, i}] = true
+		for ; i < len(b.Nodes); i++ {
+			ev, note := classify(b.Nodes[i])
+			switch ev {
+			case evLockAgain:
+				r.reject(ReasonUnbalanced, note)
+				return
+			case evUnlockKnown:
+				return // path closed
+			case evUnlockStray:
+				r.reject(ReasonUnsupported, note)
+				return
+			case evCross:
+				r.reject(ReasonCrossFn, note)
+				return
+			}
+		}
+		for _, succ := range b.Succs {
+			if succ == g.Exit {
+				if !r.Defer {
+					r.reject(ReasonUnbalanced, "a path leaves the function with the lock held")
+					return
+				}
+				continue
+			}
+			walk(succ, 0)
+		}
+	}
+	walk(startB, startI+1)
+}

@@ -1,0 +1,141 @@
+package alepatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis/framework"
+)
+
+// RegionRecord is one critical section in the machine report.
+type RegionRecord struct {
+	File   string   `json:"file"` // relative to the package directory
+	Line   int      `json:"line"`
+	Func   string   `json:"func"`
+	Mutex  string   `json:"mutex"`
+	Kind   string   `json:"kind"` // mutex | rwmutex
+	Mode   string   `json:"mode"` // write | read
+	Class  string   `json:"class"`
+	Reason string   `json:"reason,omitempty"` // rejection reason code
+	Detail string   `json:"detail,omitempty"` // human explanation
+	Notes  []string `json:"notes,omitempty"`  // downgrade notes
+}
+
+// Report is the per-package half of the -check output.
+type Report struct {
+	Package      string         `json:"package"`
+	Regions      []RegionRecord `json:"regions"`
+	Convertible  int            `json:"convertible"`
+	Instrumented int            `json:"instrumented"`
+	Rejected     int            `json:"rejected"`
+}
+
+// CheckOutput is the top-level -check -json document.
+type CheckOutput struct {
+	Packages []Report `json:"packages"`
+}
+
+// funcLabel renders fn as "(*Counter).Add" or "Add".
+func funcLabel(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		recv := types.ExprString(fn.Recv.List[0].Type)
+		return "(" + recv + ")." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// buildReport assembles the report for one analyzed package.
+func buildReport(pkg *framework.Package, regions []*Region) Report {
+	rep := Report{Package: pkg.ImportPath}
+	for _, r := range regions {
+		pos := pkg.Fset.Position(r.LockStmt.Pos())
+		file := pos.Filename
+		if rel, err := filepath.Rel(pkg.Dir, file); err == nil {
+			file = rel
+		}
+		mode := "write"
+		if r.Read {
+			mode = "read"
+		}
+		rec := RegionRecord{
+			File: file, Line: pos.Line,
+			Func:  funcLabel(r.Fn),
+			Mode:  mode,
+			Class: r.Class,
+			Notes: dedupe(r.Notes),
+		}
+		if r.Ref != nil {
+			rec.Mutex = r.Ref.lock.Name
+			rec.Kind = r.Ref.lock.Kind.String()
+		}
+		if r.Reject != "" {
+			rec.Reason = r.Reject
+			rec.Detail = r.Note
+		}
+		switch r.Class {
+		case ClassConvertible:
+			rep.Convertible++
+		case ClassInstrumented:
+			rep.Instrumented++
+		case ClassRejected:
+			rep.Rejected++
+		}
+		rep.Regions = append(rep.Regions, rec)
+	}
+	sort.Slice(rep.Regions, func(i, j int) bool {
+		a, b := rep.Regions[i], rep.Regions[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return rep
+}
+
+func dedupe(notes []string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, n := range notes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the -check -json document: indented, newline-terminated,
+// stable field order.
+func (co CheckOutput) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(co)
+}
+
+// WriteHuman emits the line-per-region form of the report.
+func (rep Report) WriteHuman(w io.Writer) {
+	for _, r := range rep.Regions {
+		fmt.Fprintf(w, "%s:%d: %s: %s %s [%s] %s", r.File, r.Line, r.Func, r.Kind, r.Mutex, r.Mode, r.Class)
+		if r.Reason != "" {
+			fmt.Fprintf(w, " (%s: %s)", r.Reason, r.Detail)
+		}
+		for i, n := range r.Notes {
+			if i == 0 {
+				fmt.Fprintf(w, " (notes: %s", n)
+			} else {
+				fmt.Fprintf(w, ", %s", n)
+			}
+		}
+		if len(r.Notes) > 0 {
+			fmt.Fprint(w, ")")
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%s: %d convertible, %d instrumented, %d rejected\n",
+		rep.Package, rep.Convertible, rep.Instrumented, rep.Rejected)
+}

@@ -1,0 +1,520 @@
+package alepatch
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// edit replaces source bytes [lo,hi) with text. Edits on one file must
+// not overlap.
+type edit struct {
+	lo, hi int
+	text   string
+}
+
+// applyEdits splices edits into src, highest offset first.
+func applyEdits(src []byte, edits []edit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool { return edits[i].lo > edits[j].lo })
+	for i := 1; i < len(edits); i++ {
+		if edits[i].hi > edits[i-1].lo {
+			return nil, fmt.Errorf("overlapping edits at %d and %d", edits[i].lo, edits[i-1].lo)
+		}
+	}
+	out := append([]byte(nil), src...)
+	for _, e := range edits {
+		out = append(out[:e.lo], append([]byte(e.text), out[e.hi:]...)...)
+	}
+	return out, nil
+}
+
+// rewriter turns a classified package into converted source.
+type rewriter struct {
+	c *classifier
+}
+
+// offset returns pos's byte offset within its file.
+func (rw *rewriter) offset(pos token.Pos) int {
+	return rw.c.ls.pkg.Fset.Position(pos).Offset
+}
+
+// convertedLocks returns the locks whose every region was accepted (the
+// all-or-nothing rule: the declaration type changes, so either all call
+// sites convert or none do), sorted by declaration position.
+func (rw *rewriter) convertedLocks() []*LockInfo {
+	var out []*LockInfo
+	for _, li := range rw.c.ls.locks {
+		if li.Reject != "" || len(li.Regions) == 0 || li.DeclType == nil {
+			continue
+		}
+		ok := true
+		for _, r := range li.Regions {
+			if r.Reject != "" {
+				ok = false
+			}
+		}
+		if ok {
+			out = append(out, li)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj.Pos() < out[j].Obj.Pos() })
+	return out
+}
+
+// Rewrite produces the converted file set: changed source files plus the
+// generated zz_alepatch.go shim, keyed by base filename. Unchanged files
+// are absent. An empty map means nothing converted.
+func (rw *rewriter) Rewrite() (map[string][]byte, error) {
+	pkg := rw.c.ls.pkg
+	locks := rw.convertedLocks()
+	if len(locks) == 0 {
+		return map[string][]byte{}, nil
+	}
+
+	// Deterministic scope numbering across the package.
+	var regions []*Region
+	for _, li := range locks {
+		regions = append(regions, li.Regions...)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].LockStmt.Pos() < regions[j].LockStmt.Pos() })
+	fnSeen := map[*ast.FuncDecl]int{}
+	var scopeLabels []string
+	for i, r := range regions {
+		r.plan.scopeIdx = i
+		label := pkg.Types.Name() + "." + funcLabel(r.Fn)
+		if n := fnSeen[r.Fn]; n > 0 {
+			label += "#" + strconv.Itoa(n+1)
+		}
+		fnSeen[r.Fn]++
+		r.plan.scopeLabel = label
+		scopeLabels = append(scopeLabels, label)
+	}
+
+	fileEdits := map[*ast.File][]edit{}
+	atomicNeeded := map[*ast.File]bool{}
+	coreNeeded := map[*ast.File]bool{}
+
+	for _, li := range locks {
+		fileEdits[li.DeclFile] = append(fileEdits[li.DeclFile], edit{
+			lo: rw.offset(li.DeclType.Pos()), hi: rw.offset(li.DeclType.End()),
+			text: "alepatchMutex",
+		})
+	}
+	for _, r := range regions {
+		f := rw.c.fileOf(r.LockStmt.Pos())
+		text, usesAtomic := rw.regionText(r)
+		lo := rw.offset(r.LockStmt.Pos())
+		var hi int
+		if r.Defer {
+			if len(r.Stmts) > 0 {
+				hi = rw.offset(r.Stmts[len(r.Stmts)-1].End())
+			} else {
+				hi = rw.offset(r.DeferStmt.End())
+			}
+		} else {
+			hi = rw.offset(r.EndStmt.End())
+		}
+		fileEdits[f] = append(fileEdits[f], edit{lo: lo, hi: hi, text: text})
+		coreNeeded[f] = true
+		if usesAtomic {
+			atomicNeeded[f] = true
+		}
+	}
+
+	out := map[string][]byte{}
+	for f, edits := range fileEdits {
+		if imp := rw.importEdit(f, edits, coreNeeded[f], atomicNeeded[f]); imp != nil {
+			edits = append(edits, *imp)
+		}
+		raw, err := applyEdits(rw.c.src[f], edits)
+		if err != nil {
+			return nil, err
+		}
+		name := pkg.Fset.Position(f.Pos()).Filename
+		formatted, err := format.Source(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s: formatting rewritten source: %v\n%s", name, err, raw)
+		}
+		out[baseName(name)] = formatted
+	}
+
+	shim, err := format.Source([]byte(shimText(pkg.Types.Name(), scopeLabels)))
+	if err != nil {
+		return nil, fmt.Errorf("formatting generated shim: %v", err)
+	}
+	out["zz_alepatch.go"] = shim
+	return out, nil
+}
+
+// endsInReturn reports whether the last top-level statement of a region
+// body is a return (after rewriting, every such return ends the closure).
+func endsInReturn(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	_, ok := stmts[len(stmts)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// importEdit rewrites the file's import declarations: drop "sync" when no
+// reference survives outside the edited ranges, add the core (and
+// sync/atomic) imports the generated code needs.
+func (rw *rewriter) importEdit(f *ast.File, edits []edit, needCore, needAtomic bool) *edit {
+	info := rw.c.ls.pkg.TypesInfo
+	inEdit := func(off int) bool {
+		for _, e := range edits {
+			if off >= e.lo && off < e.hi {
+				return true
+			}
+		}
+		return false
+	}
+	syncUsed := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if syncUsed {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "sync" {
+				if !inEdit(rw.offset(id.Pos())) {
+					syncUsed = true
+				}
+			}
+		}
+		return true
+	})
+
+	type spec struct{ name, path string }
+	var keep []spec
+	have := map[string]bool{}
+	var importDecls []*ast.GenDecl
+	for _, d := range f.Decls {
+		if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+			importDecls = append(importDecls, gd)
+			for _, s := range gd.Specs {
+				is := s.(*ast.ImportSpec)
+				path, _ := strconv.Unquote(is.Path.Value)
+				if path == "sync" && !syncUsed {
+					continue
+				}
+				name := ""
+				if is.Name != nil {
+					name = is.Name.Name
+				}
+				keep = append(keep, spec{name, path})
+				have[path] = true
+			}
+		}
+	}
+	if needAtomic && !have["sync/atomic"] {
+		keep = append(keep, spec{"", "sync/atomic"})
+		have["sync/atomic"] = true
+	}
+	if needCore && !have["repro/internal/core"] {
+		keep = append(keep, spec{"", "repro/internal/core"})
+	}
+
+	var b strings.Builder
+	b.WriteString("import (\n")
+	for _, s := range keep {
+		if s.name != "" {
+			fmt.Fprintf(&b, "\t%s %q\n", s.name, s.path)
+		} else {
+			fmt.Fprintf(&b, "\t%q\n", s.path)
+		}
+	}
+	b.WriteString(")")
+
+	if len(importDecls) == 0 {
+		return &edit{
+			lo: rw.offset(f.Name.End()), hi: rw.offset(f.Name.End()),
+			text: "\n\n" + b.String(),
+		}
+	}
+	return &edit{
+		lo:   rw.offset(importDecls[0].Pos()),
+		hi:   rw.offset(importDecls[len(importDecls)-1].End()),
+		text: b.String(),
+	}
+}
+
+// regionText renders the full replacement for one region, from thread
+// acquisition through the post-Execute footer. Indentation is left to
+// format.Source.
+func (rw *rewriter) regionText(r *Region) (text string, usesAtomic bool) {
+	p := r.plan
+	li := r.Ref.lock
+	var b strings.Builder
+
+	b.WriteString("alepatchThr := alepatchAcquire()\n")
+	for i, typ := range p.capTyps {
+		fmt.Fprintf(&b, "var %s %s\n", p.caps[i], typ)
+	}
+	if p.needDone {
+		b.WriteString("alepatchDone := false\n")
+	}
+	if p.reader != nil {
+		for _, op := range p.reader {
+			if op.declare {
+				fmt.Fprintf(&b, "var %s %s\n", op.target, op.typ)
+			}
+		}
+	} else {
+		for _, h := range p.hoists {
+			if h.decl != nil {
+				b.WriteString(rw.c.render(h.decl) + "\n")
+				continue
+			}
+			for i, name := range h.names {
+				if name != "" && name != "_" {
+					fmt.Fprintf(&b, "var %s %s\n", name, h.typs[i])
+				}
+			}
+		}
+	}
+
+	needMK := p.reader != nil || len(p.stores) > 0
+	mkVar := "_"
+	if needMK {
+		mkVar = "alepatchMK"
+	}
+	fmt.Fprintf(&b, "alepatchLk, %s := %s.get(%q)\n", mkVar, r.Ref.expr, li.Name)
+
+	fmt.Fprintf(&b, "_ = alepatchLk.Execute(alepatchThr, &core.CS{\nScope: alepatchScope%d,\nNoHTM: true,\n", p.scopeIdx)
+	if p.reader != nil {
+		b.WriteString("HasSWOpt: true,\n")
+	}
+	if len(p.stores) > 0 {
+		b.WriteString("Conflicting: true,\n")
+	}
+	b.WriteString("Body: func(alepatchEC *core.ExecCtx) error {\n")
+	if p.reader != nil {
+		b.WriteString(rw.readerBody(r))
+		for _, op := range p.reader {
+			if op.load != nil {
+				usesAtomic = true
+			}
+		}
+	} else {
+		if len(p.stores) > 0 {
+			b.WriteString("alepatchMK.BeginConflicting(alepatchEC)\ndefer alepatchMK.EndConflicting(alepatchEC)\n")
+			usesAtomic = true
+		}
+		body := rw.bodyText(r)
+		if body != "" {
+			b.WriteString(body + "\n")
+		}
+		// A trailing return in the region is itself rewritten to end in
+		// `return nil`; emitting the footer after it would be dead code
+		// (and tripped by `go vet` on the converted package).
+		if !endsInReturn(r.Stmts) {
+			b.WriteString("return nil\n")
+		}
+	}
+	b.WriteString("},\n})\nalepatchRelease(alepatchThr)\n")
+
+	if r.Defer {
+		if len(p.caps) > 0 {
+			b.WriteString("return " + strings.Join(p.caps, ", ") + "\n")
+		}
+	} else if p.needDone {
+		b.WriteString("if alepatchDone {\nreturn")
+		if len(p.caps) > 0 {
+			b.WriteString(" " + strings.Join(p.caps, ", "))
+		}
+		b.WriteString("\n}\n")
+	}
+	return b.String(), usesAtomic
+}
+
+// readerBody generates both branches of an instrumented reader: the
+// marker-validated speculative path and the verbatim exclusive path.
+func (rw *rewriter) readerBody(r *Region) string {
+	p := r.plan
+	var b strings.Builder
+	b.WriteString("if alepatchEC.InSWOpt() {\nalepatchVer := alepatchEC.ReadStable(alepatchMK)\n")
+	for _, op := range p.reader {
+		if op.load != nil {
+			fn := "atomic.LoadInt64"
+			if op.unsigned {
+				fn = "atomic.LoadUint64"
+			}
+			fmt.Fprintf(&b, "%s = %s(&%s)\n", op.target, fn, op.loadSel)
+		} else {
+			fmt.Fprintf(&b, "%s = %s\n", op.target, op.verbatim)
+		}
+	}
+	b.WriteString("if !alepatchEC.Validate(alepatchMK, alepatchVer) {\nreturn alepatchEC.SWOptFail()\n}\nreturn nil\n}\n")
+	for _, op := range p.reader {
+		if op.load != nil {
+			fmt.Fprintf(&b, "%s = %s\n", op.target, op.loadSel)
+		} else {
+			fmt.Fprintf(&b, "%s = %s\n", op.target, op.verbatim)
+		}
+	}
+	b.WriteString("return nil\n")
+	return b.String()
+}
+
+// retAssign renders the capture assignments for one rewritten return.
+func (rw *rewriter) retAssign(r *Region, ret *ast.ReturnStmt) string {
+	if len(ret.Results) == 0 {
+		return "" // naked return with named results (or void function)
+	}
+	var vals []string
+	for _, e := range ret.Results {
+		vals = append(vals, rw.c.render(e))
+	}
+	return strings.Join(r.plan.caps, ", ") + " = " + strings.Join(vals, ", ") + "\n"
+}
+
+// bodyText harvests the region's statements verbatim and splices the
+// inner edits: early-exit and return rewrites, hoist retokens and
+// removals, and writer store atomicizations.
+func (rw *rewriter) bodyText(r *Region) string {
+	if len(r.Stmts) == 0 {
+		return ""
+	}
+	base := rw.offset(r.Stmts[0].Pos())
+	end := rw.offset(r.Stmts[len(r.Stmts)-1].End())
+	f := rw.c.fileOf(r.Stmts[0].Pos())
+	src := rw.c.src[f][base:end]
+
+	var edits []edit
+	rel := func(pos token.Pos) int { return rw.offset(pos) - base }
+
+	for _, e := range r.Exits {
+		edits = append(edits, edit{
+			lo: rel(e.Unlock.Pos()), hi: rel(e.Ret.End()),
+			text: rw.retAssign(r, e.Ret) + "alepatchDone = true\nreturn nil",
+		})
+	}
+	for _, ret := range r.Returns {
+		edits = append(edits, edit{
+			lo: rel(ret.Pos()), hi: rel(ret.End()),
+			text: rw.retAssign(r, ret) + "return nil",
+		})
+	}
+	for _, h := range r.plan.hoists {
+		if h.decl != nil {
+			edits = append(edits, edit{lo: rel(h.decl.Pos()), hi: rel(h.decl.End()), text: ""})
+			continue
+		}
+		edits = append(edits, edit{lo: rel(h.assign.TokPos), hi: rel(h.assign.TokPos) + len(":="), text: "="})
+	}
+	for _, se := range r.plan.stores {
+		edits = append(edits, edit{lo: rel(se.node.Pos()), hi: rel(se.node.End()), text: se.text})
+	}
+	out, err := applyEdits(src, edits)
+	if err != nil {
+		// Overlap means a planning bug; surface it in the output where
+		// format.Source will fail loudly rather than silently miscompile.
+		return "/* alepatch internal error: " + err.Error() + " */"
+	}
+	return string(out)
+}
+
+// shimText renders zz_alepatch.go: the runtime holder, the thread pool,
+// the replacement mutex type, and one scope per converted region.
+func shimText(pkgName string, scopeLabels []string) string {
+	var b strings.Builder
+	b.WriteString("// Code generated by alepatch. DO NOT EDIT.\n\n")
+	b.WriteString("package " + pkgName + "\n\n")
+	b.WriteString(`import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/tm"
+)
+
+// alepatch runtime state. Converted mutexes bind to the runtime current
+// at their first Lock; AlepatchConfigure must therefore run before any
+// converted mutex is used.
+var (
+	alepatchMu   sync.Mutex
+	alepatchRT   *core.Runtime
+	alepatchPol  func() core.Policy
+	alepatchPool = &sync.Pool{}
+)
+
+func alepatchRuntime() (*core.Runtime, func() core.Policy) {
+	alepatchMu.Lock()
+	defer alepatchMu.Unlock()
+	if alepatchRT == nil {
+		alepatchRT = core.NewRuntime(tm.NewDomain(tm.Profile{Name: "alepatch"}))
+		alepatchPol = func() core.Policy { return core.NewStatic(0, 8) }
+	}
+	return alepatchRT, alepatchPol
+}
+
+// AlepatchConfigure replaces the ALE runtime and per-lock policy used by
+// converted mutexes and resets the thread pool. Call it before any
+// converted mutex in this package is first locked.
+func AlepatchConfigure(rt *core.Runtime, policy func() core.Policy) {
+	alepatchMu.Lock()
+	defer alepatchMu.Unlock()
+	alepatchRT = rt
+	alepatchPol = policy
+	alepatchPool = &sync.Pool{}
+}
+
+func alepatchAcquire() *core.Thread {
+	alepatchMu.Lock()
+	pool := alepatchPool
+	alepatchMu.Unlock()
+	if thr, ok := pool.Get().(*core.Thread); ok {
+		return thr
+	}
+	rt, _ := alepatchRuntime()
+	return rt.NewThread()
+}
+
+func alepatchRelease(thr *core.Thread) {
+	alepatchMu.Lock()
+	pool := alepatchPool
+	alepatchMu.Unlock()
+	pool.Put(thr)
+}
+
+// alepatchMutex replaces a converted sync.Mutex or sync.RWMutex: zero
+// value ready, binding its ALE lock and conflict marker lazily on first
+// use. SWOpt replaces reader parallelism for converted RWMutexes.
+type alepatchMutex struct {
+	once sync.Once
+	lk   *core.Lock
+	mk   *core.ConflictMarker
+}
+
+func (m *alepatchMutex) get(name string) (*core.Lock, *core.ConflictMarker) {
+	m.once.Do(func() {
+		rt, policy := alepatchRuntime()
+		m.lk = rt.NewLock(name, locks.NewTATAS(rt.Domain()), policy())
+		m.lk.SetModes(false, true)
+		m.mk = m.lk.NewMarker()
+	})
+	return m.lk, m.mk
+}
+
+`)
+	if len(scopeLabels) > 0 {
+		b.WriteString("var (\n")
+		for i, label := range scopeLabels {
+			fmt.Fprintf(&b, "\talepatchScope%d = core.NewScope(%q)\n", i, label)
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}

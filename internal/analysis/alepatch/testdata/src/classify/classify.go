@@ -1,0 +1,176 @@
+// Package classify exercises the alepatch downgrade notes: each type
+// below is convertible but fails speculative-reader instrumentation for
+// one specific recorded reason. TestClassifyGolden pins the notes.
+package classify
+
+import "sync"
+
+// package-level-state: a package-var mutex has no owner struct whose
+// fields could be mirrored through atomics.
+var psMu sync.Mutex
+var psVal int64
+
+func PkgState() int64 {
+	psMu.Lock()
+	v := psVal
+	psMu.Unlock()
+	return v
+}
+
+// no-protected-loads: the region reads nothing, so there is nothing to
+// validate speculatively.
+type Quiet struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (q *Quiet) Ping() {
+	q.mu.Lock()
+	q.mu.Unlock()
+}
+
+// wide-load: the protected field is not word-sized.
+type Narrow struct {
+	mu sync.Mutex
+	n  int32
+}
+
+func (x *Narrow) Get() int32 {
+	x.mu.Lock()
+	v := x.n
+	x.mu.Unlock()
+	return v
+}
+
+// computes-on-loads: loaded fields feed computation before validation.
+type Summing struct {
+	mu   sync.Mutex
+	a, b int64
+}
+
+func (x *Summing) Sum() int64 {
+	x.mu.Lock()
+	s := x.a + x.b
+	x.mu.Unlock()
+	return s
+}
+
+// calls: the region calls a function.
+type Caller struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func clamp(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func (x *Caller) Get() int64 {
+	x.mu.Lock()
+	v := clamp(x.n)
+	x.mu.Unlock()
+	return v
+}
+
+// control-flow: the region is not straight-line.
+type Branchy struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (x *Branchy) Get() int64 {
+	x.mu.Lock()
+	v := x.n
+	if v < 0 {
+		v = 0
+	}
+	x.mu.Unlock()
+	return v
+}
+
+// unsupported-expr: a channel receive cannot re-execute under retry.
+type Chans struct {
+	mu sync.Mutex
+}
+
+func (x *Chans) Recv(ch chan int64) int64 {
+	x.mu.Lock()
+	v := <-ch
+	x.mu.Unlock()
+	return v
+}
+
+// writer-not-atomic (and writes): the reader qualifies, but the sibling
+// writer's *= store has no sync/atomic equivalent.
+type Scaler struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (x *Scaler) Get() int64 {
+	x.mu.Lock()
+	v := x.n
+	x.mu.Unlock()
+	return v
+}
+
+func (x *Scaler) Double() {
+	x.mu.Lock()
+	x.n *= 2
+	x.mu.Unlock()
+}
+
+// writes: the region stores to shared state, so it can never be a
+// speculative reader (and with no reader sibling, nothing is mirrored).
+type Setter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (x *Setter) Set(v int64) {
+	x.mu.Lock()
+	x.n = v
+	x.mu.Unlock()
+}
+
+// unguarded-access: the field a speculative reader would mirror is also
+// read outside any region of its mutex.
+type Leaky struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (x *Leaky) Get() int64 {
+	x.mu.Lock()
+	v := x.n
+	x.mu.Unlock()
+	return v
+}
+
+func (x *Leaky) Peek() int64 {
+	return x.n
+}
+
+// sibling-rejected: one region of the mutex is rejected, so the
+// accepted one cannot convert either (all-or-nothing per identity).
+type Mixed struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (x *Mixed) Good() int64 {
+	x.mu.Lock()
+	v := x.n
+	x.mu.Unlock()
+	return v
+}
+
+func (x *Mixed) Bad() {
+	for i := 0; i < 2; i++ {
+		x.mu.Lock()
+		defer x.mu.Unlock()
+	}
+}

@@ -1,0 +1,112 @@
+// Package reject exercises every alepatch rejection reason exactly
+// once. The golden -check -json output for this package is pinned by
+// TestRejectGolden; each function below is named for the reason its
+// region must produce.
+package reject
+
+import "sync"
+
+// unstable-identity: a multi-name var spec gives the mutex no stable
+// single declaration site.
+var muA, muB sync.Mutex
+
+func unstable() {
+	muA.Lock()
+	muA.Unlock()
+	muB.Lock()
+	muB.Unlock()
+}
+
+// condvar: the mutex feeds sync.NewCond, so it must stay a real
+// sync.Mutex.
+var cvMu sync.Mutex
+var cond = sync.NewCond(&cvMu)
+
+func condvar() {
+	cvMu.Lock()
+	cvMu.Unlock()
+	cond.Signal()
+}
+
+// trylock: TryLock has no Execute equivalent.
+var tlMu sync.Mutex
+
+func trylock() {
+	if tlMu.TryLock() {
+		tlMu.Unlock()
+	}
+	tlMu.Lock()
+	tlMu.Unlock()
+}
+
+// address-taken: the mutex aliases out through a pointer, so rewriting
+// its declaration would not cover all uses.
+var atMu sync.Mutex
+
+func addressTaken() *sync.Mutex {
+	atMu.Lock()
+	atMu.Unlock()
+	return &atMu
+}
+
+// cross-function: the lock and unlock live in different functions.
+var cfMu sync.Mutex
+
+func crossLock()   { cfMu.Lock() }
+func crossUnlock() { cfMu.Unlock() }
+
+// unbalanced: the lock is never released.
+var ubMu sync.Mutex
+
+func unbalanced() {
+	ubMu.Lock()
+}
+
+// defer-in-loop: the deferred unlock runs at function exit, not per
+// iteration, so the region is not a per-iteration critical section.
+var dlMu sync.Mutex
+
+func deferInLoop() {
+	for i := 0; i < 3; i++ {
+		dlMu.Lock()
+		defer dlMu.Unlock()
+	}
+}
+
+// goto-crosses-region: a goto jumps from inside the critical section to
+// a label outside it.
+var gtMu sync.Mutex
+
+func gotoCrosses(x bool) {
+	gtMu.Lock()
+	if x {
+		goto done
+	}
+	gtMu.Unlock()
+done:
+	_ = x
+}
+
+// unsupported-exit: break leaves the region while the lock is held.
+var brMu sync.Mutex
+
+func breakOut(n int) {
+	for i := 0; i < n; i++ {
+		brMu.Lock()
+		if i == 1 {
+			break
+		}
+		brMu.Unlock()
+	}
+}
+
+// escape: the enclosing function already uses an alepatch-prefixed
+// identifier, which the generated code would capture or shadow.
+var esMu sync.Mutex
+
+func escape() {
+	alepatchCollision := 1
+	_ = alepatchCollision
+	esMu.Lock()
+	esMu.Unlock()
+}

@@ -1,0 +1,60 @@
+package framework
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// JSONDiagnostic is the machine-readable form of one Diagnostic: the
+// shared record format emitted by `alelint -json` and `alepatch -check
+// -json`, and consumed by CI. Fields are stable; additions are
+// backwards-compatible.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSONDiagnostics resolves diagnostics against fset into the stable
+// record form, sorted by (file, line, col, analyzer) so output is
+// deterministic regardless of analyzer scheduling.
+func JSONDiagnostics(fset *token.FileSet, diags []Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, JSONDiagnostic{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// WriteJSONDiagnostics encodes the diagnostics as an indented JSON array
+// (always an array, [] when empty) followed by a newline.
+func WriteJSONDiagnostics(w io.Writer, fset *token.FileSet, diags []Diagnostic) error {
+	recs := JSONDiagnostics(fset, diags)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // Package is one loaded, parsed, and type-checked package — the subset of
@@ -35,7 +36,40 @@ type listEntry struct {
 	DepOnly    bool
 	Standard   bool
 	Incomplete bool
-	Error      *struct{ Err string }
+	Error      *listError
+}
+
+// listError mirrors go list's PackageError: Err is the diagnostic text,
+// Pos the file:line:col it is anchored to (often empty), and ImportStack
+// the chain of imports that reached the broken package.
+type listError struct {
+	Pos         string
+	Err         string
+	ImportStack []string
+}
+
+// message renders a listError with everything the go tool knows: the
+// position when there is one, the diagnostic, and the import chain. Any
+// stderr the go tool produced alongside (toolchain noise, module errors)
+// is appended so the underlying cause is never swallowed.
+func (e *listError) message(importPath string, stderr []byte) string {
+	var b strings.Builder
+	b.WriteString("go list: ")
+	if e.Pos != "" {
+		b.WriteString(e.Pos)
+	} else {
+		b.WriteString(importPath)
+	}
+	b.WriteString(": ")
+	b.WriteString(strings.TrimSpace(e.Err))
+	if len(e.ImportStack) > 1 {
+		fmt.Fprintf(&b, " (import stack: %s)", strings.Join(e.ImportStack, " -> "))
+	}
+	if s := bytes.TrimSpace(stderr); len(s) > 0 {
+		b.WriteString("\n")
+		b.Write(s)
+	}
+	return b.String()
 }
 
 // Load resolves patterns with the module-aware go tool and type-checks the
@@ -75,7 +109,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("go list: decoding output: %v", err)
 		}
 		if e.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", e.ImportPath, e.Error.Err)
+			return nil, fmt.Errorf("%s", e.Error.message(e.ImportPath, stderr.Bytes()))
 		}
 		if e.Export != "" {
 			exports[e.ImportPath] = e.Export

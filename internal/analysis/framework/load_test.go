@@ -1,0 +1,64 @@
+package framework
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadBrokenPackageSurfacesDiagnostic loads a deliberately broken
+// fixture and asserts the go tool's actual compile diagnostic — symbol
+// name and file position — appears in the returned error, not just an
+// exit status.
+func TestLoadBrokenPackageSurfacesDiagnostic(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(dir, ".")
+	if err == nil {
+		t.Fatal("Load succeeded on a package that does not compile")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "nosuchsymbol") {
+		t.Errorf("error does not surface the compile diagnostic:\n%s", msg)
+	}
+	if !strings.Contains(msg, "broken.go") {
+		t.Errorf("error does not name the offending file:\n%s", msg)
+	}
+}
+
+// TestLoadExecFailureSurfacesStderr drives go list into a hard (non-JSON)
+// failure — an argument it rejects outright — and asserts its stderr text
+// is carried into the error.
+func TestLoadExecFailureSurfacesStderr(t *testing.T) {
+	_, err := Load("", "-definitely-not-a-flag")
+	if err == nil {
+		t.Fatal("Load succeeded on an invalid go list invocation")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "definitely-not-a-flag") {
+		t.Errorf("error does not surface go list stderr:\n%s", msg)
+	}
+}
+
+// TestLoadMissingImportNamesChain asserts a root package importing a
+// nonexistent dependency reports the import position and the dependency
+// path.
+func TestLoadMissingImportNamesChain(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "badimport"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(dir, ".")
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a missing import")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "no/such/dependency") {
+		t.Errorf("error does not name the missing dependency:\n%s", msg)
+	}
+	if !strings.Contains(msg, "badimport.go") {
+		t.Errorf("error does not carry the import position:\n%s", msg)
+	}
+}

@@ -1,0 +1,7 @@
+// Package badimport imports a package that does not exist; the loader
+// test asserts the import position and dependency path are reported.
+package badimport
+
+import dep "no/such/dependency"
+
+var _ = dep.X

@@ -1,0 +1,7 @@
+// Package broken deliberately fails to type-check; the loader test
+// asserts the compile diagnostic (not a bare exit status) is surfaced.
+package broken
+
+func Broken() int {
+	return nosuchsymbol
+}

@@ -90,15 +90,9 @@ var trustedPkgSuffixes = []string{
 
 func run(pass *framework.Pass) error {
 	allow := strings.Split(allowFlag, ",")
-	ck := &checker{pass: pass, allow: allow, helpers: map[*types.Func]*ast.FuncDecl{}}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-					ck.helpers[fn] = fd
-				}
-			}
-		}
+	ck := newChecker(pass.Fset, pass.TypesInfo, pass.Files, allow)
+	ck.report = func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s inside an elidable critical-section body (move it outside the CS, behind ec.SelfAbort, or into a NoHTM lock-only section)", what)
 	}
 	for _, cs := range aleutil.CSBodies(pass.TypesInfo, pass.Files, true) {
 		if cs.Lit != nil && cs.NoHTM && !cs.HasSWOpt {
@@ -109,11 +103,66 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
+// Finding is one irrevocable action located by a Scanner: its position
+// and a short description of what the action is.
+type Finding struct {
+	Pos  token.Pos
+	What string
+}
+
+// Scanner applies the analyzer's irrevocable-action check to arbitrary
+// statement lists outside the analyzer driver. alepatch uses it to decide
+// whether a mutex critical section may gain a speculative (SWOpt) path:
+// any finding means the region's statements are not safe to re-execute.
+// The same denylists, trusted runtime packages, and same-package
+// helper-following apply as in the analyzer; allow entries are callee
+// full-name substrings to permit.
+type Scanner struct {
+	ck *checker
+}
+
+// NewScanner builds a scanner over one type-checked package (the files
+// provide the same-package helper bodies that calls are followed into).
+func NewScanner(fset *token.FileSet, info *types.Info, files []*ast.File, allow []string) *Scanner {
+	return &Scanner{ck: newChecker(fset, info, files, allow)}
+}
+
+// ScanStmts reports every irrevocable action in the statements, in
+// source order. An empty result means the list is safe to run (and
+// re-run) speculatively as far as this analysis can tell.
+func (s *Scanner) ScanStmts(stmts []ast.Stmt) []Finding {
+	var found []finding
+	s.ck.checkBody(&ast.BlockStmt{List: stmts}, &found)
+	out := make([]Finding, len(found))
+	for i, f := range found {
+		out[i] = Finding{Pos: f.pos, What: f.what}
+	}
+	return out
+}
+
 type checker struct {
-	pass    *framework.Pass
+	fset    *token.FileSet
+	info    *types.Info
+	report  func(token.Pos, string) // nil: findings are only collected
 	allow   []string
 	helpers map[*types.Func]*ast.FuncDecl
 	stack   []*types.Func // call-graph walk path (cycle guard)
+}
+
+// newChecker indexes the package's function declarations for
+// helper-following and returns a collector-mode checker.
+func newChecker(fset *token.FileSet, info *types.Info, files []*ast.File, allow []string) *checker {
+	ck := &checker{fset: fset, info: info, allow: allow, helpers: map[*types.Func]*ast.FuncDecl{}}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					ck.helpers[fn] = fd
+				}
+			}
+		}
+	}
+	return ck
 }
 
 // finding is one irrevocable action inside a function.
@@ -131,7 +180,7 @@ func (ck *checker) checkBody(body *ast.BlockStmt, via *[]finding) {
 			*via = append(*via, finding{pos, what})
 			return
 		}
-		ck.pass.Reportf(pos, "%s inside an elidable critical-section body (move it outside the CS, behind ec.SelfAbort, or into a NoHTM lock-only section)", what)
+		ck.report(pos, what)
 	}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -150,7 +199,7 @@ func (ck *checker) checkBody(body *ast.BlockStmt, via *[]finding) {
 			emit(n.Pos(), "select statement")
 			return false
 		case *ast.ForStmt:
-			if n.Cond == nil && !loopHasExitOrValidation(ck.pass.TypesInfo, n) {
+			if n.Cond == nil && !loopHasExitOrValidation(ck.info, n) {
 				emit(n.Pos(), "unbounded loop without validation or exit")
 			}
 		case *ast.CallExpr:
@@ -164,18 +213,18 @@ func (ck *checker) checkCall(call *ast.CallExpr, emit func(token.Pos, string)) {
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		switch id.Name {
 		case "panic":
-			if _, isBuiltin := ck.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if _, isBuiltin := ck.info.Uses[id].(*types.Builtin); isBuiltin {
 				emit(call.Pos(), "panic")
 				return
 			}
 		case "print", "println":
-			if _, isBuiltin := ck.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if _, isBuiltin := ck.info.Uses[id].(*types.Builtin); isBuiltin {
 				emit(call.Pos(), "write to stderr")
 				return
 			}
 		}
 	}
-	fn := aleutil.Callee(ck.pass.TypesInfo, call)
+	fn := aleutil.Callee(ck.info, call)
 	if fn == nil || fn.Pkg() == nil {
 		return
 	}
@@ -213,7 +262,7 @@ func (ck *checker) checkCall(call *ast.CallExpr, emit func(token.Pos, string)) {
 		ck.checkBody(decl.Body, &nested)
 		ck.stack = ck.stack[:len(ck.stack)-1]
 		if len(nested) > 0 {
-			pos := ck.pass.Fset.Position(nested[0].pos)
+			pos := ck.fset.Position(nested[0].pos)
 			emit(call.Pos(), "call to "+fn.Name()+", which performs "+nested[0].what+
 				" (at "+pos.String()+")")
 		}

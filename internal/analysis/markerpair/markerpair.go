@@ -54,6 +54,35 @@ type sweep struct {
 func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
 	info := pass.TypesInfo
 
+	// A deferred EndConflicting inside a loop runs at function exit, not
+	// per iteration: iteration n+1 begins while iteration n's region is
+	// still open (double-Begin on an odd version). Such defers cover
+	// nothing; find them first so the gather pass can ignore them. This
+	// mirrors alepatch's defer-in-loop rejection for mutex regions.
+	loopDefers := map[*ast.DeferStmt]bool{}
+	markLoopDefers := func(loopBody *ast.BlockStmt) {
+		ast.Inspect(loopBody, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				loopDefers[n] = true
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			markLoopDefers(n.Body)
+		case *ast.RangeStmt:
+			markLoopDefers(n.Body)
+		}
+		return true
+	})
+
 	// Gather Begin sites, deferred Ends, and sweep loops up front. Nested
 	// function literals are analyzed separately (FuncsWithExecCtx yields
 	// them when they take an ExecCtx; other nested literals run outside
@@ -67,7 +96,7 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
 		case *ast.FuncLit:
 			return false
 		case *ast.DeferStmt:
-			if aleutil.MarkerCall(info, n.Call) == "EndConflicting" {
+			if !loopDefers[n] && aleutil.MarkerCall(info, n.Call) == "EndConflicting" {
 				deferredEnds[aleutil.ReceiverKey(info, n.Call)] = true
 				anyDeferredEnd = true
 			}
@@ -100,7 +129,7 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
 		if deferredEnds[bc.key] || (len(deferredEnds) > 0 && anyDeferredEnd && singleMarker(begins)) {
 			continue // a deferred EndConflicting covers every exit
 		}
-		if escapesUnmatched(pass, g, nodeBlock, bc, sweeps) {
+		if escapesUnmatched(pass, g, nodeBlock, bc, sweeps, loopDefers) {
 			pass.Reportf(bc.call.Pos(),
 				"BeginConflicting is not matched by an EndConflicting on every path out of the function (early return, panic, or loop exit leaves the conflicting region open)")
 		}
@@ -160,7 +189,7 @@ func sweepOf(info *types.Info, rng *ast.RangeStmt) (sweep, bool) {
 // escapesUnmatched walks the CFG from just after the Begin call and
 // reports whether any path reaches the function exit without executing a
 // matching EndConflicting (or entering a paired End-sweep loop).
-func escapesUnmatched(pass *framework.Pass, g *cfgutil.Graph, nodeBlock map[ast.Node]*cfgutil.Block, bc beginCall, sweeps []sweep) bool {
+func escapesUnmatched(pass *framework.Pass, g *cfgutil.Graph, nodeBlock map[ast.Node]*cfgutil.Block, bc beginCall, sweeps []sweep, loopDefers map[*ast.DeferStmt]bool) bool {
 	info := pass.TypesInfo
 
 	// If the Begin site sits inside a Begin-sweep loop, paths that later
@@ -193,6 +222,9 @@ func escapesUnmatched(pass *framework.Pass, g *cfgutil.Graph, nodeBlock map[ast.
 		case *ast.ExprStmt:
 			call, _ = n.X.(*ast.CallExpr)
 		case *ast.DeferStmt:
+			if loopDefers[n] {
+				return false // runs at function exit, not here
+			}
 			call = n.Call
 		}
 		if call == nil || aleutil.MarkerCall(info, call) != "EndConflicting" {

@@ -99,6 +99,38 @@ func (b *box) loopBreakOK(ec *core.ExecCtx, n int) error {
 	return nil
 }
 
+// A deferred End inside a loop runs at function exit, not per
+// iteration: the next iteration begins while this region is still open.
+// Same shape alepatch rejects as defer-in-loop for mutex regions.
+func (b *box) deferInLoop(ec *core.ExecCtx, n int) error {
+	for i := 0; i < n; i++ {
+		b.mk.BeginConflicting(ec) // want `not matched by an EndConflicting on every path`
+		defer b.mk.EndConflicting(ec)
+	}
+	return nil
+}
+
+// A deferred End inside a loop does not cover a Begin outside it either.
+func (b *box) deferInLoopOutsideBegin(ec *core.ExecCtx, n int) error {
+	b.mk.BeginConflicting(ec) // want `not matched by an EndConflicting on every path`
+	for i := 0; i < n; i++ {
+		defer b.mk.EndConflicting(ec)
+	}
+	return nil
+}
+
+// goto jumps over the EndConflicting. Same shape alepatch rejects as
+// goto-crosses-region for mutex regions.
+func (b *box) gotoOverEnd(ec *core.ExecCtx, fail bool) error {
+	b.mk.BeginConflicting(ec) // want `not matched by an EndConflicting on every path`
+	if fail {
+		goto out
+	}
+	b.mk.EndConflicting(ec)
+out:
+	return nil
+}
+
 // A suppressed violation: no want, the directive absorbs it.
 func (b *box) suppressed(ec *core.ExecCtx, fail bool) error {
 	b.mk.BeginConflicting(ec) //alelint:allow markerpair -- fixture: intentionally unmatched

@@ -33,6 +33,8 @@ func newModel(s Structure, queueCap int) model {
 		return &setModel{m: map[uint64]struct{}{}}
 	case StructQueue:
 		return &queueModel{cap: queueCap}
+	case StructVendored:
+		return newVendoredModel()
 	}
 	panic("oracle: unknown structure")
 }

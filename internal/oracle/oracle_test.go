@@ -224,3 +224,32 @@ func TestMinimizeKeepsLoadBearingRules(t *testing.T) {
 		}
 	}
 }
+
+// TestSoakVendored soaks the alepatch-converted vendored counter package
+// concurrently under faults: per-worker private structures check against
+// the original package as a model, and the shared counter/registry
+// invariants catch torn speculative reads.
+func TestSoakVendored(t *testing.T) {
+	script := mustScript(t, "spurious-burst/31,validate-fail/7,delay-end/5=8,lock-stretch/9=8,conflict-storm/23")
+	ops := 3000
+	if testing.Short() {
+		ops = 500
+	}
+	firings, err := Soak(SoakConfig{
+		Structure:    StructVendored,
+		Seed:         33,
+		Workers:      4,
+		OpsPerWorker: ops,
+		Script:       script,
+	})
+	if err != nil {
+		t.Fatalf("vendored soak: %v", err)
+	}
+	var fired uint64
+	for _, f := range firings {
+		fired += f
+	}
+	if fired == 0 {
+		t.Errorf("vendored soak: script never fired")
+	}
+}

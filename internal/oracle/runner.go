@@ -224,6 +224,7 @@ type executor struct {
 	is        *intset.Handle
 	q         *queue.Queue
 	qh        *queue.Handle
+	vend      *vendoredOps
 }
 
 // newExecutor builds the structure under test on a fresh runtime with the
@@ -251,6 +252,9 @@ func newExecutor(cfg Config, inj *faultinject.Injector) *executor {
 			ex.q.SetDebugSkipHeadEvery(cfg.QueueSkipHead)
 		}
 		ex.qh = ex.q.NewHandle()
+	case StructVendored:
+		x, y := cfg.StaticX, cfg.StaticY
+		ex.vend = newVendoredConv(rt, func() core.Policy { return core.NewStatic(x, y) })
 	default:
 		panic("oracle: unknown structure")
 	}
@@ -274,6 +278,8 @@ func res2(ok bool, err error) Result {
 
 func (ex *executor) exec(op Op) Result {
 	switch ex.structure {
+	case StructVendored:
+		return ex.vend.apply(op)
 	case StructHashMap:
 		switch op.Kind {
 		case OpGet:

@@ -87,6 +87,8 @@ func Soak(cfg SoakConfig) (firings [faultinject.NumClasses]uint64, err error) {
 		err = soakKeyed(cfg, rt)
 	case StructQueue:
 		err = soakQueue(cfg, rt)
+	case StructVendored:
+		err = soakVendored(cfg, rt)
 	default:
 		err = fmt.Errorf("oracle: unknown structure %d", cfg.Structure)
 	}

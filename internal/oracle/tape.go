@@ -42,10 +42,15 @@ const (
 	StructHashMap Structure = iota
 	StructIntSet
 	StructQueue
+	// StructVendored is the alepatch end-to-end subject: the converted
+	// examples/vendored/counter_converted package executes the tape while
+	// the original examples/vendored/counter package is the sequential
+	// model, so any divergence is a conversion bug.
+	StructVendored
 	NumStructures
 )
 
-var structNames = [NumStructures]string{"hashmap", "intset", "queue"}
+var structNames = [NumStructures]string{"hashmap", "intset", "queue", "vendored"}
 
 // String returns the canonical structure name.
 func (s Structure) String() string {
@@ -84,6 +89,19 @@ const (
 	OpPeek
 	// shared read-only size operation.
 	OpLen
+	// vendored-counter operations (examples/vendored). Key selects the
+	// registry name; Val carries the added delta or gauge value.
+	OpCAdd
+	OpCTotal
+	OpCCount
+	OpCSnapshot
+	OpCMean
+	OpCReset
+	OpGSet
+	OpGGet
+	OpRAdd
+	OpRTotalOf
+	OpRNames
 
 	numOpKinds
 )
@@ -91,6 +109,8 @@ const (
 var opNames = [numOpKinds]string{
 	"get", "insert", "remove", "insert-opt", "remove-opt", "remove-sa",
 	"contains", "put", "take", "peek", "len",
+	"c-add", "c-total", "c-count", "c-snapshot", "c-mean", "c-reset",
+	"g-set", "g-get", "r-add", "r-totalof", "r-names",
 }
 
 // String returns the operation name.
@@ -115,7 +135,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("%s(%d,%d)", o.Kind, o.Key, o.Val)
 	case OpPut:
 		return fmt.Sprintf("put(%d)", o.Key)
-	case OpLen, OpTake, OpPeek:
+	case OpCAdd, OpGSet:
+		return fmt.Sprintf("%s(%d)", o.Kind, o.Val)
+	case OpLen, OpTake, OpPeek, OpCTotal, OpCCount, OpCSnapshot, OpCMean,
+		OpCReset, OpGGet, OpRTotalOf, OpRNames:
 		return o.Kind.String() + "()"
 	default:
 		return fmt.Sprintf("%s(%d)", o.Kind, o.Key)
@@ -188,6 +211,33 @@ func genOp(s Structure, rng *xrand.State, base, keys uint64, global bool) Op {
 			return Op{Kind: OpPeek}
 		default:
 			return Op{Kind: OpLen}
+		}
+	case StructVendored:
+		// Registry operations target the shared registry, which a
+		// per-worker soak model cannot predict; they are global-only.
+		switch {
+		case roll < 20:
+			return Op{Kind: OpCAdd, Val: rng.Uint64n(1000)}
+		case roll < 32:
+			return Op{Kind: OpCTotal}
+		case roll < 40:
+			return Op{Kind: OpCCount}
+		case roll < 52:
+			return Op{Kind: OpCSnapshot}
+		case roll < 58:
+			return Op{Kind: OpCMean}
+		case roll < 60:
+			return Op{Kind: OpCReset}
+		case roll < 70:
+			return Op{Kind: OpGSet, Val: rng.Uint64n(1 << 16)}
+		case roll < 80 || !global:
+			return Op{Kind: OpGGet}
+		case roll < 88:
+			return Op{Kind: OpRAdd, Key: key}
+		case roll < 96:
+			return Op{Kind: OpRTotalOf}
+		default:
+			return Op{Kind: OpRNames}
 		}
 	}
 	panic("oracle: unknown structure")

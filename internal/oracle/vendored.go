@@ -1,0 +1,222 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	counterorig "repro/examples/vendored/counter"
+	counterconv "repro/examples/vendored/counter_converted"
+	"repro/internal/core"
+)
+
+// vendoredNames is the fixed registry-name space for OpRAdd/OpRTotalOf:
+// small enough that names collide across the tape, so registry regions
+// run both create and lookup paths.
+var vendoredNames = [4]string{"n0", "n1", "n2", "n3"}
+
+func vendoredName(key uint64) string {
+	return vendoredNames[key%uint64(len(vendoredNames))]
+}
+
+// vendoredOps presents one side of the vendored-counter check — either
+// the alepatch-converted package or the original — as closures, since
+// the two packages export identical APIs under distinct types. apply
+// implements the model interface, so the original-package instance *is*
+// the sequential oracle for the converted one.
+type vendoredOps struct {
+	add      func(int64)
+	total    func() int64
+	count    func() int64
+	snapshot func() (int64, int64)
+	mean     func() (float64, bool)
+	reset    func()
+	gset     func(int64)
+	gget     func() int64
+	radd     func(string) int64 // Get(name).Add(1); returns that counter's Total
+	rtotal   func(...string) int64
+	rnames   func() []string
+}
+
+// newVendoredConv configures the converted package onto rt and returns
+// fresh converted structures. Converted mutexes bind to the runtime at
+// first Lock, so this must precede any operation — which is exactly the
+// AlepatchConfigure contract.
+func newVendoredConv(rt *core.Runtime, policy func() core.Policy) *vendoredOps {
+	counterconv.AlepatchConfigure(rt, policy)
+	return newVendoredStructs()
+}
+
+// newVendoredStructs builds fresh converted structures against whatever
+// runtime AlepatchConfigure last installed.
+func newVendoredStructs() *vendoredOps {
+	c := &counterconv.Counter{}
+	g := &counterconv.Gauge{}
+	r := counterconv.NewRegistry()
+	return &vendoredOps{
+		add: c.Add, total: c.Total, count: c.Count,
+		snapshot: c.Snapshot, mean: c.Mean, reset: c.Reset,
+		gset: g.Set, gget: g.Get,
+		radd:   func(name string) int64 { cc := r.Get(name); cc.Add(1); return cc.Total() },
+		rtotal: r.TotalOf, rnames: r.Names,
+	}
+}
+
+// newVendoredModel returns the original (plain-mutex) package as the
+// sequential reference.
+func newVendoredModel() *vendoredOps {
+	c := &counterorig.Counter{}
+	g := &counterorig.Gauge{}
+	r := counterorig.NewRegistry()
+	return &vendoredOps{
+		add: c.Add, total: c.Total, count: c.Count,
+		snapshot: c.Snapshot, mean: c.Mean, reset: c.Reset,
+		gset: g.Set, gget: g.Get,
+		radd:   func(name string) int64 { cc := r.Get(name); cc.Add(1); return cc.Total() },
+		rtotal: r.TotalOf, rnames: r.Names,
+	}
+}
+
+// fold2 packs a two-value result into one comparable word. Both sides
+// fold identically, so the mix only needs to be injective enough that a
+// divergence in either component almost surely changes the word.
+func fold2(a, b int64) uint64 {
+	return uint64(a)*1099511628211 ^ uint64(b)
+}
+
+// foldNames fingerprints a sorted name list (FNV-1a over the joined
+// names) so Names results compare as a single word.
+func foldNames(names []string) uint64 {
+	sort.Strings(names)
+	h := uint64(14695981039346656037)
+	for _, n := range names {
+		for i := 0; i < len(n); i++ {
+			h = (h ^ uint64(n[i])) * 1099511628211
+		}
+		h = (h ^ 0xff) * 1099511628211
+	}
+	return h
+}
+
+// apply executes one vendored-counter operation. Mean folds through
+// Float64bits: both packages compute float64(total)/float64(count) from
+// identical integers, so the bit patterns must match exactly.
+func (v *vendoredOps) apply(op Op) Result {
+	switch op.Kind {
+	case OpCAdd:
+		v.add(int64(op.Val))
+		return Result{}
+	case OpCTotal:
+		return Result{Val: uint64(v.total())}
+	case OpCCount:
+		return Result{Val: uint64(v.count())}
+	case OpCSnapshot:
+		t, c := v.snapshot()
+		return Result{Val: fold2(t, c)}
+	case OpCMean:
+		m, ok := v.mean()
+		return Result{Val: math.Float64bits(m), OK: ok}
+	case OpCReset:
+		v.reset()
+		return Result{}
+	case OpGSet:
+		v.gset(int64(op.Val))
+		return Result{}
+	case OpGGet:
+		return Result{Val: uint64(v.gget())}
+	case OpRAdd:
+		return Result{Val: uint64(v.radd(vendoredName(op.Key)))}
+	case OpRTotalOf:
+		return Result{Val: uint64(v.rtotal(vendoredNames[:]...))}
+	case OpRNames:
+		return Result{Val: foldNames(v.rnames())}
+	}
+	panic("oracle: bad vendored op " + op.Kind.String())
+}
+
+// soakVendored is the concurrent check for the converted package. Each
+// worker drives a private converted Counter/Gauge against a private
+// original-package model, while all workers also hammer one shared
+// converted Counter and one shared Registry:
+//
+//   - shared counter: every add is exactly 1, so any consistent
+//     Snapshot has total == count and any non-empty Mean is exactly 1.0
+//     — a torn seqlock read shows up immediately.
+//   - shared registry: worker w only touches the counter named after w,
+//     so per-name totals are exact even though the registry mutex (and
+//     its map) is contended by everyone.
+func soakVendored(cfg SoakConfig, rt *core.Runtime) error {
+	counterconv.AlepatchConfigure(rt, func() core.Policy { return core.NewAdaptive() })
+	shared := &counterconv.Counter{}
+	reg := counterconv.NewRegistry()
+
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		conv := newVendoredStructs()
+		model := newVendoredModel()
+		base := 1 + uint64(w)*cfg.Keys
+		tape := genTape(StructVendored, cfg.Seed+uint64(w)*0x9e3779b97f4a7c15,
+			cfg.OpsPerWorker, base, cfg.Keys, false)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%d", w)
+			for i, op := range tape {
+				got := conv.apply(op)
+				want := model.apply(op)
+				if got != want {
+					errs[w] = fmt.Errorf(
+						"oracle: soak worker %d: vendored diverged at its op %d %s: got %s, want %s (seed %d, script %q)",
+						w, i, op, got, want, cfg.Seed, cfg.Script.String())
+					return
+				}
+				shared.Add(1)
+				if t, c := shared.Snapshot(); t != c {
+					errs[w] = fmt.Errorf(
+						"oracle: soak worker %d: torn vendored snapshot (total=%d count=%d, seed %d, script %q)",
+						w, t, c, cfg.Seed, cfg.Script.String())
+					return
+				}
+				if m, ok := shared.Mean(); !ok || m != 1.0 {
+					errs[w] = fmt.Errorf(
+						"oracle: soak worker %d: inconsistent vendored mean %v/%v, want 1.0/true (seed %d, script %q)",
+						w, m, ok, cfg.Seed, cfg.Script.String())
+					return
+				}
+				reg.Get(name).Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+
+	// Exact totals now that every worker completed its full tape.
+	wantOps := int64(cfg.Workers) * int64(cfg.OpsPerWorker)
+	if t, c := shared.Snapshot(); t != wantOps || c != wantOps {
+		return fmt.Errorf("oracle: vendored soak: shared counter = (%d, %d), want (%d, %d) (seed %d, script %q)",
+			t, c, wantOps, wantOps, cfg.Seed, cfg.Script.String())
+	}
+	names := reg.Names()
+	if len(names) != cfg.Workers {
+		return fmt.Errorf("oracle: vendored soak: registry has %d names, want %d (seed %d, script %q)",
+			len(names), cfg.Workers, cfg.Seed, cfg.Script.String())
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		name := fmt.Sprintf("w%d", w)
+		if got := reg.TotalOf(name); got != int64(cfg.OpsPerWorker) {
+			return fmt.Errorf("oracle: vendored soak: %s total = %d, want %d (seed %d, script %q)",
+				name, got, cfg.OpsPerWorker, cfg.Seed, cfg.Script.String())
+		}
+	}
+	if got := reg.TotalOf(names...); got != wantOps {
+		return fmt.Errorf("oracle: vendored soak: registry grand total = %d, want %d (seed %d, script %q)",
+			got, wantOps, cfg.Seed, cfg.Script.String())
+	}
+	return nil
+}
