@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt patch-check bench bench-json bench-compare bench-gate bench-trend stress cover profile
+.PHONY: all build test race lint fmt patch-check bench bench-json bench-compare bench-gate bench-trend stress cover profile serve loadtest
 
 all: build lint test
 
@@ -82,6 +82,21 @@ SEED ?= 1
 stress:
 	$(GO) run ./cmd/alestress -seed $(SEED) -ops 20000
 	$(GO) run ./cmd/alestress -soak -seed $(SEED) -workers 4 -ops 10000
+
+# The network server (docs/ALESERVE.md): `make serve` runs it in the
+# foreground on the default ports; `make loadtest` drives a separate
+# already-running server (default SERVE_ADDR) with a 10-second open-loop
+# smoke load and renders the report. load-smoke.json is gitignored
+# scratch output.
+SERVE_ADDR ?= 127.0.0.1:7700
+METRICS_ADDR ?= 127.0.0.1:7701
+serve:
+	$(GO) run ./cmd/aleserve -addr $(SERVE_ADDR) -metrics-addr $(METRICS_ADDR)
+
+loadtest:
+	$(GO) run ./cmd/aleload -addr $(SERVE_ADDR) -conns 4 -rate 2000 \
+		-duration 10s -warmup 1s -json load-smoke.json
+	$(GO) run ./cmd/alereport -in load-smoke.json
 
 # Combined engine+substrate coverage against the CI floor (89.7%).
 cover:

@@ -1,0 +1,86 @@
+// Command aleload drives an aleserve instance with an open-loop
+// Poisson-arrival workload and reports coordinated-omission-safe
+// latency percentiles.
+//
+// Open loop means arrivals follow a fixed schedule that does not slow
+// down when the server does; each reply is charged from its *scheduled*
+// send time, so server-side queueing that a closed-loop client would
+// silently absorb shows up in p99/p99.9 (docs/ALESERVE.md discusses the
+// distinction).
+//
+// Usage:
+//
+//	aleload -addr 127.0.0.1:7700 -rate 5000 -duration 10s -conns 4 \
+//	        -mix get=80,set=15,del=3,incr=2 -json load.json
+//
+// The -json file is tagged aleload-result/v1 and renders with
+// alereport -in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/load"
+)
+
+var (
+	addr     = flag.String("addr", "127.0.0.1:7700", "aleserve KV address")
+	conns    = flag.Int("conns", 4, "client connections (schedule splits across them)")
+	rate     = flag.Float64("rate", 1000, "total offered ops/sec (Poisson arrivals)")
+	duration = flag.Duration("duration", 10*time.Second, "measured run length")
+	warmup   = flag.Duration("warmup", 1*time.Second, "trim ops scheduled before this offset")
+	seed     = flag.Uint64("seed", 1, "workload seed (fixes the op stream byte-for-byte)")
+	keys     = flag.Uint64("keys", 4096, "keyspace size (keys 1..N)")
+	mixFlag  = flag.String("mix", "", "verb mix, e.g. get=80,set=15,del=3,incr=2 (default mix when empty)")
+	valSize  = flag.Int("val-size", 0, "send SETs as PUTs carrying this many payload bytes (0 = plain SET)")
+	jsonPath = flag.String("json", "", "write the aleload-result/v1 JSON here")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aleload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := load.Config{
+		Addr:       *addr,
+		Conns:      *conns,
+		RatePerSec: *rate,
+		Duration:   *duration,
+		Warmup:     *warmup,
+		Seed:       *seed,
+		Keys:       *keys,
+		ValSize:    *valSize,
+	}
+	if *mixFlag != "" {
+		m, err := load.ParseMix(*mixFlag)
+		if err != nil {
+			return err
+		}
+		cfg.Mix = m
+	}
+	out, err := load.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := out.Result.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := out.Result.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

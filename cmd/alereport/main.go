@@ -13,8 +13,9 @@
 // export (WriteCSV) summarized per (lock, context), obs snapshot JSON
 // (one object, an array, or JSON-lines — e.g. periodic saves of
 // alebench's /snapshot endpoint) rendered as interval elision-rate
-// deltas, or an `alebench micro -bench-json` report rendered as the
-// microbenchmark table.
+// deltas, an `alebench micro -bench-json` report rendered as the
+// microbenchmark table, or an `aleload -json` open-loop result
+// (aleload-result/v1) rendered as the latency summary.
 //
 // The cross-run modes turn the committed BENCH_N.json series into
 // checked trends (internal/trend):
@@ -48,6 +49,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/hashmap"
+	"repro/internal/load"
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/tm"
@@ -108,6 +110,11 @@ func analyzeFile(path string, w io.Writer) error {
 			// A BENCH report, but an invalid one (e.g. duplicate
 			// benchmark names): surface the located error instead of
 			// falling through to the snapshot parser's noise.
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if res, err := load.ParseResult(data); err == nil {
+			return res.WriteTable(w)
+		} else if !errors.Is(err, load.ErrNotLoadSchema) {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		snaps, err := obs.ParseSnapshots(data)

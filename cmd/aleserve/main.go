@@ -1,0 +1,97 @@
+// Command aleserve runs the network-facing ALE-backed KV server: the
+// kyoto/hashmap stores behind the alekv/1 text protocol (docs/ALESERVE.md),
+// served by a fixed pool of worker goroutines registered as ALE threads,
+// with the obs endpoints (/metrics, /snapshot, /events) on a side HTTP
+// listener.
+//
+// Usage:
+//
+//	aleserve -addr :7700 -metrics-addr :7701 -store kyoto -workers 8
+//
+// SIGTERM/SIGINT drains gracefully: the listener closes, in-flight
+// requests finish and flush, every acknowledged operation is applied
+// exactly once, and the final obs snapshot goes to -snapshot (or stderr).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"syscall"
+
+	"repro/internal/platform"
+	"repro/internal/server"
+)
+
+var (
+	addr        = flag.String("addr", "127.0.0.1:7700", "KV listen address")
+	metricsAddr = flag.String("metrics-addr", "127.0.0.1:7701",
+		"obs HTTP listen address (/metrics /snapshot /events); empty disables")
+	workers = flag.Int("workers", 8,
+		"worker pool size = ALE thread count = concurrent-connection limit")
+	storeKind = flag.String("store", "kyoto", "backing store: kyoto or hashmap")
+	policy    = flag.String("policy", "adaptive",
+		"per-lock policy: adaptive, drift, lockonly, static:X,Y")
+	slots    = flag.Int("slots", 16, "kyoto slot count")
+	buckets  = flag.Int("buckets", 1024, "hash buckets per table")
+	capacity = flag.Int("capacity", 1<<16, "store capacity (max live entries)")
+	stripes  = flag.Int("marker-stripes", 1, "hashmap conflict-marker stripes")
+	timing   = flag.Bool("timing", false,
+		"enable the timing layer (latency histograms, granule attribution)")
+	snapshotPath = flag.String("snapshot", "",
+		"write the final drained obs snapshot (JSON) to this path (default stderr)")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aleserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	st, err := server.ParseStoreKind(*storeKind)
+	if err != nil {
+		return err
+	}
+	pol, err := server.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+
+	snapW := os.Stderr
+	if *snapshotPath != "" {
+		f, err := os.Create(*snapshotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		snapW = f
+	}
+
+	cfg := server.Config{
+		Addr:          *addr,
+		MetricsAddr:   *metricsAddr,
+		Workers:       *workers,
+		Store:         st,
+		Slots:         *slots,
+		Buckets:       *buckets,
+		Capacity:      *capacity,
+		MarkerStripes: *stripes,
+		Policy:        pol,
+		Platform:      platform.Haswell(),
+		Timing:        *timing,
+		SnapshotW:     snapW,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	<-s.DrainOnSignal(syscall.SIGTERM, syscall.SIGINT)
+	s.Close()
+	return nil
+}

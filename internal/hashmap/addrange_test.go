@@ -1,0 +1,181 @@
+package hashmap
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAddSemantics pins Handle.Add (new for aleserve's INCR verb): an
+// absent key is created holding the delta, a present key accumulates, and
+// the pending-node discipline survives both paths.
+func TestAddSemantics(t *testing.T) {
+	m := newMap(htmProfile(), core.NewStatic(10, 10))
+	h := m.NewHandle()
+
+	if v, err := h.Add(5, 7); err != nil || v != 7 {
+		t.Fatalf("Add(absent) = (%d, %v), want (7, nil)", v, err)
+	}
+	if v, err := h.Add(5, 3); err != nil || v != 10 {
+		t.Fatalf("Add(present) = (%d, %v), want (10, nil)", v, err)
+	}
+	if v, ok, _ := h.Get(5); !ok || v != 10 {
+		t.Fatalf("Get(5) = (%d, %v), want (10, true)", v, ok)
+	}
+	if _, err := h.Add(0, 1); err == nil {
+		t.Fatal("Add(0) accepted the reserved zero key")
+	}
+	// Add on a removed key re-creates it (fresh insert path again, so the
+	// node arena recycling interplay is exercised).
+	if ok, _ := h.Remove(5); !ok {
+		t.Fatal("Remove(5) missed")
+	}
+	if v, err := h.Add(5, 2); err != nil || v != 2 {
+		t.Fatalf("Add(after remove) = (%d, %v), want (2, nil)", v, err)
+	}
+	if n, _ := h.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+// TestAddConcurrentCounters hammers Add from several threads on a small
+// counter set and checks the totals are exact — the elision machinery
+// must make read-modify-write atomic whatever mode wins.
+func TestAddConcurrentCounters(t *testing.T) {
+	m := newMap(htmProfile(), core.NewAdaptive())
+	const (
+		threads = 8
+		perThr  = 2000
+		keys    = 4
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := m.NewHandle()
+			for n := 0; n < perThr; n++ {
+				if _, err := h.Add(uint64(n%keys)+1, 1); err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	h := m.NewHandle()
+	var total uint64
+	for k := uint64(1); k <= keys; k++ {
+		v, ok, err := h.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%d) = (%v, %v)", k, ok, err)
+		}
+		total += v
+	}
+	if want := uint64(threads * perThr); total != want {
+		t.Fatalf("counter total %d, want %d — lost or doubled increments", total, want)
+	}
+}
+
+// TestRangeSemantics pins Handle.Range (new for aleserve's SCAN verb):
+// full visitation, early stop with an exact visit count, and a consistent
+// snapshot under the NoHTM whole-table section.
+func TestRangeSemantics(t *testing.T) {
+	m := newMap(htmProfile(), core.NewStatic(10, 10))
+	h := m.NewHandle()
+	const n = 50
+	for k := uint64(1); k <= n; k++ {
+		if _, err := h.Insert(k, k*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	seen := map[uint64]uint64{}
+	visited, err := h.Range(func(k, v uint64) bool {
+		seen[k] = v
+		return true
+	})
+	if err != nil || visited != n {
+		t.Fatalf("Range = (%d, %v), want (%d, nil)", visited, err, n)
+	}
+	for k := uint64(1); k <= n; k++ {
+		if seen[k] != k*10 {
+			t.Fatalf("Range missed key %d (got %d)", k, seen[k])
+		}
+	}
+
+	// Early stop: the count is the number of accepted visits.
+	got, err := h.Range(func(k, v uint64) bool { return false })
+	if err != nil || got != 0 {
+		t.Fatalf("immediately-stopped Range = (%d, %v), want (0, nil)", got, err)
+	}
+	count := 0
+	got, err = h.Range(func(k, v uint64) bool {
+		count++
+		return count < 10
+	})
+	if err != nil || got != 9 {
+		t.Fatalf("stop-after-9 Range = (%d, %v), want (9, nil)", got, err)
+	}
+}
+
+// TestRangeUnderConcurrentWriters checks Range never observes a torn map:
+// every visited value is one a writer actually stored, and re-running
+// Range after the writers stop sees exactly the final state.
+func TestRangeUnderConcurrentWriters(t *testing.T) {
+	m := newMap(htmProfile(), core.NewAdaptive())
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := m.NewHandle()
+			k := uint64(i*100 + 1)
+			v := uint64(1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := h.Insert(k, v*1000); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				v++
+			}
+		}(i)
+	}
+
+	h := m.NewHandle()
+	for r := 0; r < 50; r++ {
+		_, err := h.Range(func(k, v uint64) bool {
+			if v%1000 != 0 {
+				t.Errorf("torn value %d at key %d", v, k)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatalf("Range: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	final := map[uint64]uint64{}
+	if _, err := h.Range(func(k, v uint64) bool {
+		final[k] = v
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range final {
+		gv, ok, err := h.Get(k)
+		if err != nil || !ok || gv != v {
+			t.Fatalf("quiesced Range/Get disagree at %d: %d vs (%d,%v,%v)", k, v, gv, ok, err)
+		}
+	}
+}

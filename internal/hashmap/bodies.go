@@ -428,4 +428,23 @@ func (h *Handle) buildCS() {
 			return nil
 		},
 	}
+
+	// Add (the KV server's INCR): read-modify-write of one value, with an
+	// insert-from-zero on a miss. Same shape as the basic Insert — no
+	// SWOpt path (it mutates), conflict marker bumped only around a fresh
+	// link (inside AddIn/InsertIn); the in-place increment is a
+	// single-word store a validated reader orders cleanly against.
+	h.csAdd = core.CS{
+		Scope:       m.scopeAdd,
+		Conflicting: true,
+		Body: func(ec *core.ExecCtx) error {
+			h.retVal, h.freshAdd = 0, false
+			v, fresh, err := h.AddIn(ec, h.argKey, h.argVal)
+			if err != nil {
+				return err
+			}
+			h.retVal, h.freshAdd = v, fresh
+			return nil
+		},
+	}
 }

@@ -82,6 +82,7 @@ type Map struct {
 	scopeGet, scopeIns, scopeRem         *core.Scope
 	scopeInsOpt, scopeRemOpt, scopeRemSA *core.Scope
 	scopeClear, scopeLen                 *core.Scope
+	scopeAdd, scopeRange                 *core.Scope
 }
 
 // errStale is the nested mutation CS's report that the enclosing SWOpt
@@ -125,6 +126,8 @@ func New(rt *core.Runtime, name string, cfg Config, policy core.Policy) *Map {
 		scopeRemSA:  core.NewScope(name + ".RemoveSelfAbort"),
 		scopeClear:  core.NewScope(name + ".Clear"),
 		scopeLen:    core.NewScope(name + ".Len"),
+		scopeAdd:    core.NewScope(name + ".Add"),
+		scopeRange:  core.NewScope(name + ".Range"),
 	}
 	d.InitVar(&m.chunk, 0)
 	for i := range m.nodes {
@@ -184,7 +187,9 @@ type Handle struct {
 	csGet, csIns, csRem       core.CS
 	csInsOpt, csRemOpt        core.CS
 	csRemSA, csClear          core.CS
+	csAdd                     core.CS
 	csMutIns, csMutRem        core.CS
+	freshAdd                  bool
 	optVer                    uint64
 	optPrev, optNode, optNext uint64
 	retN                      int
@@ -348,6 +353,47 @@ func (h *Handle) Len() (int, error) {
 			return nil
 		},
 		NoHTM: true, // touches every bucket: hopeless in HTM, don't try
+	})
+	return n, err
+}
+
+// Add increments key's value by delta, inserting it (starting from zero)
+// if absent, and returns the new value — the KV server's INCR. Basic
+// variant: the whole read-modify-write in one critical section, conflict
+// marker bumped only around a fresh link.
+func (h *Handle) Add(key, delta uint64) (uint64, error) {
+	if key == 0 {
+		return 0, fmt.Errorf("hashmap: zero key")
+	}
+	h.argKey, h.argVal = key, delta
+	err := h.m.lock.Execute(h.thr, &h.csAdd)
+	if err == nil && h.freshAdd {
+		h.pendingNode = 0 // consumed by the committed link
+	}
+	return h.retVal, err
+}
+
+// Range visits every key/value pair under the lock (bucket order, chains
+// most-recent-first); visit returns false to stop early. Returns how many
+// pairs were visited — the KV server's SCAN. Like Len it runs in Lock
+// mode only: whole-table walks are hopeless in HTM and have no SWOpt
+// path.
+func (h *Handle) Range(visit func(key, val uint64) bool) (int, error) {
+	n := 0
+	err := h.m.lock.Execute(h.thr, &core.CS{
+		Scope: h.m.scopeRange,
+		Body: func(ec *core.ExecCtx) error {
+			n = 0
+			h.RangeIn(ec, func(key, val uint64) bool {
+				if !visit(key, val) {
+					return false
+				}
+				n++
+				return true
+			})
+			return nil
+		},
+		NoHTM: true,
 	})
 	return n, err
 }

@@ -1,0 +1,346 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/oracle"
+	"repro/internal/server"
+	"repro/internal/xrand"
+)
+
+// Clock abstracts time for the per-connection driver so the
+// coordinated-omission accounting is testable with a virtual clock
+// (docs/TESTING.md forbids time.Sleep in tests; the CO test advances a
+// fake clock instead). Timestamps are nanoseconds since an arbitrary
+// per-run epoch.
+type Clock interface {
+	Now() int64
+	// SleepUntil blocks until Now() >= ns. Called with a scheduled send
+	// time that may already be in the past (an overloaded open-loop
+	// client), in which case it must return immediately — that is the
+	// whole point of open-loop measurement: the schedule does not wait
+	// for the server.
+	SleepUntil(ns int64)
+}
+
+type realClock struct{ base time.Time }
+
+// NewRealClock returns a wall Clock with epoch = now.
+func NewRealClock() Clock { return &realClock{base: time.Now()} }
+
+func (c *realClock) Now() int64 { return time.Since(c.base).Nanoseconds() }
+
+func (c *realClock) SleepUntil(ns int64) {
+	if d := ns - c.Now(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// Transport carries one request/reply exchange. The TCP implementation
+// talks alekv/1; tests substitute in-memory fakes with scripted service
+// times.
+type Transport interface {
+	RoundTrip(req server.Request) (server.Reply, error)
+	Close() error
+}
+
+// TransportFactory opens the transport for connection i.
+type TransportFactory func(i int) (Transport, error)
+
+type tcpTransport struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// DialTCP returns a factory producing alekv/1 TCP transports to addr.
+func DialTCP(addr string) TransportFactory {
+	return func(int) (Transport, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return &tcpTransport{
+			c:  c,
+			br: bufio.NewReaderSize(c, 16<<10),
+			bw: bufio.NewWriterSize(c, 16<<10),
+		}, nil
+	}
+}
+
+func (t *tcpTransport) RoundTrip(req server.Request) (server.Reply, error) {
+	if err := server.WriteRequest(t.bw, req); err != nil {
+		return server.Reply{}, err
+	}
+	if err := t.bw.Flush(); err != nil {
+		return server.Reply{}, err
+	}
+	return server.ReadReply(t.br)
+}
+
+func (t *tcpTransport) Close() error { return t.c.Close() }
+
+// Config parameterizes one load run.
+type Config struct {
+	// Addr is the server's KV address (ignored when Dial is set).
+	Addr string
+	// Conns is the number of client connections, each with its own
+	// schedule, generator stream, and recorder.
+	Conns int
+	// RatePerSec is the total offered rate, split evenly across Conns.
+	RatePerSec float64
+	// Duration bounds the run: arrivals scheduled past it are not sent.
+	// Zero means run until Stop closes (the drain tests' mode).
+	Duration time.Duration
+	// Warmup trims records whose *scheduled* time falls before it.
+	Warmup time.Duration
+	// Seed derives every per-connection stream; a fixed seed fixes the
+	// whole workload byte-for-byte.
+	Seed uint64
+	// Keys is the keyspace size (keys are 1..Keys).
+	Keys uint64
+	// Mix is the verb mix (DefaultMix when zero).
+	Mix Mix
+	// ValSize, when > 0, turns the mix's SET share into PUT requests
+	// carrying ValSize random octets (value-size realism on the wire; the
+	// store holds the payload's FNV-1a hash).
+	ValSize int
+	// DisjointKeys partitions the keyspace across connections so each
+	// connection's op tape is independently sequential — the drain tests'
+	// oracle-replay mode.
+	DisjointKeys bool
+	// RecordTape captures every data op and its reply for oracle replay.
+	RecordTape bool
+	// Stop, when non-nil, ends the run early (checked between requests).
+	Stop <-chan struct{}
+	// NewClock overrides the per-connection clock (tests). Nil = wall.
+	NewClock func(i int) Clock
+	// Dial overrides the transport (tests). Nil = DialTCP(Addr).
+	Dial TransportFactory
+}
+
+// Output is one load run's outcome.
+type Output struct {
+	Result Result
+	// Tapes holds one op tape per connection when cfg.RecordTape is set.
+	Tapes [][]oracle.KVOp
+}
+
+// connState is one connection's driver state.
+type connState struct {
+	rec     *Recorder
+	tape    []oracle.KVOp
+	errors  uint64
+	unacked uint64
+	lastNS  int64
+	err     error
+}
+
+// Run drives cfg.Conns open-loop connections and aggregates their
+// recorders. Per-connection transport failures mid-run (the expected
+// outcome when the server drains under load) terminate that connection's
+// stream without failing the run; failures to *open* a transport fail
+// the run.
+func Run(cfg Config) (Output, error) {
+	if cfg.Conns < 1 {
+		return Output{}, fmt.Errorf("load: Conns must be ≥ 1")
+	}
+	if cfg.RatePerSec <= 0 {
+		return Output{}, fmt.Errorf("load: RatePerSec must be > 0")
+	}
+	if cfg.Keys == 0 {
+		return Output{}, fmt.Errorf("load: Keys must be ≥ 1")
+	}
+	if cfg.Duration == 0 && cfg.Stop == nil {
+		return Output{}, fmt.Errorf("load: need Duration or Stop")
+	}
+	mix := cfg.Mix
+	if mix.total() == 0 {
+		mix = DefaultMix()
+	}
+	if err := mix.Validate(); err != nil {
+		return Output{}, err
+	}
+	dial := cfg.Dial
+	if dial == nil {
+		dial = DialTCP(cfg.Addr)
+	}
+	newClock := cfg.NewClock
+	if newClock == nil {
+		newClock = func(int) Clock { return NewRealClock() }
+	}
+
+	trs := make([]Transport, cfg.Conns)
+	for i := range trs {
+		tr, err := dial(i)
+		if err != nil {
+			for _, t := range trs[:i] {
+				t.Close()
+			}
+			return Output{}, fmt.Errorf("load: conn %d: %w", i, err)
+		}
+		trs[i] = tr
+	}
+
+	states := make([]*connState, cfg.Conns)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Conns; i++ {
+		st := &connState{rec: NewRecorder(cfg.Warmup.Nanoseconds())}
+		states[i] = st
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer trs[i].Close()
+			runConn(cfg, mix, i, trs[i], newClock(i), st)
+		}(i)
+	}
+	wg.Wait()
+
+	out := Output{}
+	agg := NewRecorder(cfg.Warmup.Nanoseconds())
+	var errors, unacked uint64
+	var lastNS int64
+	for _, st := range states {
+		agg.Merge(st.rec)
+		errors += st.errors
+		unacked += st.unacked
+		if st.lastNS > lastNS {
+			lastNS = st.lastNS
+		}
+		if cfg.RecordTape {
+			out.Tapes = append(out.Tapes, st.tape)
+		}
+	}
+	durNS := cfg.Duration.Nanoseconds()
+	if durNS == 0 {
+		durNS = lastNS
+	}
+	out.Result = buildResult(cfg, mix, agg, errors, unacked, durNS)
+	return out, nil
+}
+
+// connKeyRange returns connection i's key range [base+1, base+span].
+func connKeyRange(cfg Config, i int) (base, span uint64) {
+	if !cfg.DisjointKeys {
+		return 0, cfg.Keys
+	}
+	per := cfg.Keys / uint64(cfg.Conns)
+	if per == 0 {
+		per = 1
+	}
+	return uint64(i) * per, per
+}
+
+// runConn is one connection's open-loop driver: sleep to the scheduled
+// arrival, send, and charge the reply against the *scheduled* time, so
+// queueing delay the client would otherwise hide (coordinated omission)
+// lands in the recorded latency.
+func runConn(cfg Config, mix Mix, i int, tr Transport, clk Clock, st *connState) {
+	sched := NewSchedule(cfg.RatePerSec/float64(cfg.Conns), cfg.Seed+uint64(i)*0x9e3779b97f4a7c15)
+	rng := xrand.New(cfg.Seed ^ (uint64(i+1) * 0xbf58476d1ce4e5b9))
+	base, span := connKeyRange(cfg, i)
+	durNS := cfg.Duration.Nanoseconds()
+	var payload []byte
+	if cfg.ValSize > 0 {
+		payload = make([]byte, cfg.ValSize)
+	}
+
+	for {
+		if cfg.Stop != nil {
+			select {
+			case <-cfg.Stop:
+				return
+			default:
+			}
+		}
+		schedNS := sched.Next()
+		if durNS > 0 && schedNS > durNS {
+			return
+		}
+		clk.SleepUntil(schedNS)
+
+		req, kop, taped := genOp(rng, mix, base, span, payload)
+		rep, err := tr.RoundTrip(req)
+		if err != nil {
+			// The server went away mid-exchange (drain). The cut-off op is
+			// taped unacked so replay can prove it was never applied.
+			if taped && cfg.RecordTape {
+				st.tape = append(st.tape, kop)
+			}
+			st.unacked++
+			st.err = err
+			return
+		}
+		doneNS := clk.Now()
+		st.lastNS = doneNS
+		st.rec.Record(schedNS, doneNS)
+		if rep.IsErr() {
+			st.errors++
+			continue
+		}
+		if taped && cfg.RecordTape {
+			kop.Acked = true
+			kop.Val, kop.OK = replyToTape(kop.Kind, kop.Arg, rep)
+			st.tape = append(st.tape, kop)
+		}
+	}
+}
+
+// genOp draws the next request from the mix. For data verbs it also
+// returns the tape entry skeleton (Acked false until the reply lands);
+// taped is false for SCAN, which mutates nothing and has no sequential
+// reply to verify.
+func genOp(rng *xrand.State, mix Mix, base, span uint64, payload []byte) (server.Request, oracle.KVOp, bool) {
+	key := base + rng.Uint64n(span) + 1
+	switch mix.pick(rng) {
+	case mixGet:
+		return server.Request{Verb: server.VerbGet, Key: key},
+			oracle.KVOp{Kind: oracle.KVGet, Key: key}, true
+	case mixSet:
+		if payload != nil {
+			for j := range payload {
+				payload[j] = byte(rng.Uint32())
+			}
+			h := server.FNVHash(payload)
+			return server.Request{Verb: server.VerbPut, Key: key, Payload: payload},
+				oracle.KVOp{Kind: oracle.KVSet, Key: key, Arg: h}, true
+		}
+		val := rng.Uint64()
+		return server.Request{Verb: server.VerbSet, Key: key, Arg: val},
+			oracle.KVOp{Kind: oracle.KVSet, Key: key, Arg: val}, true
+	case mixDel:
+		return server.Request{Verb: server.VerbDel, Key: key},
+			oracle.KVOp{Kind: oracle.KVDel, Key: key}, true
+	case mixIncr:
+		delta := rng.Uint64n(100) + 1
+		return server.Request{Verb: server.VerbIncr, Key: key, Arg: delta},
+			oracle.KVOp{Kind: oracle.KVIncr, Key: key, Arg: delta}, true
+	default: // mixScan
+		return server.Request{Verb: server.VerbScan, Arg: server.DefaultScanLimit},
+			oracle.KVOp{}, false
+	}
+}
+
+// replyToTape maps a wire reply onto the oracle.KVOp reply fields, with
+// the same meaning as oracle.KVModel.Apply's results.
+func replyToTape(kind oracle.KVOpKind, arg uint64, rep server.Reply) (val uint64, ok bool) {
+	switch kind {
+	case oracle.KVGet:
+		if rep.IsNil() {
+			return 0, false
+		}
+		return rep.Val, true
+	case oracle.KVSet:
+		// "+OK" (SET) or ":hash" (PUT, hash == arg).
+		return arg, true
+	case oracle.KVDel:
+		return rep.Val, rep.Val == 1
+	case oracle.KVIncr:
+		return rep.Val, true
+	}
+	return 0, false
+}

@@ -1,0 +1,236 @@
+package load
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/oracle"
+	"repro/internal/server"
+)
+
+// fakeClock is a single-goroutine virtual clock: SleepUntil jumps time
+// forward, the transport charges service time by advancing it. No real
+// time passes anywhere in these tests (docs/TESTING.md).
+type fakeClock struct{ now int64 }
+
+func (c *fakeClock) Now() int64 { return c.now }
+
+func (c *fakeClock) SleepUntil(ns int64) {
+	if ns > c.now {
+		c.now = ns
+	}
+}
+
+// fakeTransport models a server with a fixed per-request service time on
+// the shared virtual clock, keeping a sequential KV map so replies are
+// semantically right for tape tests.
+type fakeTransport struct {
+	clk       *fakeClock
+	serviceNS int64
+	m         map[uint64]uint64
+	reqs      []server.Request
+	failAfter int // fail the n-th and later RoundTrips (0 = never)
+	n         int
+}
+
+func (tr *fakeTransport) RoundTrip(req server.Request) (server.Reply, error) {
+	tr.n++
+	if tr.failAfter > 0 && tr.n >= tr.failAfter {
+		return server.Reply{}, fmt.Errorf("fake: connection drained")
+	}
+	cp := req
+	cp.Payload = append([]byte(nil), req.Payload...)
+	tr.reqs = append(tr.reqs, cp)
+	tr.clk.now += tr.serviceNS
+	switch req.Verb {
+	case server.VerbGet:
+		if v, ok := tr.m[req.Key]; ok {
+			return server.Reply{Kind: ':', Val: v}, nil
+		}
+		return server.Reply{Kind: '_'}, nil
+	case server.VerbSet:
+		tr.m[req.Key] = req.Arg
+		return server.Reply{Kind: '+', Str: "OK"}, nil
+	case server.VerbPut:
+		h := server.FNVHash(req.Payload)
+		tr.m[req.Key] = h
+		return server.Reply{Kind: ':', Val: h}, nil
+	case server.VerbDel:
+		if _, ok := tr.m[req.Key]; ok {
+			delete(tr.m, req.Key)
+			return server.Reply{Kind: ':', Val: 1}, nil
+		}
+		return server.Reply{Kind: ':', Val: 0}, nil
+	case server.VerbIncr:
+		v := tr.m[req.Key] + req.Arg
+		tr.m[req.Key] = v
+		return server.Reply{Kind: ':', Val: v}, nil
+	default: // SCAN
+		return server.Reply{Kind: '*'}, nil
+	}
+}
+
+func (tr *fakeTransport) Close() error { return nil }
+
+// fastRun runs one virtual-clock connection and returns the output and
+// its transport.
+func fastRun(t *testing.T, cfg Config, serviceNS int64, failAfter int) (Output, *fakeTransport) {
+	t.Helper()
+	clk := &fakeClock{}
+	tr := &fakeTransport{clk: clk, serviceNS: serviceNS, m: map[uint64]uint64{}, failAfter: failAfter}
+	cfg.Conns = 1
+	cfg.NewClock = func(int) Clock { return clk }
+	cfg.Dial = func(int) (Transport, error) { return tr, nil }
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return out, tr
+}
+
+// TestCoordinatedOmissionAccounting is the pinned CO test: a server whose
+// service time (10ms) exceeds the arrival gap (1ms) makes the open-loop
+// client fall ever further behind schedule. Send-time accounting would
+// report ~10ms per op; scheduled-time accounting must show the queueing
+// delay growing toward (service - gap) × n. All on a virtual clock — the
+// numbers below are exact properties of the deterministic simulation, not
+// timing assertions.
+func TestCoordinatedOmissionAccounting(t *testing.T) {
+	const (
+		gapNS     = int64(1e6) // 1000 ops/sec offered
+		serviceNS = int64(1e7) // 10ms per op — 10x oversubscribed
+		durNS     = int64(1e9) // 1s of schedule → ~1000 arrivals
+	)
+	out, _ := fastRun(t, Config{
+		RatePerSec: 1e9 / float64(gapNS),
+		Duration:   time.Duration(durNS),
+		Seed:       3,
+		Keys:       64,
+	}, serviceNS, 0)
+	r := out.Result
+
+	if r.Count < 900 || r.Count > 1100 {
+		t.Fatalf("recorded %d ops, want ≈1000", r.Count)
+	}
+	// The last op's queueing delay is ≈ (service-gap) × count ≈ 9s. The
+	// mean of a linear ramp is half the max. Everything dwarfs the 10ms
+	// service time — the signature CO hides.
+	if r.MaxNS < int64(float64(serviceNS-gapNS)*float64(r.Count)*0.8) {
+		t.Fatalf("max latency %v too small for a 10x-oversubscribed open loop", time.Duration(r.MaxNS))
+	}
+	if r.MeanNS < 100*serviceNS {
+		t.Fatalf("mean latency %v does not reflect queueing (service %v)",
+			time.Duration(r.MeanNS), time.Duration(serviceNS))
+	}
+	if r.P99NS < r.P50NS || r.P50NS < 50*serviceNS {
+		t.Fatalf("quantiles p50=%v p99=%v do not show the queue ramp",
+			time.Duration(r.P50NS), time.Duration(r.P99NS))
+	}
+	// A closed-loop (send-time) accounting of the same run would have seen
+	// exactly serviceNS per op; make the contrast explicit.
+	if r.MeanNS <= serviceNS {
+		t.Fatal("scheduled-time accounting collapsed to send-time accounting")
+	}
+}
+
+// TestOpenLoopKeepsUp is the control: a server faster than the arrival
+// gap leaves latency at exactly the service time — scheduled-time and
+// send-time accounting agree when nothing queues.
+func TestOpenLoopKeepsUp(t *testing.T) {
+	const (
+		serviceNS = int64(1e5) // 0.1ms
+	)
+	out, _ := fastRun(t, Config{
+		RatePerSec: 1000, // 1ms gaps, 10x headroom
+		Duration:   time.Second,
+		Seed:       3,
+		Keys:       64,
+	}, serviceNS, 0)
+	r := out.Result
+	// Poisson bursts still queue a little (gaps shorter than the service
+	// time occur ~10% of the time), but nothing ramps: the whole
+	// distribution stays within a few service times instead of growing
+	// with the op count as in the oversubscribed test above.
+	if r.MeanNS < serviceNS || r.MeanNS > 3*serviceNS {
+		t.Fatalf("mean latency %d outside [1x, 3x] service time %d", r.MeanNS, serviceNS)
+	}
+	if r.MaxNS < serviceNS || r.MaxNS > 30*serviceNS {
+		t.Fatalf("max latency %d outside [1x, 30x] service time %d", r.MaxNS, serviceNS)
+	}
+	if r.Count == 0 || r.Unacked != 0 || r.Errors != 0 {
+		t.Fatalf("count=%d unacked=%d errors=%d", r.Count, r.Unacked, r.Errors)
+	}
+}
+
+// TestWorkloadDeterministic runs the same seeded config twice against
+// fresh fakes and requires the identical request stream byte-for-byte —
+// the property that makes a failing soak reproducible from its seed.
+func TestWorkloadDeterministic(t *testing.T) {
+	cfg := Config{
+		RatePerSec: 2000,
+		Duration:   500 * time.Millisecond,
+		Seed:       77,
+		Keys:       128,
+		ValSize:    32,
+		Mix:        Mix{Get: 40, Set: 40, Del: 10, Incr: 5, Scan: 5},
+	}
+	_, tr1 := fastRun(t, cfg, 1000, 0)
+	_, tr2 := fastRun(t, cfg, 1000, 0)
+	if len(tr1.reqs) == 0 {
+		t.Fatal("no requests issued")
+	}
+	if len(tr1.reqs) != len(tr2.reqs) {
+		t.Fatalf("request counts diverged: %d vs %d", len(tr1.reqs), len(tr2.reqs))
+	}
+	for i := range tr1.reqs {
+		a, b := tr1.reqs[i], tr2.reqs[i]
+		if a.Verb != b.Verb || a.Key != b.Key || a.Arg != b.Arg || string(a.Payload) != string(b.Payload) {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestTapeRecordsRepliesAndUnacked checks the tape layer end to end on
+// fakes: taped replies match a sequential replay, and a transport cut off
+// mid-run leaves exactly one trailing unacked op.
+func TestTapeRecordsRepliesAndUnacked(t *testing.T) {
+	out, _ := fastRun(t, Config{
+		RatePerSec: 2000,
+		Duration:   time.Second,
+		Seed:       11,
+		Keys:       32,
+		Mix:        Mix{Get: 50, Set: 30, Del: 10, Incr: 10},
+		RecordTape: true,
+	}, 1000, 500) // fail from the 500th round trip
+	r := out.Result
+	if r.Unacked != 1 {
+		t.Fatalf("unacked = %d, want exactly 1 (strict request/reply)", r.Unacked)
+	}
+	if len(out.Tapes) != 1 {
+		t.Fatalf("tapes = %d, want 1", len(out.Tapes))
+	}
+	tape := out.Tapes[0]
+	if len(tape) == 0 {
+		t.Fatal("empty tape")
+	}
+	if tape[len(tape)-1].Acked {
+		t.Fatal("cut-off op not taped as unacked")
+	}
+	acked := 0
+	for _, op := range tape[:len(tape)-1] {
+		if !op.Acked {
+			t.Fatalf("non-final unacked op: %+v", op)
+		}
+		acked++
+	}
+	if acked == 0 {
+		t.Fatal("no acked ops before the cut")
+	}
+	// The taped replies must replay cleanly against the sequential model
+	// (the fake transport is itself a sequential map, so any divergence is
+	// a bug in the tape/reply mapping).
+	if idx, msg := oracle.ReplayKVTape(oracle.NewKVModel(), tape); idx >= 0 {
+		t.Fatalf("tape diverged at op %d: %s (%+v)", idx, msg, tape[idx])
+	}
+}

@@ -1,0 +1,189 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// TestScheduleDeterministic pins the schedule's contract: same (rate,
+// seed) → the identical arrival stream bit-for-bit; different seeds →
+// different streams; arrivals strictly increase.
+func TestScheduleDeterministic(t *testing.T) {
+	const n = 100_000
+	a := NewSchedule(5000, 7)
+	b := NewSchedule(5000, 7)
+	c := NewSchedule(5000, 8)
+	var prev int64 = -1
+	diverged := false
+	for i := 0; i < n; i++ {
+		av, bv, cv := a.Next(), b.Next(), c.Next()
+		if av != bv {
+			t.Fatalf("arrival %d: same seed diverged: %d vs %d", i, av, bv)
+		}
+		if av != cv {
+			diverged = true
+		}
+		if av <= prev {
+			t.Fatalf("arrival %d: not strictly increasing (%d after %d)", i, av, prev)
+		}
+		prev = av
+	}
+	if !diverged {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// TestScheduleMeanInterArrival checks the empirical mean gap against
+// 1/rate with a 5-sigma confidence bound: for exponential gaps the
+// standard error of the mean over n samples is (1/rate)/sqrt(n).
+func TestScheduleMeanInterArrival(t *testing.T) {
+	const (
+		rate = 10_000.0 // ops/sec → mean gap 100µs
+		n    = 200_000
+	)
+	s := NewSchedule(rate, 1234)
+	last := s.Next()
+	var sum float64
+	for i := 1; i < n; i++ {
+		next := s.Next()
+		sum += float64(next - last)
+		last = next
+	}
+	meanNS := sum / float64(n-1)
+	wantNS := 1e9 / rate
+	sigma := wantNS / math.Sqrt(float64(n-1))
+	if d := math.Abs(meanNS - wantNS); d > 5*sigma {
+		t.Fatalf("mean gap %.1fns, want %.1fns ± %.1fns (5σ)", meanNS, wantNS, 5*sigma)
+	}
+}
+
+// TestScheduleDistribution checks the exponential shape, not just the
+// mean: the fraction of gaps beyond k mean gaps must track e^-k.
+func TestScheduleDistribution(t *testing.T) {
+	const (
+		rate = 1000.0
+		n    = 200_000
+	)
+	s := NewSchedule(rate, 99)
+	meanGap := 1e9 / rate
+	last := int64(0)
+	beyond1, beyond3 := 0, 0
+	for i := 0; i < n; i++ {
+		next := s.Next()
+		gap := float64(next - last)
+		last = next
+		if gap > meanGap {
+			beyond1++
+		}
+		if gap > 3*meanGap {
+			beyond3++
+		}
+	}
+	if f := float64(beyond1) / n; math.Abs(f-math.Exp(-1)) > 0.01 {
+		t.Fatalf("P(gap > mean) = %.4f, want e^-1 = %.4f ± 0.01", f, math.Exp(-1))
+	}
+	if f := float64(beyond3) / n; math.Abs(f-math.Exp(-3)) > 0.005 {
+		t.Fatalf("P(gap > 3·mean) = %.4f, want e^-3 = %.4f ± 0.005", f, math.Exp(-3))
+	}
+}
+
+func TestRecorderWarmupAndMerge(t *testing.T) {
+	a := NewRecorder(1000)
+	a.Record(500, 600)   // scheduled pre-warmup → trimmed
+	a.Record(1000, 1100) // 100ns
+	a.Record(2000, 2400) // 400ns
+	b := NewRecorder(1000)
+	b.Record(3000, 3900)  // 900ns
+	b.Record(4000, 3500)  // negative → clamps to 0
+	b.Record(999, 10_000) // trimmed (scheduled time governs, not done)
+
+	a.Merge(b)
+	if a.Count() != 4 || a.Trimmed() != 2 {
+		t.Fatalf("count=%d trimmed=%d, want 4, 2", a.Count(), a.Trimmed())
+	}
+	if a.MaxNS() != 900 {
+		t.Fatalf("max=%d, want 900", a.MaxNS())
+	}
+	if got, want := a.MeanNS(), int64((100+400+900+0)/4); got != want {
+		t.Fatalf("mean=%d, want %d", got, want)
+	}
+	// The quantile is the log-bucket upper bound of the right sample.
+	if got, want := a.Quantile(1.0), stats.LogBucketUpper(stats.LogBucketOf(900)); got != want {
+		t.Fatalf("p100=%d, want bucket bound %d", got, want)
+	}
+}
+
+func TestMixParseAndPick(t *testing.T) {
+	m, err := ParseMix("get=50,set=30,del=10,incr=5,scan=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get != 50 || m.Set != 30 || m.Del != 10 || m.Incr != 5 || m.Scan != 5 {
+		t.Fatalf("parsed %+v", m)
+	}
+	if _, err := ParseMix("bogus=1"); err == nil {
+		t.Fatal("unknown verb accepted")
+	}
+	if _, err := ParseMix("get=-5,set=105"); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := ParseMix("get=0,set=0"); err == nil {
+		t.Fatal("all-zero mix accepted")
+	}
+	if _, err := ParseMix("get=1,get=2"); err == nil {
+		t.Fatal("duplicate verb accepted")
+	}
+
+	// Seeded pick must hit every verb roughly proportionally.
+	rng := xrand.New(5)
+	var counts [5]int
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[m.pick(rng)]++
+	}
+	want := [5]float64{0.50, 0.30, 0.10, 0.05, 0.05}
+	for v, c := range counts {
+		f := float64(c) / n
+		if math.Abs(f-want[v]) > 0.01 {
+			t.Fatalf("verb %d frequency %.4f, want %.2f ± 0.01", v, f, want[v])
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.Record(0, 1500)
+	rec.Record(10, 2500)
+	r := buildResult(Config{Conns: 2, RatePerSec: 100, Seed: 9, Keys: 64}, DefaultMix(), rec, 1, 2, 1e9)
+	var buf testBuffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseResult(buf.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != 2 || got.Errors != 1 || got.Unacked != 2 || got.Seed != 9 {
+		t.Fatalf("round-trip lost fields: %+v", got)
+	}
+	if got.P50NS != r.P50NS || len(got.Buckets) != stats.NumLogBuckets {
+		t.Fatalf("round-trip lost histogram: %+v", got)
+	}
+
+	if _, err := ParseResult([]byte(`{"schema":"ale-snapshot/v1"}`)); err != ErrNotLoadSchema {
+		t.Fatalf("foreign schema: err = %v, want ErrNotLoadSchema", err)
+	}
+	if _, err := ParseResult([]byte(`not json`)); err != ErrNotLoadSchema {
+		t.Fatalf("non-JSON: err = %v, want ErrNotLoadSchema", err)
+	}
+}
+
+type testBuffer struct{ b []byte }
+
+func (t *testBuffer) Write(p []byte) (int, error) {
+	t.b = append(t.b, p...)
+	return len(p), nil
+}

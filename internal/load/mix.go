@@ -1,0 +1,133 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/xrand"
+)
+
+// Mix is an operation mix as integer weights. Zero-weight verbs are never
+// issued; the zero Mix is invalid (no weight anywhere).
+type Mix struct {
+	Get  int
+	Set  int
+	Del  int
+	Incr int
+	Scan int
+}
+
+// DefaultMix is the read-mostly KV mix the Kyoto workloads model.
+func DefaultMix() Mix { return Mix{Get: 80, Set: 15, Del: 3, Incr: 2} }
+
+// total returns the weight sum.
+func (m Mix) total() int { return m.Get + m.Set + m.Del + m.Incr + m.Scan }
+
+// Validate rejects mixes with negative or all-zero weights.
+func (m Mix) Validate() error {
+	if m.Get < 0 || m.Set < 0 || m.Del < 0 || m.Incr < 0 || m.Scan < 0 {
+		return fmt.Errorf("load: negative weight in mix %s", m)
+	}
+	if m.total() == 0 {
+		return fmt.Errorf("load: mix has no weight")
+	}
+	return nil
+}
+
+// String renders the mix in ParseMix's format, omitting zero weights
+// (stable verb order).
+func (m Mix) String() string {
+	parts := make([]string, 0, 5)
+	for _, p := range []struct {
+		name string
+		w    int
+	}{{"get", m.Get}, {"set", m.Set}, {"del", m.Del}, {"incr", m.Incr}, {"scan", m.Scan}} {
+		if p.w != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", p.name, p.w))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseMix parses "get=80,set=15,del=3,incr=2" (any subset of
+// get/set/del/incr/scan, each at most once, weights non-negative ints with
+// at least one positive).
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("load: mix term %q is not name=weight", part)
+		}
+		name = strings.ToLower(strings.TrimSpace(name))
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("load: mix weight %q must be a non-negative integer", val)
+		}
+		if seen[name] {
+			return Mix{}, fmt.Errorf("load: duplicate mix verb %q", name)
+		}
+		seen[name] = true
+		switch name {
+		case "get":
+			m.Get = w
+		case "set":
+			m.Set = w
+		case "del":
+			m.Del = w
+		case "incr":
+			m.Incr = w
+		case "scan":
+			m.Scan = w
+		default:
+			known := []string{"del", "get", "incr", "scan", "set"}
+			sort.Strings(known)
+			return Mix{}, fmt.Errorf("load: unknown mix verb %q (known: %s)",
+				name, strings.Join(known, " "))
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return Mix{}, err
+	}
+	return m, nil
+}
+
+// mixVerb is the driver's internal verb choice (mapped to wire verbs by
+// genOp, where SET may become PUT under -valsize).
+type mixVerb uint8
+
+const (
+	mixGet mixVerb = iota
+	mixSet
+	mixDel
+	mixIncr
+	mixScan
+)
+
+// pick draws one verb from the mix with the given seeded generator.
+func (m Mix) pick(rng *xrand.State) mixVerb {
+	n := rng.Intn(m.total())
+	if n < m.Get {
+		return mixGet
+	}
+	n -= m.Get
+	if n < m.Set {
+		return mixSet
+	}
+	n -= m.Set
+	if n < m.Del {
+		return mixDel
+	}
+	n -= m.Del
+	if n < m.Incr {
+		return mixIncr
+	}
+	return mixScan
+}

@@ -1,0 +1,101 @@
+package load
+
+import "repro/internal/stats"
+
+// Recorder accumulates response latencies into the shared log-bucket
+// histogram scheme (internal/stats — the same buckets the PR 5 timing
+// layer records, so server-side and client-side distributions line up
+// bucket for bucket).
+//
+// Coordinated-omission safety is the recorder's contract: Record takes the
+// operation's *scheduled* send offset and its completion offset, and the
+// recorded latency is their difference. An operation that left late
+// because the connection was still busy with its predecessors therefore
+// charges the server for the queueing delay it caused, instead of silently
+// omitting it the way send-time accounting would.
+//
+// Operations scheduled before the warmup horizon are trimmed (counted in
+// Trimmed, excluded from the distribution): connection setup, cold caches,
+// and the adaptive policy's learning phase are not steady-state tail
+// latency. A Recorder is single-goroutine; per-connection recorders merge
+// after the run.
+type Recorder struct {
+	warmupNS int64
+	buckets  [stats.NumLogBuckets]uint64
+	count    uint64
+	trimmed  uint64
+	sumNS    int64
+	maxNS    int64
+}
+
+// NewRecorder builds a recorder trimming operations scheduled before
+// warmupNS.
+func NewRecorder(warmupNS int64) *Recorder {
+	return &Recorder{warmupNS: warmupNS}
+}
+
+// Record adds one completed operation: scheduled send offset and
+// completion offset, both in nanoseconds from the run start. Negative
+// latency (a completion clocked before its schedule, possible only with a
+// coarse clock) clamps to zero.
+func (r *Recorder) Record(schedNS, doneNS int64) {
+	if schedNS < r.warmupNS {
+		r.trimmed++
+		return
+	}
+	lat := doneNS - schedNS
+	if lat < 0 {
+		lat = 0
+	}
+	r.buckets[stats.LogBucketOf(lat)]++
+	r.count++
+	r.sumNS += lat
+	if lat > r.maxNS {
+		r.maxNS = lat
+	}
+}
+
+// Merge folds o into r (post-run aggregation of per-connection recorders).
+func (r *Recorder) Merge(o *Recorder) {
+	for i := range r.buckets {
+		r.buckets[i] += o.buckets[i]
+	}
+	r.count += o.count
+	r.trimmed += o.trimmed
+	r.sumNS += o.sumNS
+	if o.maxNS > r.maxNS {
+		r.maxNS = o.maxNS
+	}
+}
+
+// Count returns the number of recorded (post-warmup) operations.
+func (r *Recorder) Count() uint64 { return r.count }
+
+// Trimmed returns the number of warmup-trimmed operations.
+func (r *Recorder) Trimmed() uint64 { return r.trimmed }
+
+// MeanNS returns the mean recorded latency (exact, not bucket-derived).
+func (r *Recorder) MeanNS() int64 {
+	if r.count == 0 {
+		return 0
+	}
+	return r.sumNS / int64(r.count)
+}
+
+// MaxNS returns the exact maximum recorded latency.
+func (r *Recorder) MaxNS() int64 { return r.maxNS }
+
+// Quantile returns a conservative upper bound on the q-quantile of the
+// recorded latencies (bucket upper boundary; see
+// stats.QuantileFromLogBuckets for the ≤2x error argument).
+func (r *Recorder) Quantile(q float64) int64 {
+	return stats.QuantileFromLogBuckets(r.buckets[:], q)
+}
+
+// Buckets returns a copy of the histogram counts (the JSON wire truth:
+// percentiles are rederivable from these).
+func (r *Recorder) Buckets() []uint64 {
+	out := make([]uint64, len(r.buckets))
+	copy(out, r.buckets[:])
+	return out
+}

@@ -1,0 +1,130 @@
+package load
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ResultSchema tags aleload's JSON output so alereport can probe file
+// kinds the same way it distinguishes bench-micro files from obs
+// snapshots.
+const ResultSchema = "aleload-result/v1"
+
+// ErrNotLoadSchema reports that a byte stream is not an aleload result
+// file (alereport falls through to its other parsers).
+var ErrNotLoadSchema = errors.New("load: not an aleload-result file")
+
+// Result is one load run's aggregate outcome. Latencies are
+// coordinated-omission-safe: measured from each op's *scheduled* arrival,
+// not its actual send. Quantiles come from the shared log-bucket
+// histogram (internal/stats), so they are conservative upper bounds
+// within one bucket ratio (≤2×) of the true value.
+type Result struct {
+	Schema     string  `json:"schema"`
+	Conns      int     `json:"conns"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Seed       uint64  `json:"seed"`
+	Keys       uint64  `json:"keys"`
+	Mix        string  `json:"mix"`
+	ValSize    int     `json:"val_size,omitempty"`
+
+	DurationNS int64 `json:"duration_ns"`
+	WarmupNS   int64 `json:"warmup_ns"`
+
+	// Count is the number of recorded (post-warmup, acknowledged) ops;
+	// Trimmed fell in the warmup; Errors got typed -ERR replies (still
+	// recorded — an error reply is a served request); Unacked were cut off
+	// by connection loss (a drain) and never acknowledged.
+	Count   uint64 `json:"count"`
+	Trimmed uint64 `json:"trimmed"`
+	Errors  uint64 `json:"errors"`
+	Unacked uint64 `json:"unacked"`
+
+	// AchievedPerSec is Count scaled to the measured interval — an
+	// open-loop client that cannot keep up shows Achieved < Rate.
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+
+	MeanNS int64 `json:"mean_ns"`
+	MaxNS  int64 `json:"max_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P90NS  int64 `json:"p90_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+
+	// Buckets is the raw log-bucket histogram (internal/stats layout),
+	// kept so alereport can recompute any quantile.
+	Buckets []uint64 `json:"buckets"`
+}
+
+// buildResult assembles the Result from the merged recorder.
+func buildResult(cfg Config, mix Mix, rec *Recorder, errors, unacked uint64, durNS int64) Result {
+	r := Result{
+		Schema:     ResultSchema,
+		Conns:      cfg.Conns,
+		RatePerSec: cfg.RatePerSec,
+		Seed:       cfg.Seed,
+		Keys:       cfg.Keys,
+		Mix:        mix.String(),
+		ValSize:    cfg.ValSize,
+		DurationNS: durNS,
+		WarmupNS:   cfg.Warmup.Nanoseconds(),
+		Count:      rec.Count(),
+		Trimmed:    rec.Trimmed(),
+		Errors:     errors,
+		Unacked:    unacked,
+		MeanNS:     rec.MeanNS(),
+		MaxNS:      rec.MaxNS(),
+		P50NS:      rec.Quantile(0.50),
+		P90NS:      rec.Quantile(0.90),
+		P99NS:      rec.Quantile(0.99),
+		P999NS:     rec.Quantile(0.999),
+		Buckets:    rec.Buckets(),
+	}
+	if measured := durNS - r.WarmupNS; measured > 0 {
+		r.AchievedPerSec = float64(r.Count) / (float64(measured) / 1e9)
+	}
+	return r
+}
+
+// WriteJSON writes r as indented JSON.
+func (r Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseResult decodes an aleload result file, returning ErrNotLoadSchema
+// when the bytes are JSON of some other kind (or not JSON).
+func ParseResult(data []byte) (Result, error) {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil || probe.Schema != ResultSchema {
+		return Result{}, ErrNotLoadSchema
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Result{}, fmt.Errorf("load: bad result file: %w", err)
+	}
+	return r, nil
+}
+
+// WriteTable renders r as the human-readable summary aleload and
+// alereport print.
+func (r Result) WriteTable(w io.Writer) error {
+	ms := func(ns int64) string {
+		return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+	}
+	fmt.Fprintf(w, "open-loop load: %d conns, %.0f ops/s offered, mix %s, %d keys, seed %d\n",
+		r.Conns, r.RatePerSec, r.Mix, r.Keys, r.Seed)
+	fmt.Fprintf(w, "  measured %s (warmup %s trimmed %d)\n",
+		time.Duration(r.DurationNS), time.Duration(r.WarmupNS), r.Trimmed)
+	fmt.Fprintf(w, "  ops %d (%.0f/s achieved), errors %d, unacked %d\n",
+		r.Count, r.AchievedPerSec, r.Errors, r.Unacked)
+	_, err := fmt.Fprintf(w, "  latency mean %s  p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
+		ms(r.MeanNS), ms(r.P50NS), ms(r.P90NS), ms(r.P99NS), ms(r.P999NS), ms(r.MaxNS))
+	return err
+}

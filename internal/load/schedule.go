@@ -1,0 +1,60 @@
+// Package load is the open-loop load-generation layer for aleserve: a
+// seeded Poisson arrival schedule, a coordinated-omission-safe latency
+// recorder over the shared log-bucket scheme (internal/stats), an
+// operation-mix generator, and the connection driver cmd/aleload runs
+// against a live server.
+//
+// Open-loop means arrivals are scheduled by a rate process that does not
+// wait for responses: when the server falls behind, requests queue and
+// their latency — measured from the *scheduled* send time, not the actual
+// send — grows without bound. A closed loop (fixed in-flight count, next
+// request issued on response) would instead slow its own arrival rate to
+// whatever the server sustains, hiding exactly the queueing collapse a
+// "heavy traffic" claim has to survive. The scheduled-time accounting is
+// the standard defense against coordinated omission: a stalled server
+// cannot suppress the samples that would have indicted it.
+//
+// Everything in this package that makes decisions (arrival times, keys,
+// verbs) draws from seeded xrand streams, and the driver loop is written
+// against small Clock/Transport interfaces, so the schedule and the
+// accounting are testable on a virtual clock with no real sockets and no
+// time.Sleep (docs/TESTING.md).
+package load
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Schedule generates a Poisson arrival process: successive calls to Next
+// return strictly increasing nanosecond offsets (from the run's start)
+// whose inter-arrival gaps are i.i.d. exponential with mean 1/rate. The
+// stream is fully determined by (rate, seed).
+type Schedule struct {
+	rng    *xrand.State
+	invNS  float64 // mean inter-arrival gap in nanoseconds
+	nextNS float64
+}
+
+// NewSchedule builds a schedule with the given arrival rate in operations
+// per second. Panics on a non-positive or non-finite rate (flag validation
+// belongs to the caller).
+func NewSchedule(ratePerSec float64, seed uint64) *Schedule {
+	if !(ratePerSec > 0) || math.IsInf(ratePerSec, 0) {
+		panic(fmt.Sprintf("load: invalid arrival rate %v", ratePerSec))
+	}
+	return &Schedule{rng: xrand.New(seed), invNS: 1e9 / ratePerSec}
+}
+
+// Next returns the next scheduled arrival as a nanosecond offset from the
+// start of the run.
+func (s *Schedule) Next() int64 {
+	// Inverse-CDF sampling: gap = -ln(1-U)/rate. Float64 returns [0, 1),
+	// so 1-U is in (0, 1] and the log is finite; Log1p(-u) keeps precision
+	// for small u, where most of the mass is.
+	u := s.rng.Float64()
+	s.nextNS += -math.Log1p(-u) * s.invNS
+	return int64(s.nextNS)
+}

@@ -96,3 +96,49 @@ func TestHandlerEndpoints(t *testing.T) {
 		t.Errorf("index body:\n%s", body)
 	}
 }
+
+// TestHandlerHeadersAndEdges pins the parts of the HTTP surface the
+// endpoint-content test above does not: exact content-type headers, the
+// 404 contract for unknown paths, and the /events body being non-empty
+// even before any event is recorded (so scrapers and the aleserve drain
+// tests can always assert on a body).
+func TestHandlerHeadersAndEdges(t *testing.T) {
+	c := New()
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	if code, body, ct := get("/"); code != 200 || ct != "text/plain; charset=utf-8" ||
+		!strings.Contains(body, "/metrics") || !strings.Contains(body, "/snapshot") ||
+		!strings.Contains(body, "/events") {
+		t.Errorf("index: code=%d ct=%q body=%q", code, ct, body)
+	}
+	if code, body, ct := get("/events"); code != 200 || ct != "text/plain; charset=utf-8" || len(body) == 0 {
+		t.Errorf("/events empty-ring: code=%d ct=%q body=%q", code, ct, body)
+	}
+	if code, _, ct := get("/snapshot"); code != 200 || ct != "application/json" {
+		t.Errorf("/snapshot: code=%d ct=%q", code, ct)
+	}
+	if code, _, _ := get("/nope"); code != 404 {
+		t.Errorf("unknown path: code=%d, want 404", code)
+	}
+
+	// After events land, /events carries them — the drain flow's final
+	// state remains scrapeable.
+	c.RecordEvent(Event{Kind: EventPhaseEnter, Lock: "kv", Stage: "HTM/measure"})
+	if _, body, _ := get("/events"); !strings.Contains(body, "kv") {
+		t.Errorf("/events after record: %q", body)
+	}
+}

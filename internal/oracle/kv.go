@@ -1,0 +1,113 @@
+package oracle
+
+// KV is the exported sequential reference model for the aleserve store
+// plane (internal/server.Session over kyoto or hashmap — both expose
+// identical KV semantics, which the cross-structure oracle tests pin).
+// The drain/soak tests replay client-side op tapes against it to prove
+// the drain contract: every acknowledged operation was applied exactly
+// once, every unacknowledged one not at all.
+//
+// KV is deliberately separate from the unexported linearizability models
+// above: those mirror low-level structure handles (Insert reports "newly
+// linked", queues have capacity); KV mirrors the server verbs.
+
+// KVOpKind identifies a server verb in a client op tape.
+type KVOpKind uint8
+
+const (
+	KVGet KVOpKind = iota
+	KVSet
+	KVDel
+	KVIncr
+)
+
+func (k KVOpKind) String() string {
+	switch k {
+	case KVGet:
+		return "GET"
+	case KVSet:
+		return "SET"
+	case KVDel:
+		return "DEL"
+	case KVIncr:
+		return "INCR"
+	}
+	return "?"
+}
+
+// KVOp is one taped client operation together with the reply the server
+// acknowledged it with. Acked is false for at most the final operation of
+// a connection cut off by a drain: the tape still carries it so replay
+// can assert it was NOT applied.
+type KVOp struct {
+	Kind  KVOpKind
+	Key   uint64
+	Arg   uint64 // SET value / INCR delta
+	Acked bool
+	// Reply fields, valid when Acked.
+	Val uint64 // GET value, INCR result, DEL 0/1
+	OK  bool   // GET found
+}
+
+// KVModel is the sequential reference store.
+type KVModel struct {
+	m map[uint64]uint64
+}
+
+// NewKVModel returns an empty model.
+func NewKVModel() *KVModel { return &KVModel{m: make(map[uint64]uint64)} }
+
+// Apply executes op and returns (val, ok) with the same meaning as the
+// taped reply fields: GET → (value, found); SET → (arg, true);
+// DEL → (1/0 existed, existed); INCR → (new value, true).
+func (kv *KVModel) Apply(kind KVOpKind, key, arg uint64) (val uint64, ok bool) {
+	switch kind {
+	case KVGet:
+		v, found := kv.m[key]
+		return v, found
+	case KVSet:
+		kv.m[key] = arg
+		return arg, true
+	case KVDel:
+		_, existed := kv.m[key]
+		delete(kv.m, key)
+		if existed {
+			return 1, true
+		}
+		return 0, false
+	case KVIncr:
+		// Mirrors kyoto.Handle.Add / hashmap.Handle.Add: an absent key is
+		// created holding the delta.
+		v := kv.m[key] + arg
+		kv.m[key] = v
+		return v, true
+	}
+	panic("oracle: bad KV op")
+}
+
+// Len returns the number of live keys.
+func (kv *KVModel) Len() int { return len(kv.m) }
+
+// Get reads a key without mutating the model.
+func (kv *KVModel) Get(key uint64) (uint64, bool) {
+	v, ok := kv.m[key]
+	return v, ok
+}
+
+// ReplayKVTape replays one connection's tape in order. Acked ops are
+// applied and their taped replies compared against the model; unacked
+// ops are skipped (the drain contract says they were never applied — the
+// caller proves it by comparing final server state against the model).
+// Returns the index and a description of the first divergence, or -1.
+func ReplayKVTape(kv *KVModel, tape []KVOp) (int, string) {
+	for i, op := range tape {
+		if !op.Acked {
+			continue
+		}
+		val, ok := kv.Apply(op.Kind, op.Key, op.Arg)
+		if val != op.Val || ok != op.OK {
+			return i, op.Kind.String() + " reply diverged from sequential model"
+		}
+	}
+	return -1, ""
+}

@@ -1,0 +1,63 @@
+package oracle
+
+import "testing"
+
+func TestKVModelSemantics(t *testing.T) {
+	kv := NewKVModel()
+	if v, ok := kv.Apply(KVGet, 1, 0); ok || v != 0 {
+		t.Fatalf("Get(empty) = (%d, %v)", v, ok)
+	}
+	if v, ok := kv.Apply(KVSet, 1, 10); !ok || v != 10 {
+		t.Fatalf("Set = (%d, %v)", v, ok)
+	}
+	if v, ok := kv.Apply(KVIncr, 1, 5); !ok || v != 15 {
+		t.Fatalf("Incr(present) = (%d, %v)", v, ok)
+	}
+	if v, ok := kv.Apply(KVIncr, 2, 7); !ok || v != 7 {
+		t.Fatalf("Incr(absent) = (%d, %v) — must create with delta", v, ok)
+	}
+	if v, ok := kv.Apply(KVDel, 1, 0); !ok || v != 1 {
+		t.Fatalf("Del(present) = (%d, %v)", v, ok)
+	}
+	if v, ok := kv.Apply(KVDel, 1, 0); ok || v != 0 {
+		t.Fatalf("Del(absent) = (%d, %v)", v, ok)
+	}
+	if kv.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", kv.Len())
+	}
+	if v, ok := kv.Get(2); !ok || v != 7 {
+		t.Fatalf("Get(2) = (%d, %v)", v, ok)
+	}
+}
+
+func TestReplayKVTapeDetectsDivergence(t *testing.T) {
+	good := []KVOp{
+		{Kind: KVSet, Key: 1, Arg: 10, Acked: true, Val: 10, OK: true},
+		{Kind: KVIncr, Key: 1, Arg: 2, Acked: true, Val: 12, OK: true},
+		{Kind: KVGet, Key: 1, Acked: true, Val: 12, OK: true},
+		{Kind: KVIncr, Key: 1, Arg: 99, Acked: false}, // unacked: skipped
+		{Kind: KVGet, Key: 1, Acked: true, Val: 12, OK: true},
+	}
+	if idx, msg := ReplayKVTape(NewKVModel(), good); idx != -1 {
+		t.Fatalf("clean tape flagged at %d: %s", idx, msg)
+	}
+
+	// A lost increment: the replayed GET sees a stale value.
+	lost := []KVOp{
+		{Kind: KVSet, Key: 1, Arg: 10, Acked: true, Val: 10, OK: true},
+		{Kind: KVIncr, Key: 1, Arg: 2, Acked: true, Val: 12, OK: true},
+		{Kind: KVGet, Key: 1, Acked: true, Val: 10, OK: true}, // stale!
+	}
+	if idx, _ := ReplayKVTape(NewKVModel(), lost); idx != 2 {
+		t.Fatalf("lost-update tape flagged at %d, want 2", idx)
+	}
+
+	// A double-applied increment.
+	double := []KVOp{
+		{Kind: KVSet, Key: 1, Arg: 10, Acked: true, Val: 10, OK: true},
+		{Kind: KVIncr, Key: 1, Arg: 2, Acked: true, Val: 14, OK: true}, // applied twice
+	}
+	if idx, _ := ReplayKVTape(NewKVModel(), double); idx != 1 {
+		t.Fatalf("double-apply tape flagged at %d, want 1", idx)
+	}
+}

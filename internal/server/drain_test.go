@@ -1,0 +1,326 @@
+package server_test
+
+// The drain/soak suite: an in-process aleserve under live aleload traffic
+// is SIGTERMed mid-load, and the drain contract is proven by replaying
+// every connection's client-side op tape against the sequential oracle
+// (internal/oracle.KVModel):
+//
+//   - every acknowledged op was applied exactly once, in order (the taped
+//     replies must match the model's),
+//   - every unacknowledged op (at most one per connection — the client is
+//     strictly request/reply) was never applied (the post-drain store
+//     state must equal the model's, which skipped them).
+//
+// Connections use disjoint key partitions so each tape is an independent
+// sequential history. The conflict-storm variant layers scripted
+// conflict/validation faults on the same run and must drain just as
+// cleanly. Per docs/TESTING.md there are no sleeps here: progress gates
+// poll op counters under runtime.Gosched, and completion is observed
+// synchronously (Drain blocks; load.Run returns when the connections
+// die).
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/load"
+	"repro/internal/oracle"
+	"repro/internal/server"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for the drain's snapshot
+// flush (written from the drain goroutine, read by the test).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) Bytes() []byte {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return append([]byte(nil), sb.b.Bytes()...)
+}
+
+// drainUnderLoad runs the whole scenario: start a server (with the given
+// fault script), offer open-loop load, SIGTERM once minOps requests have
+// been served, and return the server, the load output, and the flushed
+// snapshot bytes.
+func drainUnderLoad(t *testing.T, script faultinject.Script, storeKind server.StoreKind) (*server.Server, load.Output, []byte) {
+	t.Helper()
+	snap := &syncBuffer{}
+	cfg := server.DefaultConfig()
+	cfg.Workers = 4
+	cfg.Store = storeKind
+	cfg.Slots, cfg.Buckets, cfg.Capacity = 4, 64, 4096
+	cfg.MetricsAddr = "127.0.0.1:0"
+	cfg.Policy = func(string) core.Policy { return core.NewAdaptive() }
+	cfg.FaultScript = script
+	cfg.SnapshotW = snap
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+
+	stop := make(chan struct{})
+	outCh := make(chan load.Output, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		out, err := load.Run(load.Config{
+			Addr:         s.Addr().String(),
+			Conns:        4,
+			RatePerSec:   40000,
+			Seed:         42,
+			Keys:         512,
+			DisjointKeys: true,
+			RecordTape:   true,
+			Stop:         stop,
+		})
+		outCh <- out
+		errCh <- err
+	}()
+
+	// Let the soak run: gate on served work, not on time.
+	const minOps = 2000
+	for s.OpsServed() < minOps {
+		runtime.Gosched()
+	}
+
+	// SIGTERM mid-load, exactly as cmd/aleserve wires it.
+	done := s.DrainOnSignal(syscall.SIGTERM)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	<-done
+	close(stop)
+	out := <-outCh
+	if err := <-errCh; err != nil {
+		t.Fatalf("load.Run: %v", err)
+	}
+	if !s.Drained() {
+		t.Fatal("server not drained after DrainOnSignal completed")
+	}
+	return s, out, snap.Bytes()
+}
+
+// verifyTapes replays each connection's tape against a fresh sequential
+// model and then proves the post-drain store state equals the union of
+// the models — no lost, no double-applied, no phantom ops.
+func verifyTapes(t *testing.T, s *server.Server, out load.Output, keys uint64) {
+	t.Helper()
+	if len(out.Tapes) == 0 {
+		t.Fatal("no op tapes recorded")
+	}
+	var acked, unacked int
+	sess := s.NewSession()
+	wantLive := 0
+	for i, tape := range out.Tapes {
+		model := oracle.NewKVModel()
+		if idx, msg := oracle.ReplayKVTape(model, tape); idx >= 0 {
+			t.Fatalf("conn %d: tape diverged at op %d: %s (%+v)", i, idx, msg, tape[idx])
+		}
+		for _, op := range tape {
+			if op.Acked {
+				acked++
+			} else {
+				unacked++
+			}
+		}
+		// The store must hold exactly the model's state for this
+		// connection's key partition.
+		per := keys / uint64(len(out.Tapes))
+		base := uint64(i) * per
+		for k := base + 1; k <= base+per; k++ {
+			mv, mok := model.Get(k)
+			sv, sok, err := sess.Get(k)
+			if err != nil {
+				t.Fatalf("post-drain Get(%d): %v", k, err)
+			}
+			if sv != mv || sok != mok {
+				t.Fatalf("conn %d key %d: store=(%d,%v) model=(%d,%v) — acked/applied mismatch",
+					i, k, sv, sok, mv, mok)
+			}
+		}
+		wantLive += model.Len()
+	}
+	if n, err := sess.Count(); err != nil || n != wantLive {
+		t.Fatalf("post-drain Count = %d, %v; oracle union = %d", n, err, wantLive)
+	}
+	// Strictly request/reply clients leave at most one unacked op each.
+	if unacked > len(out.Tapes) {
+		t.Fatalf("%d unacked ops across %d connections (max 1 each)", unacked, len(out.Tapes))
+	}
+	if acked == 0 {
+		t.Fatal("no acknowledged ops — the soak never ran")
+	}
+	t.Logf("replayed %d acked ops, %d unacked, %d live keys", acked, unacked, wantLive)
+}
+
+func TestDrainUnderLoadNoLostOps(t *testing.T) {
+	s, out, snap := drainUnderLoad(t, nil, server.StoreKyoto)
+	verifyTapes(t, s, out, 512)
+
+	// The drain must have flushed a final obs snapshot.
+	var probe struct {
+		Schema string `json:"schema"`
+		Execs  uint64 `json:"execs"`
+	}
+	if err := json.Unmarshal(snap, &probe); err != nil {
+		t.Fatalf("final snapshot is not JSON: %v\n%s", err, snap)
+	}
+	if probe.Schema != "ale-snapshot/v1" || probe.Execs == 0 {
+		t.Fatalf("final snapshot = schema %q, execs %d", probe.Schema, probe.Execs)
+	}
+
+	// The metrics plane must survive the drain until Close: the index
+	// page, /events, and /snapshot all still serve the flushed state.
+	base := "http://" + s.MetricsAddr()
+	get := func(path string) (string, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+	if body, _ := get("/"); !strings.Contains(body, "/metrics") {
+		t.Fatalf("index page missing endpoint listing: %q", body)
+	}
+	if body, ct := get("/events"); ct != "text/plain; charset=utf-8" || body == "" {
+		t.Fatalf("/events after drain: content-type %q, %d bytes", ct, len(body))
+	}
+	if body, ct := get("/snapshot"); ct != "application/json" || !strings.Contains(body, "ale-snapshot/v1") {
+		t.Fatalf("/snapshot after drain: content-type %q body %q", ct, body)
+	}
+}
+
+// TestDrainConflictStorm reruns the soak under a scripted conflict storm
+// (forced HTM conflicts, SWOpt validation failures, stretched lock
+// sections): the fault pressure must change only performance, never the
+// drain contract.
+func TestDrainConflictStorm(t *testing.T) {
+	script := faultinject.Script{
+		{Class: faultinject.ConflictStorm, Every: 2},
+		{Class: faultinject.ValidateFail, Every: 3},
+		{Class: faultinject.LockStretch, Every: 7, Param: 2},
+	}
+	s, out, snap := drainUnderLoad(t, script, server.StoreHashMap)
+	verifyTapes(t, s, out, 512)
+	if len(snap) == 0 {
+		t.Fatal("no final snapshot flushed")
+	}
+	// The storm must actually have fired, or the variant proves nothing.
+	body, err := http.Get("http://" + s.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer body.Body.Close()
+	metrics, _ := io.ReadAll(body.Body)
+	if !bytes.Contains(metrics, []byte(`ale_faults_injected_total{class="conflict-storm"}`)) {
+		t.Fatalf("conflict-storm faults never fired:\n%s", firstLines(string(metrics), 30))
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestDrainIdempotent checks Drain-after-Drain and Close-after-Drain are
+// safe, and that a drained server refuses new connections while keeping
+// the runtime usable in-process.
+func TestDrainIdempotent(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Workers = 1
+	cfg.Policy = func(string) core.Policy { return core.NewLockOnly() }
+	cfg.Slots, cfg.Buckets, cfg.Capacity = 4, 64, 2048
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Drain()
+	s.Drain()
+	sess := s.NewSession()
+	if err := sess.Set(1, 10); err != nil {
+		t.Fatalf("post-drain in-process Set: %v", err)
+	}
+	if v, ok, err := sess.Get(1); err != nil || !ok || v != 10 {
+		t.Fatalf("post-drain in-process Get = %d,%v,%v", v, ok, err)
+	}
+}
+
+// TestOpsServedCountsAllVerbs pins OpsServed and the STATS ops_total
+// field against a known request sequence, exercising the load package's
+// TCP transport as the client.
+func TestOpsServedCountsAllVerbs(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Workers = 1
+	cfg.Policy = func(string) core.Policy { return core.NewLockOnly() }
+	cfg.Slots, cfg.Buckets, cfg.Capacity = 4, 64, 2048
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	tr, err := load.DialTCP(s.Addr().String())(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i, req := range []server.Request{
+		{Verb: server.VerbPing},
+		{Verb: server.VerbSet, Key: 1, Arg: 5},
+		{Verb: server.VerbIncr, Key: 1, Arg: 2},
+		{Verb: server.VerbGet, Key: 1},
+		{Verb: server.VerbScan, Arg: 10},
+		{Verb: server.VerbStats},
+	} {
+		if _, err := tr.RoundTrip(req); err != nil {
+			t.Fatalf("req %d: %v", i, err)
+		}
+	}
+	if got := s.OpsServed(); got != 6 {
+		t.Fatalf("OpsServed = %d, want 6", got)
+	}
+	rep, err := tr.RoundTrip(server.Request{Verb: server.VerbStats})
+	if err != nil || rep.Kind != '*' {
+		t.Fatalf("STATS: %+v, %v", rep, err)
+	}
+	found := false
+	for _, f := range rep.Fields {
+		if f == "ops_total 7" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("STATS missing ops_total 7: %v", rep.Fields)
+	}
+}

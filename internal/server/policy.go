@@ -1,0 +1,40 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ParsePolicy resolves a -policy flag value into a per-lock policy
+// factory. Accepted spellings:
+//
+//	adaptive      the paper's phased adaptive policy (default)
+//	drift         adaptive with drift re-probing
+//	lockonly      never elide (deterministic exec counts — the wire
+//	              fixtures run under it)
+//	static:X,Y    fixed X HTM attempts then Y SWOpt attempts
+func ParsePolicy(s string) (func(lockName string) core.Policy, error) {
+	switch {
+	case s == "" || s == "adaptive":
+		return func(string) core.Policy { return core.NewAdaptive() }, nil
+	case s == "drift":
+		return func(string) core.Policy { return core.NewDrift() }, nil
+	case s == "lockonly":
+		return func(string) core.Policy { return core.NewLockOnly() }, nil
+	case strings.HasPrefix(s, "static:"):
+		xs, ys, ok := strings.Cut(strings.TrimPrefix(s, "static:"), ",")
+		if !ok {
+			return nil, fmt.Errorf("server: static policy wants static:X,Y, got %q", s)
+		}
+		x, err1 := strconv.Atoi(xs)
+		y, err2 := strconv.Atoi(ys)
+		if err1 != nil || err2 != nil || x < 0 || y < 0 {
+			return nil, fmt.Errorf("server: bad static policy %q", s)
+		}
+		return func(string) core.Policy { return core.NewStatic(x, y) }, nil
+	}
+	return nil, fmt.Errorf("server: unknown policy %q (adaptive, drift, lockonly, static:X,Y)", s)
+}

@@ -1,0 +1,501 @@
+// Package server implements aleserve: a network-facing KV server backed
+// by the ALE-integrated stores (kyoto, hashmap), serving a RESP-like text
+// protocol from a fixed pool of worker goroutines registered as ALE
+// threads, with the obs HTTP endpoints on a side listener and a graceful
+// drain that finishes in-flight requests and flushes a final snapshot.
+//
+// This file is the wire protocol, "alekv/1". Requests are inline text
+// commands; responses are typed one-liners or length-prefixed arrays. The
+// exact grammar (and the reply-received ⇔ applied-exactly-once drain
+// contract) is specified in docs/ALESERVE.md; the golden fixtures under
+// testdata/wire pin it byte for byte.
+//
+//	request   = verb *( SP token ) CRLF          ; inline, ≤ MaxInlineBytes
+//	          | "PUT" SP key SP nbytes CRLF <nbytes octets> CRLF
+//	response  = "+" text CRLF                    ; simple string
+//	          | ":" uint64 [ SP uint64 ] CRLF    ; integer (pair in arrays)
+//	          | "_" CRLF                         ; null (missing key)
+//	          | "-ERR " code ": " text CRLF      ; typed error
+//	          | "*" count CRLF count*element     ; array (SCAN, STATS)
+//
+// A malformed or oversized request yields a typed -ERR reply and the
+// reader resynchronizes at the next newline — the connection survives.
+// Both sides of the codec live here: the server parses requests and
+// writes responses; cmd/aleload (internal/load) writes requests and
+// parses responses.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ProtoName identifies the wire protocol (reported by STATS).
+const ProtoName = "alekv/1"
+
+const (
+	// MaxInlineBytes bounds one inline request line, terminator included.
+	MaxInlineBytes = 1024
+	// MaxPayloadBytes bounds a PUT payload.
+	MaxPayloadBytes = 64 << 10
+	// DefaultScanLimit applies when SCAN is given no limit argument.
+	DefaultScanLimit = 64
+	// MaxScanLimit bounds an explicit SCAN limit.
+	MaxScanLimit = 65536
+)
+
+// Verb enumerates the protocol's commands.
+type Verb uint8
+
+const (
+	VerbPing Verb = iota
+	VerbGet
+	VerbSet
+	VerbDel
+	VerbIncr
+	VerbPut
+	VerbScan
+	VerbStats
+	VerbQuit
+	numVerbs
+)
+
+// verbNames are the canonical (uppercase) wire spellings.
+var verbNames = [numVerbs]string{"PING", "GET", "SET", "DEL", "INCR", "PUT", "SCAN", "STATS", "QUIT"}
+
+func (v Verb) String() string {
+	if int(v) < len(verbNames) {
+		return verbNames[v]
+	}
+	return fmt.Sprintf("Verb(%d)", uint8(v))
+}
+
+// ErrCode classifies protocol errors; it is the first token of an -ERR
+// reply, so clients can dispatch without parsing prose.
+type ErrCode string
+
+const (
+	// ErrProto: unknown verb or empty command.
+	ErrProto ErrCode = "proto"
+	// ErrArgs: wrong argument count for a known verb.
+	ErrArgs ErrCode = "args"
+	// ErrRange: an argument failed numeric validation (not a uint64, zero
+	// key, out-of-range limit).
+	ErrRange ErrCode = "range"
+	// ErrFrame: the request line exceeded MaxInlineBytes.
+	ErrFrame ErrCode = "frame"
+	// ErrPayload: a PUT payload was oversized or misterminated.
+	ErrPayload ErrCode = "payload"
+	// ErrStore: the store rejected the operation (e.g. arena exhausted).
+	ErrStore ErrCode = "store"
+)
+
+// WireError is a typed protocol error. When ReadRequest returns one, the
+// reader has already resynchronized (consumed through the offending
+// frame's terminating newline) and the connection remains usable.
+type WireError struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *WireError) Error() string { return string(e.Code) + ": " + e.Msg }
+
+func wireErrf(code ErrCode, format string, args ...any) *WireError {
+	return &WireError{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Request is one parsed command. Key/Arg usage per verb:
+//
+//	GET/DEL  Key
+//	SET      Key, Arg = value
+//	INCR     Key, Arg = delta (1 when omitted)
+//	PUT      Key, Payload (stored as its FNV-1a 64 hash)
+//	SCAN     Arg = limit (DefaultScanLimit when omitted)
+type Request struct {
+	Verb    Verb
+	Key     uint64
+	Arg     uint64
+	Payload []byte
+}
+
+// readLine reads one newline-terminated line, enforcing MaxInlineBytes.
+// On overflow it consumes through the next newline (resync) and reports
+// ErrFrame. The returned slice excludes the terminator and any trailing
+// \r, and is only valid until the next read.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull || (err == nil && len(line) > MaxInlineBytes) {
+		// Oversized: discard the remainder of the line, then reply typed.
+		for err == bufio.ErrBufferFull {
+			_, err = br.ReadSlice('\n')
+		}
+		if err != nil && err != bufio.ErrBufferFull {
+			if err == io.EOF {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		return nil, wireErrf(ErrFrame, "request line exceeds %d bytes", MaxInlineBytes)
+	}
+	if err != nil {
+		// Bare EOF on a partial line means the peer quit mid-frame.
+		if err == io.EOF && len(line) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// parseU64 parses a decimal uint64 argument.
+func parseU64(tok []byte, what string) (uint64, *WireError) {
+	v, err := strconv.ParseUint(string(tok), 10, 64)
+	if err != nil {
+		return 0, wireErrf(ErrRange, "%s %q is not a uint64", what, tok)
+	}
+	return v, nil
+}
+
+// parseKey parses a key argument (non-zero uint64; the stores reserve 0).
+func parseKey(tok []byte) (uint64, *WireError) {
+	k, werr := parseU64(tok, "key")
+	if werr != nil {
+		return 0, werr
+	}
+	if k == 0 {
+		return 0, wireErrf(ErrRange, "key must be a non-zero uint64")
+	}
+	return k, nil
+}
+
+// ReadRequest reads and validates one request. Errors of type *WireError
+// are recoverable — the reader is resynchronized and the caller should
+// reply with the error and continue; any other error (io.EOF on a clean
+// boundary, io.ErrUnexpectedEOF mid-frame, timeouts) ends the connection.
+// req.Payload aliases an internal buffer valid until the next call.
+func ReadRequest(br *bufio.Reader, payloadBuf *[]byte) (Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return Request{}, err
+	}
+	fields := bytes.Fields(line)
+	if len(fields) == 0 {
+		return Request{}, wireErrf(ErrProto, "empty command")
+	}
+	verb, ok := lookupVerb(fields[0])
+	if !ok {
+		return Request{}, wireErrf(ErrProto, "unknown verb %q", fields[0])
+	}
+	args := fields[1:]
+	need := func(n int) *WireError {
+		if len(args) != n {
+			return wireErrf(ErrArgs, "%s expects %d argument(s), got %d", verb, n, len(args))
+		}
+		return nil
+	}
+	req := Request{Verb: verb}
+	switch verb {
+	case VerbPing, VerbStats, VerbQuit:
+		if werr := need(0); werr != nil {
+			return Request{}, werr
+		}
+	case VerbGet, VerbDel:
+		if werr := need(1); werr != nil {
+			return Request{}, werr
+		}
+		if req.Key, err = keyErr(parseKey(args[0])); err != nil {
+			return Request{}, err
+		}
+	case VerbSet:
+		if werr := need(2); werr != nil {
+			return Request{}, werr
+		}
+		if req.Key, err = keyErr(parseKey(args[0])); err != nil {
+			return Request{}, err
+		}
+		if req.Arg, err = keyErr(parseU64(args[1], "value")); err != nil {
+			return Request{}, err
+		}
+	case VerbIncr:
+		if len(args) < 1 || len(args) > 2 {
+			return Request{}, wireErrf(ErrArgs, "INCR expects 1 or 2 arguments, got %d", len(args))
+		}
+		if req.Key, err = keyErr(parseKey(args[0])); err != nil {
+			return Request{}, err
+		}
+		req.Arg = 1
+		if len(args) == 2 {
+			if req.Arg, err = keyErr(parseU64(args[1], "delta")); err != nil {
+				return Request{}, err
+			}
+		}
+	case VerbScan:
+		if len(args) > 1 {
+			return Request{}, wireErrf(ErrArgs, "SCAN expects at most 1 argument, got %d", len(args))
+		}
+		req.Arg = DefaultScanLimit
+		if len(args) == 1 {
+			if req.Arg, err = keyErr(parseU64(args[0], "limit")); err != nil {
+				return Request{}, err
+			}
+			if req.Arg == 0 || req.Arg > MaxScanLimit {
+				return Request{}, wireErrf(ErrRange, "limit must be in [1, %d]", MaxScanLimit)
+			}
+		}
+	case VerbPut:
+		if werr := need(2); werr != nil {
+			return Request{}, werr
+		}
+		if req.Key, err = keyErr(parseKey(args[0])); err != nil {
+			return Request{}, err
+		}
+		n, werr := parseU64(args[1], "payload size")
+		if werr != nil {
+			return Request{}, werr
+		}
+		if n > MaxPayloadBytes {
+			// The payload was not consumed: a client that already sent it
+			// will desync itself, which is why docs/ALESERVE.md forbids
+			// pipelining past an unacknowledged oversized PUT.
+			return Request{}, wireErrf(ErrPayload, "payload size %d exceeds %d bytes", n, MaxPayloadBytes)
+		}
+		if cap(*payloadBuf) < int(n) {
+			*payloadBuf = make([]byte, n)
+		}
+		buf := (*payloadBuf)[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Request{}, err
+		}
+		// The payload must be followed by CRLF (or bare LF). Anything else
+		// is a framing error; resync at the next newline.
+		b, err := br.ReadByte()
+		if err != nil {
+			return Request{}, eofAsUnexpected(err)
+		}
+		if b == '\r' {
+			if b, err = br.ReadByte(); err != nil {
+				return Request{}, eofAsUnexpected(err)
+			}
+		}
+		if b != '\n' {
+			if _, err := readLine(br); err != nil {
+				if _, ok := err.(*WireError); !ok {
+					return Request{}, err
+				}
+			}
+			return Request{}, wireErrf(ErrPayload, "payload not terminated by CRLF")
+		}
+		req.Payload = buf
+	}
+	return req, nil
+}
+
+// keyErr narrows a (value, *WireError) pair into (value, error) without
+// the typed-nil-interface trap.
+func keyErr(v uint64, werr *WireError) (uint64, error) {
+	if werr != nil {
+		return 0, werr
+	}
+	return v, nil
+}
+
+func eofAsUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// lookupVerb resolves a case-insensitive verb token.
+func lookupVerb(tok []byte) (Verb, bool) {
+	for v, name := range verbNames {
+		if len(tok) == len(name) && strings.EqualFold(string(tok), name) {
+			return Verb(v), true
+		}
+	}
+	return 0, false
+}
+
+// FNVHash is the FNV-1a 64 hash a PUT payload is stored as (exported so
+// clients and tests can predict the stored value).
+func FNVHash(p []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// --- Response writing (server side) ---
+
+func writeSimple(bw *bufio.Writer, s string) error {
+	bw.WriteByte('+')
+	bw.WriteString(s)
+	_, err := bw.WriteString("\r\n")
+	return err
+}
+
+func writeInt(bw *bufio.Writer, v uint64) error {
+	bw.WriteByte(':')
+	bw.WriteString(strconv.FormatUint(v, 10))
+	_, err := bw.WriteString("\r\n")
+	return err
+}
+
+func writePair(bw *bufio.Writer, k, v uint64) error {
+	bw.WriteByte(':')
+	bw.WriteString(strconv.FormatUint(k, 10))
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(v, 10))
+	_, err := bw.WriteString("\r\n")
+	return err
+}
+
+func writeNil(bw *bufio.Writer) error {
+	_, err := bw.WriteString("_\r\n")
+	return err
+}
+
+func writeArrayHeader(bw *bufio.Writer, n int) error {
+	bw.WriteByte('*')
+	bw.WriteString(strconv.Itoa(n))
+	_, err := bw.WriteString("\r\n")
+	return err
+}
+
+func writeWireError(bw *bufio.Writer, werr *WireError) error {
+	bw.WriteString("-ERR ")
+	bw.WriteString(string(werr.Code))
+	bw.WriteString(": ")
+	bw.WriteString(werr.Msg)
+	_, err := bw.WriteString("\r\n")
+	return err
+}
+
+// --- Client side: request writing and reply parsing (used by
+// internal/load and the conformance tests) ---
+
+// WriteRequest encodes req in wire form. The caller flushes.
+func WriteRequest(bw *bufio.Writer, req Request) error {
+	bw.WriteString(req.Verb.String())
+	switch req.Verb {
+	case VerbGet, VerbDel:
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(req.Key, 10))
+	case VerbSet:
+		fmt.Fprintf(bw, " %d %d", req.Key, req.Arg)
+	case VerbIncr:
+		fmt.Fprintf(bw, " %d %d", req.Key, req.Arg)
+	case VerbScan:
+		fmt.Fprintf(bw, " %d", req.Arg)
+	case VerbPut:
+		fmt.Fprintf(bw, " %d %d\r\n", req.Key, len(req.Payload))
+		bw.Write(req.Payload)
+	}
+	_, err := bw.WriteString("\r\n")
+	return err
+}
+
+// Reply is one parsed response.
+type Reply struct {
+	// Kind is the reply's leading wire byte: '+' simple, ':' integer,
+	// '_' null, '-' error, '*' array.
+	Kind byte
+	// Str holds a simple reply's text, or an error reply's message.
+	Str string
+	// Code holds an error reply's code.
+	Code ErrCode
+	// Val holds an integer reply's value.
+	Val uint64
+	// Pairs holds a SCAN array's key/value entries.
+	Pairs [][2]uint64
+	// Fields holds a STATS array's "name value" lines (without the '+').
+	Fields []string
+}
+
+// IsNil reports a null reply (GET miss).
+func (r Reply) IsNil() bool { return r.Kind == '_' }
+
+// IsErr reports an error reply.
+func (r Reply) IsErr() bool { return r.Kind == '-' }
+
+// ReadReply parses one response.
+func ReadReply(br *bufio.Reader) (Reply, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return Reply{}, err
+	}
+	if len(line) == 0 {
+		return Reply{}, fmt.Errorf("server: empty reply line")
+	}
+	switch line[0] {
+	case '+':
+		return Reply{Kind: '+', Str: string(line[1:])}, nil
+	case '_':
+		return Reply{Kind: '_'}, nil
+	case ':':
+		v, werr := parseU64(line[1:], "integer reply")
+		if werr != nil {
+			return Reply{}, fmt.Errorf("server: bad integer reply %q", line)
+		}
+		return Reply{Kind: ':', Val: v}, nil
+	case '-':
+		msg := strings.TrimPrefix(string(line[1:]), "ERR ")
+		code, text, ok := strings.Cut(msg, ": ")
+		if !ok {
+			return Reply{Kind: '-', Str: msg}, nil
+		}
+		return Reply{Kind: '-', Code: ErrCode(code), Str: text}, nil
+	case '*':
+		n, err := strconv.Atoi(string(line[1:]))
+		if err != nil || n < 0 {
+			return Reply{}, fmt.Errorf("server: bad array header %q", line)
+		}
+		rep := Reply{Kind: '*'}
+		for i := 0; i < n; i++ {
+			el, err := readLine(br)
+			if err != nil {
+				return Reply{}, eofAsUnexpected(err)
+			}
+			if len(el) == 0 {
+				return Reply{}, fmt.Errorf("server: empty array element")
+			}
+			switch el[0] {
+			case ':':
+				ks, vs, ok := strings.Cut(string(el[1:]), " ")
+				if !ok {
+					return Reply{}, fmt.Errorf("server: bad pair element %q", el)
+				}
+				k, err1 := strconv.ParseUint(ks, 10, 64)
+				v, err2 := strconv.ParseUint(vs, 10, 64)
+				if err1 != nil || err2 != nil {
+					return Reply{}, fmt.Errorf("server: bad pair element %q", el)
+				}
+				rep.Pairs = append(rep.Pairs, [2]uint64{k, v})
+			case '+':
+				rep.Fields = append(rep.Fields, string(el[1:]))
+			default:
+				return Reply{}, fmt.Errorf("server: bad array element %q", el)
+			}
+		}
+		return rep, nil
+	default:
+		return Reply{}, fmt.Errorf("server: bad reply line %q", line)
+	}
+}

@@ -1,0 +1,559 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/tm"
+)
+
+// Config assembles a Server. The zero value is not runnable; use
+// DefaultConfig as the base.
+type Config struct {
+	// Addr is the KV listener's address ("127.0.0.1:0" for an ephemeral
+	// test port).
+	Addr string
+	// MetricsAddr, when non-empty, mounts the obs HTTP endpoints
+	// (/metrics, /snapshot, /events — internal/obs.Handler) on a side
+	// listener. The metrics plane outlives a drain (so the final flushed
+	// snapshot can still be scraped) and shuts down in Close.
+	MetricsAddr string
+	// Workers is the fixed worker-pool size: each worker registers one
+	// ALE thread at startup and serves one connection at a time, so it is
+	// also the concurrent-connection limit; excess accepted connections
+	// queue. ALE threads must not be shared across goroutines, which is
+	// why the pool is fixed rather than per-connection.
+	Workers int
+
+	// Store selects the backing structure; the sizing fields below apply
+	// to both (Slots is kyoto-only).
+	Store         StoreKind
+	Slots         int
+	Buckets       int
+	Capacity      int
+	MarkerStripes int
+
+	// Policy builds one policy instance per ALE lock (fresh state per
+	// lock, like kyoto.PolicyFactory).
+	Policy func(lockName string) core.Policy
+	// Platform is the simulated HTM platform (platform.Haswell() by
+	// default).
+	Platform platform.Platform
+	// Timing enables the PR 5 timing layer (latency histograms, granule
+	// contention attribution) on the server's runtime.
+	Timing bool
+	// Obs is the collector backing STATS and the metrics endpoints (one
+	// is created when nil).
+	Obs *obs.Collector
+	// FaultScript, when non-empty, installs the deterministic fault
+	// injector (internal/faultinject) on the substrate and engine — the
+	// drain soak tests' conflict-storm regime. Never set in production.
+	FaultScript faultinject.Script
+	// SnapshotW, when non-nil, receives the final obs snapshot (JSON) at
+	// the end of a drain.
+	SnapshotW io.Writer
+	// Logf, when non-nil, receives server lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns a runnable server configuration: kyoto store,
+// adaptive policies, 4 workers, ephemeral loopback address.
+func DefaultConfig() Config {
+	return Config{
+		Addr:          "127.0.0.1:0",
+		Workers:       4,
+		Store:         StoreKyoto,
+		Slots:         16,
+		Buckets:       256,
+		Capacity:      1 << 14,
+		MarkerStripes: 1,
+		Policy:        func(string) core.Policy { return core.NewAdaptive() },
+		Platform:      platform.Haswell(),
+	}
+}
+
+// opCounter indexes the server's per-verb counters (wire order, then the
+// derived ones).
+type opCounter int
+
+const (
+	opcPing opCounter = iota
+	opcGet
+	opcSet
+	opcDel
+	opcIncr
+	opcPut
+	opcScan
+	opcStats
+	opcQuit
+	opcErrors // typed -ERR replies (protocol or store)
+	numOpCounters
+)
+
+var opCounterNames = [numOpCounters]string{
+	"ping", "get", "set", "del", "incr", "put", "scan", "stats", "quit", "errors",
+}
+
+// Server is one aleserve instance. Construct with New, run with Serve (or
+// Start), stop with Drain then Close.
+type Server struct {
+	cfg       Config
+	collector *obs.Collector
+	rt        *core.Runtime
+	st        store
+	injector  *faultinject.Injector
+
+	ln        net.Listener
+	metricsLn net.Listener
+	httpSrv   *http.Server
+
+	connCh chan net.Conn
+
+	mu       sync.Mutex
+	active   map[net.Conn]struct{}
+	draining bool
+
+	workerWG sync.WaitGroup
+	acceptWG sync.WaitGroup
+
+	drainOnce sync.Once
+	drained   chan struct{}
+
+	ops        [numOpCounters]atomic.Uint64
+	connsTotal atomic.Uint64
+	start      time.Time
+}
+
+// New validates cfg, builds the runtime and store, binds the listeners,
+// and starts the worker pool and accept loop. The server is accepting as
+// soon as New returns.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("server: Workers must be ≥ 1")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("server: Policy is required")
+	}
+	if cfg.Store == "" {
+		cfg.Store = StoreKyoto
+	}
+	collector := cfg.Obs
+	if collector == nil {
+		collector = obs.New()
+	}
+	opts := core.DefaultOptions()
+	opts.Obs = collector
+	opts.Timing = cfg.Timing
+
+	dom := tm.NewDomain(cfg.Platform.Profile)
+	var inj *faultinject.Injector
+	if len(cfg.FaultScript) > 0 {
+		inj = faultinject.New(cfg.FaultScript)
+		inj.SetObsShard(collector.NewShard())
+		dom.SetInjector(inj)
+		opts.Faults = inj
+	}
+	rt := core.NewRuntimeOpts(dom, opts)
+
+	s := &Server{
+		cfg:       cfg,
+		collector: collector,
+		rt:        rt,
+		st:        buildStore(rt, cfg),
+		injector:  inj,
+		connCh:    make(chan net.Conn),
+		active:    make(map[net.Conn]struct{}),
+		drained:   make(chan struct{}),
+		start:     time.Now(),
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+	}
+	s.ln = ln
+	if cfg.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("server: metrics listen %s: %w", cfg.MetricsAddr, err)
+		}
+		s.metricsLn = mln
+		s.httpSrv = &http.Server{Handler: obs.Handler(collector)}
+		go func() { _ = s.httpSrv.Serve(mln) }()
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+
+	s.logf("aleserve: %s store, %d workers, listening on %s", cfg.Store, cfg.Workers, ln.Addr())
+	if s.metricsLn != nil {
+		s.logf("aleserve: metrics on http://%s (/metrics /snapshot /events)", s.metricsLn.Addr())
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Addr returns the KV listener's bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// MetricsAddr returns the metrics listener's bound address ("" when the
+// metrics plane is off).
+func (s *Server) MetricsAddr() string {
+	if s.metricsLn == nil {
+		return ""
+	}
+	return s.metricsLn.Addr().String()
+}
+
+// Runtime exposes the server's ALE runtime (reports, tests).
+func (s *Server) Runtime() *core.Runtime { return s.rt }
+
+// Collector exposes the obs collector backing STATS and the metrics
+// endpoints.
+func (s *Server) Collector() *obs.Collector { return s.collector }
+
+// NewSession opens an extra store session on a fresh ALE thread —
+// post-drain verification plumbing for tests (the runtime stays usable
+// after a drain; only the network plane is gone).
+func (s *Server) NewSession() Session { return s.st.newSession() }
+
+// OpsServed returns the number of completed requests (all verbs).
+func (s *Server) OpsServed() uint64 {
+	var n uint64
+	for i := opcPing; i <= opcQuit; i++ {
+		n += s.ops[i].Load()
+	}
+	return n
+}
+
+// acceptLoop feeds accepted connections to the worker pool. It exits when
+// the listener closes (Drain); queued connections still in connCh are
+// closed unserved by the draining workers.
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	defer close(s.connCh)
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.connsTotal.Add(1)
+		s.connCh <- c
+	}
+}
+
+// worker owns one ALE thread (via its store session) and serves queued
+// connections one at a time.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	sess := s.st.newSession()
+	scratch := &connScratch{}
+	for c := range s.connCh {
+		s.serveConn(c, sess, scratch)
+	}
+}
+
+// connScratch is per-worker reusable request state.
+type connScratch struct {
+	payload  []byte
+	scanKeys [][2]uint64
+}
+
+// register tracks a live connection so Drain can interrupt its blocked
+// read. Returns false when the server is already draining (the caller
+// must close the connection instead of serving it).
+func (s *Server) register(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active[c] = struct{}{}
+	return true
+}
+
+func (s *Server) unregister(c net.Conn) {
+	s.mu.Lock()
+	delete(s.active, c)
+	s.mu.Unlock()
+}
+
+// draining reports the drain flag.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// serveConn runs one connection's request loop. The drain contract
+// (docs/ALESERVE.md): a request whose response was flushed was applied
+// exactly once; a request with no response was never applied. The loop
+// preserves it by (a) checking the drain flag only *between* requests, so
+// a request that started processing always finishes and flushes, and (b)
+// never reading a new request after the flag is set, so a request the
+// drain cut off was never handed to the store.
+func (s *Server) serveConn(c net.Conn, sess Session, scratch *connScratch) {
+	defer c.Close()
+	if !s.register(c) {
+		return
+	}
+	defer s.unregister(c)
+
+	br := bufio.NewReaderSize(c, 16<<10)
+	bw := bufio.NewWriterSize(c, 16<<10)
+	for {
+		if s.isDraining() {
+			bw.Flush()
+			return
+		}
+		req, err := ReadRequest(br, &scratch.payload)
+		if err != nil {
+			var werr *WireError
+			if errors.As(err, &werr) {
+				// Malformed frame: typed reply, connection survives.
+				s.ops[opcErrors].Add(1)
+				writeWireError(bw, werr)
+				if br.Buffered() == 0 {
+					if bw.Flush() != nil {
+						return
+					}
+				}
+				continue
+			}
+			// Timeout only ever comes from a drain poke; loop to the
+			// drain check. Anything else (EOF, reset) ends the
+			// connection.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			bw.Flush()
+			return
+		}
+		quit := s.dispatch(bw, sess, scratch, req)
+		// Flush once the pipeline is empty (RESP-style batching: a burst
+		// of pipelined requests gets one writev, a lone request gets an
+		// immediate reply).
+		if br.Buffered() == 0 || quit {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// dispatch applies one request to the store and writes (without flushing)
+// its response. Returns true for QUIT.
+func (s *Server) dispatch(bw *bufio.Writer, sess Session, scratch *connScratch, req Request) bool {
+	switch req.Verb {
+	case VerbPing:
+		s.ops[opcPing].Add(1)
+		writeSimple(bw, "PONG")
+	case VerbGet:
+		s.ops[opcGet].Add(1)
+		v, ok, err := sess.Get(req.Key)
+		if err != nil {
+			s.storeError(bw, err)
+		} else if ok {
+			writeInt(bw, v)
+		} else {
+			writeNil(bw)
+		}
+	case VerbSet:
+		s.ops[opcSet].Add(1)
+		if err := sess.Set(req.Key, req.Arg); err != nil {
+			s.storeError(bw, err)
+		} else {
+			writeSimple(bw, "OK")
+		}
+	case VerbDel:
+		s.ops[opcDel].Add(1)
+		ok, err := sess.Del(req.Key)
+		if err != nil {
+			s.storeError(bw, err)
+		} else if ok {
+			writeInt(bw, 1)
+		} else {
+			writeInt(bw, 0)
+		}
+	case VerbIncr:
+		s.ops[opcIncr].Add(1)
+		v, err := sess.Incr(req.Key, req.Arg)
+		if err != nil {
+			s.storeError(bw, err)
+		} else {
+			writeInt(bw, v)
+		}
+	case VerbPut:
+		s.ops[opcPut].Add(1)
+		h := FNVHash(req.Payload)
+		if err := sess.Set(req.Key, h); err != nil {
+			s.storeError(bw, err)
+		} else {
+			writeInt(bw, h)
+		}
+	case VerbScan:
+		s.ops[opcScan].Add(1)
+		scratch.scanKeys = scratch.scanKeys[:0]
+		_, err := sess.Scan(int(req.Arg), func(k, v uint64) bool {
+			scratch.scanKeys = append(scratch.scanKeys, [2]uint64{k, v})
+			return true
+		})
+		if err != nil {
+			s.storeError(bw, err)
+			break
+		}
+		writeArrayHeader(bw, len(scratch.scanKeys))
+		for _, kv := range scratch.scanKeys {
+			writePair(bw, kv[0], kv[1])
+		}
+	case VerbStats:
+		s.ops[opcStats].Add(1)
+		s.writeStats(bw)
+	case VerbQuit:
+		s.ops[opcQuit].Add(1)
+		writeSimple(bw, "BYE")
+		return true
+	}
+	return false
+}
+
+// storeError maps a store-layer failure to a typed reply.
+func (s *Server) storeError(bw *bufio.Writer, err error) {
+	s.ops[opcErrors].Add(1)
+	writeWireError(bw, &WireError{Code: ErrStore, Msg: err.Error()})
+}
+
+// writeStats renders the STATS array: protocol/config identity, the
+// server-plane counters, and the ALE collector's execution totals. Field
+// order is fixed (the conformance fixtures pin it); every value is
+// deterministic for a deterministic request history, so no wall-clock
+// field appears here (uptime lives in /snapshot).
+func (s *Server) writeStats(bw *bufio.Writer) {
+	snap := s.collector.Snapshot()
+	draining := 0
+	if s.isDraining() {
+		draining = 1
+	}
+	s.mu.Lock()
+	activeConns := len(s.active)
+	s.mu.Unlock()
+
+	fields := make([]string, 0, 8+int(numOpCounters))
+	addf := func(format string, args ...any) {
+		fields = append(fields, fmt.Sprintf(format, args...))
+	}
+	addf("proto %s", ProtoName)
+	addf("store %s", s.cfg.Store)
+	addf("workers %d", s.cfg.Workers)
+	addf("conns_active %d", activeConns)
+	addf("conns_total %d", s.connsTotal.Load())
+	addf("draining %d", draining)
+	addf("ops_total %d", s.OpsServed())
+	for i := opcPing; i < numOpCounters; i++ {
+		addf("ops_%s %d", opCounterNames[i], s.ops[i].Load())
+	}
+	addf("execs %d", snap.Execs())
+	addf("elision_pct %.1f", 100*snap.ElisionRate())
+
+	writeArrayHeader(bw, len(fields))
+	for _, f := range fields {
+		writeSimple(bw, f)
+	}
+}
+
+// Drain gracefully stops the KV plane: stop accepting, interrupt
+// between-request reads, let in-flight requests finish and flush, close
+// every connection, then flush the final snapshot to cfg.SnapshotW. The
+// metrics endpoints keep serving (scrape the flushed state) until Close.
+// Drain is idempotent and returns once the drain is complete.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.logf("aleserve: draining")
+		s.mu.Lock()
+		s.draining = true
+		// Poke every blocked read: a worker waiting between requests
+		// wakes with a timeout, sees the flag, flushes and closes. A
+		// worker mid-request is unaffected (the deadline only applies to
+		// reads) and closes after its response is flushed.
+		past := time.Unix(0, 1)
+		for c := range s.active {
+			_ = c.SetReadDeadline(past)
+		}
+		s.mu.Unlock()
+
+		s.ln.Close()
+		s.acceptWG.Wait()
+		s.workerWG.Wait()
+
+		if s.cfg.SnapshotW != nil {
+			if err := obs.WriteJSON(s.cfg.SnapshotW, s.collector.Snapshot()); err != nil {
+				s.logf("aleserve: final snapshot: %v", err)
+			}
+		}
+		s.logf("aleserve: drained (%d ops served)", s.OpsServed())
+		close(s.drained)
+	})
+	<-s.drained
+}
+
+// Drained reports whether a drain has completed (non-blocking).
+func (s *Server) Drained() bool {
+	select {
+	case <-s.drained:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close shuts the metrics plane down (the KV plane must already be
+// drained; Close drains it if not).
+func (s *Server) Close() {
+	s.Drain()
+	if s.httpSrv != nil {
+		_ = s.httpSrv.Close()
+	}
+}
+
+// DrainOnSignal installs a handler draining the server when any of the
+// given signals arrives (SIGTERM for cmd/aleserve). The returned channel
+// closes when a signal-triggered drain has completed.
+func (s *Server) DrainOnSignal(sig ...os.Signal) <-chan struct{} {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sig...)
+	done := make(chan struct{})
+	go func() {
+		<-ch
+		signal.Stop(ch)
+		s.Drain()
+		close(done)
+	}()
+	return done
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hashmap"
+	"repro/internal/kyoto"
+)
+
+// StoreKind selects the backing store.
+type StoreKind string
+
+const (
+	// StoreKyoto is the nested two-lock CacheDB reproduction (paper
+	// section 5): method read-lock outside, per-slot hash tables inside.
+	// The server default — it exercises nesting and RW elision.
+	StoreKyoto StoreKind = "kyoto"
+	// StoreHashMap is the single-lock chained hash map (paper section 3).
+	StoreHashMap StoreKind = "hashmap"
+)
+
+// ParseStoreKind validates a -store flag value.
+func ParseStoreKind(s string) (StoreKind, error) {
+	switch StoreKind(s) {
+	case StoreKyoto, StoreHashMap:
+		return StoreKind(s), nil
+	}
+	return "", fmt.Errorf("server: unknown store %q (kyoto, hashmap)", s)
+}
+
+// Session is one worker's handle into the store. Creating a session
+// registers an ALE thread on the server's runtime (the thread registry the
+// reports and trace dumps walk); a session must stay on its worker
+// goroutine, like the core.Thread it wraps.
+type Session interface {
+	Get(key uint64) (uint64, bool, error)
+	Set(key, val uint64) error
+	Del(key uint64) (bool, error)
+	Incr(key, delta uint64) (uint64, error)
+	// Scan visits up to limit records; the iteration order is the store's
+	// (deterministic for a deterministic history, not sorted). Returns the
+	// number visited.
+	Scan(limit int, visit func(key, val uint64) bool) (int, error)
+	Count() (int, error)
+}
+
+// store abstracts the two backing structures for the server.
+type store interface {
+	newSession() Session
+}
+
+// --- kyoto ---
+
+type kyotoStore struct{ db *kyoto.DB }
+
+type kyotoSession struct{ h *kyoto.Handle }
+
+func (s kyotoStore) newSession() Session { return kyotoSession{h: s.db.NewHandle()} }
+
+func (s kyotoSession) Get(key uint64) (uint64, bool, error) { return s.h.Get(key) }
+func (s kyotoSession) Set(key, val uint64) error            { return s.h.Set(key, val) }
+func (s kyotoSession) Del(key uint64) (bool, error)         { return s.h.Remove(key) }
+func (s kyotoSession) Incr(key, delta uint64) (uint64, error) {
+	return s.h.Add(key, delta)
+}
+func (s kyotoSession) Scan(limit int, visit func(key, val uint64) bool) (int, error) {
+	n := 0
+	_, err := s.h.Iterate(func(key, val uint64) bool {
+		if n >= limit {
+			return false
+		}
+		n++
+		return visit(key, val)
+	})
+	return n, err
+}
+func (s kyotoSession) Count() (int, error) { return s.h.Count() }
+
+// --- hashmap ---
+
+type hashmapStore struct{ m *hashmap.Map }
+
+type hashmapSession struct{ h *hashmap.Handle }
+
+func (s hashmapStore) newSession() Session { return hashmapSession{h: s.m.NewHandle()} }
+
+func (s hashmapSession) Get(key uint64) (uint64, bool, error) { return s.h.Get(key) }
+func (s hashmapSession) Set(key, val uint64) error {
+	_, err := s.h.Insert(key, val)
+	return err
+}
+func (s hashmapSession) Del(key uint64) (bool, error) { return s.h.Remove(key) }
+func (s hashmapSession) Incr(key, delta uint64) (uint64, error) {
+	return s.h.Add(key, delta)
+}
+func (s hashmapSession) Scan(limit int, visit func(key, val uint64) bool) (int, error) {
+	n := 0
+	_, err := s.h.Range(func(key, val uint64) bool {
+		if n >= limit {
+			return false
+		}
+		n++
+		return visit(key, val)
+	})
+	return n, err
+}
+func (s hashmapSession) Count() (int, error) { return s.h.Len() }
+
+// buildStore constructs the configured store on rt.
+func buildStore(rt *core.Runtime, cfg Config) store {
+	policies := cfg.Policy
+	switch cfg.Store {
+	case StoreHashMap:
+		return hashmapStore{m: hashmap.New(rt, "kv", hashmap.Config{
+			Buckets:       cfg.Buckets,
+			Capacity:      cfg.Capacity,
+			MarkerStripes: cfg.MarkerStripes,
+		}, policies("kv"))}
+	default: // StoreKyoto
+		return kyotoStore{db: kyoto.New(rt, "kv", kyoto.Config{
+			Slots:        cfg.Slots,
+			SlotBuckets:  cfg.Buckets,
+			SlotCapacity: cfg.Capacity,
+		}, kyoto.PolicyFactory(policies))}
+	}
+}

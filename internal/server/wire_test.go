@@ -1,0 +1,182 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// The wire conformance suite: every scenario's raw request bytes live in
+// testdata/wire/<name>.in and the exact response bytes the server must
+// produce in testdata/wire/<name>.out. Each scenario runs against a fresh
+// server over a real loopback socket and ends with QUIT, so the full
+// response stream is read to EOF and compared byte for byte.
+//
+// Fixtures run under the LockOnly policy: no elision, so STATS exec
+// counters are deterministic. Regenerate with:
+//
+//	go test ./internal/server -run TestWireConformance -update
+
+var update = flag.Bool("update", false, "rewrite testdata/wire/*.out golden files")
+
+// testServer starts a 1-worker LockOnly server on an ephemeral loopback
+// port.
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.Policy = func(string) core.Policy { return core.NewLockOnly() }
+	cfg.Platform = platform.Haswell()
+	// Small arenas: the default store sizing costs seconds under -race.
+	cfg.Slots, cfg.Buckets, cfg.Capacity = 4, 64, 2048
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// exchange sends in to a fresh connection and returns everything the
+// server writes back until it closes the connection.
+func exchange(t *testing.T, s *Server, in []byte) []byte {
+	t.Helper()
+	c, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write(in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return out
+}
+
+func TestWireConformance(t *testing.T) {
+	ins, err := filepath.Glob(filepath.Join("testdata", "wire", "*.in"))
+	if err != nil || len(ins) == 0 {
+		t.Fatalf("no fixtures under testdata/wire (err=%v)", err)
+	}
+	for _, inPath := range ins {
+		name := strings.TrimSuffix(filepath.Base(inPath), ".in")
+		t.Run(name, func(t *testing.T) {
+			in, err := os.ReadFile(inPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := testServer(t)
+			got := exchange(t, s, in)
+
+			outPath := filepath.Join("testdata", "wire", name+".out")
+			if *update {
+				if err := os.WriteFile(outPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(outPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("response diverged from golden file\n got: %q\nwant: %q", got, want)
+			}
+		})
+	}
+}
+
+// TestWirePipelining sends a burst of pipelined requests in one write and
+// checks the replies come back in order, then that the per-verb counters
+// saw every request (the batch flushed as one unit).
+func TestWirePipelining(t *testing.T) {
+	s := testServer(t)
+	var in bytes.Buffer
+	const n = 200
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&in, "SET %d %d\r\n", i, i*10)
+	}
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&in, "GET %d\r\n", i)
+	}
+	in.WriteString("QUIT\r\n")
+
+	out := exchange(t, s, in.Bytes())
+	br := bufio.NewReader(bytes.NewReader(out))
+	for i := 1; i <= n; i++ {
+		rep, err := ReadReply(br)
+		if err != nil || rep.Kind != '+' || rep.Str != "OK" {
+			t.Fatalf("SET %d reply = %+v, %v", i, rep, err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		rep, err := ReadReply(br)
+		if err != nil || rep.Kind != ':' || rep.Val != uint64(i*10) {
+			t.Fatalf("GET %d reply = %+v, %v", i, rep, err)
+		}
+	}
+	rep, err := ReadReply(br)
+	if err != nil || rep.Str != "BYE" {
+		t.Fatalf("QUIT reply = %+v, %v", rep, err)
+	}
+	if got := s.OpsServed(); got != 2*n+1 {
+		t.Fatalf("OpsServed = %d, want %d", got, 2*n+1)
+	}
+}
+
+// TestWireConnectionSurvivesGarbage interleaves malformed frames with
+// valid requests on one connection: every malformed frame must earn a
+// typed -ERR reply (never a dropped connection), and the valid requests
+// around it must still work.
+func TestWireConnectionSurvivesGarbage(t *testing.T) {
+	s := testServer(t)
+	big := strings.Repeat("x", 2*MaxInlineBytes)
+	in := strings.Join([]string{
+		"SET 7 70",
+		"BOGUS 1 2 3",     // unknown verb → proto
+		"GET",             // missing arg → args
+		"GET 0",           // zero key → range
+		"GET abc",         // non-numeric → range
+		big,               // oversized line → frame
+		"GET 7",           // still alive
+		"PUT 9 999999999", // oversized payload declare → payload
+		"GET 7",           // still alive
+		"QUIT",
+	}, "\r\n") + "\r\n"
+
+	out := exchange(t, s, []byte(in))
+	br := bufio.NewReader(bytes.NewReader(out))
+	wantCodes := []struct {
+		kind byte
+		code ErrCode
+	}{
+		{'+', ""}, {'-', ErrProto}, {'-', ErrArgs}, {'-', ErrRange}, {'-', ErrRange},
+		{'-', ErrFrame}, {':', ""}, {'-', ErrPayload}, {':', ""}, {'+', ""},
+	}
+	for i, want := range wantCodes {
+		rep, err := ReadReply(br)
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if rep.Kind != want.kind || (want.kind == '-' && rep.Code != want.code) {
+			t.Fatalf("reply %d = kind %q code %q, want kind %q code %q (%+v)",
+				i, rep.Kind, rep.Code, want.kind, want.code, rep)
+		}
+	}
+	if rest, _ := io.ReadAll(br); len(rest) != 0 {
+		t.Fatalf("trailing bytes after QUIT: %q", rest)
+	}
+}
