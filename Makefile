@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt patch-check bench bench-json bench-compare bench-gate bench-trend stress cover profile serve loadtest
+.PHONY: all build test race lint fmt patch-check bench bench-json bench-compare bench-gate bench-trend bench-scale stress cover profile serve loadtest
 
 all: build lint test
 
@@ -43,9 +43,9 @@ bench:
 # Hot-path microbenchmark suite with the machine-readable report
 # (alebench-microbench/v2: BENCH_COUNT repeated samples per benchmark
 # plus the environment fingerprint; render it with `alereport -in
-# BENCH_7.json`). This is how the committed baseline is refreshed — see
+# BENCH_8.json`). This is how the committed baseline is refreshed — see
 # EXPERIMENTS.md "Refreshing the BENCH_N baseline" for the procedure.
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_8.json
 BENCH_COUNT ?= 5
 bench-json:
 	$(GO) run ./cmd/alebench -bench-json $(BENCH_BASELINE) -count $(BENCH_COUNT) micro
@@ -67,6 +67,17 @@ bench-gate:
 # Cross-run trajectory of the whole committed BENCH series as markdown.
 bench-trend:
 	$(GO) run ./cmd/alereport -trend 'BENCH_*.json'
+
+# Disjoint-commit scaling family at several GOMAXPROCS settings: the
+# sharded commit clock against its single-clock (-shards 1) ablation,
+# the tentpole measurement of EXPERIMENTS.md "Sharded commit clock".
+# Reads are honest only where GOMAXPROCS ≤ physical cores; points above
+# that measure time-slicing. bench-scale-p*.json is gitignored scratch.
+bench-scale:
+	for p in 1 2 4 8; do \
+		GOMAXPROCS=$$p $(GO) run ./cmd/alebench \
+			-bench-json bench-scale-p$$p.json -workers 1,2,4,8 scale; \
+	done
 
 # Profiling bundle for a representative sweep: CPU profile, heap profile,
 # and a Perfetto-loadable Chrome trace with the timing layer on (plus the

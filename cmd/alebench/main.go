@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	alebench [flags] fig2|fig3|fig4|fig5|report|ablation|striping|faults|micro|all
+//	alebench [flags] fig2|fig3|fig4|fig5|report|ablation|striping|faults|micro|scale|all
 //
 // Figures (see DESIGN.md section 4 for the reconstruction mapping):
 //
@@ -15,6 +15,8 @@
 //	fig5  Kyoto Cabinet wicked benchmark vs threads (+ nomutate variant)
 //	micro hot-path microbenchmarks (substrate + engine); -bench-json emits
 //	      the machine-readable BENCH JSON cmd/alereport and CI consume
+//	scale disjoint-commit throughput vs -workers, sharded commit clock
+//	      against the single-clock (-shards 1) ablation
 //
 // Absolute numbers depend on the host; the claims under reproduction are
 // the relative shapes (EXPERIMENTS.md).
@@ -28,6 +30,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -58,7 +62,11 @@ var (
 		"log interval metric deltas to stderr at this period (0 = off)")
 
 	benchJSON = flag.String("bench-json", "",
-		"with the micro command: also write the results as BENCH JSON to this path")
+		"with the micro and scale commands: also write the results as BENCH JSON to this path")
+	scaleWorkers = flag.String("workers", "1,2,4,8",
+		"with the scale command: comma-separated worker counts to sweep")
+	scaleShards = flag.Int("shards", bench.ScaleShardsDefault,
+		"with the scale command: shard count of the sharded configuration (the ablation leg always runs with 1 shard)")
 	benchCount = flag.Int("count", 1,
 		"with the micro command: repeat the whole suite this many times, recording every pass as a sample (the v2 schema's noise model; baselines use ≥5)")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
@@ -238,6 +246,8 @@ func run(cmd string) error {
 		return faultAblation()
 	case "micro":
 		return micro()
+	case "scale":
+		return scale()
 	case "all":
 		for _, c := range []string{"fig2", "fig3", "fig4", "fig5", "report", "ablation", "striping", "faults"} {
 			if err := run(c); err != nil {
@@ -246,7 +256,7 @@ func run(cmd string) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown command %q (want fig2|fig3|fig4|fig5|report|ablation|striping|faults|micro|all)", cmd)
+	return fmt.Errorf("unknown command %q (want fig2|fig3|fig4|fig5|report|ablation|striping|faults|micro|scale|all)", cmd)
 }
 
 func hashmapFigure(figNum int) error {
@@ -410,6 +420,48 @@ func micro() error {
 	}
 	fmt.Fprintf(os.Stderr, "alebench: wrote %s\n", *benchJSON)
 	return nil
+}
+
+// scale runs the disjoint-commit scaling family (internal/bench
+// RunScale): for each -workers count, the sharded commit clock against
+// its single-clock ablation. Like micro, -bench-json writes the result
+// in the BENCH JSON schema so cmd/alereport and CI can consume it.
+func scale() error {
+	workers, err := parseWorkers(*scaleWorkers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Disjoint-commit scaling: %d shards vs 1 shard ==\n", *scaleShards)
+	rep := bench.RunScale(os.Stdout, workers, *scaleShards, *benchCount)
+	if *benchJSON == "" {
+		return nil
+	}
+	f, err := os.Create(*benchJSON)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteMicroJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "alebench: wrote %s\n", *benchJSON)
+	return nil
+}
+
+// parseWorkers parses the -workers sweep list ("1,2,4,8").
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-workers: %q is not a positive worker count", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // faultAblation runs the injected-fault regime table (internal/bench

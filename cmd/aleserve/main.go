@@ -38,6 +38,10 @@ var (
 	stripes  = flag.Int("marker-stripes", 1, "hashmap conflict-marker stripes")
 	timing   = flag.Bool("timing", false,
 		"enable the timing layer (latency histograms, granule attribution)")
+	shards = flag.Int("shards", 0,
+		"commit-clock shard count (power of two ≤ 64; 0 = auto from GOMAXPROCS, 1 = pre-sharding single clock)")
+	profilePath = flag.String("profile", "",
+		"profile the run: write the drained run's Chrome trace (Perfetto-loadable) to this path and log the contention profile; implies -timing and enables the event rings")
 	snapshotPath = flag.String("snapshot", "",
 		"write the final drained obs snapshot (JSON) to this path (default stderr)")
 )
@@ -82,6 +86,8 @@ func run() error {
 		Policy:        pol,
 		Platform:      platform.Haswell(),
 		Timing:        *timing,
+		Shards:        *shards,
+		ProfilePath:   *profilePath,
 		SnapshotW:     snapW,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

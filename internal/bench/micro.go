@@ -313,6 +313,19 @@ func microBenches() []microBench {
 				})
 			}), 0
 		}},
+		{name: "tm/commit-disjoint-sharded", run: func() (testing.BenchmarkResult, float64) {
+			// The sharded-domain ablation pair: the same disjoint
+			// commits, but against hand-placed per-shard Vars so each
+			// worker's commit ticks a private shard clock...
+			return disjointCommitBench(ScaleShardsDefault, runtime.GOMAXPROCS(0)), 0
+		}},
+		{name: "tm/commit-disjoint-1shard", run: func() (testing.BenchmarkResult, float64) {
+			// ...while this one pins Shards: 1, so every commit still
+			// CASes the single global clock. The gap between the two is
+			// the commit-clock serialization the sharding removes (see
+			// `alebench scale` for the full worker sweep).
+			return disjointCommitBench(1, runtime.GOMAXPROCS(0)), 0
+		}},
 		{name: "tm/extension", run: func() (testing.BenchmarkResult, float64) {
 			// Every iteration forces one timestamp extension: the
 			// revalidate-and-advance path that replaces a false-conflict
@@ -387,10 +400,16 @@ func RunMicro(w io.Writer) MicroReport { return RunMicroCount(w, 1) }
 // median across passes; allocs/op takes the maximum so a pass that
 // allocates cannot hide behind quieter ones.
 func RunMicroCount(w io.Writer, count int) MicroReport {
+	return runSuite(w, microBenches(), count)
+}
+
+// runSuite is the shared pass/sample/summarize loop behind RunMicroCount
+// and RunScale: run every bench count times interleaved, stream the
+// aligned table, report median ns/op and max allocs/op per bench.
+func runSuite(w io.Writer, benches []microBench, count int) MicroReport {
 	if count < 1 {
 		count = 1
 	}
-	benches := microBenches()
 	samples := make([][]float64, len(benches))
 	allocs := make([]int64, len(benches))
 	elision := make([]float64, len(benches))

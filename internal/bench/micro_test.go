@@ -133,7 +133,8 @@ func TestParseMicroRejectsDuplicateNames(t *testing.T) {
 func TestMicroBenchNamesCoverHotPaths(t *testing.T) {
 	names := strings.Join(MicroBenchNames(), " ")
 	for _, want := range []string{
-		"tm/load", "tm/commit-rw", "tm/commit-disjoint-parallel", "tm/extension",
+		"tm/load", "tm/commit-rw", "tm/commit-disjoint-parallel",
+		"tm/commit-disjoint-sharded", "tm/commit-disjoint-1shard", "tm/extension",
 		"core/execute-htm", "core/execute-swopt", "core/execute-lock",
 		"core/granule-hit", "core/granule-miss",
 	} {

@@ -1,0 +1,119 @@
+package bench
+
+// Scale suite: disjoint-commit throughput versus worker count, the
+// sharded commit clock against its -shards 1 single-clock ablation.
+// This is the tentpole's headline measurement — with one GV4 clock,
+// fully disjoint commits still serialize on the clock CAS; with
+// per-shard clocks and per-shard Vars they share nothing at all.
+//
+// The family reuses the BENCH JSON schema (MicroReport), so cmd/alereport
+// renders and -compares scale artifacts exactly like micro reports, and
+// CI archives them the same way.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/tm"
+)
+
+// ScaleShardsDefault is the sharded configuration the scale family (and
+// the micro suite's tm/commit-disjoint-sharded entry) measures against
+// the single-clock ablation. Explicit rather than GOMAXPROCS-derived so
+// the benchmark exercises real partitioning even on small hosts, where
+// the auto shard count collapses to 1 and the ablation pair would
+// measure the same thing twice.
+const ScaleShardsDefault = 8
+
+// disjointShardVars returns n Vars with the i'th placed in commit-clock
+// shard i % NumShards, by rejection-sampling NewVar until the address
+// hash lands where we want it. Every reject is retained alongside the
+// results: dropping them would let escape analysis reuse one stack
+// address for successive candidates, which can never change shard.
+func disjointShardVars(d *tm.Domain, n int) []*tm.Var {
+	out := make([]*tm.Var, n)
+	var kept []*tm.Var
+	for i := range out {
+		want := i % d.NumShards()
+		v := d.NewVar(0)
+		for v.Shard() != want {
+			kept = append(kept, v)
+			v = d.NewVar(0)
+		}
+		out[i] = v
+	}
+	_ = kept
+	return out
+}
+
+// disjointCommitBench measures fully disjoint read-write commits from
+// `workers` goroutines splitting b.N between them, each repeatedly
+// committing an Add against its own Var. Var i sits in shard
+// i % NumShards, so with shards >= workers every worker owns a private
+// commit clock and the commit path is contention-free; with shards = 1
+// every commit still CASes the one global clock — the pre-sharding
+// bottleneck this family quantifies.
+func disjointCommitBench(shards, workers int) testing.BenchmarkResult {
+	p := microProfile()
+	p.Name = fmt.Sprintf("scale-%ds", shards)
+	p.Shards = shards
+	d := tm.NewDomain(p)
+	vars := disjointShardVars(d, workers)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var wg sync.WaitGroup
+		per, rem := b.N/workers, b.N%workers
+		for w := 0; w < workers; w++ {
+			iters := per
+			if w < rem {
+				iters++
+			}
+			wg.Add(1)
+			go func(w, iters int) {
+				defer wg.Done()
+				v := vars[w]
+				tx := d.NewTxn(uint64(w) + 1)
+				for i := 0; i < iters; i++ {
+					for {
+						ok, _ := tx.Run(func(tx *tm.Txn) { tx.Add(v, 1) })
+						if ok {
+							break
+						}
+					}
+				}
+			}(w, iters)
+		}
+		wg.Wait()
+	})
+}
+
+// scaleBenches builds the family: for each worker count, the sharded
+// configuration and its single-clock ablation, named so a report reads
+// as (workers, variant) pairs.
+func scaleBenches(workers []int, shards int) []microBench {
+	var bs []microBench
+	for _, n := range workers {
+		n := n
+		bs = append(bs,
+			microBench{name: fmt.Sprintf("scale/disjoint-w%d-sharded", n),
+				run: func() (testing.BenchmarkResult, float64) {
+					return disjointCommitBench(shards, n), 0
+				}},
+			microBench{name: fmt.Sprintf("scale/disjoint-w%d-1shard", n),
+				run: func() (testing.BenchmarkResult, float64) {
+					return disjointCommitBench(1, n), 0
+				}},
+		)
+	}
+	return bs
+}
+
+// RunScale runs the disjoint-commit scaling family at each worker
+// count, count passes each (interleaved, like RunMicroCount), streaming
+// the human-readable table to w and returning the machine-readable
+// report in the BENCH JSON schema.
+func RunScale(w io.Writer, workers []int, shards, count int) MicroReport {
+	return runSuite(w, scaleBenches(workers, shards), count)
+}

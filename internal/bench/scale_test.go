@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/tm"
+)
+
+// TestDisjointShardVarsPlacement: the rejection sampler actually lands
+// Var i in shard i % NumShards, for both a real multi-shard domain and
+// the degenerate single-shard ablation domain.
+func TestDisjointShardVarsPlacement(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		p := microProfile()
+		p.Shards = shards
+		d := tm.NewDomain(p)
+		vars := disjointShardVars(d, 16)
+		for i, v := range vars {
+			if got, want := v.Shard(), i%shards; got != want {
+				t.Fatalf("shards=%d: vars[%d] in shard %d, want %d", shards, i, got, want)
+			}
+		}
+	}
+}
+
+// TestScaleBenchesShape: the family enumerates (workers, variant) pairs
+// in sweep order, sharded leg first.
+func TestScaleBenchesShape(t *testing.T) {
+	bs := scaleBenches([]int{1, 4}, 8)
+	want := []string{
+		"scale/disjoint-w1-sharded", "scale/disjoint-w1-1shard",
+		"scale/disjoint-w4-sharded", "scale/disjoint-w4-1shard",
+	}
+	if len(bs) != len(want) {
+		t.Fatalf("family has %d entries, want %d", len(bs), len(want))
+	}
+	for i, b := range bs {
+		if b.name != want[i] {
+			t.Errorf("entry %d = %q, want %q", i, b.name, want[i])
+		}
+		if b.elidable {
+			t.Errorf("%s: substrate benchmark marked elidable", b.name)
+		}
+	}
+}
+
+// TestRunScaleReport runs a tiny sweep end to end: the report must be
+// valid BENCH JSON (v2 schema, every entry measured, samples recorded)
+// so alereport and CI can treat scale artifacts like micro reports.
+func TestRunScaleReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	rep := RunScale(io.Discard, []int{1, 2}, 8, 1)
+	if rep.Schema != MicroSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, MicroSchema)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("report has %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	for _, b := range rep.Benchmarks {
+		if !strings.HasPrefix(b.Name, "scale/disjoint-") {
+			t.Errorf("unexpected benchmark name %q", b.Name)
+		}
+		if b.NsPerOp <= 0 || len(b.Samples()) != 1 {
+			t.Errorf("%s: ns/op %.1f with %d samples, want a measured single-sample point",
+				b.Name, b.NsPerOp, len(b.Samples()))
+		}
+		if b.ElisionPct != nil {
+			t.Errorf("%s: substrate benchmark reports an elision rate", b.Name)
+		}
+	}
+}

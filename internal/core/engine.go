@@ -365,6 +365,13 @@ func (l *Lock) htmAttempt(thr *Thread, cs *CS, fi int) (ok bool, reason tm.Abort
 		thr.obsAddN(obs.CtrAbortWorkNS, n-thr.abortNSSeen)
 		thr.abortNSSeen = n
 	}
+	// And cross-shard attempts (nonzero only on multi-shard domains):
+	// the live view of how much traffic pays the cross-shard
+	// read-vector revalidation instead of scaling with the shards.
+	if n := thr.txn.CrossShard(); n != thr.crossSeen {
+		thr.obsAddN(obs.CtrCrossShard, n-thr.crossSeen)
+		thr.crossSeen = n
+	}
 	if !committed {
 		return false, abortReason, nil
 	}

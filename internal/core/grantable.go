@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// granTable is a lock's granule index, hash-partitioned into stripes the
+// way the domain's commit clock is partitioned into shards (the stripe
+// count is the domain's shard count). It replaces the earlier sync.Map:
+//
+//   - The reader path is one atomic segment-pointer load plus a linear
+//     probe over atomic granule pointers — no interface boxing of the
+//     uint64 key (sync.Map boxed it on every lookup) and no shared
+//     dirty/read promotion machinery.
+//
+//   - Writers (granule creation, segment growth) serialize per stripe, so
+//     two threads minting granules for contexts that hash to different
+//     stripes never contend — the same disjointness argument as the
+//     per-shard commit clocks.
+//
+//   - Grown-out segments are retired through the runtime's epoch
+//     reclaimer and their slot arrays recycled (Runtime.retireSeg). The
+//     recycling is what makes the epochs load-bearing in a GC'd runtime:
+//     a reader can be mid-probe in a segment that a concurrent growth
+//     just unpublished, and scrubbing + reusing that segment's slots
+//     under it would feed the reader another lock's granules. Readers
+//     therefore probe under their Thread's epoch pin, and a segment is
+//     recycled only after every pin has left the epoch in which it was
+//     unpublished.
+//
+// Entries are never deleted (granules live for the lock's lifetime), so a
+// probe may stop at the first nil slot.
+type granTable struct {
+	rt   *Runtime
+	mask uint64 // len(stripes) - 1; stripe count is a power of two
+
+	stripes []granStripe
+}
+
+// granStripe is one partition: a published segment for lock-free probes
+// and a mutex serializing that partition's inserts and growth. Stripes
+// are not cache-padded: the hot field (seg) is read-shared in steady
+// state, and the mutable fields move only on granule creation, which is
+// rare by construction (the per-thread granule cache absorbs steady-state
+// lookups before they even reach the table).
+type granStripe struct {
+	seg atomic.Pointer[granSeg]
+	mu  sync.Mutex
+	n   int // live entries, guarded by mu
+}
+
+// granSeg is one open-addressed segment: a power-of-two slot array probed
+// linearly. The granule's own ctxHash field is the stored key, so an
+// empty slot is simply a nil pointer — no sentinel hash value that a real
+// context hash could collide with.
+type granSeg struct {
+	mask  uint64
+	slots []atomic.Pointer[Granule]
+}
+
+// granSegMinSlots is a fresh stripe's segment capacity.
+const granSegMinSlots = 8
+
+// granMix is the Fibonacci multiplier spreading context hashes over
+// stripes and slots (the same mixing step tm.Domain.shardOf applies to
+// Var addresses).
+const granMix = 0x9e3779b97f4a7c15
+
+func newGranTable(rt *Runtime, stripes int) *granTable {
+	if stripes < 1 {
+		stripes = 1
+	}
+	t := &granTable{rt: rt, mask: uint64(stripes - 1), stripes: make([]granStripe, stripes)}
+	for i := range t.stripes {
+		t.stripes[i].seg.Store(&granSeg{
+			mask:  granSegMinSlots - 1,
+			slots: make([]atomic.Pointer[Granule], granSegMinSlots),
+		})
+	}
+	return t
+}
+
+// stripeFor picks the stripe for a context hash from the mixed hash's top
+// bits; probe positions use the low bits, so the two choices stay
+// uncorrelated.
+func (t *granTable) stripeFor(h uint64) *granStripe {
+	return &t.stripes[(h>>48)&t.mask]
+}
+
+// lookup finds the granule for ctxHash, or nil. Lock-free: callers
+// outside a stripe's mutex MUST hold an epoch pin (Thread.granPin) across
+// the call, or a concurrent growth could recycle the probed segment's
+// slots mid-probe.
+func (t *granTable) lookup(ctxHash uint64) *Granule {
+	h := ctxHash * granMix
+	seg := t.stripeFor(h).seg.Load()
+	for i := h & seg.mask; ; i = (i + 1) & seg.mask {
+		g := seg.slots[i].Load()
+		if g == nil {
+			return nil
+		}
+		if g.ctxHash == ctxHash {
+			return g
+		}
+	}
+}
+
+// insert returns the granule for ctxHash, minting it with mk if absent;
+// created reports whether mk ran. Only the owning stripe locks, so
+// creation storms on distinct stripes proceed in parallel.
+func (t *granTable) insert(ctxHash uint64, mk func() *Granule) (g *Granule, created bool) {
+	h := ctxHash * granMix
+	st := t.stripeFor(h)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	seg := st.seg.Load()
+	// Re-probe under the stripe lock: a racing creator may have won.
+	for i := h & seg.mask; ; i = (i + 1) & seg.mask {
+		if cur := seg.slots[i].Load(); cur == nil {
+			break
+		} else if cur.ctxHash == ctxHash {
+			return cur, false
+		}
+	}
+	// Grow at 3/4 load so linear probes stay short.
+	if uint64(st.n+1)*4 > (seg.mask+1)*3 {
+		seg = st.grow(t.rt, seg)
+	}
+	g = mk()
+	seg.place(g, h)
+	st.n++
+	return g, true
+}
+
+// place publishes g into the first free probe slot. Stores are atomic
+// because pinned readers probe concurrently; the granule is fully
+// constructed before the pointer becomes visible.
+func (s *granSeg) place(g *Granule, h uint64) {
+	for i := h & s.mask; ; i = (i + 1) & s.mask {
+		if s.slots[i].Load() == nil {
+			s.slots[i].Store(g)
+			return
+		}
+	}
+}
+
+// grow doubles the stripe's segment, publishes the replacement, and
+// retires the old one to the runtime's epoch reclaimer. Callers hold the
+// stripe mutex. In-flight pinned readers keep probing the old segment —
+// every granule it held is also in the new one, and its slots are not
+// scrubbed for reuse until those readers' pins leave the epoch.
+func (s *granStripe) grow(rt *Runtime, old *granSeg) *granSeg {
+	next := &granSeg{
+		mask:  (old.mask+1)*2 - 1,
+		slots: rt.segSlots(int(old.mask+1) * 2),
+	}
+	for i := range old.slots {
+		if g := old.slots[i].Load(); g != nil {
+			next.place(g, g.ctxHash*granMix)
+		}
+	}
+	s.seg.Store(next)
+	rt.retireSeg(old)
+	return next
+}

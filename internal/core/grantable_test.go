@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/locks"
+	"repro/internal/obs"
+	"repro/internal/tm"
+)
+
+func shardedCoreProfile(shards int) tm.Profile {
+	return tm.Profile{
+		Name: "test-sharded", Enabled: true,
+		ReadCap: 1 << 16, WriteCap: 1 << 16,
+		Shards: shards,
+	}
+}
+
+// TestGranTableGrowthPreservesGranules forces the partitioned granule
+// table through several segment growths and checks that every granule
+// stays findable at its original pointer and that the ordered snapshot
+// sees them all.
+func TestGranTableGrowthPreservesGranules(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(shardedCoreProfile(8)))
+	l := rt.NewLock("L", locks.NewTATAS(rt.Domain()), NewStatic(1, 1))
+
+	const n = 200 // ~25 per stripe: several doublings past the 8-slot start
+	made := make(map[uint64]*Granule, n)
+	for i := 0; i < n; i++ {
+		h := uint64(i)*0x9e3779b9 + 7
+		made[h] = l.granule(h, fmt.Sprintf("g%d", i))
+	}
+	for h, want := range made {
+		if got := l.grans.lookup(h); got != want {
+			t.Fatalf("lookup(%#x) = %p, want %p", h, got, want)
+		}
+		// Re-creation must return the existing granule, not a twin.
+		if got := l.granule(h, "dup"); got != want {
+			t.Fatalf("granule(%#x) re-created: %p, want %p", h, got, want)
+		}
+	}
+	if gs := l.Granules(); len(gs) != n {
+		t.Fatalf("Granules() = %d rows, want %d", len(gs), n)
+	}
+}
+
+// TestGranTableSegmentRecycling is the white-box check that grown-out
+// segments flow through the runtime's epoch reclaimer into the slot-array
+// pool and back out into a later growth. A single-shard domain gives the
+// table exactly one stripe, making the growth schedule deterministic:
+// the 7th insert grows 8→16 (retiring the 8-slot array), the 13th grows
+// 16→32 (retiring the 16-slot array).
+func TestGranTableSegmentRecycling(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(shardedCoreProfile(1)))
+	l := rt.NewLock("L", locks.NewTATAS(rt.Domain()), NewStatic(1, 1))
+	for i := 0; i < 13; i++ {
+		l.granule(uint64(i)+1, "g")
+	}
+	// No thread pins are registered, so advances are unobstructed; drain
+	// the reclaimer until both retired arrays have been scrubbed+pooled.
+	for i := 0; i < 4 && rt.rec.Pending() > 0; i++ {
+		rt.rec.TryAdvance()
+	}
+	if p := rt.rec.Pending(); p != 0 {
+		t.Fatalf("reclaimer still holds %d retired segments after draining", p)
+	}
+	rt.segMu.Lock()
+	pooled := len(rt.freeSegs)
+	caps := map[int]bool{}
+	for _, s := range rt.freeSegs {
+		caps[len(s)] = true
+		for i := range s {
+			if s[i].Load() != nil {
+				t.Fatal("pooled segment not scrubbed: live granule pointer left behind")
+			}
+		}
+	}
+	rt.segMu.Unlock()
+	if pooled != 2 || !caps[8] || !caps[16] {
+		t.Fatalf("pool = %d arrays with caps %v, want 2 with caps {8,16}", pooled, caps)
+	}
+
+	// A second lock's first growth requests a 16-slot array and must pop
+	// the pooled one instead of allocating.
+	l2 := rt.NewLock("L2", locks.NewTATAS(rt.Domain()), NewStatic(1, 1))
+	for i := 0; i < 7; i++ {
+		l2.granule(uint64(i)+1, "g")
+	}
+	rt.segMu.Lock()
+	left := len(rt.freeSegs)
+	rt.segMu.Unlock()
+	if left != pooled-1 {
+		t.Fatalf("pool after reuse = %d arrays, want %d (16-slot array consumed)", left, pooled-1)
+	}
+}
+
+// TestGranTableConcurrentLookupDuringGrowth (-race): pinned lock-free
+// readers hammer lookups of pre-existing granules while a writer forces
+// repeated segment growth on the same single stripe. Readers must always
+// find the exact original pointers — through old segments (still valid
+// until reclaimed) or new ones.
+func TestGranTableConcurrentLookupDuringGrowth(t *testing.T) {
+	rt := NewRuntime(tm.NewDomain(shardedCoreProfile(1)))
+	l := rt.NewLock("L", locks.NewTATAS(rt.Domain()), NewStatic(1, 1))
+
+	const pre = 5
+	want := make([]*Granule, pre)
+	for i := range want {
+		want[i] = l.granule(uint64(i)+1, "pre")
+	}
+
+	const readers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		pin := rt.rec.Register()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h := uint64(i%pre) + 1
+				pin.Enter()
+				g := l.grans.lookup(h)
+				pin.Exit()
+				if g != want[h-1] {
+					t.Errorf("lookup(%d) = %p, want %p", h, g, want[h-1])
+					return
+				}
+			}
+		}()
+	}
+	// Writer: 300 inserts → repeated doublings, each retiring (and under
+	// the readers' pins, eventually recycling) the previous segment.
+	for i := 0; i < 300; i++ {
+		l.granule(uint64(i)+100, "churn")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestObsShardRows checks the runtime→obs shard-source wiring: a
+// multi-shard domain publishes one commit-clock row per shard into
+// snapshots, and a single-shard domain publishes none (so pre-sharding
+// snapshot consumers see an unchanged format).
+func TestObsShardRows(t *testing.T) {
+	rt, c := newObsRuntime(shardedCoreProfile(8))
+	d := rt.Domain()
+	// Direct writes tick the written Var's shard clock without needing a
+	// full Execute; hit several distinct vars so some spread is visible.
+	for i := 0; i < 64; i++ {
+		d.NewVar(0).StoreDirect(1)
+	}
+	s := c.Snapshot()
+	if len(s.Shards) != 8 {
+		t.Fatalf("snapshot has %d shard rows, want 8", len(s.Shards))
+	}
+	var total uint64
+	for i, e := range s.Shards {
+		if e.Shard != i {
+			t.Fatalf("shard row %d has index %d", i, e.Shard)
+		}
+		total += e.Clock
+	}
+	if total != 64 {
+		t.Fatalf("shard clocks sum to %d, want 64 (one tick per direct store)", total)
+	}
+
+	rt1, c1 := newObsRuntime(shardedCoreProfile(1))
+	rt1.Domain().NewVar(0).StoreDirect(1)
+	if s1 := c1.Snapshot(); len(s1.Shards) != 0 {
+		t.Fatalf("single-shard snapshot has %d shard rows, want none", len(s1.Shards))
+	}
+}
+
+// TestObsCrossShardMirrored checks the engine mirrors the substrate's
+// cross-shard attempt count (tm.TxnStats.CrossShard) into the live
+// metrics: an HTM execution whose write set spans two commit-clock
+// shards must surface as CtrCrossShard, and shard-local executions must
+// not.
+func TestObsCrossShardMirrored(t *testing.T) {
+	rt, c := newObsRuntime(shardedCoreProfile(8))
+	d := rt.Domain()
+	thr := rt.NewThread()
+	l := rt.NewLock("L", locks.NewTATAS(d), NewStatic(10, 0))
+	// Every HTM attempt subscribes to the lock word, so "shard-local" at
+	// the engine level means "same shard as the lock word": rejection-
+	// sample a onto the word's shard and b onto any other (retaining the
+	// rejects so escape analysis cannot reuse one stack address).
+	var kept []*tm.Var
+	wordShard := l.Ops().Word().Shard()
+	a := d.NewVar(0)
+	for a.Shard() != wordShard {
+		kept = append(kept, a)
+		a = d.NewVar(0)
+	}
+	b := d.NewVar(0)
+	for b.Shard() == wordShard {
+		kept = append(kept, b)
+		b = d.NewVar(0)
+	}
+	_ = kept
+	local := &CS{Scope: NewScope("local"), Body: func(ec *ExecCtx) error {
+		ec.Store(a, ec.Load(a)+1)
+		return nil
+	}}
+	cross := &CS{Scope: NewScope("cross"), Body: func(ec *ExecCtx) error {
+		ec.Store(a, ec.Load(a)+1)
+		ec.Store(b, ec.Load(b)+1)
+		return nil
+	}}
+	if err := l.Execute(thr, local); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Snapshot().Get(obs.CtrCrossShard); n != 0 {
+		t.Fatalf("cross_shard = %d after shard-local execution, want 0", n)
+	}
+	if err := l.Execute(thr, cross); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if n := s.Get(obs.CtrCrossShard); n != 1 {
+		t.Fatalf("cross_shard = %d after one cross-shard execution, want 1", n)
+	}
+	if s.Successes(uint8(ModeHTM)) != 2 {
+		t.Fatalf("HTM successes = %d, want 2 (both executions should elide)", s.Successes(uint8(ModeHTM)))
+	}
+}

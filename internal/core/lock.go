@@ -29,13 +29,20 @@ type Lock struct {
 	allowHTM   bool
 	allowSWOpt bool
 
-	granules sync.Map // uint64 (context hash) -> *Granule
+	// grans is the hash-partitioned granule index (see granTable): one
+	// stripe per domain commit-clock shard, lock-free pinned reads,
+	// per-stripe creation, epoch-reclaimed segments.
+	grans    *granTable
 	granMu   sync.Mutex
 	granList []*Granule
 
 	// swoptRetry tracks threads whose SWOpt attempt for this lock failed
 	// and are retrying (grouping, paper section 4.2). Slot = thread id.
-	swoptRetry *snzi.SNZI
+	// Striped one SNZI tree per domain shard: thread id picks the stripe,
+	// so on a sharded domain concurrent arrivals spread over disjoint
+	// roots instead of funnelling through one cache line at peak retry
+	// pressure.
+	swoptRetry *snzi.Striped
 
 	// swoptActive counts threads currently executing a SWOpt path for
 	// this lock. It lives in a tm.Var so an HTM execution can subscribe
@@ -56,7 +63,8 @@ func (rt *Runtime) NewLock(name string, ops locks.Ops, policy Policy) *Lock {
 		policy:      policy,
 		allowHTM:    true,
 		allowSWOpt:  true,
-		swoptRetry:  snzi.New(16),
+		grans:       newGranTable(rt, rt.dom.NumShards()),
+		swoptRetry:  snzi.NewStriped(rt.dom.NumShards(), 16),
 		swoptActive: rt.dom.NewVar(0),
 	}
 	rt.register(l)
@@ -109,18 +117,20 @@ func (l *Lock) Granules() []*Granule {
 }
 
 // granule returns (creating if needed) the granule for a context hash.
+// This is the table's locked path — it probes under the stripe mutex, so
+// it needs no epoch pin; threads resolve existing granules through the
+// pinned lock-free lookup first (Thread.granuleFor) and only land here on
+// a genuine miss.
 func (l *Lock) granule(ctxHash uint64, label string) *Granule {
-	if g, ok := l.granules.Load(ctxHash); ok {
-		return g.(*Granule)
+	g, created := l.grans.insert(ctxHash, func() *Granule {
+		return &Granule{lock: l, ctxHash: ctxHash, label: label}
+	})
+	if created {
+		l.granMu.Lock()
+		l.granList = append(l.granList, g)
+		sort.Slice(l.granList, func(i, j int) bool { return l.granList[i].label < l.granList[j].label })
+		l.granMu.Unlock()
 	}
-	g := &Granule{lock: l, ctxHash: ctxHash, label: label}
-	if actual, loaded := l.granules.LoadOrStore(ctxHash, g); loaded {
-		return actual.(*Granule)
-	}
-	l.granMu.Lock()
-	l.granList = append(l.granList, g)
-	sort.Slice(l.granList, func(i, j int) bool { return l.granList[i].label < l.granList[j].label })
-	l.granMu.Unlock()
 	return g
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/epoch"
 	"repro/internal/obs"
 	"repro/internal/tm"
 	"repro/internal/trace"
@@ -123,6 +124,21 @@ type Runtime struct {
 	locks     []*Lock
 	threads   []*Thread
 	threadSeq atomic.Uint64
+
+	// rec reclaims grown-out granule-table segments (see granTable): each
+	// Thread carries a pin it holds across lock-free table probes, and a
+	// retired segment's slots are scrubbed and recycled only after every
+	// pin has moved past the retiring epoch. Separate from the domain's
+	// reclaimer on purpose — transaction pins stay active for whole
+	// attempts, granule pins only for a probe, so granule-segment
+	// recycling never waits on transaction lifetimes.
+	rec *epoch.Reclaimer
+
+	// segMu guards freeSegs, the pool of recycled granule-table slot
+	// arrays (all-nil, keyed by capacity) that granTable growth draws
+	// from before allocating.
+	segMu    sync.Mutex
+	freeSegs [][]atomic.Pointer[Granule]
 }
 
 // dispatch is the hot path's view of Options, precomputed once at Runtime
@@ -158,6 +174,7 @@ func NewRuntimeOpts(dom *tm.Domain, opts Options) *Runtime {
 	rt := &Runtime{
 		dom:  dom,
 		opts: opts,
+		rec:  epoch.New(),
 		disp: dispatch{
 			grouping:         opts.Grouping,
 			lockHeldDiscount: opts.LockHeldDiscount,
@@ -185,7 +202,58 @@ func NewRuntimeOpts(dom *tm.Domain, opts Options) *Runtime {
 			opts.Obs.SetContentionSource(rt.contentionEntries)
 		}
 	}
+	if opts.Obs != nil && dom.NumShards() > 1 {
+		// Publish per-shard commit-clock rows so a live scrape can see how
+		// evenly the workload spreads over the shards. Single-shard domains
+		// contribute nothing (their one clock adds no information), which
+		// also keeps pre-sharding snapshot files re-encoding unchanged.
+		opts.Obs.SetShardSource(rt.shardEntries)
+	}
 	return rt
+}
+
+// shardEntries is the obs.SetShardSource callback: one row per domain
+// commit-clock shard with the shard's current clock position.
+func (rt *Runtime) shardEntries() []obs.ShardEntry {
+	n := rt.dom.NumShards()
+	out := make([]obs.ShardEntry, n)
+	for i := range out {
+		out[i] = obs.ShardEntry{Shard: i, Clock: rt.dom.ShardClock(i)}
+	}
+	return out
+}
+
+// segSlots returns an all-nil slot array of exactly n slots, recycled
+// from the retired-segment pool when one of that capacity is available.
+func (rt *Runtime) segSlots(n int) []atomic.Pointer[Granule] {
+	rt.segMu.Lock()
+	defer rt.segMu.Unlock()
+	for i, s := range rt.freeSegs {
+		if len(s) == n {
+			rt.freeSegs[i] = rt.freeSegs[len(rt.freeSegs)-1]
+			rt.freeSegs[len(rt.freeSegs)-1] = nil
+			rt.freeSegs = rt.freeSegs[:len(rt.freeSegs)-1]
+			return s
+		}
+	}
+	return make([]atomic.Pointer[Granule], n)
+}
+
+// retireSeg hands a grown-out granule-table segment to the epoch
+// reclaimer. The scrub-and-pool callback runs only after every thread's
+// pin has left the epoch in which the segment was unpublished, so no
+// in-flight probe can observe the slots being cleared or reused.
+func (rt *Runtime) retireSeg(seg *granSeg) {
+	slots := seg.slots
+	rt.rec.Retire(func() {
+		for i := range slots {
+			slots[i].Store(nil)
+		}
+		rt.segMu.Lock()
+		rt.freeSegs = append(rt.freeSegs, slots)
+		rt.segMu.Unlock()
+	})
+	rt.rec.TryAdvance()
 }
 
 // Domain returns the runtime's transactional domain.

@@ -3,6 +3,7 @@ package core
 import (
 	"strings"
 
+	"repro/internal/epoch"
 	"repro/internal/obs"
 	"repro/internal/tm"
 	"repro/internal/trace"
@@ -37,6 +38,11 @@ type Thread struct {
 	// like the rest of the Thread, so no synchronization; a Granule is
 	// immutable once created, so a hit can never be stale.
 	granCache [granCacheSize]granCacheEntry
+
+	// granPin is this thread's epoch pin in the runtime's granule-segment
+	// reclaimer, held across lock-free granule-table probes (cache misses
+	// only) so a concurrently retired segment is never recycled mid-probe.
+	granPin *epoch.Pin
 
 	// frames records one entry per in-flight critical section execution,
 	// innermost last. No frame is pushed for critical sections nested
@@ -84,6 +90,10 @@ type Thread struct {
 	// (CtrAbortWorkNS), maintained exactly like extSeen.
 	abortNSSeen uint64
 
+	// crossSeen is the last value of txn.CrossShard() mirrored into obs
+	// (CtrCrossShard), maintained exactly like extSeen.
+	crossSeen uint64
+
 	// HTM trampoline: the engine runs hardware attempts through htmBody, a
 	// method value bound once at construction, with the per-attempt inputs
 	// and result passed through these fields instead of a closure
@@ -112,14 +122,21 @@ type granCacheEntry struct {
 
 // granuleFor resolves the granule for lock l in the thread's current
 // context, consulting the direct-mapped cache before the lock's shared
-// table.
+// table. A cache miss probes the table's lock-free path under the
+// thread's epoch pin; only a granule that does not exist yet falls
+// through to the stripe-locked creation path (which builds the label).
 func (t *Thread) granuleFor(l *Lock, ctxHash uint64) *Granule {
 	slot := (ctxHash ^ uint64(l.id)*0x9e3779b97f4a7c15) & (granCacheSize - 1)
 	e := &t.granCache[slot]
 	if e.lock == l && e.ctxHash == ctxHash {
 		return e.gran
 	}
-	g := l.granule(ctxHash, t.contextLabel())
+	t.granPin.Enter()
+	g := l.grans.lookup(ctxHash)
+	t.granPin.Exit()
+	if g == nil {
+		g = l.granule(ctxHash, t.contextLabel())
+	}
 	*e = granCacheEntry{lock: l, ctxHash: ctxHash, gran: g}
 	return g
 }
@@ -152,6 +169,7 @@ func (rt *Runtime) NewThread() *Thread {
 		id:        int(id),
 		rng:       xrand.New(id*0x9e3779b9 + 1),
 		txn:       rt.dom.NewTxn(id + 0x1000),
+		granPin:   rt.rec.Register(),
 		ctxHashes: []uint64{0},
 		ctxScopes: []*Scope{nil},
 	}

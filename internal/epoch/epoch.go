@@ -1,0 +1,163 @@
+// Package epoch implements three-epoch epoch-based reclamation (EBR) for
+// memory that lock-free readers may still hold references to after it has
+// been logically retired.
+//
+// The sharded substrate needs it in two places:
+//
+//   - internal/core's partitioned granule table: readers probe
+//     atomic.Pointer segments without locks; a resize installs a new
+//     segment and retires the old one, which can only be reused after
+//     every in-flight probe has drained.
+//   - internal/tm's pooled transaction spill maps: a map released back to
+//     the pool at cleanup must not be handed out again while a diagnostic
+//     reader (snapshot, invariant checker) could still be iterating it.
+//
+// The scheme is the classic one (Fraser 2004; Hart et al. 2007): a global
+// epoch counter advances through values mod 3; each participant publishes
+// (epoch, active) on entry to a read-side critical section; retired objects
+// are binned by the epoch they were retired in; a bin is freed once the
+// global epoch has advanced twice past it, because by then every
+// participant pinned during the object's live window has unpinned.
+//
+// Pin/Unpin are designed for the transaction hot path: one atomic store
+// each, no CAS, no allocation. TryAdvance and Retire take a mutex and are
+// expected on cold paths only (pool high-water trims, table resizes).
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// numEpochs is the classic three-epoch window: a retired object waits out
+// two global advances, guaranteeing no pinned participant can still have
+// observed it.
+const numEpochs = 3
+
+// Pin is one participant's published read-side state. The word packs
+// (epoch << 1) | active. Participants are registered once (Domain
+// transactions at construction, core threads at registration) and then
+// pin/unpin around every read-side critical section.
+//
+// A Pin must not be used concurrently from multiple goroutines — it
+// represents one thread, exactly like tm.Txn.
+type Pin struct {
+	state atomic.Uint64
+	dom   *Reclaimer
+	// pad keeps hot per-thread pins off each other's cache lines.
+	_ [48]byte
+}
+
+// Reclaimer owns the global epoch and the retire bins. One Reclaimer
+// serves one reclamation domain (a tm.Domain, a core.Runtime); objects
+// retired into it are freed by whichever participant's TryAdvance
+// observes quiescence.
+type Reclaimer struct {
+	epoch atomic.Uint64
+
+	mu   sync.Mutex
+	pins []*Pin
+	// bins[e mod numEpochs] holds objects retired while the global epoch
+	// was ≡ e. The bin for epoch e-2 (mod 3 ≡ e+1) is safe to free when
+	// the epoch advances from e to e+1.
+	bins [numEpochs][]retired
+}
+
+type retired struct {
+	free func()
+}
+
+// New creates an empty Reclaimer at epoch 0.
+func New() *Reclaimer { return &Reclaimer{} }
+
+// Register creates and tracks a new participant pin. Pins live as long as
+// the Reclaimer; there is deliberately no Unregister — participants
+// (worker threads, pooled transactions) have runtime lifetime in this
+// codebase, and an idle pin (inactive) never blocks advancement.
+func (r *Reclaimer) Register() *Pin {
+	p := &Pin{dom: r}
+	r.mu.Lock()
+	r.pins = append(r.pins, p)
+	r.mu.Unlock()
+	return p
+}
+
+// Enter pins the participant in the current global epoch. It must be
+// paired with Exit. Enter/Exit do not nest; callers that may re-enter
+// (core threads running nested Executes) guard with their own depth
+// counter.
+func (p *Pin) Enter() {
+	e := p.dom.epoch.Load()
+	// Publish (epoch, active). The store is sequentially consistent
+	// (atomic.Uint64.Store), so a TryAdvance that later reads our state
+	// either sees us active in e — and refuses to advance past us — or
+	// sees the result of a later Exit/Enter.
+	p.state.Store(e<<1 | 1)
+}
+
+// Exit unpins the participant.
+func (p *Pin) Exit() {
+	// Keep the epoch bits: TryAdvance only cares about the active bit,
+	// but keeping the last epoch visible is useful in tests.
+	p.state.Store(p.state.Load() &^ 1)
+}
+
+// Active reports whether the pin is currently inside a read-side critical
+// section (diagnostic use).
+func (p *Pin) Active() bool { return p.state.Load()&1 == 1 }
+
+// Retire schedules free to run once every participant that could have
+// observed the object has quiesced (two epoch advances from now). free
+// runs under the Reclaimer's mutex during a later TryAdvance — keep it
+// cheap (pool put, slice drop).
+func (r *Reclaimer) Retire(free func()) {
+	r.mu.Lock()
+	e := r.epoch.Load()
+	r.bins[e%numEpochs] = append(r.bins[e%numEpochs], retired{free: free})
+	r.mu.Unlock()
+}
+
+// TryAdvance attempts one epoch advance: if every registered pin is
+// either inactive or already pinned in the current epoch, the global
+// epoch moves forward and the bin retired two epochs ago is freed. It
+// returns whether the epoch advanced. Callers invoke it opportunistically
+// from cold paths; a stalled reader (pinned in an old epoch) makes it
+// return false without blocking anyone.
+func (r *Reclaimer) TryAdvance() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.epoch.Load()
+	for _, p := range r.pins {
+		s := p.state.Load()
+		if s&1 == 1 && s>>1 != e {
+			return false // active in an older epoch: not yet quiescent
+		}
+	}
+	next := e + 1
+	r.epoch.Store(next)
+	// Everything retired in epoch next-2 is now unreachable: participants
+	// active during that epoch have since unpinned (we just checked no
+	// one is active outside epoch e), and new pins start in next.
+	idx := (next + 1) % numEpochs // ≡ (next - 2) mod 3
+	bin := r.bins[idx]
+	r.bins[idx] = nil
+	for _, obj := range bin {
+		obj.free()
+	}
+	return true
+}
+
+// Epoch returns the current global epoch (diagnostic/test use).
+func (r *Reclaimer) Epoch() uint64 { return r.epoch.Load() }
+
+// Pending returns the number of retired objects not yet freed
+// (diagnostic/test use).
+func (r *Reclaimer) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for i := range r.bins {
+		n += len(r.bins[i])
+	}
+	return n
+}

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/tm"
 )
 
 // Class enumerates the injectable fault classes. The first four force
@@ -103,12 +104,24 @@ func ParseClass(s string) (Class, error) {
 // opportunity, forever". Param is class-specific: the footprint threshold
 // for CapacityCliff (0 means 1: every counted access), the yield count
 // for DelayEnd/LockStretch (0 means 1), unused otherwise.
+//
+// Access-class rules (spurious-burst, capacity-cliff, conflict-storm) can
+// additionally be confined to one commit-clock shard: a rule with
+// Shard != 0 only fires on accesses whose Var hashes onto shard Shard-1
+// (the off-by-one keeps the zero value meaning "any shard", so existing
+// rule literals are unchanged). Script syntax: class#K for 0-based shard
+// K. The class's opportunity counter still counts every access — shard
+// scoping filters firing, not counting — so windows stay comparable
+// between scoped and unscoped rules. EXPERIMENTS.md uses this for the
+// shard-isolation ablation: a conflict storm confined to one shard must
+// not abort transactions running on the others.
 type Rule struct {
 	Class Class
 	From  uint64 // first opportunity in window (0 ≡ 1)
 	To    uint64 // last opportunity in window, inclusive; 0 = unbounded
 	Every uint64 // fire every Every-th opportunity in window (0 ≡ 1)
 	Param uint64 // class-specific parameter
+	Shard int    // 1-based shard confinement for access classes; 0 = any
 }
 
 // matches reports whether the rule fires on the n-th (1-based)
@@ -130,13 +143,16 @@ func (r Rule) matches(n uint64) bool {
 
 // String formats the rule in the script syntax:
 //
-//	class[@from:to][/every][=param]
+//	class[#shard][@from:to][/every][=param]
 //
 // Defaulted fields are omitted, so String∘ParseRule is the identity on
 // canonical forms and ParseRule∘String is the identity on all rules.
 func (r Rule) String() string {
 	var b strings.Builder
 	b.WriteString(r.Class.String())
+	if r.Shard != 0 {
+		fmt.Fprintf(&b, "#%d", r.Shard-1)
+	}
 	if r.From != 0 || r.To != 0 {
 		b.WriteByte('@')
 		if r.From != 0 {
@@ -156,13 +172,19 @@ func (r Rule) String() string {
 	return b.String()
 }
 
-// ParseRule parses the class[@from:to][/every][=param] syntax. Examples:
+// ParseRule parses the class[#shard][@from:to][/every][=param] syntax.
+// Examples:
 //
 //	spurious-burst                  every access aborts spuriously
 //	conflict-storm@100:200          accesses 100..200 abort with conflict
+//	conflict-storm#0                every access in shard 0 aborts
 //	htm-disable@50:/2               every 2nd begin from the 50th on
 //	capacity-cliff=6                every access with footprint >= 6 aborts
 //	delay-end@10:10=64              the 10th EndConflicting yields 64 times
+//
+// Shard confinement is only meaningful for the access classes, whose
+// hook sees which shard the touched Var hashes onto; on any other class
+// it is rejected with a located error rather than silently never firing.
 func ParseRule(s string) (Rule, error) {
 	var r Rule
 	rest := s
@@ -181,6 +203,26 @@ func ParseRule(s string) (Rule, error) {
 		}
 		r.Every = e
 		rest = rest[:i]
+	}
+	shard := -1
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		tail := rest[i+1:]
+		// The window separator, if any, follows the shard digits.
+		if j := strings.IndexByte(tail, '@'); j >= 0 {
+			rest = rest[:i] + tail[j:]
+			tail = tail[:j]
+		} else {
+			rest = rest[:i]
+		}
+		v, err := parseCount(tail, "shard")
+		if err != nil {
+			return r, fmt.Errorf("faultinject: rule %q: %v", s, err)
+		}
+		if v >= tm.MaxShards {
+			return r, fmt.Errorf("faultinject: rule %q: shard %d out of range [0, %d)",
+				s, v, tm.MaxShards)
+		}
+		shard = int(v)
 	}
 	if i := strings.IndexByte(rest, '@'); i >= 0 {
 		win := rest[i+1:]
@@ -209,6 +251,16 @@ func ParseRule(s string) (Rule, error) {
 		return r, fmt.Errorf("faultinject: rule %q: %v", s, err)
 	}
 	r.Class = c
+	if shard >= 0 {
+		switch c {
+		case SpuriousBurst, CapacityCliff, ConflictStorm:
+			r.Shard = shard + 1
+		default:
+			return r, fmt.Errorf(
+				"faultinject: rule %q: shard confinement #%d is only valid for access classes (%s, %s, %s)",
+				s, shard, SpuriousBurst, CapacityCliff, ConflictStorm)
+		}
+	}
 	if r.To != 0 && r.From > r.To {
 		return r, fmt.Errorf("faultinject: rule %q: empty window %d:%d", s, r.From, r.To)
 	}

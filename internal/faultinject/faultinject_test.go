@@ -17,6 +17,10 @@ func TestRuleRoundTrip(t *testing.T) {
 		"delay-end@10:10=64",
 		"lock-stretch/3=16",
 		"validate-fail@:7",
+		// Shard-confined access rules (the #K suffix, 0-based).
+		"conflict-storm#0",
+		"spurious-burst#3@10:20/2",
+		"capacity-cliff#63=6",
 	}
 	for _, s := range cases {
 		r, err := ParseRule(s)
@@ -58,6 +62,10 @@ func TestParseRuleErrors(t *testing.T) {
 	for _, s := range []string{
 		"no-such-class", "spurious-burst@5", "delay-end=x",
 		"htm-disable@9:3", "conflict-storm/", "",
+		// Shard confinement: access classes only, 0 <= K < tm.MaxShards,
+		// digits required.
+		"htm-disable#0", "delay-end#1=4", "validate-fail#2",
+		"conflict-storm#64", "conflict-storm#x", "spurious-burst#",
 	} {
 		if r, err := ParseRule(s); err == nil {
 			t.Errorf("ParseRule(%q) = %+v, want error", s, r)
@@ -232,6 +240,103 @@ func TestObsMirror(t *testing.T) {
 	}
 	if back.Faults(uint8(ValidateFail)) != 3 {
 		t.Errorf("JSON round trip lost fault counts: %s", data)
+	}
+}
+
+// TestShardConfinedRule pins the filter-not-count semantics of shard
+// confinement at the hook level: the class's opportunity counter advances
+// on every access, but a confined rule fires only when the access's shard
+// matches, so scoped and unscoped windows stay comparable.
+func TestShardConfinedRule(t *testing.T) {
+	r, err := ParseRule("conflict-storm#2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shard != 3 { // stored 1-based so the zero value means "any shard"
+		t.Fatalf("parsed Shard = %d, want 3 (0-based #2 stored +1)", r.Shard)
+	}
+	inj := New(Script{r})
+	for i := 0; i < 5; i++ {
+		if got := inj.OnAccess(1, 0, false, 1); got != tm.AbortNone {
+			t.Fatalf("access %d on shard 1 = %v, want no fire", i, got)
+		}
+	}
+	if got := inj.OnAccess(1, 0, false, 2); got != tm.AbortConflict {
+		t.Fatalf("access on shard 2 = %v, want AbortConflict", got)
+	}
+	if o := inj.Opportunities(); o[ConflictStorm] != 6 {
+		t.Errorf("opportunities = %d, want 6 (mismatched shards still count)", o[ConflictStorm])
+	}
+	if f := inj.Firings(); f[ConflictStorm] != 1 {
+		t.Errorf("firings = %d, want 1", f[ConflictStorm])
+	}
+
+	// The cliff keeps its footprint threshold under confinement.
+	cliff, err := ParseRule("capacity-cliff#4=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj2 := New(Script{cliff})
+	if got := inj2.OnAccess(5, 0, false, 1); got != tm.AbortNone {
+		t.Fatalf("big footprint on wrong shard = %v, want no fire", got)
+	}
+	if got := inj2.OnAccess(2, 0, false, 4); got != tm.AbortNone {
+		t.Fatalf("small footprint on shard 4 = %v, want no fire", got)
+	}
+	if got := inj2.OnAccess(2, 1, true, 4); got != tm.AbortCapacity {
+		t.Fatalf("footprint-3 access on shard 4 = %v, want AbortCapacity", got)
+	}
+}
+
+// TestShardIsolationAblation is the fault-ablation counterpart of the
+// sharded-domain scaling claim: a conflict storm confined to one
+// commit-clock shard must abort every attempt touching that shard and
+// none on the others. EXPERIMENTS.md cites this as the shard-isolation
+// ablation.
+func TestShardIsolationAblation(t *testing.T) {
+	d := tm.NewDomain(tm.Profile{
+		Name: "fi-sharded", Enabled: true,
+		ReadCap: 1 << 16, WriteCap: 1 << 16, Shards: 8,
+	})
+	// Retain every sampled Var: unretained allocations can be reused by
+	// escape analysis, which would pin them all to one address and shard.
+	vars := make([]*tm.Var, 0, 64)
+	varInShard := func(want bool, shard int) *tm.Var {
+		for i := 0; i < 4096; i++ {
+			v := d.NewVar(0)
+			vars = append(vars, v)
+			if (v.Shard() == shard) == want {
+				return v
+			}
+		}
+		t.Fatalf("could not sample a Var with inShard(%d)=%v", shard, want)
+		return nil
+	}
+	storm := varInShard(true, 3) // storm target: shard 3
+	calm := varInShard(false, 3) // disjoint traffic on any other shard
+
+	sc, err := ParseScript("conflict-storm#3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(sc)
+	d.SetInjector(inj)
+	txn := d.NewTxn(1)
+
+	for i := 0; i < 20; i++ {
+		if ok, reason := txn.Run(func(tx *tm.Txn) { tx.Add(calm, 1) }); !ok {
+			t.Fatalf("iteration %d: transaction on unconfined shard aborted (%v)", i, reason)
+		}
+	}
+	ok, reason := txn.Run(func(tx *tm.Txn) { tx.Add(storm, 1) })
+	if ok || reason != tm.AbortConflict {
+		t.Fatalf("storm-shard transaction = (%v, %v), want injected AbortConflict", ok, reason)
+	}
+	if calm.LoadDirect() != 20 || storm.LoadDirect() != 0 {
+		t.Fatalf("values = (calm %d, storm %d), want (20, 0)", calm.LoadDirect(), storm.LoadDirect())
+	}
+	if f := inj.Firings(); f[ConflictStorm] != 1 {
+		t.Errorf("storm fired %d times, want 1 (only the confined shard)", f[ConflictStorm])
 	}
 }
 

@@ -69,14 +69,25 @@ func (inj *Injector) TotalFirings() uint64 {
 }
 
 // step counts one opportunity for class c and returns the matching rule
-// (by pointer into byClass) if the class fires on it, else nil.
-func (inj *Injector) step(c Class) *Rule {
+// (by pointer into byClass) if the class fires on it, else nil. Used by
+// the shard-agnostic hooks; shard-confined rules never match here.
+func (inj *Injector) step(c Class) *Rule { return inj.stepShard(c, -1) }
+
+// stepShard is step for the access hooks, which know which commit-clock
+// shard the access touches: a rule with Shard confinement only fires when
+// the access's shard matches (shard -1 — a shard-agnostic hook — matches
+// only unconfined rules). The opportunity counter advances regardless, so
+// scoped and unscoped rule windows stay comparable.
+func (inj *Injector) stepShard(c Class, shard int) *Rule {
 	rules := inj.byClass[c]
 	if len(rules) == 0 {
 		return nil
 	}
 	n := inj.opps[c].Add(1)
 	for i := range rules {
+		if rules[i].Shard != 0 && rules[i].Shard-1 != shard {
+			continue
+		}
 		if rules[i].matches(n) {
 			inj.fired[c].Add(1)
 			if sh := inj.shard; sh != nil {
@@ -98,11 +109,15 @@ func (inj *Injector) BeginTxn() tm.AbortReason {
 
 // OnAccess implements tm.Injector: CapacityCliff rules count (and fire
 // on) accesses at or above their footprint threshold; SpuriousBurst and
-// ConflictStorm rules count every access.
-func (inj *Injector) OnAccess(reads, writes int, write bool) tm.AbortReason {
+// ConflictStorm rules count every access. shard (the commit-clock shard
+// of the touched Var) gates shard-confined rules.
+func (inj *Injector) OnAccess(reads, writes int, write bool, shard int) tm.AbortReason {
 	if rules := inj.byClass[CapacityCliff]; len(rules) != 0 {
 		n := inj.opps[CapacityCliff].Add(1)
 		for i := range rules {
+			if rules[i].Shard != 0 && rules[i].Shard-1 != shard {
+				continue
+			}
 			thresh := rules[i].Param
 			if thresh == 0 {
 				thresh = 1
@@ -116,10 +131,10 @@ func (inj *Injector) OnAccess(reads, writes int, write bool) tm.AbortReason {
 			}
 		}
 	}
-	if inj.step(SpuriousBurst) != nil {
+	if inj.stepShard(SpuriousBurst, shard) != nil {
 		return tm.AbortSpurious
 	}
-	if inj.step(ConflictStorm) != nil {
+	if inj.stepShard(ConflictStorm, shard) != nil {
 		return tm.AbortConflict
 	}
 	return tm.AbortNone

@@ -64,6 +64,20 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		fmt.Fprintf(&b, "ale_htm_abort_work_seconds_total %g\n", float64(n)/1e9)
 	}
 
+	if n := s.Counts[CtrCrossShard]; n > 0 {
+		b.WriteString("# HELP ale_cross_shard_txns_total Transaction attempts spanning more than one commit-clock shard.\n")
+		b.WriteString("# TYPE ale_cross_shard_txns_total counter\n")
+		fmt.Fprintf(&b, "ale_cross_shard_txns_total %d\n", n)
+	}
+
+	if len(s.Shards) > 0 {
+		b.WriteString("# HELP ale_shard_commit_clock Per-shard commit-clock position (commits absorbed by the shard).\n")
+		b.WriteString("# TYPE ale_shard_commit_clock gauge\n")
+		for _, e := range s.Shards {
+			fmt.Fprintf(&b, "ale_shard_commit_clock{shard=\"%d\"} %d\n", e.Shard, e.Clock)
+		}
+	}
+
 	if s.HasTiming() {
 		writeLatencyHistograms(&b, s)
 	}

@@ -95,6 +95,12 @@ const (
 	// execution only — versus the engine-level per-granule attribution,
 	// which also includes pre-attempt spin (see ContentionEntry).
 	CtrAbortWorkNS
+	// CtrCrossShard counts transaction attempts that touched more than
+	// one commit-clock shard (tm.TxnStats.CrossShard, mirrored by the
+	// engine). On a sharded domain this is the fraction of traffic that
+	// pays the cross-shard read-vector revalidation; near zero means the
+	// workload partitions cleanly and commits scale with the shards.
+	CtrCrossShard
 
 	// ctrAbortBase starts tm.NumAbortReasons counters of failed HTM
 	// attempts by abort reason.
@@ -164,6 +170,9 @@ type Collector struct {
 	// contention, when set, is polled at snapshot time for the granule
 	// contention profile (see SetContentionSource).
 	contention func() []ContentionEntry
+	// shardsSrc, when set, is polled at snapshot time for the per-shard
+	// commit-clock rows (see SetShardSource).
+	shardsSrc func() []ShardEntry
 
 	// global absorbs cold-path events that have no calling thread at
 	// hand (adaptive-policy stage transitions run under the policy's
@@ -217,6 +226,7 @@ func (c *Collector) Snapshot() Snapshot {
 	shards := c.shards
 	latShards := c.latShards
 	contention := c.contention
+	shardsSrc := c.shardsSrc
 	c.mu.Unlock()
 	for _, sh := range shards {
 		for i := range s.Counts {
@@ -241,6 +251,9 @@ func (c *Collector) Snapshot() Snapshot {
 			rows = rows[:ContentionTopN]
 		}
 		s.Contention = rows
+	}
+	if shardsSrc != nil {
+		s.Shards = shardsSrc()
 	}
 	return s
 }

@@ -1,0 +1,30 @@
+package obs
+
+// ShardEntry is one commit-clock shard's row in a snapshot: how many
+// commits that shard's GV4 clock has absorbed since the domain was built.
+// On a sharded domain (tm.Profile.Shards > 1) the per-shard spread is the
+// live view of how evenly the workload's write sets hash across shards —
+// a single hot shard means the partitioning is not buying scalability,
+// regardless of what the aggregate counters say.
+type ShardEntry struct {
+	// Shard is the shard index, 0-based.
+	Shard int `json:"shard"`
+	// Clock is the shard's commit-clock value (one tick per transaction
+	// commit that wrote at least one Var hashing onto the shard, plus one
+	// per direct write there).
+	Clock uint64 `json:"clock"`
+}
+
+// SetShardSource installs the function snapshots call to collect the
+// per-shard commit-clock rows. The core runtime registers its domain's
+// shard clocks here when Options.Obs is set and the domain has more than
+// one shard (single-shard domains contribute nothing: their one clock is
+// already implied by the aggregate counters, and omitting the section
+// keeps pre-sharding snapshot files re-encoding unchanged). Like
+// SetContentionSource, a collector shared across runtimes keeps only the
+// most recently registered source; pass nil to detach.
+func (c *Collector) SetShardSource(f func() []ShardEntry) {
+	c.mu.Lock()
+	c.shardsSrc = f
+	c.mu.Unlock()
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotShardRows: the shard source feeds per-shard commit-clock
+// rows into snapshots, they survive a JSON round-trip, and a detached
+// source yields none.
+func TestSnapshotShardRows(t *testing.T) {
+	c := New()
+	rows := []ShardEntry{{Shard: 0, Clock: 7}, {Shard: 1, Clock: 0}, {Shard: 2, Clock: 41}}
+	c.SetShardSource(func() []ShardEntry { return rows })
+	s := c.Snapshot()
+	if len(s.Shards) != 3 || s.Shards[2].Clock != 41 {
+		t.Fatalf("snapshot shards = %+v, want the 3 source rows", s.Shards)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"shards"`) {
+		t.Fatalf("wire format missing shards section: %s", b)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Shards) != 3 || back.Shards[0].Clock != 7 || back.Shards[2].Shard != 2 {
+		t.Errorf("shards did not round-trip: %+v", back.Shards)
+	}
+	// Sub keeps the newer rows (clock positions are cumulative, like the
+	// contention profile's attributions).
+	if d := s.Sub(Snapshot{}); len(d.Shards) != 3 {
+		t.Errorf("delta dropped shard rows: %+v", d.Shards)
+	}
+
+	c.SetShardSource(nil)
+	if got := c.Snapshot().Shards; len(got) != 0 {
+		t.Errorf("detached shard source still yields %d rows", len(got))
+	}
+	// No-source snapshots omit the section entirely, so pre-sharding
+	// consumers see an unchanged wire format.
+	b2, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b2), `"shards"`) {
+		t.Errorf("shard-less snapshot still emits a shards section: %s", b2)
+	}
+}
+
+// TestCrossShardCounterWire: cross_shard rides the events map — present
+// and round-tripping when nonzero, omitted when zero (pre-sharding
+// snapshot files re-encode unchanged).
+func TestCrossShardCounterWire(t *testing.T) {
+	c := New()
+	zero, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(zero), "cross_shard") {
+		t.Fatalf("zero snapshot emits cross_shard: %s", zero)
+	}
+
+	c.NewShard().AddN(CtrCrossShard, 5)
+	s := c.Snapshot()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"cross_shard": 5`) && !strings.Contains(string(b), `"cross_shard":5`) {
+		t.Fatalf("wire format missing cross_shard: %s", b)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Get(CtrCrossShard); got != 5 {
+		t.Errorf("cross_shard round-trip = %d, want 5", got)
+	}
+}
+
+// TestWritePrometheusShards: shard rows render as a labelled gauge and
+// the cross-shard counter as its own family, both absent on single-shard
+// snapshots.
+func TestWritePrometheusShards(t *testing.T) {
+	c := New()
+	c.SetShardSource(func() []ShardEntry {
+		return []ShardEntry{{Shard: 0, Clock: 3}, {Shard: 1, Clock: 9}}
+	})
+	c.NewShard().AddN(CtrCrossShard, 2)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`ale_shard_commit_clock{shard="0"} 3`,
+		`ale_shard_commit_clock{shard="1"} 9`,
+		"ale_cross_shard_txns_total 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	sb.Reset()
+	if err := WritePrometheus(&sb, New().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "shard") {
+		t.Error("shard-less snapshot rendered shard metrics")
+	}
+}

@@ -28,6 +28,10 @@ type Snapshot struct {
 	// ContentionTopN rows by wasted time), present only when a timing
 	// runtime registered its profiler via SetContentionSource.
 	Contention []ContentionEntry
+	// Shards are the per-shard commit-clock rows, present only when a
+	// runtime on a multi-shard domain registered its clocks via
+	// SetShardSource.
+	Shards []ShardEntry
 }
 
 // Get returns one raw counter.
@@ -49,7 +53,9 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	// Contention rows are cumulative attributions, not counters; a delta
 	// keeps the newer profile as-is (interval attribution would need
 	// per-granule history the wire format deliberately does not carry).
+	// Shard clocks are likewise cumulative positions, not event counts.
 	d.Contention = s.Contention
+	d.Shards = s.Shards
 	return d
 }
 
@@ -168,6 +174,9 @@ type snapshotJSON struct {
 	// Contention is the top-N granule contention profile, omitted when
 	// no timing profiler is attached.
 	Contention []ContentionEntry `json:"contention,omitempty"`
+	// Shards are the per-shard commit-clock rows, omitted for
+	// single-shard domains (and all pre-sharding snapshot files).
+	Shards []ShardEntry `json:"shards,omitempty"`
 }
 
 // latDistJSON is one histogram on the wire: the raw buckets (the source
@@ -219,6 +228,11 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 	if n := s.Counts[CtrAbortWorkNS]; n > 0 {
 		j.Events["htm_abort_work_ns"] = n
 	}
+	// Like htm_abort_work_ns, cross_shard is emitted only when nonzero so
+	// single-shard (and pre-sharding) snapshots re-encode unchanged.
+	if n := s.Counts[CtrCrossShard]; n > 0 {
+		j.Events["cross_shard"] = n
+	}
 	if s.HasTiming() {
 		j.Latency = map[string]latDistJSON{}
 		for h := 0; h < NumHists; h++ {
@@ -238,6 +252,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 		}
 	}
 	j.Contention = s.Contention
+	j.Shards = s.Shards
 	return json.Marshal(j)
 }
 
@@ -272,6 +287,7 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 	s.Counts[CtrRelearn] = j.Events["relearn"]
 	s.Counts[CtrHTMExtension] = j.Events["htm_extension"]
 	s.Counts[CtrAbortWorkNS] = j.Events["htm_abort_work_ns"]
+	s.Counts[CtrCrossShard] = j.Events["cross_shard"]
 	for c := uint8(0); c < NumFaultClasses; c++ {
 		s.Counts[CtrFault(c)] = j.Faults[FaultClassNames[c]]
 	}
@@ -284,6 +300,7 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 		s.Lat[h].SumNS = d.SumNS
 	}
 	s.Contention = j.Contention
+	s.Shards = j.Shards
 	return nil
 }
 

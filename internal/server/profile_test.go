@@ -1,0 +1,120 @@
+package server_test
+
+// The -profile flow of cmd/aleserve: a server constructed with
+// Config.ProfilePath turns the run into a profiling session (timing
+// layer + event rings implied), and a drain flushes the Chrome trace to
+// the path and the contention profile to the log. The shards knob rides
+// along: Config.Shards overrides the domain's commit-clock shard count
+// and invalid values fail construction instead of panicking mid-run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/load"
+	"repro/internal/server"
+)
+
+// syncLog captures Logf lines across goroutines (Drain logs from
+// whichever goroutine drains).
+type syncLog struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *syncLog) logf(format string, args ...any) {
+	l.mu.Lock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+	l.mu.Unlock()
+}
+
+func (l *syncLog) joined() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return strings.Join(l.lines, "\n")
+}
+
+func TestProfileDrainWritesTraceAndContention(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	log := &syncLog{}
+	cfg := server.DefaultConfig()
+	cfg.Workers = 2
+	cfg.Slots, cfg.Buckets, cfg.Capacity = 4, 64, 2048
+	cfg.Policy = func(string) core.Policy { return core.NewAdaptive() }
+	cfg.ProfilePath = path
+	cfg.Shards = 8
+	cfg.Logf = log.logf
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	tr, err := load.DialTCP(s.Addr().String())(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		for _, req := range []server.Request{
+			{Verb: server.VerbSet, Key: i, Arg: i * 3},
+			{Verb: server.VerbIncr, Key: i, Arg: 1},
+			{Verb: server.VerbGet, Key: i},
+		} {
+			if _, err := tr.RoundTrip(req); err != nil {
+				t.Fatalf("key %d: %v", i, err)
+			}
+		}
+	}
+	tr.Close()
+	s.Drain()
+
+	// The drain must have written a loadable Chrome trace with real
+	// span/instant events from the served load.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &chrome); err != nil {
+		t.Fatalf("trace file is not Chrome Trace JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("trace file has no events despite served load")
+	}
+
+	// The contention profile and the trace-written line must be logged.
+	logged := log.joined()
+	for _, want := range []string{"wrote Chrome trace", "contention profile"} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("drain log missing %q:\n%s", want, logged)
+		}
+	}
+
+	// The shards override reached the domain: the collector's snapshot
+	// carries one commit-clock row per shard.
+	if rows := s.Collector().Snapshot().Shards; len(rows) != 8 {
+		t.Errorf("snapshot has %d shard rows, want 8 (Config.Shards override)", len(rows))
+	}
+}
+
+// TestConfigShardsValidation: an invalid shard override fails New with a
+// located error rather than panicking in domain construction.
+func TestConfigShardsValidation(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Shards = 3 // not a power of two
+	if _, err := server.New(cfg); err == nil || !strings.Contains(err.Error(), "Shards") {
+		t.Fatalf("New with Shards=3: err = %v, want a Shards validation error", err)
+	}
+	cfg.Shards = 128 // above tm.MaxShards
+	if _, err := server.New(cfg); err == nil {
+		t.Fatal("New with Shards=128 succeeded, want MaxShards rejection")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,21 @@ type Config struct {
 	// Timing enables the PR 5 timing layer (latency histograms, granule
 	// contention attribution) on the server's runtime.
 	Timing bool
+	// Shards, when nonzero, overrides the commit-clock shard count of the
+	// server's domain (a power of two in [1, tm.MaxShards]; 1 reproduces
+	// the pre-sharding single-clock behaviour, the EXPERIMENTS.md
+	// ablation). 0 keeps the platform profile's setting, which by default
+	// auto-derives from GOMAXPROCS.
+	Shards int
+	// ProfilePath, when non-empty, turns a run of the server into a
+	// profiling session: it implies Timing and a default event-ring
+	// capacity, and at the end of a drain the merged event timeline is
+	// written to this path as Chrome Trace Event JSON (Perfetto-loadable)
+	// and the contention profile goes to Logf.
+	ProfilePath string
+	// TraceCapacity is the per-thread event-ring capacity (0 = off unless
+	// ProfilePath sets a default).
+	TraceCapacity int
 	// Obs is the collector backing STATS and the metrics endpoints (one
 	// is created when nil).
 	Obs *obs.Collector
@@ -157,8 +173,24 @@ func New(cfg Config) (*Server, error) {
 	opts := core.DefaultOptions()
 	opts.Obs = collector
 	opts.Timing = cfg.Timing
+	opts.TraceCapacity = cfg.TraceCapacity
+	if cfg.ProfilePath != "" {
+		// A profile without spans or events is useless: imply the timing
+		// layer and give the rings a capacity if the caller set neither.
+		opts.Timing = true
+		if opts.TraceCapacity == 0 {
+			opts.TraceCapacity = 4096
+		}
+	}
 
-	dom := tm.NewDomain(cfg.Platform.Profile)
+	prof := cfg.Platform.Profile
+	if cfg.Shards != 0 {
+		prof.Shards = cfg.Shards
+		if err := prof.Validate(); err != nil {
+			return nil, fmt.Errorf("server: Shards %d: %w", cfg.Shards, err)
+		}
+	}
+	dom := tm.NewDomain(prof)
 	var inj *faultinject.Injector
 	if len(cfg.FaultScript) > 0 {
 		inj = faultinject.New(cfg.FaultScript)
@@ -512,6 +544,9 @@ func (s *Server) Drain() {
 		s.acceptWG.Wait()
 		s.workerWG.Wait()
 
+		if s.cfg.ProfilePath != "" {
+			s.writeProfile()
+		}
 		if s.cfg.SnapshotW != nil {
 			if err := obs.WriteJSON(s.cfg.SnapshotW, s.collector.Snapshot()); err != nil {
 				s.logf("aleserve: final snapshot: %v", err)
@@ -521,6 +556,36 @@ func (s *Server) Drain() {
 		close(s.drained)
 	})
 	<-s.drained
+}
+
+// writeProfile flushes the drained run's merged event timeline to
+// cfg.ProfilePath as Chrome Trace Event JSON and its contention profile
+// to the log — the -profile flow of cmd/aleserve: profile a live load
+// run, drain, open the trace in Perfetto. Runs after the worker pool
+// has stopped, so the rings and attributions are quiescent.
+func (s *Server) writeProfile() {
+	f, err := os.Create(s.cfg.ProfilePath)
+	if err != nil {
+		s.logf("aleserve: profile: %v", err)
+		return
+	}
+	if err := s.rt.WriteChromeTrace(f); err != nil {
+		f.Close()
+		s.logf("aleserve: profile: %v", err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		s.logf("aleserve: profile: %v", err)
+		return
+	}
+	s.logf("aleserve: wrote Chrome trace to %s (open in Perfetto or chrome://tracing)", s.cfg.ProfilePath)
+	var sb strings.Builder
+	if err := s.rt.WriteContentionReport(&sb, 10); err != nil {
+		s.logf("aleserve: contention profile: %v", err)
+		return
+	}
+	s.logf("aleserve: contention profile of the drained run:\n%s",
+		strings.TrimRight(sb.String(), "\n"))
 }
 
 // Drained reports whether a drain has completed (non-blocking).

@@ -1,0 +1,75 @@
+package snzi
+
+// Striped is a group of independent SNZI trees ("stripes") queried as
+// one. Arrive/Depart pick a stripe by slot, so threads with different
+// slots touch disjoint trees — disjoint cache lines all the way to the
+// per-stripe roots — and Query ORs the stripe roots together.
+//
+// The sharded substrate uses one stripe per domain shard for each lock's
+// retry indicator: a single-root SNZI serializes every arriving thread on
+// the root's cache line precisely when the lock is hottest (all SWOpt
+// attempts failing at once), which is the same single-point funnel the
+// per-shard commit clocks remove from the commit path. Striping trades a
+// slightly costlier Query (one load per stripe instead of one total) for
+// fully independent arrive/depart traffic; Query is the cheap side — it
+// runs on the group-wait poll loop, which is already a spin.
+//
+// Correctness is inherited from SNZI: each stripe independently tracks
+// the surplus of its own arrivals, so the union is nonzero iff some
+// stripe is — provided each Depart uses the same slot as its paired
+// Arrive (the engine passes the thread id to both, satisfying this; plain
+// SNZI only recommends same-slot pairing for locality, Striped requires
+// it for correctness and documents that strengthening here).
+type Striped struct {
+	// stripes are separately allocated SNZIs, not a slice of SNZI values:
+	// each SNZI's root must live on its own cache line, and the SNZI
+	// struct already pads its nodes.
+	stripes []*SNZI
+}
+
+// NewStriped builds a striped group of `stripes` independent SNZIs
+// (rounded up to 1), each with `leaves` leaf slots.
+func NewStriped(stripes, leaves int) *Striped {
+	if stripes < 1 {
+		stripes = 1
+	}
+	g := &Striped{stripes: make([]*SNZI, stripes)}
+	for i := range g.stripes {
+		g.stripes[i] = New(leaves)
+	}
+	return g
+}
+
+// Stripes returns the number of stripes.
+func (g *Striped) Stripes() int { return len(g.stripes) }
+
+// stripeFor maps a slot to its stripe. Slots are thread ids; sequential
+// ids should land on distinct stripes, so this is a plain modulus rather
+// than a hash.
+func (g *Striped) stripeFor(slot int) *SNZI {
+	if slot < 0 {
+		slot = -slot
+	}
+	return g.stripes[slot%len(g.stripes)]
+}
+
+// Arrive records one arrival at the stripe owning slot.
+func (g *Striped) Arrive(slot int) { g.stripeFor(slot).Arrive(slot) }
+
+// Depart records one departure at the stripe owning slot. Unlike plain
+// SNZI, the slot MUST match the paired Arrive's slot: departures on the
+// wrong stripe would drive that stripe's count negative (panic) while
+// the arrival's stripe leaks surplus.
+func (g *Striped) Depart(slot int) { g.stripeFor(slot).Depart(slot) }
+
+// Query reports whether any stripe's surplus is nonzero. One root load
+// per stripe, no stores: concurrent group-wait spinners share the lines
+// read-only.
+func (g *Striped) Query() bool {
+	for _, s := range g.stripes {
+		if s.Query() {
+			return true
+		}
+	}
+	return false
+}

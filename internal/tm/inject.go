@@ -27,9 +27,11 @@ type Injector interface {
 	// the access executes. reads and writes are the current read- and
 	// write-set sizes (distinct Vars), so capacity-cliff schedules can
 	// fire once a transaction grows past a scripted threshold; write
-	// reports whether the access is a Store. A non-AbortNone return
-	// aborts the attempt with that reason.
-	OnAccess(reads, writes int, write bool) AbortReason
+	// reports whether the access is a Store; shard is the commit-clock
+	// shard the accessed Var hashes onto, so schedules can be confined to
+	// one shard (the conflict-storm isolation ablation in EXPERIMENTS.md).
+	// A non-AbortNone return aborts the attempt with that reason.
+	OnAccess(reads, writes int, write bool, shard int) AbortReason
 }
 
 // SetInjector installs (or, with nil, removes) the domain's fault

@@ -15,7 +15,8 @@ type scriptedInjector struct {
 	accessReason AbortReason // forced at the accessAt-th OnAccess (1-based)
 	accessAt     int
 	accesses     int
-	capAt        int // force AbortCapacity once reads+writes >= capAt (0 = off)
+	capAt        int   // force AbortCapacity once reads+writes >= capAt (0 = off)
+	shards       []int // shard argument of every OnAccess call, in order
 }
 
 func (s *scriptedInjector) BeginTxn() AbortReason {
@@ -26,8 +27,9 @@ func (s *scriptedInjector) BeginTxn() AbortReason {
 	return AbortNone
 }
 
-func (s *scriptedInjector) OnAccess(reads, writes int, write bool) AbortReason {
+func (s *scriptedInjector) OnAccess(reads, writes int, write bool, shard int) AbortReason {
 	s.accesses++
+	s.shards = append(s.shards, shard)
 	if s.capAt != 0 && reads+writes >= s.capAt {
 		return AbortCapacity
 	}
@@ -139,6 +141,15 @@ func TestProfileValidate(t *testing.T) {
 		{"nan spurious", func(p *Profile) { p.SpuriousProb = math.NaN() }, "SpuriousProb is NaN"},
 		{"clamped spurious", func(p *Profile) { p.SpuriousProb = 1.5 }, ""},
 		{"disabled zero caps", func(p *Profile) { p.Enabled = false; p.ReadCap = 0; p.WriteCap = 0 }, ""},
+		{"auto shards", func(p *Profile) { p.Shards = 0 }, ""},
+		{"one shard", func(p *Profile) { p.Shards = 1 }, ""},
+		{"max shards", func(p *Profile) { p.Shards = MaxShards }, ""},
+		{"negative shards", func(p *Profile) { p.Shards = -2 }, "negative Shards -2"},
+		{"non-power-of-two shards", func(p *Profile) { p.Shards = 6 }, "Shards 6 is not a power of two"},
+		{"oversized shards", func(p *Profile) { p.Shards = 128 }, "Shards 128 exceeds MaxShards 64"},
+		// 96 is both oversized and non-power-of-two; the bound error wins
+		// so the message names the actionable limit.
+		{"oversized non-power-of-two", func(p *Profile) { p.Shards = 96 }, "exceeds MaxShards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

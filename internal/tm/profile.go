@@ -3,7 +3,14 @@ package tm
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"runtime"
 )
+
+// MaxShards bounds Profile.Shards: shard sets are tracked in uint64
+// bitmasks on the transaction hot path (Txn.rvMask), so a domain can have
+// at most 64 commit-clock shards.
+const MaxShards = 64
 
 // Profile describes the best-effort HTM characteristics of a simulated
 // platform. The ALE paper's three evaluation platforms map onto profiles as
@@ -32,6 +39,18 @@ type Profile struct {
 	// transaction) reproduces the real-HTM property that longer
 	// transactions fail more often for incidental reasons.
 	SpuriousProb float64
+
+	// Shards is the number of commit-clock shards the domain splits into:
+	// each shard owns an independent GV4 clock on its own cache line, and
+	// Vars hash onto shards by address, so transactions confined to one
+	// shard never synchronize with the others' clocks. 0 (the default)
+	// derives the count from GOMAXPROCS at Finalize time, rounded up to a
+	// power of two and clamped to [1, MaxShards]. Explicit values must be
+	// powers of two in [1, MaxShards]; Validate rejects anything else.
+	// Shards is a scaling knob, not a platform property: 1 reproduces the
+	// pre-sharding single-clock behaviour exactly (the `-shards 1`
+	// ablation in EXPERIMENTS.md).
+	Shards int
 
 	// DisableExtension turns off TL2 timestamp extension (an ablation
 	// switch, not a platform property): a Load observing a version above
@@ -67,6 +86,17 @@ func (p *Profile) Validate() error {
 	if math.IsNaN(p.SpuriousProb) {
 		return fmt.Errorf("tm: profile %q: SpuriousProb is NaN", p.Name)
 	}
+	if p.Shards < 0 {
+		return fmt.Errorf("tm: profile %q: negative Shards %d", p.Name, p.Shards)
+	}
+	if p.Shards > MaxShards {
+		return fmt.Errorf("tm: profile %q: Shards %d exceeds MaxShards %d",
+			p.Name, p.Shards, MaxShards)
+	}
+	if p.Shards > 0 && p.Shards&(p.Shards-1) != 0 {
+		return fmt.Errorf("tm: profile %q: Shards %d is not a power of two",
+			p.Name, p.Shards)
+	}
 	return nil
 }
 
@@ -74,6 +104,9 @@ func (p *Profile) Validate() error {
 // building custom profiles by struct literal and passing them to NewDomain
 // do not need to call it themselves.
 func (p *Profile) Finalize() {
+	if p.Shards == 0 {
+		p.Shards = autoShards(runtime.GOMAXPROCS(0))
+	}
 	switch {
 	case p.SpuriousProb <= 0:
 		p.spurThresh = 0
@@ -82,6 +115,21 @@ func (p *Profile) Finalize() {
 	default:
 		p.spurThresh = uint64(p.SpuriousProb * float64(1<<63) * 2)
 	}
+}
+
+// autoShards derives the default shard count from a parallelism level:
+// the next power of two ≥ procs, clamped to [1, MaxShards]. One shard per
+// hardware thread is the point where disjoint committers stop sharing
+// clock cache lines; more buys nothing and dilutes the granule stripes.
+func autoShards(procs int) int {
+	if procs <= 1 {
+		return 1
+	}
+	s := 1 << bits.Len(uint(procs-1))
+	if s > MaxShards {
+		return MaxShards
+	}
+	return s
 }
 
 // String summarizes the profile for reports.

@@ -1,0 +1,408 @@
+package tm
+
+import (
+	"sync"
+	"testing"
+)
+
+// shardedProfile is testProfile with an explicit shard count, so the
+// multi-shard paths are exercised regardless of the host's GOMAXPROCS
+// (auto-resolution would pick 1 shard on a single-core machine).
+func shardedProfile(shards int) Profile {
+	p := testProfile()
+	p.Shards = shards
+	return p
+}
+
+// varInShard allocates Vars until one hashes onto shard s.
+func varInShard(t testing.TB, d *Domain, s int, init uint64) *Var {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		if v := d.NewVar(init); v.Shard() == s {
+			return v
+		}
+	}
+	t.Fatalf("no Var hashed onto shard %d in 4096 allocations", s)
+	return nil
+}
+
+func TestShardAssignment(t *testing.T) {
+	d := NewDomain(shardedProfile(8))
+	if got := d.NumShards(); got != 8 {
+		t.Fatalf("NumShards = %d, want 8", got)
+	}
+	// Retain every Var: an unreferenced NewVar result can be
+	// stack-allocated by escape analysis, and one reused stack slot would
+	// make every iteration hash identically.
+	vars := make([]*Var, 1024)
+	hit := make([]int, 8)
+	for i := range vars {
+		vars[i] = d.NewVar(0)
+		v := vars[i]
+		s := v.Shard()
+		if s < 0 || s >= 8 {
+			t.Fatalf("Shard() = %d, out of range [0,8)", s)
+		}
+		if again := v.Shard(); again != s {
+			t.Fatalf("Shard() unstable: %d then %d", s, again)
+		}
+		hit[s]++
+	}
+	for s, n := range hit {
+		if n == 0 {
+			t.Errorf("shard %d never hit by 1024 Vars (distribution broken)", s)
+		}
+	}
+}
+
+func TestSingleShardDegenerates(t *testing.T) {
+	d := NewDomain(shardedProfile(1))
+	if got := d.NumShards(); got != 1 {
+		t.Fatalf("NumShards = %d, want 1", got)
+	}
+	vs := d.NewVars(64)
+	for i := range vs {
+		if s := vs[i].Shard(); s != 0 {
+			t.Fatalf("Shard() = %d on a 1-shard domain", s)
+		}
+	}
+}
+
+func TestAutoShardsDerivation(t *testing.T) {
+	cases := []struct{ procs, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {6, 8}, {8, 8}, {12, 16},
+		{48, 64}, {64, 64}, {96, 64}, {256, 64},
+	}
+	for _, tc := range cases {
+		if got := autoShards(tc.procs); got != tc.want {
+			t.Errorf("autoShards(%d) = %d, want %d", tc.procs, got, tc.want)
+		}
+	}
+}
+
+// TestShardClockIsolation: transactions confined to one shard must not
+// advance — or even read — the other shards' clocks. This is the whole
+// point of sharding: disjoint single-shard committers share no clock.
+func TestShardClockIsolation(t *testing.T) {
+	d := NewDomain(shardedProfile(4))
+	a := varInShard(t, d, 1, 0)
+	before := make([]uint64, 4)
+	for s := range before {
+		before[s] = d.ShardClock(s)
+	}
+	tx := d.NewTxn(1)
+	for i := 0; i < 100; i++ {
+		if ok, reason := tx.Run(func(tx *Txn) { tx.Add(a, 1) }); !ok {
+			t.Fatalf("commit %d aborted: %v", i, reason)
+		}
+	}
+	if got := d.ShardClock(1); got != before[1]+100 {
+		t.Errorf("shard 1 clock = %d, want %d", got, before[1]+100)
+	}
+	for _, s := range []int{0, 2, 3} {
+		if got := d.ShardClock(s); got != before[s] {
+			t.Errorf("shard %d clock moved to %d (was %d) without any access",
+				s, got, before[s])
+		}
+	}
+	if cs := tx.CrossShard(); cs != 0 {
+		t.Errorf("CrossShard = %d for single-shard transactions, want 0", cs)
+	}
+}
+
+// TestCrossShardCounter: the second distinct shard touched bumps
+// CrossShard exactly once per attempt, for reads and blind writes alike.
+func TestCrossShardCounter(t *testing.T) {
+	d := NewDomain(shardedProfile(4))
+	a := varInShard(t, d, 0, 0)
+	b := varInShard(t, d, 1, 0)
+	c := varInShard(t, d, 2, 0)
+	tx := d.NewTxn(1)
+
+	if ok, _ := tx.Run(func(tx *Txn) { tx.Load(a) }); !ok {
+		t.Fatal("single-shard txn aborted")
+	}
+	if got := tx.CrossShard(); got != 0 {
+		t.Fatalf("CrossShard = %d after single-shard txn, want 0", got)
+	}
+	if ok, _ := tx.Run(func(tx *Txn) {
+		tx.Load(a)
+		tx.Store(b, 1) // second shard: cross-shard from here
+		tx.Load(c)     // third shard: still the same attempt
+	}); !ok {
+		t.Fatal("cross-shard txn aborted")
+	}
+	if got := tx.CrossShard(); got != 1 {
+		t.Fatalf("CrossShard = %d after one cross-shard txn, want 1", got)
+	}
+	if got := tx.Stats().CrossShard; got != 1 {
+		t.Fatalf("Stats().CrossShard = %d, want 1", got)
+	}
+}
+
+// TestCrossShardCommitPublishesPerShardVersions: a commit spanning shards
+// ticks each touched shard's clock once and stamps every cell with its
+// own shard's timestamp.
+func TestCrossShardCommitPublishesPerShardVersions(t *testing.T) {
+	d := NewDomain(shardedProfile(4))
+	a := varInShard(t, d, 0, 0)
+	b := varInShard(t, d, 3, 0)
+	a0, b0 := d.ShardClock(0), d.ShardClock(3)
+	tx := d.NewTxn(1)
+	if ok, reason := tx.Run(func(tx *Txn) {
+		tx.Store(a, 7)
+		tx.Store(b, 9)
+	}); !ok {
+		t.Fatalf("cross-shard commit aborted: %v", reason)
+	}
+	if got := a.LoadDirect(); got != 7 {
+		t.Errorf("a = %d, want 7", got)
+	}
+	if got := b.LoadDirect(); got != 9 {
+		t.Errorf("b = %d, want 9", got)
+	}
+	if got := d.ShardClock(0); got != a0+1 {
+		t.Errorf("shard 0 clock = %d, want %d (one tick)", got, a0+1)
+	}
+	if got := d.ShardClock(3); got != b0+1 {
+		t.Errorf("shard 3 clock = %d, want %d (one tick)", got, b0+1)
+	}
+	if got, want := a.Version(), d.ShardClock(0); got != want {
+		t.Errorf("a version = %d, want shard-0 timestamp %d", got, want)
+	}
+	if got, want := b.Version(), d.ShardClock(3); got != want {
+		t.Errorf("b version = %d, want shard-3 timestamp %d", got, want)
+	}
+}
+
+// TestCrossShardExtension: a load that trips over a newer version in one
+// shard extends that shard's snapshot after revalidating reads in *all*
+// shards, instead of aborting — the PR 4 extension generalized to the
+// snapshot vector.
+func TestCrossShardExtension(t *testing.T) {
+	d := NewDomain(shardedProfile(4))
+	a := varInShard(t, d, 0, 1)
+	b1 := varInShard(t, d, 1, 2)
+	b2 := varInShard(t, d, 1, 3)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		_ = tx.Load(a)  // shard 0 snapshot
+		_ = tx.Load(b1) // shard 1 snapshot
+		// An unrelated committer advances shard 1 past our snapshot.
+		b2.StoreDirect(30)
+		// This load sees version > rvs[1]; extension revalidates a and b1
+		// against the vector and slides shard 1's snapshot forward.
+		if got := tx.Load(b2); got != 30 {
+			t.Errorf("Load(b2) = %d, want 30", got)
+		}
+	})
+	if !ok {
+		t.Fatalf("extension txn aborted: %v", reason)
+	}
+	if got := tx.Extensions(); got != 1 {
+		t.Errorf("Extensions = %d, want 1", got)
+	}
+}
+
+// TestCrossShardFirstTouchRevalidates: touching a new shard revalidates
+// the reads taken so far; if one of them has been overwritten, the
+// transaction aborts rather than adopt a snapshot at which its past reads
+// are no longer simultaneously valid. (A single-clock domain could have
+// served the stale-but-consistent pair; the vector scheme gives that up
+// for cross-shard transactions — the documented cost of not sharing
+// clocks. DESIGN.md §9.)
+func TestCrossShardFirstTouchRevalidates(t *testing.T) {
+	d := NewDomain(shardedProfile(4))
+	x := varInShard(t, d, 0, 1)
+	y := varInShard(t, d, 1, 2)
+	tx := d.NewTxn(1)
+	ok, reason := tx.Run(func(tx *Txn) {
+		_ = tx.Load(x)
+		x.StoreDirect(100) // x moves after we read it
+		_ = tx.Load(y)     // first touch of shard 1 must notice and abort
+		t.Error("unreachable: first-touch revalidation must abort")
+	})
+	if ok || reason != AbortConflict {
+		t.Fatalf("Run = (%v, %v), want AbortConflict from first-touch revalidation",
+			ok, reason)
+	}
+}
+
+// TestCrossShardOpacityTornPair: the invariant the cross-shard ordering
+// rule exists for. A writer transactionally keeps x (shard 0) and y
+// (shard 1) equal; concurrent cross-shard readers — in both orders — must
+// never observe x != y (a torn pair of same-commit writes). The write-set
+// lock bits held over the whole multi-shard write-back plus first-touch /
+// extension revalidation make a torn read impossible; this hammers the
+// schedule under -race.
+func TestCrossShardOpacityTornPair(t *testing.T) {
+	d := NewDomain(shardedProfile(4))
+	x := varInShard(t, d, 0, 0)
+	y := varInShard(t, d, 1, 0)
+	const iters = 20000
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		tx := d.NewTxn(99)
+		for i := uint64(1); i <= iters; i++ {
+			for {
+				ok, _ := tx.Run(func(tx *Txn) {
+					tx.Store(x, i)
+					tx.Store(y, i)
+				})
+				if ok {
+					break
+				}
+			}
+		}
+		close(stop)
+	}()
+
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(id int) { // readers, one per order
+			defer wg.Done()
+			tx := d.NewTxn(uint64(id))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var a, b uint64
+				ok, _ := tx.Run(func(tx *Txn) {
+					if id == 0 {
+						a, b = tx.Load(x), tx.Load(y)
+					} else {
+						b, a = tx.Load(y), tx.Load(x)
+					}
+				})
+				if ok && a != b {
+					t.Errorf("torn pair: x=%d y=%d", a, b)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := x.LoadDirect(); got != iters {
+		t.Fatalf("x = %d after writer drain, want %d", got, iters)
+	}
+}
+
+// TestCommitTickAdoptionSharded: the GV4 adoption proof holds per shard —
+// disjoint committers publish versions bounded by their own shard's
+// clock, and each shard's clock never exceeds the commits that touched
+// it.
+func TestCommitTickAdoptionSharded(t *testing.T) {
+	d := NewDomain(shardedProfile(8))
+	const workers, perWorker = 8, 500
+	vars := make([]*Var, workers)
+	for i := range vars {
+		vars[i] = d.NewVar(0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tx := d.NewTxn(uint64(id) + 1)
+			for i := 0; i < perWorker; i++ {
+				for {
+					if ok, _ := tx.Run(func(tx *Txn) { tx.Add(vars[id], 1) }); ok {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var totalTicks uint64
+	for s := 0; s < d.NumShards(); s++ {
+		totalTicks += d.ShardClock(s)
+	}
+	for i := range vars {
+		if got := vars[i].LoadDirect(); got != perWorker {
+			t.Errorf("vars[%d] = %d, want %d", i, got, perWorker)
+		}
+		if ver, clk := vars[i].Version(), d.ShardClock(vars[i].Shard()); ver > clk {
+			t.Errorf("vars[%d] version %d exceeds its shard clock %d", i, ver, clk)
+		}
+	}
+	// With adoption, committers may tick fewer than once per commit —
+	// never more, summed across shards.
+	if totalTicks > workers*perWorker {
+		t.Errorf("Σ shard clocks = %d, exceeds one tick per commit (%d)",
+			totalTicks, workers*perWorker)
+	}
+}
+
+// TestCrossShardZeroAllocs: the snapshot vector, shard masks, and
+// per-shard commit timestamps all live on the descriptor, so even a
+// cross-shard read-write transaction allocates nothing once warm.
+func TestCrossShardZeroAllocs(t *testing.T) {
+	d := NewDomain(shardedProfile(8))
+	a := varInShard(t, d, 0, 0)
+	b := varInShard(t, d, 5, 0)
+	tx := d.NewTxn(1)
+	body := func(tx *Txn) {
+		tx.Add(a, 1)
+		tx.Add(b, 1)
+	}
+	if ok, reason := tx.Run(body); !ok {
+		t.Fatalf("warm-up aborted: %v", reason)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if ok, _ := tx.Run(body); !ok {
+			t.Fatal("txn aborted")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cross-shard txn allocates %.1f times/op, want 0", allocs)
+	}
+}
+
+// TestSpillMapsReclaimed: spill maps released by an outsized transaction
+// re-enter the domain's free pool only after the epoch grace period, and
+// a later outsized transaction reuses the pooled map instead of
+// allocating.
+func TestSpillMapsReclaimed(t *testing.T) {
+	d := NewDomain(shardedProfile(2))
+	const n = spillHighWater + 8
+	vars := d.NewVars(n)
+	tx := d.NewTxn(1)
+	big := func(tx *Txn) {
+		for i := range vars {
+			tx.Load(&vars[i])
+		}
+	}
+	if ok, reason := tx.Run(big); !ok {
+		t.Fatalf("outsized txn aborted: %v", reason)
+	}
+	// cleanup retired the read-set spill map; it waits out the grace
+	// period in the reclaimer's bins.
+	if got := d.rec.Pending(); got != 1 {
+		t.Fatalf("Pending = %d after spill release, want 1", got)
+	}
+	d.rec.TryAdvance()
+	d.rec.TryAdvance()
+	d.spillMu.Lock()
+	pooled := len(d.freeRseen)
+	d.spillMu.Unlock()
+	if pooled != 1 {
+		t.Fatalf("free pool holds %d read-set maps after grace, want 1", pooled)
+	}
+	// The next spill consumes the pooled map.
+	if ok, reason := tx.Run(big); !ok {
+		t.Fatalf("second outsized txn aborted: %v", reason)
+	}
+	d.spillMu.Lock()
+	pooled = len(d.freeRseen)
+	d.spillMu.Unlock()
+	if pooled != 0 {
+		t.Fatalf("free pool holds %d maps mid-reuse cycle, want 0 (consumed)", pooled)
+	}
+}

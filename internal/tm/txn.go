@@ -4,6 +4,7 @@ import (
 	"sort"
 	"unsafe"
 
+	"repro/internal/epoch"
 	"repro/internal/xrand"
 )
 
@@ -19,7 +20,10 @@ const setSpill = 32
 // descriptor that once ran a giant transaction — e.g. a capacity probe on
 // the Haswell profile (ReadCap 512) — would otherwise pin that memory for
 // its whole lifetime. The bound sits comfortably above every platform
-// profile's capacity, so ordinary workloads never release.
+// profile's capacity, so ordinary workloads never release. Released maps
+// go through the domain's epoch reclaimer (Domain.retireSpill) and
+// re-enter a free pool for other descriptors once every attempt in flight
+// at release time has quiesced.
 const spillHighWater = 1024
 
 // Txn is a transaction descriptor. Each worker goroutine owns one reusable
@@ -35,7 +39,25 @@ type Txn struct {
 	rng *xrand.State
 
 	active bool
-	rv     uint64 // begin-time snapshot of the domain clock
+
+	// Per-shard snapshot vector. rvs[s] is the transaction's snapshot of
+	// shard s's clock, valid iff bit s of rvMask is set. Snapshots are
+	// taken lazily on first touch of each shard (touchShard), so a
+	// transaction confined to one shard reads exactly one clock — the
+	// sharded generalization of TL2's begin-time rv. Allocated once at
+	// NewTxn (len = Domain.NumShards()); begin only clears the mask.
+	rvs    []uint64
+	rvMask uint64
+	// wvs[s] caches shard s's commit timestamp during commit write-back,
+	// valid only for shards in the write set that commit (see commit).
+	// Kept on the descriptor so multi-shard commits zero nothing.
+	wvs []uint64
+
+	// pin marks the attempt window for the domain's epoch reclaimer:
+	// entered at begin, exited at cleanup. Spill maps retired by any
+	// descriptor re-enter the free pool only after this pin (and every
+	// other in-flight attempt) has passed a quiescent point.
+	pin *epoch.Pin
 
 	// Read set: insertion-ordered; rseen indexes it once it outgrows
 	// linear scanning.
@@ -53,6 +75,7 @@ type Txn struct {
 	starts     uint64
 	commits    uint64
 	extensions uint64
+	crossShard uint64
 	aborts     [NumAbortReasons]uint64
 	// attemptStart/abortNS measure work discarded by aborts, active only
 	// when the domain has a nanotime hook (Domain.SetNanotime).
@@ -63,7 +86,13 @@ type Txn struct {
 // NewTxn creates a transaction descriptor for this domain. seed seeds the
 // descriptor's private PRNG (used for spurious-abort injection).
 func (d *Domain) NewTxn(seed uint64) *Txn {
-	return &Txn{dom: d, rng: xrand.New(seed)}
+	return &Txn{
+		dom: d,
+		rng: xrand.New(seed),
+		rvs: make([]uint64, len(d.shards)),
+		wvs: make([]uint64, len(d.shards)),
+		pin: d.rec.Register(),
+	}
 }
 
 // Domain returns the domain this descriptor belongs to.
@@ -85,10 +114,17 @@ type TxnStats struct {
 	Starts  uint64
 	Commits uint64
 	// Extensions counts successful timestamp extensions: loads that
-	// observed a version past the begin-time snapshot but revalidated the
-	// read set and advanced rv instead of aborting (TL2 extension). Each
-	// one is a false AbortConflict that did not happen.
+	// observed a version past the shard snapshot but revalidated the
+	// read set and advanced that shard's snapshot instead of aborting
+	// (TL2 extension, per shard). Each one is a false AbortConflict that
+	// did not happen.
 	Extensions uint64
+	// CrossShard counts attempts that touched more than one commit-clock
+	// shard (and so paid at least one cross-shard snapshot
+	// revalidation). Counted once per attempt, at the moment the second
+	// distinct shard is touched; attempts that later abort still count —
+	// it is an access-pattern statistic, not an outcome statistic.
+	CrossShard uint64
 	Aborts     [NumAbortReasons]uint64
 	// AbortNS is the cumulative nanoseconds spent in attempts that
 	// aborted — begin to abort, the substrate's view of discarded work.
@@ -102,6 +138,7 @@ func (t *Txn) Stats() TxnStats {
 		Starts:     t.starts,
 		Commits:    t.commits,
 		Extensions: t.extensions,
+		CrossShard: t.crossShard,
 		Aborts:     t.aborts,
 		AbortNS:    t.abortNS,
 	}
@@ -111,6 +148,11 @@ func (t *Txn) Stats() TxnStats {
 // extensions (see TxnStats.Extensions). The ALE engine reads this after
 // every attempt to mirror the delta into the observability layer.
 func (t *Txn) Extensions() uint64 { return t.extensions }
+
+// CrossShard returns the cumulative count of attempts that touched more
+// than one shard (see TxnStats.CrossShard); the engine mirrors the delta
+// into the observability layer the same way it mirrors Extensions.
+func (t *Txn) CrossShard() uint64 { return t.crossShard }
 
 // AbortNS returns the cumulative nanoseconds discarded in aborted
 // attempts (see TxnStats.AbortNS); the engine mirrors the delta into
@@ -197,10 +239,14 @@ func (t *Txn) Run(body func(*Txn)) (committed bool, reason AbortReason) {
 func (t *Txn) begin() {
 	t.starts++
 	t.active = true
+	t.pin.Enter()
 	if f := t.dom.nanotime; f != nil {
 		t.attemptStart = f()
 	}
-	t.rv = t.dom.clock.Load()
+	// No clock is read here: per-shard snapshots are taken lazily on
+	// first touch (touchShard), so single-shard transactions sample one
+	// clock and cross-shard ones only the clocks they need.
+	t.rvMask = 0
 	if !t.dom.profile.Enabled {
 		panic(abortSignal{AbortDisabled})
 	}
@@ -215,10 +261,17 @@ func (t *Txn) begin() {
 // spill maps are retained (cleared, not freed) so back-to-back attempts
 // allocate nothing — except after an outsized transaction: sets past
 // spillHighWater are released entirely so one capacity probe doesn't pin
-// memory for the descriptor's lifetime.
+// memory for the descriptor's lifetime. Released maps are retired through
+// the domain's epoch reclaimer for pooled reuse.
 func (t *Txn) cleanup() {
 	t.active = false
+	// Unpin before retiring: our own attempt window is over, so it must
+	// not hold up the grace period of the maps we are about to release.
+	t.pin.Exit()
+	var retireRseen map[*Var]struct{}
+	var retireWidx map[*Var]int
 	if len(t.reads) > spillHighWater {
+		retireRseen = t.rseen
 		t.reads = nil
 		t.rseen = nil
 	} else {
@@ -228,6 +281,7 @@ func (t *Txn) cleanup() {
 		}
 	}
 	if len(t.wkeys) > spillHighWater {
+		retireWidx = t.windex
 		t.wkeys = nil
 		t.wvals = nil
 		t.windex = nil
@@ -237,6 +291,9 @@ func (t *Txn) cleanup() {
 		if t.windex != nil {
 			clear(t.windex)
 		}
+	}
+	if retireRseen != nil || retireWidx != nil {
+		t.dom.retireSpill(retireRseen, retireWidx)
 	}
 }
 
@@ -259,9 +316,70 @@ func (t *Txn) maybeSpurious() {
 	}
 }
 
+// touchShard returns the transaction's snapshot of shard s's clock,
+// establishing it on first touch. This is the cross-shard ordering rule:
+//
+//   - The first shard a transaction touches costs one clock load —
+//     identical to the old global begin-time rv.
+//   - Touching a further shard samples that shard's clock and then
+//     revalidates every read taken so far against the existing snapshot
+//     vector. If revalidation passes, all prior reads are simultaneously
+//     valid at the sample instant, so the transaction's serialization
+//     point slides to it and the new shard's snapshot joins the vector;
+//     if any read has moved, that is a genuine conflict and the attempt
+//     aborts.
+//
+// Soundness (the full argument is DESIGN.md §9): let T be the instant the
+// new shard's clock was sampled. Every previously-read cell r that
+// revalidates — unlocked, version ≤ rvs[shard(r)] — last committed before
+// its shard snapshot was taken, which happened before T, and versions
+// only grow; so r has held its observed value over an interval containing
+// T. Reads taken after this touch validate against snapshots sampled at
+// or before T by the same rule. Hence the whole read set is consistent at
+// T: exactly the TL2 extension argument, applied to a vector.
+// touchShard stays inlinable (the already-touched case is the per-access
+// hot path: a bit test and an array read); the once-per-(attempt, shard)
+// snapshot work lives in touchShardSlow.
+func (t *Txn) touchShard(s uint64) uint64 {
+	if t.rvMask&(1<<s) != 0 {
+		return t.rvs[s]
+	}
+	return t.touchShardSlow(s)
+}
+
+func (t *Txn) touchShardSlow(s uint64) uint64 {
+	rv := t.dom.shards[s].clock.Load()
+	if t.rvMask != 0 {
+		if t.rvMask&(t.rvMask-1) == 0 {
+			// Second distinct shard: this attempt is now cross-shard.
+			t.crossShard++
+		}
+		if !t.validateReads() {
+			panic(abortSignal{AbortConflict})
+		}
+	}
+	t.rvs[s] = rv
+	t.rvMask |= 1 << s
+	return rv
+}
+
+// validateReads checks every read cell is unlocked and still within its
+// shard's snapshot — i.e. the entire read set is currently consistent.
+// Used by cross-shard first touches and timestamp extensions.
+func (t *Txn) validateReads() bool {
+	for _, r := range t.reads {
+		vl := r.vlock.Load()
+		if vl&lockBit != 0 || vl>>1 > t.rvs[t.dom.shardOf(r)] {
+			return false
+		}
+	}
+	return true
+}
+
 // Load transactionally reads v. The value returned is consistent with the
-// transaction's begin-time snapshot (opacity): if v changed since begin,
-// the transaction aborts instead of returning stale or torn data.
+// transaction's snapshot vector (opacity): if v changed since the
+// transaction's serialization point, the transaction extends past the
+// change or aborts instead of returning stale or torn data.
 func (t *Txn) Load(v *Var) uint64 {
 	if !t.active {
 		panic("tm: Load outside a transaction")
@@ -272,12 +390,14 @@ func (t *Txn) Load(v *Var) uint64 {
 	if i := t.writeIdx(v); i >= 0 {
 		return t.wvals[i] // read-own-write from the redo log
 	}
+	s := t.dom.shardOf(v)
 	if inj := t.dom.inj; inj != nil {
-		if r := inj.OnAccess(len(t.reads), len(t.wkeys), false); r != AbortNone {
+		if r := inj.OnAccess(len(t.reads), len(t.wkeys), false, int(s)); r != AbortNone {
 			panic(abortSignal{r})
 		}
 	}
 	t.maybeSpurious()
+	rv := t.touchShard(s)
 	v1 := v.vlock.Load()
 	if v1&lockBit != 0 {
 		panic(abortSignal{AbortConflict})
@@ -286,14 +406,15 @@ func (t *Txn) Load(v *Var) uint64 {
 	if v.vlock.Load() != v1 {
 		panic(abortSignal{AbortConflict})
 	}
-	if v1>>1 > t.rv {
-		// The cell committed after our begin-time snapshot. TL2 timestamp
-		// extension: if everything read so far is still valid at the old
-		// snapshot, nothing serialized between our reads and now, so we
-		// may slide the snapshot forward instead of aborting. Unrelated
-		// commits (the overwhelmingly common case) thus stop
-		// manufacturing false conflicts that real HTM would never see.
-		if t.dom.profile.DisableExtension || !t.extend() {
+	if v1>>1 > rv {
+		// The cell committed after our snapshot of its shard. TL2
+		// timestamp extension, per shard: if everything read so far is
+		// still valid at the old vector, nothing serialized between our
+		// reads and now, so we may slide this shard's snapshot forward
+		// instead of aborting. Unrelated commits (the overwhelmingly
+		// common case) thus stop manufacturing false conflicts that real
+		// HTM would never see.
+		if t.dom.profile.DisableExtension || !t.extend(s) {
 			panic(abortSignal{AbortConflict})
 		}
 		// Re-sample under the advanced snapshot: the cell may have
@@ -303,7 +424,7 @@ func (t *Txn) Load(v *Var) uint64 {
 			panic(abortSignal{AbortConflict})
 		}
 		x = v.val.Load()
-		if v.vlock.Load() != v1 || v1>>1 > t.rv {
+		if v.vlock.Load() != v1 || v1>>1 > t.rvs[s] {
 			panic(abortSignal{AbortConflict})
 		}
 	}
@@ -315,7 +436,9 @@ func (t *Txn) Load(v *Var) uint64 {
 		if t.rseen != nil {
 			t.rseen[v] = struct{}{}
 		} else if len(t.reads) > setSpill {
-			t.rseen = make(map[*Var]struct{}, 4*setSpill)
+			if t.rseen = t.dom.getRseen(); t.rseen == nil {
+				t.rseen = make(map[*Var]struct{}, 4*setSpill)
+			}
 			for _, r := range t.reads {
 				t.rseen[r] = struct{}{}
 			}
@@ -324,28 +447,29 @@ func (t *Txn) Load(v *Var) uint64 {
 	return x
 }
 
-// extend attempts a TL2 timestamp extension: sample the clock, revalidate
-// every read cell against the *old* snapshot, and on success adopt the
-// sample as the new snapshot. Returns false (leaving rv untouched) if any
-// read cell is locked or has moved — a real conflict.
+// extend attempts a TL2 timestamp extension of shard s: sample the
+// shard's clock, revalidate every read cell against the *old* snapshot
+// vector, and on success adopt the sample as shard s's new snapshot.
+// Returns false (leaving the vector untouched) if any read cell is locked
+// or has moved — a real conflict.
 //
-// Soundness: any writer that publishes a version ≤ the new sample into one
-// of our read cells must have ticked the clock before we sampled it, and
-// writers lock their cells before ticking and hold them through
-// publication — so at revalidation time that cell shows either the lock
-// bit or a version past the old rv, and we refuse to extend. Hence after a
-// successful extension every read remains valid at the advanced snapshot,
-// and opacity is preserved exactly as if the transaction had begun at the
-// new rv.
-func (t *Txn) extend() bool {
-	newRv := t.dom.clock.Load()
-	for _, r := range t.reads {
-		vl := r.vlock.Load()
-		if vl&lockBit != 0 || vl>>1 > t.rv {
-			return false
-		}
+// Soundness: any writer that publishes a version ≤ the new sample into
+// one of our read cells in shard s must have ticked s's clock before we
+// sampled it, and writers lock their cells before ticking and hold them
+// through publication — so at revalidation time that cell shows either
+// the lock bit or a version past the old snapshot, and we refuse to
+// extend. Reads in other shards keep their own snapshots and revalidate
+// against them, which pins their values over an interval containing the
+// sample instant (the touchShard argument). Hence after a successful
+// extension every read remains valid at the advanced vector, and opacity
+// is preserved exactly as if the transaction had begun at the new
+// serialization point.
+func (t *Txn) extend(s uint64) bool {
+	newRv := t.dom.shards[s].clock.Load()
+	if !t.validateReads() {
+		return false
 	}
-	t.rv = newRv
+	t.rvs[s] = newRv
 	t.extensions++
 	return true
 }
@@ -359,12 +483,19 @@ func (t *Txn) Store(v *Var, x uint64) {
 	if v.dom != t.dom {
 		panic("tm: Store of Var from a different domain")
 	}
+	s := t.dom.shardOf(v)
 	if inj := t.dom.inj; inj != nil {
-		if r := inj.OnAccess(len(t.reads), len(t.wkeys), true); r != AbortNone {
+		if r := inj.OnAccess(len(t.reads), len(t.wkeys), true, int(s)); r != AbortNone {
 			panic(abortSignal{r})
 		}
 	}
 	t.maybeSpurious()
+	// Blind stores also establish the shard snapshot: commit validates
+	// write cells against rvs[shard] at lock time, so the snapshot must
+	// exist, and taking it here (with the usual first-touch revalidation)
+	// keeps the serialization-point argument uniform for reads and
+	// writes.
+	t.touchShard(s)
 	if i := t.writeIdx(v); i >= 0 {
 		t.wvals[i] = x
 		return
@@ -377,7 +508,9 @@ func (t *Txn) Store(v *Var, x uint64) {
 	if t.windex != nil {
 		t.windex[v] = len(t.wkeys) - 1
 	} else if len(t.wkeys) > setSpill {
-		t.windex = make(map[*Var]int, 4*setSpill)
+		if t.windex = t.dom.getWidx(); t.windex == nil {
+			t.windex = make(map[*Var]int, 4*setSpill)
+		}
 		for i, w := range t.wkeys {
 			t.windex[w] = i
 		}
@@ -391,13 +524,23 @@ func (t *Txn) Add(v *Var, delta uint64) uint64 {
 	return n
 }
 
-// commit attempts the TL2 commit: lock the write set in a global order,
-// validate the read set against the begin-time snapshot, advance the
-// clock, publish the redo log, release. Any failure aborts via panic.
+// commit attempts the TL2 commit, sharded: lock the write set in a global
+// address order, validate the read set against the snapshot vector, tick
+// each touched shard's clock once, publish the redo log with per-shard
+// timestamps, release. Any failure aborts via panic.
+//
+// Cross-shard atomicity does not come from comparing clocks — per-shard
+// clocks are mutually incomparable — but from the lock bits: every write
+// cell in every shard is locked before any shard's clock is ticked, and
+// all stay locked until the entire multi-shard write-back has finished.
+// A concurrent reader that observes one of our new values therefore
+// observes every other write cell either already published or still
+// locked (which aborts or re-spins it) — never the old value. DESIGN.md
+// §9 spells out the torn-pair argument.
 func (t *Txn) commit() {
 	if len(t.wkeys) == 0 {
 		// Read-only transactions are already valid: every load was
-		// validated against rv at the time it executed.
+		// validated against the snapshot vector at the time it executed.
 		return
 	}
 	// Lock write cells in address order so concurrent committers cannot
@@ -406,31 +549,43 @@ func (t *Txn) commit() {
 	locked := 0
 	for _, v := range t.wkeys {
 		vl := v.vlock.Load()
-		// A write cell whose version moved past our snapshot means a
-		// conflicting committer beat us (write-write conflicts abort on
+		// A write cell whose version moved past our shard snapshot means
+		// a conflicting committer beat us (write-write conflicts abort on
 		// real HTM). A held lock bit means one is mid-commit right now.
-		if vl&lockBit != 0 || vl>>1 > t.rv || !v.vlock.CompareAndSwap(vl, vl|lockBit) {
+		if vl&lockBit != 0 || vl>>1 > t.rvs[t.dom.shardOf(v)] ||
+			!v.vlock.CompareAndSwap(vl, vl|lockBit) {
 			t.releaseLocked(locked)
 			panic(abortSignal{AbortConflict})
 		}
 		locked++
 	}
 	// Validate the read set: every cell we read must still be at a
-	// version within our snapshot and not locked by another committer.
+	// version within its shard's snapshot and not locked by another
+	// committer.
 	for _, v := range t.reads {
 		if t.writeIdx(v) >= 0 {
 			continue // we hold its lock
 		}
 		vl := v.vlock.Load()
-		if vl&lockBit != 0 || vl>>1 > t.rv {
+		if vl&lockBit != 0 || vl>>1 > t.rvs[t.dom.shardOf(v)] {
 			t.releaseLocked(locked)
 			panic(abortSignal{AbortConflict})
 		}
 	}
-	wv := t.dom.commitTick()
+	// Tick each shard the write set touches exactly once (GV4 per
+	// shard), caching the timestamps in wvs. wmask tracks which entries
+	// are live this commit, so nothing is zeroed.
+	var wmask uint64
+	for _, v := range t.wkeys {
+		s := t.dom.shardOf(v)
+		if bit := uint64(1) << s; wmask&bit == 0 {
+			t.wvs[s] = t.dom.shards[s].commitTick()
+			wmask |= bit
+		}
+	}
 	for i, v := range t.wkeys {
 		v.val.Store(t.wvals[i])
-		v.vlock.Store(wv << 1)
+		v.vlock.Store(t.wvs[t.dom.shardOf(v)] << 1)
 	}
 }
 

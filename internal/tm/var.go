@@ -2,7 +2,11 @@ package tm
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/epoch"
 )
 
 // Var is a single 64-bit transactional memory cell. All data that simulated
@@ -11,14 +15,14 @@ import (
 // between transactions and between transactions and direct writers.
 //
 // A Var belongs to the Domain that created it and must only be used with
-// transactions of that Domain (the version clock is per-Domain).
+// transactions of that Domain (version clocks are per-Domain-shard).
 //
 // The zero Var is not valid; allocate through Domain.NewVar or
 // Domain.NewVars so the cell is stamped with its domain.
 type Var struct {
-	// vlock packs (version << 1) | lockBit. Versions come from the
-	// domain's global clock, so they are comparable with transaction
-	// begin-time snapshots (TL2).
+	// vlock packs (version << 1) | lockBit. Versions come from the clock
+	// of the shard the Var hashes onto, so they are comparable with
+	// transaction per-shard snapshots (TL2, sharded).
 	vlock atomic.Uint64
 	// val is the current committed value. While vlock's lock bit is set a
 	// writer may be mid-update, so readers must revalidate vlock around
@@ -29,12 +33,27 @@ type Var struct {
 
 const lockBit = 1
 
-// Domain groups Vars and transactions that may interact. It owns the global
-// version clock and the platform profile. Independent data structures can
-// use independent domains; everything in one benchmark normally shares one.
+// shard is one commit-clock shard. Each shard's clock lives on its own
+// cache line (the pad below) so disjoint committers on different shards
+// never ping-pong a shared line — the single-clock serialization the GV4
+// scheme could not remove (GV4 removed the CAS retry loop; the cache-line
+// transfer itself remained).
+type shard struct {
+	clock atomic.Uint64
+	_     [56]byte
+}
+
+// Domain groups Vars and transactions that may interact. It owns the
+// sharded version clocks and the platform profile. Independent data
+// structures can use independent domains; everything in one benchmark
+// normally shares one.
 type Domain struct {
-	clock   atomic.Uint64
-	profile Profile
+	// shards are the commit clocks; len is a power of two in
+	// [1, MaxShards] (Profile.Shards after Finalize). shardMask is
+	// len(shards)-1, kept flat for the per-access hash.
+	shards    []shard
+	shardMask uint64
+	profile   Profile
 	// inj, when non-nil, is the fault-injection hook set (see inject.go).
 	// Read without synchronization on the transaction hot path; install
 	// before the domain is shared.
@@ -43,6 +62,16 @@ type Domain struct {
 	// TxnStats.AbortNS can account discarded work (see SetNanotime). Like
 	// inj it is read without synchronization; install before sharing.
 	nanotime func() int64
+
+	// rec reclaims retired spill maps: a map released by one descriptor
+	// re-enters the free pool only after every transaction attempt that
+	// was in flight at release time has finished (epoch grace period), so
+	// pool reuse can never hand out memory a stalled attempt still
+	// references. Txn pins (Txn.pin) mark the attempt windows.
+	rec       *epoch.Reclaimer
+	spillMu   sync.Mutex
+	freeRseen []map[*Var]struct{}
+	freeWidx  []map[*Var]int
 }
 
 // NewDomain creates a transactional domain with the given platform profile.
@@ -54,7 +83,12 @@ func NewDomain(p Profile) *Domain {
 		panic(err)
 	}
 	p.Finalize()
-	return &Domain{profile: p}
+	return &Domain{
+		shards:    make([]shard, p.Shards),
+		shardMask: uint64(p.Shards - 1),
+		profile:   p,
+		rec:       epoch.New(),
+	}
 }
 
 // Profile returns the domain's platform profile.
@@ -70,28 +104,62 @@ func (d *Domain) SetNanotime(f func() int64) { d.nanotime = f }
 // HTMAvailable reports whether transactions can ever commit on this domain.
 func (d *Domain) HTMAvailable() bool { return d.profile.Enabled }
 
-// Now returns the current value of the domain's version clock. Useful in
-// tests and diagnostics only.
-func (d *Domain) Now() uint64 { return d.clock.Load() }
+// NumShards returns the domain's commit-clock shard count (Profile.Shards
+// after auto-resolution).
+func (d *Domain) NumShards() int { return len(d.shards) }
 
-// commitTick obtains a commit timestamp for a read-write transaction with
-// the GV4 "pass on failure" scheme: try one CAS to advance the clock; if a
-// concurrent committer wins the race, adopt the clock's current value as
-// our own timestamp instead of retrying. Concurrent disjoint commits may
-// thus share a timestamp, which is safe because each committer locks its
-// entire write set *before* calling commitTick and holds the locks through
-// publication: two committers sharing a timestamp necessarily have
-// disjoint write sets, and any reader with rv ≥ wv began after the clock
-// reached wv, i.e. after both writers had locked their cells — so it
-// either waits out the lock bits or sees the fully published values. The
-// payoff is that N disjoint committers perform one clock write instead of
-// N, removing the last globally contended CAS from the commit path.
-func (d *Domain) commitTick() uint64 {
-	old := d.clock.Load()
-	if d.clock.CompareAndSwap(old, old+1) {
+// ShardClock returns the current value of shard s's version clock.
+// Useful in tests and diagnostics only; values from different shards are
+// not comparable with each other.
+func (d *Domain) ShardClock(s int) uint64 { return d.shards[s].clock.Load() }
+
+// Now returns the current value of shard 0's version clock. It is only
+// meaningful on single-shard domains (tests and diagnostics); sharded
+// callers use ShardClock.
+func (d *Domain) Now() uint64 { return d.shards[0].clock.Load() }
+
+// shardOf maps a Var to its commit-clock shard by hashing the cell's
+// address (Fibonacci multiply, high bits). Hashing the address instead of
+// storing a shard index keeps Var at 24 bytes and needs no extra load on
+// the hot path; it is stable because Go's heap does not move objects —
+// the same property the address-ordered write-set locking in commit
+// already depends on.
+func (d *Domain) shardOf(v *Var) uint64 {
+	if d.shardMask == 0 {
+		return 0 // single-shard domain: skip the hash entirely
+	}
+	h := uint64(uintptr(unsafe.Pointer(v))) * 0x9e3779b97f4a7c15
+	return (h >> 33) & d.shardMask
+}
+
+// Shard returns the commit-clock shard this Var hashes onto (in
+// [0, Domain.NumShards())). Benchmarks use it to place working sets in
+// known shards; it is not needed for correctness.
+func (v *Var) Shard() int { return int(v.dom.shardOf(v)) }
+
+// commitTick obtains a commit timestamp for a read-write transaction on
+// shard s with the GV4 "pass on failure" scheme: try one CAS to advance
+// the shard's clock; if a concurrent committer wins the race, adopt the
+// clock's current value as our own timestamp instead of retrying. The GV4
+// adoption proof holds per shard: concurrent commits that share a
+// timestamp from the same shard clock necessarily have disjoint write
+// sets, because each committer locks its entire write set *before*
+// calling commitTick and holds the locks through publication — had the
+// sets intersected, one committer would have observed the other's lock
+// bit and aborted. Any reader whose snapshot for this shard satisfies
+// rvs[s] ≥ wv sampled the shard clock after it reached wv, i.e. after
+// both writers had locked their cells — so it either waits out the lock
+// bits or sees the fully published values. Cross-shard commits tick each
+// touched shard's clock once and publish each cell with its own shard's
+// timestamp; ordering across shards is enforced by the lock bits (held
+// over the whole multi-shard write-back), not by comparing clocks — see
+// Txn.commit and DESIGN.md §9.
+func (s *shard) commitTick() uint64 {
+	old := s.clock.Load()
+	if s.clock.CompareAndSwap(old, old+1) {
 		return old + 1
 	}
-	return d.clock.Load()
+	return s.clock.Load()
 }
 
 // NewVar allocates a Var in this domain holding init.
@@ -142,14 +210,14 @@ func (v *Var) LoadConsistent() uint64 {
 }
 
 // StoreDirect writes the Var outside any transaction, serializing correctly
-// against transactions: it locks the cell, advances the domain clock, and
-// publishes the new version, so every transaction that began earlier and
-// touches this cell will abort. This is exactly the effect a plain store by
-// a non-transactional thread has on real HTM (cache-line invalidation kills
-// the reader's transaction).
+// against transactions: it locks the cell, advances the cell's shard
+// clock, and publishes the new version, so every transaction that began
+// earlier and touches this cell will abort (or extend past it). This is
+// exactly the effect a plain store by a non-transactional thread has on
+// real HTM (cache-line invalidation kills the reader's transaction).
 func (v *Var) StoreDirect(x uint64) {
 	v.lockCell()
-	wv := v.dom.clock.Add(1)
+	wv := v.dom.shards[v.dom.shardOf(v)].clock.Add(1)
 	v.val.Store(x)
 	v.vlock.Store(wv << 1)
 }
@@ -158,7 +226,7 @@ func (v *Var) StoreDirect(x uint64) {
 // returns the new value, with the same conflict semantics as StoreDirect.
 func (v *Var) AddDirect(delta uint64) uint64 {
 	v.lockCell()
-	wv := v.dom.clock.Add(1)
+	wv := v.dom.shards[v.dom.shardOf(v)].clock.Add(1)
 	n := v.val.Load() + delta
 	v.val.Store(n)
 	v.vlock.Store(wv << 1)
@@ -170,7 +238,7 @@ func (v *Var) AddDirect(delta uint64) uint64 {
 // StoreDirect.
 func (v *Var) SwapDirect(x uint64) uint64 {
 	v.lockCell()
-	wv := v.dom.clock.Add(1)
+	wv := v.dom.shards[v.dom.shardOf(v)].clock.Add(1)
 	old := v.val.Load()
 	v.val.Store(x)
 	v.vlock.Store(wv << 1)
@@ -187,7 +255,7 @@ func (v *Var) CASDirect(old, new uint64) bool {
 		v.vlock.Store(v.vlock.Load() &^ lockBit)
 		return false
 	}
-	wv := v.dom.clock.Add(1)
+	wv := v.dom.shards[v.dom.shardOf(v)].clock.Add(1)
 	v.val.Store(new)
 	v.vlock.Store(wv << 1)
 	return true
@@ -226,8 +294,55 @@ func (v *Var) sampleUnlocked() (ver, val uint64) {
 }
 
 // Version returns the cell's current committed version (test/diagnostic
-// use).
+// use). Versions are only comparable with the same cell's shard clock.
 func (v *Var) Version() uint64 {
 	ver, _ := v.sampleUnlocked()
 	return ver
+}
+
+// getRseen pops a reclaimed read-set spill map from the pool, or reports
+// none available. Cold path: only runs when a transaction's read set
+// outgrows setSpill.
+func (d *Domain) getRseen() map[*Var]struct{} {
+	d.spillMu.Lock()
+	defer d.spillMu.Unlock()
+	if n := len(d.freeRseen); n > 0 {
+		m := d.freeRseen[n-1]
+		d.freeRseen = d.freeRseen[:n-1]
+		return m
+	}
+	return nil
+}
+
+// getWidx is getRseen for write-set index maps.
+func (d *Domain) getWidx() map[*Var]int {
+	d.spillMu.Lock()
+	defer d.spillMu.Unlock()
+	if n := len(d.freeWidx); n > 0 {
+		m := d.freeWidx[n-1]
+		d.freeWidx = d.freeWidx[:n-1]
+		return m
+	}
+	return nil
+}
+
+// retireSpill hands outsized spill maps released by Txn.cleanup to the
+// epoch reclaimer: they re-enter the free pools only after two epoch
+// advances, i.e. after every attempt in flight at release time has
+// quiesced. TryAdvance runs here — on the cold release path, never on
+// commit — so reclamation cannot stall committers.
+func (d *Domain) retireSpill(rseen map[*Var]struct{}, widx map[*Var]int) {
+	d.rec.Retire(func() {
+		d.spillMu.Lock()
+		defer d.spillMu.Unlock()
+		if rseen != nil {
+			clear(rseen)
+			d.freeRseen = append(d.freeRseen, rseen)
+		}
+		if widx != nil {
+			clear(widx)
+			d.freeWidx = append(d.freeWidx, widx)
+		}
+	})
+	d.rec.TryAdvance()
 }
