@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt patch-check bench bench-json bench-compare bench-gate bench-trend bench-scale stress cover profile serve loadtest
+.PHONY: all build test race lint fmt patch-check bench bench-json bench-compare bench-gate bench-trend bench-scale stress cover profile serve loadtest top
 
 all: build lint test
 
@@ -102,7 +102,14 @@ stress:
 SERVE_ADDR ?= 127.0.0.1:7700
 METRICS_ADDR ?= 127.0.0.1:7701
 serve:
-	$(GO) run ./cmd/aleserve -addr $(SERVE_ADDR) -metrics-addr $(METRICS_ADDR)
+	$(GO) run ./cmd/aleserve -addr $(SERVE_ADDR) -metrics-addr $(METRICS_ADDR) \
+		-flight flight.json
+
+# Live terminal dashboard over the running server's /stream feed
+# (docs/OBSERVABILITY.md). Ctrl-C to stop; `kill -QUIT` the server to
+# dump its flight-recorder window, then `alereport -in flight.json`.
+top:
+	$(GO) run ./cmd/aletop -addr $(METRICS_ADDR)
 
 loadtest:
 	$(GO) run ./cmd/aleload -addr $(SERVE_ADDR) -conns 4 -rate 2000 \

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TestRunCommandsSmoke drives each subcommand with a tiny workload; this
@@ -136,6 +138,92 @@ func TestObservabilityFlags(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "== Trace: merged event timeline") {
 		t.Error("teardown did not dump the trace (-trace flag wiring broken)")
+	}
+}
+
+// TestMetricsEndpointsAllPlanes is alebench's half of the obs-wiring
+// dedup regression (aleserve's half is TestServerMetricsEndpoints in
+// internal/server): both binaries mount the one shared obs.Handler, so
+// every plane — index advertising /stream, Prometheus text, snapshot
+// JSON, the event timeline in both renderings, and the NDJSON live
+// stream — must be served here too.
+func TestMetricsEndpointsAllPlanes(t *testing.T) {
+	*ops = 300
+	*keyRange = 256
+	*maxThreads = 2
+	*metricsAddr = "127.0.0.1:0"
+	defer func() {
+		*metricsAddr = ""
+		metricsURL = ""
+	}()
+
+	teardown, err := setupObs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = devnull
+	runErr := run("striping")
+	os.Stdout = old
+	devnull.Close()
+	if runErr != nil {
+		t.Fatalf("run(striping): %v", runErr)
+	}
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(metricsURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	if body, _ := get("/"); !strings.Contains(body, "/stream") {
+		t.Errorf("index page does not advertise /stream: %q", body)
+	}
+	if body, _ := get("/metrics"); !strings.Contains(body, "ale_execs_total") {
+		t.Error("/metrics missing ale_execs_total")
+	}
+	if body, ct := get("/snapshot"); ct != "application/json" || !strings.Contains(body, "ale-snapshot/v1") {
+		t.Errorf("/snapshot: content-type %q", ct)
+	}
+	if _, ct := get("/events"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("/events: content-type %q", ct)
+	}
+	if _, ct := get("/events?format=json"); ct != "application/json" {
+		t.Errorf("/events?format=json: content-type %q", ct)
+	}
+	body, ct := get("/stream?interval=10ms&n=1")
+	if ct != "application/x-ndjson" {
+		t.Errorf("/stream: content-type %q", ct)
+	}
+	snaps, err := obs.ParseSnapshots([]byte(body))
+	if err != nil {
+		t.Fatalf("/stream body does not parse as snapshots: %v", err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("/stream?n=1 returned %d snapshots, want 2 (cumulative + 1 delta)", len(snaps))
+	}
+	if snaps[0].Execs() == 0 {
+		t.Error("stream baseline shows zero execs after a sweep")
+	}
+
+	if err := teardown(); err != nil {
+		t.Fatalf("teardown: %v", err)
 	}
 }
 

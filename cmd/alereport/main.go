@@ -117,6 +117,13 @@ func analyzeFile(path string, w io.Writer) error {
 		} else if !errors.Is(err, load.ErrNotLoadSchema) {
 			return fmt.Errorf("%s: %w", path, err)
 		}
+		if d, err := obs.ParseFlight(data); err == nil {
+			return writeFlightReport(w, d)
+		} else if !errors.Is(err, obs.ErrNotFlightSchema) {
+			// Non-sentinel means the flight schema matched but the body
+			// didn't: a located error beats the snapshot parser's noise.
+			return fmt.Errorf("%s: %w", path, err)
+		}
 		snaps, err := obs.ParseSnapshots(data)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
@@ -194,6 +201,80 @@ func writeSnapshotDeltas(w io.Writer, snaps []obs.Snapshot) error {
 	// snapshot — histograms merge monotonically, so the last scrape holds
 	// the whole run.
 	return writeTimingTables(w, last)
+}
+
+// writeFlightReport renders an ale-flight/v1 black-box dump: the dump
+// header, the anomaly log, the per-tick frame timeline (what the window
+// watched happen), the window's abort breakdown, the top-blamed granules
+// from the exemplar table, and the cumulative timing tables.
+func writeFlightReport(w io.Writer, d obs.FlightDump) error {
+	fmt.Fprintf(w, "flight recorder dump (%s): reason %q, %s window at %s ticks, %d frames\n",
+		d.Schema, d.Reason,
+		time.Duration(d.WindowS*float64(time.Second)).Round(time.Millisecond),
+		time.Duration(d.TickS*float64(time.Second)).Round(time.Millisecond),
+		len(d.Frames))
+	if d.DroppedTraceEvents > 0 {
+		fmt.Fprintf(w, "warning: %d engine-trace events were dropped before this dump\n",
+			d.DroppedTraceEvents)
+	}
+	if len(d.Anomalies) > 0 {
+		fmt.Fprintln(w, "\nanomaly triggers")
+		for _, a := range d.Anomalies {
+			fmt.Fprintf(w, "  %s  %s\n",
+				time.Unix(0, a.UnixNano).UTC().Format("15:04:05.000"), a.Reason)
+		}
+	}
+
+	if len(d.Frames) > 0 {
+		fmt.Fprintln(w, "\nwindow timeline (per-tick deltas, oldest first)")
+		tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "frame\tspan\texecs\texecs/s\telision%\taborts\tswopt-fails\tfaults\t")
+		for i, fr := range d.Frames {
+			span, rate := "-", "-"
+			if fr.Interval > 0 {
+				span = fr.Interval.Round(10 * time.Millisecond).String()
+				rate = fmt.Sprintf("%.0f", float64(fr.Execs())/fr.Interval.Seconds())
+			}
+			fmt.Fprintf(tw, "#%d\t%s\t%d\t%s\t%.1f\t%d\t%d\t%d\t\n",
+				i+1, span, fr.Execs(), rate, 100*fr.ElisionRate(),
+				fr.AbortsTotal(), fr.Get(obs.CtrSWOptFail), fr.FaultsTotal())
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if aborts := d.AbortsByReason(); len(aborts) > 0 {
+		fmt.Fprintln(w, "\nwindow aborts by reason")
+		for r := 1; r < tm.NumAbortReasons; r++ {
+			name := tm.AbortReason(r).String()
+			if n := aborts[name]; n > 0 {
+				fmt.Fprintf(w, "  %-12s %d\n", name, n)
+			}
+		}
+	}
+
+	if top := d.TopBlamedGranules(10); len(top) > 0 {
+		fmt.Fprintln(w, "\ntop blamed granules (worst witnessed exec latency)")
+		tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "lock\tgranule\tlatency\tmode\tattempts\taborts\twasted\trequest\t")
+		for _, r := range top {
+			aborts, req := "-", "-"
+			if len(r.Aborts) > 0 {
+				aborts = strings.Join(r.Aborts, ",")
+			}
+			if r.RequestID != 0 {
+				req = fmt.Sprintf("%d", r.RequestID)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t\n",
+				r.Lock, r.Granule, fmtNS(r.LatNS), r.Mode, r.Attempts,
+				aborts, fmtNS(r.WastedNS), req)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return writeTimingTables(w, d.Cumulative)
 }
 
 // writeTimingTables renders the timing layer's two views from a snapshot:

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tm"
 )
 
 func TestRunSmoke(t *testing.T) {
@@ -134,6 +135,60 @@ func TestAnalyzeSnapshotArray(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "50.0") {
 		t.Errorf("expected 50%% elision interval:\n%s", out.String())
+	}
+}
+
+// TestAnalyzeFlightDump: an ale-flight/v1 dump renders the black-box
+// report — header, anomaly log, per-tick timeline, window abort
+// breakdown, blamed-granule table, and the cumulative timing tables.
+func TestAnalyzeFlightDump(t *testing.T) {
+	c := obs.New()
+	sh := c.NewShard()
+	lat := c.NewLatShard()
+	clock := time.Unix(1700000000, 0)
+	fr := obs.NewFlight(c, obs.FlightConfig{
+		Window:         10 * time.Second,
+		Tick:           time.Second,
+		AbortStormRate: 1,
+		Clock:          func() time.Time { return clock },
+	})
+	sh.Add(obs.CtrSuccessHTM)
+	sh.Add(obs.CtrAbort(tm.AbortConflict))
+	lat.Record(obs.HistExecHTM, 9000)
+	c.Exemplars().SetMinLatency(1)
+	c.Exemplars().Observe(obs.HistExecHTM, obs.Exemplar{
+		LatNS: 9000, Lock: "kv", Granule: "bucket-9", Mode: 1, Attempts: 2,
+		AbortMask: 1 << uint(tm.AbortConflict), RequestID: 77,
+	})
+	fr.Tick()
+	var sb strings.Builder
+	if err := fr.Dump(&sb, "test-dump"); err != nil {
+		t.Fatal(err)
+	}
+	path := writeTemp(t, "flight.json", sb.String())
+	var out strings.Builder
+	if err := analyzeFile(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"flight recorder dump", `"test-dump"`, "1 frames",
+		"anomaly triggers", "abort-storm",
+		"window timeline", "#1",
+		"window aborts by reason", "conflict",
+		"top blamed granules", "kv", "bucket-9", "77",
+		"latency", "exec_htm",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("flight report missing %q:\n%s", want, got)
+		}
+	}
+
+	// A flight-schema document with a broken body is a located error, not
+	// a fall-through to the snapshot parser.
+	bad := writeTemp(t, "bad-flight.json", `{"schema":"ale-flight/v1","frames":"bogus"}`)
+	if err := analyzeFile(bad, &out); err == nil {
+		t.Error("malformed flight dump accepted")
 	}
 }
 

@@ -1,8 +1,8 @@
 // Command aleserve runs the network-facing ALE-backed KV server: the
 // kyoto/hashmap stores behind the alekv/1 text protocol (docs/ALESERVE.md),
 // served by a fixed pool of worker goroutines registered as ALE threads,
-// with the obs endpoints (/metrics, /snapshot, /events) on a side HTTP
-// listener.
+// with the obs endpoints (/metrics, /snapshot, /events, /stream) on a
+// side HTTP listener.
 //
 // Usage:
 //
@@ -11,6 +11,11 @@
 // SIGTERM/SIGINT drains gracefully: the listener closes, in-flight
 // requests finish and flush, every acknowledged operation is applied
 // exactly once, and the final obs snapshot goes to -snapshot (or stderr).
+//
+// -flight arms the flight recorder (docs/OBSERVABILITY.md): a bounded
+// black box of recent telemetry dumped as ale-flight/v1 JSON on SIGQUIT,
+// on drain, and on anomaly triggers (-flight-tail, -flight-abort-rate);
+// render dumps with `alereport -in`, watch live with `aletop`.
 package main
 
 import (
@@ -26,7 +31,7 @@ import (
 var (
 	addr        = flag.String("addr", "127.0.0.1:7700", "KV listen address")
 	metricsAddr = flag.String("metrics-addr", "127.0.0.1:7701",
-		"obs HTTP listen address (/metrics /snapshot /events); empty disables")
+		"obs HTTP listen address (/metrics /snapshot /events /stream); empty disables")
 	workers = flag.Int("workers", 8,
 		"worker pool size = ALE thread count = concurrent-connection limit")
 	storeKind = flag.String("store", "kyoto", "backing store: kyoto or hashmap")
@@ -44,6 +49,18 @@ var (
 		"profile the run: write the drained run's Chrome trace (Perfetto-loadable) to this path and log the contention profile; implies -timing and enables the event rings")
 	snapshotPath = flag.String("snapshot", "",
 		"write the final drained obs snapshot (JSON) to this path (default stderr)")
+	flightPath = flag.String("flight", "",
+		"arm the flight recorder: dump the black-box window (ale-flight/v1) to this path on SIGQUIT, drain, or anomaly; implies -timing")
+	flightWindow = flag.Duration("flight-window", 0,
+		"flight recorder history window (0 = default 30s)")
+	flightTick = flag.Duration("flight-tick", 0,
+		"flight recorder sampling period (0 = default 1s)")
+	flightTail = flag.Duration("flight-tail", 0,
+		"anomaly trigger: dump when a per-tick exec p99 reaches this latency (0 = off)")
+	flightAbortRate = flag.Float64("flight-abort-rate", 0,
+		"anomaly trigger: dump when the per-tick HTM abort rate reaches this many aborts/sec (0 = off)")
+	exemplarMin = flag.Duration("exemplar-min", 0,
+		"tail-exemplar capture floor: executions at least this slow attach a witness (0 = default 16µs)")
 )
 
 func main() {
@@ -75,20 +92,26 @@ func run() error {
 	}
 
 	cfg := server.Config{
-		Addr:          *addr,
-		MetricsAddr:   *metricsAddr,
-		Workers:       *workers,
-		Store:         st,
-		Slots:         *slots,
-		Buckets:       *buckets,
-		Capacity:      *capacity,
-		MarkerStripes: *stripes,
-		Policy:        pol,
-		Platform:      platform.Haswell(),
-		Timing:        *timing,
-		Shards:        *shards,
-		ProfilePath:   *profilePath,
-		SnapshotW:     snapW,
+		Addr:                *addr,
+		MetricsAddr:         *metricsAddr,
+		Workers:             *workers,
+		Store:               st,
+		Slots:               *slots,
+		Buckets:             *buckets,
+		Capacity:            *capacity,
+		MarkerStripes:       *stripes,
+		Policy:              pol,
+		Platform:            platform.Haswell(),
+		Timing:              *timing,
+		Shards:              *shards,
+		ProfilePath:         *profilePath,
+		SnapshotW:           snapW,
+		FlightPath:          *flightPath,
+		FlightWindow:        *flightWindow,
+		FlightTick:          *flightTick,
+		FlightTailThreshold: *flightTail,
+		FlightAbortRate:     *flightAbortRate,
+		ExemplarMin:         *exemplarMin,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -96,6 +119,12 @@ func run() error {
 	s, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *flightPath != "" {
+		// SIGQUIT dumps the black box without draining — the operator's
+		// "what just happened" probe on a live server (replaces Go's
+		// default stack-dump-and-exit for this process).
+		s.DumpFlightOnSignal(syscall.SIGQUIT)
 	}
 	<-s.DrainOnSignal(syscall.SIGTERM, syscall.SIGINT)
 	s.Close()

@@ -1,0 +1,120 @@
+// Command aletop is a live terminal dashboard over an ALE process's
+// /stream telemetry endpoint (aleserve -metrics-addr, or alebench
+// -metrics): per-mode execution mix, elision rate, abort reasons,
+// latency percentiles, per-shard commit clocks, the contention profile,
+// and the tail-latency exemplars — refreshed in place like top(1).
+//
+// Usage:
+//
+//	aletop -addr 127.0.0.1:7701 -interval 1s
+//	aletop -addr 127.0.0.1:7701 -n 3 -plain   # three frames, no ANSI
+//
+// Plain stdlib ANSI: each frame home-and-clears the screen; -plain (or a
+// non-zero -n piped to a file) prints frames sequentially instead.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	addr     = flag.String("addr", "127.0.0.1:7701", "obs HTTP address (aleserve -metrics-addr)")
+	interval = flag.Duration("interval", time.Second, "refresh interval")
+	frames   = flag.Int("n", 0, "stop after this many frames (0 = until interrupted)")
+	plain    = flag.Bool("plain", false, "no ANSI clear: print frames sequentially")
+	width    = flag.Int("width", 100, "render width in columns")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aletop:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	u := fmt.Sprintf("http://%s/stream?interval=%s&n=%d",
+		*addr, url.QueryEscape(interval.String()), *frames)
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %s", u, resp.Status)
+	}
+
+	// The stream's first line is the cumulative snapshot at connect time;
+	// every further line is one interval delta. Fold the deltas back into
+	// the running cumulative so both views stay live without re-polling.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("stream closed before the baseline snapshot")
+	}
+	var cum obs.Snapshot
+	if err := json.Unmarshal(sc.Bytes(), &cum); err != nil {
+		return fmt.Errorf("baseline snapshot: %w", err)
+	}
+	show(cum, obs.Snapshot{})
+	for sc.Scan() {
+		var delta obs.Snapshot
+		if err := json.Unmarshal(sc.Bytes(), &delta); err != nil {
+			return fmt.Errorf("delta snapshot: %w", err)
+		}
+		cum = accumulate(cum, delta)
+		show(cum, delta)
+	}
+	return sc.Err()
+}
+
+// accumulate folds one interval delta into the running cumulative: the
+// inverse of Snapshot.Sub for the counter and histogram planes. The
+// point-in-time planes (contention, shards, exemplars) are not interval
+// counts — the delta already carries the newest profile, which replaces
+// the old (mirroring Sub, which keeps the newer value for the same
+// reason).
+func accumulate(cum, delta obs.Snapshot) obs.Snapshot {
+	out := cum
+	out.At = delta.At
+	out.Interval = cum.Interval + delta.Interval
+	for i := range out.Counts {
+		out.Counts[i] += delta.Counts[i]
+	}
+	for h := range out.Lat {
+		for i := range out.Lat[h].Buckets {
+			out.Lat[h].Buckets[i] += delta.Lat[h].Buckets[i]
+		}
+		out.Lat[h].SumNS += delta.Lat[h].SumNS
+	}
+	if delta.Contention != nil {
+		out.Contention = delta.Contention
+	}
+	if delta.Shards != nil {
+		out.Shards = delta.Shards
+	}
+	if delta.Exemplars != nil {
+		out.Exemplars = delta.Exemplars
+	}
+	return out
+}
+
+func show(cum, delta obs.Snapshot) {
+	if !*plain {
+		fmt.Print("\x1b[H\x1b[2J")
+	}
+	fmt.Print(RenderFrame(cum, delta, *width))
+}

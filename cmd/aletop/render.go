@@ -1,0 +1,222 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tm"
+)
+
+// RenderFrame renders one aletop screen from the cumulative snapshot and
+// the latest interval delta. It is a pure function of its inputs (no
+// clock reads, no terminal queries) so the golden test can pin the layout
+// byte-for-byte; main adds the ANSI clear around it.
+func RenderFrame(cum, delta obs.Snapshot, width int) string {
+	if width < 40 {
+		width = 40
+	}
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "aletop — up %s  execs %s (%s/s)  elision %.1f%%  aborts %s\n",
+		fmtDur(cum.Interval), fmtCount(cum.Execs()), fmtRate(delta),
+		100*cum.ElisionRate(), fmtCount(cum.AbortsTotal()))
+	b.WriteString(rule(width))
+
+	renderModes(&b, cum, delta, width)
+	renderAborts(&b, delta)
+	renderLatency(&b, cum)
+	renderShards(&b, cum, width)
+	renderGranules(&b, cum)
+	renderExemplars(&b, cum)
+	return b.String()
+}
+
+// renderModes draws the interval's mode mix as labelled bars: where the
+// last tick's executions actually finalized, the number aletop exists to
+// make visible at a glance.
+func renderModes(b *strings.Builder, cum, delta obs.Snapshot, width int) {
+	fmt.Fprintf(b, "mode mix (last %s)\n", fmtDur(delta.Interval))
+	total := delta.Execs()
+	barW := width - 30
+	if barW > 40 {
+		barW = 40
+	}
+	for m := uint8(0); m < obs.NumModes; m++ {
+		n := delta.Successes(m)
+		share := 0.0
+		if total > 0 {
+			share = float64(n) / float64(total)
+		}
+		fill := int(share * float64(barW))
+		fmt.Fprintf(b, "  %-6s %7s %5.1f%% |%-*s|\n",
+			obs.ModeNames[m], fmtCount(n), 100*share, barW,
+			strings.Repeat("#", fill))
+	}
+}
+
+// renderAborts lists the interval's nonzero HTM abort reasons plus the
+// SWOpt validation failures and lock fallbacks — the "why not elided"
+// row. Silent when the interval was clean.
+func renderAborts(b *strings.Builder, delta obs.Snapshot) {
+	var parts []string
+	for r := 1; r < tm.NumAbortReasons; r++ {
+		if n := delta.Aborts(tm.AbortReason(r)); n > 0 {
+			parts = append(parts, fmt.Sprintf("%s %s", tm.AbortReason(r), fmtCount(n)))
+		}
+	}
+	if n := delta.Get(obs.CtrSWOptFail); n > 0 {
+		parts = append(parts, fmt.Sprintf("swopt-fail %s", fmtCount(n)))
+	}
+	if n := delta.Get(obs.CtrFallback); n > 0 {
+		parts = append(parts, fmt.Sprintf("fallback %s", fmtCount(n)))
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(b, "aborts: %s\n", strings.Join(parts, "  "))
+	}
+}
+
+// renderLatency shows per-mode execution percentiles from the cumulative
+// histograms (interval histograms are too sparse at short ticks to give
+// stable tails). Absent entirely on runs without Options.Timing.
+func renderLatency(b *strings.Builder, cum obs.Snapshot) {
+	if !cum.HasTiming() {
+		return
+	}
+	b.WriteString("exec latency (cumulative)\n")
+	for m := uint8(0); m < obs.NumModes; m++ {
+		d := cum.Latency(obs.HistExec(m))
+		if d.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "  %-6s p50 %-8s p90 %-8s p99 %-8s max %s\n",
+			obs.ModeNames[m], fmtNS(d.Quantile(0.50)), fmtNS(d.Quantile(0.90)),
+			fmtNS(d.Quantile(0.99)), fmtNS(d.MaxNS()))
+	}
+}
+
+// renderShards draws the per-shard commit clocks as one compact row —
+// skew between clocks is the sharding layer's load-balance signal.
+// Single-shard domains carry no rows and print nothing.
+func renderShards(b *strings.Builder, cum obs.Snapshot, width int) {
+	if len(cum.Shards) == 0 {
+		return
+	}
+	b.WriteString("shard clocks:")
+	col := 0
+	for _, sh := range cum.Shards {
+		cell := fmt.Sprintf(" %d:%s", sh.Shard, fmtCount(sh.Clock))
+		if 13+col+len(cell) > width {
+			b.WriteString(" …")
+			break
+		}
+		b.WriteString(cell)
+		col += len(cell)
+	}
+	b.WriteByte('\n')
+}
+
+// renderGranules lists the most contended granules by attributed wasted
+// time (the PR 5 contention profile), worst first.
+func renderGranules(b *strings.Builder, cum obs.Snapshot) {
+	rows := append([]obs.ContentionEntry(nil), cum.Contention...)
+	if len(rows) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].WastedNS > rows[j].WastedNS })
+	if len(rows) > 5 {
+		rows = rows[:5]
+	}
+	b.WriteString("top granules by wasted time\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "  %-20s execs %-8s elision %5.1f%%  wasted %-8s payoff %s\n",
+			r.Lock+"/"+r.Context, fmtCount(r.Execs), r.ElisionPct,
+			fmtNS(r.WastedNS), fmtNS(r.PayoffNS))
+	}
+}
+
+// renderExemplars lists the worst witnessed executions: the tail-latency
+// exemplars that name the granule, mode, abort path, and (when the
+// server threaded one) the client request that suffered each band.
+func renderExemplars(b *strings.Builder, cum obs.Snapshot) {
+	rows := append([]obs.ExemplarRow(nil), cum.Exemplars...)
+	if len(rows) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].LatNS > rows[j].LatNS })
+	if len(rows) > 5 {
+		rows = rows[:5]
+	}
+	b.WriteString("tail exemplars\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "  %-8s %-10s %-6s %s", fmtNS(r.LatNS), r.Hist, r.Mode, r.Granule)
+		if r.Attempts > 1 {
+			fmt.Fprintf(b, " attempts=%d", r.Attempts)
+		}
+		if len(r.Aborts) > 0 {
+			fmt.Fprintf(b, " aborts=%s", strings.Join(r.Aborts, ","))
+		}
+		if r.WastedNS > 0 {
+			fmt.Fprintf(b, " wasted=%s", fmtNS(r.WastedNS))
+		}
+		if r.RequestID != 0 {
+			fmt.Fprintf(b, " req=%d", r.RequestID)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+func rule(width int) string { return strings.Repeat("—", width/2) + "\n" }
+
+// fmtRate renders the interval's execution rate; "-" before the first
+// delta arrives (a zero interval has no rate).
+func fmtRate(delta obs.Snapshot) string {
+	if delta.Interval <= 0 {
+		return "-"
+	}
+	return fmtCount(uint64(float64(delta.Execs()) / delta.Interval.Seconds()))
+}
+
+// fmtCount renders a counter with k/M suffixes past 4 digits.
+func fmtCount(n uint64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// fmtNS renders a nanosecond duration at the natural unit.
+func fmtNS(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%s%.2fs", neg, float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%s%.2fms", neg, float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%s%.1fµs", neg, float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%s%dns", neg, ns)
+	}
+}
+
+// fmtDur rounds a wall interval for the header.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(100 * time.Millisecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

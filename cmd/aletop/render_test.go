@@ -1,0 +1,135 @@
+package main
+
+// The render golden test pins the aletop frame layout byte-for-byte on a
+// hand-built snapshot pair exercising every section: header, mode bars,
+// abort row, latency table, shard clocks, contention profile, and tail
+// exemplars. RenderFrame is pure, so the frame is exactly reproducible.
+// Regenerate with:
+//
+//	go test ./cmd/aletop -run TestRenderFrameGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/tm"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/*.golden files")
+
+// fixtureSnapshots builds a deterministic (cumulative, delta) pair with
+// every section populated.
+func fixtureSnapshots() (cum, delta obs.Snapshot) {
+	cum.At = time.Unix(1000, 0)
+	cum.Interval = 90 * time.Second
+	cum.Counts[obs.CtrSuccessLock] = 1200
+	cum.Counts[obs.CtrSuccessHTM] = 48_000
+	cum.Counts[obs.CtrSuccessSWOpt] = 6_500
+	cum.Counts[obs.CtrAbort(tm.AbortConflict)] = 900
+	cum.Counts[obs.CtrAbort(tm.AbortCapacity)] = 40
+	cum.Counts[obs.CtrSWOptFail] = 120
+	cum.Counts[obs.CtrFallback] = 31
+	// One histogram observation per decade bucket gives stable quantiles.
+	for _, ns := range []int64{800, 9_000, 70_000, 1_100_000} {
+		cum.Lat[obs.HistExecHTM].Buckets[stats.LogBucketOf(ns)]++
+		cum.Lat[obs.HistExecHTM].SumNS += uint64(ns)
+	}
+	cum.Lat[obs.HistExecLock].Buckets[stats.LogBucketOf(50_000)] = 2
+	cum.Lat[obs.HistExecLock].SumNS = 100_000
+	cum.Shards = []obs.ShardEntry{{Shard: 0, Clock: 41_000}, {Shard: 1, Clock: 39_500}, {Shard: 2, Clock: 44_210}, {Shard: 3, Clock: 8}}
+	cum.Contention = []obs.ContentionEntry{
+		{Lock: "kv", Context: "bucket-17", Execs: 9000, ElisionPct: 88.5, WastedNS: 410_000_000, PayoffNS: 1_200_000_000},
+		{Lock: "kv", Context: "bucket-3", Execs: 400, ElisionPct: 99.0, WastedNS: 2_000_000, PayoffNS: 90_000_000},
+	}
+	cum.Exemplars = []obs.ExemplarRow{
+		{Hist: "exec_htm", Bucket: 20, UpperNS: 1 << 26, Count: 3, LatNS: 1_100_000,
+			Lock: "kv", Granule: "bucket-17", Mode: "htm", Attempts: 4,
+			Aborts: []string{"conflict", "capacity"}, WastedNS: 600_000, RequestID: (7 << 20) | 42},
+		{Hist: "exec_lock", Bucket: 16, UpperNS: 1 << 22, Count: 9, LatNS: 52_000,
+			Lock: "kv", Granule: "bucket-3", Mode: "lock"},
+	}
+
+	delta.At = cum.At.Add(time.Second)
+	delta.Interval = time.Second
+	delta.Counts[obs.CtrSuccessLock] = 20
+	delta.Counts[obs.CtrSuccessHTM] = 610
+	delta.Counts[obs.CtrSuccessSWOpt] = 95
+	delta.Counts[obs.CtrAbort(tm.AbortConflict)] = 12
+	delta.Counts[obs.CtrSWOptFail] = 3
+	return cum, delta
+}
+
+func TestRenderFrameGolden(t *testing.T) {
+	cum, delta := fixtureSnapshots()
+	got := RenderFrame(cum, delta, 100)
+	path := filepath.Join("testdata", "frame.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("frame drifted from %s:\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestRenderFrameSparse checks the degenerate screens: a zero-value pair
+// (top of a fresh process) renders without panicking and omits every
+// optional section, and narrow widths clamp instead of underflowing the
+// bar math.
+func TestRenderFrameSparse(t *testing.T) {
+	got := RenderFrame(obs.Snapshot{}, obs.Snapshot{}, 0)
+	for _, banned := range []string{"aborts:", "latency", "shard", "granules", "exemplars"} {
+		if strings.Contains(got, banned) {
+			t.Errorf("empty frame renders %q section:\n%s", banned, got)
+		}
+	}
+	if !strings.Contains(got, "execs 0") || !strings.Contains(got, "(-/s)") {
+		t.Errorf("empty frame header wrong:\n%s", got)
+	}
+}
+
+// TestAccumulateInvertsSub pins the client-side folding: for cumulative
+// snapshots s1 ⊆ s2, accumulate(s1, s2.Sub(s1)) restores s2's counters,
+// histograms, and point-in-time planes — the invariant that keeps the
+// dashboard's cumulative view equal to a fresh /snapshot scrape.
+func TestAccumulateInvertsSub(t *testing.T) {
+	s1, _ := fixtureSnapshots()
+	s2 := s1
+	s2.At = s1.At.Add(5 * time.Second)
+	s2.Interval = s1.Interval + 5*time.Second
+	s2.Counts[obs.CtrSuccessHTM] += 777
+	s2.Counts[obs.CtrAbort(tm.AbortExplicit)] = 5
+	s2.Lat[obs.HistExecHTM].Buckets[3] += 9
+	s2.Lat[obs.HistExecHTM].SumNS += 4096
+	s2.Shards = []obs.ShardEntry{{Shard: 0, Clock: 99_000}}
+	s2.Exemplars = append([]obs.ExemplarRow(nil), s2.Exemplars...)
+	s2.Exemplars[0].LatNS = 2_000_000
+
+	got := accumulate(s1, s2.Sub(s1))
+	if got.Counts != s2.Counts {
+		t.Errorf("counts diverged:\n got %v\nwant %v", got.Counts, s2.Counts)
+	}
+	if got.Lat != s2.Lat {
+		t.Error("latency histograms diverged")
+	}
+	if got.At != s2.At || got.Interval != s2.Interval {
+		t.Errorf("time plane diverged: %v/%v vs %v/%v", got.At, got.Interval, s2.At, s2.Interval)
+	}
+	if len(got.Shards) != 1 || got.Shards[0].Clock != 99_000 {
+		t.Errorf("shards not replaced by the delta's: %+v", got.Shards)
+	}
+	if got.Exemplars[0].LatNS != 2_000_000 {
+		t.Errorf("exemplars not replaced by the delta's: %+v", got.Exemplars[0])
+	}
+}

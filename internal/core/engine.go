@@ -166,6 +166,27 @@ func (l *Lock) Execute(thr *Thread, cs *CS) error {
 			thr.latRecord(obs.HistLockHold, hold)
 			g.holdTime.Add(time.Duration(hold))
 		}
+		if thr.ex != nil {
+			// Tail-latency exemplar: reuses the two clock reads above (no
+			// extra reads, no allocation — l.name/g.label are interned
+			// strings, so the Exemplar copies pointers). Below the table's
+			// latency floor this is one atomic load and a branch.
+			attempts := rec.HTMAttempts + rec.SWOptAttempts
+			if rec.FinalMode == ModeLock {
+				attempts++ // the winning Lock acquisition is an attempt too
+			}
+			thr.ex.Observe(obs.HistExec(uint8(rec.FinalMode)), obs.Exemplar{
+				LatNS:     d,
+				MonoNS:    tEnd,
+				Lock:      l.name,
+				Granule:   g.label,
+				Mode:      uint8(rec.FinalMode),
+				Attempts:  attempts,
+				AbortMask: rec.AbortMask,
+				WastedNS:  fr.tWin - t0,
+				RequestID: thr.reqID,
+			})
+		}
 		if timed {
 			rec.Duration = time.Duration(d)
 			g.timeBy[rec.FinalMode].Add(rec.Duration)
@@ -228,6 +249,7 @@ func (l *Lock) runAttempts(thr *Thread, cs *CS, g *Granule, plan Plan, rec *Exec
 			if reason == tm.AbortConflict && l.ops.IsLocked() {
 				reason = tm.AbortLockHeld
 			}
+			rec.AbortMask |= 1 << uint(reason)
 			g.aborts[reason].Inc(thr.rng)
 			var now int64
 			if timing {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
@@ -114,6 +115,59 @@ func TestExecuteZeroAllocsTimingLock(t *testing.T) {
 	rt, f, c := timingZeroAllocRuntime(t, NewLockOnly())
 	testAllocsPerExecute(t, rt, f, f.writeCS, ModeLock)
 	checkTimingRecorded(t, c, ModeLock)
+}
+
+// Flight variants: the contract must hold with the full black-box stack
+// armed — timing layer on, exemplar floor at zero so *every* execution
+// attaches a tail-latency exemplar (the worst case; production floors
+// skip the table entirely for fast executions), and a flight recorder
+// retaining the window. The recorder is driven by explicit Tick calls
+// around the measured region, not a ticker goroutine: AllocsPerRun counts
+// process-wide mallocs, and the recorder's per-tick Snapshot allocates by
+// design off the hot path — what these pins protect is Execute itself.
+// Each test also proves an exemplar and a flight frame actually captured
+// the measured executions, so the pin cannot pass vacuously.
+func flightZeroAllocCheck(t *testing.T, rt *Runtime, f *pairFixture, c *obs.Collector, cs *CS, wantMode Mode) {
+	t.Helper()
+	c.Exemplars().SetMinLatency(0)
+	fr := obs.NewFlight(c, obs.FlightConfig{})
+	testAllocsPerExecute(t, rt, f, cs, wantMode)
+	fr.Tick()
+	var sb strings.Builder
+	if err := fr.Dump(&sb, "test"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := obs.ParseFlight([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Frames) != 1 || d.Frames[0].Successes(uint8(wantMode)) == 0 {
+		t.Errorf("flight frame did not capture the %v executions: %d frames", wantMode, len(d.Frames))
+	}
+	var hit bool
+	for _, r := range d.Cumulative.Exemplars {
+		if r.Hist == obs.HistNames[obs.HistExec(uint8(wantMode))] && r.Mode == obs.ModeNames[wantMode] {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("no %v exec exemplar attached; exemplars = %+v", wantMode, d.Cumulative.Exemplars)
+	}
+}
+
+func TestExecuteZeroAllocsFlightHTM(t *testing.T) {
+	rt, f, c := timingZeroAllocRuntime(t, NewStatic(10, 0))
+	flightZeroAllocCheck(t, rt, f, c, f.writeCS, ModeHTM)
+}
+
+func TestExecuteZeroAllocsFlightSWOpt(t *testing.T) {
+	rt, f, c := timingZeroAllocRuntime(t, NewStatic(0, 10))
+	flightZeroAllocCheck(t, rt, f, c, f.readCS, ModeSWOpt)
+}
+
+func TestExecuteZeroAllocsFlightLock(t *testing.T) {
+	rt, f, c := timingZeroAllocRuntime(t, NewLockOnly())
+	flightZeroAllocCheck(t, rt, f, c, f.writeCS, ModeLock)
 }
 
 // TestGranuleCacheAgreement: the thread cache must resolve to exactly the

@@ -234,6 +234,10 @@ type ExecRecord struct {
 	SWOptAttempts int
 	// LockHeldAborts counts HTM aborts attributed to lock acquisitions.
 	LockHeldAborts int
+	// AbortMask has bit r set if the execution suffered at least one HTM
+	// abort with tm.AbortReason r (exemplar attribution; reasons are
+	// small, so a uint16 covers them all).
+	AbortMask uint16
 	// Duration is the measured wall time of the whole execution, or 0 if
 	// this execution was not sampled for timing.
 	Duration time.Duration

@@ -37,3 +37,48 @@ func BenchmarkExecuteObsOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkExecuteFlightOverhead is the black-box ablation: the same
+// timing-on HTM read path with (a) no recorder, (b) the flight recorder
+// armed at production geometry (ticker goroutine sampling the window off
+// the hot path; exemplar floor at the 16µs default, so a ~200ns
+// execution never touches the table), and (c) the pathological floor-0
+// setting where *every* execution races a CAS-published exemplar slot —
+// the worst case the zero-alloc Flight pins also cover. EXPERIMENTS.md
+// "Flight recorder overhead" records the deltas.
+func BenchmarkExecuteFlightOverhead(b *testing.B) {
+	for _, tc := range []struct {
+		name       string
+		armed      bool
+		exemplarNS int64 // -1 keeps the default floor
+	}{
+		{"flight-off", false, -1},
+		{"flight-armed", true, -1},
+		{"flight-armed-floor0", true, 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := DefaultOptions()
+			c := obs.New()
+			opts.Obs = c
+			opts.Timing = true
+			rt := NewRuntimeOpts(tm.NewDomain(htmProfile()), opts)
+			f := newPairFixture(rt, NewStatic(5, 5))
+			thr := rt.NewThread()
+			if tc.armed {
+				if tc.exemplarNS >= 0 {
+					c.Exemplars().SetMinLatency(tc.exemplarNS)
+				}
+				fr := obs.NewFlight(c, obs.FlightConfig{})
+				fr.Start()
+				defer fr.Stop()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.lock.Execute(thr, f.readCS); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

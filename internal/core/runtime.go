@@ -209,7 +209,23 @@ func NewRuntimeOpts(dom *tm.Domain, opts Options) *Runtime {
 		// also keeps pre-sharding snapshot files re-encoding unchanged.
 		opts.Obs.SetShardSource(rt.shardEntries)
 	}
+	if opts.Obs != nil && opts.TraceCapacity > 0 {
+		// Publish trace-ring wrap losses so flight dumps can say "the
+		// timeline has a hole" instead of silently presenting a truncated
+		// window as complete.
+		opts.Obs.SetTraceDroppedSource(rt.traceDropped)
+	}
 	return rt
+}
+
+// traceDropped is the obs.SetTraceDroppedSource callback: total engine
+// trace events lost to ring wrap-around across the runtime's threads.
+func (rt *Runtime) traceDropped() uint64 {
+	var total uint64
+	for _, t := range rt.Threads() {
+		total += t.ring.Dropped()
+	}
+	return total
 }
 
 // shardEntries is the obs.SetShardSource callback: one row per domain

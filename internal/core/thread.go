@@ -82,6 +82,16 @@ type Thread struct {
 	// single-writer discipline as shard.
 	lat *obs.LatShard
 
+	// ex is the collector's shared tail-latency exemplar table when both
+	// Options.Obs and Options.Timing are set, nil otherwise. Unlike shard
+	// and lat it is shared across threads — attachment is lock-free
+	// (atomic count + TryLock witness slot, see obs.ExemplarTable).
+	ex *obs.ExemplarTable
+
+	// reqID tags exemplars captured while this thread serves a request
+	// (SetRequestID); zero means "no request context".
+	reqID uint64
+
 	// extSeen is the last value of txn.Extensions() mirrored into obs; the
 	// engine publishes the delta after every HTM attempt.
 	extSeen uint64
@@ -181,6 +191,7 @@ func (rt *Runtime) NewThread() *Thread {
 		t.shard = rt.opts.Obs.NewShard()
 		if rt.opts.Timing {
 			t.lat = rt.opts.Obs.NewLatShard()
+			t.ex = rt.opts.Obs.Exemplars()
 		}
 	}
 	rt.registerThread(t)
@@ -275,6 +286,15 @@ func (t *Thread) runHTMBody(tx *tm.Txn) {
 	// balance invariant.
 	fr.ec.invDone(t.htmErr)
 }
+
+// SetRequestID tags subsequent executions with a request identifier:
+// tail-latency exemplars they produce carry it, so a server can answer
+// "which request hit this P99.9 bucket". Zero clears the tag. Only the
+// owning goroutine may call it (same discipline as every Thread method).
+func (t *Thread) SetRequestID(id uint64) { t.reqID = id }
+
+// RequestID returns the current request tag.
+func (t *Thread) RequestID() uint64 { return t.reqID }
 
 // ID returns the thread's small dense id (used as its SNZI slot).
 func (t *Thread) ID() int { return t.id }

@@ -50,15 +50,19 @@ func (rt *Runtime) WriteTrace(w io.Writer) error {
 // Event Format (loadable in Perfetto / chrome://tracing; alebench's
 // -trace-chrome flag uses it). Attempts that committed or aborted become
 // duration spans when Options.Timing is on (instants otherwise — enable
-// both TraceCapacity and Timing for a useful timeline). Call after the
-// threads quiesce.
+// both TraceCapacity and Timing for a useful timeline). Ring wrap losses
+// are carried in the export's otherData metadata when nonzero, so a
+// truncated timeline declares itself. Call after the threads quiesce.
 func (rt *Runtime) WriteChromeTrace(w io.Writer) error {
 	threads := rt.Threads()
 	snaps := make([][]trace.Event, 0, len(threads))
+	var dropped uint64
 	for _, t := range threads {
 		if t.ring != nil {
 			snaps = append(snaps, t.ring.Snapshot())
+			dropped += t.ring.Dropped()
 		}
 	}
-	return trace.WriteChrome(w, trace.Merge(snaps...), TraceModeName, TraceDetailName)
+	return trace.WriteChromeMeta(w, trace.Merge(snaps...), TraceModeName, TraceDetailName,
+		trace.Meta{DroppedEvents: dropped})
 }

@@ -277,7 +277,7 @@ func runConn(cfg Config, mix Mix, i int, tr Transport, clk Clock, st *connState)
 		}
 		doneNS := clk.Now()
 		st.lastNS = doneNS
-		st.rec.Record(schedNS, doneNS)
+		st.rec.RecordOp(schedNS, doneNS, req.Verb.String(), req.Key, i)
 		if rep.IsErr() {
 			st.errors++
 			continue

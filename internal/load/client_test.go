@@ -191,6 +191,53 @@ func TestWorkloadDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunAttachesExemplars drives a seeded virtual-clock run and checks
+// the result carries bucket witnesses whose identities are plausible ops
+// from that run — the wiring from runConn through the per-connection
+// recorders and the merge.
+func TestRunAttachesExemplars(t *testing.T) {
+	cfg := Config{
+		RatePerSec: 2000,
+		Duration:   500 * time.Millisecond,
+		Seed:       21,
+		Keys:       64,
+		Mix:        Mix{Get: 50, Set: 30, Del: 10, Incr: 10},
+	}
+	out, _ := fastRun(t, cfg, 1e5, 0)
+	r := out.Result
+	if len(r.Exemplars) == 0 {
+		t.Fatal("run recorded ops but attached no exemplars")
+	}
+	if r.Exemplars[0].LatNS != r.MaxNS {
+		t.Errorf("worst witness %d ≠ max latency %d — the max op escaped witnessing",
+			r.Exemplars[0].LatNS, r.MaxNS)
+	}
+	for _, e := range r.Exemplars {
+		switch e.Verb {
+		case "GET", "SET", "DEL", "INCR":
+		default:
+			t.Errorf("witness names verb %q, not in the run's mix", e.Verb)
+		}
+		if e.Key == 0 || e.Key > cfg.Keys {
+			t.Errorf("witness key %d outside keyspace 1..%d", e.Key, cfg.Keys)
+		}
+		if e.Conn != 0 {
+			t.Errorf("witness conn %d in a 1-conn run", e.Conn)
+		}
+	}
+	// Determinism: the same seed reproduces the same witnesses.
+	out2, _ := fastRun(t, cfg, 1e5, 0)
+	if len(out2.Result.Exemplars) != len(r.Exemplars) {
+		t.Fatalf("witness count diverged across identical runs: %d vs %d",
+			len(out2.Result.Exemplars), len(r.Exemplars))
+	}
+	for i, e := range r.Exemplars {
+		if out2.Result.Exemplars[i] != e {
+			t.Errorf("witness %d diverged: %+v vs %+v", i, e, out2.Result.Exemplars[i])
+		}
+	}
+}
+
 // TestTapeRecordsRepliesAndUnacked checks the tape layer end to end on
 // fakes: taped replies match a sequential replay, and a transport cut off
 // mid-run leaves exactly one trailing unacked op.

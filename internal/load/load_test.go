@@ -2,6 +2,7 @@ package load
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/stats"
@@ -116,6 +117,63 @@ func TestRecorderWarmupAndMerge(t *testing.T) {
 	}
 }
 
+// TestRecorderOpExemplars pins the client-side witness contract: each
+// populated latency bucket holds the worst op seen there (ties keep the
+// earlier witness), warmup-trimmed ops leave no witness, Merge keeps the
+// worse of two buckets' witnesses, and Exemplars() sorts worst-first.
+func TestRecorderOpExemplars(t *testing.T) {
+	a := NewRecorder(1000)
+	a.RecordOp(500, 600, "GET", 1, 0) // pre-warmup → trimmed, no witness
+	if got := a.Exemplars(); len(got) != 0 {
+		t.Fatalf("trimmed op left a witness: %+v", got)
+	}
+	a.RecordOp(1000, 1100, "GET", 7, 0)  // 100ns → bucket [64,128)
+	a.RecordOp(2000, 2120, "SET", 8, 0)  // 120ns, same bucket, worse → replaces
+	a.RecordOp(3000, 3120, "DEL", 9, 0)  // 120ns tie → earlier witness kept
+	a.RecordOp(4000, 4900, "INCR", 2, 0) // 900ns → bucket [512,1024)
+	if stats.LogBucketOf(100) != stats.LogBucketOf(120) ||
+		stats.LogBucketOf(120) == stats.LogBucketOf(900) {
+		t.Fatal("test latencies no longer straddle buckets as intended")
+	}
+
+	got := a.Exemplars()
+	if len(got) != 2 {
+		t.Fatalf("exemplars = %+v, want 2 buckets witnessed", got)
+	}
+	// Worst first: the 900ns INCR, then the 120ns SET (not the tying DEL).
+	if got[0].Verb != "INCR" || got[0].LatNS != 900 || got[0].Key != 2 {
+		t.Errorf("worst witness = %+v, want the 900ns INCR on key 2", got[0])
+	}
+	if got[1].Verb != "SET" || got[1].LatNS != 120 || got[1].SchedNS != 2000 {
+		t.Errorf("second witness = %+v, want the first 120ns SET (tie keeps earlier)", got[1])
+	}
+	for _, e := range got {
+		if e.UpperNS != stats.LogBucketUpper(e.Bucket) || stats.LogBucketOf(e.LatNS) != e.Bucket {
+			t.Errorf("witness bucket geometry inconsistent: %+v", e)
+		}
+	}
+	if top := a.TopExemplars(1); len(top) != 1 || top[0].Verb != "INCR" {
+		t.Errorf("TopExemplars(1) = %+v, want just the INCR", top)
+	}
+
+	// Merge keeps the worse witness per bucket, fills empty buckets from
+	// the other side, and never resurrects an empty slot.
+	b := NewRecorder(1000)
+	b.RecordOp(5000, 5110, "SCAN", 0, 1) // 110ns — loses to a's 120ns SET
+	b.RecordOp(6000, 8000, "PUT", 3, 1)  // 2000ns → a new bucket
+	a.Merge(b)
+	got = a.Exemplars()
+	if len(got) != 3 {
+		t.Fatalf("post-merge exemplars = %+v, want 3 buckets", got)
+	}
+	if got[0].Verb != "PUT" || got[0].Conn != 1 {
+		t.Errorf("merged-in witness = %+v, want the 2000ns PUT from conn 1", got[0])
+	}
+	if got[2].Verb != "SET" {
+		t.Errorf("losing merge overwrote a worse witness: %+v", got[2])
+	}
+}
+
 func TestMixParseAndPick(t *testing.T) {
 	m, err := ParseMix("get=50,set=30,del=10,incr=5,scan=5")
 	if err != nil {
@@ -155,8 +213,8 @@ func TestMixParseAndPick(t *testing.T) {
 
 func TestResultRoundTrip(t *testing.T) {
 	rec := NewRecorder(0)
-	rec.Record(0, 1500)
-	rec.Record(10, 2500)
+	rec.RecordOp(0, 1500, "GET", 11, 0)
+	rec.RecordOp(10, 2510, "SET", 12, 1)
 	r := buildResult(Config{Conns: 2, RatePerSec: 100, Seed: 9, Keys: 64}, DefaultMix(), rec, 1, 2, 1e9)
 	var buf testBuffer
 	if err := r.WriteJSON(&buf); err != nil {
@@ -171,6 +229,31 @@ func TestResultRoundTrip(t *testing.T) {
 	}
 	if got.P50NS != r.P50NS || len(got.Buckets) != stats.NumLogBuckets {
 		t.Fatalf("round-trip lost histogram: %+v", got)
+	}
+	if len(got.Exemplars) != 2 || got.Exemplars[0].Verb != "SET" || got.Exemplars[0].Key != 12 {
+		t.Fatalf("round-trip lost exemplars: %+v", got.Exemplars)
+	}
+
+	// The table view prints the worst witnesses so an operator sees them
+	// without opening the JSON.
+	var tbl testBuffer
+	if err := got.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if s := string(tbl.b); !strings.Contains(s, "tail exemplar") ||
+		!strings.Contains(s, "SET key 12 conn 1") {
+		t.Errorf("table omits the tail witness:\n%s", s)
+	}
+
+	// Pre-exemplar result files stay byte-compatible: no witnesses → no
+	// "exemplars" key at all.
+	bare := buildResult(Config{Conns: 1, RatePerSec: 1, Keys: 1}, DefaultMix(), NewRecorder(0), 0, 0, 1e9)
+	buf = testBuffer{}
+	if err := bare.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(buf.b), "exemplars") {
+		t.Errorf("empty result serialized an exemplars key:\n%s", buf.b)
 	}
 
 	if _, err := ParseResult([]byte(`{"schema":"ale-snapshot/v1"}`)); err != ErrNotLoadSchema {

@@ -1,6 +1,10 @@
 package load
 
-import "repro/internal/stats"
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
 
 // Recorder accumulates response latencies into the shared log-bucket
 // histogram scheme (internal/stats — the same buckets the PR 5 timing
@@ -26,6 +30,27 @@ type Recorder struct {
 	trimmed  uint64
 	sumNS    int64
 	maxNS    int64
+	// ex holds one witnessed operation per log bucket: the client-side
+	// mirror of the server's tail exemplars (internal/obs.ExemplarTable).
+	// The recorder is single-goroutine, so the slots are plain fields —
+	// worst-latency-wins replacement, no atomics, no witness races. A slot
+	// is empty while its Verb is "" (RecordOp always names a verb).
+	ex [stats.NumLogBuckets]OpExemplar
+}
+
+// OpExemplar is one witnessed client operation in a latency bucket: which
+// verb, on which key, from which connection, scheduled when. Together with
+// the server's request-id exemplars it closes the P99.9-causality loop —
+// the client names the op that suffered the tail, the server names the
+// granule and abort path that caused it.
+type OpExemplar struct {
+	Bucket  int    `json:"bucket"`
+	UpperNS int64  `json:"upper_ns"`
+	LatNS   int64  `json:"lat_ns"`
+	SchedNS int64  `json:"sched_ns"`
+	Verb    string `json:"verb"`
+	Key     uint64 `json:"key,omitempty"`
+	Conn    int    `json:"conn"`
 }
 
 // NewRecorder builds a recorder trimming operations scheduled before
@@ -39,20 +64,49 @@ func NewRecorder(warmupNS int64) *Recorder {
 // latency (a completion clocked before its schedule, possible only with a
 // coarse clock) clamps to zero.
 func (r *Recorder) Record(schedNS, doneNS int64) {
-	if schedNS < r.warmupNS {
-		r.trimmed++
+	r.record(schedNS, doneNS)
+}
+
+// RecordOp is Record plus exemplar attribution: the operation's identity
+// is witnessed in its latency bucket, the slot keeping the worst-latency
+// op seen so far (ties keep the earlier witness).
+func (r *Recorder) RecordOp(schedNS, doneNS int64, verb string, key uint64, conn int) {
+	lat, b, ok := r.record(schedNS, doneNS)
+	if !ok {
 		return
 	}
-	lat := doneNS - schedNS
+	if s := &r.ex[b]; s.Verb == "" || lat > s.LatNS {
+		*s = OpExemplar{
+			Bucket:  b,
+			UpperNS: stats.LogBucketUpper(b),
+			LatNS:   lat,
+			SchedNS: schedNS,
+			Verb:    verb,
+			Key:     key,
+			Conn:    conn,
+		}
+	}
+}
+
+// record is the shared accounting: returns the recorded latency and its
+// bucket, or ok=false for a warmup-trimmed op.
+func (r *Recorder) record(schedNS, doneNS int64) (lat int64, bucket int, ok bool) {
+	if schedNS < r.warmupNS {
+		r.trimmed++
+		return 0, 0, false
+	}
+	lat = doneNS - schedNS
 	if lat < 0 {
 		lat = 0
 	}
-	r.buckets[stats.LogBucketOf(lat)]++
+	bucket = stats.LogBucketOf(lat)
+	r.buckets[bucket]++
 	r.count++
 	r.sumNS += lat
 	if lat > r.maxNS {
 		r.maxNS = lat
 	}
+	return lat, bucket, true
 }
 
 // Merge folds o into r (post-run aggregation of per-connection recorders).
@@ -66,6 +120,32 @@ func (r *Recorder) Merge(o *Recorder) {
 	if o.maxNS > r.maxNS {
 		r.maxNS = o.maxNS
 	}
+	for i := range r.ex {
+		if o.ex[i].Verb != "" && (r.ex[i].Verb == "" || o.ex[i].LatNS > r.ex[i].LatNS) {
+			r.ex[i] = o.ex[i]
+		}
+	}
+}
+
+// Exemplars returns the populated bucket witnesses, worst latency first.
+func (r *Recorder) Exemplars() []OpExemplar {
+	var out []OpExemplar
+	for i := range r.ex {
+		if r.ex[i].Verb != "" {
+			out = append(out, r.ex[i])
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].LatNS > out[j].LatNS })
+	return out
+}
+
+// TopExemplars returns at most k witnesses, worst latency first.
+func (r *Recorder) TopExemplars(k int) []OpExemplar {
+	out := r.Exemplars()
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 // Count returns the number of recorded (post-warmup) operations.

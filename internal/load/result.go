@@ -57,6 +57,12 @@ type Result struct {
 	// Buckets is the raw log-bucket histogram (internal/stats layout),
 	// kept so alereport can recompute any quantile.
 	Buckets []uint64 `json:"buckets"`
+
+	// Exemplars are the per-bucket witnessed operations (worst latency
+	// first): which verb/key/connection actually suffered each latency
+	// band. Omitted for pre-exemplar result files, which therefore
+	// re-encode unchanged.
+	Exemplars []OpExemplar `json:"exemplars,omitempty"`
 }
 
 // buildResult assembles the Result from the merged recorder.
@@ -82,6 +88,7 @@ func buildResult(cfg Config, mix Mix, rec *Recorder, errors, unacked uint64, dur
 		P99NS:      rec.Quantile(0.99),
 		P999NS:     rec.Quantile(0.999),
 		Buckets:    rec.Buckets(),
+		Exemplars:  rec.Exemplars(),
 	}
 	if measured := durNS - r.WarmupNS; measured > 0 {
 		r.AchievedPerSec = float64(r.Count) / (float64(measured) / 1e9)
@@ -124,7 +131,18 @@ func (r Result) WriteTable(w io.Writer) error {
 		time.Duration(r.DurationNS), time.Duration(r.WarmupNS), r.Trimmed)
 	fmt.Fprintf(w, "  ops %d (%.0f/s achieved), errors %d, unacked %d\n",
 		r.Count, r.AchievedPerSec, r.Errors, r.Unacked)
-	_, err := fmt.Fprintf(w, "  latency mean %s  p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
-		ms(r.MeanNS), ms(r.P50NS), ms(r.P90NS), ms(r.P99NS), ms(r.P999NS), ms(r.MaxNS))
-	return err
+	if _, err := fmt.Fprintf(w, "  latency mean %s  p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
+		ms(r.MeanNS), ms(r.P50NS), ms(r.P90NS), ms(r.P99NS), ms(r.P999NS), ms(r.MaxNS)); err != nil {
+		return err
+	}
+	for i, e := range r.Exemplars {
+		if i == 3 {
+			break // worst three witnesses; the JSON carries the rest
+		}
+		if _, err := fmt.Fprintf(w, "  tail exemplar: %s %s key %d conn %d (scheduled at +%s)\n",
+			ms(e.LatNS), e.Verb, e.Key, e.Conn, time.Duration(e.SchedNS)); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -63,6 +64,58 @@ type Event struct {
 	// Detail is a human-readable payload: "X=7", "custom beats uniform",
 	// the relearn trigger, …
 	Detail string
+}
+
+// eventJSON is the stable wire form of a policy event (the /events?format=json
+// and flight-dump representation): timestamps as unix nanoseconds, kinds by
+// name, empty strings omitted.
+type eventJSON struct {
+	UnixNano int64  `json:"unix_nano"`
+	Seq      uint64 `json:"seq"`
+	Kind     string `json:"kind"`
+	Lock     string `json:"lock,omitempty"`
+	Granule  string `json:"granule,omitempty"`
+	Stage    string `json:"stage,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// MarshalJSON encodes the event in the stable wire form.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		UnixNano: e.When.UnixNano(),
+		Seq:      e.Seq,
+		Kind:     e.Kind.String(),
+		Lock:     e.Lock,
+		Granule:  e.Granule,
+		Stage:    e.Stage,
+		Detail:   e.Detail,
+	})
+}
+
+// UnmarshalJSON decodes the wire form. Unknown kind names decode to a
+// value past numEventKinds (String prints the raw number), so a newer
+// dump still loads.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*e = Event{
+		When:    time.Unix(0, j.UnixNano),
+		Seq:     j.Seq,
+		Kind:    numEventKinds,
+		Lock:    j.Lock,
+		Granule: j.Granule,
+		Stage:   j.Stage,
+		Detail:  j.Detail,
+	}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if eventKindNames[k] == j.Kind {
+			e.Kind = k
+			break
+		}
+	}
+	return nil
 }
 
 // ring is a bounded, mutex-protected event buffer. Policy events are

@@ -1,0 +1,232 @@
+// Tail-latency exemplars: per-bucket witnesses for the latency
+// histograms. Histograms answer "how slow is P99.9"; exemplars answer
+// "which granule, in which mode, after which aborts" for a concrete
+// execution that landed in that bucket — the OpenMetrics exemplar idea
+// applied to the ALE substrate, with the request id threaded through so a
+// server-side tail sample names the client request that suffered it.
+//
+// Hot-path discipline (the same contract as Shard/LatShard): attaching an
+// exemplar performs no allocation and never blocks. Each (histogram,
+// bucket) cell holds one exemplar slot guarded by a TryLock mutex —
+// writers that lose the race simply skip (the bucket keeps a slightly
+// staler witness), and the atomic hit counter still records that the
+// bucket was visited. The strings in an Exemplar are the engine's interned
+// lock/granule labels, so copying one copies two pointers, not bytes.
+//
+// A latency floor (SetMinLatency) keeps the fast path out of the table
+// entirely: executions quicker than the floor return after one predictable
+// branch, so conflict-free Execute stays at its two-clock-read budget
+// (pinned by TestExecuteZeroAllocsFlight* in internal/core).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+	"repro/internal/tm"
+)
+
+// DefaultExemplarMinNS is the default latency floor: executions faster
+// than ~16µs never touch the exemplar table. Low enough to catch any
+// plausible tail bucket, high enough that the conflict-free hot path
+// (hundreds of ns) always takes the early return.
+const DefaultExemplarMinNS = 16 * 1024
+
+// Exemplar is one witnessed execution: everything needed to answer "why
+// was this one slow" without a trace. Lock and Granule are the engine's
+// interned labels; AbortMask has bit r set if the execution suffered at
+// least one HTM abort with tm.AbortReason r.
+type Exemplar struct {
+	// LatNS is the full Execute latency that placed this exemplar.
+	LatNS int64
+	// MonoNS is the trace-clock timestamp (trace.Now epoch) of the
+	// execution's completion, for correlation with trace rings.
+	MonoNS int64
+	// Lock is the lock's report name.
+	Lock string
+	// Granule is the granule's context label.
+	Granule string
+	// Mode is the final core.Mode the execution committed in.
+	Mode uint8
+	// Attempts is the total attempt count (failed + the winning one).
+	Attempts int
+	// AbortMask has bit r set per HTM abort reason suffered en route.
+	AbortMask uint16
+	// WastedNS is time burned on attempts that did not commit
+	// (the HistAttemptWaste observation of the same execution).
+	WastedNS int64
+	// RequestID identifies the request being served, when the embedding
+	// application threads one through (aleserve: connection<<20 | seq).
+	// Zero means "no request context".
+	RequestID uint64
+}
+
+// exSlot is one (histogram, bucket) cell: an always-advancing hit counter
+// plus a single witness slot. count is written with an uncontended-in-
+// practice atomic add; the witness is replaced only when the TryLock wins,
+// so a writer never blocks behind a concurrent snapshot read.
+type exSlot struct {
+	count atomic.Uint64
+	mu    sync.Mutex
+	e     Exemplar
+}
+
+// ExemplarTable is the fixed-slot exemplar store, one cell per
+// (histogram, log bucket). ~30KB, allocated once per Collector.
+type ExemplarTable struct {
+	minNS atomic.Int64
+	slots [NumHists][stats.NumLogBuckets]exSlot
+}
+
+// NewExemplarTable returns a table with the default latency floor.
+func NewExemplarTable() *ExemplarTable {
+	t := &ExemplarTable{}
+	t.minNS.Store(DefaultExemplarMinNS)
+	return t
+}
+
+// SetMinLatency sets the latency floor in nanoseconds: observations with
+// LatNS below it are dropped before touching any slot. Zero admits
+// everything (tests); the default is DefaultExemplarMinNS.
+func (t *ExemplarTable) SetMinLatency(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	t.minNS.Store(ns)
+}
+
+// MinLatency returns the current floor in nanoseconds.
+func (t *ExemplarTable) MinLatency() int64 { return t.minNS.Load() }
+
+// Observe attaches e to histogram h's bucket for e.LatNS. Nil-safe,
+// alloc-free, non-blocking: below-floor observations cost one atomic load
+// and a branch; above-floor ones an atomic add plus a TryLock that may
+// skip the witness update under contention.
+func (t *ExemplarTable) Observe(h Hist, e Exemplar) {
+	if t == nil || e.LatNS < t.minNS.Load() {
+		return
+	}
+	s := &t.slots[h][stats.LogBucketOf(e.LatNS)]
+	s.count.Add(1)
+	if s.mu.TryLock() {
+		s.e = e
+		s.mu.Unlock()
+	}
+}
+
+// ExemplarRow is one populated cell in wire form: the Snapshot/flight-dump
+// representation of an exemplar, with the mode and abort mask decoded to
+// stable names. Rows sort by (histogram, bucket).
+type ExemplarRow struct {
+	// Hist is the histogram's HistNames entry.
+	Hist string `json:"hist"`
+	// Bucket is the log-bucket index; UpperNS its conservative bound.
+	Bucket  int   `json:"bucket"`
+	UpperNS int64 `json:"upper_ns"`
+	// Count is how many observations visited the bucket past the floor
+	// (not just those that won the witness slot).
+	Count     uint64   `json:"count"`
+	LatNS     int64    `json:"lat_ns"`
+	Lock      string   `json:"lock,omitempty"`
+	Granule   string   `json:"granule,omitempty"`
+	Mode      string   `json:"mode"`
+	Attempts  int      `json:"attempts,omitempty"`
+	Aborts    []string `json:"aborts,omitempty"`
+	WastedNS  int64    `json:"wasted_ns,omitempty"`
+	RequestID uint64   `json:"request_id,omitempty"`
+	MonoNS    int64    `json:"mono_ns,omitempty"`
+}
+
+// AbortMaskNames decodes an Exemplar.AbortMask into abort-reason names,
+// nil for an empty mask.
+func AbortMaskNames(mask uint16) []string {
+	if mask == 0 {
+		return nil
+	}
+	var out []string
+	for r := 1; r < tm.NumAbortReasons; r++ {
+		if mask&(1<<uint(r)) != 0 {
+			out = append(out, tm.AbortReason(r).String())
+		}
+	}
+	return out
+}
+
+// Rows extracts every populated cell as wire rows, sorted by (histogram,
+// bucket). Each witness is read under its slot mutex — a concurrent
+// Observe that loses the TryLock skips rather than waiting, so extraction
+// never stalls the hot path. Nil-safe; returns nil when nothing has been
+// observed.
+func (t *ExemplarTable) Rows() []ExemplarRow {
+	if t == nil {
+		return nil
+	}
+	var rows []ExemplarRow
+	for h := 0; h < NumHists; h++ {
+		for b := 0; b < stats.NumLogBuckets; b++ {
+			s := &t.slots[h][b]
+			n := s.count.Load()
+			if n == 0 {
+				continue
+			}
+			s.mu.Lock()
+			e := s.e
+			s.mu.Unlock()
+			if e.LatNS == 0 {
+				// Counted but no witness landed yet (every writer so far
+				// lost the TryLock to this extraction); skip the empty cell.
+				continue
+			}
+			mode := "?"
+			if int(e.Mode) < NumModes {
+				mode = ModeNames[e.Mode]
+			}
+			rows = append(rows, ExemplarRow{
+				Hist:      HistNames[h],
+				Bucket:    b,
+				UpperNS:   stats.LogBucketUpper(b),
+				Count:     n,
+				LatNS:     e.LatNS,
+				Lock:      e.Lock,
+				Granule:   e.Granule,
+				Mode:      mode,
+				Attempts:  e.Attempts,
+				Aborts:    AbortMaskNames(e.AbortMask),
+				WastedNS:  e.WastedNS,
+				RequestID: e.RequestID,
+				MonoNS:    e.MonoNS,
+			})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Hist != rows[j].Hist {
+			return rows[i].Hist < rows[j].Hist
+		}
+		return rows[i].Bucket < rows[j].Bucket
+	})
+	return rows
+}
+
+// Exemplars returns the collector's exemplar table (never nil for a
+// collector built with New/NewSized). The engine wires it into threads
+// when both Options.Obs and Options.Timing are set.
+func (c *Collector) Exemplars() *ExemplarTable { return c.exemplars }
+
+// TopExemplars returns the k highest-latency exec-histogram exemplars of
+// a snapshot, the "what were the worst requests and why" view.
+func (s Snapshot) TopExemplars(k int) []ExemplarRow {
+	var execs []ExemplarRow
+	for _, r := range s.Exemplars {
+		if r.Hist == HistNames[HistExecLock] || r.Hist == HistNames[HistExecHTM] ||
+			r.Hist == HistNames[HistExecSWOpt] {
+			execs = append(execs, r)
+		}
+	}
+	sort.SliceStable(execs, func(i, j int) bool { return execs[i].LatNS > execs[j].LatNS })
+	if len(execs) > k {
+		execs = execs[:k]
+	}
+	return execs
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestExemplarObserveAndRows(t *testing.T) {
+	tab := NewExemplarTable()
+	tab.SetMinLatency(0)
+
+	tab.Observe(HistExecHTM, Exemplar{
+		LatNS: 50_000, Lock: "kv", Granule: "kv/get", Mode: 1,
+		Attempts: 3, AbortMask: 1 << 1, WastedNS: 30_000, RequestID: 9,
+	})
+	tab.Observe(HistExecLock, Exemplar{LatNS: 200_000, Lock: "kv", Granule: "kv/set", Mode: 0, Attempts: 1})
+
+	rows := tab.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2: %+v", len(rows), rows)
+	}
+	// Sorted by (hist, bucket): exec_htm before exec_lock alphabetically.
+	if rows[0].Hist != "exec_htm" || rows[1].Hist != "exec_lock" {
+		t.Errorf("row order: %s, %s", rows[0].Hist, rows[1].Hist)
+	}
+	r := rows[0]
+	if r.LatNS != 50_000 || r.Lock != "kv" || r.Granule != "kv/get" ||
+		r.Mode != "htm" || r.Attempts != 3 || r.WastedNS != 30_000 ||
+		r.RequestID != 9 || r.Count != 1 {
+		t.Errorf("row = %+v", r)
+	}
+	if len(r.Aborts) != 1 {
+		t.Fatalf("aborts = %v", r.Aborts)
+	}
+	if r.Bucket != stats.LogBucketOf(50_000) || r.UpperNS != stats.LogBucketUpper(r.Bucket) {
+		t.Errorf("bucket/upper = %d/%d", r.Bucket, r.UpperNS)
+	}
+}
+
+func TestExemplarMinLatencyFloor(t *testing.T) {
+	tab := NewExemplarTable()
+	if tab.MinLatency() != DefaultExemplarMinNS {
+		t.Fatalf("default floor = %d", tab.MinLatency())
+	}
+	tab.Observe(HistExecHTM, Exemplar{LatNS: 500}) // typical hot-path latency
+	if rows := tab.Rows(); rows != nil {
+		t.Errorf("below-floor observation captured: %+v", rows)
+	}
+	tab.Observe(HistExecHTM, Exemplar{LatNS: DefaultExemplarMinNS, Lock: "L", Mode: 1})
+	if rows := tab.Rows(); len(rows) != 1 {
+		t.Errorf("at-floor observation not captured: %+v", rows)
+	}
+	tab.SetMinLatency(-5)
+	if tab.MinLatency() != 0 {
+		t.Errorf("negative floor not clamped: %d", tab.MinLatency())
+	}
+}
+
+func TestExemplarNilSafe(t *testing.T) {
+	var tab *ExemplarTable
+	tab.Observe(HistExecHTM, Exemplar{LatNS: 1 << 30}) // must not panic
+	if tab.Rows() != nil {
+		t.Error("nil table produced rows")
+	}
+}
+
+// TestExemplarSameBucketKeepsLatest: two observations in one bucket keep
+// one witness (the later write wins the slot) but both count.
+func TestExemplarSameBucketCounts(t *testing.T) {
+	tab := NewExemplarTable()
+	tab.SetMinLatency(0)
+	tab.Observe(HistExecSWOpt, Exemplar{LatNS: 100_000, Granule: "a", Mode: 2})
+	tab.Observe(HistExecSWOpt, Exemplar{LatNS: 100_001, Granule: "b", Mode: 2})
+	rows := tab.Rows()
+	if len(rows) != 1 || rows[0].Count != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Granule != "b" {
+		t.Errorf("witness = %q, want latest", rows[0].Granule)
+	}
+}
+
+// TestExemplarConcurrentObserveAndRows is the -race coverage for the
+// attach-vs-extract contract: many writers hammering one bucket while a
+// reader repeatedly extracts rows must be race-clean, never deadlock, and
+// end with an exact total count.
+func TestExemplarConcurrentObserveAndRows(t *testing.T) {
+	tab := NewExemplarTable()
+	tab.SetMinLatency(0)
+	const writers, perWriter = 8, 500
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tab.Observe(HistExecHTM, Exemplar{
+					LatNS: 70_000, Lock: "kv", Granule: "kv/get",
+					Mode: 1, RequestID: uint64(w*perWriter + i + 1),
+				})
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tab.Rows()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	rows := tab.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Count != writers*perWriter {
+		t.Errorf("count = %d, want %d", rows[0].Count, writers*perWriter)
+	}
+	if rows[0].RequestID == 0 {
+		t.Error("no witness survived")
+	}
+}
+
+// TestSnapshotExemplarsWire: exemplars ride the ale-snapshot/v1 wire and
+// survive a round trip; snapshots without them re-encode without the key.
+func TestSnapshotExemplarsWire(t *testing.T) {
+	c := New()
+	c.NewShard().Add(CtrSuccessHTM)
+	c.Exemplars().SetMinLatency(0)
+	c.Exemplars().Observe(HistExecHTM, Exemplar{
+		LatNS: 90_000, Lock: "kv", Granule: "kv/incr", Mode: 1, Attempts: 2,
+	})
+	data, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"exemplars"`) {
+		t.Fatalf("wire missing exemplars: %s", data)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Exemplars) != 1 || back.Exemplars[0].Granule != "kv/incr" {
+		t.Errorf("round trip: %+v", back.Exemplars)
+	}
+	top := back.TopExemplars(5)
+	if len(top) != 1 || top[0].LatNS != 90_000 {
+		t.Errorf("TopExemplars = %+v", top)
+	}
+
+	// A snapshot with no exemplars omits the key entirely.
+	empty := New()
+	data2, err := json.Marshal(empty.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data2), "exemplars") {
+		t.Errorf("empty snapshot grew exemplars key: %s", data2)
+	}
+}
+
+func TestAbortMaskNames(t *testing.T) {
+	if AbortMaskNames(0) != nil {
+		t.Error("empty mask not nil")
+	}
+	names := AbortMaskNames(1<<1 | 1<<2)
+	if len(names) != 2 {
+		t.Errorf("names = %v", names)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/tm"
@@ -111,7 +112,18 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 // output is unchanged for runs without Options.Timing.
 func writeLatencyHistograms(b *strings.Builder, s Snapshot) {
 	le := func(i int) float64 { return float64(stats.LogBucketUpper(i)) / 1e9 }
-	emit := func(name, labels string, d LatDist) {
+	// Index the snapshot's exemplar rows by (histogram, bucket) so each
+	// _bucket line can carry its witness in the OpenMetrics `# {…}` form.
+	exIdx := map[string]map[int]ExemplarRow{}
+	for _, r := range s.Exemplars {
+		m := exIdx[r.Hist]
+		if m == nil {
+			m = map[int]ExemplarRow{}
+			exIdx[r.Hist] = m
+		}
+		m[r.Bucket] = r
+	}
+	emit := func(name, labels, histKey string, d LatDist) {
 		var cum uint64
 		for i := range d.Buckets {
 			cum += d.Buckets[i]
@@ -122,7 +134,11 @@ func writeLatencyHistograms(b *strings.Builder, s Snapshot) {
 			if labels == "" {
 				sep = ""
 			}
-			fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, strconv.FormatFloat(le(i), 'g', -1, 64), cum)
+			fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d", name, labels, sep, strconv.FormatFloat(le(i), 'g', -1, 64), cum)
+			if r, ok := exIdx[histKey][i]; ok && d.Buckets[i] > 0 {
+				b.WriteString(promExemplar(r))
+			}
+			b.WriteByte('\n')
 		}
 		sep := ","
 		if labels == "" {
@@ -141,7 +157,7 @@ func writeLatencyHistograms(b *strings.Builder, s Snapshot) {
 	b.WriteString("# HELP ale_exec_latency_seconds Execute latency by final mode (log-bucketed).\n")
 	b.WriteString("# TYPE ale_exec_latency_seconds histogram\n")
 	for m := uint8(0); m < NumModes; m++ {
-		emit("ale_exec_latency_seconds", fmt.Sprintf("mode=%q", ModeNames[m]), s.Lat[HistExec(m)])
+		emit("ale_exec_latency_seconds", fmt.Sprintf("mode=%q", ModeNames[m]), HistNames[HistExec(m)], s.Lat[HistExec(m)])
 	}
 	for _, h := range []struct {
 		name, help string
@@ -153,8 +169,22 @@ func writeLatencyHistograms(b *strings.Builder, s Snapshot) {
 		{"ale_group_wait_seconds", "Grouping-mechanism deferral waits.", HistGroupWait},
 	} {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
-		emit(h.name, "", s.Lat[h.hist])
+		emit(h.name, "", HistNames[h.hist], s.Lat[h.hist])
 	}
+}
+
+// promExemplar renders one exemplar row as the OpenMetrics `# {…} value`
+// suffix of a _bucket line. Labels stay minimal (granule, mode, and the
+// request id when present); the value is the witnessed latency in seconds.
+func promExemplar(r ExemplarRow) string {
+	var b strings.Builder
+	b.WriteString(" # {")
+	fmt.Fprintf(&b, "granule=%q,mode=%q", r.Granule, r.Mode)
+	if r.RequestID != 0 {
+		fmt.Fprintf(&b, ",request_id=\"%d\"", r.RequestID)
+	}
+	fmt.Fprintf(&b, "} %g", float64(r.LatNS)/1e9)
+	return b.String()
 }
 
 // WriteJSON renders a snapshot as the expvar-style JSON object /snapshot
@@ -167,9 +197,13 @@ func WriteJSON(w io.Writer, s Snapshot) error {
 
 // Handler serves the collector over HTTP:
 //
-//	/metrics   Prometheus text format
+//	/metrics   Prometheus text format (with OpenMetrics exemplars)
 //	/snapshot  expvar-style JSON (the cmd/alereport input format)
-//	/events    the adaptive-policy event timeline as text
+//	/events    the adaptive-policy event timeline (text; ?format=json
+//	           for the machine-readable form)
+//	/stream    NDJSON live stream: one cumulative snapshot, then
+//	           interval deltas (?interval=1s, ?n=0 for unbounded) —
+//	           the cmd/aletop feed
 //
 // Every response is computed from one consistent Snapshot taken at request
 // time; handlers are safe under concurrent workload execution.
@@ -184,8 +218,22 @@ func Handler(c *Collector) http.Handler {
 		_ = WriteJSON(w, c.Snapshot())
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			events := c.Events()
+			if events == nil {
+				events = []Event{}
+			}
+			_ = enc.Encode(events)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = WriteEvents(w, c.Events())
+	})
+	mux.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) {
+		serveStream(c, w, r)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -193,7 +241,72 @@ func Handler(c *Collector) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ALE live metrics: /metrics (Prometheus), /snapshot (JSON), /events (policy timeline)")
+		fmt.Fprintln(w, "ALE live metrics: /metrics (Prometheus), /snapshot (JSON), /events (policy timeline), /stream (NDJSON live deltas)")
 	})
 	return mux
+}
+
+// serveStream implements /stream: NDJSON whose first line is the
+// cumulative snapshot at connect time and whose subsequent lines are
+// interval deltas — exactly the sampler's baseline-then-deltas shape,
+// pushed over HTTP instead of logged. Query parameters:
+//
+//	interval  delta period (Go duration, default 1s, floor 10ms)
+//	n         number of delta lines then EOF; 0 (default) streams until
+//	          the client disconnects
+//
+// Each line is one compact ale-snapshot/v1 object, so any consumer of
+// /snapshot (including obs.ParseSnapshots) can read the stream.
+func serveStream(c *Collector, w http.ResponseWriter, r *http.Request) {
+	interval := time.Second
+	if v := r.URL.Query().Get("interval"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad interval: want a positive Go duration", http.StatusBadRequest)
+			return
+		}
+		interval = d
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 0 {
+			http.Error(w, "bad n: want a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		n = k
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	prev := c.Snapshot()
+	if err := enc.Encode(prev); err != nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for sent := 0; n == 0 || sent < n; sent++ {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.C:
+		}
+		cur := c.Snapshot()
+		if err := enc.Encode(cur.Sub(prev)); err != nil {
+			return
+		}
+		prev = cur
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 }

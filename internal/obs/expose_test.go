@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"io"
 	"net/http/httptest"
 	"strings"
@@ -122,7 +123,7 @@ func TestHandlerHeadersAndEdges(t *testing.T) {
 
 	if code, body, ct := get("/"); code != 200 || ct != "text/plain; charset=utf-8" ||
 		!strings.Contains(body, "/metrics") || !strings.Contains(body, "/snapshot") ||
-		!strings.Contains(body, "/events") {
+		!strings.Contains(body, "/events") || !strings.Contains(body, "/stream") {
 		t.Errorf("index: code=%d ct=%q body=%q", code, ct, body)
 	}
 	if code, body, ct := get("/events"); code != 200 || ct != "text/plain; charset=utf-8" || len(body) == 0 {
@@ -140,5 +141,154 @@ func TestHandlerHeadersAndEdges(t *testing.T) {
 	c.RecordEvent(Event{Kind: EventPhaseEnter, Lock: "kv", Stage: "HTM/measure"})
 	if _, body, _ := get("/events"); !strings.Contains(body, "kv") {
 		t.Errorf("/events after record: %q", body)
+	}
+}
+
+// TestEventsJSONFormat: /events?format=json serves the machine-readable
+// policy timeline — a JSON array of the stable event wire form — with the
+// right content type, and an empty ring yields a valid empty array, not
+// the text placeholder.
+func TestEventsJSONFormat(t *testing.T) {
+	c := New()
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/events?format=json")
+	if ct != "application/json" {
+		t.Errorf("content-type = %q, want application/json", ct)
+	}
+	var empty []Event
+	if err := json.Unmarshal([]byte(body), &empty); err != nil || len(empty) != 0 {
+		t.Errorf("empty ring: err=%v events=%v body=%q", err, empty, body)
+	}
+
+	c.RecordEvent(Event{Kind: EventXChosen, Lock: "kv", Granule: "kv/get", Detail: "X=7"})
+	body, _ = get("/events?format=json")
+	var events []Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if len(events) != 1 || events[0].Kind != EventXChosen ||
+		events[0].Lock != "kv" || events[0].Granule != "kv/get" || events[0].Detail != "X=7" {
+		t.Errorf("events = %+v", events)
+	}
+	// The raw wire form uses the documented keys.
+	for _, want := range []string{`"kind": "x-chosen"`, `"unix_nano"`, `"granule": "kv/get"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("wire form missing %s:\n%s", want, body)
+		}
+	}
+}
+
+// TestStreamEndpoint: /stream's first line is the cumulative snapshot,
+// subsequent lines are interval deltas, every line parseable by the
+// /snapshot machinery. Bounded with ?n so the test consumes a finite
+// stream at a short interval (no wall-clock assertions).
+func TestStreamEndpoint(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	sh.AddN(CtrSuccessHTM, 42)
+
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/stream?interval=10ms&n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Errorf("content-type = %q", got)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (1 cumulative + 2 deltas):\n%s", len(lines), body)
+	}
+	snaps, err := ParseSnapshots(body)
+	if err != nil || len(snaps) != 3 {
+		t.Fatalf("stream not parseable as snapshots: %v (%d)", err, len(snaps))
+	}
+	if snaps[0].Execs() != 42 {
+		t.Errorf("first line execs = %d, want cumulative 42", snaps[0].Execs())
+	}
+	// Nothing executed during the stream, so deltas are empty.
+	if snaps[1].Execs() != 0 || snaps[2].Execs() != 0 {
+		t.Errorf("idle deltas nonzero: %d, %d", snaps[1].Execs(), snaps[2].Execs())
+	}
+}
+
+func TestStreamBadParams(t *testing.T) {
+	c := New()
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+	for _, q := range []string{"?interval=bogus", "?interval=-1s", "?n=-3", "?n=x"} {
+		resp, err := srv.Client().Get(srv.URL + "/stream" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("GET /stream%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestPrometheusExemplars: a snapshot carrying exemplar rows renders them
+// as OpenMetrics `# {…}` suffixes on the matching _bucket lines.
+func TestPrometheusExemplars(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	sh.Add(CtrSuccessHTM)
+	ls := c.NewLatShard()
+	lat := int64(3 << 20) // ~3ms, a tail bucket
+	ls.Record(HistExecHTM, lat)
+	c.Exemplars().SetMinLatency(0)
+	c.Exemplars().Observe(HistExecHTM, Exemplar{
+		LatNS: lat, Lock: "kv", Granule: "kv/set", Mode: 1,
+		Attempts: 4, RequestID: 77,
+	})
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	var exLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " # {") {
+			exLine = line
+			break
+		}
+	}
+	if exLine == "" {
+		t.Fatalf("no exemplar suffix in output:\n%s", out)
+	}
+	for _, want := range []string{
+		`ale_exec_latency_seconds_bucket{mode="htm"`,
+		`granule="kv/set"`, `mode="htm"`, `request_id="77"`,
+	} {
+		if !strings.Contains(exLine, want) {
+			t.Errorf("exemplar line missing %s: %s", want, exLine)
+		}
 	}
 }

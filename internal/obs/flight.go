@@ -1,0 +1,361 @@
+// Flight recorder: the black box of the observability layer. A bounded
+// ring of per-tick snapshot deltas is maintained continuously, so that
+// when something goes wrong — a drain, a SIGQUIT, an anomaly trigger —
+// the last N seconds of policy behaviour (mode mix, aborts by reason,
+// latency distributions, contention profile, tail exemplars) can be
+// dumped as one versioned JSON document and rendered offline by
+// `alereport -in`.
+//
+// Cost model: the recorder adds nothing to the Execute hot path — it
+// reuses the counters, histograms and exemplar slots the threads already
+// maintain (the PR 5 two-clock-read budget stands, pinned by
+// TestExecuteZeroAllocsFlight* in internal/core). Its only overhead is
+// one Collector.Snapshot per tick on its own goroutine, the same work a
+// /metrics scrape performs.
+//
+// Anomaly triggers turn the recorder from post-mortem into self-dumping:
+// a per-tick delta whose exec p99 crosses TailThresholdNS, or whose HTM
+// abort rate crosses AbortStormRate, fires OnAnomaly (rate-limited by
+// Cooldown) — the embedding server dumps the window at the moment the
+// lazy-subscription-style rare anomaly happens, not minutes later when a
+// human notices.
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/tm"
+)
+
+// FlightSchema is the wire-format identifier of a flight dump, probed by
+// cmd/alereport exactly like ale-snapshot/v1 and aleload-result/v1.
+const FlightSchema = "ale-flight/v1"
+
+// ErrNotFlightSchema reports input that is valid JSON but not a flight
+// dump — the sentinel alereport's format dispatch falls through on.
+var ErrNotFlightSchema = errors.New("obs: not an ale-flight dump")
+
+// Default flight-recorder geometry.
+const (
+	DefaultFlightWindow = 30 * time.Second
+	DefaultFlightTick   = time.Second
+)
+
+// maxFlightAnomalies bounds the anomaly log carried in a dump.
+const maxFlightAnomalies = 32
+
+// FlightConfig configures a FlightRecorder. The zero value gets the
+// default 30s window at 1s ticks with no anomaly triggers.
+type FlightConfig struct {
+	// Window is how much history the ring retains.
+	Window time.Duration
+	// Tick is the sampling period (one frame per tick).
+	Tick time.Duration
+	// TailThresholdNS, when >0, fires the anomaly trigger if any per-mode
+	// exec-latency p99 within one tick reaches it.
+	TailThresholdNS int64
+	// AbortStormRate, when >0, fires the anomaly trigger if the HTM abort
+	// rate within one tick reaches it (aborts/second).
+	AbortStormRate float64
+	// Cooldown rate-limits OnAnomaly; default Window (one dump per
+	// window's worth of fresh history).
+	Cooldown time.Duration
+	// Clock supplies the recorder's notion of now (anomaly stamps,
+	// cooldown); tests install a virtual clock. Default time.Now.
+	Clock func() time.Time
+	// OnAnomaly, when set, is called (on the recorder's goroutine, or the
+	// Tick caller's) with a reason string each time a trigger fires past
+	// the cooldown. The embedding server dumps the flight window here.
+	OnAnomaly func(reason string)
+}
+
+// FlightAnomaly is one trigger firing, as carried in the dump.
+type FlightAnomaly struct {
+	UnixNano int64  `json:"unix_nano"`
+	Reason   string `json:"reason"`
+}
+
+// FlightRecorder continuously samples a Collector into a bounded frame
+// ring. Construct with NewFlight (which takes the baseline snapshot
+// synchronously, sampler-style), then either Start a ticker goroutine or
+// drive Tick directly from a virtual clock in tests.
+type FlightRecorder struct {
+	c   *Collector
+	cfg FlightConfig
+
+	mu          sync.Mutex
+	frames      []Snapshot // delta ring, frames[(head+i)%cap] oldest-first
+	head        int
+	count       int
+	prev        Snapshot
+	anomalies   []FlightAnomaly
+	lastAnomaly time.Time
+
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started bool
+}
+
+// NewFlight creates a recorder over c and takes the baseline snapshot
+// synchronously, so everything counted after NewFlight returns lands in
+// some frame. Call Start for wall-clock operation or Tick directly for
+// deterministic tests.
+func NewFlight(c *Collector, cfg FlightConfig) *FlightRecorder {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultFlightWindow
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = DefaultFlightTick
+	}
+	if cfg.Tick > cfg.Window {
+		cfg.Tick = cfg.Window
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = cfg.Window
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	capacity := int(cfg.Window / cfg.Tick)
+	if capacity < 1 {
+		capacity = 1
+	}
+	f := &FlightRecorder{
+		c:      c,
+		cfg:    cfg,
+		frames: make([]Snapshot, capacity),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	f.prev = c.Snapshot()
+	return f
+}
+
+// Start launches the ticker goroutine. Idempotent-hostile by design (a
+// second Start panics via double close on Stop); call it once.
+func (f *FlightRecorder) Start() {
+	f.started = true
+	go func() {
+		defer close(f.done)
+		t := time.NewTicker(f.cfg.Tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				f.Tick()
+			case <-f.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker goroutine (no-op when Start was never called) and
+// folds a final partial frame so the dump covers activity right up to the
+// stop. Idempotent.
+func (f *FlightRecorder) Stop() {
+	f.once.Do(func() {
+		close(f.stop)
+		if f.started {
+			<-f.done
+		}
+		f.Tick()
+	})
+}
+
+// Tick takes one snapshot, appends the delta frame to the ring, and
+// evaluates the anomaly triggers on it. Exported so tests (and Stop)
+// can drive the recorder without a wall clock; safe concurrently with
+// the ticker goroutine.
+func (f *FlightRecorder) Tick() {
+	cur := f.c.Snapshot()
+
+	f.mu.Lock()
+	delta := cur.Sub(f.prev)
+	f.prev = cur
+	f.frames[(f.head+f.count)%len(f.frames)] = delta
+	if f.count < len(f.frames) {
+		f.count++
+	} else {
+		f.head = (f.head + 1) % len(f.frames)
+	}
+	reason := f.checkAnomalyLocked(delta)
+	f.mu.Unlock()
+
+	if reason != "" && f.cfg.OnAnomaly != nil {
+		f.cfg.OnAnomaly(reason)
+	}
+}
+
+// checkAnomalyLocked evaluates the triggers against one delta frame and
+// returns a non-empty reason when one fired past the cooldown.
+func (f *FlightRecorder) checkAnomalyLocked(d Snapshot) string {
+	reason := ""
+	if f.cfg.TailThresholdNS > 0 {
+		for m := uint8(0); m < NumModes; m++ {
+			lat := d.Lat[HistExec(m)]
+			if lat.Count() == 0 {
+				continue
+			}
+			if p99 := lat.Quantile(0.99); p99 >= f.cfg.TailThresholdNS {
+				reason = fmt.Sprintf("tail-latency: exec_%s p99 %v >= %v",
+					ModeNames[m], time.Duration(p99), time.Duration(f.cfg.TailThresholdNS))
+				break
+			}
+		}
+	}
+	if reason == "" && f.cfg.AbortStormRate > 0 && d.Interval > 0 {
+		if rate := float64(d.AbortsTotal()) / d.Interval.Seconds(); rate >= f.cfg.AbortStormRate {
+			reason = fmt.Sprintf("abort-storm: %.0f aborts/s >= %.0f/s", rate, f.cfg.AbortStormRate)
+		}
+	}
+	if reason == "" {
+		return ""
+	}
+	now := f.cfg.Clock()
+	if !f.lastAnomaly.IsZero() && now.Sub(f.lastAnomaly) < f.cfg.Cooldown {
+		return "" // still cooling down: the window already covers this
+	}
+	f.lastAnomaly = now
+	if len(f.anomalies) < maxFlightAnomalies {
+		f.anomalies = append(f.anomalies, FlightAnomaly{UnixNano: now.UnixNano(), Reason: reason})
+	}
+	return reason
+}
+
+// FlightDump is the versioned dump document: the retained window
+// (oldest-first delta frames), the cumulative snapshot at dump time, the
+// policy-event timeline, the anomaly log, and the trace-loss counter.
+type FlightDump struct {
+	Schema   string  `json:"schema"`
+	Reason   string  `json:"reason"`
+	UnixNano int64   `json:"unix_nano"`
+	WindowS  float64 `json:"window_s"`
+	TickS    float64 `json:"tick_s"`
+	// Frames are the per-tick delta snapshots, oldest first.
+	Frames []Snapshot `json:"frames"`
+	// Cumulative is the full snapshot at dump time (carries the current
+	// contention profile and exemplar table).
+	Cumulative Snapshot `json:"cumulative"`
+	// Events is the policy-event timeline retained by the collector.
+	Events []Event `json:"events,omitempty"`
+	// Anomalies are the trigger firings within the recorder's lifetime.
+	Anomalies []FlightAnomaly `json:"anomalies,omitempty"`
+	// DroppedTraceEvents is the engine-trace ring loss at dump time
+	// (satellite of the same PR: wrap-around is no longer silent).
+	DroppedTraceEvents uint64 `json:"dropped_trace_events,omitempty"`
+}
+
+// Dump writes the current window as an ale-flight/v1 JSON document.
+// Callable at any time, including while the ticker runs.
+func (f *FlightRecorder) Dump(w io.Writer, reason string) error {
+	f.mu.Lock()
+	frames := make([]Snapshot, 0, f.count)
+	for i := 0; i < f.count; i++ {
+		frames = append(frames, f.frames[(f.head+i)%len(f.frames)])
+	}
+	anomalies := append([]FlightAnomaly(nil), f.anomalies...)
+	f.mu.Unlock()
+
+	d := FlightDump{
+		Schema:             FlightSchema,
+		Reason:             reason,
+		UnixNano:           f.cfg.Clock().UnixNano(),
+		WindowS:            f.cfg.Window.Seconds(),
+		TickS:              f.cfg.Tick.Seconds(),
+		Frames:             frames,
+		Cumulative:         f.c.Snapshot(),
+		Events:             f.c.Events(),
+		Anomalies:          anomalies,
+		DroppedTraceEvents: f.c.TraceDropped(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Anomalies returns a copy of the trigger-firing log.
+func (f *FlightRecorder) Anomalies() []FlightAnomaly {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FlightAnomaly(nil), f.anomalies...)
+}
+
+// FrameCount returns how many frames the ring currently retains.
+func (f *FlightRecorder) FrameCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+// ParseFlight parses an ale-flight/v1 dump. Input that is not a single
+// JSON object with the flight schema — another schema, no schema, an
+// array, not JSON at all — returns (or wraps) ErrNotFlightSchema so
+// format-probing dispatchers can fall through; a non-sentinel error
+// means the schema matched but the body did not.
+func ParseFlight(data []byte) (FlightDump, error) {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	trimmed := bytes.TrimSpace(data)
+	if err := json.Unmarshal(trimmed, &probe); err != nil {
+		return FlightDump{}, fmt.Errorf("%w: %v", ErrNotFlightSchema, err)
+	}
+	if probe.Schema != FlightSchema {
+		return FlightDump{}, ErrNotFlightSchema
+	}
+	var d FlightDump
+	if err := json.Unmarshal(trimmed, &d); err != nil {
+		return FlightDump{}, err
+	}
+	return d, nil
+}
+
+// TopBlamedGranules ranks the granules the dump's exec exemplars blame,
+// worst witnessed latency first, one row per granule — the "who did it"
+// summary alereport leads with.
+func (d FlightDump) TopBlamedGranules(k int) []ExemplarRow {
+	best := map[string]ExemplarRow{}
+	for _, r := range d.Cumulative.TopExemplars(len(d.Cumulative.Exemplars)) {
+		key := r.Lock + "\x00" + r.Granule
+		if prev, ok := best[key]; !ok || r.LatNS > prev.LatNS {
+			best[key] = r
+		}
+	}
+	out := make([]ExemplarRow, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	// Highest witnessed latency first; ties by aggregate bucket count.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].LatNS > out[j-1].LatNS ||
+			(out[j].LatNS == out[j-1].LatNS && out[j].Count > out[j-1].Count)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// AbortsByReason sums HTM aborts by reason across the dump's frames
+// (i.e. within the retained window, not since process start).
+func (d FlightDump) AbortsByReason() map[string]uint64 {
+	out := map[string]uint64{}
+	for _, fr := range d.Frames {
+		for r := 1; r < tm.NumAbortReasons; r++ {
+			if n := fr.Aborts(tm.AbortReason(r)); n > 0 {
+				out[tm.AbortReason(r).String()] += n
+			}
+		}
+	}
+	return out
+}

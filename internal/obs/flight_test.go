@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tm"
+)
+
+// virtualClock is the deterministic time source the flight tests run on
+// (docs/TESTING.md: no time.Sleep; the recorder is driven by explicit
+// Tick calls and reads this clock for anomaly stamps and cooldowns).
+type virtualClock struct{ now time.Time }
+
+func (v *virtualClock) Now() time.Time          { return v.now }
+func (v *virtualClock) advance(d time.Duration) { v.now = v.now.Add(d) }
+
+func newTestFlight(c *Collector, cfg FlightConfig) (*FlightRecorder, *virtualClock) {
+	vc := &virtualClock{now: time.Unix(1_700_000_000, 0)}
+	cfg.Clock = vc.Now
+	return NewFlight(c, cfg), vc
+}
+
+// TestFlightFramesAreDeltas: each Tick frames exactly what happened since
+// the previous one, and the ring drops oldest-first once the window fills.
+func TestFlightFramesAreDeltas(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	sh.AddN(CtrSuccessHTM, 5) // before baseline: must not appear in frames
+
+	f, _ := newTestFlight(c, FlightConfig{Window: 3 * time.Second, Tick: time.Second})
+
+	sh.AddN(CtrSuccessHTM, 10)
+	f.Tick()
+	sh.AddN(CtrSuccessLock, 7)
+	f.Tick()
+	if f.FrameCount() != 2 {
+		t.Fatalf("FrameCount = %d", f.FrameCount())
+	}
+
+	var sb strings.Builder
+	if err := f.Dump(&sb, "test"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseFlight([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema != FlightSchema || d.Reason != "test" {
+		t.Errorf("header: %q %q", d.Schema, d.Reason)
+	}
+	if len(d.Frames) != 2 {
+		t.Fatalf("frames = %d", len(d.Frames))
+	}
+	if d.Frames[0].Execs() != 10 || d.Frames[0].Successes(1) != 10 {
+		t.Errorf("frame 0 = %d execs (htm %d), want 10 htm", d.Frames[0].Execs(), d.Frames[0].Successes(1))
+	}
+	if d.Frames[1].Execs() != 7 || d.Frames[1].Successes(0) != 7 {
+		t.Errorf("frame 1 = %d execs (lock %d), want 7 lock", d.Frames[1].Execs(), d.Frames[1].Successes(0))
+	}
+	if d.Cumulative.Execs() != 22 { // 5 pre-baseline + 10 + 7
+		t.Errorf("cumulative execs = %d, want 22", d.Cumulative.Execs())
+	}
+
+	// Overflow the 3-frame window: the oldest frame falls off.
+	sh.AddN(CtrSuccessSWOpt, 1)
+	f.Tick()
+	sh.AddN(CtrSuccessSWOpt, 2)
+	f.Tick()
+	if f.FrameCount() != 3 {
+		t.Fatalf("FrameCount after wrap = %d", f.FrameCount())
+	}
+	sb.Reset()
+	if err := f.Dump(&sb, "wrap"); err != nil {
+		t.Fatal(err)
+	}
+	d, err = ParseFlight([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Frames[0].Execs() != 7 { // the 10-htm frame dropped
+		t.Errorf("oldest retained frame = %d execs, want 7", d.Frames[0].Execs())
+	}
+	if d.Frames[2].Successes(2) != 2 {
+		t.Errorf("newest frame swopt = %d, want 2", d.Frames[2].Successes(2))
+	}
+}
+
+// TestFlightDumpCarriesContext: events, exemplars and the trace-drop
+// counter all ride the dump.
+func TestFlightDumpCarriesContext(t *testing.T) {
+	c := New()
+	c.RecordEvent(Event{Kind: EventXChosen, Lock: "kv", Granule: "kv/get", Detail: "X=3"})
+	c.Exemplars().SetMinLatency(0)
+	c.Exemplars().Observe(HistExecLock, Exemplar{LatNS: 1 << 21, Lock: "kv", Granule: "kv/scan", Mode: 0})
+	c.SetTraceDroppedSource(func() uint64 { return 13 })
+
+	f, _ := newTestFlight(c, FlightConfig{})
+	f.Tick()
+	var sb strings.Builder
+	if err := f.Dump(&sb, "drain"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseFlight([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 1 || d.Events[0].Granule != "kv/get" {
+		t.Errorf("events = %+v", d.Events)
+	}
+	if len(d.Cumulative.Exemplars) != 1 || d.Cumulative.Exemplars[0].Granule != "kv/scan" {
+		t.Errorf("exemplars = %+v", d.Cumulative.Exemplars)
+	}
+	if d.DroppedTraceEvents != 13 {
+		t.Errorf("dropped = %d", d.DroppedTraceEvents)
+	}
+	top := d.TopBlamedGranules(3)
+	if len(top) != 1 || top[0].Granule != "kv/scan" {
+		t.Errorf("top blamed = %+v", top)
+	}
+}
+
+// TestFlightAbortStormTrigger: an abort rate past the configured storm
+// threshold fires OnAnomaly once, then the cooldown suppresses refires
+// until the virtual clock passes it.
+func TestFlightAbortStormTrigger(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+
+	var fired []string
+	f, vc := newTestFlight(c, FlightConfig{
+		Window: 4 * time.Second, Tick: time.Second,
+		AbortStormRate: 100, Cooldown: 2 * time.Second,
+		OnAnomaly: func(r string) { fired = append(fired, r) },
+	})
+
+	// Quiet tick: no trigger.
+	f.Tick()
+	if len(fired) != 0 {
+		t.Fatalf("fired on quiet tick: %v", fired)
+	}
+
+	// Storm: the delta interval is wall-clock (~µs), so hundreds of
+	// aborts are far beyond 100/s.
+	sh.AddN(CtrAbort(tm.AbortConflict), 500)
+	f.Tick()
+	if len(fired) != 1 || !strings.Contains(fired[0], "abort-storm") {
+		t.Fatalf("fired = %v", fired)
+	}
+
+	// Another storm within the cooldown: suppressed.
+	sh.AddN(CtrAbort(tm.AbortConflict), 500)
+	f.Tick()
+	if len(fired) != 1 {
+		t.Fatalf("cooldown did not suppress: %v", fired)
+	}
+
+	// Past the cooldown: fires again.
+	vc.advance(3 * time.Second)
+	sh.AddN(CtrAbort(tm.AbortConflict), 500)
+	f.Tick()
+	if len(fired) != 2 {
+		t.Fatalf("post-cooldown refire missing: %v", fired)
+	}
+
+	if got := f.Anomalies(); len(got) != 2 {
+		t.Errorf("anomaly log = %+v", got)
+	}
+	var sb strings.Builder
+	if err := f.Dump(&sb, "anomaly"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseFlight([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Anomalies) != 2 || !strings.Contains(d.Anomalies[0].Reason, "abort-storm") {
+		t.Errorf("dump anomalies = %+v", d.Anomalies)
+	}
+	storm := d.AbortsByReason()
+	if storm[tm.AbortConflict.String()] != 1500 {
+		t.Errorf("window aborts = %v", storm)
+	}
+}
+
+// TestFlightTailLatencyTrigger: a tick whose exec p99 reaches the
+// threshold fires with a tail-latency reason.
+func TestFlightTailLatencyTrigger(t *testing.T) {
+	c := New()
+	ls := c.NewLatShard()
+
+	var fired []string
+	f, _ := newTestFlight(c, FlightConfig{
+		TailThresholdNS: int64(time.Millisecond),
+		OnAnomaly:       func(r string) { fired = append(fired, r) },
+	})
+
+	ls.Record(HistExecHTM, int64(50*time.Microsecond)) // under threshold
+	f.Tick()
+	if len(fired) != 0 {
+		t.Fatalf("fired under threshold: %v", fired)
+	}
+	ls.Record(HistExecHTM, int64(10*time.Millisecond))
+	f.Tick()
+	if len(fired) != 1 || !strings.Contains(fired[0], "tail-latency") ||
+		!strings.Contains(fired[0], "exec_htm") {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+// TestFlightStopWithoutStart: Stop on a never-Started recorder must not
+// hang and still folds a final frame (the embedding server constructs the
+// recorder even when it drives ticks itself).
+func TestFlightStopWithoutStart(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	f, _ := newTestFlight(c, FlightConfig{})
+	sh.AddN(CtrSuccessHTM, 3)
+	f.Stop()
+	f.Stop() // idempotent
+	if f.FrameCount() != 1 {
+		t.Errorf("FrameCount = %d, want the final fold", f.FrameCount())
+	}
+}
+
+// TestFlightStartStop exercises the real ticker goroutine lifecycle (the
+// only wall-clock flight test; no timing assertions, just clean shutdown
+// under -race while a writer runs).
+func TestFlightStartStop(t *testing.T) {
+	c := New()
+	sh := c.NewShard()
+	f, _ := newTestFlight(c, FlightConfig{Window: time.Second, Tick: 10 * time.Millisecond})
+	f.Start()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			sh.Add(CtrSuccessSWOpt)
+		}
+	}()
+	<-done
+	f.Stop()
+	var sb strings.Builder
+	if err := f.Dump(&sb, "stop"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseFlight([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cumulative.Successes(2) != 1000 {
+		t.Errorf("cumulative swopt = %d", d.Cumulative.Successes(2))
+	}
+	// Every write happened before Stop returned, so the frames (including
+	// Stop's final fold) account for all of them.
+	var inFrames uint64
+	for _, fr := range d.Frames {
+		inFrames += fr.Successes(2)
+	}
+	if inFrames != 1000 {
+		t.Errorf("frames account for %d/1000 writes", inFrames)
+	}
+}
+
+// TestParseFlightRejects: wrong or missing schema returns the sentinel;
+// non-JSON errors out.
+func TestParseFlightRejects(t *testing.T) {
+	if _, err := ParseFlight([]byte(`{"schema":"ale-snapshot/v1"}`)); err != ErrNotFlightSchema {
+		t.Errorf("snapshot schema: err = %v", err)
+	}
+	if _, err := ParseFlight([]byte(`{}`)); err != ErrNotFlightSchema {
+		t.Errorf("schemaless: err = %v", err)
+	}
+	if _, err := ParseFlight([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}

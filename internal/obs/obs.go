@@ -173,6 +173,15 @@ type Collector struct {
 	// shardsSrc, when set, is polled at snapshot time for the per-shard
 	// commit-clock rows (see SetShardSource).
 	shardsSrc func() []ShardEntry
+	// traceDroppedSrc, when set, is polled for the cumulative number of
+	// engine-trace ring events lost to wrap-around (see
+	// SetTraceDroppedSource).
+	traceDroppedSrc func() uint64
+
+	// exemplars is the fixed-slot tail-latency exemplar table, always
+	// allocated so Observe needs no nil collector checks beyond the
+	// thread-level one.
+	exemplars *ExemplarTable
 
 	// global absorbs cold-path events that have no calling thread at
 	// hand (adaptive-policy stage transitions run under the policy's
@@ -191,7 +200,7 @@ func New() *Collector { return NewSized(DefaultEventCapacity) }
 // NewSized creates a collector whose event ring holds the last eventCap
 // policy events.
 func NewSized(eventCap int) *Collector {
-	c := &Collector{start: time.Now()}
+	c := &Collector{start: time.Now(), exemplars: NewExemplarTable()}
 	c.events.init(eventCap)
 	return c
 }
@@ -255,5 +264,29 @@ func (c *Collector) Snapshot() Snapshot {
 	if shardsSrc != nil {
 		s.Shards = shardsSrc()
 	}
+	s.Exemplars = c.exemplars.Rows()
 	return s
+}
+
+// SetTraceDroppedSource installs the function snapshots and flight dumps
+// poll for the cumulative count of engine-trace events lost to ring
+// wrap-around (the sum of trace.Ring.Dropped over the runtime's threads).
+// The core runtime registers it when tracing and Obs are both on; pass
+// nil to detach. Same last-registration-wins semantics as
+// SetContentionSource.
+func (c *Collector) SetTraceDroppedSource(f func() uint64) {
+	c.mu.Lock()
+	c.traceDroppedSrc = f
+	c.mu.Unlock()
+}
+
+// TraceDropped polls the registered trace-drop source, 0 when none.
+func (c *Collector) TraceDropped() uint64 {
+	c.mu.Lock()
+	f := c.traceDroppedSrc
+	c.mu.Unlock()
+	if f == nil {
+		return 0
+	}
+	return f()
 }

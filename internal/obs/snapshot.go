@@ -32,6 +32,10 @@ type Snapshot struct {
 	// runtime on a multi-shard domain registered its clocks via
 	// SetShardSource.
 	Shards []ShardEntry
+	// Exemplars are the populated tail-latency exemplar cells (one
+	// witnessed execution per hot histogram bucket), present only when a
+	// timing runtime observed executions past the exemplar floor.
+	Exemplars []ExemplarRow
 }
 
 // Get returns one raw counter.
@@ -53,9 +57,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	// Contention rows are cumulative attributions, not counters; a delta
 	// keeps the newer profile as-is (interval attribution would need
 	// per-granule history the wire format deliberately does not carry).
-	// Shard clocks are likewise cumulative positions, not event counts.
+	// Shard clocks are likewise cumulative positions, not event counts,
+	// and exemplars are point witnesses — all keep the newer value.
 	d.Contention = s.Contention
 	d.Shards = s.Shards
+	d.Exemplars = s.Exemplars
 	return d
 }
 
@@ -177,6 +183,9 @@ type snapshotJSON struct {
 	// Shards are the per-shard commit-clock rows, omitted for
 	// single-shard domains (and all pre-sharding snapshot files).
 	Shards []ShardEntry `json:"shards,omitempty"`
+	// Exemplars are the tail-latency exemplar rows, omitted when none
+	// were captured (so pre-exemplar snapshot files re-encode unchanged).
+	Exemplars []ExemplarRow `json:"exemplars,omitempty"`
 }
 
 // latDistJSON is one histogram on the wire: the raw buckets (the source
@@ -253,6 +262,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 	}
 	j.Contention = s.Contention
 	j.Shards = s.Shards
+	j.Exemplars = s.Exemplars
 	return json.Marshal(j)
 }
 
@@ -301,6 +311,7 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 	}
 	s.Contention = j.Contention
 	s.Shards = j.Shards
+	s.Exemplars = j.Exemplars
 	return nil
 }
 

@@ -1,0 +1,286 @@
+package server_test
+
+// Flight-recorder e2e suite: the black box armed on a live aleserve must
+// dump a parseable ale-flight/v1 document on SIGQUIT and on drain, carry
+// request-id'd tail exemplars (P99.9-causality: a slow execution names
+// the client request that suffered it), and blame the granules a seeded
+// conflict storm actually hammered. Per docs/TESTING.md there are no
+// sleeps: signal-triggered dumps are observed by polling ParseFlight
+// under runtime.Gosched (a partial write simply fails the parse and the
+// poll continues), and drain dumps are flushed synchronously before
+// Drain returns.
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/load"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// flightConfig returns a small flight-armed server config writing dumps
+// to the returned buffer, with the exemplar floor at 1ns so every
+// execution attaches a witness (CI machines are fast; the default 16µs
+// floor would make these tests timing-dependent).
+func flightConfig() (server.Config, *syncBuffer) {
+	buf := &syncBuffer{}
+	cfg := server.DefaultConfig()
+	cfg.Workers = 2
+	cfg.Slots, cfg.Buckets, cfg.Capacity = 4, 64, 4096
+	cfg.Policy = func(string) core.Policy { return core.NewAdaptive() }
+	cfg.FlightW = buf
+	cfg.ExemplarMin = 1
+	return cfg, buf
+}
+
+// parseWhenComplete polls the dump buffer until it holds one complete
+// ale-flight document (the signal handler writes asynchronously).
+func parseWhenComplete(buf *syncBuffer) obs.FlightDump {
+	for {
+		d, err := obs.ParseFlight(buf.Bytes())
+		if err == nil {
+			return d
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestFlightSIGQUITDump is the black-box e2e: serve real requests, send
+// the process SIGQUIT exactly as an operator would, and check the dump —
+// schema, reason, cumulative execs, and a nonzero request id on at least
+// one exemplar (proving the connection loop's id threading reaches the
+// exemplar table through the store's nested Executes).
+func TestFlightSIGQUITDump(t *testing.T) {
+	cfg, buf := flightConfig()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.DumpFlightOnSignal(syscall.SIGQUIT)
+
+	tr, err := load.DialTCP(s.Addr().String())(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := uint64(1); i <= 64; i++ {
+		if _, err := tr.RoundTrip(server.Request{Verb: server.VerbSet, Key: i, Arg: i * 3}); err != nil {
+			t.Fatalf("SET %d: %v", i, err)
+		}
+		if _, err := tr.RoundTrip(server.Request{Verb: server.VerbGet, Key: i}); err != nil {
+			t.Fatalf("GET %d: %v", i, err)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGQUIT); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	d := parseWhenComplete(buf)
+
+	if d.Schema != obs.FlightSchema {
+		t.Fatalf("schema = %q, want %q", d.Schema, obs.FlightSchema)
+	}
+	if !strings.HasPrefix(d.Reason, "signal:") {
+		t.Errorf("reason = %q, want signal:*", d.Reason)
+	}
+	if d.WindowS <= 0 || d.TickS <= 0 {
+		t.Errorf("dump geometry window=%v tick=%v, want > 0", d.WindowS, d.TickS)
+	}
+	if d.Cumulative.Execs() == 0 {
+		t.Error("cumulative snapshot has zero execs after 128 served requests")
+	}
+	if len(d.Cumulative.Exemplars) == 0 {
+		t.Fatal("no exemplars in dump with a 1ns floor")
+	}
+	reqID := false
+	for _, r := range d.Cumulative.Exemplars {
+		if r.RequestID != 0 {
+			reqID = true
+		}
+	}
+	if !reqID {
+		t.Errorf("no exemplar carries a request id; rows = %+v", d.Cumulative.Exemplars)
+	}
+}
+
+// TestFlightDrainDumpBlamesStormGranule is the acceptance scenario: live
+// open-loop load against a flight-armed server under a seeded conflict
+// storm, drained mid-run — the drain dump's top-blamed granule must be on
+// the stormed store's lock, and the window's abort accounting must show
+// the storm's conflicts.
+func TestFlightDrainDumpBlamesStormGranule(t *testing.T) {
+	cfg, buf := flightConfig()
+	cfg.Store = server.StoreHashMap
+	cfg.Workers = 4
+	// A static HTM-first policy guarantees the storm has opportunities to
+	// fire: the adaptive policy's early learning stages run Lock/SWOpt
+	// progressions, so a short run may never attempt HTM at all and the
+	// scripted conflicts would have nothing to abort.
+	cfg.Policy = func(string) core.Policy { return core.NewStatic(4, 4) }
+	cfg.FaultScript = faultinject.Script{
+		{Class: faultinject.ConflictStorm, Every: 2},
+		{Class: faultinject.LockStretch, Every: 7, Param: 2},
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	stop := make(chan struct{})
+	outCh := make(chan load.Output, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		out, err := load.Run(load.Config{
+			Addr:         s.Addr().String(),
+			Conns:        4,
+			RatePerSec:   40000,
+			Seed:         7,
+			Keys:         512,
+			DisjointKeys: true,
+			Stop:         stop,
+		})
+		outCh <- out
+		errCh <- err
+	}()
+	const minOps = 2000
+	for s.OpsServed() < minOps {
+		runtime.Gosched()
+	}
+	s.Drain()
+	close(stop)
+	<-outCh
+	if err := <-errCh; err != nil {
+		t.Fatalf("load.Run: %v", err)
+	}
+
+	// Drain flushed the dump synchronously before returning.
+	d, err := obs.ParseFlight(buf.Bytes())
+	if err != nil {
+		t.Fatalf("drain dump: %v", err)
+	}
+	if d.Reason != "drain" {
+		t.Errorf("reason = %q, want drain", d.Reason)
+	}
+	if len(d.Frames) == 0 {
+		t.Fatal("drain dump has no frames (Stop should fold a final one)")
+	}
+	top := d.TopBlamedGranules(5)
+	if len(top) == 0 {
+		t.Fatal("no blamed granules in a 2000+-op stormed run")
+	}
+	if top[0].Lock != "kv" || top[0].Granule == "" {
+		t.Errorf("top blamed = lock %q granule %q, want the stormed kv store", top[0].Lock, top[0].Granule)
+	}
+	aborts := d.AbortsByReason()
+	if aborts["conflict"] == 0 {
+		t.Errorf("window abort accounting misses the conflict storm: %v", aborts)
+	}
+	if d.Cumulative.FaultsTotal() == 0 {
+		t.Error("fault counters empty — the storm never fired, the blame proves nothing")
+	}
+}
+
+// TestFlightPathNumbersDumps pins DumpFlight's file naming: the first
+// dump takes the configured path verbatim, later ones get a numbered
+// suffix before the extension, so an anomaly dump never clobbers the
+// drain dump.
+func TestFlightPathNumbersDumps(t *testing.T) {
+	dir := t.TempDir()
+	cfg, _ := flightConfig()
+	cfg.FlightW = nil
+	cfg.FlightPath = dir + "/flight.json"
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.DumpFlight("first")
+	s.DumpFlight("second")
+	for i, want := range []struct{ path, reason string }{
+		{dir + "/flight.json", "first"},
+		{dir + "/flight-2.json", "second"},
+	} {
+		data, err := os.ReadFile(want.path)
+		if err != nil {
+			t.Fatalf("dump %d: %v", i, err)
+		}
+		d, err := obs.ParseFlight(data)
+		if err != nil {
+			t.Fatalf("dump %d: %v", i, err)
+		}
+		if d.Reason != want.reason {
+			t.Errorf("dump %d reason = %q, want %q", i, d.Reason, want.reason)
+		}
+	}
+}
+
+// TestServerMetricsEndpoints is the wiring-dedup regression: the one
+// obs.Handler mounted on aleserve's metrics listener must serve all four
+// planes — Prometheus text, snapshot JSON, the event timeline (both
+// renderings), and the NDJSON live stream — and the index page must
+// advertise /stream. (cmd/alebench mounts the same handler; its side of
+// the regression lives in cmd/alebench/main_test.go.)
+func TestServerMetricsEndpoints(t *testing.T) {
+	cfg, _ := flightConfig()
+	cfg.MetricsAddr = "127.0.0.1:0"
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	base := "http://" + s.MetricsAddr()
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	if body, _ := get("/"); !strings.Contains(body, "/stream") {
+		t.Errorf("index page does not advertise /stream: %q", body)
+	}
+	if body, _ := get("/metrics"); !strings.Contains(body, "ale_execs_total") {
+		t.Error("/metrics missing ale_execs_total")
+	}
+	if body, ct := get("/snapshot"); ct != "application/json" || !strings.Contains(body, "ale-snapshot/v1") {
+		t.Errorf("/snapshot: content-type %q", ct)
+	}
+	if _, ct := get("/events"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("/events: content-type %q", ct)
+	}
+	if _, ct := get("/events?format=json"); ct != "application/json" {
+		t.Errorf("/events?format=json: content-type %q", ct)
+	}
+	body, ct := get("/stream?interval=10ms&n=1")
+	if ct != "application/x-ndjson" {
+		t.Errorf("/stream: content-type %q", ct)
+	}
+	snaps, err := obs.ParseSnapshots([]byte(body))
+	if err != nil {
+		t.Fatalf("/stream body does not parse as snapshots: %v", err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("/stream?n=1 returned %d snapshots, want 2 (cumulative + 1 delta)", len(snaps))
+	}
+}

@@ -74,6 +74,27 @@ type Config struct {
 	// Obs is the collector backing STATS and the metrics endpoints (one
 	// is created when nil).
 	Obs *obs.Collector
+	// FlightPath / FlightW arm the flight recorder (internal/obs black
+	// box): a bounded ring of per-tick snapshot deltas dumped as
+	// ale-flight/v1 JSON on drain, on DumpFlightOnSignal signals, and on
+	// anomaly triggers. FlightW wins when both are set; FlightPath gets
+	// one file per dump (a numbered suffix after the first). Arming the
+	// recorder implies Timing, since a black box without latency and
+	// exemplar data answers nothing.
+	FlightPath string
+	FlightW    io.Writer
+	// FlightWindow / FlightTick size the retained window (defaults
+	// obs.DefaultFlightWindow / obs.DefaultFlightTick).
+	FlightWindow time.Duration
+	FlightTick   time.Duration
+	// FlightTailThreshold, when >0, self-dumps the window whenever a
+	// per-tick exec-latency p99 in any mode reaches it. FlightAbortRate
+	// does the same for the HTM abort rate (aborts/second).
+	FlightTailThreshold time.Duration
+	FlightAbortRate     float64
+	// ExemplarMin, when >0, overrides the tail-exemplar latency floor
+	// (default obs.DefaultExemplarMinNS). Negative disables the override.
+	ExemplarMin time.Duration
 	// FaultScript, when non-empty, installs the deterministic fault
 	// injector (internal/faultinject) on the substrate and engine — the
 	// drain soak tests' conflict-storm regime. Never set in production.
@@ -148,8 +169,13 @@ type Server struct {
 	drainOnce sync.Once
 	drained   chan struct{}
 
+	flight    *obs.FlightRecorder
+	flightMu  sync.Mutex // serializes dumps (anomaly goroutine vs signal vs drain)
+	flightSeq atomic.Uint64
+
 	ops        [numOpCounters]atomic.Uint64
 	connsTotal atomic.Uint64
+	connSeq    atomic.Uint64 // request-id connection numbering (see serveConn)
 	start      time.Time
 }
 
@@ -182,6 +208,15 @@ func New(cfg Config) (*Server, error) {
 			opts.TraceCapacity = 4096
 		}
 	}
+	flightArmed := cfg.FlightPath != "" || cfg.FlightW != nil
+	if flightArmed {
+		// Same reasoning: a black box with empty histograms and no
+		// exemplars cannot answer "why was it slow".
+		opts.Timing = true
+	}
+	if cfg.ExemplarMin > 0 {
+		collector.Exemplars().SetMinLatency(int64(cfg.ExemplarMin))
+	}
 
 	prof := cfg.Platform.Profile
 	if cfg.Shards != 0 {
@@ -212,8 +247,22 @@ func New(cfg Config) (*Server, error) {
 		start:     time.Now(),
 	}
 
+	if flightArmed {
+		s.flight = obs.NewFlight(collector, obs.FlightConfig{
+			Window:          cfg.FlightWindow,
+			Tick:            cfg.FlightTick,
+			TailThresholdNS: int64(cfg.FlightTailThreshold),
+			AbortStormRate:  cfg.FlightAbortRate,
+			OnAnomaly:       func(reason string) { s.DumpFlight("anomaly: " + reason) },
+		})
+		s.flight.Start()
+	}
+
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		if s.flight != nil {
+			s.flight.Stop()
+		}
 		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
 	}
 	s.ln = ln
@@ -221,6 +270,9 @@ func New(cfg Config) (*Server, error) {
 		mln, err := net.Listen("tcp", cfg.MetricsAddr)
 		if err != nil {
 			ln.Close()
+			if s.flight != nil {
+				s.flight.Stop()
+			}
 			return nil, fmt.Errorf("server: metrics listen %s: %w", cfg.MetricsAddr, err)
 		}
 		s.metricsLn = mln
@@ -237,7 +289,7 @@ func New(cfg Config) (*Server, error) {
 
 	s.logf("aleserve: %s store, %d workers, listening on %s", cfg.Store, cfg.Workers, ln.Addr())
 	if s.metricsLn != nil {
-		s.logf("aleserve: metrics on http://%s (/metrics /snapshot /events)", s.metricsLn.Addr())
+		s.logf("aleserve: metrics on http://%s (/metrics /snapshot /events /stream)", s.metricsLn.Addr())
 	}
 	return s, nil
 }
@@ -354,6 +406,18 @@ func (s *Server) serveConn(c net.Conn, sess Session, scratch *connScratch) {
 	}
 	defer s.unregister(c)
 
+	// Request-id threading for tail-exemplar causality: every request gets
+	// connection<<20 | sequence stamped onto the worker's ALE thread, so an
+	// exemplar witnessed deep in the store names the exact client request
+	// that suffered the tail latency (flight dumps and /snapshot carry it).
+	// Two plain stores per request on the single-owner thread — nothing on
+	// the Execute hot path changes. Cleared on exit so an id never leaks
+	// into the next connection served by this worker.
+	thr := sess.Thread()
+	connID := s.connSeq.Add(1)
+	reqSeq := uint64(0)
+	defer thr.SetRequestID(0)
+
 	br := bufio.NewReaderSize(c, 16<<10)
 	bw := bufio.NewWriterSize(c, 16<<10)
 	for {
@@ -385,6 +449,8 @@ func (s *Server) serveConn(c net.Conn, sess Session, scratch *connScratch) {
 			bw.Flush()
 			return
 		}
+		reqSeq++
+		thr.SetRequestID(connID<<20 | (reqSeq & 0xFFFFF))
 		quit := s.dispatch(bw, sess, scratch, req)
 		// Flush once the pipeline is empty (RESP-style batching: a burst
 		// of pipelined requests gets one writev, a lone request gets an
@@ -544,6 +610,12 @@ func (s *Server) Drain() {
 		s.acceptWG.Wait()
 		s.workerWG.Wait()
 
+		if s.flight != nil {
+			// Stop folds a final partial frame, so the dump covers the
+			// tail of the drained traffic.
+			s.flight.Stop()
+			s.DumpFlight("drain")
+		}
 		if s.cfg.ProfilePath != "" {
 			s.writeProfile()
 		}
@@ -605,6 +677,67 @@ func (s *Server) Close() {
 	if s.httpSrv != nil {
 		_ = s.httpSrv.Close()
 	}
+}
+
+// DumpFlight writes the flight-recorder window as one ale-flight/v1
+// document: to cfg.FlightW when set, else to a file derived from
+// cfg.FlightPath (the path itself for the first dump, "-2", "-3", …
+// suffixes before the extension for later ones, so an anomaly dump never
+// overwrites the drain dump), else to stderr. No-op when the recorder is
+// not armed. Safe from any goroutine; concurrent dumps serialize.
+func (s *Server) DumpFlight(reason string) {
+	if s.flight == nil {
+		return
+	}
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	var w io.Writer = os.Stderr
+	var f *os.File
+	if s.cfg.FlightW != nil {
+		w = s.cfg.FlightW
+	} else if s.cfg.FlightPath != "" {
+		path := s.cfg.FlightPath
+		if n := s.flightSeq.Add(1); n > 1 {
+			ext := ""
+			if i := strings.LastIndexByte(path, '.'); i > strings.LastIndexByte(path, '/') {
+				path, ext = path[:i], path[i:]
+			}
+			path = fmt.Sprintf("%s-%d%s", path, n, ext)
+		}
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			s.logf("aleserve: flight dump: %v", err)
+			return
+		}
+		w = f
+	}
+	if err := s.flight.Dump(w, reason); err != nil {
+		s.logf("aleserve: flight dump: %v", err)
+	} else if f != nil {
+		s.logf("aleserve: wrote flight dump (%s) to %s", reason, f.Name())
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			s.logf("aleserve: flight dump: %v", err)
+		}
+	}
+}
+
+// DumpFlightOnSignal installs a handler dumping the flight window when
+// any of the given signals arrives (SIGQUIT for cmd/aleserve — this
+// replaces Go's default stack-dump-and-exit for that signal, turning
+// "kill -QUIT" into "give me the black box" on a running server). The
+// handler stays installed for the process lifetime and serves repeated
+// signals; each dump goes through DumpFlight's destination logic.
+func (s *Server) DumpFlightOnSignal(sig ...os.Signal) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sig...)
+	go func() {
+		for got := range ch {
+			s.DumpFlight("signal: " + got.String())
+		}
+	}()
 }
 
 // DrainOnSignal installs a handler draining the server when any of the

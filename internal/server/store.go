@@ -43,6 +43,10 @@ type Session interface {
 	// number visited.
 	Scan(limit int, visit func(key, val uint64) bool) (int, error)
 	Count() (int, error)
+	// Thread exposes the session's ALE thread so the connection loop can
+	// stamp a request id onto executions (tail-exemplar causality). Same
+	// ownership rule as the session itself: owning goroutine only.
+	Thread() *core.Thread
 }
 
 // store abstracts the two backing structures for the server.
@@ -75,7 +79,8 @@ func (s kyotoSession) Scan(limit int, visit func(key, val uint64) bool) (int, er
 	})
 	return n, err
 }
-func (s kyotoSession) Count() (int, error) { return s.h.Count() }
+func (s kyotoSession) Count() (int, error)  { return s.h.Count() }
+func (s kyotoSession) Thread() *core.Thread { return s.h.Thread() }
 
 // --- hashmap ---
 
@@ -105,7 +110,8 @@ func (s hashmapSession) Scan(limit int, visit func(key, val uint64) bool) (int, 
 	})
 	return n, err
 }
-func (s hashmapSession) Count() (int, error) { return s.h.Len() }
+func (s hashmapSession) Count() (int, error)  { return s.h.Len() }
+func (s hashmapSession) Thread() *core.Thread { return s.h.Thread() }
 
 // buildStore constructs the configured store on rt.
 func buildStore(rt *core.Runtime, cfg Config) store {

@@ -18,10 +18,25 @@ import (
 	"strings"
 )
 
+// Meta carries export-level metadata rendered into the trace JSON's
+// otherData block. Zero Meta emits no otherData at all, keeping the
+// output byte-identical to the pre-metadata format.
+type Meta struct {
+	// DroppedEvents is the number of ring-wrap losses across the rings
+	// that fed this export (sum of Ring.Dropped) — nonzero means the
+	// timeline has a hole older than its first event.
+	DroppedEvents uint64
+}
+
 // WriteChrome renders events (as produced by Merge) as a Chrome Trace
 // Event Format JSON object. modeName/detailName label events like Write;
 // nil namers fall back to raw numbers.
 func WriteChrome(w io.Writer, events []Event, modeName ModeNamer, detailName DetailNamer) error {
+	return WriteChromeMeta(w, events, modeName, detailName, Meta{})
+}
+
+// WriteChromeMeta is WriteChrome with export metadata attached.
+func WriteChromeMeta(w io.Writer, events []Event, modeName ModeNamer, detailName DetailNamer, meta Meta) error {
 	var b strings.Builder
 	b.WriteString("{\"traceEvents\":[")
 	first := true
@@ -86,7 +101,11 @@ func WriteChrome(w io.Writer, events []Event, modeName ModeNamer, detailName Det
 				quote(name), e.Thread, us(e.When), args))
 		}
 	}
-	b.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	b.WriteString("\n],\"displayTimeUnit\":\"ns\"")
+	if meta.DroppedEvents > 0 {
+		fmt.Fprintf(&b, ",\"otherData\":{\"ale_dropped_events\":\"%d\"}", meta.DroppedEvents)
+	}
+	b.WriteString("}\n")
 	_, err := io.WriteString(w, b.String())
 	return err
 }

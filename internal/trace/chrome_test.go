@@ -81,6 +81,39 @@ func TestWriteChromeGolden(t *testing.T) {
 	}
 }
 
+// TestWriteChromeMetaDropped: a nonzero drop count appears as otherData;
+// a zero Meta must leave the output byte-identical to WriteChrome (the
+// golden test above pins that form).
+func TestWriteChromeMetaDropped(t *testing.T) {
+	ev := []Event{{When: 1000, Thread: 0, Lock: 1, Kind: KindAbort, Mode: 1}}
+
+	var plain, zero, dropped strings.Builder
+	if err := WriteChrome(&plain, ev, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeMeta(&zero, ev, nil, nil, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != zero.String() {
+		t.Errorf("zero Meta changed output:\n%s\nvs\n%s", plain.String(), zero.String())
+	}
+	if err := WriteChromeMeta(&dropped, ev, nil, nil, Meta{DroppedEvents: 42}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(dropped.String()), &doc); err != nil {
+		t.Fatalf("meta export is not valid JSON: %v", err)
+	}
+	if doc.OtherData["ale_dropped_events"] != "42" {
+		t.Errorf("otherData = %v, want ale_dropped_events=42", doc.OtherData)
+	}
+	if strings.Contains(plain.String(), "otherData") {
+		t.Error("plain export grew otherData")
+	}
+}
+
 func TestWriteChromeEmpty(t *testing.T) {
 	var sb strings.Builder
 	if err := WriteChrome(&sb, nil, nil, nil); err != nil {

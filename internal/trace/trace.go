@@ -20,6 +20,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -99,6 +100,12 @@ type Ring struct {
 	buf    []Event
 	next   uint64
 	thread int32
+
+	// dropped counts events overwritten by the ring wrapping — loss that
+	// was previously silent. It is the one field with foreign readers
+	// (flight dumps and the Chrome export read it from live rings), hence
+	// atomic: the owner writes, anyone loads.
+	dropped atomic.Uint64
 }
 
 // NewRing allocates a ring holding the last capacity events for thread id.
@@ -151,6 +158,9 @@ func (r *Ring) RecordSpan(lock uint32, kind Kind, mode, detail uint8, begin, end
 
 func (r *Ring) push(e Event) {
 	e.Seq = r.next
+	if r.next >= uint64(len(r.buf)) {
+		r.dropped.Add(1)
+	}
 	r.buf[r.next%uint64(len(r.buf))] = e
 	r.next++
 }
@@ -173,6 +183,16 @@ func (r *Ring) Recorded() uint64 {
 		return 0
 	}
 	return r.next
+}
+
+// Dropped reports how many events were lost to ring wrap-around
+// (Recorded − retained). Safe to call from any goroutine while the owner
+// is still recording.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
 }
 
 // Snapshot returns the retained events oldest-first.

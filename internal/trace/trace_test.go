@@ -46,6 +46,30 @@ func TestRingOverwritesOldest(t *testing.T) {
 	}
 }
 
+func TestRingDroppedCountsWraps(t *testing.T) {
+	r := NewRing(3, 0)
+	for i := 0; i < 3; i++ {
+		r.Record(0, KindAttempt, 0, 0)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped = %d before wrap, want 0", r.Dropped())
+	}
+	r.Record(0, KindAttempt, 0, 0)
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped = %d after first wrap, want 1", r.Dropped())
+	}
+	for i := 0; i < 6; i++ {
+		r.Record(0, KindAttempt, 0, 0)
+	}
+	if got, want := r.Dropped(), uint64(7); got != want {
+		t.Fatalf("Dropped = %d, want %d", got, want)
+	}
+	if r.Recorded()-uint64(r.Len()) != r.Dropped() {
+		t.Errorf("Recorded-Len = %d, Dropped = %d; should agree",
+			r.Recorded()-uint64(r.Len()), r.Dropped())
+	}
+}
+
 func TestNilAndZeroRingSafe(t *testing.T) {
 	var r *Ring
 	if r.Enabled() {
@@ -54,6 +78,9 @@ func TestNilAndZeroRingSafe(t *testing.T) {
 	r.Record(0, KindAttempt, 0, 0) // must not panic
 	if r.Recorded() != 0 {
 		t.Error("nil ring recorded")
+	}
+	if r.Dropped() != 0 {
+		t.Error("nil ring dropped")
 	}
 	z := &Ring{}
 	z.Record(0, KindAttempt, 0, 0)
